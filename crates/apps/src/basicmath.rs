@@ -1,0 +1,170 @@
+//! `basicmath` — integer square roots (Newton's method) and greatest common
+//! divisors (Euclid) over a batch of inputs, the MiBench math kernel in
+//! fixed point.
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const N: u32 = 16;
+
+fn inputs() -> Vec<Word> {
+    let mut g = data_stream(0xBA51);
+    (0..N).map(|_| (g() & 0x3FFF) + 1).collect()
+}
+
+fn isqrt(v: Word) -> Word {
+    // Newton's method exactly as the assembly performs it.
+    let mut x = v;
+    let mut y = (x + 1) / 2;
+    while y < x {
+        x = y;
+        y = (x + v / x) / 2;
+    }
+    x
+}
+
+fn gcd(mut a: Word, mut b: Word) -> Word {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn reference(data: &[Word]) -> Word {
+    let mut sum: Word = 0;
+    for (i, &v) in data.iter().enumerate() {
+        let s = isqrt(v);
+        let g = gcd(v, 72 + i as Word);
+        sum = sum.wrapping_add(s.wrapping_mul(5)).wrapping_add(g);
+    }
+    sum
+}
+
+/// Builds the `basicmath` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("basicmath");
+    let data = b.segment("inputs", N, false);
+    let out = b.segment("out", 1, true);
+
+    let (i, v, x, y, sum, t1, t2, p) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+    );
+    let (ga, gb) = (Reg::R9, Reg::R10);
+    let base = Reg::R11;
+
+    b.mov(i, 0);
+    b.mov(sum, 0);
+    b.mov(base, data as i32);
+
+    let outer = b.new_label("outer");
+    let obody = b.new_label("obody");
+    let sqrt_head = b.new_label("sqrt_head");
+    let sqrt_body = b.new_label("sqrt_body");
+    let gcd_init = b.new_label("gcd_init");
+    let gcd_head = b.new_label("gcd_head");
+    let gcd_body = b.new_label("gcd_body");
+    let accumulate = b.new_label("accumulate");
+    let exit = b.new_label("exit");
+
+    b.bind(outer);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, i, N as i32, obody, exit);
+
+    b.bind(obody);
+    b.bin(BinOp::Add, p, base, i);
+    b.load(v, p, 0);
+    // isqrt: x = v; y = (x+1)/2; while y < x { x = y; y = (x + v/x)/2 }
+    b.mov(x, v);
+    b.bin(BinOp::Add, y, x, 1);
+    b.bin(BinOp::Div, y, y, 2);
+    b.jump(sqrt_head);
+    b.bind(sqrt_head);
+    b.set_loop_bound(20);
+    b.branch(Cond::Lt, y, x, sqrt_body, gcd_init);
+    b.bind(sqrt_body);
+    b.mov(x, y);
+    b.bin(BinOp::Div, t1, v, x);
+    b.bin(BinOp::Add, t1, t1, x);
+    b.bin(BinOp::Div, y, t1, 2);
+    b.jump(sqrt_head);
+
+    // gcd(v, 72 + i)
+    b.bind(gcd_init);
+    b.mov(ga, v);
+    b.bin(BinOp::Add, gb, i, 72);
+    b.jump(gcd_head);
+    b.bind(gcd_head);
+    b.set_loop_bound(40);
+    b.branch(Cond::Ne, gb, 0, gcd_body, accumulate);
+    b.bind(gcd_body);
+    b.bin(BinOp::Rem, t2, ga, gb);
+    b.mov(ga, gb);
+    b.mov(gb, t2);
+    b.jump(gcd_head);
+
+    b.bind(accumulate);
+    b.bin(BinOp::Mul, t1, x, 5);
+    b.bin(BinOp::Add, sum, sum, t1);
+    b.bin(BinOp::Add, sum, sum, ga);
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(outer);
+
+    b.bind(exit);
+    b.mov(p, out as i32);
+    b.store(sum, p, 0);
+    b.send(sum);
+    b.halt();
+
+    let data_img = inputs();
+    let expected = reference(&data_img);
+    App {
+        name: "basicmath",
+        program: b.finish().expect("basicmath builds"),
+        image: vec![(data, data_img)],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_is_exact_floor() {
+        for v in 1..2000 {
+            let s = isqrt(v);
+            assert!(s * s <= v, "{v}");
+            assert!((s + 1) * (s + 1) > v, "{v}");
+        }
+    }
+
+    #[test]
+    fn gcd_matches_euclid_properties() {
+        assert_eq!(gcd(12, 18), 6);
+        assert_eq!(gcd(7, 13), 1);
+        assert_eq!(gcd(100, 0), 100);
+    }
+
+    #[test]
+    fn golden_run_matches_reference() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 2_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+    }
+}

@@ -1,0 +1,139 @@
+//! `bitcnt` — MiBench bit counting: two counting strategies (shift-and-mask
+//! and nibble-table lookup) over a block of words, cross-checked in the
+//! final checksum.
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const N: u32 = 32;
+
+fn inputs() -> Vec<Word> {
+    let mut g = data_stream(0xB17C);
+    (0..N).map(|_| g()).collect()
+}
+
+fn nibble_table() -> Vec<Word> {
+    (0..16).map(|v: Word| v.count_ones() as Word).collect()
+}
+
+fn reference(data: &[Word]) -> Word {
+    let mut shift_total: Word = 0;
+    let mut table_total: Word = 0;
+    for &v in data {
+        shift_total += v.count_ones() as Word;
+        table_total += v.count_ones() as Word; // table method agrees
+    }
+    shift_total.wrapping_mul(31).wrapping_add(table_total)
+}
+
+/// Builds the `bitcnt` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("bitcnt");
+    let data = b.segment("data", N, false);
+    let table = b.segment("nibbles", 16, false);
+    let out = b.segment("out", 1, true);
+
+    let (i, v, cnt1, cnt2, ptr, tmp, tbl, nib) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+    );
+    let base = Reg::R9;
+    b.mov(i, 0);
+    b.mov(cnt1, 0);
+    b.mov(cnt2, 0);
+    b.mov(tbl, table as i32);
+    b.mov(base, data as i32);
+
+    let outer = b.new_label("outer");
+    let obody = b.new_label("obody");
+    let shift_head = b.new_label("shift_head");
+    let shift_body = b.new_label("shift_body");
+    let nib_head = b.new_label("nib_head");
+    let nib_body = b.new_label("nib_body");
+    let onext = b.new_label("onext");
+    let exit = b.new_label("exit");
+
+    b.bind(outer);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, i, N as i32, obody, exit);
+
+    b.bind(obody);
+    b.bin(BinOp::Add, ptr, base, i);
+    b.load(v, ptr, 0);
+    // Method 1: shift-and-mask.
+    b.jump(shift_head);
+    b.bind(shift_head);
+    b.set_loop_bound(16);
+    b.branch(Cond::Ne, v, 0, shift_body, nib_head);
+    b.bind(shift_body);
+    b.bin(BinOp::And, tmp, v, 1);
+    b.bin(BinOp::Add, cnt1, cnt1, tmp);
+    b.bin(BinOp::Shr, v, v, 1);
+    b.jump(shift_head);
+    // Method 2: nibble table (reload the word; v was consumed).
+    b.bind(nib_head);
+    b.load(v, ptr, 0);
+    b.mov(tmp, 0); // nibble index 0..4
+    b.jump(nib_body);
+    b.bind(nib_body);
+    b.set_loop_bound(4);
+    b.bin(BinOp::And, nib, v, 0xF);
+    b.bin(BinOp::Add, nib, nib, Reg::R7); // nib = table base + nibble
+    b.load(nib, nib, 0);
+    b.bin(BinOp::Add, cnt2, cnt2, nib);
+    b.bin(BinOp::Shr, v, v, 4);
+    b.bin(BinOp::Add, tmp, tmp, 1);
+    b.branch(Cond::Lt, tmp, 4, nib_body, onext);
+    b.bind(onext);
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(outer);
+
+    b.bind(exit);
+    b.bin(BinOp::Mul, cnt1, cnt1, 31);
+    b.bin(BinOp::Add, cnt1, cnt1, cnt2);
+    b.mov(tmp, out as i32);
+    b.store(cnt1, tmp, 0);
+    b.send(cnt1);
+    b.halt();
+
+    let data_img = inputs();
+    let expected = reference(&data_img);
+    App {
+        name: "bitcnt",
+        program: b.finish().expect("bitcnt builds"),
+        image: vec![(data, data_img), (table, nibble_table())],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_matches_popcount() {
+        let d = inputs();
+        let total: Word = d.iter().map(|v| v.count_ones() as Word).sum();
+        assert_eq!(reference(&d), total * 31 + total);
+    }
+
+    #[test]
+    fn golden_run_counts_bits() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 1_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+    }
+}

@@ -1,0 +1,58 @@
+//! `blink` — the smallest benchmark: toggle the LED a few times, keeping a
+//! persistent toggle counter. (Table III reports only 6 checkpoint stores
+//! for it.)
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg};
+
+use crate::App;
+
+const TOGGLES: i32 = 8;
+
+/// Builds the `blink` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("blink");
+    let out = b.segment("out", 2, true);
+
+    let (i, base) = (Reg::R1, Reg::R2);
+    b.mov(i, 0);
+    b.mov(base, out as i32);
+    let head = b.new_label("head");
+    let body = b.new_label("body");
+    let exit = b.new_label("exit");
+    b.bind(head);
+    b.set_loop_bound(TOGGLES as u32);
+    b.branch(Cond::Lt, i, TOGGLES, body, exit);
+    b.bind(body);
+    b.blink();
+    b.bin(BinOp::Add, i, i, 1);
+    b.store(i, base, 1); // progress counter
+    b.jump(head);
+    b.bind(exit);
+    b.store(i, base, 0); // checksum: number of toggles
+    b.send(i);
+    b.halt();
+
+    App {
+        name: "blink",
+        program: b.finish().expect("blink builds"),
+        image: vec![],
+        checksum_addr: out,
+        expected_checksum: TOGGLES,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_run_blinks_and_counts() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 100_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), TOGGLES);
+        assert_eq!(periph.blink_count(), TOGGLES as u64);
+        assert_eq!(periph.sent(), &[TOGGLES]);
+    }
+}

@@ -1,0 +1,127 @@
+//! `crc16` — bitwise CRC-16/CCITT (poly 0x1021, init 0xFFFF) over a message
+//! of bytes.
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const N: u32 = 64;
+
+fn message() -> Vec<Word> {
+    let mut g = data_stream(0xC16);
+    (0..N).map(|_| g() & 0xFF).collect()
+}
+
+fn reference(msg: &[Word]) -> Word {
+    let mut crc: u32 = 0xFFFF;
+    for &byte in msg {
+        crc ^= (byte as u32) << 8;
+        for _ in 0..8 {
+            if crc & 0x8000 != 0 {
+                crc = ((crc << 1) ^ 0x1021) & 0xFFFF;
+            } else {
+                crc = (crc << 1) & 0xFFFF;
+            }
+        }
+    }
+    crc as Word
+}
+
+/// Builds the `crc16` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("crc16");
+    let data = b.segment("msg", N, false);
+    let out = b.segment("out", 1, true);
+
+    let (i, crc, byte, ptr, tmp) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5);
+    // Loop-invariant values hoisted into registers, as a compiler would.
+    let (base, poly, mask16, topbit) = (Reg::R9, Reg::R10, Reg::R11, Reg::R12);
+    b.mov(i, 0);
+    b.mov(crc, 0xFFFF);
+    b.mov(base, data as i32);
+    b.mov(poly, 0x1021);
+    b.mov(mask16, 0xFFFF);
+    b.mov(topbit, 0x8000);
+
+    let outer = b.new_label("outer");
+    let obody = b.new_label("obody");
+    let bit_head = b.new_label("bit_head");
+    let bit_hi = b.new_label("bit_hi");
+    let bit_lo = b.new_label("bit_lo");
+    let bit_next = b.new_label("bit_next");
+    let onext = b.new_label("onext");
+    let exit = b.new_label("exit");
+    let bitc = Reg::R6;
+
+    b.bind(outer);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, i, N as i32, obody, exit);
+
+    b.bind(obody);
+    b.bin(BinOp::Add, ptr, base, i);
+    b.load(byte, ptr, 0);
+    b.bin(BinOp::Shl, byte, byte, 8);
+    b.bin(BinOp::Xor, crc, crc, byte);
+    b.mov(bitc, 0);
+    b.jump(bit_head);
+
+    b.bind(bit_head);
+    b.set_loop_bound(8);
+    b.bin(BinOp::And, tmp, crc, topbit);
+    b.branch(Cond::Ne, tmp, 0, bit_hi, bit_lo);
+    b.bind(bit_hi);
+    b.bin(BinOp::Shl, crc, crc, 1);
+    b.bin(BinOp::Xor, crc, crc, poly);
+    b.jump(bit_next);
+    b.bind(bit_lo);
+    b.bin(BinOp::Shl, crc, crc, 1);
+    b.jump(bit_next);
+    b.bind(bit_next);
+    b.bin(BinOp::And, crc, crc, mask16);
+    b.bin(BinOp::Add, bitc, bitc, 1);
+    b.branch(Cond::Lt, bitc, 8, bit_head, onext);
+
+    b.bind(onext);
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(outer);
+
+    b.bind(exit);
+    b.mov(tmp, out as i32);
+    b.store(crc, tmp, 0);
+    b.send(crc);
+    b.halt();
+
+    let msg = message();
+    let expected = reference(&msg);
+    App {
+        name: "crc16",
+        program: b.finish().expect("crc16 builds"),
+        image: vec![(data, msg)],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_known_vector() {
+        // CRC-16/CCITT-FALSE of "123456789" is 0x29B1.
+        let msg: Vec<Word> = b"123456789".iter().map(|&c| c as Word).collect();
+        assert_eq!(reference(&msg), 0x29B1);
+    }
+
+    #[test]
+    fn golden_run_matches_reference() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 1_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+    }
+}

@@ -1,0 +1,125 @@
+//! `crc32` — bitwise reflected CRC-32 (poly 0xEDB88320, init/final
+//! 0xFFFFFFFF) over a message of bytes.
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const N: u32 = 64;
+/// 0xEDB88320 reinterpreted as a two's-complement `i32` immediate.
+const POLY: i32 = 0xEDB8_8320_u32 as i32;
+
+fn message() -> Vec<Word> {
+    let mut g = data_stream(0xC32);
+    (0..N).map(|_| g() & 0xFF).collect()
+}
+
+fn reference(msg: &[Word]) -> Word {
+    let mut crc: u32 = 0xFFFF_FFFF;
+    for &byte in msg {
+        crc ^= byte as u32;
+        for _ in 0..8 {
+            if crc & 1 != 0 {
+                crc = (crc >> 1) ^ 0xEDB8_8320;
+            } else {
+                crc >>= 1;
+            }
+        }
+    }
+    (crc ^ 0xFFFF_FFFF) as Word
+}
+
+/// Builds the `crc32` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("crc32");
+    let data = b.segment("msg", N, false);
+    let out = b.segment("out", 1, true);
+
+    let (i, crc, byte, ptr, tmp, bitc) = (Reg::R1, Reg::R2, Reg::R3, Reg::R4, Reg::R5, Reg::R6);
+    // Hoisted loop invariants.
+    let (base, poly) = (Reg::R9, Reg::R10);
+    b.mov(i, 0);
+    b.mov(crc, -1); // 0xFFFFFFFF
+    b.mov(base, data as i32);
+    b.mov(poly, POLY);
+
+    let outer = b.new_label("outer");
+    let obody = b.new_label("obody");
+    let bit_head = b.new_label("bit_head");
+    let bit_hi = b.new_label("bit_hi");
+    let bit_lo = b.new_label("bit_lo");
+    let bit_next = b.new_label("bit_next");
+    let onext = b.new_label("onext");
+    let exit = b.new_label("exit");
+
+    b.bind(outer);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, i, N as i32, obody, exit);
+
+    b.bind(obody);
+    b.bin(BinOp::Add, ptr, base, i);
+    b.load(byte, ptr, 0);
+    b.bin(BinOp::Xor, crc, crc, byte);
+    b.mov(bitc, 0);
+    b.jump(bit_head);
+
+    b.bind(bit_head);
+    b.set_loop_bound(8);
+    b.bin(BinOp::And, tmp, crc, 1);
+    b.branch(Cond::Ne, tmp, 0, bit_hi, bit_lo);
+    b.bind(bit_hi);
+    b.bin(BinOp::Shr, crc, crc, 1); // logical shift
+    b.bin(BinOp::Xor, crc, crc, poly);
+    b.jump(bit_next);
+    b.bind(bit_lo);
+    b.bin(BinOp::Shr, crc, crc, 1);
+    b.jump(bit_next);
+    b.bind(bit_next);
+    b.bin(BinOp::Add, bitc, bitc, 1);
+    b.branch(Cond::Lt, bitc, 8, bit_head, onext);
+
+    b.bind(onext);
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(outer);
+
+    b.bind(exit);
+    b.bin(BinOp::Xor, crc, crc, -1);
+    b.mov(tmp, out as i32);
+    b.store(crc, tmp, 0);
+    b.send(crc);
+    b.halt();
+
+    let msg = message();
+    let expected = reference(&msg);
+    App {
+        name: "crc32",
+        program: b.finish().expect("crc32 builds"),
+        image: vec![(data, msg)],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_known_vector() {
+        // CRC-32 of "123456789" is 0xCBF43926.
+        let msg: Vec<Word> = b"123456789".iter().map(|&c| c as Word).collect();
+        assert_eq!(reference(&msg) as u32, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn golden_run_matches_reference() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 2_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+    }
+}

@@ -1,0 +1,217 @@
+//! `dhrystone` — the classic synthetic integer workload: record copies,
+//! string comparison, arithmetic procedures and branchy control flow,
+//! iterated a fixed number of times.
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const RUNS: u32 = 20;
+const REC: u32 = 16;
+
+fn record() -> Vec<Word> {
+    let mut g = data_stream(0xD4);
+    (0..REC).map(|_| g() & 0xFF).collect()
+}
+
+fn string_a() -> Vec<Word> {
+    b"DHRYSTONE PROGRAM".iter().map(|&c| c as Word).collect()
+}
+
+fn string_b() -> Vec<Word> {
+    b"DHRYSTONE PROGXAM".iter().map(|&c| c as Word).collect()
+}
+
+fn reference(rec: &[Word], sa: &[Word], sb: &[Word]) -> Word {
+    let mut sum: Word = 0;
+    let mut glob: Word = 0;
+    for run in 0..RUNS as Word {
+        // Proc: record copy + field arithmetic.
+        let copy: Vec<Word> = rec.to_vec();
+        let f0 = copy[0] + run;
+        let f1 = copy[1].wrapping_mul(3);
+        glob = glob.wrapping_add(f0).wrapping_add(f1);
+        // Func: string comparison — position of first mismatch.
+        let mut mism: Word = sa.len() as Word;
+        for (k, (&a, &b)) in sa.iter().zip(sb).enumerate() {
+            if a != b {
+                mism = k as Word;
+                break;
+            }
+        }
+        // Branchy select.
+        let pick = if glob % 3 == 0 {
+            glob / 2
+        } else if glob % 3 == 1 {
+            glob.wrapping_mul(2)
+        } else {
+            glob - 7
+        };
+        sum = sum.wrapping_add(mism).wrapping_add(pick % 1000);
+    }
+    sum
+}
+
+/// Builds the `dhrystone` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("dhrystone");
+    let rec = b.segment("record", REC, false);
+    let copy = b.segment("copy", REC, true);
+    let sa = b.segment("str_a", 17, false);
+    let sb = b.segment("str_b", 17, false);
+    let out = b.segment("out", 1, true);
+    let sa_len = string_a().len() as i32;
+
+    let (run, sum, glob, k, t1, t2, p, q) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+    );
+    let (mism, pick) = (Reg::R9, Reg::R10);
+    let (recb, copyb, sab, sbb) = (Reg::R11, Reg::R12, Reg::R13, Reg::R14);
+
+    b.mov(run, 0);
+    b.mov(sum, 0);
+    b.mov(glob, 0);
+    b.mov(recb, rec as i32);
+    b.mov(copyb, copy as i32);
+    b.mov(sab, sa as i32);
+    b.mov(sbb, sb as i32);
+
+    let main_loop = b.new_label("main");
+    let body = b.new_label("body");
+    let copy_head = b.new_label("copy_head");
+    let copy_body = b.new_label("copy_body");
+    let fields = b.new_label("fields");
+    let cmp_head = b.new_label("cmp_head");
+    let cmp_body = b.new_label("cmp_body");
+    let cmp_mismatch = b.new_label("cmp_mismatch");
+    let cmp_next = b.new_label("cmp_next");
+    let select = b.new_label("select");
+    let sel0 = b.new_label("sel0");
+    let sel_not0 = b.new_label("sel_not0");
+    let sel1 = b.new_label("sel1");
+    let sel2 = b.new_label("sel2");
+    let tally = b.new_label("tally");
+    let next = b.new_label("next");
+    let exit = b.new_label("exit");
+
+    b.bind(main_loop);
+    b.set_loop_bound(RUNS);
+    b.branch(Cond::Lt, run, RUNS as i32, body, exit);
+
+    // record copy
+    b.bind(body);
+    b.mov(k, 0);
+    b.jump(copy_head);
+    b.bind(copy_head);
+    b.set_loop_bound(REC);
+    b.branch(Cond::Lt, k, REC as i32, copy_body, fields);
+    b.bind(copy_body);
+    b.bin(BinOp::Add, p, recb, k);
+    b.load(t1, p, 0);
+    b.bin(BinOp::Add, q, copyb, k);
+    b.store(t1, q, 0);
+    b.bin(BinOp::Add, k, k, 1);
+    b.jump(copy_head);
+
+    // field arithmetic on the copy
+    b.bind(fields);
+    b.mov(q, copyb);
+    b.load(t1, q, 0);
+    b.bin(BinOp::Add, t1, t1, run); // f0 = copy[0] + run
+    b.load(t2, q, 1);
+    b.bin(BinOp::Mul, t2, t2, 3); // f1 = copy[1] * 3
+    b.bin(BinOp::Add, glob, glob, t1);
+    b.bin(BinOp::Add, glob, glob, t2);
+    // string compare
+    b.mov(k, 0);
+    b.mov(mism, sa_len);
+    b.jump(cmp_head);
+    b.bind(cmp_head);
+    b.set_loop_bound(17);
+    b.branch(Cond::Lt, k, sa_len, cmp_body, select);
+    b.bind(cmp_body);
+    b.bin(BinOp::Add, p, sab, k);
+    b.load(t1, p, 0);
+    b.bin(BinOp::Add, q, sbb, k);
+    b.load(t2, q, 0);
+    b.branch(Cond::Ne, t1, t2, cmp_mismatch, cmp_next);
+    b.bind(cmp_mismatch);
+    b.mov(mism, k);
+    b.jump(select);
+    b.bind(cmp_next);
+    b.bin(BinOp::Add, k, k, 1);
+    b.jump(cmp_head);
+
+    // three-way select on glob % 3
+    b.bind(select);
+    b.bin(BinOp::Rem, t1, glob, 3);
+    b.branch(Cond::Eq, t1, 0, sel0, sel_not0);
+    b.bind(sel0);
+    b.bin(BinOp::Div, pick, glob, 2);
+    b.jump(tally);
+    b.bind(sel_not0);
+    b.branch(Cond::Eq, t1, 1, sel1, sel2);
+    b.bind(sel1);
+    b.bin(BinOp::Mul, pick, glob, 2);
+    b.jump(tally);
+    b.bind(sel2);
+    b.bin(BinOp::Sub, pick, glob, 7);
+    b.jump(tally);
+
+    b.bind(tally);
+    b.bin(BinOp::Rem, t2, pick, 1000);
+    b.bin(BinOp::Add, sum, sum, mism);
+    b.bin(BinOp::Add, sum, sum, t2);
+    b.jump(next);
+    b.bind(next);
+    b.bin(BinOp::Add, run, run, 1);
+    b.jump(main_loop);
+
+    b.bind(exit);
+    b.mov(p, out as i32);
+    b.store(sum, p, 0);
+    b.send(sum);
+    b.halt();
+
+    let rec_img = record();
+    let (sa_img, sb_img) = (string_a(), string_b());
+    let expected = reference(&rec_img, &sa_img, &sb_img);
+    App {
+        name: "dhrystone",
+        program: b.finish().expect("dhrystone builds"),
+        image: vec![(rec, rec_img), (sa, sa_img), (sb, sb_img)],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strings_mismatch_at_position_14() {
+        let (a, b) = (string_a(), string_b());
+        let mism = a.iter().zip(&b).position(|(x, y)| x != y).unwrap();
+        assert_eq!(mism, 14);
+    }
+
+    #[test]
+    fn golden_run_matches_reference() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 2_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+    }
+}

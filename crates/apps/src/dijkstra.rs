@@ -1,0 +1,259 @@
+//! `dijkstra` — single-source shortest paths over a dense 8-node graph
+//! (adjacency matrix), the MiBench network kernel.
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const N: u32 = 8;
+const INF: Word = 9999;
+
+fn adjacency() -> Vec<Word> {
+    let mut g = data_stream(0xD17);
+    let mut adj = vec![INF; (N * N) as usize];
+    for u in 0..N as usize {
+        adj[u * N as usize + u] = 0;
+        for v in 0..N as usize {
+            if u == v {
+                continue;
+            }
+            // ~60% of the edges exist, weights 1..=20.
+            let roll = g();
+            if roll % 10 < 6 {
+                adj[u * N as usize + v] = roll % 20 + 1;
+            }
+        }
+    }
+    adj
+}
+
+fn initial_dist() -> Vec<Word> {
+    let mut d = vec![INF; N as usize];
+    d[0] = 0;
+    d
+}
+
+fn reference(adj: &[Word]) -> Word {
+    let n = N as usize;
+    let mut dist = vec![INF; n];
+    let mut visited = vec![false; n];
+    dist[0] = 0;
+    for _ in 0..n {
+        let mut best = INF;
+        let mut u = usize::MAX;
+        for k in 0..n {
+            if !visited[k] && dist[k] < best {
+                best = dist[k];
+                u = k;
+            }
+        }
+        if u == usize::MAX {
+            break;
+        }
+        visited[u] = true;
+        for v in 0..n {
+            let w = adj[u * n + v];
+            if w < INF && dist[u] + w < dist[v] {
+                dist[v] = dist[u] + w;
+            }
+        }
+    }
+    dist.iter().fold(0i32, |a, &d| a.wrapping_add(d))
+}
+
+/// Builds the `dijkstra` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("dijkstra");
+    let adj = b.segment("adj", N * N, false);
+    let dist = b.segment("dist", N, true);
+    let visited = b.segment("visited", N, true);
+    let out = b.segment("out", 1, true);
+
+    let (it, k, u, best, t1, t2, p, du) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+    );
+    let v = Reg::R9;
+    // Hoisted base addresses.
+    let (adjb, distb, visb) = (Reg::R10, Reg::R11, Reg::R12);
+
+    b.mov(it, 0);
+    b.mov(adjb, adj as i32);
+    b.mov(distb, dist as i32);
+    b.mov(visb, visited as i32);
+
+    let main_loop = b.new_label("main");
+    let find_min = b.new_label("find_min");
+    let fm_head = b.new_label("fm_head");
+    let fm_body = b.new_label("fm_body");
+    let fm_unvis = b.new_label("fm_unvis");
+    let fm_take = b.new_label("fm_take");
+    let fm_next = b.new_label("fm_next");
+    let have_u = b.new_label("have_u");
+    let relax_head = b.new_label("relax_head");
+    let relax_body = b.new_label("relax_body");
+    let relax_edge = b.new_label("relax_edge");
+    let relax_upd = b.new_label("relax_upd");
+    let relax_next = b.new_label("relax_next");
+    let next_iter = b.new_label("next_iter");
+    let sum_head = b.new_label("sum_head");
+    let sum_body = b.new_label("sum_body");
+    let exit = b.new_label("exit");
+
+    b.bind(main_loop);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, it, N as i32, find_min, sum_head);
+
+    // find unvisited k with minimal dist
+    b.bind(find_min);
+    b.mov(best, INF);
+    b.mov(u, -1);
+    b.mov(k, 0);
+    b.jump(fm_head);
+    b.bind(fm_head);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, k, N as i32, fm_body, have_u);
+    b.bind(fm_body);
+    b.bin(BinOp::Add, p, visb, k);
+    b.load(t1, p, 0);
+    b.branch(Cond::Eq, t1, 0, fm_unvis, fm_next);
+    b.bind(fm_unvis);
+    b.bin(BinOp::Add, p, distb, k);
+    b.load(t2, p, 0);
+    b.branch(Cond::Lt, t2, best, fm_take, fm_next);
+    b.bind(fm_take);
+    b.mov(best, t2);
+    b.mov(u, k);
+    b.jump(fm_next);
+    b.bind(fm_next);
+    b.bin(BinOp::Add, k, k, 1);
+    b.jump(fm_head);
+
+    b.bind(have_u);
+    b.branch(Cond::Lt, u, 0, next_iter, relax_head);
+
+    // visited[u] = 1; relax all edges out of u
+    b.bind(relax_head);
+    b.bin(BinOp::Add, p, visb, u);
+    b.mov(t1, 1);
+    b.store(t1, p, 0);
+    b.bin(BinOp::Add, p, distb, u);
+    b.load(du, p, 0);
+    b.mov(v, 0);
+    b.jump(relax_body);
+
+    b.bind(relax_body);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, v, N as i32, relax_edge, next_iter);
+    b.bind(relax_edge);
+    b.bin(BinOp::Mul, t1, u, N as i32);
+    b.bin(BinOp::Add, p, adjb, t1);
+    b.bin(BinOp::Add, p, p, v);
+    b.load(t1, p, 0); // w = adj[u][v]
+    b.bin(BinOp::Add, t1, t1, du); // nd = dist[u] + w
+    b.bin(BinOp::Add, p, distb, v);
+    b.load(t2, p, 0); // dist[v]
+    b.branch(Cond::Lt, t1, t2, relax_upd, relax_next);
+    b.bind(relax_upd);
+    b.store(t1, p, 0);
+    b.jump(relax_next);
+    b.bind(relax_next);
+    b.bin(BinOp::Add, v, v, 1);
+    b.jump(relax_body);
+
+    b.bind(next_iter);
+    b.bin(BinOp::Add, it, it, 1);
+    b.jump(main_loop);
+
+    // checksum = Σ dist[k]
+    b.bind(sum_head);
+    b.mov(k, 0);
+    b.mov(t2, 0);
+    b.jump(sum_body);
+    b.bind(sum_body);
+    b.set_loop_bound(N);
+    b.bin(BinOp::Add, p, distb, k);
+    b.load(t1, p, 0);
+    b.bin(BinOp::Add, t2, t2, t1);
+    b.bin(BinOp::Add, k, k, 1);
+    b.branch(Cond::Lt, k, N as i32, sum_body, exit);
+
+    b.bind(exit);
+    b.mov(p, out as i32);
+    b.store(t2, p, 0);
+    b.send(t2);
+    b.halt();
+
+    let adj_img = adjacency();
+    let expected = reference(&adj_img);
+    App {
+        name: "dijkstra",
+        program: b.finish().expect("dijkstra builds"),
+        image: vec![
+            (adj, adj_img),
+            (dist, initial_dist()),
+            (visited, vec![0; N as usize]),
+        ],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_source_distance_is_zero() {
+        let adj = adjacency();
+        // dist[0] = 0 always contributes 0; the total is below N * INF.
+        let total = reference(&adj);
+        assert!(total >= 0 && total < (N as Word) * INF);
+    }
+
+    #[test]
+    fn golden_run_computes_shortest_paths() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 2_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+    }
+
+    #[test]
+    fn triangle_inequality_holds_in_simulated_dist() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 2_000_000).unwrap();
+        let adj_base = app.image[0].0;
+        let dist_base = app.image[1].0;
+        let n = N as usize;
+        let dist: Vec<Word> = nvm.read_range(dist_base, N);
+        for u in 0..n {
+            for v in 0..n {
+                let w = nvm.read(adj_base + (u * n + v) as u32);
+                if w < INF && dist[u] < INF {
+                    assert!(
+                        dist[v] <= dist[u] + w,
+                        "relaxation incomplete: d[{v}]={} > d[{u}]={} + {w}",
+                        dist[v],
+                        dist[u]
+                    );
+                }
+            }
+        }
+    }
+}

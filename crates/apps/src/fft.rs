@@ -1,0 +1,363 @@
+//! `fft` — a 16-point radix-2 decimation-in-time fast Fourier transform in
+//! Q8 fixed point, with precomputed bit-reversal and twiddle tables.
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const N: u32 = 16;
+const SCALE: Word = 256; // Q8
+
+fn bitrev_table() -> Vec<Word> {
+    (0..N as Word)
+        .map(|i| {
+            let mut r = 0;
+            for b in 0..4 {
+                if i & (1 << b) != 0 {
+                    r |= 1 << (3 - b);
+                }
+            }
+            r
+        })
+        .collect()
+}
+
+fn twiddles() -> (Vec<Word>, Vec<Word>) {
+    let mut wr = Vec::new();
+    let mut wi = Vec::new();
+    for k in 0..(N / 2) as usize {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / N as f64;
+        wr.push((ang.cos() * SCALE as f64).round() as Word);
+        wi.push((ang.sin() * SCALE as f64).round() as Word);
+    }
+    (wr, wi)
+}
+
+fn signal() -> Vec<Word> {
+    let mut g = data_stream(0xFF7);
+    (0..N).map(|_| (g() & 0x1FF) - 256).collect()
+}
+
+/// Integer FFT mirroring the assembly exactly (same rounding behaviour).
+fn reference(re_in: &[Word]) -> (Vec<Word>, Vec<Word>, Word) {
+    let n = N as usize;
+    let rev = bitrev_table();
+    let (wr, wi) = twiddles();
+    let mut re = vec![0; n];
+    let mut im = vec![0; n];
+    for i in 0..n {
+        re[rev[i] as usize] = re_in[i];
+    }
+    let mut len = 2usize;
+    while len <= n {
+        let step = n / len;
+        let mut i = 0;
+        while i < n {
+            for j in 0..len / 2 {
+                let a = i + j;
+                let bidx = i + j + len / 2;
+                let tw = j * step;
+                let tr = (wr[tw].wrapping_mul(re[bidx]) - wi[tw].wrapping_mul(im[bidx])) >> 8;
+                let ti = (wr[tw].wrapping_mul(im[bidx]) + wi[tw].wrapping_mul(re[bidx])) >> 8;
+                re[bidx] = re[a] - tr;
+                im[bidx] = im[a] - ti;
+                re[a] += tr;
+                im[a] += ti;
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+    let mut sum: Word = 0;
+    for k in 0..n {
+        sum = sum
+            .wrapping_add(re[k].wrapping_mul(3))
+            .wrapping_add(im[k].wrapping_mul(7));
+    }
+    (re, im, sum)
+}
+
+/// Builds the `fft` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("fft");
+    let sig = b.segment("signal", N, false);
+    let revt = b.segment("bitrev", N, false);
+    let wrt = b.segment("twiddle_re", N / 2, false);
+    let wit = b.segment("twiddle_im", N / 2, false);
+    let re = b.segment("re", N, true);
+    let im = b.segment("im", N, true);
+    let out = b.segment("out", 1, true);
+
+    // Register plan (heavy kernel; every register earns its keep).
+    let (i, j, len, t1, t2, t3, t4, p) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+    );
+    let (a, bx, tr, ti, wr_v, wi_v, q) = (
+        Reg::R9,
+        Reg::R10,
+        Reg::R11,
+        Reg::R12,
+        Reg::R13,
+        Reg::R14,
+        Reg::R15,
+    );
+
+    let reb = Reg::R0; // the only spare register: hoist the hottest base
+    b.mov(reb, re as i32);
+
+    let scatter_head = b.new_label("scatter_head");
+    let scatter_body = b.new_label("scatter_body");
+    let stage_head = b.new_label("stage_head");
+    let stage_body = b.new_label("stage_body");
+    let group_head = b.new_label("group_head");
+    let group_body = b.new_label("group_body");
+    let fly_head = b.new_label("fly_head");
+    let fly_body = b.new_label("fly_body");
+    let fly_done = b.new_label("fly_done");
+    let group_next = b.new_label("group_next");
+    let sum_head = b.new_label("sum_head");
+    let sum_body = b.new_label("sum_body");
+    let exit = b.new_label("exit");
+
+    // Bit-reversal scatter: re[rev[i]] = signal[i]; im zeroed by image.
+    b.mov(i, 0);
+    b.jump(scatter_head);
+    b.bind(scatter_head);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, i, N as i32, scatter_body, stage_head);
+    b.bind(scatter_body);
+    b.mov(p, revt as i32);
+    b.bin(BinOp::Add, p, p, i);
+    b.load(t1, p, 0); // rev[i]
+    b.mov(p, sig as i32);
+    b.bin(BinOp::Add, p, p, i);
+    b.load(t2, p, 0); // signal[i]
+    b.bin(BinOp::Add, q, reb, t1);
+    b.store(t2, q, 0);
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(scatter_head);
+
+    // Stage loop: len = 2, 4, 8, 16.
+    b.bind(stage_head);
+    b.mov(len, 2);
+    b.jump(stage_body);
+    b.bind(stage_body);
+    b.set_loop_bound(4);
+    b.mov(i, 0);
+    b.jump(group_head);
+
+    // Group loop: i = 0, len, 2len, ...
+    b.bind(group_head);
+    b.set_loop_bound(N / 2);
+    b.branch(Cond::Lt, i, N as i32, group_body, sum_head); // advance stage below
+    b.bind(group_body);
+    b.mov(j, 0);
+    b.jump(fly_head);
+
+    // Butterfly loop: j = 0 .. len/2.
+    b.bind(fly_head);
+    b.set_loop_bound(N / 2);
+    b.bin(BinOp::Div, t1, len, 2);
+    b.branch(Cond::Lt, j, t1, fly_body, group_next);
+    b.bind(fly_body);
+    // a = i + j; b = i + j + len/2
+    b.bin(BinOp::Add, a, i, j);
+    b.bin(BinOp::Add, bx, a, t1);
+    // twiddle index = j * (N / len)
+    b.mov(t2, N as i32);
+    b.bin(BinOp::Div, t2, t2, len);
+    b.bin(BinOp::Mul, t2, t2, j);
+    b.mov(p, wrt as i32);
+    b.bin(BinOp::Add, p, p, t2);
+    b.load(wr_v, p, 0);
+    b.mov(p, wit as i32);
+    b.bin(BinOp::Add, p, p, t2);
+    b.load(wi_v, p, 0);
+    // tr = (wr*re[b] - wi*im[b]) >> 8 ; ti = (wr*im[b] + wi*re[b]) >> 8
+    b.bin(BinOp::Add, p, reb, bx);
+    b.load(t2, p, 0); // re[b]
+    b.mov(q, im as i32);
+    b.bin(BinOp::Add, q, q, bx);
+    b.load(t3, q, 0); // im[b]
+    b.bin(BinOp::Mul, tr, wr_v, t2);
+    b.bin(BinOp::Mul, t4, wi_v, t3);
+    b.bin(BinOp::Sub, tr, tr, t4);
+    b.bin(BinOp::Sar, tr, tr, 8);
+    b.bin(BinOp::Mul, ti, wr_v, t3);
+    b.bin(BinOp::Mul, t4, wi_v, t2);
+    b.bin(BinOp::Add, ti, ti, t4);
+    b.bin(BinOp::Sar, ti, ti, 8);
+    // re[b] = re[a] - tr; im[b] = im[a] - ti; re[a] += tr; im[a] += ti
+    b.bin(BinOp::Add, p, reb, a);
+    b.load(t2, p, 0); // re[a]
+    b.bin(BinOp::Sub, t4, t2, tr);
+    b.bin(BinOp::Add, q, reb, bx);
+    b.store(t4, q, 0);
+    b.bin(BinOp::Add, t2, t2, tr);
+    b.store(t2, p, 0);
+    b.mov(p, im as i32);
+    b.bin(BinOp::Add, p, p, a);
+    b.load(t3, p, 0); // im[a]
+    b.bin(BinOp::Sub, t4, t3, ti);
+    b.mov(q, im as i32);
+    b.bin(BinOp::Add, q, q, bx);
+    b.store(t4, q, 0);
+    b.bin(BinOp::Add, t3, t3, ti);
+    b.store(t3, p, 0);
+    b.bin(BinOp::Add, j, j, 1);
+    b.jump(fly_head);
+    b.bind(fly_done); // (unused alias kept for readability)
+    b.jump(group_next);
+
+    b.bind(group_next);
+    b.bin(BinOp::Add, i, i, len);
+    b.jump(group_head);
+
+    // Checksum: Σ 3·re[k] + 7·im[k]. Reached when the group loop of the
+    // final stage finishes — but we must run 4 stages; handle stage advance
+    // here: if len < N, double len and loop.
+    b.bind(sum_head);
+    b.bin(BinOp::Shl, len, len, 1);
+    b.branch(Cond::Le, len, N as i32, stage_body, sum_body);
+    b.bind(sum_body);
+    b.mov(i, 0);
+    b.mov(t4, 0);
+    let sum_loop = b.new_label("sum_loop");
+    let sum_item = b.new_label("sum_item");
+    b.jump(sum_loop);
+    b.bind(sum_loop);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, i, N as i32, sum_item, exit);
+    b.bind(sum_item);
+    b.bin(BinOp::Add, p, reb, i);
+    b.load(t1, p, 0);
+    b.bin(BinOp::Mul, t1, t1, 3);
+    b.mov(q, im as i32);
+    b.bin(BinOp::Add, q, q, i);
+    b.load(t2, q, 0);
+    b.bin(BinOp::Mul, t2, t2, 7);
+    b.bin(BinOp::Add, t4, t4, t1);
+    b.bin(BinOp::Add, t4, t4, t2);
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(sum_loop);
+
+    b.bind(exit);
+    b.mov(p, out as i32);
+    b.store(t4, p, 0);
+    b.send(t4);
+    b.halt();
+
+    let sig_img = signal();
+    let (wr_img, wi_img) = twiddles();
+    let (_, _, expected) = reference(&sig_img);
+    App {
+        name: "fft",
+        program: b.finish().expect("fft builds"),
+        image: vec![
+            (sig, sig_img),
+            (revt, bitrev_table()),
+            (wrt, wr_img),
+            (wit, wi_img),
+            (re, vec![0; N as usize]),
+            (im, vec![0; N as usize]),
+        ],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitrev_is_an_involution() {
+        let t = bitrev_table();
+        for i in 0..N as usize {
+            assert_eq!(t[t[i] as usize], i as Word);
+        }
+    }
+
+    #[test]
+    fn twiddles_lie_on_the_unit_circle() {
+        let (wr, wi) = twiddles();
+        for k in 0..wr.len() {
+            let mag2 = wr[k] * wr[k] + wi[k] * wi[k];
+            let target = SCALE * SCALE;
+            assert!((mag2 - target).abs() <= 2 * SCALE, "k={k}: {mag2}");
+        }
+        assert_eq!(wr[0], SCALE);
+        assert_eq!(wi[0], 0);
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        // An all-ones signal has X[0] = N, X[k≠0] ≈ 0.
+        let (re, im, _) = {
+            let sig = vec![1; N as usize];
+            let n = N as usize;
+            let rev = bitrev_table();
+            let (wr, wi) = twiddles();
+            let mut re = vec![0; n];
+            let mut imv = vec![0; n];
+            for i in 0..n {
+                re[rev[i] as usize] = sig[i];
+            }
+            let mut len = 2usize;
+            while len <= n {
+                let step = n / len;
+                let mut i = 0;
+                while i < n {
+                    for j in 0..len / 2 {
+                        let a = i + j;
+                        let bidx = i + j + len / 2;
+                        let tw = j * step;
+                        let tr = (wr[tw] * re[bidx] - wi[tw] * imv[bidx]) >> 8;
+                        let ti = (wr[tw] * imv[bidx] + wi[tw] * re[bidx]) >> 8;
+                        re[bidx] = re[a] - tr;
+                        imv[bidx] = imv[a] - ti;
+                        re[a] += tr;
+                        imv[a] += ti;
+                    }
+                    i += len;
+                }
+                len <<= 1;
+            }
+            (re, imv, 0)
+        };
+        assert_eq!(re[0], N as Word);
+        for k in 1..N as usize {
+            assert!(
+                re[k].abs() <= 2 && im[k].abs() <= 2,
+                "bin {k}: {} {}",
+                re[k],
+                im[k]
+            );
+        }
+    }
+
+    #[test]
+    fn golden_run_matches_reference() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 2_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+        // The spectral arrays themselves match the reference.
+        let (re_ref, im_ref, _) = reference(&signal());
+        let re_base = app.image[4].0;
+        let im_base = app.image[5].0;
+        assert_eq!(nvm.read_range(re_base, N), re_ref);
+        assert_eq!(nvm.read_range(im_base, N), im_ref);
+    }
+}

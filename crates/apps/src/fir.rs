@@ -1,0 +1,146 @@
+//! `fir` — an 8-tap finite-impulse-response filter over a sampled signal,
+//! writing the filtered output and a running checksum.
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const TAPS: u32 = 8;
+const SAMPLES: u32 = 48;
+const OUTS: u32 = SAMPLES - TAPS + 1;
+
+fn coeffs() -> Vec<Word> {
+    vec![1, 3, 5, 7, 7, 5, 3, 1]
+}
+
+fn samples() -> Vec<Word> {
+    let mut g = data_stream(0xF14);
+    (0..SAMPLES).map(|_| g() & 0x3FF).collect()
+}
+
+fn reference(c: &[Word], x: &[Word]) -> (Vec<Word>, Word) {
+    let mut out = Vec::new();
+    let mut sum: Word = 0;
+    for i in 0..OUTS as usize {
+        let mut acc: Word = 0;
+        for (j, &cj) in c.iter().enumerate() {
+            acc = acc.wrapping_add(cj.wrapping_mul(x[i + j]));
+        }
+        let y = acc >> 4;
+        out.push(y);
+        sum = sum.wrapping_add(y);
+    }
+    (out, sum)
+}
+
+/// Builds the `fir` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("fir");
+    let cseg = b.segment("coeffs", TAPS, false);
+    let xseg = b.segment("signal", SAMPLES, false);
+    let yseg = b.segment("filtered", OUTS, true);
+    let out = b.segment("out", 1, true);
+
+    let (i, j, acc, sum, xp, cp, a, c) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+    );
+    let yp = Reg::R9;
+    let (cbase, xbase, ybase) = (Reg::R10, Reg::R11, Reg::R12);
+    b.mov(i, 0);
+    b.mov(sum, 0);
+    b.mov(cbase, cseg as i32);
+    b.mov(xbase, xseg as i32);
+    b.mov(ybase, yseg as i32);
+
+    let outer = b.new_label("outer");
+    let obody = b.new_label("obody");
+    let inner = b.new_label("inner");
+    let ibody = b.new_label("ibody");
+    let istore = b.new_label("istore");
+    let exit = b.new_label("exit");
+
+    b.bind(outer);
+    b.set_loop_bound(OUTS);
+    b.branch(Cond::Lt, i, OUTS as i32, obody, exit);
+
+    b.bind(obody);
+    b.mov(acc, 0);
+    b.mov(j, 0);
+    b.bin(BinOp::Add, xp, xbase, i);
+    b.mov(cp, cbase);
+    b.jump(inner);
+
+    b.bind(inner);
+    b.set_loop_bound(TAPS);
+    b.branch(Cond::Lt, j, TAPS as i32, ibody, istore);
+    b.bind(ibody);
+    b.load(a, xp, 0);
+    b.load(c, cp, 0);
+    b.bin(BinOp::Mul, a, a, c);
+    b.bin(BinOp::Add, acc, acc, a);
+    b.bin(BinOp::Add, xp, xp, 1);
+    b.bin(BinOp::Add, cp, cp, 1);
+    b.bin(BinOp::Add, j, j, 1);
+    b.jump(inner);
+
+    b.bind(istore);
+    b.bin(BinOp::Sar, acc, acc, 4);
+    b.bin(BinOp::Add, yp, ybase, i);
+    b.store(acc, yp, 0);
+    b.bin(BinOp::Add, sum, sum, acc);
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(outer);
+
+    b.bind(exit);
+    b.mov(a, out as i32);
+    b.store(sum, a, 0);
+    b.send(sum);
+    b.halt();
+
+    let (c_img, x_img) = (coeffs(), samples());
+    let (_, expected) = reference(&c_img, &x_img);
+    App {
+        name: "fir",
+        program: b.finish().expect("fir builds"),
+        image: vec![(cseg, c_img), (xseg, x_img)],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_output_is_smoothed() {
+        let (y, sum) = reference(&coeffs(), &samples());
+        assert_eq!(y.len(), OUTS as usize);
+        assert_eq!(y.iter().copied().fold(0i32, |a, v| a.wrapping_add(v)), sum);
+    }
+
+    #[test]
+    fn golden_run_writes_filtered_signal_and_checksum() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 1_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+        // Spot-check the filtered output words too.
+        let (y, _) = reference(&coeffs(), &samples());
+        let yseg = app.image[0].0 + TAPS + SAMPLES; // coeffs, signal, filtered
+        for (k, &want) in y.iter().enumerate().take(5) {
+            assert_eq!(nvm.read(yseg + k as u32), want, "y[{k}]");
+        }
+    }
+}

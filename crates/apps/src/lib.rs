@@ -1,0 +1,164 @@
+//! # gecko-apps
+//!
+//! The benchmark applications of the paper's evaluation (Figures 11–14,
+//! Table III): `basicmath`, `bitcnt`, `blink`, `crc16`, `crc32`,
+//! `dhrystone`, `dijkstra`, `fft`, `fir`, `qsort` and `stringsearch` —
+//! MiBench-style kernels hand-written for the `gecko-isa` machine, with
+//! loop bounds annotated for WCET analysis and data laid out in declared
+//! segments so the compiler's alias analysis can reason about them.
+//!
+//! Every app writes a final **checksum** into its output segment; the
+//! crash-consistency test suite compares that word against a failure-free
+//! golden run. Apps are fixed-point integer kernels (the modeled MCU, like
+//! the MSP430, has no FPU).
+//!
+//! ```
+//! let apps = gecko_apps::all_apps();
+//! assert_eq!(apps.len(), 11);
+//! assert!(apps.iter().any(|a| a.name == "crc32"));
+//! ```
+
+pub mod basicmath;
+pub mod bitcnt;
+pub mod blink;
+pub mod crc16;
+pub mod crc32;
+pub mod dhrystone;
+pub mod dijkstra;
+pub mod fft;
+pub mod fir;
+pub mod qsort;
+pub mod stringsearch;
+
+use gecko_isa::{Program, Word};
+
+/// A ready-to-run benchmark application.
+#[derive(Debug, Clone, PartialEq)]
+pub struct App {
+    /// Benchmark name as used in the paper's tables.
+    pub name: &'static str,
+    /// The program (uninstrumented; schemes compile it as needed).
+    pub program: Program,
+    /// Initial data image: `(base_address, words)` runs to copy into NVM
+    /// before (each) execution.
+    pub image: Vec<(u32, Vec<Word>)>,
+    /// Address of the checksum word the app writes on completion.
+    pub checksum_addr: u32,
+    /// The checksum value a correct run must produce (verified against a
+    /// native Rust implementation in each app's tests).
+    pub expected_checksum: Word,
+}
+
+impl App {
+    /// Upper bound on instructions a complete run may execute (golden-run
+    /// budget for tests and simulators).
+    pub fn step_budget(&self) -> u64 {
+        5_000_000
+    }
+}
+
+/// All eleven benchmarks, in the paper's table order.
+pub fn all_apps() -> Vec<App> {
+    vec![
+        basicmath::build(),
+        bitcnt::build(),
+        blink::build(),
+        crc16::build(),
+        crc32::build(),
+        dhrystone::build(),
+        dijkstra::build(),
+        fft::build(),
+        fir::build(),
+        qsort::build(),
+        stringsearch::build(),
+    ]
+}
+
+/// Looks up an app by name.
+pub fn app_by_name(name: &str) -> Option<App> {
+    all_apps().into_iter().find(|a| a.name == name)
+}
+
+/// Deterministic pseudo-random data generator for app inputs (splitmix64).
+pub(crate) fn data_stream(seed: u64) -> impl FnMut() -> Word {
+    let mut state = seed
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(0xD1B5);
+    move || {
+        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z & 0x7FFF) as Word
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eleven_apps_with_unique_names() {
+        let apps = all_apps();
+        assert_eq!(apps.len(), 11);
+        let mut names: Vec<_> = apps.iter().map(|a| a.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 11);
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(app_by_name("fft").is_some());
+        assert!(app_by_name("doom").is_none());
+    }
+
+    #[test]
+    fn all_programs_verify() {
+        for app in all_apps() {
+            gecko_isa::verify(&app.program).unwrap_or_else(|e| panic!("{}: {e}", app.name));
+        }
+    }
+
+    #[test]
+    fn data_stream_is_deterministic() {
+        let mut a = data_stream(1);
+        let mut b = data_stream(1);
+        for _ in 0..32 {
+            assert_eq!(a(), b());
+        }
+    }
+
+    /// Every app must run to completion on the bare machine and produce its
+    /// expected checksum (golden run).
+    #[test]
+    fn golden_runs_produce_expected_checksums() {
+        for app in all_apps() {
+            let mut nvm = gecko_mcu::Nvm::new(1 << 16);
+            for (base, words) in &app.image {
+                nvm.write_image(*base, words);
+            }
+            let mut periph = gecko_mcu::Peripherals::new(7);
+            gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, app.step_budget())
+                .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            assert_eq!(
+                nvm.read(app.checksum_addr),
+                app.expected_checksum,
+                "{} checksum mismatch",
+                app.name
+            );
+        }
+    }
+
+    /// Every app must survive the full GECKO pipeline.
+    #[test]
+    fn all_apps_compile_under_gecko() {
+        for app in all_apps() {
+            let out =
+                gecko_compiler::compile(&app.program, &gecko_compiler::CompileOptions::default())
+                    .unwrap_or_else(|e| panic!("{}: {e}", app.name));
+            assert!(!out.regions.is_empty(), "{}", app.name);
+        }
+    }
+}

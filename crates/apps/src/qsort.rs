@@ -1,0 +1,197 @@
+//! `qsort` — in-place quicksort (Lomuto partition) with an explicit
+//! range stack in NVM, sorting a scrambled array and checksumming the
+//! position-weighted result.
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const N: u32 = 32;
+/// Worst-case stack of (lo, hi) pairs.
+const STACK_WORDS: u32 = 4 * N;
+
+fn inputs() -> Vec<Word> {
+    let mut g = data_stream(0x9507);
+    (0..N).map(|_| g() & 0xFFF).collect()
+}
+
+fn reference(data: &[Word]) -> Word {
+    let mut v = data.to_vec();
+    v.sort_unstable();
+    v.iter().enumerate().fold(0i32, |acc, (i, &x)| {
+        acc.wrapping_add(x.wrapping_mul(i as Word + 1))
+    })
+}
+
+/// Builds the `qsort` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("qsort");
+    let arr = b.segment("array", N, true);
+    let stk = b.segment("stack", STACK_WORDS, true);
+    let out = b.segment("out", 1, true);
+
+    let (sp, lo, hi, i, j, pivot, t1, t2) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+    );
+    let (p1, p2) = (Reg::R9, Reg::R10);
+    let (abase, sbase) = (Reg::R11, Reg::R12);
+    b.mov(abase, arr as i32);
+    b.mov(sbase, stk as i32);
+
+    // push (0, N-1)
+    b.mov(t1, sbase);
+    b.mov(t2, 0);
+    b.store(t2, t1, 0);
+    b.mov(t2, N as i32 - 1);
+    b.store(t2, t1, 1);
+    b.mov(sp, 2);
+
+    let wloop = b.new_label("wloop");
+    let pop = b.new_label("pop");
+    let partition = b.new_label("partition");
+    let ploop = b.new_label("ploop");
+    let pbody = b.new_label("pbody");
+    let pswap = b.new_label("pswap");
+    let pnext = b.new_label("pnext");
+    let pdone = b.new_label("pdone");
+    let push_ranges = b.new_label("push_ranges");
+    let checksum = b.new_label("checksum");
+    let cloop = b.new_label("cloop");
+    let cbody = b.new_label("cbody");
+    let exit = b.new_label("exit");
+
+    b.bind(wloop);
+    b.set_loop_bound(4 * N);
+    b.branch(Cond::Gt, sp, 0, pop, checksum);
+
+    // pop (lo, hi)
+    b.bind(pop);
+    b.bin(BinOp::Sub, sp, sp, 2);
+    b.bin(BinOp::Add, t1, sbase, sp);
+    b.load(lo, t1, 0);
+    b.load(hi, t1, 1);
+    b.branch(Cond::Lt, lo, hi, partition, wloop);
+
+    // partition [lo, hi], pivot = a[hi]
+    b.bind(partition);
+    b.bin(BinOp::Add, p1, abase, hi);
+    b.load(pivot, p1, 0);
+    b.bin(BinOp::Sub, i, lo, 1);
+    b.mov(j, lo);
+    b.jump(ploop);
+
+    b.bind(ploop);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, j, hi, pbody, pdone);
+
+    b.bind(pbody);
+    b.bin(BinOp::Add, p1, abase, j);
+    b.load(t1, p1, 0);
+    b.branch(Cond::Le, t1, pivot, pswap, pnext);
+
+    b.bind(pswap);
+    b.bin(BinOp::Add, i, i, 1);
+    b.bin(BinOp::Add, p2, abase, i);
+    b.load(t2, p2, 0);
+    b.store(t1, p2, 0);
+    b.bin(BinOp::Add, p1, abase, j);
+    b.store(t2, p1, 0);
+    b.jump(pnext);
+
+    b.bind(pnext);
+    b.bin(BinOp::Add, j, j, 1);
+    b.jump(ploop);
+
+    // place pivot: swap a[i+1], a[hi]
+    b.bind(pdone);
+    b.bin(BinOp::Add, i, i, 1);
+    b.bin(BinOp::Add, p1, abase, i);
+    b.load(t1, p1, 0);
+    b.bin(BinOp::Add, p2, abase, hi);
+    b.load(t2, p2, 0);
+    b.store(t1, p2, 0);
+    b.store(t2, p1, 0);
+    b.jump(push_ranges);
+
+    // push (lo, i-1) and (i+1, hi)
+    b.bind(push_ranges);
+    b.bin(BinOp::Add, p1, sbase, sp);
+    b.store(lo, p1, 0);
+    b.bin(BinOp::Sub, t1, i, 1);
+    b.store(t1, p1, 1);
+    b.bin(BinOp::Add, t1, i, 1);
+    b.store(t1, p1, 2);
+    b.store(hi, p1, 3);
+    b.bin(BinOp::Add, sp, sp, 4);
+    b.jump(wloop);
+
+    // checksum = Σ a[k] * (k+1)
+    b.bind(checksum);
+    b.mov(i, 0);
+    b.mov(t2, 0);
+    b.jump(cloop);
+    b.bind(cloop);
+    b.set_loop_bound(N);
+    b.branch(Cond::Lt, i, N as i32, cbody, exit);
+    b.bind(cbody);
+    b.bin(BinOp::Add, p1, abase, i);
+    b.load(t1, p1, 0);
+    b.bin(BinOp::Add, j, i, 1);
+    b.bin(BinOp::Mul, t1, t1, j);
+    b.bin(BinOp::Add, t2, t2, t1);
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(cloop);
+
+    b.bind(exit);
+    b.mov(p1, out as i32);
+    b.store(t2, p1, 0);
+    b.send(t2);
+    b.halt();
+
+    let data = inputs();
+    let expected = reference(&data);
+    App {
+        name: "qsort",
+        program: b.finish().expect("qsort builds"),
+        image: vec![(arr, data)],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_is_sorted_weighted_sum() {
+        let d = vec![3, 1, 2];
+        // sorted: 1,2,3 → 1*1 + 2*2 + 3*3 = 14
+        assert_eq!(reference(&d), 14);
+    }
+
+    #[test]
+    fn golden_run_sorts() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 2_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+        // The array itself is sorted ascending.
+        let arr = app.image[0].0;
+        let vals = nvm.read_range(arr, N);
+        let mut sorted = vals.clone();
+        sorted.sort_unstable();
+        assert_eq!(vals, sorted);
+    }
+}

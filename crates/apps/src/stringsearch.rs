@@ -1,0 +1,180 @@
+//! `stringsearch` — naive multi-pattern substring search over a text
+//! buffer, counting matches and recording first-match positions. In the
+//! paper this is the checkpoint-heaviest benchmark (Table III).
+
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+use crate::{data_stream, App};
+
+const TEXT: u32 = 128;
+const PATTERNS: u32 = 4;
+const PLEN: u32 = 3;
+
+fn text() -> Vec<Word> {
+    let mut g = data_stream(0x5EA);
+    (0..TEXT).map(|_| g() % 4 + 'a' as Word).collect()
+}
+
+fn patterns() -> Vec<Word> {
+    // Four length-3 patterns over the same alphabet, flattened.
+    let t = text();
+    let mut pats = Vec::new();
+    // Two patterns guaranteed present (copied from the text), two arbitrary.
+    pats.extend_from_slice(&t[10..13]);
+    pats.extend_from_slice(&t[70..73]);
+    pats.extend_from_slice(&['a' as Word, 'b' as Word, 'c' as Word]);
+    pats.extend_from_slice(&['d' as Word, 'd' as Word, 'a' as Word]);
+    pats
+}
+
+fn reference(text: &[Word], pats: &[Word]) -> Word {
+    let mut count: Word = 0;
+    let mut first_positions: Word = 0;
+    for p in 0..PATTERNS as usize {
+        let pat = &pats[p * PLEN as usize..(p + 1) * PLEN as usize];
+        let mut first: Word = -1;
+        for i in 0..=(text.len() - PLEN as usize) {
+            if &text[i..i + PLEN as usize] == pat {
+                count += 1;
+                if first < 0 {
+                    first = i as Word;
+                }
+            }
+        }
+        first_positions = first_positions.wrapping_add(first);
+    }
+    count.wrapping_mul(1000).wrapping_add(first_positions)
+}
+
+/// Builds the `stringsearch` app.
+pub fn build() -> App {
+    let mut b = ProgramBuilder::new("stringsearch");
+    let tseg = b.segment("text", TEXT, false);
+    let pseg = b.segment("patterns", PATTERNS * PLEN, false);
+    let out = b.segment("out", 1, true);
+
+    let (p_idx, i, k, count, first, firsts, t1, t2) = (
+        Reg::R1,
+        Reg::R2,
+        Reg::R3,
+        Reg::R4,
+        Reg::R5,
+        Reg::R6,
+        Reg::R7,
+        Reg::R8,
+    );
+    let (tp, pp) = (Reg::R9, Reg::R10);
+    let (tbase, pbase) = (Reg::R11, Reg::R12);
+    let limit = (TEXT - PLEN) as i32; // inclusive last start index
+
+    b.mov(p_idx, 0);
+    b.mov(count, 0);
+    b.mov(firsts, 0);
+    b.mov(tbase, tseg as i32);
+    b.mov(pbase, pseg as i32);
+
+    let pat_loop = b.new_label("pat_loop");
+    let pat_body = b.new_label("pat_body");
+    let scan_head = b.new_label("scan_head");
+    let scan_body = b.new_label("scan_body");
+    let chr_head = b.new_label("chr_head");
+    let chr_body = b.new_label("chr_body");
+    let matched = b.new_label("matched");
+    let first_hit = b.new_label("first_hit");
+    let scan_next = b.new_label("scan_next");
+    let pat_done = b.new_label("pat_done");
+    let exit = b.new_label("exit");
+
+    b.bind(pat_loop);
+    b.set_loop_bound(PATTERNS);
+    b.branch(Cond::Lt, p_idx, PATTERNS as i32, pat_body, exit);
+
+    b.bind(pat_body);
+    b.mov(first, -1);
+    b.mov(i, 0);
+    b.jump(scan_head);
+
+    b.bind(scan_head);
+    b.set_loop_bound(TEXT);
+    b.branch(Cond::Le, i, limit, scan_body, pat_done);
+
+    b.bind(scan_body);
+    b.mov(k, 0);
+    b.jump(chr_head);
+    b.bind(chr_head);
+    b.set_loop_bound(PLEN);
+    b.branch(Cond::Lt, k, PLEN as i32, chr_body, matched);
+    b.bind(chr_body);
+    b.bin(BinOp::Add, tp, tbase, i);
+    b.bin(BinOp::Add, tp, tp, k);
+    b.load(t1, tp, 0);
+    b.bin(BinOp::Mul, t2, p_idx, PLEN as i32);
+    b.bin(BinOp::Add, pp, pbase, t2);
+    b.bin(BinOp::Add, pp, pp, k);
+    b.load(t2, pp, 0);
+    b.bin(BinOp::Add, k, k, 1);
+    b.branch(Cond::Eq, t1, t2, chr_head, scan_next);
+
+    b.bind(matched);
+    b.bin(BinOp::Add, count, count, 1);
+    b.branch(Cond::Lt, first, 0, first_hit, scan_next);
+    b.bind(first_hit);
+    b.mov(first, i);
+    b.jump(scan_next);
+
+    b.bind(scan_next);
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(scan_head);
+
+    b.bind(pat_done);
+    b.bin(BinOp::Add, firsts, firsts, first);
+    b.bin(BinOp::Add, p_idx, p_idx, 1);
+    b.jump(pat_loop);
+
+    b.bind(exit);
+    b.bin(BinOp::Mul, count, count, 1000);
+    b.bin(BinOp::Add, count, count, firsts);
+    b.mov(tp, out as i32);
+    b.store(count, tp, 0);
+    b.send(count);
+    b.halt();
+
+    let t_img = text();
+    let p_img = patterns();
+    let expected = reference(&t_img, &p_img);
+    App {
+        name: "stringsearch",
+        program: b.finish().expect("stringsearch builds"),
+        image: vec![(tseg, t_img), (pseg, p_img)],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_patterns_are_found() {
+        let t = text();
+        let p = patterns();
+        // Patterns 0 and 1 were copied from the text, so ≥2 matches and
+        // non-negative first positions for them.
+        let checksum = reference(&t, &p);
+        let count = checksum / 1000;
+        assert!(count >= 2, "planted patterns must match: {checksum}");
+    }
+
+    #[test]
+    fn golden_run_matches_reference() {
+        let app = build();
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 3_000_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), app.expected_checksum);
+    }
+}

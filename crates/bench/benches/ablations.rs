@@ -1,0 +1,91 @@
+//! Extension studies beyond the paper's figures: the filter countermeasure
+//! (Section V-A1's claim), NVM wear, and the WCET-budget / recovery-fuel
+//! ablations of DESIGN.md.
+
+use gecko_bench::{fidelity_from_env, pct, print_table, save_json};
+use gecko_sim::experiments::extras;
+
+fn main() {
+    let fidelity = fidelity_from_env();
+
+    let filt = extras::filter_defense(fidelity);
+    save_json("extras_filter", &filt);
+    let table = filt
+        .iter()
+        .map(|r| {
+            vec![
+                if r.taps == 0 {
+                    "none".into()
+                } else {
+                    format!("{} taps", r.taps)
+                },
+                if r.freq_hz == 0.0 {
+                    "quiet".into()
+                } else {
+                    format!("{:.1} MHz", r.freq_hz / 1e6)
+                },
+                pct(r.rate),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        "Extra: median-filter countermeasure (Section V-A1's claim)",
+        &["filter", "attack", "R"],
+        &table,
+    );
+
+    let wear = extras::wear(fidelity);
+    save_json("extras_wear", &wear);
+    let table = wear
+        .iter()
+        .map(|r| {
+            vec![
+                r.scheme.clone(),
+                format!("{:.0}", r.nvm_writes_per_run),
+                format!("{:.0}", r.checkpoint_stores_per_run),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        "Extra: NVM wear — writes per completed crc32 run",
+        &["scheme", "NVM writes/run", "ckpt stores/run"],
+        &table,
+    );
+
+    let budget = extras::wcet_budget_ablation(fidelity);
+    save_json("extras_budget", &budget);
+    let table = budget
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{}", r.budget_cycles),
+                r.regions.to_string(),
+                r.checkpoints.to_string(),
+                format!("{:.2}x", r.overhead),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        "Extra: WCET budget ablation (all apps; overhead on crc32)",
+        &["budget (cycles)", "regions", "checkpoints", "overhead"],
+        &table,
+    );
+
+    let fuel = extras::slice_fuel_ablation(fidelity);
+    save_json("extras_fuel", &fuel);
+    let table = fuel
+        .iter()
+        .map(|r| {
+            vec![
+                r.max_slice_insts.to_string(),
+                r.pruned.to_string(),
+                r.recovery_insts.to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        "Extra: recovery-block fuel ablation (all apps)",
+        &["max slice insts", "pruned stores", "recovery insts"],
+        &table,
+    );
+}

@@ -1,0 +1,22 @@
+//! Criterion micro-benchmarks of the GECKO compiler passes themselves.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gecko_compiler::{compile, compile_ratchet, CompileOptions};
+
+fn bench_compile(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    for app in gecko_apps::all_apps() {
+        group.bench_with_input(BenchmarkId::new("gecko", app.name), &app, |b, app| {
+            let opts = CompileOptions::default();
+            b.iter(|| compile(&app.program, &opts).unwrap());
+        });
+    }
+    let fft = gecko_apps::app_by_name("fft").unwrap();
+    group.bench_function("ratchet/fft", |b| {
+        b.iter(|| compile_ratchet(&fft.program).unwrap());
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_compile);
+criterion_main!(benches);

@@ -1,0 +1,44 @@
+//! Regenerates Figure 11: normalized execution time (no power outages).
+
+use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_sim::experiments::fig11;
+
+fn main() {
+    let rows = fig11::rows(fidelity_from_env());
+    save_json("fig11", &rows);
+    let apps: Vec<String> = {
+        let mut v: Vec<String> = rows.iter().map(|r| r.app.clone()).collect();
+        v.dedup();
+        v
+    };
+    let mut table = Vec::new();
+    for app in &apps {
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| &r.app == app && r.scheme == s)
+                .map(|r| format!("{:.2}x", r.normalized))
+                .unwrap_or_default()
+        };
+        table.push(vec![
+            app.clone(),
+            get("NVP"),
+            get("Ratchet"),
+            get("GECKO w/o pruning"),
+            get("GECKO"),
+        ]);
+    }
+    for (scheme, g) in fig11::summary(&rows) {
+        table.push(vec![
+            format!("geomean {scheme}"),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{g:.3}x"),
+        ]);
+    }
+    print_table(
+        "Fig. 11: normalized execution time (baseline NVP = 1.0)",
+        &["app", "NVP", "Ratchet", "GECKO w/o prune", "GECKO"],
+        &table,
+    );
+}

@@ -1,0 +1,41 @@
+//! Regenerates Figure 12: checkpoint reduction from pruning.
+
+use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_sim::experiments::fig12;
+
+fn main() {
+    let rows = fig12::rows(fidelity_from_env());
+    save_json("fig12", &rows);
+    let table = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.app.clone(),
+                r.unpruned.to_string(),
+                r.pruned.to_string(),
+                format!("{:.0}%", r.reduction * 100.0),
+                r.recovery_blocks.to_string(),
+                format!("{:.1}", r.mean_recovery_len),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        "Fig. 12: checkpoint stores removable by pruning",
+        &[
+            "app",
+            "w/o pruning",
+            "with pruning",
+            "reduction",
+            "recovery blocks",
+            "insts/block",
+        ],
+        &table,
+    );
+    let (un, pr): (usize, usize) = rows
+        .iter()
+        .fold((0, 0), |(a, b), r| (a + r.unpruned, b + r.pruned));
+    println!(
+        "overall reduction: {:.1}%",
+        100.0 * (1.0 - pr as f64 / un as f64)
+    );
+}

@@ -1,0 +1,46 @@
+//! Regenerates Figure 13: attack detection and recovery timelines.
+
+use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_sim::experiments::fig13;
+
+fn main() {
+    let rows = fig13::rows(fidelity_from_env());
+    save_json("fig13", &rows);
+    for (label, _) in fig13::scenarios() {
+        let mut table = Vec::new();
+        let times: Vec<f64> = {
+            let mut v: Vec<f64> = rows
+                .iter()
+                .filter(|r| r.scenario == label && r.scheme == "GECKO")
+                .map(|r| r.t_min)
+                .collect();
+            v.dedup();
+            v
+        };
+        for t in times {
+            let get = |s: &str| {
+                rows.iter()
+                    .find(|r| r.scenario == label && r.scheme == s && (r.t_min - t).abs() < 1e-9)
+                    .map(|r| format!("{:.0}%", r.throughput_pct))
+                    .unwrap_or_default()
+            };
+            let attacked = rows
+                .iter()
+                .find(|r| r.scenario == label && (r.t_min - t).abs() < 1e-9)
+                .map(|r| r.under_attack)
+                .unwrap_or(false);
+            table.push(vec![
+                format!("{t:.0} min"),
+                if attacked { "ATTACK" } else { "" }.to_string(),
+                get("NVP"),
+                get("Ratchet"),
+                get("GECKO"),
+            ]);
+        }
+        print_table(
+            &format!("Fig. 13({label}): throughput timeline"),
+            &["t", "", "NVP", "Ratchet", "GECKO"],
+            &table,
+        );
+    }
+}

@@ -1,0 +1,29 @@
+//! Regenerates Figure 14: performance in the energy-harvesting environment.
+
+use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_sim::experiments::fig14;
+
+fn main() {
+    let rows = fig14::rows(fidelity_from_env());
+    save_json("fig14", &rows);
+    let apps: Vec<String> = {
+        let mut v: Vec<String> = rows.iter().map(|r| r.app.clone()).collect();
+        v.dedup();
+        v
+    };
+    let mut table = Vec::new();
+    for app in &apps {
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| &r.app == app && r.scheme == s)
+                .map(|r| format!("{:.2}x", r.normalized_time))
+                .unwrap_or_default()
+        };
+        table.push(vec![app.clone(), get("NVP"), get("Ratchet"), get("GECKO")]);
+    }
+    print_table(
+        "Fig. 14: normalized execution time under RF energy harvesting",
+        &["app", "NVP", "Ratchet", "GECKO"],
+        &table,
+    );
+}

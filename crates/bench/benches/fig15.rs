@@ -1,0 +1,25 @@
+//! Regenerates Figure 15: capacitor-size sensitivity.
+
+use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_sim::experiments::fig15;
+
+fn main() {
+    let rows = fig15::rows(fidelity_from_env());
+    save_json("fig15", &rows);
+    let table = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.0} mF", r.capacitance_f * 1e3),
+                r.scheme.clone(),
+                format!("{:.2} s", r.total_time_s),
+                r.completions.to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        "Fig. 15: total execution time vs capacitor size (equal buffered energy)",
+        &["capacitance", "scheme", "total time", "runs"],
+        &table,
+    );
+}

@@ -1,0 +1,44 @@
+//! Regenerates Figure 4: DPI forward-progress-vs-frequency curves.
+
+use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_json};
+use gecko_sim::experiments::fig4;
+
+fn main() {
+    let rows = fig4::rows(fidelity_from_env());
+    save_json("fig4", &rows);
+    for point in ["P1", "P2"] {
+        let table: Vec<Vec<String>> = rows
+            .iter()
+            .filter(|r| r.point == point && r.device.contains("FR5994"))
+            .map(|r| vec![mhz(r.freq_hz), pct(r.rate)])
+            .collect();
+        print_table(
+            &format!("Fig. 4 (DPI {point}, MSP430FR5994): forward progress vs frequency"),
+            &["freq", "R"],
+            &table,
+        );
+    }
+    // Per-device minima.
+    let mut mins: Vec<Vec<String>> = Vec::new();
+    let devices: std::collections::BTreeSet<_> = rows.iter().map(|r| r.device.clone()).collect();
+    for d in devices {
+        for point in ["P1", "P2"] {
+            let min = rows
+                .iter()
+                .filter(|r| r.device == d && r.point == point)
+                .min_by(|a, b| a.rate.total_cmp(&b.rate))
+                .unwrap();
+            mins.push(vec![
+                d.clone(),
+                point.to_string(),
+                pct(min.rate),
+                mhz(min.freq_hz),
+            ]);
+        }
+    }
+    print_table(
+        "Fig. 4 summary: per-device DPI minima",
+        &["device", "point", "R_min", "at"],
+        &mins,
+    );
+}

@@ -1,0 +1,30 @@
+//! Regenerates Figure 5: remote-attack sweeps over the nine ADC boards.
+
+use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_json};
+use gecko_sim::experiments::fig5;
+
+fn main() {
+    let rows = fig5::rows(fidelity_from_env());
+    save_json("fig5", &rows);
+    let devices: std::collections::BTreeSet<_> = rows.iter().map(|r| r.device.clone()).collect();
+    let mut summary = Vec::new();
+    for d in &devices {
+        let min = rows
+            .iter()
+            .filter(|r| &r.device == d)
+            .min_by(|a, b| a.rate.total_cmp(&b.rate))
+            .unwrap();
+        summary.push(vec![d.clone(), pct(min.rate), mhz(min.freq_hz)]);
+    }
+    print_table(
+        "Fig. 5: remote attack (35 dBm, 5 m) — per-device minimum forward progress",
+        &["device", "R_min", "at"],
+        &summary,
+    );
+    let fr = rows
+        .iter()
+        .filter(|r| r.device.contains("FR5994"))
+        .map(|r| vec![mhz(r.freq_hz), pct(r.rate)])
+        .collect::<Vec<_>>();
+    print_table("Fig. 5 series (MSP430FR5994)", &["freq", "R"], &fr);
+}

@@ -1,0 +1,24 @@
+//! Regenerates Figure 8: attack distance vs transmit power.
+
+use gecko_bench::{fidelity_from_env, pct, print_table, save_json};
+use gecko_sim::experiments::fig8;
+
+fn main() {
+    let rows = fig8::rows(fidelity_from_env());
+    save_json("fig8", &rows);
+    let table = rows
+        .iter()
+        .map(|r| {
+            vec![
+                format!("{:.1} m", r.distance_m),
+                format!("{:.0} dBm", r.power_dbm),
+                pct(r.rate),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        "Fig. 8: forward progress within the 5 m attack range (27 MHz)",
+        &["distance", "power", "R"],
+        &table,
+    );
+}

@@ -1,0 +1,31 @@
+//! Regenerates Figure 9: real-time attack traces on the MSP430FR5994.
+
+use gecko_bench::{fidelity_from_env, pct, print_table, save_json};
+use gecko_sim::experiments::fig9;
+
+fn main() {
+    let rows = fig9::rows(fidelity_from_env());
+    save_json("fig9", &rows);
+    for monitor in ["ADC", "Comparator"] {
+        let table = rows
+            .iter()
+            .filter(|r| r.monitor == monitor)
+            .map(|r| {
+                vec![
+                    format!("{:.2} s", r.t_s),
+                    if r.attack_freq_hz == 0.0 {
+                        "-".to_string()
+                    } else {
+                        format!("{:.1} MHz", r.attack_freq_hz / 1e6)
+                    },
+                    pct(r.rate),
+                ]
+            })
+            .collect::<Vec<_>>();
+        print_table(
+            &format!("Fig. 9 ({monitor} monitor): real-time attacker control"),
+            &["t", "attack", "R"],
+            &table,
+        );
+    }
+}

@@ -1,0 +1,24 @@
+//! Criterion micro-benchmark of the co-simulator's instruction throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gecko_sim::{SchemeKind, SimConfig, Simulator};
+
+fn bench_sim(c: &mut Criterion) {
+    let app = gecko_apps::app_by_name("crc32").unwrap();
+    let mut group = c.benchmark_group("simulate");
+    // 10 ms of device time at 16 MHz ≈ 160k cycles per iteration.
+    group.throughput(Throughput::Elements(160_000));
+    for scheme in SchemeKind::all() {
+        group.bench_function(scheme.name(), |b| {
+            b.iter_batched(
+                || Simulator::new(&app, SimConfig::bench_supply(scheme)).unwrap(),
+                |mut sim| sim.run_for(0.01),
+                criterion::BatchSize::SmallInput,
+            );
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim);
+criterion_main!(benches);

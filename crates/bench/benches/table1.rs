@@ -1,0 +1,35 @@
+//! Regenerates Table I: per-board EMI attack summary.
+
+use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_json};
+use gecko_sim::experiments::table1;
+
+fn main() {
+    let rows = table1::rows(fidelity_from_env());
+    save_json("table1", &rows);
+    let table = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.device.clone(),
+                r.monitors.clone(),
+                format!("{} / {}", pct(r.adc_r_min), mhz(r.adc_r_min_freq_hz)),
+                match (r.comp_r_min, r.comp_r_min_freq_hz) {
+                    (Some(c), Some(f)) => format!("{} / {}", pct(c), mhz(f)),
+                    _ => "N/A".to_string(),
+                },
+                format!("{} / {}", pct(r.adc_f_max), mhz(r.adc_f_max_freq_hz)),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        "Table I: EMI attack results on real-world energy-harvesting MCUs",
+        &[
+            "Model",
+            "Monitor",
+            "ADC-Rmin/Freq",
+            "Comp-Rmin/Freq",
+            "ADC-Fmax/Freq",
+        ],
+        &table,
+    );
+}

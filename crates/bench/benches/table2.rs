@@ -1,0 +1,40 @@
+//! Prints Table II: comparison of prior EMI countermeasures with GECKO.
+
+use gecko_bench::{print_table, save_json};
+use gecko_sim::experiments::table2;
+
+fn main() {
+    let rows = table2::rows();
+    save_json("table2", &rows);
+    let yn = |b: bool| if b { "Yes" } else { "No" }.to_string();
+    let table = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.work.to_string(),
+                r.target.to_string(),
+                format!("{:?}", r.approach),
+                if r.energy_efficient { "High" } else { "Low" }.to_string(),
+                yn(r.power_failure_recovery),
+                if r.intermittent_applicable {
+                    "Applicable"
+                } else {
+                    "N/A"
+                }
+                .to_string(),
+            ]
+        })
+        .collect::<Vec<_>>();
+    print_table(
+        "Table II: prior EMI mitigations vs GECKO",
+        &[
+            "Work",
+            "Target",
+            "HW/SW",
+            "Energy Eff.",
+            "PF Recovery",
+            "Intermittent",
+        ],
+        &table,
+    );
+}

@@ -1,0 +1,123 @@
+//! # gecko-bench
+//!
+//! The benchmark harness that regenerates **every table and figure** of the
+//! paper's evaluation. Each `benches/` target (plain `harness = false`
+//! binaries, so `cargo bench` runs them) calls the corresponding
+//! `gecko_sim::experiments` entry point, prints a paper-style table, and
+//! persists the raw rows as JSON under `target/gecko-results/`.
+//!
+//! Two genuine Criterion micro-benchmarks (`compiler_passes`,
+//! `sim_throughput`) measure the harness itself.
+//!
+//! Set `GECKO_QUICK=1` to run the reduced sweeps used by the test suite.
+
+use std::fs;
+use std::path::PathBuf;
+
+use gecko_sim::experiments::Fidelity;
+
+/// The fidelity selected by the environment (`GECKO_QUICK=1` → `Quick`).
+pub fn fidelity_from_env() -> Fidelity {
+    if std::env::var_os("GECKO_QUICK").is_some() {
+        Fidelity::Quick
+    } else {
+        Fidelity::Full
+    }
+}
+
+/// Directory where bench targets persist their JSON rows.
+pub fn results_dir() -> PathBuf {
+    let dir = PathBuf::from("target/gecko-results");
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Serializes `rows` as pretty JSON into `target/gecko-results/<name>.json`.
+pub fn save_json<T: serde::Serialize>(name: &str, rows: &T) {
+    let path = results_dir().join(format!("{name}.json"));
+    match serde_json::to_string_pretty(rows) {
+        Ok(s) => {
+            if let Err(e) = fs::write(&path, s) {
+                eprintln!("warning: could not write {}: {e}", path.display());
+            } else {
+                println!("[saved {}]", path.display());
+            }
+        }
+        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+    }
+}
+
+/// Renders a fixed-width table: a header row and data rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n=== {title} ===");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:w$}", c, w = widths.get(i).copied().unwrap_or(8)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    println!(
+        "{}",
+        fmt_row(&header.iter().map(|s| s.to_string()).collect::<Vec<_>>())
+    );
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("--")
+    );
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+/// Formats a rate as a percentage with adaptive precision (tiny comparator
+/// rates keep their significant digits, like Table I's `10⁻²%`).
+pub fn pct(rate: f64) -> String {
+    let p = rate * 100.0;
+    if p != 0.0 && p.abs() < 0.1 {
+        format!("{p:.0e}%")
+    } else {
+        format!("{p:.1}%")
+    }
+}
+
+/// Formats a frequency in MHz.
+pub fn mhz(freq_hz: f64) -> String {
+    format!("{:.0}MHz", freq_hz / 1e6)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pct_adapts_precision() {
+        assert_eq!(pct(0.41), "41.0%");
+        assert_eq!(pct(0.0001), "1e-2%");
+        assert_eq!(pct(0.0), "0.0%");
+    }
+
+    #[test]
+    fn mhz_formats() {
+        assert_eq!(mhz(27e6), "27MHz");
+    }
+
+    #[test]
+    fn results_dir_is_creatable() {
+        let d = results_dir();
+        assert!(d.ends_with("gecko-results"));
+    }
+}

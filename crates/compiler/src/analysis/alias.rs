@@ -1,0 +1,350 @@
+//! Abstract-address alias analysis.
+//!
+//! Registers are tracked through a tiny constant/segment lattice:
+//!
+//! * [`AbsVal::Exact`] — the register holds a known constant;
+//! * [`AbsVal::InSeg`] — the register holds an address somewhere inside a
+//!   declared [`gecko_isa::Segment`] (base + unknown index);
+//! * [`AbsVal::Unknown`] — anything.
+//!
+//! Memory accesses then classify to a [`MemLoc`], and `may_alias` /
+//! WARAW-style must-equality questions are answered conservatively. The
+//! analysis trusts segment declarations: programs are assumed to index
+//! within the segment a pointer was derived from (our apps are built that
+//! way; wild pointers degrade soundly to [`MemLoc::Any`] only when the
+//! *base* is unknown, so untracked arithmetic stays conservative).
+
+use gecko_isa::{BinOp, BlockId, Inst, Operand, Program, Reg};
+
+/// Abstract value of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AbsVal {
+    /// Known constant (usable as an exact address).
+    Exact(i32),
+    /// Unknown value lying within segment `seg` (index into the program's
+    /// segment table).
+    InSeg(usize),
+    /// No information.
+    Unknown,
+}
+
+impl AbsVal {
+    /// Lattice meet (join of paths).
+    fn meet(self, other: AbsVal, program: &Program) -> AbsVal {
+        use AbsVal::*;
+        match (self, other) {
+            (Exact(a), Exact(b)) if a == b => Exact(a),
+            (a, b) => {
+                // Two different values may still share a segment.
+                match (a.segment(program), b.segment(program)) {
+                    (Some(s1), Some(s2)) if s1 == s2 => InSeg(s1),
+                    _ => Unknown,
+                }
+            }
+        }
+    }
+
+    /// The segment this value certainly lies in, if any.
+    fn segment(self, program: &Program) -> Option<usize> {
+        match self {
+            AbsVal::Exact(v) => {
+                if v >= 0 {
+                    program.segment_of(v as u32)
+                } else {
+                    None
+                }
+            }
+            AbsVal::InSeg(s) => Some(s),
+            AbsVal::Unknown => None,
+        }
+    }
+}
+
+/// Abstract location of a memory access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemLoc {
+    /// Exactly this word address.
+    Addr(u32),
+    /// Somewhere within this segment.
+    Seg(usize),
+    /// Could be anywhere.
+    Any,
+}
+
+impl MemLoc {
+    /// Conservative may-alias between two locations.
+    pub fn may_alias(self, other: MemLoc, program: &Program) -> bool {
+        use MemLoc::*;
+        match (self, other) {
+            (Addr(a), Addr(b)) => a == b,
+            (Addr(a), Seg(s)) | (Seg(s), Addr(a)) => {
+                program.segments().get(s).is_some_and(|seg| seg.contains(a))
+            }
+            (Seg(a), Seg(b)) => a == b,
+            (Any, _) | (_, Any) => true,
+        }
+    }
+
+    /// Whether this location is certainly within a read-only segment, and
+    /// therefore can never participate in an anti-dependence.
+    pub fn is_read_only(self, program: &Program) -> bool {
+        let seg = match self {
+            MemLoc::Addr(a) => program.segment_of(a),
+            MemLoc::Seg(s) => Some(s),
+            MemLoc::Any => None,
+        };
+        seg.is_some_and(|s| !program.segments()[s].writable)
+    }
+}
+
+/// Per-block abstract register states with per-point queries.
+#[derive(Debug, Clone)]
+pub struct AliasAnalysis {
+    /// Abstract register state at entry of each block.
+    block_in: Vec<[AbsVal; Reg::COUNT]>,
+}
+
+impl AliasAnalysis {
+    /// Runs the forward dataflow to fixpoint.
+    pub fn compute(program: &Program) -> AliasAnalysis {
+        let n = program.block_count();
+        // Registers boot to zero, so the entry state is Exact(0); other
+        // blocks start optimistic (Exact of nothing = use Unknown lattice
+        // bottom substitute: start from "not yet visited").
+        let mut block_in: Vec<Option<[AbsVal; Reg::COUNT]>> = vec![None; n];
+        block_in[program.entry().index()] = Some([AbsVal::Exact(0); Reg::COUNT]);
+
+        let rpo = program.reverse_post_order();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                let Some(state_in) = block_in[b.index()] else {
+                    continue;
+                };
+                let state_out = Self::transfer_block(program, b, state_in);
+                for s in program.successors(b) {
+                    let merged = match block_in[s.index()] {
+                        None => state_out,
+                        Some(prev) => {
+                            let mut m = prev;
+                            for (i, slot) in m.iter_mut().enumerate() {
+                                *slot = slot.meet(state_out[i], program);
+                            }
+                            m
+                        }
+                    };
+                    if block_in[s.index()] != Some(merged) {
+                        block_in[s.index()] = Some(merged);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        AliasAnalysis {
+            block_in: block_in
+                .into_iter()
+                .map(|s| s.unwrap_or([AbsVal::Unknown; Reg::COUNT]))
+                .collect(),
+        }
+    }
+
+    fn transfer_block(
+        program: &Program,
+        b: BlockId,
+        mut state: [AbsVal; Reg::COUNT],
+    ) -> [AbsVal; Reg::COUNT] {
+        for inst in &program.block(b).insts {
+            Self::transfer(program, *inst, &mut state);
+        }
+        state
+    }
+
+    fn operand(state: &[AbsVal; Reg::COUNT], op: Operand) -> AbsVal {
+        match op {
+            Operand::Reg(r) => state[r.index()],
+            Operand::Imm(v) => AbsVal::Exact(v),
+        }
+    }
+
+    fn transfer(program: &Program, inst: Inst, state: &mut [AbsVal; Reg::COUNT]) {
+        match inst {
+            Inst::Mov { dst, src } => state[dst.index()] = Self::operand(state, src),
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let l = state[lhs.index()];
+                let r = Self::operand(state, rhs);
+                state[dst.index()] = Self::transfer_bin(program, op, l, r);
+            }
+            Inst::Load { dst, .. } => state[dst.index()] = AbsVal::Unknown,
+            Inst::Io { op, reg } => {
+                if matches!(op, gecko_isa::IoOp::Sense) {
+                    state[reg.index()] = AbsVal::Unknown;
+                }
+            }
+            _ => {}
+        }
+    }
+
+    fn transfer_bin(program: &Program, op: BinOp, l: AbsVal, r: AbsVal) -> AbsVal {
+        use AbsVal::*;
+        if let (Exact(a), Exact(b)) = (l, r) {
+            return Exact(op.eval(a, b));
+        }
+        match op {
+            BinOp::Add | BinOp::Sub => {
+                // pointer ± index stays in the pointer's segment (programs
+                // index within their declared arrays).
+                match (l.segment(program), r) {
+                    (Some(s), _) => InSeg(s),
+                    (None, _) => match r.segment(program) {
+                        Some(s) if op == BinOp::Add => InSeg(s),
+                        _ => Unknown,
+                    },
+                }
+            }
+            _ => Unknown,
+        }
+    }
+
+    /// Abstract register state just before instruction `index` of block `b`.
+    pub fn state_at(&self, program: &Program, b: BlockId, index: usize) -> [AbsVal; Reg::COUNT] {
+        let mut state = self.block_in[b.index()];
+        for inst in &program.block(b).insts[..index] {
+            Self::transfer(program, *inst, &mut state);
+        }
+        state
+    }
+
+    /// The abstract location accessed by the load/store at `(b, index)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instruction there is not a memory access.
+    pub fn access_loc(&self, program: &Program, b: BlockId, index: usize) -> MemLoc {
+        let inst = program.block(b).insts[index];
+        let state = self.state_at(program, b, index);
+        let (base, off) = match inst {
+            Inst::Load { base, off, .. } => (base, off),
+            Inst::Store { base, off, .. } => (base, off),
+            other => panic!("not a memory access: {other}"),
+        };
+        Self::loc_of(program, state[base.index()], off)
+    }
+
+    /// Classifies `base_val + off` as a memory location.
+    pub fn loc_of(_program: &Program, base_val: AbsVal, off: i32) -> MemLoc {
+        match base_val {
+            AbsVal::Exact(v) => {
+                let addr = v.wrapping_add(off);
+                if addr >= 0 {
+                    MemLoc::Addr(addr as u32)
+                } else {
+                    MemLoc::Any
+                }
+            }
+            AbsVal::InSeg(s) => MemLoc::Seg(s),
+            AbsVal::Unknown => MemLoc::Any,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecko_isa::{Cond, ProgramBuilder};
+
+    #[test]
+    fn constants_propagate() {
+        let mut b = ProgramBuilder::new("t");
+        let seg = b.segment("a", 16, true);
+        b.mov(Reg::R1, seg as i32);
+        b.bin(BinOp::Add, Reg::R2, Reg::R1, 4);
+        b.load(Reg::R3, Reg::R2, 1);
+        b.halt();
+        let p = b.finish().unwrap();
+        let a = AliasAnalysis::compute(&p);
+        assert_eq!(a.access_loc(&p, p.entry(), 2), MemLoc::Addr(seg + 5));
+    }
+
+    #[test]
+    fn indexed_access_stays_in_segment() {
+        let mut b = ProgramBuilder::new("t");
+        let sa = b.segment("a", 16, true);
+        let _sb = b.segment("b", 16, true);
+        b.sense(Reg::R4); // unknown index
+        b.mov(Reg::R1, sa as i32);
+        b.bin(BinOp::Add, Reg::R1, Reg::R1, Reg::R4);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let a = AliasAnalysis::compute(&p);
+        assert_eq!(a.access_loc(&p, p.entry(), 3), MemLoc::Seg(0));
+    }
+
+    #[test]
+    fn different_segments_do_not_alias() {
+        let mut b = ProgramBuilder::new("t");
+        let sa = b.segment("a", 16, true);
+        let sb = b.segment("b", 16, true);
+        b.halt();
+        let p = b.finish().unwrap();
+        assert!(!MemLoc::Seg(0).may_alias(MemLoc::Seg(1), &p));
+        assert!(MemLoc::Addr(sa).may_alias(MemLoc::Seg(0), &p));
+        assert!(!MemLoc::Addr(sa).may_alias(MemLoc::Seg(1), &p));
+        assert!(MemLoc::Addr(sb).may_alias(MemLoc::Seg(1), &p));
+        assert!(MemLoc::Any.may_alias(MemLoc::Addr(sa), &p));
+        assert!(!MemLoc::Addr(3).may_alias(MemLoc::Addr(4), &p));
+    }
+
+    #[test]
+    fn read_only_segments_detected() {
+        let mut b = ProgramBuilder::new("t");
+        let _rw = b.segment("rw", 8, true);
+        let ro = b.segment("ro", 8, false);
+        b.halt();
+        let p = b.finish().unwrap();
+        assert!(MemLoc::Addr(ro).is_read_only(&p));
+        assert!(MemLoc::Seg(1).is_read_only(&p));
+        assert!(!MemLoc::Seg(0).is_read_only(&p));
+        assert!(!MemLoc::Any.is_read_only(&p));
+    }
+
+    #[test]
+    fn join_meets_states() {
+        // Two paths set r1 to different addresses in the same segment:
+        // after the join the access still classifies to that segment.
+        let mut b = ProgramBuilder::new("t");
+        let seg = b.segment("a", 16, true);
+        b.mov(Reg::R9, 0);
+        let t = b.new_label("t");
+        let f = b.new_label("f");
+        let j = b.new_label("j");
+        b.branch(Cond::Eq, Reg::R9, 0, t, f);
+        b.bind(t);
+        b.mov(Reg::R1, seg as i32);
+        b.jump(j);
+        b.bind(f);
+        b.mov(Reg::R1, seg as i32 + 4);
+        b.jump(j);
+        b.bind(j);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let a = AliasAnalysis::compute(&p);
+        assert_eq!(a.access_loc(&p, j, 0), MemLoc::Seg(0));
+    }
+
+    #[test]
+    fn sense_clobbers_to_unknown() {
+        let mut b = ProgramBuilder::new("t");
+        b.segment("a", 8, true);
+        b.mov(Reg::R1, 2);
+        b.sense(Reg::R1);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let a = AliasAnalysis::compute(&p);
+        // Value 2 lies in segment "a", but sense overwrote it.
+        assert_eq!(a.access_loc(&p, p.entry(), 2), MemLoc::Any);
+    }
+}

@@ -1,0 +1,180 @@
+//! Dominator computation (iterative Cooper–Harvey–Kennedy algorithm).
+
+use gecko_isa::{BlockId, Program};
+
+/// The dominator tree of a program's CFG.
+///
+/// Unreachable blocks have no immediate dominator and dominate nothing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Dominators {
+    /// `idom[b]` = immediate dominator of block `b` (entry maps to itself).
+    idom: Vec<Option<BlockId>>,
+    rpo_index: Vec<usize>,
+}
+
+impl Dominators {
+    /// Computes dominators for `program`.
+    pub fn compute(program: &Program) -> Dominators {
+        let n = program.block_count();
+        let rpo = program.reverse_post_order();
+        let mut rpo_index = vec![usize::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_index[b.index()] = i;
+        }
+        let preds = program.predecessors();
+        let entry = program.entry();
+        let mut idom: Vec<Option<BlockId>> = vec![None; n];
+        idom[entry.index()] = Some(entry);
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in rpo.iter().skip(1) {
+                let mut new_idom: Option<BlockId> = None;
+                for &p in &preds[b.index()] {
+                    if idom[p.index()].is_none() {
+                        continue; // unprocessed or unreachable
+                    }
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_index, p, cur),
+                    });
+                }
+                if let Some(ni) = new_idom {
+                    if idom[b.index()] != Some(ni) {
+                        idom[b.index()] = Some(ni);
+                        changed = true;
+                    }
+                }
+            }
+        }
+        Dominators { idom, rpo_index }
+    }
+
+    /// The immediate dominator of `b` (the entry's is itself); `None` for
+    /// unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        self.idom[b.index()]
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()].is_none() {
+            return false; // b unreachable
+        }
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            let Some(parent) = self.idom[cur.index()] else {
+                return false;
+            };
+            if parent == cur {
+                return cur == a; // reached entry
+            }
+            cur = parent;
+        }
+    }
+}
+
+fn intersect(
+    idom: &[Option<BlockId>],
+    rpo_index: &[usize],
+    mut a: BlockId,
+    mut b: BlockId,
+) -> BlockId {
+    while a != b {
+        while rpo_index[a.index()] > rpo_index[b.index()] {
+            a = idom[a.index()].expect("processed block");
+        }
+        while rpo_index[b.index()] > rpo_index[a.index()] {
+            b = idom[b.index()].expect("processed block");
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecko_isa::{Block, Cond, Operand, Program, Reg, Terminator};
+
+    fn block(term: Terminator) -> Block {
+        Block::new(vec![], term)
+    }
+
+    fn branch(taken: usize, fall: usize) -> Terminator {
+        Terminator::Branch {
+            cond: Cond::Eq,
+            lhs: Reg::R0,
+            rhs: Operand::Imm(0),
+            taken: BlockId::new(taken),
+            fall: BlockId::new(fall),
+        }
+    }
+
+    /// 0 → {1, 2} → 3 (diamond).
+    fn diamond() -> Program {
+        Program::from_parts(
+            "d",
+            vec![
+                block(branch(1, 2)),
+                block(Terminator::Jump(BlockId::new(3))),
+                block(Terminator::Jump(BlockId::new(3))),
+                block(Terminator::Halt),
+            ],
+            BlockId::new(0),
+            vec![],
+        )
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let p = diamond();
+        let d = Dominators::compute(&p);
+        let b = BlockId::new;
+        assert_eq!(d.idom(b(0)), Some(b(0)));
+        assert_eq!(d.idom(b(1)), Some(b(0)));
+        assert_eq!(d.idom(b(2)), Some(b(0)));
+        assert_eq!(d.idom(b(3)), Some(b(0)), "join dominated by fork only");
+        assert!(d.dominates(b(0), b(3)));
+        assert!(!d.dominates(b(1), b(3)));
+        assert!(d.dominates(b(3), b(3)), "reflexive");
+    }
+
+    /// 0 → 1 → 2 → 1 (loop), 2 → 3 exit.
+    #[test]
+    fn loop_dominators() {
+        let p = Program::from_parts(
+            "l",
+            vec![
+                block(Terminator::Jump(BlockId::new(1))),
+                block(Terminator::Jump(BlockId::new(2))),
+                block(branch(1, 3)),
+                block(Terminator::Halt),
+            ],
+            BlockId::new(0),
+            vec![],
+        );
+        let d = Dominators::compute(&p);
+        let b = BlockId::new;
+        assert_eq!(d.idom(b(1)), Some(b(0)));
+        assert_eq!(d.idom(b(2)), Some(b(1)));
+        assert_eq!(d.idom(b(3)), Some(b(2)));
+        assert!(d.dominates(b(1), b(2)), "header dominates latch");
+    }
+
+    #[test]
+    fn unreachable_blocks_have_no_idom() {
+        let p = Program::from_parts(
+            "u",
+            vec![block(Terminator::Halt), block(Terminator::Halt)],
+            BlockId::new(0),
+            vec![],
+        );
+        let d = Dominators::compute(&p);
+        assert_eq!(d.idom(BlockId::new(1)), None);
+        assert!(!d.dominates(BlockId::new(0), BlockId::new(1)));
+    }
+}

@@ -1,0 +1,242 @@
+//! Backward liveness analysis with per-point queries.
+
+use gecko_isa::{BlockId, Program, Reg};
+
+/// A set of registers as a 16-bit mask.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegSet(u16);
+
+impl RegSet {
+    /// The empty set.
+    pub const EMPTY: RegSet = RegSet(0);
+
+    /// All sixteen registers.
+    pub const ALL: RegSet = RegSet(u16::MAX);
+
+    /// Inserts a register; returns whether the set changed.
+    pub fn insert(&mut self, r: Reg) -> bool {
+        let before = self.0;
+        self.0 |= 1 << r.index();
+        self.0 != before
+    }
+
+    /// Removes a register.
+    pub fn remove(&mut self, r: Reg) {
+        self.0 &= !(1 << r.index());
+    }
+
+    /// Whether the set contains `r`.
+    pub fn contains(&self, r: Reg) -> bool {
+        self.0 & (1 << r.index()) != 0
+    }
+
+    /// Set union; returns whether `self` changed.
+    pub fn union_with(&mut self, other: RegSet) -> bool {
+        let before = self.0;
+        self.0 |= other.0;
+        self.0 != before
+    }
+
+    /// Number of registers in the set.
+    pub fn len(&self) -> usize {
+        self.0.count_ones() as usize
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0 == 0
+    }
+
+    /// Iterates over members in register order.
+    pub fn iter(&self) -> impl Iterator<Item = Reg> + '_ {
+        let bits = self.0;
+        Reg::all().filter(move |r| bits & (1 << r.index()) != 0)
+    }
+}
+
+impl FromIterator<Reg> for RegSet {
+    fn from_iter<I: IntoIterator<Item = Reg>>(iter: I) -> RegSet {
+        let mut s = RegSet::EMPTY;
+        for r in iter {
+            s.insert(r);
+        }
+        s
+    }
+}
+
+/// Classic backward may-liveness over the CFG.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Liveness {
+    live_out: Vec<RegSet>,
+    live_in: Vec<RegSet>,
+}
+
+impl Liveness {
+    /// Computes liveness for `program`.
+    pub fn compute(program: &Program) -> Liveness {
+        let n = program.block_count();
+        let mut live_in = vec![RegSet::EMPTY; n];
+        let mut live_out = vec![RegSet::EMPTY; n];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            // Backward problem: iterate blocks in reverse index order (any
+            // order converges; reverse tends to be fast).
+            for idx in (0..n).rev() {
+                let b = BlockId::new(idx);
+                let mut out = RegSet::EMPTY;
+                for s in program.successors(b) {
+                    out.union_with(live_in[s.index()]);
+                }
+                let inb = Self::transfer(program, b, out);
+                if out != live_out[idx] {
+                    live_out[idx] = out;
+                    changed = true;
+                }
+                if inb != live_in[idx] {
+                    live_in[idx] = inb;
+                    changed = true;
+                }
+            }
+        }
+        Liveness { live_out, live_in }
+    }
+
+    fn transfer(program: &Program, b: BlockId, mut live: RegSet) -> RegSet {
+        let block = program.block(b);
+        for r in block.term.uses() {
+            live.insert(r);
+        }
+        for inst in block.insts.iter().rev() {
+            if let Some(d) = inst.def() {
+                live.remove(d);
+            }
+            for u in inst.uses() {
+                live.insert(u);
+            }
+        }
+        live
+    }
+
+    /// Registers live at the start of block `b`.
+    pub fn live_in(&self, b: BlockId) -> RegSet {
+        self.live_in[b.index()]
+    }
+
+    /// Registers live at the end of block `b`.
+    pub fn live_out(&self, b: BlockId) -> RegSet {
+        self.live_out[b.index()]
+    }
+
+    /// Registers live immediately **before** instruction `index` of block
+    /// `b` (`index == insts.len()` means before the terminator).
+    pub fn live_at(&self, program: &Program, b: BlockId, index: usize) -> RegSet {
+        let block = program.block(b);
+        assert!(index <= block.insts.len(), "index out of range");
+        let mut live = self.live_out[b.index()];
+        for r in block.term.uses() {
+            live.insert(r);
+        }
+        for inst in block.insts[index..].iter().rev() {
+            if let Some(d) = inst.def() {
+                live.remove(d);
+            }
+            for u in inst.uses() {
+                live.insert(u);
+            }
+        }
+        live
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecko_isa::{BinOp, Cond, ProgramBuilder};
+
+    #[test]
+    fn regset_basics() {
+        let mut s = RegSet::EMPTY;
+        assert!(s.insert(Reg::R3));
+        assert!(!s.insert(Reg::R3), "no change on re-insert");
+        assert!(s.contains(Reg::R3));
+        assert_eq!(s.len(), 1);
+        s.remove(Reg::R3);
+        assert!(s.is_empty());
+        let s2: RegSet = [Reg::R1, Reg::R5].into_iter().collect();
+        assert_eq!(s2.iter().collect::<Vec<_>>(), vec![Reg::R1, Reg::R5]);
+    }
+
+    #[test]
+    fn straight_line_liveness() {
+        // r1 = 1; r2 = r1 + 1; halt  — nothing live at exit.
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R1, 1);
+        b.bin(BinOp::Add, Reg::R2, Reg::R1, 1);
+        b.halt();
+        let p = b.finish().unwrap();
+        let l = Liveness::compute(&p);
+        let entry = p.entry();
+        assert!(l.live_in(entry).is_empty());
+        // Before the add, r1 is live.
+        let at1 = l.live_at(&p, entry, 1);
+        assert!(at1.contains(Reg::R1));
+        assert!(!at1.contains(Reg::R2));
+    }
+
+    #[test]
+    fn loop_carried_liveness() {
+        // acc and i live around the loop.
+        let mut b = ProgramBuilder::new("t");
+        let (acc, i) = (Reg::R1, Reg::R2);
+        b.mov(acc, 0);
+        b.mov(i, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.branch(Cond::Lt, i, 8, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, acc, acc, i);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.send(acc);
+        b.halt();
+        let p = b.finish().unwrap();
+        let l = Liveness::compute(&p);
+        let head_in = l.live_in(head);
+        assert!(head_in.contains(acc), "acc live at header");
+        assert!(head_in.contains(i), "i live at header");
+        assert!(l.live_in(exit).contains(acc));
+        assert!(!l.live_out(exit).contains(acc), "dead after send");
+    }
+
+    #[test]
+    fn dead_code_not_live() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R7, 9); // dead: never used
+        b.halt();
+        let p = b.finish().unwrap();
+        let l = Liveness::compute(&p);
+        assert!(!l.live_at(&p, p.entry(), 0).contains(Reg::R7));
+    }
+
+    #[test]
+    fn branch_condition_is_a_use() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R4, 0);
+        let t = b.new_label("t");
+        let f = b.new_label("f");
+        b.branch(Cond::Eq, Reg::R4, 0, t, f);
+        b.bind(t);
+        b.halt();
+        b.bind(f);
+        b.halt();
+        let p = b.finish().unwrap();
+        let l = Liveness::compute(&p);
+        // Live before the terminator of the entry block.
+        let at_term = l.live_at(&p, p.entry(), 1);
+        assert!(at_term.contains(Reg::R4));
+    }
+}

@@ -1,0 +1,175 @@
+//! Natural-loop detection: back edges and loop headers.
+
+use gecko_isa::{BlockId, Program};
+
+use super::dominators::Dominators;
+
+/// The loop headers of `program`: targets of back edges (`u → h` where `h`
+/// dominates `u`). Returned sorted by block index, deduplicated.
+pub fn loop_headers(program: &Program, dom: &Dominators) -> Vec<BlockId> {
+    let mut headers = Vec::new();
+    for (u, block) in program.blocks() {
+        for h in block.term.successors() {
+            if dom.dominates(h, u) {
+                headers.push(h);
+            }
+        }
+    }
+    headers.sort_unstable();
+    headers.dedup();
+    headers
+}
+
+/// A natural loop: its header plus all blocks in its body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NaturalLoop {
+    /// The loop header (target of the back edge).
+    pub header: BlockId,
+    /// All blocks of the loop, including the header.
+    pub blocks: Vec<BlockId>,
+}
+
+/// Computes the natural loops of `program` (one per header; bodies of
+/// back edges sharing a header are merged).
+pub fn natural_loops(program: &Program, dom: &Dominators) -> Vec<NaturalLoop> {
+    use std::collections::BTreeSet;
+    let preds = program.predecessors();
+    let mut by_header: std::collections::BTreeMap<BlockId, BTreeSet<BlockId>> =
+        std::collections::BTreeMap::new();
+    for (u, block) in program.blocks() {
+        for h in block.term.successors() {
+            if dom.dominates(h, u) {
+                // Natural loop of back edge u -> h: h plus everything that
+                // reaches u without passing through h.
+                let body = by_header.entry(h).or_default();
+                body.insert(h);
+                let mut work = vec![u];
+                while let Some(b) = work.pop() {
+                    if b != h && body.insert(b) {
+                        work.extend(preds[b.index()].iter().copied());
+                    }
+                }
+            }
+        }
+    }
+    by_header
+        .into_iter()
+        .map(|(header, blocks)| NaturalLoop {
+            header,
+            blocks: blocks.into_iter().collect(),
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecko_isa::{Block, Cond, Operand, Reg, Terminator};
+
+    fn block(term: Terminator) -> Block {
+        Block::new(vec![], term)
+    }
+
+    #[test]
+    fn finds_simple_loop_header() {
+        // 0 → 1(head) → 2(body) → 1, 1 → 3(exit)
+        let p = Program::from_parts(
+            "l",
+            vec![
+                block(Terminator::Jump(BlockId::new(1))),
+                block(Terminator::Branch {
+                    cond: Cond::Lt,
+                    lhs: Reg::R1,
+                    rhs: Operand::Imm(4),
+                    taken: BlockId::new(2),
+                    fall: BlockId::new(3),
+                }),
+                block(Terminator::Jump(BlockId::new(1))),
+                block(Terminator::Halt),
+            ],
+            BlockId::new(0),
+            vec![],
+        );
+        let dom = Dominators::compute(&p);
+        assert_eq!(loop_headers(&p, &dom), vec![BlockId::new(1)]);
+    }
+
+    #[test]
+    fn nested_loops_two_headers() {
+        // 0→1; 1→2; 2→2 (self loop) and 2→1 (outer latch), 1→3 exit.
+        let p = Program::from_parts(
+            "n",
+            vec![
+                block(Terminator::Jump(BlockId::new(1))),
+                block(Terminator::Branch {
+                    cond: Cond::Lt,
+                    lhs: Reg::R1,
+                    rhs: Operand::Imm(4),
+                    taken: BlockId::new(2),
+                    fall: BlockId::new(3),
+                }),
+                block(Terminator::Branch {
+                    cond: Cond::Lt,
+                    lhs: Reg::R2,
+                    rhs: Operand::Imm(4),
+                    taken: BlockId::new(2),
+                    fall: BlockId::new(1),
+                }),
+                block(Terminator::Halt),
+            ],
+            BlockId::new(0),
+            vec![],
+        );
+        let dom = Dominators::compute(&p);
+        assert_eq!(
+            loop_headers(&p, &dom),
+            vec![BlockId::new(1), BlockId::new(2)]
+        );
+    }
+
+    #[test]
+    fn natural_loop_bodies() {
+        // 0 -> 1(head) -> 2(body) -> 1, 1 -> 3(exit)
+        let p = Program::from_parts(
+            "l",
+            vec![
+                block(Terminator::Jump(BlockId::new(1))),
+                block(Terminator::Branch {
+                    cond: Cond::Lt,
+                    lhs: Reg::R1,
+                    rhs: Operand::Imm(4),
+                    taken: BlockId::new(2),
+                    fall: BlockId::new(3),
+                }),
+                block(Terminator::Jump(BlockId::new(1))),
+                block(Terminator::Halt),
+            ],
+            BlockId::new(0),
+            vec![],
+        );
+        let dom = Dominators::compute(&p);
+        let loops = natural_loops(&p, &dom);
+        assert_eq!(loops.len(), 1);
+        assert_eq!(loops[0].header, BlockId::new(1));
+        assert_eq!(
+            loops[0].blocks,
+            vec![BlockId::new(1), BlockId::new(2)],
+            "body excludes pre-header and exit"
+        );
+    }
+
+    #[test]
+    fn acyclic_program_has_no_headers() {
+        let p = Program::from_parts(
+            "a",
+            vec![
+                block(Terminator::Jump(BlockId::new(1))),
+                block(Terminator::Halt),
+            ],
+            BlockId::new(0),
+            vec![],
+        );
+        let dom = Dominators::compute(&p);
+        assert!(loop_headers(&p, &dom).is_empty());
+    }
+}

@@ -1,0 +1,13 @@
+//! Program analyses shared by the GECKO passes.
+
+pub mod alias;
+pub mod dominators;
+pub mod liveness;
+pub mod loops;
+pub mod reaching;
+
+pub use alias::{AbsVal, AliasAnalysis, MemLoc};
+pub use dominators::Dominators;
+pub use liveness::Liveness;
+pub use loops::{loop_headers, natural_loops, NaturalLoop};
+pub use reaching::{DefSite, ReachingDefs};

@@ -1,0 +1,192 @@
+//! Reaching-definitions analysis with per-point queries.
+//!
+//! Used by checkpoint pruning (Section VI-E) to backtrack data dependences:
+//! a register's value at a region entry can be reconstructed only when a
+//! *unique* definition reaches that point and the definition's operands are
+//! themselves reconstructible.
+
+use std::collections::BTreeSet;
+
+use gecko_isa::{BlockId, Program, Reg};
+
+/// A definition site of a register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum DefSite {
+    /// The implicit power-on definition (registers boot to zero).
+    Entry,
+    /// The instruction at `(block, index)` defines the register.
+    At(BlockId, usize),
+}
+
+type RegDefs = [BTreeSet<DefSite>; Reg::COUNT];
+
+fn empty_defs() -> RegDefs {
+    Default::default()
+}
+
+/// Reaching definitions per register, per block entry, with per-point
+/// queries.
+#[derive(Debug, Clone)]
+pub struct ReachingDefs {
+    block_in: Vec<RegDefs>,
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions for `program`.
+    pub fn compute(program: &Program) -> ReachingDefs {
+        let n = program.block_count();
+        let mut block_in: Vec<RegDefs> = (0..n).map(|_| empty_defs()).collect();
+        // Entry block starts with the implicit zero definitions.
+        for set in block_in[program.entry().index()].iter_mut() {
+            set.insert(DefSite::Entry);
+        }
+        let rpo = program.reverse_post_order();
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &rpo {
+                let out = Self::transfer_block(program, b, block_in[b.index()].clone());
+                for s in program.successors(b) {
+                    let dst = &mut block_in[s.index()];
+                    for (i, defs) in out.iter().enumerate() {
+                        for &d in defs {
+                            if dst[i].insert(d) {
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        ReachingDefs { block_in }
+    }
+
+    fn transfer_block(program: &Program, b: BlockId, mut state: RegDefs) -> RegDefs {
+        for (i, inst) in program.block(b).insts.iter().enumerate() {
+            if let Some(d) = inst.def() {
+                let set = &mut state[d.index()];
+                set.clear();
+                set.insert(DefSite::At(b, i));
+            }
+        }
+        state
+    }
+
+    /// The definitions of `r` reaching the point just before instruction
+    /// `index` of block `b` (`index == insts.len()` = before the
+    /// terminator).
+    pub fn defs_at(
+        &self,
+        program: &Program,
+        b: BlockId,
+        index: usize,
+        r: Reg,
+    ) -> BTreeSet<DefSite> {
+        let mut state = self.block_in[b.index()].clone();
+        for (i, inst) in program.block(b).insts[..index].iter().enumerate() {
+            if let Some(d) = inst.def() {
+                let set = &mut state[d.index()];
+                set.clear();
+                set.insert(DefSite::At(b, i));
+            }
+        }
+        state[r.index()].clone()
+    }
+
+    /// The unique definition of `r` reaching `(b, index)`, if exactly one
+    /// does.
+    pub fn unique_def_at(
+        &self,
+        program: &Program,
+        b: BlockId,
+        index: usize,
+        r: Reg,
+    ) -> Option<DefSite> {
+        let defs = self.defs_at(program, b, index, r);
+        if defs.len() == 1 {
+            defs.into_iter().next()
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecko_isa::{BinOp, Cond, ProgramBuilder};
+
+    #[test]
+    fn straight_line_unique_defs() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R1, 1); // def 0
+        b.mov(Reg::R1, 2); // def 1 kills def 0
+        b.bin(BinOp::Add, Reg::R2, Reg::R1, 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let rd = ReachingDefs::compute(&p);
+        let e = p.entry();
+        assert_eq!(rd.unique_def_at(&p, e, 2, Reg::R1), Some(DefSite::At(e, 1)));
+        assert_eq!(rd.unique_def_at(&p, e, 1, Reg::R1), Some(DefSite::At(e, 0)));
+        assert_eq!(rd.unique_def_at(&p, e, 0, Reg::R1), Some(DefSite::Entry));
+    }
+
+    #[test]
+    fn joins_merge_definitions() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R9, 0);
+        let t = b.new_label("t");
+        let f = b.new_label("f");
+        let j = b.new_label("j");
+        b.branch(Cond::Eq, Reg::R9, 0, t, f);
+        b.bind(t);
+        b.mov(Reg::R1, 10);
+        b.jump(j);
+        b.bind(f);
+        b.mov(Reg::R1, 20);
+        b.jump(j);
+        b.bind(j);
+        b.halt();
+        let p = b.finish().unwrap();
+        let rd = ReachingDefs::compute(&p);
+        let defs = rd.defs_at(&p, j, 0, Reg::R1);
+        assert_eq!(defs.len(), 2, "two defs reach the join: {defs:?}");
+        assert_eq!(rd.unique_def_at(&p, j, 0, Reg::R1), None);
+    }
+
+    #[test]
+    fn loop_defs_reach_header() {
+        let mut b = ProgramBuilder::new("t");
+        let i = Reg::R2;
+        b.mov(i, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.branch(Cond::Lt, i, 8, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.halt();
+        let p = b.finish().unwrap();
+        let rd = ReachingDefs::compute(&p);
+        // Both the init and the increment reach the header.
+        let defs = rd.defs_at(&p, head, 0, i);
+        assert_eq!(defs.len(), 2, "{defs:?}");
+    }
+
+    #[test]
+    fn entry_def_for_untouched_register() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R1, 5);
+        b.halt();
+        let p = b.finish().unwrap();
+        let rd = ReachingDefs::compute(&p);
+        assert_eq!(
+            rd.unique_def_at(&p, p.entry(), 1, Reg::R8),
+            Some(DefSite::Entry),
+            "never-written registers keep their power-on zero def"
+        );
+    }
+}

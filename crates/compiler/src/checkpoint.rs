@@ -1,0 +1,178 @@
+//! Checkpoint insertion (the unpruned GECKO configuration).
+//!
+//! At every region boundary, the registers **live into the region** are
+//! checkpointed in a *cluster* of `Checkpoint` pseudo-instructions placed
+//! immediately **before** the boundary. The ordering matters: the boundary
+//! is the atomic commit (a single NVM word holding the region id), so the
+//! checkpoint payload is fully persisted *before* the commit — a power
+//! failure mid-cluster rolls back to the previous region, whose slots the
+//! 2-coloring keeps intact.
+//!
+//! All live-in registers are saved, not just those the region redefines:
+//! after a power failure the register file is wiped, so every value a
+//! re-execution (of this or any later region) may read must be
+//! reconstructible. Checkpoint *pruning* then removes the ones a recovery
+//! block can recompute.
+
+use gecko_isa::{Inst, Program, Reg};
+
+use crate::analysis::liveness::{Liveness, RegSet};
+use crate::recovery::RegionTable;
+
+/// Inserts checkpoint clusters before every boundary. Slots are a
+/// placeholder 0 until the coloring pass assigns real colors. Returns the
+/// number of checkpoint stores inserted.
+pub fn insert_checkpoints(program: &mut Program) -> usize {
+    let live = Liveness::compute(program);
+    let table = RegionTable::from_program(program);
+    // Group boundaries per block and insert from the back so earlier
+    // indices stay valid.
+    let mut per_block: Vec<(usize, Vec<(usize, RegSet)>)> = Vec::new();
+    for info in table.iter() {
+        let set = live.live_at(program, info.block, info.boundary_index);
+        let entry = per_block.iter_mut().find(|(b, _)| *b == info.block.index());
+        match entry {
+            Some((_, v)) => v.push((info.boundary_index, set)),
+            None => per_block.push((info.block.index(), vec![(info.boundary_index, set)])),
+        }
+    }
+    let mut inserted = 0usize;
+    for (block_idx, mut sites) in per_block {
+        sites.sort_by_key(|(i, _)| *i);
+        let block = program.block_mut(gecko_isa::BlockId::new(block_idx));
+        for (idx, set) in sites.into_iter().rev() {
+            for reg in set.iter().collect::<Vec<Reg>>().into_iter().rev() {
+                block.insts.insert(idx, Inst::Checkpoint { reg, slot: 0 });
+                inserted += 1;
+            }
+        }
+    }
+    inserted
+}
+
+/// The contiguous checkpoint cluster immediately preceding the boundary at
+/// `(block, boundary_index)`: returns `(start_index, registers)` in
+/// instruction order.
+pub fn cluster_before(
+    program: &Program,
+    block: gecko_isa::BlockId,
+    boundary_index: usize,
+) -> (usize, Vec<(usize, Reg, u8)>) {
+    let insts = &program.block(block).insts;
+    let mut start = boundary_index;
+    while start > 0 {
+        if matches!(insts[start - 1], Inst::Checkpoint { .. }) {
+            start -= 1;
+        } else {
+            break;
+        }
+    }
+    let entries = (start..boundary_index)
+        .map(|i| match insts[i] {
+            Inst::Checkpoint { reg, slot } => (i, reg, slot),
+            _ => unreachable!("cluster scan found non-checkpoint"),
+        })
+        .collect();
+    (start, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::form_regions;
+    use gecko_isa::{BinOp, BlockId, Cond, ProgramBuilder, RegionId};
+
+    #[test]
+    fn live_in_registers_are_checkpointed_at_loop_header() {
+        let mut b = ProgramBuilder::new("t");
+        let (acc, i) = (Reg::R1, Reg::R2);
+        b.mov(acc, 0);
+        b.mov(i, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.branch(Cond::Lt, i, 8, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, acc, acc, i);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.send(acc);
+        b.halt();
+        let mut p = b.finish().unwrap();
+        form_regions(&mut p);
+        let n = insert_checkpoints(&mut p);
+        assert!(n >= 2, "at least acc and i at the header: {n}");
+
+        // Find the header boundary and its cluster.
+        let table = RegionTable::from_program(&p);
+        let header_info = table
+            .iter()
+            .find(|info| info.block == head)
+            .expect("header boundary");
+        let (_, cluster) = cluster_before(&p, head, header_info.boundary_index);
+        let regs: Vec<Reg> = cluster.iter().map(|(_, r, _)| *r).collect();
+        assert!(regs.contains(&acc), "{regs:?}");
+        assert!(regs.contains(&i), "{regs:?}");
+    }
+
+    #[test]
+    fn dead_registers_not_checkpointed() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R7, 1); // dead immediately
+        b.sense(Reg::R1);
+        b.send(Reg::R1);
+        b.halt();
+        let mut p = b.finish().unwrap();
+        form_regions(&mut p);
+        insert_checkpoints(&mut p);
+        for (_, block) in p.blocks() {
+            for inst in &block.insts {
+                if let Inst::Checkpoint { reg, .. } = inst {
+                    assert_ne!(*reg, Reg::R7, "dead register checkpointed");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn clusters_precede_boundaries() {
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 4, true);
+        b.mov(Reg::R1, d as i32);
+        b.load(Reg::R2, Reg::R1, 0);
+        b.store(Reg::R2, Reg::R1, 0); // forces a mid-block boundary
+        b.halt();
+        let mut p = b.finish().unwrap();
+        form_regions(&mut p);
+        insert_checkpoints(&mut p);
+        // Every boundary's cluster consists only of checkpoints, and every
+        // checkpoint belongs to some cluster.
+        let table = RegionTable::from_program(&p);
+        let mut clustered = 0usize;
+        for info in table.iter() {
+            let (_, cluster) = cluster_before(&p, info.block, info.boundary_index);
+            clustered += cluster.len();
+        }
+        assert_eq!(clustered, p.checkpoint_count());
+    }
+
+    #[test]
+    fn entry_cluster_captures_power_on_zeros() {
+        // A program reading an uninitialized (zero) register: the entry
+        // cluster must checkpoint it, preserving the architectural zero.
+        let mut b = ProgramBuilder::new("t");
+        b.bin(BinOp::Add, Reg::R1, Reg::R9, 1); // R9 never written: reads 0
+        b.send(Reg::R1);
+        b.halt();
+        let mut p = b.finish().unwrap();
+        form_regions(&mut p);
+        insert_checkpoints(&mut p);
+        let table = RegionTable::from_program(&p);
+        let entry_info = table.get(RegionId::new(0)).unwrap();
+        assert_eq!(entry_info.block, BlockId::new(0));
+        let (_, cluster) = cluster_before(&p, entry_info.block, entry_info.boundary_index);
+        assert!(cluster.iter().any(|(_, r, _)| *r == Reg::R9));
+    }
+}

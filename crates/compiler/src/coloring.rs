@@ -1,0 +1,446 @@
+//! Double-buffer slot assignment by 2-coloring (Section VI-D).
+//!
+//! **Why coloring exists.** A checkpoint cluster for region `R'` executes
+//! *during* region `R` (the cluster precedes `R'`'s boundary commit). If
+//! power fails mid-cluster, recovery rolls back to `R` and reads `R`'s
+//! slots — so the cluster must never overwrite a slot `R`'s recovery needs.
+//! GECKO assigns each cluster a static parity (0/1) used as the slot color
+//! for every checkpoint in it; the constraint is that *adjacent* clusters
+//! (consecutive region entries sharing checkpointed registers) carry
+//! different parities. Compared to Ratchet's dynamic index flip this costs
+//! zero runtime bookkeeping: `16 CheckpointStores + 16 IndexStores +
+//! 16 IndexLoads` collapse to plain stores (the paper's motivating count).
+//!
+//! **Conflicts.** The region adjacency graph may not be bipartite (odd
+//! cycles through loops, joins whose predecessors disagree). Following the
+//! paper, a conflicted region is repaired by *creating a new region with
+//! additional checkpoints* (Section VI-D). Our realization: a **fix-up
+//! region** `M` inserted immediately before the conflicted cluster,
+//! checkpointing everything live there into a dedicated third slot
+//! (`FIXUP_SLOT`). This is sound without any further constraints:
+//!
+//! * `M`'s cluster writes only slot 2, which no normal region's recovery
+//!   reads — so they can never corrupt the committed region's slots,
+//!   whatever its parity;
+//! * while `M` is committed, the only checkpoint writes that occur are the
+//!   conflicted region's own cluster (parity 0/1), which never touches
+//!   slot 2 — `M`'s recovery data stays intact;
+//! * two fix-up regions are never adjacent: the commit immediately after
+//!   `M` is, by construction, the conflicted region itself.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use gecko_isa::{BlockId, Inst, Program, Reg, RegionId};
+
+use crate::analysis::liveness::{Liveness, RegSet};
+use crate::checkpoint::cluster_before;
+use crate::pipeline::CompileError;
+use crate::recovery::RegionTable;
+
+/// The slot color reserved for coloring fix-up regions.
+pub const FIXUP_SLOT: u8 = 2;
+
+/// A fix-up region inserted by the coloring pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FixupRegion {
+    /// The new region's id.
+    pub id: RegionId,
+    /// Registers checkpointed in its cluster (all in [`FIXUP_SLOT`]).
+    pub saved: Vec<(Reg, u8)>,
+}
+
+/// Outcome of the coloring pass.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ColoringOutcome {
+    /// Fix-up regions inserted before conflicted clusters.
+    pub fixups: Vec<FixupRegion>,
+    /// Final parity per region (fix-ups map to [`FIXUP_SLOT`]).
+    pub parity: BTreeMap<RegionId, u8>,
+}
+
+/// Assigns slot colors to every checkpoint instruction, inserting fix-up
+/// regions where the adjacency graph resists 2-coloring.
+///
+/// # Errors
+///
+/// Currently infallible (the fix-up mechanism repairs every conflict);
+/// the `Result` is kept for interface stability with the rest of the
+/// pipeline.
+pub fn color_checkpoints(program: &mut Program) -> Result<ColoringOutcome, CompileError> {
+    let table = RegionTable::from_program(program);
+    let kept = kept_sets(program, &table);
+    let adj = region_adjacency(program, &table);
+
+    // BFS 2-coloring over constrained edges (shared kept registers),
+    // propagating along both edge directions.
+    let mut undirected: BTreeMap<RegionId, BTreeSet<RegionId>> = BTreeMap::new();
+    for (&a, succs) in &adj {
+        for &b in succs {
+            if constrained(&kept, a, b) {
+                undirected.entry(a).or_default().insert(b);
+                undirected.entry(b).or_default().insert(a);
+            }
+        }
+    }
+    let mut parity: BTreeMap<RegionId, u8> = BTreeMap::new();
+    let ids: Vec<RegionId> = table.iter().map(|i| i.id).collect();
+    for &root in &ids {
+        if parity.contains_key(&root) {
+            continue;
+        }
+        parity.insert(root, 0);
+        let mut queue = vec![root];
+        while let Some(a) = queue.pop() {
+            let pa = parity[&a];
+            for &b in undirected.get(&a).into_iter().flatten() {
+                if let std::collections::btree_map::Entry::Vacant(e) = parity.entry(b) {
+                    e.insert(1 - pa);
+                    queue.push(b);
+                }
+            }
+        }
+    }
+
+    // Regions whose incoming constrained edge is monochromatic.
+    let mut conflicted: BTreeSet<RegionId> = BTreeSet::new();
+    for (&a, succs) in &adj {
+        for &b in succs {
+            if constrained(&kept, a, b) && parity[&a] == parity[&b] {
+                conflicted.insert(b);
+            }
+        }
+    }
+
+    // Repair each conflicted region with a slot-2 fix-up region placed
+    // immediately before its cluster.
+    let mut outcome = ColoringOutcome::default();
+    let mut next_id = ids.iter().map(|i| i.index()).max().unwrap_or(0) + 1;
+    if !conflicted.is_empty() {
+        let live = Liveness::compute(program);
+        // (block, cluster_start, live set) per conflicted region; applied
+        // back-to-front per block so indices stay valid.
+        let mut insertions: Vec<(BlockId, usize, RegSet)> = Vec::new();
+        for r in &conflicted {
+            let info = *table.get(*r).expect("region exists");
+            let (cs, _) = cluster_before(program, info.block, info.boundary_index);
+            insertions.push((info.block, cs, live.live_at(program, info.block, cs)));
+        }
+        insertions.sort_by(|x, y| x.0.cmp(&y.0).then(y.1.cmp(&x.1)));
+        for (b, idx, live_here) in insertions {
+            let id = RegionId::new(next_id);
+            next_id += 1;
+            let saved: Vec<(Reg, u8)> = live_here.iter().map(|r| (r, FIXUP_SLOT)).collect();
+            let block = program.block_mut(b);
+            block.insts.insert(idx, Inst::Boundary { region: id });
+            for &(reg, slot) in saved.iter().rev() {
+                block.insts.insert(idx, Inst::Checkpoint { reg, slot });
+            }
+            parity.insert(id, FIXUP_SLOT);
+            outcome.fixups.push(FixupRegion { id, saved });
+        }
+    }
+
+    // Write colors into every original cluster.
+    let table = RegionTable::from_program(program);
+    let fixup_ids: BTreeSet<RegionId> = outcome.fixups.iter().map(|f| f.id).collect();
+    for info in table.iter().copied().collect::<Vec<_>>() {
+        if fixup_ids.contains(&info.id) {
+            continue; // already colored at insertion
+        }
+        let p = *parity.get(&info.id).unwrap_or(&0);
+        let (cs, _) = cluster_before(program, info.block, info.boundary_index);
+        let block = program.block_mut(info.block);
+        for inst in &mut block.insts[cs..info.boundary_index] {
+            if let Inst::Checkpoint { slot, .. } = inst {
+                *slot = p;
+            }
+        }
+    }
+    outcome.parity = parity;
+    Ok(outcome)
+}
+
+/// The kept (still-checkpointed) registers of each region's cluster.
+fn kept_sets(program: &Program, table: &RegionTable) -> BTreeMap<RegionId, RegSet> {
+    table
+        .iter()
+        .map(|info| {
+            let (_, cluster) = cluster_before(program, info.block, info.boundary_index);
+            (info.id, cluster.iter().map(|(_, r, _)| *r).collect())
+        })
+        .collect()
+}
+
+fn constrained(kept: &BTreeMap<RegionId, RegSet>, a: RegionId, b: RegionId) -> bool {
+    let (Some(ka), Some(kb)) = (kept.get(&a), kept.get(&b)) else {
+        return false;
+    };
+    ka.iter().any(|r| kb.contains(r))
+}
+
+/// Region adjacency: for each region, the set of regions whose boundary can
+/// be the *next* boundary crossed.
+///
+/// Computed as a proper dataflow fixpoint: since GECKO does not cut every
+/// loop header, boundary-free cycles are legal and a recursive memoized
+/// walk would silently drop edges along them (the cause of a subtle
+/// slot-clobbering miscompile caught by the crash-consistency suite).
+pub fn region_adjacency(
+    program: &Program,
+    table: &RegionTable,
+) -> BTreeMap<RegionId, BTreeSet<RegionId>> {
+    let nb = next_boundaries_per_block(program);
+    let mut adj = BTreeMap::new();
+    for info in table.iter() {
+        adj.insert(
+            info.id,
+            next_from(program, info.block, info.boundary_index + 1, &nb),
+        );
+    }
+    adj
+}
+
+/// For each block: the set of region boundaries that can be the first one
+/// crossed when execution enters the block at its top.
+fn next_boundaries_per_block(program: &Program) -> Vec<BTreeSet<RegionId>> {
+    let n = program.block_count();
+    // first_boundary[b] = the block's own first boundary, if any.
+    let first: Vec<Option<RegionId>> = program
+        .block_ids()
+        .map(|b| {
+            program.block(b).insts.iter().find_map(|i| match i {
+                Inst::Boundary { region } => Some(*region),
+                _ => None,
+            })
+        })
+        .collect();
+    let mut nb: Vec<BTreeSet<RegionId>> = vec![BTreeSet::new(); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for b in program.block_ids() {
+            if let Some(r) = first[b.index()] {
+                if nb[b.index()].insert(r) {
+                    changed = true;
+                }
+                continue;
+            }
+            let mut merged = BTreeSet::new();
+            for s in program.successors(b) {
+                merged.extend(nb[s.index()].iter().copied());
+            }
+            for r in merged {
+                if nb[b.index()].insert(r) {
+                    changed = true;
+                }
+            }
+        }
+    }
+    nb
+}
+
+fn next_from(
+    program: &Program,
+    block: BlockId,
+    index: usize,
+    nb: &[BTreeSet<RegionId>],
+) -> BTreeSet<RegionId> {
+    let blk = program.block(block);
+    for inst in &blk.insts[index..] {
+        if let Inst::Boundary { region } = inst {
+            return [*region].into_iter().collect();
+        }
+    }
+    let mut out = BTreeSet::new();
+    for s in blk.term.successors() {
+        out.extend(nb[s.index()].iter().copied());
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::checkpoint::insert_checkpoints;
+    use crate::pipeline::split_critical_edges;
+    use crate::regions::form_regions;
+    use gecko_isa::{BinOp, Cond, ProgramBuilder};
+
+    fn prepare(mut p: Program) -> Program {
+        split_critical_edges(&mut p);
+        form_regions(&mut p);
+        insert_checkpoints(&mut p);
+        p
+    }
+
+    /// Validates the coloring invariant directly: for every adjacent pair
+    /// of clusters with shared registers, slot sets are disjoint per shared
+    /// register (different parity, or one side is a slot-2 fix-up).
+    fn assert_valid_coloring(program: &Program) {
+        let table = RegionTable::from_program(program);
+        let adj = region_adjacency(program, &table);
+        let cluster_slots = |id: RegionId| -> BTreeMap<Reg, u8> {
+            let info = table.get(id).expect("region");
+            let (_, cluster) = cluster_before(program, info.block, info.boundary_index);
+            cluster.iter().map(|&(_, r, s)| (r, s)).collect()
+        };
+        for (&a, succs) in &adj {
+            let sa = cluster_slots(a);
+            for &b in succs {
+                let sb = cluster_slots(b);
+                for (r, &slot_a) in &sa {
+                    if let Some(&slot_b) = sb.get(r) {
+                        assert_ne!(
+                            slot_a, slot_b,
+                            "adjacent clusters {a}->{b} share slot {slot_a} for {r}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn loop_gets_alternating_parities_or_fixups() {
+        let mut b = ProgramBuilder::new("t");
+        let (acc, i) = (Reg::R1, Reg::R2);
+        b.mov(acc, 0);
+        b.mov(i, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.branch(Cond::Lt, i, 8, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, acc, acc, i);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.send(acc);
+        b.halt();
+        let mut p = prepare(b.finish().unwrap());
+        let out = color_checkpoints(&mut p).unwrap();
+        assert!(!out.parity.is_empty());
+        assert_valid_coloring(&p);
+    }
+
+    #[test]
+    fn self_adjacent_region_forces_fixup() {
+        // A loop whose body contains no other boundary: the header region
+        // is adjacent to itself, an unavoidable conflict repaired by a
+        // slot-2 fix-up region before its cluster.
+        let mut b = ProgramBuilder::new("t");
+        let i = Reg::R1;
+        b.mov(i, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.branch(Cond::Lt, i, 8, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.send(i);
+        b.halt();
+        let mut p = prepare(b.finish().unwrap());
+        let out = color_checkpoints(&mut p).unwrap();
+        assert!(
+            !out.fixups.is_empty(),
+            "self-adjacency must be repaired: {out:?}"
+        );
+        assert_valid_coloring(&p);
+        // The fix-up cluster checkpoints the live register i in slot 2.
+        assert!(out.fixups[0]
+            .saved
+            .iter()
+            .any(|&(r, s)| r == i && s == FIXUP_SLOT));
+    }
+
+    #[test]
+    fn straight_line_needs_no_fixups() {
+        let mut b = ProgramBuilder::new("t");
+        b.sense(Reg::R1); // boundaries around io
+        b.bin(BinOp::Add, Reg::R2, Reg::R1, 1);
+        b.send(Reg::R2);
+        b.halt();
+        let mut p = prepare(b.finish().unwrap());
+        let out = color_checkpoints(&mut p).unwrap();
+        assert!(out.fixups.is_empty(), "{out:?}");
+        assert_valid_coloring(&p);
+    }
+
+    #[test]
+    fn colors_are_written_into_instructions() {
+        let mut b = ProgramBuilder::new("t");
+        b.sense(Reg::R1);
+        b.send(Reg::R1);
+        b.halt();
+        let mut p = prepare(b.finish().unwrap());
+        color_checkpoints(&mut p).unwrap();
+        // All checkpoints have slot 0..=2 (verified), and at least one
+        // checkpoint exists (R1 across the io boundary).
+        assert!(p.checkpoint_count() > 0);
+        gecko_isa::verify(&p).unwrap();
+    }
+
+    #[test]
+    fn adjacency_reflects_program_order() {
+        let mut b = ProgramBuilder::new("t");
+        b.sense(Reg::R1);
+        b.send(Reg::R1);
+        b.halt();
+        let p = prepare(b.finish().unwrap());
+        let table = RegionTable::from_program(&p);
+        let adj = region_adjacency(&p, &table);
+        let entry_succs = &adj[&RegionId::new(0)];
+        assert!(!entry_succs.is_empty());
+        assert!(!entry_succs.contains(&RegionId::new(0)));
+    }
+
+    #[test]
+    fn fixups_are_never_adjacent_to_fixups() {
+        // Build something join-heavy and verify structurally.
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 8, true);
+        let (i, acc, p_) = (Reg::R1, Reg::R2, Reg::R3);
+        b.mov(i, 0);
+        b.mov(acc, 0);
+        b.mov(p_, d as i32);
+        let head = b.new_label("head");
+        let odd = b.new_label("odd");
+        let even = b.new_label("even");
+        let step = b.new_label("step");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.branch(Cond::Lt, i, 8, odd, exit);
+        b.bind(odd);
+        b.bin(BinOp::And, Reg::R4, i, 1);
+        b.branch(Cond::Eq, Reg::R4, 0, even, step);
+        b.bind(even);
+        b.load(Reg::R5, p_, 0);
+        b.bin(BinOp::Add, acc, acc, Reg::R5);
+        b.store(acc, p_, 0);
+        b.jump(step);
+        b.bind(step);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.send(acc);
+        b.halt();
+        let mut p = prepare(b.finish().unwrap());
+        let out = color_checkpoints(&mut p).unwrap();
+        let table = RegionTable::from_program(&p);
+        let adj = region_adjacency(&p, &table);
+        let fixup_ids: BTreeSet<RegionId> = out.fixups.iter().map(|f| f.id).collect();
+        for f in &fixup_ids {
+            for succ in &adj[f] {
+                assert!(
+                    !fixup_ids.contains(succ),
+                    "fix-up {f} adjacent to fix-up {succ}"
+                );
+            }
+        }
+        assert_valid_coloring(&p);
+    }
+}

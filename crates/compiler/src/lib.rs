@@ -1,0 +1,87 @@
+//! # gecko-compiler
+//!
+//! The paper's primary contribution: the GECKO compiler that turns an
+//! ordinary program into a sequence of **idempotent regions** with
+//! **lightweight, pruned checkpoint stores**, enabling rollback recovery
+//! that needs no voltage monitor — and therefore closes the EMI attack
+//! surface (Sections V-B and VI).
+//!
+//! ## Pass pipeline
+//!
+//! 1. **Canonicalize** — split critical edges (needed by the 2-coloring
+//!    conflict fix-up).
+//! 2. **Idempotent region formation** ([`regions`]) — place region
+//!    boundaries so every memory anti-dependence (load → may-aliasing
+//!    store) is cut, with mandatory boundaries at the program entry and
+//!    around I/O operations; WARAW-protected loads are exempt. (The
+//!    Ratchet baseline additionally cuts every loop header; GECKO leaves
+//!    loops whole and lets the WCET pass bound region length.)
+//! 3. **Boundary hoisting** ([`regions::hoist_war_boundaries`]) — WAR cuts
+//!    whose anti-dependences span enclosing-loop iterations move to loop
+//!    preheaders, validated by a check-only verifier.
+//! 4. **WCET analysis and splitting** ([`wcet`]) — per-region worst-case
+//!    cycles from the applications' annotated loop bounds; any region
+//!    exceeding the minimum power-on budget is split (at the outermost
+//!    loop whose iteration fits, or intra-block).
+//! 5. **Checkpoint insertion** ([`checkpoint`]) — every register live into
+//!    a region is checkpointed in the cluster just before the region's
+//!    boundary commit.
+//! 6. **Checkpoint pruning** ([`pruning`]) — checkpoints whose value a
+//!    *recovery block* (a bounded backward slice over values available at
+//!    recovery time) can reconstruct are removed; the slices go into the
+//!    recovery lookup table.
+//! 7. **2-coloring** ([`coloring`]) — surviving checkpoints get
+//!    double-buffer slots such that consecutive checkpoints of a register
+//!    alternate along every path; join-point conflicts are repaired with
+//!    fix-up checkpoints (Section VI-D).
+//!
+//! Baselines built from the same machinery: **Ratchet** (same regions,
+//! centralized full-register-file checkpointing handled by the runtime) and
+//! **GECKO w/o pruning** (the ablation of Figure 11).
+//!
+//! ```
+//! use gecko_compiler::{compile, CompileOptions};
+//! use gecko_isa::{ProgramBuilder, Reg, BinOp, Cond};
+//!
+//! let mut b = ProgramBuilder::new("acc");
+//! let d = b.segment("d", 16, true);
+//! let (i, acc, base) = (Reg::R1, Reg::R2, Reg::R3);
+//! b.mov(i, 0);
+//! b.mov(acc, 0);
+//! b.mov(base, d as i32);
+//! let head = b.new_label("head");
+//! let body = b.new_label("body");
+//! let exit = b.new_label("exit");
+//! b.bind(head);
+//! b.set_loop_bound(16);
+//! b.branch(Cond::Lt, i, 16, body, exit);
+//! b.bind(body);
+//! b.load(Reg::R4, base, 0);
+//! b.bin(BinOp::Add, acc, acc, Reg::R4);
+//! b.store(acc, base, 0);          // anti-dependence with the load
+//! b.bin(BinOp::Add, i, i, 1);
+//! b.jump(head);
+//! b.bind(exit);
+//! b.halt();
+//! let program = b.finish().unwrap();
+//!
+//! let out = compile(&program, &CompileOptions::default()).unwrap();
+//! assert!(out.regions.len() >= 2, "boundaries were placed");
+//! assert!(out.stats.checkpoints_pruned > 0 || out.stats.checkpoints_after > 0);
+//! ```
+
+pub mod analysis;
+pub mod checkpoint;
+pub mod coloring;
+pub mod pipeline;
+pub mod pruning;
+pub mod ratchet;
+pub mod recovery;
+pub mod regions;
+pub mod wcet;
+
+pub use pipeline::{
+    compile, compile_unpruned, CompileError, CompileOptions, CompileStats, InstrumentedProgram,
+};
+pub use ratchet::compile_ratchet;
+pub use recovery::{RecoveryTable, RegionInfo, RegionTable, RestoreAction};

@@ -1,0 +1,96 @@
+//! The Ratchet baseline (van der Woude & Hicks, OSDI'16): compiler-formed
+//! idempotent regions with **centralized** full-register-file
+//! checkpointing at every boundary.
+//!
+//! Differences from GECKO, mirroring the paper's comparison:
+//!
+//! * no checkpoint clusters in the instruction stream — the *runtime*
+//!   saves all sixteen registers (plus a dynamically flipped double-buffer
+//!   index) at every boundary commit, which is what makes Ratchet ~2.4×
+//!   slower (Figure 11);
+//! * no WCET-driven splitting — Ratchet has no notion of a power-on
+//!   budget, which is why some of its regions cannot complete within one
+//!   charge cycle under attack (the DoS of Section VII-B3);
+//! * recovery restores the whole file from the active buffer, so no
+//!   recovery table is needed.
+
+use gecko_isa::{CostModel, Program, Reg};
+
+use crate::pipeline::{split_critical_edges, CompileError, CompileStats, InstrumentedProgram};
+use crate::recovery::{RecoveryTable, RegionTable};
+use crate::regions::form_regions;
+
+/// Compiles `program` in the Ratchet configuration.
+///
+/// # Errors
+///
+/// Verification errors only (region formation itself cannot fail).
+pub fn compile_ratchet(program: &Program) -> Result<InstrumentedProgram, CompileError> {
+    let mut p = program.clone();
+    split_critical_edges(&mut p);
+    let regions = form_regions(&mut p);
+    gecko_isa::verify(&p)?;
+    let table = RegionTable::from_program(&p);
+    let stats = CompileStats {
+        regions,
+        ..Default::default()
+    };
+    Ok(InstrumentedProgram {
+        program: p,
+        regions: table,
+        recovery: RecoveryTable::new(),
+        stats,
+    })
+}
+
+/// Cycles the Ratchet runtime spends at one boundary commit: sixteen
+/// register stores (streamed into the checkpoint area, like GECKO's
+/// clusters), the double-buffer index load/flip, and the packed commit
+/// store (the cost the paper itemizes in Section VI-D).
+pub fn ratchet_boundary_cycles(cost: &CostModel) -> u64 {
+    Reg::COUNT as u64 * cost.checkpoint + cost.load + cost.alu + cost.boundary
+}
+
+/// Cycles the Ratchet runtime spends restoring at recovery.
+pub fn ratchet_restore_cycles(cost: &CostModel) -> u64 {
+    Reg::COUNT as u64 * cost.load + cost.load + 30
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecko_isa::{BinOp, Cond, ProgramBuilder};
+
+    #[test]
+    fn ratchet_has_regions_but_no_checkpoints() {
+        let mut b = ProgramBuilder::new("t");
+        let (i, acc) = (Reg::R1, Reg::R2);
+        b.mov(i, 0);
+        b.mov(acc, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.branch(Cond::Lt, i, 8, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, acc, acc, i);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.send(acc);
+        b.halt();
+        let p = b.finish().unwrap();
+        let out = compile_ratchet(&p).unwrap();
+        assert!(out.regions.len() >= 2);
+        assert_eq!(out.program.checkpoint_count(), 0, "runtime checkpoints");
+        assert_eq!(out.recovery.recovery_block_count(), 0);
+    }
+
+    #[test]
+    fn boundary_cost_dominated_by_sixteen_stores() {
+        let cost = CostModel::default();
+        let c = ratchet_boundary_cycles(&cost);
+        assert!(c >= 16 * cost.checkpoint);
+        assert!(ratchet_restore_cycles(&cost) >= 16 * cost.load);
+    }
+}

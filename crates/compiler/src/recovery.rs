@@ -1,0 +1,266 @@
+//! Region and recovery metadata emitted by the compiler — the "lookup
+//! table" the GECKO runtime consults in the wake of a power failure
+//! (Section VI-E).
+
+use std::collections::BTreeMap;
+
+use gecko_isa::{BlockId, Inst, Program, Reg, RegionId};
+
+/// Where a region lives in the instrumented program.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// The region's id (as embedded in its `Boundary` instruction).
+    pub id: RegionId,
+    /// Block containing the boundary.
+    pub block: BlockId,
+    /// Instruction index of the `Boundary` within the block.
+    pub boundary_index: usize,
+}
+
+impl RegionInfo {
+    /// The position execution resumes at after rolling back to this region:
+    /// immediately after the boundary commit.
+    pub fn resume_point(&self) -> (BlockId, usize) {
+        (self.block, self.boundary_index + 1)
+    }
+}
+
+/// All regions of an instrumented program, indexed by region id.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct RegionTable {
+    entries: BTreeMap<RegionId, RegionInfo>,
+}
+
+impl RegionTable {
+    /// Builds the table by scanning for `Boundary` instructions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two boundaries carry the same region id (a compiler bug).
+    pub fn from_program(program: &Program) -> RegionTable {
+        let mut entries = BTreeMap::new();
+        for (b, block) in program.blocks() {
+            for (i, inst) in block.insts.iter().enumerate() {
+                if let Inst::Boundary { region } = *inst {
+                    let prev = entries.insert(
+                        region,
+                        RegionInfo {
+                            id: region,
+                            block: b,
+                            boundary_index: i,
+                        },
+                    );
+                    assert!(prev.is_none(), "duplicate region id {region}");
+                }
+            }
+        }
+        RegionTable { entries }
+    }
+
+    /// Looks up a region.
+    pub fn get(&self, id: RegionId) -> Option<&RegionInfo> {
+        self.entries.get(&id)
+    }
+
+    /// Number of regions.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether there are no regions (an uninstrumented program).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterates regions in id order.
+    pub fn iter(&self) -> impl Iterator<Item = &RegionInfo> {
+        self.entries.values()
+    }
+}
+
+/// How to reconstruct one register during recovery of a region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RestoreAction {
+    /// Read the register's checkpoint slot of the given color.
+    FromSlot {
+        /// Register to restore.
+        reg: Reg,
+        /// Double-buffer color its checkpoint was written with.
+        slot: u8,
+    },
+    /// Execute a recovery block — a short straight-line slice that
+    /// recomputes the register from already-restored registers, constants
+    /// and read-only memory. The slice runs in a scratch context seeded
+    /// with the slot-restored registers.
+    Recompute {
+        /// Register to reconstruct.
+        reg: Reg,
+        /// The recovery block, in execution order.
+        slice: Vec<Inst>,
+    },
+}
+
+impl RestoreAction {
+    /// The register this action restores.
+    pub fn reg(&self) -> Reg {
+        match self {
+            RestoreAction::FromSlot { reg, .. } => *reg,
+            RestoreAction::Recompute { reg, .. } => *reg,
+        }
+    }
+}
+
+/// The recovery lookup table: per region, the restore actions that rebuild
+/// the register file at the region's entry. Slot restores are listed before
+/// recomputes so slices can rely on restored dependencies.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryTable {
+    per_region: BTreeMap<RegionId, Vec<RestoreAction>>,
+}
+
+impl RecoveryTable {
+    /// Creates an empty table.
+    pub fn new() -> RecoveryTable {
+        RecoveryTable::default()
+    }
+
+    /// Sets the actions for a region (slot restores first).
+    pub fn set(&mut self, region: RegionId, mut actions: Vec<RestoreAction>) {
+        actions.sort_by_key(|a| match a {
+            RestoreAction::FromSlot { reg, .. } => (0, reg.index()),
+            RestoreAction::Recompute { reg, .. } => (1, reg.index()),
+        });
+        self.per_region.insert(region, actions);
+    }
+
+    /// The restore actions for a region (empty slice when none recorded —
+    /// e.g. the entry region of a program with no live-in registers).
+    pub fn actions(&self, region: RegionId) -> &[RestoreAction] {
+        self.per_region
+            .get(&region)
+            .map(Vec::as_slice)
+            .unwrap_or(&[])
+    }
+
+    /// Number of recovery blocks (recompute actions) across all regions.
+    pub fn recovery_block_count(&self) -> usize {
+        self.per_region
+            .values()
+            .flatten()
+            .filter(|a| matches!(a, RestoreAction::Recompute { .. }))
+            .count()
+    }
+
+    /// Total instructions across all recovery blocks.
+    pub fn recovery_inst_count(&self) -> usize {
+        self.per_region
+            .values()
+            .flatten()
+            .map(|a| match a {
+                RestoreAction::Recompute { slice, .. } => slice.len(),
+                _ => 0,
+            })
+            .sum()
+    }
+
+    /// Mean instructions per recovery block (0 when there are none).
+    pub fn mean_recovery_block_len(&self) -> f64 {
+        let blocks = self.recovery_block_count();
+        if blocks == 0 {
+            0.0
+        } else {
+            self.recovery_inst_count() as f64 / blocks as f64
+        }
+    }
+
+    /// The model cost, in instructions, of the lookup-table dispatch the
+    /// runtime executes to find a region's actions (the paper reports a
+    /// ~130-instruction lookup table).
+    pub fn lookup_cost_insts(&self) -> usize {
+        // Binary-search dispatch over region entries.
+        8 + 4 * (usize::BITS - self.per_region.len().leading_zeros()) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecko_isa::{Operand, ProgramBuilder};
+
+    #[test]
+    fn region_table_scans_boundaries() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(Inst::Boundary {
+            region: RegionId::new(0),
+        });
+        b.mov(Reg::R1, 1);
+        b.push(Inst::Boundary {
+            region: RegionId::new(1),
+        });
+        b.halt();
+        let p = b.finish().unwrap();
+        let t = RegionTable::from_program(&p);
+        assert_eq!(t.len(), 2);
+        let r0 = t.get(RegionId::new(0)).unwrap();
+        assert_eq!(r0.boundary_index, 0);
+        assert_eq!(r0.resume_point(), (p.entry(), 1));
+        let r1 = t.get(RegionId::new(1)).unwrap();
+        assert_eq!(r1.boundary_index, 2);
+        assert!(t.get(RegionId::new(7)).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate region id")]
+    fn duplicate_region_ids_rejected() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(Inst::Boundary {
+            region: RegionId::new(0),
+        });
+        b.push(Inst::Boundary {
+            region: RegionId::new(0),
+        });
+        b.halt();
+        let p = b.finish().unwrap();
+        let _ = RegionTable::from_program(&p);
+    }
+
+    #[test]
+    fn recovery_table_orders_and_counts() {
+        let mut t = RecoveryTable::new();
+        t.set(
+            RegionId::new(1),
+            vec![
+                RestoreAction::Recompute {
+                    reg: Reg::R2,
+                    slice: vec![
+                        Inst::Mov {
+                            dst: Reg::R2,
+                            src: Operand::Imm(5),
+                        },
+                        Inst::Bin {
+                            op: gecko_isa::BinOp::Add,
+                            dst: Reg::R2,
+                            lhs: Reg::R2,
+                            rhs: Operand::Imm(1),
+                        },
+                    ],
+                },
+                RestoreAction::FromSlot {
+                    reg: Reg::R1,
+                    slot: 0,
+                },
+            ],
+        );
+        let acts = t.actions(RegionId::new(1));
+        assert!(
+            matches!(acts[0], RestoreAction::FromSlot { .. }),
+            "slots first"
+        );
+        assert_eq!(acts[1].reg(), Reg::R2);
+        assert_eq!(t.recovery_block_count(), 1);
+        assert_eq!(t.recovery_inst_count(), 2);
+        assert!((t.mean_recovery_block_len() - 2.0).abs() < 1e-12);
+        assert!(t.lookup_cost_insts() > 0);
+        assert!(t.actions(RegionId::new(9)).is_empty());
+    }
+}

@@ -1,0 +1,473 @@
+//! Worst-case execution time (WCET) analysis and region splitting
+//! (Section VI-B, steps 3–4).
+//!
+//! GECKO — unlike Ratchet — does **not** open a region at every loop
+//! header. Instead it bounds each region's WCET using the applications'
+//! annotated loop bounds ([`gecko_isa::Block::loop_bound`], the paper's
+//! WCET analysis input) and splits any region that could not complete
+//! within the minimum power-on period. This is what keeps GECKO's regions
+//! coarse (cheap) while guaranteeing forward progress: a region longer
+//! than one capacitor charge cycle could never commit and would starve —
+//! the Ratchet DoS of Section VII-B3.
+//!
+//! The WCET estimate is deliberately conservative: the cost of every block
+//! reachable from the region entry without crossing a boundary is summed,
+//! each multiplied by the trip product of the loops that can actually
+//! iterate inside the region (loops containing the region's own boundary
+//! are cut by it and count once).
+
+use std::collections::BTreeMap;
+
+use gecko_isa::{BlockId, CostModel, Inst, Program, RegionId};
+
+use crate::analysis::{natural_loops, Dominators, NaturalLoop};
+use crate::pipeline::CompileError;
+use crate::recovery::RegionTable;
+use crate::regions::renumber_boundaries;
+
+/// Per-region worst-case cycles, from the boundary commit (inclusive) to
+/// the next boundary commit or halt.
+///
+/// # Errors
+///
+/// [`CompileError::MissingLoopBound`] when a loop that can iterate inside
+/// some region has no annotated bound.
+pub fn region_wcets(
+    program: &Program,
+    cost: &CostModel,
+) -> Result<BTreeMap<RegionId, u64>, CompileError> {
+    let table = RegionTable::from_program(program);
+    let dom = Dominators::compute(program);
+    let loops = natural_loops(program, &dom);
+    let mut out = BTreeMap::new();
+    for info in table.iter() {
+        let detail = analyze_region(program, cost, &loops, info.block, info.boundary_index)?;
+        out.insert(info.id, detail.wcet);
+    }
+    Ok(out)
+}
+
+/// Per-block accounting of one region.
+#[derive(Debug, Clone)]
+struct RegionDetail {
+    wcet: u64,
+    blocks: Vec<BlockEntry>,
+}
+
+/// One block's contribution to a region.
+#[derive(Debug, Clone, Copy)]
+struct BlockEntry {
+    block: BlockId,
+    /// First counted instruction index.
+    start: usize,
+    /// Number of counted instructions (up to the terminating boundary).
+    prefix_len: usize,
+    /// Cycles of the counted portion.
+    cycles: u64,
+    /// Multiplier from enclosing counted loops.
+    trips: u64,
+}
+
+fn trip_product(
+    loops: &[NaturalLoop],
+    program: &Program,
+    block: BlockId,
+    region_block: BlockId,
+) -> Result<u64, CompileError> {
+    let mut product: u64 = 1;
+    for l in loops {
+        if l.blocks.contains(&block) && !l.blocks.contains(&region_block) {
+            let bound = program
+                .block(l.header)
+                .loop_bound
+                .ok_or(CompileError::MissingLoopBound { header: l.header })?;
+            product = product.saturating_mul(bound.max(1) as u64);
+        }
+    }
+    Ok(product)
+}
+
+fn analyze_region(
+    program: &Program,
+    cost: &CostModel,
+    loops: &[NaturalLoop],
+    region_block: BlockId,
+    boundary_index: usize,
+) -> Result<RegionDetail, CompileError> {
+    let commit = cost.boundary;
+    let mut total = commit;
+    let mut blocks = Vec::new();
+    let mut visited = vec![false; program.block_count()];
+    // (block, start index) — only the region's own block starts mid-way.
+    let mut work: Vec<(BlockId, usize)> = vec![(region_block, boundary_index + 1)];
+    while let Some((b, start)) = work.pop() {
+        if start == 0 {
+            if visited[b.index()] {
+                continue;
+            }
+            visited[b.index()] = true;
+        }
+        let blk = program.block(b);
+        let mut acc = 0u64;
+        let mut end = blk.insts.len();
+        let mut hit_boundary = false;
+        for (i, inst) in blk.insts.iter().enumerate().skip(start) {
+            if matches!(inst, Inst::Boundary { .. }) {
+                acc += cost.inst_cycles(inst);
+                end = i;
+                hit_boundary = true;
+                break;
+            }
+            acc += cost.inst_cycles(inst);
+        }
+        if !hit_boundary {
+            acc += cost.term_cycles(&blk.term);
+        }
+        // A block whose counted portion ends at a boundary terminates the
+        // region: it can execute at most once per region entry, whatever
+        // loops contain it.
+        let trips = if hit_boundary {
+            1
+        } else {
+            trip_product(loops, program, b, region_block)?
+        };
+        total = total.saturating_add(acc.saturating_mul(trips));
+        let prefix_len = end.saturating_sub(start);
+        blocks.push(BlockEntry {
+            block: b,
+            start,
+            prefix_len,
+            cycles: acc,
+            trips,
+        });
+        if !hit_boundary {
+            for s in blk.term.successors() {
+                if !visited[s.index()] {
+                    work.push((s, 0));
+                }
+            }
+        }
+    }
+    Ok(RegionDetail {
+        wcet: total,
+        blocks,
+    })
+}
+
+/// Splits every region whose WCET exceeds `budget_cycles` by inserting
+/// additional boundaries (inside loops when a loop's trip product is what
+/// blows the budget), then renumbers all boundaries. Returns the number of
+/// boundaries inserted.
+///
+/// # Errors
+///
+/// [`CompileError::UnsplittableRegion`] when no insertion can shrink the
+/// worst region (a single instruction exceeds the budget), and
+/// [`CompileError::MissingLoopBound`] from the analysis.
+pub fn split_regions(
+    program: &mut Program,
+    cost: &CostModel,
+    budget_cycles: u64,
+) -> Result<usize, CompileError> {
+    let mut inserted = 0usize;
+    let max_rounds = 2 * program.inst_count() + 8;
+    #[allow(clippy::explicit_counter_loop)] // `inserted` counts insertions, not iterations
+    for _ in 0..max_rounds {
+        let dom = Dominators::compute(program);
+        let loops = natural_loops(program, &dom);
+        let table = RegionTable::from_program(program);
+        let mut worst: Option<(RegionId, RegionDetail)> = None;
+        for info in table.iter() {
+            let d = analyze_region(program, cost, &loops, info.block, info.boundary_index)?;
+            if worst.as_ref().map(|(_, w)| d.wcet > w.wcet).unwrap_or(true) {
+                worst = Some((info.id, d));
+            }
+        }
+        let Some((worst_id, detail)) = worst else {
+            return Ok(inserted);
+        };
+        if detail.wcet <= budget_cycles {
+            renumber_boundaries(program);
+            return Ok(inserted);
+        }
+        let info = *table.get(worst_id).expect("region exists");
+        let pos = find_insertion(program, cost, &loops, info.block, &detail, budget_cycles)?;
+        let (b, i) = pos;
+        program.block_mut(b).insts.insert(
+            i,
+            Inst::Boundary {
+                region: RegionId::new(u32::MAX as usize),
+            },
+        );
+        renumber_boundaries(program);
+        inserted += 1;
+    }
+    Err(CompileError::SplittingDiverged)
+}
+
+/// Chooses where to put a new boundary to shrink the region described by
+/// `detail`.
+fn find_insertion(
+    program: &Program,
+    cost: &CostModel,
+    loops: &[NaturalLoop],
+    region_block: BlockId,
+    detail: &RegionDetail,
+    budget_cycles: u64,
+) -> Result<(BlockId, usize), CompileError> {
+    // Rank blocks by weighted contribution, heaviest first.
+    let mut ranked: Vec<&BlockEntry> = detail.blocks.iter().collect();
+    ranked.sort_by_key(|e| std::cmp::Reverse(e.cycles.saturating_mul(e.trips)));
+
+    for e in ranked {
+        if e.trips > 1 {
+            // Cut the *outermost* counted loop whose single iteration still
+            // fits the budget: a boundary at its header turns its
+            // iterations into separate regions of exactly that size. When
+            // even the innermost loop's iteration is too big, cut the
+            // innermost anyway and let later rounds split its body.
+            let mut candidates: Vec<&NaturalLoop> = loops
+                .iter()
+                .filter(|l| l.blocks.contains(&e.block) && !l.blocks.contains(&region_block))
+                .collect();
+            candidates.sort_by_key(|l| std::cmp::Reverse(l.blocks.len())); // outermost first
+            let fitting = candidates
+                .iter()
+                .find(|l| loop_iteration_cost(program, cost, loops, l) <= budget_cycles);
+            let chosen = fitting.copied().or_else(|| candidates.last().copied());
+            if let Some(l) = chosen {
+                let header = program.block(l.header);
+                if !matches!(header.insts.first(), Some(Inst::Boundary { .. })) {
+                    return Ok((l.header, 0));
+                }
+                // Header already cut: fall through to intra-block split of
+                // the innermost body.
+            }
+        }
+        // Split this block's counted prefix in half.
+        if e.prefix_len >= 2 {
+            return Ok((e.block, e.start + e.prefix_len / 2));
+        }
+    }
+    Err(CompileError::UnsplittableRegion {
+        region_head: region_block,
+    })
+}
+
+/// Worst-case cycles of a single iteration of loop `l`: every block of the
+/// loop, each multiplied by the trip products of the loops strictly inside
+/// `l` that contain it.
+fn loop_iteration_cost(
+    program: &Program,
+    cost: &CostModel,
+    loops: &[NaturalLoop],
+    l: &NaturalLoop,
+) -> u64 {
+    let inner: Vec<&NaturalLoop> = loops
+        .iter()
+        .filter(|m| m.header != l.header && m.blocks.iter().all(|b| l.blocks.contains(b)))
+        .collect();
+    let mut total = 0u64;
+    for &b in &l.blocks {
+        let blk = program.block(b);
+        let mut c: u64 = blk.insts.iter().map(|i| cost.inst_cycles(i)).sum();
+        c += cost.term_cycles(&blk.term);
+        let mut trips = 1u64;
+        for m in &inner {
+            if m.blocks.contains(&b) {
+                let bound = program.block(m.header).loop_bound.unwrap_or(1).max(1) as u64;
+                trips = trips.saturating_mul(bound);
+            }
+        }
+        total = total.saturating_add(c.saturating_mul(trips));
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::regions::{form_regions, form_regions_policy};
+    use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg};
+
+    fn straight_line(n: usize) -> Program {
+        let mut b = ProgramBuilder::new("line");
+        for _ in 0..n {
+            b.bin(BinOp::Add, Reg::R1, Reg::R1, 1);
+        }
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    fn counted_loop(iters: u32, body_adds: usize) -> Program {
+        let mut b = ProgramBuilder::new("loop");
+        let i = Reg::R1;
+        b.mov(i, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.set_loop_bound(iters);
+        b.branch(Cond::Lt, i, iters as i32, body, exit);
+        b.bind(body);
+        for _ in 0..body_adds {
+            b.bin(BinOp::Add, Reg::R2, Reg::R2, 1);
+        }
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn wcet_of_straight_line() {
+        let mut p = straight_line(10);
+        form_regions(&mut p);
+        let cost = CostModel::default();
+        let w = region_wcets(&p, &cost).unwrap();
+        assert_eq!(w.len(), 1);
+        let wcet = w[&RegionId::new(0)];
+        // 10 ALU + halt + boundary commit.
+        assert_eq!(wcet, 10 * cost.alu + 1 + cost.boundary);
+    }
+
+    #[test]
+    fn loop_bound_multiplies_cost_without_header_cut() {
+        let mut p = counted_loop(100, 5);
+        // GECKO-style: no loop-header boundary.
+        form_regions_policy(&mut p, false);
+        let cost = CostModel::default();
+        let w = region_wcets(&p, &cost).unwrap();
+        assert_eq!(w.len(), 1, "single coarse region");
+        let wcet = w[&RegionId::new(0)];
+        // At least 100 iterations of (5 adds + increment + branches).
+        assert!(wcet >= 100 * 6 * cost.alu, "wcet {wcet}");
+    }
+
+    #[test]
+    fn header_cut_loops_count_once() {
+        let mut p = counted_loop(100, 5);
+        form_regions(&mut p); // Ratchet-style header cut
+        let cost = CostModel::default();
+        let w = region_wcets(&p, &cost).unwrap();
+        for wc in w.values() {
+            assert!(*wc < 200, "per-iteration region wcet bounded: {wc}");
+        }
+    }
+
+    #[test]
+    fn missing_loop_bound_is_reported() {
+        let mut b = ProgramBuilder::new("nobound");
+        let i = Reg::R1;
+        b.mov(i, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        // no set_loop_bound!
+        b.branch(Cond::Lt, i, 4, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.halt();
+        let mut p = b.finish().unwrap();
+        form_regions_policy(&mut p, false);
+        let cost = CostModel::default();
+        assert!(matches!(
+            region_wcets(&p, &cost),
+            Err(CompileError::MissingLoopBound { .. })
+        ));
+    }
+
+    #[test]
+    fn splitting_cuts_oversized_loops_at_their_header() {
+        let mut p = counted_loop(1000, 20);
+        form_regions_policy(&mut p, false);
+        let cost = CostModel::default();
+        let budget = 2_000; // far below 1000 iterations of ~25 cycles
+        let inserted = split_regions(&mut p, &cost, budget).unwrap();
+        assert!(inserted >= 1);
+        for (_, w) in region_wcets(&p, &cost).unwrap() {
+            assert!(w <= budget, "region over budget after split: {w}");
+        }
+    }
+
+    #[test]
+    fn splitting_brings_straight_line_under_budget() {
+        let mut p = straight_line(200);
+        form_regions_policy(&mut p, false);
+        let cost = CostModel::default();
+        let budget = 50 * cost.alu;
+        let inserted = split_regions(&mut p, &cost, budget).unwrap();
+        assert!(inserted >= 3, "inserted {inserted}");
+        for (_, w) in region_wcets(&p, &cost).unwrap() {
+            assert!(w <= budget, "region over budget after split: {w}");
+        }
+        let table = RegionTable::from_program(&p);
+        assert_eq!(table.len(), inserted + 1);
+    }
+
+    #[test]
+    fn splitting_noop_when_under_budget() {
+        let mut p = straight_line(5);
+        form_regions(&mut p);
+        let cost = CostModel::default();
+        let inserted = split_regions(&mut p, &cost, 1_000_000).unwrap();
+        assert_eq!(inserted, 0);
+    }
+
+    #[test]
+    fn unsplittable_single_instruction() {
+        let mut b = ProgramBuilder::new("io");
+        b.sense(Reg::R1);
+        b.halt();
+        let mut p = b.finish().unwrap();
+        form_regions(&mut p);
+        let cost = CostModel::default();
+        // Budget below a single I/O instruction.
+        let err = split_regions(&mut p, &cost, cost.io / 2).unwrap_err();
+        assert!(matches!(
+            err,
+            CompileError::UnsplittableRegion { .. } | CompileError::SplittingDiverged
+        ));
+    }
+
+    #[test]
+    fn nested_loops_multiply_bounds() {
+        let mut b = ProgramBuilder::new("nest");
+        let (i, j) = (Reg::R1, Reg::R2);
+        b.mov(i, 0);
+        let oh = b.new_label("oh");
+        let ob = b.new_label("ob");
+        let ih = b.new_label("ih");
+        let ib = b.new_label("ib");
+        let onext = b.new_label("onext");
+        let exit = b.new_label("exit");
+        b.bind(oh);
+        b.set_loop_bound(10);
+        b.branch(Cond::Lt, i, 10, ob, exit);
+        b.bind(ob);
+        b.mov(j, 0);
+        b.jump(ih);
+        b.bind(ih);
+        b.set_loop_bound(20);
+        b.branch(Cond::Lt, j, 20, ib, onext);
+        b.bind(ib);
+        b.bin(BinOp::Add, j, j, 1);
+        b.jump(ih);
+        b.bind(onext);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(oh);
+        b.bind(exit);
+        b.halt();
+        let mut p = b.finish().unwrap();
+        form_regions_policy(&mut p, false);
+        let cost = CostModel::default();
+        let w = region_wcets(&p, &cost).unwrap();
+        let wcet = w[&RegionId::new(0)];
+        // The inner body runs ≥ 200 times.
+        assert!(wcet >= 200 * 2 * cost.alu, "wcet {wcet}");
+    }
+}

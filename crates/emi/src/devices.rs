@@ -1,0 +1,316 @@
+//! Susceptibility models of the nine commodity boards evaluated in Table I.
+//!
+//! Peak placements come straight from the paper: the MSP430 family resonates
+//! near 27 MHz at the ADC input, the STM32L552 near 17–18 MHz, and the two
+//! comparator-equipped boards (FR5994, FR6989) have dramatically more
+//! sensitive comparator paths (5/6 MHz and 27 MHz respectively). Relative
+//! peak gains are tuned so the *ordering* of minimum forward-progress rates
+//! in Table I emerges from simulation; absolute percentages are not chased.
+
+use crate::attack::{EmiSignal, Injection};
+use crate::monitor::MonitorKind;
+use crate::susceptibility::{ResonancePeak, SusceptibilityProfile};
+
+/// A board model: which monitors it has and how susceptible each is.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceModel {
+    name: &'static str,
+    adc_profile: SusceptibilityProfile,
+    comp_profile: Option<SusceptibilityProfile>,
+}
+
+impl DeviceModel {
+    /// Creates a device model.
+    pub fn new(
+        name: &'static str,
+        adc_profile: SusceptibilityProfile,
+        comp_profile: Option<SusceptibilityProfile>,
+    ) -> DeviceModel {
+        DeviceModel {
+            name,
+            adc_profile,
+            comp_profile,
+        }
+    }
+
+    /// The board's marketing name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Whether the board has a comparator-based monitor option.
+    pub fn has_comparator(&self) -> bool {
+        self.comp_profile.is_some()
+    }
+
+    /// The susceptibility profile of the requested monitor kind. Returns
+    /// `None` for [`MonitorKind::Comparator`] on boards without one.
+    pub fn profile(&self, kind: MonitorKind) -> Option<&SusceptibilityProfile> {
+        match kind {
+            MonitorKind::Adc => Some(&self.adc_profile),
+            MonitorKind::Comparator => self.comp_profile.as_ref(),
+        }
+    }
+
+    /// Peak disturbance amplitude (V) induced at the monitor input by
+    /// `signal` injected via `injection`. Zero when the board lacks the
+    /// requested monitor.
+    pub fn induced_amplitude_v(
+        &self,
+        kind: MonitorKind,
+        signal: &EmiSignal,
+        injection: Injection,
+    ) -> f64 {
+        let Some(profile) = self.profile(kind) else {
+            return 0.0;
+        };
+        // The broadband (P2) path still passes the monitor input's
+        // parasitic low-pass, so it shares the high-frequency roll-off.
+        let coupling = profile.coupling_gain(signal.freq_hz)
+            + injection.broadband_bonus() * profile.hf_attenuation(signal.freq_hz);
+        signal.amplitude_v() * injection.path_gain(signal.freq_hz) * coupling
+    }
+
+    /// The most effective attack frequency against the given monitor within
+    /// `lo_hz..=hi_hz` (scanned at `step_hz`), or `None` when the board
+    /// lacks that monitor.
+    pub fn worst_frequency(
+        &self,
+        kind: MonitorKind,
+        lo_hz: f64,
+        hi_hz: f64,
+        step_hz: f64,
+    ) -> Option<(f64, f64)> {
+        self.profile(kind)
+            .map(|p| p.worst_frequency(lo_hz, hi_hz, step_hz))
+    }
+}
+
+const HF_CUTOFF: f64 = 50e6;
+
+fn adc_profile(peaks: Vec<ResonancePeak>) -> SusceptibilityProfile {
+    SusceptibilityProfile::new(peaks, 0.0015, HF_CUTOFF)
+}
+
+/// TI MSP430FR2311 (ADC monitor; resonant at 27 MHz).
+pub fn msp430fr2311() -> DeviceModel {
+    DeviceModel::new(
+        "TI-MSP430FR2311",
+        adc_profile(vec![ResonancePeak::new(27e6, 2.2e6, 1.9)]),
+        None,
+    )
+}
+
+/// TI MSP430FR2433 (ADC monitor; resonant at 27 MHz).
+pub fn msp430fr2433() -> DeviceModel {
+    DeviceModel::new(
+        "TI-MSP430FR2433",
+        adc_profile(vec![ResonancePeak::new(27e6, 2.0e6, 1.5)]),
+        None,
+    )
+}
+
+/// TI MSP430FR4133 (ADC monitor; resonant at 27–28 MHz).
+pub fn msp430fr4133() -> DeviceModel {
+    DeviceModel::new(
+        "TI-MSP430FR4133",
+        adc_profile(vec![
+            ResonancePeak::new(27e6, 2.0e6, 1.7),
+            ResonancePeak::new(28e6, 1.2e6, 1.1),
+        ]),
+        None,
+    )
+}
+
+/// TI MSP430F5529 (ADC monitor; DoS peak at 27 MHz, checkpoint-failure peak
+/// at 16 MHz per Table I).
+pub fn msp430f5529() -> DeviceModel {
+    DeviceModel::new(
+        "TI-MSP430F5529",
+        adc_profile(vec![
+            ResonancePeak::new(27e6, 2.0e6, 1.6),
+            ResonancePeak::new(16e6, 1.5e6, 0.9),
+        ]),
+        None,
+    )
+}
+
+/// TI MSP430FR5739 (ADC monitor; the most DoS-susceptible board in Table I).
+pub fn msp430fr5739() -> DeviceModel {
+    DeviceModel::new(
+        "TI-MSP430FR5739",
+        adc_profile(vec![ResonancePeak::new(27e6, 2.6e6, 2.6)]),
+        None,
+    )
+}
+
+/// TI MSP430FR5994 — the paper's main evaluation board. ADC resonant at
+/// 27 MHz; its comparator path is catastrophically sensitive at 5–6 MHz
+/// (Comp-R_min ≈ 10⁻²%).
+pub fn msp430fr5994() -> DeviceModel {
+    DeviceModel::new(
+        "TI-MSP430FR5994",
+        adc_profile(vec![ResonancePeak::new(27e6, 2.0e6, 1.6)]),
+        Some(SusceptibilityProfile::new(
+            vec![
+                ResonancePeak::new(5e6, 0.8e6, 4.5),
+                ResonancePeak::new(6e6, 0.8e6, 4.5),
+            ],
+            0.002,
+            HF_CUTOFF,
+        )),
+    )
+}
+
+/// TI MSP430FR6989 (ADC + comparator, both resonant near 27 MHz).
+pub fn msp430fr6989() -> DeviceModel {
+    DeviceModel::new(
+        "TI-MSP430FR6989",
+        adc_profile(vec![ResonancePeak::new(27e6, 2.0e6, 1.7)]),
+        Some(SusceptibilityProfile::new(
+            vec![ResonancePeak::new(27e6, 1.5e6, 4.0)],
+            0.002,
+            HF_CUTOFF,
+        )),
+    )
+}
+
+/// TI MSP432P401R (Cortex-M4; ADC monitor vulnerable, comparator not
+/// exploitable in Table I).
+pub fn msp432p() -> DeviceModel {
+    DeviceModel::new(
+        "TI-MSP432P (cortex-m4)",
+        adc_profile(vec![ResonancePeak::new(27e6, 2.1e6, 1.8)]),
+        None,
+    )
+}
+
+/// STM32L552ZE (Cortex-M33; resonant at 17–18 MHz instead of 27 MHz).
+pub fn stm32l552ze() -> DeviceModel {
+    DeviceModel::new(
+        "STM32L552ZE (cortex-m33)",
+        adc_profile(vec![
+            ResonancePeak::new(17e6, 1.8e6, 1.4),
+            ResonancePeak::new(18e6, 1.2e6, 1.0),
+        ]),
+        None,
+    )
+}
+
+/// All nine boards of Table I, in table order.
+pub fn all_devices() -> Vec<DeviceModel> {
+    vec![
+        msp430fr2311(),
+        msp430fr2433(),
+        msp430fr4133(),
+        msp430f5529(),
+        msp430fr5739(),
+        msp430fr5994(),
+        msp430fr6989(),
+        msp432p(),
+        stm32l552ze(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::DpiPoint;
+
+    #[test]
+    fn nine_boards() {
+        let all = all_devices();
+        assert_eq!(all.len(), 9);
+        let names: Vec<_> = all.iter().map(|d| d.name()).collect();
+        assert!(names.contains(&"TI-MSP430FR5994"));
+        // No duplicates.
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 9);
+    }
+
+    #[test]
+    fn comparator_presence_matches_table1() {
+        assert!(msp430fr5994().has_comparator());
+        assert!(msp430fr6989().has_comparator());
+        assert!(!msp430fr2311().has_comparator());
+        assert!(!stm32l552ze().has_comparator());
+    }
+
+    #[test]
+    fn msp430s_resonate_at_27mhz_stm32_lower() {
+        for dev in all_devices() {
+            let (f, g) = dev
+                .worst_frequency(MonitorKind::Adc, 5e6, 60e6, 0.25e6)
+                .unwrap();
+            assert!(g > 1.0, "{}: peak gain {g}", dev.name());
+            if dev.name().contains("STM32") {
+                assert!((f - 17e6).abs() < 1.5e6, "{}: {f}", dev.name());
+            } else {
+                assert!((f - 27e6).abs() < 1.5e6, "{}: {f}", dev.name());
+            }
+        }
+    }
+
+    #[test]
+    fn fr5994_comparator_far_more_sensitive_than_adc() {
+        let dev = msp430fr5994();
+        let sig = EmiSignal::new(5e6, 35.0);
+        let inj = Injection::Remote { distance_m: 5.0 };
+        let comp = dev.induced_amplitude_v(MonitorKind::Comparator, &sig, inj);
+        let adc = dev.induced_amplitude_v(MonitorKind::Adc, &sig, inj);
+        assert!(comp > 20.0 * adc, "comp {comp} vs adc {adc}");
+    }
+
+    #[test]
+    fn resonant_remote_attack_is_effective_at_5m() {
+        let dev = msp430fr5994();
+        let sig = EmiSignal::new(27e6, 35.0);
+        let amp = dev.induced_amplitude_v(
+            MonitorKind::Adc,
+            &sig,
+            Injection::Remote { distance_m: 5.0 },
+        );
+        // Must exceed the ~1.1 V margin between V_max and V_backup to
+        // trigger false checkpoints.
+        assert!(amp > 1.1, "induced {amp} V");
+    }
+
+    #[test]
+    fn off_resonance_remote_attack_is_harmless() {
+        let dev = msp430fr5994();
+        for f in [5e6, 100e6, 400e6] {
+            let sig = EmiSignal::new(f, 35.0);
+            let amp = dev.induced_amplitude_v(
+                MonitorKind::Adc,
+                &sig,
+                Injection::Remote { distance_m: 5.0 },
+            );
+            assert!(amp < 0.3, "{f} Hz induced {amp} V");
+        }
+    }
+
+    #[test]
+    fn p2_broader_than_p1() {
+        // At an off-resonance frequency, P2's broadband coupling still
+        // disturbs the monitor while P1 does not (Figure 4's observation).
+        let dev = msp430fr2311();
+        let sig = EmiSignal::new(10e6, 20.0);
+        let p1 = dev.induced_amplitude_v(MonitorKind::Adc, &sig, Injection::Dpi(DpiPoint::P1));
+        let p2 = dev.induced_amplitude_v(MonitorKind::Adc, &sig, Injection::Dpi(DpiPoint::P2));
+        assert!(p2 > 3.0 * p1, "p2 {p2} vs p1 {p1}");
+    }
+
+    #[test]
+    fn missing_comparator_yields_zero_amplitude() {
+        let dev = msp430fr2311();
+        let sig = EmiSignal::new(27e6, 35.0);
+        let amp = dev.induced_amplitude_v(
+            MonitorKind::Comparator,
+            &sig,
+            Injection::Remote { distance_m: 1.0 },
+        );
+        assert_eq!(amp, 0.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # gecko-emi
+//!
+//! The attack half of the GECKO paper: voltage monitors (the vulnerable
+//! component), per-device EMI susceptibility profiles, and the attacker
+//! model (single-tone signals injected directly — DPI — or radiated from a
+//! distance).
+//!
+//! The chain mirrors Figure 2 of the paper: an attack signal of some
+//! frequency and power couples into the voltage-monitor input with a gain
+//! set by the device's resonance profile; the disturbance superimposes on
+//! the true supply voltage; the ADC or comparator digitizes the corrupted
+//! waveform; and the checkpoint / wake-up logic downstream acts on the lie.
+//!
+//! ```
+//! use gecko_emi::{AdcMonitor, EmiSignal, Injection, devices};
+//!
+//! let dev = devices::msp430fr5994();
+//! let sig = EmiSignal::new(27e6, 35.0); // the vulnerable frequency
+//! let inj = Injection::Remote { distance_m: 5.0 };
+//! let amp = dev.induced_amplitude_v(gecko_emi::MonitorKind::Adc, &sig, inj);
+//! assert!(amp > 0.5, "at resonance the disturbance is large: {amp} V");
+//!
+//! let mut adc = AdcMonitor::default();
+//! let reading = adc.read(3.3, amp, 0.001);
+//! assert!(reading != 3.3, "the monitor no longer sees the true voltage");
+//! ```
+
+pub mod attack;
+pub mod devices;
+pub mod monitor;
+pub mod susceptibility;
+
+pub use attack::{AttackSchedule, EmiSignal, Injection, TimedAttack};
+pub use devices::DeviceModel;
+pub use monitor::{AdcMonitor, ComparatorMonitor, FilteredAdcMonitor, MonitorKind};
+pub use susceptibility::{ResonancePeak, SusceptibilityProfile};

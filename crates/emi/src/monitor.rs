@@ -1,0 +1,395 @@
+//! Voltage monitors: the ADC-based and comparator-based power-loss
+//! detectors of Section II-C.
+//!
+//! Both monitors observe `v_true + disturbance(t)` — the supply voltage with
+//! any EMI-induced disturbance superimposed — and report what the *digital*
+//! side of the system believes the supply voltage to be.
+
+use std::f64::consts::TAU;
+
+/// Which kind of voltage monitor a device uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MonitorKind {
+    /// A 10/12-bit ADC periodically sampling `V_CC` against `V_ref`.
+    Adc,
+    /// An analog comparator with hysteresis raising an interrupt when
+    /// `V_CC` crosses a configured threshold — "a 1-bit ADC".
+    Comparator,
+}
+
+impl MonitorKind {
+    /// All monitor kinds.
+    pub fn all() -> [MonitorKind; 2] {
+        [MonitorKind::Adc, MonitorKind::Comparator]
+    }
+}
+
+/// An ADC-based voltage monitor (Figure 2(a)).
+///
+/// The ADC samples at a fixed period; between samples it holds the last
+/// conversion. A single-tone EMI disturbance of amplitude `A` is aliased by
+/// the sampling process: each conversion sees `v_true + A·sin(2πf·t)`
+/// evaluated at the sample instant, so consecutive readings swing through
+/// the disturbance envelope — exactly the behaviour that lets an attacker
+/// drive both false `V < V_backup` (checkpoint) and false `V ≥ V_on`
+/// (wake-up) decisions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdcMonitor {
+    /// Converter resolution in bits (10 or 12 on the paper's boards).
+    pub bits: u32,
+    /// Full-scale reference voltage.
+    pub v_ref: f64,
+    /// Sampling period in seconds.
+    pub sample_period_s: f64,
+    last_sample_t: f64,
+    last_reading: f64,
+    primed: bool,
+}
+
+impl AdcMonitor {
+    /// Creates an ADC monitor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits == 0`, `v_ref <= 0`, or `sample_period_s <= 0`.
+    pub fn new(bits: u32, v_ref: f64, sample_period_s: f64) -> AdcMonitor {
+        assert!(bits > 0 && bits <= 24, "bits must be in 1..=24");
+        assert!(v_ref > 0.0, "v_ref must be positive");
+        assert!(sample_period_s > 0.0, "sample period must be positive");
+        AdcMonitor {
+            bits,
+            v_ref,
+            sample_period_s,
+            last_sample_t: 0.0,
+            last_reading: 0.0,
+            primed: false,
+        }
+    }
+
+    /// Quantizes a voltage to the converter's resolution (clamped to
+    /// `0..=v_ref`).
+    pub fn quantize(&self, v: f64) -> f64 {
+        let levels = (1u64 << self.bits) as f64;
+        let clamped = v.clamp(0.0, self.v_ref);
+        let code = (clamped / self.v_ref * (levels - 1.0)).round();
+        code / (levels - 1.0) * self.v_ref
+    }
+
+    /// Reads the monitor at time `t_s` given the true voltage and the EMI
+    /// disturbance amplitude at the monitor input. Returns the voltage the
+    /// digital side believes. Conversions happen at the sampling period;
+    /// between conversions the previous reading is held.
+    pub fn read(&mut self, v_true: f64, disturbance_amp_v: f64, t_s: f64) -> f64 {
+        if self.primed && t_s - self.last_sample_t < self.sample_period_s {
+            return self.last_reading;
+        }
+        self.primed = true;
+        self.last_sample_t = t_s;
+        let v_seen = v_true + sampled_tone(disturbance_amp_v, t_s);
+        self.last_reading = self.quantize(v_seen);
+        self.last_reading
+    }
+
+    /// Clears sampling state (used at reboot).
+    pub fn reset(&mut self) {
+        self.primed = false;
+        self.last_reading = 0.0;
+        self.last_sample_t = 0.0;
+    }
+}
+
+impl Default for AdcMonitor {
+    /// 12-bit, 3.3 V full scale, 4 kHz sampling — a typical CTPL
+    /// supply-supervision configuration.
+    fn default() -> AdcMonitor {
+        AdcMonitor::new(12, 3.3, 2.5e-4)
+    }
+}
+
+/// A comparator-based voltage monitor (Figure 2(b)).
+///
+/// The comparator is continuous-time: it reacts to instantaneous threshold
+/// crossings rather than sampled values, which makes it *more* sensitive to
+/// a large superimposed tone (the tone's negative half-cycles cross the
+/// threshold even when the mean voltage is healthy). This mirrors Table I,
+/// where the comparator-based monitors show far lower minimum forward
+/// progress than the ADC-based ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ComparatorMonitor {
+    /// Hysteresis half-width (V): crossing must exceed threshold ± this.
+    pub hysteresis_v: f64,
+    below: bool,
+}
+
+impl ComparatorMonitor {
+    /// Creates a comparator with the given hysteresis.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hysteresis_v < 0`.
+    pub fn new(hysteresis_v: f64) -> ComparatorMonitor {
+        assert!(hysteresis_v >= 0.0, "hysteresis must be non-negative");
+        ComparatorMonitor {
+            hysteresis_v,
+            below: false,
+        }
+    }
+
+    /// Evaluates the comparator against `threshold_v` at time `t_s`.
+    /// Returns `true` while the comparator believes the supply is below the
+    /// threshold. A disturbance tone of amplitude `A` trips the comparator
+    /// whenever the *trough* `v_true − A` dips under the threshold.
+    pub fn is_below(
+        &mut self,
+        v_true: f64,
+        disturbance_amp_v: f64,
+        threshold_v: f64,
+        _t_s: f64,
+    ) -> bool {
+        let trough = v_true - disturbance_amp_v.abs();
+        let crest = v_true + disturbance_amp_v.abs();
+        if self.below {
+            // Clean release: the whole waveform rises above the threshold.
+            // Chattering release: a dominant tone's crest spuriously releases
+            // the comparator (false wake-up) — on the *next* evaluation the
+            // trough will trip it again, producing the checkpoint/wake-up
+            // chatter the attack exploits.
+            let clean = trough > threshold_v + self.hysteresis_v;
+            let chatter = disturbance_amp_v.abs() > 2.0 * self.hysteresis_v
+                && crest > threshold_v + self.hysteresis_v;
+            if clean || chatter {
+                self.below = false;
+            }
+        } else if trough < threshold_v - self.hysteresis_v {
+            self.below = true;
+        }
+        self.below
+    }
+
+    /// Clears comparator state (used at reboot).
+    pub fn reset(&mut self) {
+        self.below = false;
+    }
+}
+
+impl Default for ComparatorMonitor {
+    /// 50 mV hysteresis, a typical external comparator configuration.
+    fn default() -> ComparatorMonitor {
+        ComparatorMonitor::new(0.05)
+    }
+}
+
+/// The value of a unit-amplitude attack tone as seen by a sampler at time
+/// `t_s`. Single tones in the MHz range alias pseudo-randomly at kHz-scale
+/// sampling; evaluating the true sine at the sample instant captures that.
+fn sampled_tone(amplitude_v: f64, t_s: f64) -> f64 {
+    if amplitude_v == 0.0 {
+        return 0.0;
+    }
+    // A fixed incommensurate tone phase: the simulator's attack model folds
+    // the real frequency into the amplitude; what matters to the sampled
+    // system is the envelope sweep, which an irrational-ratio tone provides.
+    amplitude_v * (TAU * 61_803.398_875 * t_s).sin()
+}
+
+/// A median-filtered ADC monitor — the "hardware filter" countermeasure of
+/// Section V-A1. Each read passes through a median-of-`taps` window before
+/// reaching the checkpoint logic, suppressing isolated disturbed samples.
+///
+/// The paper's claim (which [`crate::devices`]-driven experiments
+/// reproduce): filtering raises the attack's required power but **cannot
+/// thwart it** — at the resonant frequency more than half of all samples
+/// are disturbed, so the median itself is disturbed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FilteredAdcMonitor {
+    inner: AdcMonitor,
+    window: Vec<f64>,
+    taps: usize,
+    next: usize,
+    filled: usize,
+    last_sample_t: f64,
+}
+
+impl FilteredAdcMonitor {
+    /// Wraps `inner` with a median-of-`taps` filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `taps` is odd and at least 3.
+    pub fn new(inner: AdcMonitor, taps: usize) -> FilteredAdcMonitor {
+        assert!(taps >= 3 && taps % 2 == 1, "taps must be odd and >= 3");
+        FilteredAdcMonitor {
+            window: vec![0.0; taps],
+            taps,
+            inner,
+            next: 0,
+            filled: 0,
+            last_sample_t: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Number of filter taps.
+    pub fn taps(&self) -> usize {
+        self.taps
+    }
+
+    /// Reads the filtered monitor value at `t_s`.
+    pub fn read(&mut self, v_true: f64, disturbance_amp_v: f64, t_s: f64) -> f64 {
+        let raw = self.inner.read(v_true, disturbance_amp_v, t_s);
+        // Push one window entry per ADC conversion, not per query.
+        if t_s - self.last_sample_t >= self.inner.sample_period_s
+            || self.last_sample_t == f64::NEG_INFINITY
+        {
+            self.last_sample_t = t_s;
+            self.window[self.next] = raw;
+            self.next = (self.next + 1) % self.taps;
+            self.filled = (self.filled + 1).min(self.taps);
+        }
+        let mut sorted: Vec<f64> = self.window[..self.filled].to_vec();
+        sorted.sort_by(f64::total_cmp);
+        sorted[self.filled / 2]
+    }
+
+    /// Clears filter and converter state (reboot).
+    pub fn reset(&mut self) {
+        self.inner.reset();
+        self.window.fill(0.0);
+        self.next = 0;
+        self.filled = 0;
+        self.last_sample_t = f64::NEG_INFINITY;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantization_snaps_to_codes() {
+        let adc = AdcMonitor::new(12, 3.3, 1e-3);
+        let lsb = 3.3 / 4095.0;
+        let q = adc.quantize(1.0);
+        assert!((q - 1.0).abs() <= lsb / 2.0 + 1e-12);
+        assert_eq!(adc.quantize(-1.0), 0.0, "clamps below");
+        assert_eq!(adc.quantize(9.9), 3.3, "clamps above");
+    }
+
+    #[test]
+    fn adc_holds_between_samples() {
+        let mut adc = AdcMonitor::new(12, 3.3, 1e-3);
+        let r0 = adc.read(2.0, 0.0, 0.0);
+        let r1 = adc.read(3.0, 0.0, 0.0005); // within the same sample period
+        assert_eq!(r0, r1, "held");
+        let r2 = adc.read(3.0, 0.0, 0.0011);
+        assert!((r2 - 3.0).abs() < 0.01, "new conversion");
+    }
+
+    #[test]
+    fn undisturbed_adc_tracks_truth() {
+        let mut adc = AdcMonitor::default();
+        for k in 0..100 {
+            let t = k as f64 * 2e-3;
+            let v = 2.0 + 0.01 * k as f64;
+            let r = adc.read(v, 0.0, t);
+            assert!((r - v.min(3.3)).abs() < 0.002, "t={t}: {r} vs {v}");
+        }
+    }
+
+    #[test]
+    fn disturbed_adc_swings() {
+        let mut adc = AdcMonitor::default();
+        let mut lo = f64::INFINITY;
+        let mut hi = f64::NEG_INFINITY;
+        for k in 0..200 {
+            let t = k as f64 * 2e-3;
+            let r = adc.read(2.5, 1.0, t);
+            lo = lo.min(r);
+            hi = hi.max(r);
+        }
+        assert!(lo < 1.8, "swings low: {lo}");
+        assert!(hi > 3.2, "swings high: {hi}");
+    }
+
+    #[test]
+    fn comparator_trips_and_releases_with_hysteresis() {
+        let mut c = ComparatorMonitor::new(0.05);
+        assert!(!c.is_below(3.0, 0.0, 2.2, 0.0));
+        assert!(c.is_below(2.1, 0.0, 2.2, 1.0), "trips below");
+        assert!(c.is_below(2.22, 0.0, 2.2, 2.0), "hysteresis holds");
+        assert!(!c.is_below(2.4, 0.0, 2.2, 3.0), "releases well above");
+    }
+
+    #[test]
+    fn comparator_tripped_by_tone_trough() {
+        let mut c = ComparatorMonitor::default();
+        // Healthy 3.0 V supply, but a 1.2 V tone dips the trough to 1.8 V.
+        assert!(c.is_below(3.0, 1.2, 2.2, 0.0));
+    }
+
+    #[test]
+    fn immune_when_no_disturbance() {
+        let mut c = ComparatorMonitor::default();
+        assert!(!c.is_below(3.0, 0.0, 2.2, 0.0));
+        let mut adc = AdcMonitor::default();
+        assert!((adc.read(3.0, 0.0, 0.0) - 3.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn median_filter_suppresses_isolated_glitches() {
+        let mut f = FilteredAdcMonitor::new(AdcMonitor::default(), 5);
+        // Fill with healthy samples.
+        for k in 0..5 {
+            let _ = f.read(3.0, 0.0, k as f64 * 3e-4);
+        }
+        // One glitched conversion: the median holds.
+        let r = f.read(0.5, 0.0, 5.0 * 3e-4);
+        assert!(r > 2.9, "median rejects the glitch: {r}");
+    }
+
+    #[test]
+    fn median_filter_fails_under_sustained_disturbance() {
+        let mut f = FilteredAdcMonitor::new(AdcMonitor::default(), 5);
+        let mut below = 0;
+        for k in 0..400 {
+            let r = f.read(3.3, 4.5, k as f64 * 3e-4);
+            if r < 2.2 {
+                below += 1;
+            }
+        }
+        assert!(
+            below > 40,
+            "a resonant tone disturbs most samples, so the median is              disturbed too: {below}/400"
+        );
+    }
+
+    #[test]
+    fn filtered_monitor_tracks_truth_when_quiet() {
+        let mut f = FilteredAdcMonitor::new(AdcMonitor::default(), 3);
+        for k in 0..10 {
+            let _ = f.read(2.5, 0.0, k as f64 * 3e-4);
+        }
+        let r = f.read(2.5, 0.0, 11.0 * 3e-4);
+        assert!((r - 2.5).abs() < 0.01, "{r}");
+        f.reset();
+        assert_eq!(f.taps(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd")]
+    fn even_taps_rejected() {
+        let _ = FilteredAdcMonitor::new(AdcMonitor::default(), 4);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut c = ComparatorMonitor::default();
+        assert!(c.is_below(1.0, 0.0, 2.2, 0.0));
+        c.reset();
+        assert!(!c.is_below(3.0, 0.0, 2.2, 0.1));
+        let mut adc = AdcMonitor::default();
+        let _ = adc.read(2.0, 0.0, 0.0);
+        adc.reset();
+        let r = adc.read(3.0, 0.0, 0.0);
+        assert!((r - 3.0).abs() < 0.01, "re-primed after reset");
+    }
+}

@@ -1,0 +1,185 @@
+//! EMI susceptibility profiles: how strongly a given attack frequency
+//! couples into a device's voltage-monitor input.
+//!
+//! Low-power boards lack input filtering, so coupling is dominated by a few
+//! resonances of the monitor's input network (PCB traces, the external
+//! capacitor wiring, the ADC sample capacitor). We model the coupling gain
+//! as a sum of Lorentzian peaks with a high-frequency roll-off — the paper
+//! observed that frequencies above ~50 MHz caused no problems on any board
+//! (Section IV-A2), which the roll-off reproduces.
+
+/// One resonance of the monitor input network.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ResonancePeak {
+    /// Center frequency (Hz).
+    pub center_hz: f64,
+    /// Half-width at half-maximum (Hz). Smaller = sharper resonance.
+    pub half_width_hz: f64,
+    /// Voltage coupling gain at the center (dimensionless: volts induced at
+    /// the monitor input per volt of incident signal amplitude).
+    pub gain: f64,
+}
+
+impl ResonancePeak {
+    /// Creates a peak.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any parameter is non-positive.
+    pub fn new(center_hz: f64, half_width_hz: f64, gain: f64) -> ResonancePeak {
+        assert!(
+            center_hz > 0.0 && half_width_hz > 0.0 && gain > 0.0,
+            "resonance parameters must be positive"
+        );
+        ResonancePeak {
+            center_hz,
+            half_width_hz,
+            gain,
+        }
+    }
+
+    /// Lorentzian response of this peak at `freq_hz`.
+    pub fn response(&self, freq_hz: f64) -> f64 {
+        let x = (freq_hz - self.center_hz) / self.half_width_hz;
+        self.gain / (1.0 + x * x)
+    }
+}
+
+/// A device's full susceptibility curve: resonance peaks on a small broadband
+/// floor, attenuated above a cutoff (package shielding + parasitic low-pass).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SusceptibilityProfile {
+    peaks: Vec<ResonancePeak>,
+    /// Broadband (off-resonance) coupling gain.
+    floor: f64,
+    /// Above this frequency the response rolls off steeply.
+    hf_cutoff_hz: f64,
+}
+
+impl SusceptibilityProfile {
+    /// Creates a profile.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `floor < 0` or `hf_cutoff_hz <= 0`.
+    pub fn new(peaks: Vec<ResonancePeak>, floor: f64, hf_cutoff_hz: f64) -> SusceptibilityProfile {
+        assert!(floor >= 0.0, "floor must be non-negative");
+        assert!(hf_cutoff_hz > 0.0, "cutoff must be positive");
+        SusceptibilityProfile {
+            peaks,
+            floor,
+            hf_cutoff_hz,
+        }
+    }
+
+    /// A profile that couples nothing at any frequency (a shielded or
+    /// monitor-less input — what GECKO effectively creates by disabling the
+    /// JIT protocol's use of the monitor).
+    pub fn immune() -> SusceptibilityProfile {
+        SusceptibilityProfile {
+            peaks: Vec::new(),
+            floor: 0.0,
+            hf_cutoff_hz: 1.0,
+        }
+    }
+
+    /// The resonance peaks.
+    pub fn peaks(&self) -> &[ResonancePeak] {
+        &self.peaks
+    }
+
+    /// Coupling gain (volts at the monitor input per volt of incident
+    /// amplitude) at `freq_hz`.
+    pub fn coupling_gain(&self, freq_hz: f64) -> f64 {
+        if freq_hz <= 0.0 {
+            return 0.0;
+        }
+        let raw: f64 = self.floor + self.peaks.iter().map(|p| p.response(freq_hz)).sum::<f64>();
+        // Second-order roll-off above the cutoff.
+        let r = freq_hz / self.hf_cutoff_hz;
+        raw / (1.0 + r * r * r * r)
+    }
+
+    /// High-frequency attenuation factor at `freq_hz` (1 at DC, rolling
+    /// off fourth-order above the cutoff) — applied to *any* path into the
+    /// monitor, including direct injection.
+    pub fn hf_attenuation(&self, freq_hz: f64) -> f64 {
+        if freq_hz <= 0.0 {
+            return 0.0;
+        }
+        let r = freq_hz / self.hf_cutoff_hz;
+        1.0 / (1.0 + r * r * r * r)
+    }
+
+    /// The frequency with the highest coupling gain over `lo_hz..=hi_hz`,
+    /// scanned at `step_hz` granularity. Returns `(freq_hz, gain)`.
+    pub fn worst_frequency(&self, lo_hz: f64, hi_hz: f64, step_hz: f64) -> (f64, f64) {
+        assert!(lo_hz > 0.0 && hi_hz >= lo_hz && step_hz > 0.0);
+        let mut best = (lo_hz, self.coupling_gain(lo_hz));
+        let mut f = lo_hz;
+        while f <= hi_hz {
+            let g = self.coupling_gain(f);
+            if g > best.1 {
+                best = (f, g);
+            }
+            f += step_hz;
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn profile() -> SusceptibilityProfile {
+        SusceptibilityProfile::new(vec![ResonancePeak::new(27e6, 2e6, 1.5)], 0.002, 50e6)
+    }
+
+    #[test]
+    fn peak_response_is_lorentzian() {
+        let p = ResonancePeak::new(27e6, 2e6, 1.0);
+        assert!((p.response(27e6) - 1.0).abs() < 1e-12);
+        assert!((p.response(29e6) - 0.5).abs() < 1e-12, "half at half-width");
+        assert!(p.response(100e6) < 0.01);
+    }
+
+    #[test]
+    fn resonance_dominates() {
+        let s = profile();
+        let at_res = s.coupling_gain(27e6);
+        let off_res = s.coupling_gain(5e6);
+        assert!(at_res > 50.0 * off_res, "{at_res} vs {off_res}");
+    }
+
+    #[test]
+    fn high_frequencies_are_harmless() {
+        let s = profile();
+        // Paper: above ~50 MHz no board misbehaved.
+        assert!(s.coupling_gain(200e6) < 0.01);
+        assert!(s.coupling_gain(1e9) < 1e-3);
+    }
+
+    #[test]
+    fn immune_profile_couples_nothing() {
+        let s = SusceptibilityProfile::immune();
+        for f in [1e6, 27e6, 500e6] {
+            assert_eq!(s.coupling_gain(f), 0.0);
+        }
+    }
+
+    #[test]
+    fn worst_frequency_finds_peak() {
+        let s = profile();
+        let (f, g) = s.worst_frequency(1e6, 100e6, 0.5e6);
+        assert!((f - 27e6).abs() < 1e6, "found {f}");
+        assert!(g > 1.0);
+    }
+
+    #[test]
+    fn zero_and_negative_frequency_couple_nothing() {
+        let s = profile();
+        assert_eq!(s.coupling_gain(0.0), 0.0);
+        assert_eq!(s.coupling_gain(-5.0), 0.0);
+    }
+}

@@ -1,0 +1,242 @@
+//! The energy-buffer capacitor.
+
+use std::fmt;
+
+/// A capacitor used as the energy buffer of an intermittent system.
+///
+/// State is the pair (capacitance, voltage); stored energy is `½·C·V²`.
+/// Charging integrates harvested power (with a charging efficiency factor),
+/// discharging removes instruction energy. The voltage never exceeds the
+/// rated ceiling set at charge time and never goes below zero.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Capacitor {
+    capacitance_f: f64,
+    voltage_v: f64,
+    /// Fraction of harvested energy that actually reaches the capacitor
+    /// (rectifier + regulator losses). 1.0 = lossless.
+    efficiency: f64,
+    /// Self-discharge (leakage) conductance in siemens; drains `G·V²` watts.
+    leak_s: f64,
+}
+
+impl Capacitor {
+    /// Creates a capacitor of `capacitance_f` farads pre-charged to
+    /// `voltage_v` volts, lossless and leak-free.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacitance_f <= 0` or `voltage_v < 0`.
+    pub fn new(capacitance_f: f64, voltage_v: f64) -> Capacitor {
+        assert!(capacitance_f > 0.0, "capacitance must be positive");
+        assert!(voltage_v >= 0.0, "voltage must be non-negative");
+        Capacitor {
+            capacitance_f,
+            voltage_v,
+            efficiency: 1.0,
+            leak_s: 0.0,
+        }
+    }
+
+    /// Sets the charging efficiency in `(0, 1]`, returning `self` for
+    /// builder-style chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `efficiency` is not in `(0, 1]`.
+    pub fn with_efficiency(mut self, efficiency: f64) -> Capacitor {
+        assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "efficiency must be in (0, 1]"
+        );
+        self.efficiency = efficiency;
+        self
+    }
+
+    /// Sets a leakage conductance in siemens.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `leak_s` is negative.
+    pub fn with_leakage(mut self, leak_s: f64) -> Capacitor {
+        assert!(leak_s >= 0.0, "leakage must be non-negative");
+        self.leak_s = leak_s;
+        self
+    }
+
+    /// Capacitance in farads.
+    pub fn capacitance_f(&self) -> f64 {
+        self.capacitance_f
+    }
+
+    /// Present voltage in volts.
+    pub fn voltage_v(&self) -> f64 {
+        self.voltage_v
+    }
+
+    /// Stored energy in joules (`½·C·V²`).
+    pub fn energy_j(&self) -> f64 {
+        0.5 * self.capacitance_f * self.voltage_v * self.voltage_v
+    }
+
+    /// Energy stored above a floor voltage, i.e. the budget available before
+    /// the voltage drops to `floor_v`. Zero when already below the floor.
+    pub fn energy_above_j(&self, floor_v: f64) -> f64 {
+        let floor_e = 0.5 * self.capacitance_f * floor_v * floor_v;
+        (self.energy_j() - floor_e).max(0.0)
+    }
+
+    /// Forces the voltage to `voltage_v` (used when modeling a DC bench
+    /// supply or when configuring experiments).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `voltage_v < 0`.
+    pub fn set_voltage(&mut self, voltage_v: f64) {
+        assert!(voltage_v >= 0.0, "voltage must be non-negative");
+        self.voltage_v = voltage_v;
+    }
+
+    /// Integrates `power_w` of harvested power for `dt_s` seconds, clamping
+    /// the voltage at `ceiling_v`. Also applies leakage. Returns the energy
+    /// actually banked (joules).
+    pub fn charge(&mut self, power_w: f64, dt_s: f64, ceiling_v: f64) -> f64 {
+        debug_assert!(dt_s >= 0.0);
+        let before = self.energy_j();
+        let leak_w = self.leak_s * self.voltage_v * self.voltage_v;
+        let delta = (power_w.max(0.0) * self.efficiency - leak_w) * dt_s;
+        let ceiling_e = 0.5 * self.capacitance_f * ceiling_v * ceiling_v;
+        let e = (before + delta).clamp(0.0, ceiling_e.max(before));
+        self.voltage_v = (2.0 * e / self.capacitance_f).sqrt();
+        e - before
+    }
+
+    /// Removes `energy_j` joules (instruction execution, checkpointing…).
+    /// Returns `true` if the full amount was available; on `false` the
+    /// capacitor is left fully drained (brown-out).
+    pub fn discharge_j(&mut self, energy_j: f64) -> bool {
+        debug_assert!(energy_j >= 0.0);
+        let e = self.energy_j();
+        if energy_j <= e {
+            let rem = e - energy_j;
+            self.voltage_v = (2.0 * rem / self.capacitance_f).sqrt();
+            true
+        } else {
+            self.voltage_v = 0.0;
+            false
+        }
+    }
+
+    /// Seconds needed to charge from the present voltage to `target_v` given
+    /// constant harvested `power_w`, accounting for efficiency (ignoring
+    /// leakage). Returns `f64::INFINITY` when `power_w <= 0`.
+    pub fn time_to_charge_s(&self, target_v: f64, power_w: f64) -> f64 {
+        if target_v <= self.voltage_v {
+            return 0.0;
+        }
+        let eff_w = power_w * self.efficiency;
+        if eff_w <= 0.0 {
+            return f64::INFINITY;
+        }
+        let target_e = 0.5 * self.capacitance_f * target_v * target_v;
+        (target_e - self.energy_j()) / eff_w
+    }
+}
+
+impl fmt::Display for Capacitor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1} mF @ {:.3} V ({:.3} mJ)",
+            self.capacitance_f * 1e3,
+            self.voltage_v,
+            self.energy_j() * 1e3
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn energy_formula() {
+        let c = Capacitor::new(1e-3, 3.3);
+        assert!((c.energy_j() - 0.5 * 1e-3 * 3.3 * 3.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_respects_ceiling() {
+        let mut c = Capacitor::new(1e-3, 3.0);
+        let banked = c.charge(1.0, 100.0, 3.3); // absurd power: must clamp
+        assert!((c.voltage_v() - 3.3).abs() < 1e-9);
+        let expect = 0.5e-3 * (3.3 * 3.3 - 3.0 * 3.0);
+        assert!((banked - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn discharge_success_and_brownout() {
+        let mut c = Capacitor::new(1e-3, 3.3);
+        let half = c.energy_j() / 2.0;
+        assert!(c.discharge_j(half));
+        assert!(c.voltage_v() < 3.3 && c.voltage_v() > 0.0);
+        assert!(!c.discharge_j(1.0), "overdraw must fail");
+        assert_eq!(c.voltage_v(), 0.0);
+        assert_eq!(c.energy_j(), 0.0);
+    }
+
+    #[test]
+    fn energy_above_floor() {
+        let c = Capacitor::new(2e-3, 3.0);
+        let e = c.energy_above_j(2.0);
+        assert!((e - 0.5 * 2e-3 * (9.0 - 4.0)).abs() < 1e-12);
+        assert_eq!(c.energy_above_j(3.5), 0.0);
+    }
+
+    #[test]
+    fn charge_conserves_energy() {
+        let mut c = Capacitor::new(1e-3, 1.0);
+        let before = c.energy_j();
+        let banked = c.charge(2e-3, 0.5, 3.3); // 1 mJ input, no clamp
+        assert!((banked - 1e-3).abs() < 1e-12);
+        assert!((c.energy_j() - before - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn efficiency_scales_intake() {
+        let mut lossless = Capacitor::new(1e-3, 1.0);
+        let mut lossy = Capacitor::new(1e-3, 1.0).with_efficiency(0.5);
+        let a = lossless.charge(1e-3, 1.0, 3.3);
+        let b = lossy.charge(1e-3, 1.0, 3.3);
+        assert!((a - 2.0 * b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn leakage_drains() {
+        let mut c = Capacitor::new(1e-3, 3.0).with_leakage(1e-5);
+        c.charge(0.0, 10.0, 3.3);
+        assert!(c.voltage_v() < 3.0);
+    }
+
+    #[test]
+    fn time_to_charge() {
+        let c = Capacitor::new(1e-3, 0.0);
+        // To 3.0 V: E = 4.5 mJ; at 1 mW → 4.5 s.
+        let t = c.time_to_charge_s(3.0, 1e-3);
+        assert!((t - 4.5).abs() < 1e-9);
+        assert_eq!(c.time_to_charge_s(0.0, 1e-3), 0.0);
+        assert_eq!(c.time_to_charge_s(3.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn larger_capacitor_charges_slower() {
+        let small = Capacitor::new(1e-3, 0.0);
+        let large = Capacitor::new(10e-3, 0.0);
+        assert!(large.time_to_charge_s(3.0, 1e-3) > small.time_to_charge_s(3.0, 1e-3));
+    }
+
+    #[test]
+    #[should_panic(expected = "capacitance")]
+    fn zero_capacitance_panics() {
+        let _ = Capacitor::new(0.0, 1.0);
+    }
+}

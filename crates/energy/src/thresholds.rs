@@ -1,0 +1,163 @@
+//! The voltage-threshold ladder of a just-in-time checkpointing system.
+
+use std::fmt;
+
+/// The four voltage thresholds that govern an intermittent system's life
+/// cycle (Section II-B of the paper):
+///
+/// * `v_max` — the rail / capacitor ceiling.
+/// * `v_on` — wake-up: when the capacitor recovers to this level the system
+///   reboots and restores the last checkpoint.
+/// * `v_backup` — JIT checkpoint trigger: when the monitor sees the supply
+///   fall below this level it checkpoints all volatile state.
+/// * `v_off` — brown-out: below this level the CPU cannot execute; volatile
+///   state is lost.
+///
+/// The ordering `v_max ≥ v_on > v_backup > v_off ≥ 0` is enforced. The
+/// `V_fail` window the paper exploits (`v_off < V < v_backup`) is the gap in
+/// which a *spoofed* wake-up leaves too little energy to complete the next
+/// checkpoint.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoltageThresholds {
+    /// Capacitor ceiling / supply rail (V).
+    pub v_max: f64,
+    /// Reboot-and-restore level (V).
+    pub v_on: f64,
+    /// JIT checkpoint trigger level (V).
+    pub v_backup: f64,
+    /// Brown-out level below which execution stops (V).
+    pub v_off: f64,
+}
+
+impl VoltageThresholds {
+    /// Creates a validated threshold ladder.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `v_max >= v_on > v_backup > v_off >= 0`.
+    pub fn new(v_max: f64, v_on: f64, v_backup: f64, v_off: f64) -> VoltageThresholds {
+        assert!(
+            v_max >= v_on && v_on > v_backup && v_backup > v_off && v_off >= 0.0,
+            "thresholds must satisfy v_max >= v_on > v_backup > v_off >= 0 \
+             (got {v_max}, {v_on}, {v_backup}, {v_off})"
+        );
+        VoltageThresholds {
+            v_max,
+            v_on,
+            v_backup,
+            v_off,
+        }
+    }
+
+    /// The MSP430FR5994/CTPL-like defaults used across the suite:
+    /// 3.3 V rail, reboot at 3.0 V, checkpoint at 2.2 V, brown-out at 1.9 V.
+    pub const fn msp430_defaults() -> VoltageThresholds {
+        VoltageThresholds {
+            v_max: 3.3,
+            v_on: 3.0,
+            v_backup: 2.2,
+            v_off: 1.9,
+        }
+    }
+
+    /// Whether `v` lies in the `V_fail` danger window (`v_off < v < v_backup`)
+    /// where a spoofed wake-up precedes an under-energized checkpoint.
+    pub fn in_fail_window(&self, v: f64) -> bool {
+        v > self.v_off && v < self.v_backup
+    }
+
+    /// Rescales the ladder so that a capacitor of `capacitance_f` buffers
+    /// the same *energy* between `v_on` and `v_off` as the reference
+    /// `(ref_capacitance_f, self)` configuration does.
+    ///
+    /// This mirrors the paper's capacitor-size sensitivity methodology
+    /// (Section VII-D): "all capacitors were set to buffer the same amount
+    /// of energy regardless of capacitance", which they achieved by
+    /// configuring the checkpoint voltage thresholds accordingly. Keeping
+    /// `v_max` and `v_on` fixed, this solves for new `v_backup`/`v_off`.
+    pub fn rescale_for_capacitor(
+        &self,
+        ref_capacitance_f: f64,
+        capacitance_f: f64,
+    ) -> VoltageThresholds {
+        assert!(ref_capacitance_f > 0.0 && capacitance_f > 0.0);
+        let ratio = ref_capacitance_f / capacitance_f;
+        // Energy budget between v_on and v_off, and margin between
+        // v_backup and v_off, both scale with C·ΔV²; solve V' so that
+        // C'·(v_on² − v'²) = C·(v_on² − v²).
+        let solve = |v: f64| -> f64 {
+            let dv2 = (self.v_on * self.v_on - v * v) * ratio;
+            (self.v_on * self.v_on - dv2).max(0.0).sqrt()
+        };
+        let v_off = solve(self.v_off);
+        let v_backup = solve(self.v_backup);
+        VoltageThresholds::new(self.v_max, self.v_on, v_backup, v_off)
+    }
+}
+
+impl Default for VoltageThresholds {
+    fn default() -> VoltageThresholds {
+        VoltageThresholds::msp430_defaults()
+    }
+}
+
+impl fmt::Display for VoltageThresholds {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Vmax={:.2} Von={:.2} Vbackup={:.2} Voff={:.2}",
+            self.v_max, self.v_on, self.v_backup, self.v_off
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_ordering_holds() {
+        let t = VoltageThresholds::default();
+        assert!(t.v_max >= t.v_on && t.v_on > t.v_backup && t.v_backup > t.v_off);
+    }
+
+    #[test]
+    #[should_panic(expected = "thresholds")]
+    fn rejects_bad_ordering() {
+        let _ = VoltageThresholds::new(3.3, 2.0, 2.5, 1.0);
+    }
+
+    #[test]
+    fn fail_window() {
+        let t = VoltageThresholds::default();
+        assert!(t.in_fail_window((t.v_off + t.v_backup) / 2.0));
+        assert!(!t.in_fail_window(t.v_backup));
+        assert!(!t.in_fail_window(t.v_off));
+        assert!(!t.in_fail_window(t.v_on));
+    }
+
+    #[test]
+    fn rescale_preserves_buffered_energy() {
+        let t = VoltageThresholds::default();
+        let c_ref = 1e-3;
+        for &c in &[2e-3, 5e-3, 10e-3] {
+            let t2 = t.rescale_for_capacitor(c_ref, c);
+            let budget_ref = 0.5 * c_ref * (t.v_on * t.v_on - t.v_off * t.v_off);
+            let budget_new = 0.5 * c * (t2.v_on * t2.v_on - t2.v_off * t2.v_off);
+            assert!(
+                (budget_ref - budget_new).abs() < 1e-9,
+                "capacitor {c}: {budget_ref} vs {budget_new}"
+            );
+            // Larger capacitor ⇒ narrower voltage window.
+            assert!(t2.v_off > t.v_off);
+        }
+    }
+
+    #[test]
+    fn rescale_identity() {
+        let t = VoltageThresholds::default();
+        let t2 = t.rescale_for_capacitor(1e-3, 1e-3);
+        assert!((t2.v_backup - t.v_backup).abs() < 1e-12);
+        assert!((t2.v_off - t.v_off).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,565 @@
+//! A small textual assembler and disassembler for the ISA.
+//!
+//! The format mirrors [`crate::Inst`]'s `Display` output, with labels naming
+//! basic blocks and `.segment` directives declaring data memory. It exists
+//! for tests, examples, and for dumping instrumented programs in a readable
+//! form; `assemble(disassemble(p))` round-trips every program.
+//!
+//! ```
+//! use gecko_isa::asm::{assemble, disassemble};
+//!
+//! let src = r#"
+//! .segment data 8 rw
+//! entry:
+//!     mov r1, 41
+//!     add r1, r1, 1
+//!     halt
+//! "#;
+//! let program = assemble("answer", src).expect("valid assembly");
+//! assert_eq!(program.inst_count(), 2);
+//! let text = disassemble(&program);
+//! let again = assemble("answer", &text).expect("round-trip");
+//! // Disassembly is a fixed point (labels are canonicalized to L<n>).
+//! assert_eq!(disassemble(&again), text);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{BinOp, Cond, Inst, IoOp, Operand, Reg, Terminator};
+use crate::program::{Block, BlockId, Program, RegionId, Segment};
+
+/// An assembly parse error with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based source line.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, AsmError> {
+    Err(AsmError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Renders a program in assembly syntax accepted by [`assemble`].
+pub fn disassemble(program: &Program) -> String {
+    let mut out = String::new();
+    for seg in program.segments() {
+        out.push_str(&format!(
+            ".segment {} {} {}\n",
+            seg.name,
+            seg.len,
+            if seg.writable { "rw" } else { "ro" }
+        ));
+    }
+    for (id, block) in program.blocks() {
+        out.push_str(&format!("L{}:\n", id.index()));
+        if let Some(bound) = block.loop_bound {
+            out.push_str(&format!("    .loop_bound {bound}\n"));
+        }
+        for inst in &block.insts {
+            out.push_str("    ");
+            match *inst {
+                Inst::Mov { dst, src } => out.push_str(&format!("mov {dst}, {src}")),
+                Inst::Bin { op, dst, lhs, rhs } => {
+                    out.push_str(&format!("{op} {dst}, {lhs}, {rhs}"))
+                }
+                Inst::Load { dst, base, off } => {
+                    out.push_str(&format!("ld {dst}, [{base}{off:+}]"))
+                }
+                Inst::Store { src, base, off } => {
+                    out.push_str(&format!("st {src}, [{base}{off:+}]"))
+                }
+                Inst::Io { op, reg } => match op {
+                    IoOp::Blink => out.push_str("blink"),
+                    _ => out.push_str(&format!("{op} {reg}")),
+                },
+                Inst::Boundary { region } => out.push_str(&format!(".region {}", region.index())),
+                Inst::Checkpoint { reg, slot } => out.push_str(&format!("ckpt {reg}, {slot}")),
+                Inst::Nop => out.push_str("nop"),
+            }
+            out.push('\n');
+        }
+        out.push_str("    ");
+        match block.term {
+            Terminator::Jump(t) => out.push_str(&format!("jmp L{}\n", t.index())),
+            Terminator::Branch {
+                cond,
+                lhs,
+                rhs,
+                taken,
+                fall,
+            } => out.push_str(&format!(
+                "{cond} {lhs}, {rhs}, L{}, L{}\n",
+                taken.index(),
+                fall.index()
+            )),
+            Terminator::Halt => out.push_str("halt\n"),
+        }
+    }
+    out
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<Reg, AsmError> {
+    let rest = tok
+        .strip_prefix('r')
+        .or_else(|| tok.strip_prefix('R'))
+        .ok_or(())
+        .or_else(|_| err(line, format!("expected register, got `{tok}`")))?;
+    let idx: usize = rest
+        .parse()
+        .or_else(|_| err(line, format!("bad register `{tok}`")))?;
+    Reg::try_new(idx).ok_or(()).or_else(|_| {
+        err(
+            line,
+            format!("register index {idx} out of range (0..{})", Reg::COUNT),
+        )
+    })
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, AsmError> {
+    if tok.starts_with('r') || tok.starts_with('R') {
+        if let Ok(r) = parse_reg(tok, line) {
+            return Ok(Operand::Reg(r));
+        }
+    }
+    let v: i32 = tok
+        .parse()
+        .or_else(|_| err(line, format!("bad operand `{tok}`")))?;
+    Ok(Operand::Imm(v))
+}
+
+/// Parses `[rN+off]` / `[rN-off]` / `[rN]`.
+fn parse_mem(tok: &str, line: usize) -> Result<(Reg, i32), AsmError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or(())
+        .or_else(|_| err(line, format!("expected memory operand, got `{tok}`")))?;
+    let split = inner[1..].find(['+', '-']).map(|i| i + 1);
+    match split {
+        Some(i) => {
+            let base = parse_reg(&inner[..i], line)?;
+            let off: i32 = inner[i..]
+                .parse()
+                .or_else(|_| err(line, format!("bad offset in `{tok}`")))?;
+            Ok((base, off))
+        }
+        None => Ok((parse_reg(inner, line)?, 0)),
+    }
+}
+
+fn binop_from_mnemonic(m: &str) -> Option<BinOp> {
+    BinOp::all().iter().copied().find(|op| op.mnemonic() == m)
+}
+
+fn cond_from_mnemonic(m: &str) -> Option<Cond> {
+    [Cond::Eq, Cond::Ne, Cond::Lt, Cond::Le, Cond::Gt, Cond::Ge]
+        .into_iter()
+        .find(|c| c.mnemonic() == m)
+}
+
+/// Parses assembly text into a [`Program`] named `name`.
+///
+/// The first label in the file is the entry block. Every block must end in
+/// an explicit terminator (`jmp`, a branch, or `halt`).
+///
+/// # Errors
+///
+/// Returns an [`AsmError`] pointing at the offending line.
+pub fn assemble(name: &str, source: &str) -> Result<Program, AsmError> {
+    // Pass 1: collect labels in order of appearance.
+    let mut label_ids: HashMap<String, BlockId> = HashMap::new();
+    let mut order: Vec<String> = Vec::new();
+    for (ln, raw) in source.lines().enumerate() {
+        let line = strip_comment(raw).trim();
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() {
+                return err(ln + 1, "empty label");
+            }
+            if label_ids.contains_key(label) {
+                return err(ln + 1, format!("duplicate label `{label}`"));
+            }
+            label_ids.insert(label.to_string(), BlockId::new(order.len()));
+            order.push(label.to_string());
+        }
+    }
+    if order.is_empty() {
+        return err(1, "no labels: a program needs at least one block");
+    }
+
+    let lookup = |tok: &str, line: usize| -> Result<BlockId, AsmError> {
+        label_ids
+            .get(tok)
+            .copied()
+            .ok_or(())
+            .or_else(|_| err(line, format!("unknown label `{tok}`")))
+    };
+
+    // Pass 2: parse.
+    let mut segments: Vec<Segment> = Vec::new();
+    let mut next_seg_start = 0u32;
+    let mut blocks: Vec<Option<Block>> = vec![None; order.len()];
+    let mut cur: Option<(BlockId, Vec<Inst>, Option<u32>, String)> = None;
+
+    for (ln0, raw) in source.lines().enumerate() {
+        let ln = ln0 + 1;
+        let line = strip_comment(raw).trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(label) = line.strip_suffix(':') {
+            if cur.is_some() {
+                return err(ln, "previous block missing terminator");
+            }
+            let label = label.trim().to_string();
+            let id = label_ids[&label];
+            cur = Some((id, Vec::new(), None, label));
+            continue;
+        }
+        // Tokenize: mnemonic, then comma-separated operands.
+        let (mnemonic, rest) = match line.find(char::is_whitespace) {
+            Some(i) => (&line[..i], line[i..].trim()),
+            None => (line, ""),
+        };
+        let args: Vec<&str> = if rest.is_empty() {
+            vec![]
+        } else {
+            rest.split(',').map(str::trim).collect()
+        };
+        let argn = |want: usize| -> Result<(), AsmError> {
+            if args.len() == want {
+                Ok(())
+            } else {
+                err(
+                    ln,
+                    format!("`{mnemonic}` wants {want} operands, got {}", args.len()),
+                )
+            }
+        };
+
+        if mnemonic == ".segment" {
+            if cur.is_some() {
+                return err(ln, ".segment must appear before the first label");
+            }
+            let parts: Vec<&str> = rest.split_whitespace().collect();
+            if parts.len() != 3 {
+                return err(ln, ".segment wants: name len rw|ro");
+            }
+            let len: u32 = parts[1]
+                .parse()
+                .or_else(|_| err(ln, format!("bad segment length `{}`", parts[1])))?;
+            let writable = match parts[2] {
+                "rw" => true,
+                "ro" => false,
+                other => return err(ln, format!("bad segment mode `{other}`")),
+            };
+            segments.push(Segment {
+                name: parts[0].to_string(),
+                start: next_seg_start,
+                len,
+                writable,
+            });
+            next_seg_start += len;
+            continue;
+        }
+
+        let Some((_, insts, loop_bound, _)) = cur.as_mut() else {
+            return err(ln, "instruction before first label");
+        };
+
+        match mnemonic {
+            ".loop_bound" => {
+                let b: u32 = rest
+                    .parse()
+                    .or_else(|_| err(ln, format!("bad loop bound `{rest}`")))?;
+                *loop_bound = Some(b);
+            }
+            ".region" => {
+                let r: usize = rest
+                    .parse()
+                    .or_else(|_| err(ln, format!("bad region id `{rest}`")))?;
+                insts.push(Inst::Boundary {
+                    region: RegionId::new(r),
+                });
+            }
+            "mov" => {
+                argn(2)?;
+                insts.push(Inst::Mov {
+                    dst: parse_reg(args[0], ln)?,
+                    src: parse_operand(args[1], ln)?,
+                });
+            }
+            "ld" => {
+                argn(2)?;
+                let (base, off) = parse_mem(args[1], ln)?;
+                insts.push(Inst::Load {
+                    dst: parse_reg(args[0], ln)?,
+                    base,
+                    off,
+                });
+            }
+            "st" => {
+                argn(2)?;
+                let (base, off) = parse_mem(args[1], ln)?;
+                insts.push(Inst::Store {
+                    src: parse_reg(args[0], ln)?,
+                    base,
+                    off,
+                });
+            }
+            "sense" => {
+                argn(1)?;
+                insts.push(Inst::Io {
+                    op: IoOp::Sense,
+                    reg: parse_reg(args[0], ln)?,
+                });
+            }
+            "send" => {
+                argn(1)?;
+                insts.push(Inst::Io {
+                    op: IoOp::Send,
+                    reg: parse_reg(args[0], ln)?,
+                });
+            }
+            "blink" => {
+                argn(0)?;
+                insts.push(Inst::Io {
+                    op: IoOp::Blink,
+                    reg: Reg::R0,
+                });
+            }
+            "ckpt" => {
+                argn(2)?;
+                let slot: u8 = args[1]
+                    .parse()
+                    .or_else(|_| err(ln, format!("bad slot `{}`", args[1])))?;
+                insts.push(Inst::Checkpoint {
+                    reg: parse_reg(args[0], ln)?,
+                    slot,
+                });
+            }
+            "nop" => {
+                argn(0)?;
+                insts.push(Inst::Nop);
+            }
+            "jmp" => {
+                argn(1)?;
+                let target = lookup(args[0], ln)?;
+                finish_block(&mut cur, &mut blocks, Terminator::Jump(target));
+            }
+            "halt" => {
+                argn(0)?;
+                finish_block(&mut cur, &mut blocks, Terminator::Halt);
+            }
+            m => {
+                if let Some(cond) = cond_from_mnemonic(m) {
+                    argn(4)?;
+                    let term = Terminator::Branch {
+                        cond,
+                        lhs: parse_reg(args[0], ln)?,
+                        rhs: parse_operand(args[1], ln)?,
+                        taken: lookup(args[2], ln)?,
+                        fall: lookup(args[3], ln)?,
+                    };
+                    finish_block(&mut cur, &mut blocks, term);
+                } else if let Some(op) = binop_from_mnemonic(m) {
+                    argn(3)?;
+                    insts.push(Inst::Bin {
+                        op,
+                        dst: parse_reg(args[0], ln)?,
+                        lhs: parse_reg(args[1], ln)?,
+                        rhs: parse_operand(args[2], ln)?,
+                    });
+                } else {
+                    return err(ln, format!("unknown mnemonic `{m}`"));
+                }
+            }
+        }
+    }
+    if cur.is_some() {
+        return err(source.lines().count(), "last block missing terminator");
+    }
+    let mut final_blocks = Vec::with_capacity(order.len());
+    for (i, b) in blocks.into_iter().enumerate() {
+        match b {
+            Some(b) => final_blocks.push(b),
+            None => return err(0, format!("label `{}` has no block body", order[i])),
+        }
+    }
+    Ok(Program::from_parts(
+        name,
+        final_blocks,
+        BlockId::new(0),
+        segments,
+    ))
+}
+
+fn finish_block(
+    cur: &mut Option<(BlockId, Vec<Inst>, Option<u32>, String)>,
+    blocks: &mut [Option<Block>],
+    term: Terminator,
+) {
+    let (id, insts, loop_bound, label) = cur.take().expect("finish_block with open block");
+    let mut block = Block::new(insts, term);
+    block.loop_bound = loop_bound;
+    block.label = Some(label);
+    blocks[id.index()] = Some(block);
+}
+
+fn strip_comment(line: &str) -> &str {
+    match line.find([';', '#']) {
+        Some(i) => &line[..i],
+        None => line,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const LOOP: &str = r#"
+        ; a counted loop with I/O
+        .segment data 4 rw
+        entry:
+            mov r1, 0
+            mov r2, 0
+            jmp head
+        head:
+            .loop_bound 8
+            blt r1, 8, body, exit
+        body:
+            add r2, r2, r1
+            add r1, r1, 1
+            jmp head
+        exit:
+            mov r3, 0
+            st r2, [r3+0]
+            send r2
+            halt
+    "#;
+
+    #[test]
+    fn assembles_loop() {
+        let p = assemble("loop", LOOP).unwrap();
+        assert_eq!(p.block_count(), 4);
+        assert_eq!(p.segments().len(), 1);
+        assert_eq!(p.block(BlockId::new(1)).loop_bound, Some(8));
+        crate::verify(&p).unwrap();
+    }
+
+    #[test]
+    fn round_trips() {
+        let p = assemble("loop", LOOP).unwrap();
+        let text = disassemble(&p);
+        let q = assemble("loop", &text).unwrap();
+        // Labels differ (L0 vs entry) but structure must be identical.
+        assert_eq!(p.block_count(), q.block_count());
+        for (id, b) in p.blocks() {
+            let qb = q.block(id);
+            assert_eq!(b.insts, qb.insts, "{id}");
+            assert_eq!(b.term, qb.term, "{id}");
+            assert_eq!(b.loop_bound, qb.loop_bound, "{id}");
+        }
+        assert_eq!(p.segments(), q.segments());
+    }
+
+    #[test]
+    fn pseudo_instructions_round_trip() {
+        let src = r#"
+        entry:
+            .region 3
+            ckpt r5, 1
+            mov r5, -7
+            halt
+        "#;
+        let p = assemble("pseudo", src).unwrap();
+        let q = assemble("pseudo", &disassemble(&p)).unwrap();
+        assert_eq!(
+            p.block(BlockId::new(0)).insts,
+            q.block(BlockId::new(0)).insts
+        );
+    }
+
+    #[test]
+    fn memory_operand_forms() {
+        let src = r#"
+        entry:
+            mov r2, 10
+            ld r1, [r2]
+            ld r1, [r2+4]
+            st r1, [r2-2]
+            halt
+        "#;
+        let p = assemble("mem", src).unwrap();
+        let insts = &p.block(BlockId::new(0)).insts;
+        assert_eq!(
+            insts[1],
+            Inst::Load {
+                dst: Reg::R1,
+                base: Reg::R2,
+                off: 0
+            }
+        );
+        assert_eq!(
+            insts[2],
+            Inst::Load {
+                dst: Reg::R1,
+                base: Reg::R2,
+                off: 4
+            }
+        );
+        assert_eq!(
+            insts[3],
+            Inst::Store {
+                src: Reg::R1,
+                base: Reg::R2,
+                off: -2
+            }
+        );
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = assemble("bad", "entry:\n    bogus r1\n    halt\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("bogus"));
+    }
+
+    #[test]
+    fn missing_terminator_is_error() {
+        let e = assemble("bad", "entry:\n    mov r1, 1\nnext:\n    halt\n").unwrap_err();
+        assert!(e.message.contains("terminator"));
+    }
+
+    #[test]
+    fn unknown_label_is_error() {
+        let e = assemble("bad", "entry:\n    jmp nowhere\n").unwrap_err();
+        assert!(e.message.contains("nowhere"));
+    }
+
+    #[test]
+    fn duplicate_label_is_error() {
+        let e = assemble("bad", "a:\n    halt\na:\n    halt\n").unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn register_bounds_checked() {
+        let e = assemble("bad", "entry:\n    mov r16, 0\n    halt\n").unwrap_err();
+        assert!(e.message.contains("out of range"));
+    }
+}

@@ -1,0 +1,364 @@
+//! Ergonomic construction of [`Program`]s.
+//!
+//! The builder keeps an implicit "current block"; instructions are appended
+//! to it until a terminator (`jump`, `branch`, `halt`) ends it. [`ProgramBuilder::bind`]
+//! starts the block for a previously created label. If `bind` is called while
+//! the current block has no terminator yet, the builder inserts a fall-through
+//! jump to the label being bound, mirroring assembler conventions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{BinOp, Cond, Inst, IoOp, Operand, Reg, Terminator};
+use crate::program::{Block, BlockId, Program, Segment};
+use crate::verify::{verify, VerifyError};
+
+/// Error produced by [`ProgramBuilder::finish`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// A label was created with `new_label` but never bound with `bind`.
+    UnboundLabel(String),
+    /// The final block has no terminator.
+    UnterminatedBlock,
+    /// A label was bound twice.
+    RebindLabel(String),
+    /// The finished program failed verification.
+    Verify(VerifyError),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnboundLabel(l) => write!(f, "label `{l}` was never bound"),
+            BuildError::UnterminatedBlock => write!(f, "final block has no terminator"),
+            BuildError::RebindLabel(l) => write!(f, "label `{l}` bound twice"),
+            BuildError::Verify(e) => write!(f, "verification failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<VerifyError> for BuildError {
+    fn from(e: VerifyError) -> BuildError {
+        BuildError::Verify(e)
+    }
+}
+
+/// Incremental builder for [`Program`]s. See the crate-level example.
+#[derive(Debug)]
+pub struct ProgramBuilder {
+    name: String,
+    blocks: Vec<Option<Block>>,
+    labels: HashMap<usize, String>,
+    bound: Vec<bool>,
+    current: Option<CurrentBlock>,
+    segments: Vec<Segment>,
+    next_segment_start: u32,
+}
+
+#[derive(Debug)]
+struct CurrentBlock {
+    id: BlockId,
+    insts: Vec<Inst>,
+    loop_bound: Option<u32>,
+    label: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates a builder; the entry block is open and current.
+    pub fn new(name: impl Into<String>) -> ProgramBuilder {
+        ProgramBuilder {
+            name: name.into(),
+            blocks: vec![None],
+            labels: HashMap::new(),
+            bound: vec![true],
+            current: Some(CurrentBlock {
+                id: BlockId::new(0),
+                insts: Vec::new(),
+                loop_bound: None,
+                label: Some("entry".to_string()),
+            }),
+            segments: Vec::new(),
+            next_segment_start: 0,
+        }
+    }
+
+    /// Creates a fresh label (a future block) with a diagnostic name.
+    pub fn new_label(&mut self, name: impl Into<String>) -> BlockId {
+        let id = BlockId::new(self.blocks.len());
+        self.blocks.push(None);
+        self.bound.push(false);
+        self.labels.insert(id.index(), name.into());
+        id
+    }
+
+    /// Starts emitting into `label`'s block. If the current block is still
+    /// open, a fall-through jump to `label` is inserted first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `label` is already bound (programming error in the caller).
+    pub fn bind(&mut self, label: BlockId) {
+        if self.current.is_some() {
+            self.terminate(Terminator::Jump(label));
+        }
+        assert!(
+            !self.bound[label.index()],
+            "label {label} bound twice (use distinct labels)"
+        );
+        self.bound[label.index()] = true;
+        self.current = Some(CurrentBlock {
+            id: label,
+            insts: Vec::new(),
+            loop_bound: None,
+            label: self.labels.get(&label.index()).cloned(),
+        });
+    }
+
+    /// Declares a maximum trip count for the current (loop-header) block.
+    /// Required by the compiler's WCET analysis for every loop header.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no block is open.
+    pub fn set_loop_bound(&mut self, bound: u32) {
+        self.cur().loop_bound = Some(bound);
+    }
+
+    /// Declares a data segment of `len` words and returns its start address.
+    /// Segments are laid out consecutively from address 0.
+    pub fn segment(&mut self, name: impl Into<String>, len: u32, writable: bool) -> u32 {
+        let start = self.next_segment_start;
+        self.segments.push(Segment {
+            name: name.into(),
+            start,
+            len,
+            writable,
+        });
+        self.next_segment_start = start + len;
+        start
+    }
+
+    fn cur(&mut self) -> &mut CurrentBlock {
+        self.current
+            .as_mut()
+            .expect("no open block: bind a label before emitting instructions")
+    }
+
+    /// Appends a raw instruction.
+    pub fn push(&mut self, inst: Inst) {
+        self.cur().insts.push(inst);
+    }
+
+    /// `dst = src`.
+    pub fn mov(&mut self, dst: Reg, src: impl Into<Operand>) {
+        self.push(Inst::Mov {
+            dst,
+            src: src.into(),
+        });
+    }
+
+    /// `dst = op(lhs, rhs)`.
+    pub fn bin(&mut self, op: BinOp, dst: Reg, lhs: Reg, rhs: impl Into<Operand>) {
+        self.push(Inst::Bin {
+            op,
+            dst,
+            lhs,
+            rhs: rhs.into(),
+        });
+    }
+
+    /// `dst = NVM[base + off]`.
+    pub fn load(&mut self, dst: Reg, base: Reg, off: i32) {
+        self.push(Inst::Load { dst, base, off });
+    }
+
+    /// `NVM[base + off] = src`.
+    pub fn store(&mut self, src: Reg, base: Reg, off: i32) {
+        self.push(Inst::Store { src, base, off });
+    }
+
+    /// `dst = sensor.next()`.
+    pub fn sense(&mut self, dst: Reg) {
+        self.push(Inst::Io {
+            op: IoOp::Sense,
+            reg: dst,
+        });
+    }
+
+    /// Transmit `src`.
+    pub fn send(&mut self, src: Reg) {
+        self.push(Inst::Io {
+            op: IoOp::Send,
+            reg: src,
+        });
+    }
+
+    /// Toggle the LED.
+    pub fn blink(&mut self) {
+        self.push(Inst::Io {
+            op: IoOp::Blink,
+            reg: Reg::R0,
+        });
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) {
+        self.push(Inst::Nop);
+    }
+
+    fn terminate(&mut self, term: Terminator) {
+        let cur = self
+            .current
+            .take()
+            .expect("no open block to terminate: bind a label first");
+        let mut block = Block::new(cur.insts, term);
+        block.loop_bound = cur.loop_bound;
+        block.label = cur.label;
+        self.blocks[cur.id.index()] = Some(block);
+    }
+
+    /// Ends the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.terminate(Terminator::Jump(target));
+    }
+
+    /// Ends the current block with a conditional branch.
+    pub fn branch(
+        &mut self,
+        cond: Cond,
+        lhs: Reg,
+        rhs: impl Into<Operand>,
+        taken: BlockId,
+        fall: BlockId,
+    ) {
+        self.terminate(Terminator::Branch {
+            cond,
+            lhs,
+            rhs: rhs.into(),
+            taken,
+            fall,
+        });
+    }
+
+    /// Ends the current block with `halt`.
+    pub fn halt(&mut self) {
+        self.terminate(Terminator::Halt);
+    }
+
+    /// Finishes and verifies the program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError`] when a label is unbound, the last block is
+    /// unterminated, or verification fails.
+    pub fn finish(self) -> Result<Program, BuildError> {
+        if self.current.is_some() {
+            return Err(BuildError::UnterminatedBlock);
+        }
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, b) in self.blocks.into_iter().enumerate() {
+            match b {
+                Some(b) => blocks.push(b),
+                None => {
+                    let name = self
+                        .labels
+                        .get(&i)
+                        .cloned()
+                        .unwrap_or_else(|| format!("b{i}"));
+                    return Err(BuildError::UnboundLabel(name));
+                }
+            }
+        }
+        let program = Program::from_parts(self.name, blocks, BlockId::new(0), self.segments);
+        verify(&program)?;
+        Ok(program)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line() {
+        let mut b = ProgramBuilder::new("p");
+        b.mov(Reg::R1, 7);
+        b.bin(BinOp::Add, Reg::R1, Reg::R1, 1);
+        b.halt();
+        let p = b.finish().unwrap();
+        assert_eq!(p.block_count(), 1);
+        assert_eq!(p.inst_count(), 2);
+    }
+
+    #[test]
+    fn fallthrough_bind_inserts_jump() {
+        let mut b = ProgramBuilder::new("p");
+        b.mov(Reg::R1, 1);
+        let next = b.new_label("next");
+        b.bind(next); // current block still open: auto fall-through
+        b.halt();
+        let p = b.finish().unwrap();
+        assert_eq!(p.block_count(), 2);
+        assert_eq!(p.block(p.entry()).term, Terminator::Jump(next));
+    }
+
+    #[test]
+    fn unbound_label_is_error() {
+        let mut b = ProgramBuilder::new("p");
+        let dangling = b.new_label("dangling");
+        b.jump(dangling);
+        assert_eq!(b.finish(), Err(BuildError::UnboundLabel("dangling".into())));
+    }
+
+    #[test]
+    fn unterminated_is_error() {
+        let mut b = ProgramBuilder::new("p");
+        b.mov(Reg::R1, 1);
+        assert_eq!(b.finish(), Err(BuildError::UnterminatedBlock));
+    }
+
+    #[test]
+    fn segments_are_consecutive() {
+        let mut b = ProgramBuilder::new("p");
+        let a = b.segment("a", 16, true);
+        let c = b.segment("c", 8, false);
+        b.halt();
+        let p = b.finish().unwrap();
+        assert_eq!(a, 0);
+        assert_eq!(c, 16);
+        assert_eq!(p.segments().len(), 2);
+        assert!(!p.segments()[1].writable);
+    }
+
+    #[test]
+    fn loop_with_bound() {
+        let mut b = ProgramBuilder::new("loop");
+        b.mov(Reg::R1, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.set_loop_bound(4);
+        b.branch(Cond::Lt, Reg::R1, 4, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, Reg::R1, Reg::R1, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.halt();
+        let p = b.finish().unwrap();
+        assert_eq!(p.block(head).loop_bound, Some(4));
+        assert_eq!(p.block(body).loop_bound, None);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound twice")]
+    fn double_bind_panics() {
+        let mut b = ProgramBuilder::new("p");
+        let l = b.new_label("l");
+        b.bind(l);
+        b.halt();
+        b.bind(l);
+    }
+}

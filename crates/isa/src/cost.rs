@@ -1,0 +1,226 @@
+//! Cycle and energy cost models.
+//!
+//! Modeled on a 16 MHz FRAM-class MCU (MSP430FR5994 with FRAM wait states):
+//! ALU operations are single-cycle, multiplies and divides are multi-cycle
+//! (no hardware divider), and every NVM access pays wait states. The
+//! absolute values are representative, not board-exact — the experiments
+//! report *relative* numbers (normalized execution time, progress rates),
+//! which depend only on the cost ratios.
+
+use crate::inst::{BinOp, Inst, Terminator};
+
+/// Cycle costs per instruction class.
+///
+/// Checkpoint stores and boundary commits are cheaper than general data
+/// stores: they target fixed, adjacent addresses in the dedicated
+/// checkpoint area, which the FRAM write buffer streams without the
+/// random-access wait states a data store pays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModel {
+    /// Simple ALU op / register move.
+    pub alu: u64,
+    /// Multiply.
+    pub mul: u64,
+    /// Divide / remainder (software-assisted on MSP430-class parts).
+    pub div: u64,
+    /// NVM (FRAM) read.
+    pub load: u64,
+    /// NVM (FRAM) write.
+    pub store: u64,
+    /// Peripheral transaction (sensor read, radio send, LED).
+    pub io: u64,
+    /// Region boundary: the runtime commits the current region id to NVM.
+    pub boundary: u64,
+    /// Compiler-directed checkpoint store (one register to NVM, indexed).
+    pub checkpoint: u64,
+    /// Control transfer.
+    pub branch: u64,
+    /// Core clock frequency in Hz, to convert cycles to time.
+    pub clock_hz: u64,
+}
+
+impl CostModel {
+    /// The reference MSP430FR5994-like cost model used throughout the suite.
+    pub const fn msp430fr5994() -> CostModel {
+        CostModel {
+            alu: 1,
+            mul: 5,
+            div: 20,
+            load: 2,
+            store: 3,
+            boundary: 2,
+            checkpoint: 1,
+            io: 120,
+            branch: 2,
+            clock_hz: 16_000_000,
+        }
+    }
+
+    /// Cycles to execute one instruction.
+    pub fn inst_cycles(&self, inst: &Inst) -> u64 {
+        match inst {
+            Inst::Mov { .. } => self.alu,
+            Inst::Bin { op, .. } => match op {
+                BinOp::Mul => self.mul,
+                BinOp::Div | BinOp::Rem => self.div,
+                _ => self.alu,
+            },
+            Inst::Load { .. } => self.load,
+            Inst::Store { .. } => self.store,
+            Inst::Io { .. } => self.io,
+            Inst::Boundary { .. } => self.boundary,
+            Inst::Checkpoint { .. } => self.checkpoint,
+            Inst::Nop => 1,
+        }
+    }
+
+    /// Cycles to execute a terminator.
+    pub fn term_cycles(&self, term: &Terminator) -> u64 {
+        match term {
+            Terminator::Jump(_) | Terminator::Branch { .. } => self.branch,
+            Terminator::Halt => 1,
+        }
+    }
+
+    /// Converts a cycle count to seconds at the model's clock.
+    pub fn cycles_to_seconds(&self, cycles: u64) -> f64 {
+        cycles as f64 / self.clock_hz as f64
+    }
+
+    /// Converts a cycle count to microseconds.
+    pub fn cycles_to_micros(&self, cycles: u64) -> f64 {
+        self.cycles_to_seconds(cycles) * 1e6
+    }
+}
+
+impl Default for CostModel {
+    fn default() -> CostModel {
+        CostModel::msp430fr5994()
+    }
+}
+
+/// Energy costs, in nanojoules.
+///
+/// At 3.3 V and ~0.9 mA active current a 16 MHz MCU draws ~3 mW, i.e.
+/// ~0.19 nJ per cycle; FRAM writes add write energy on top.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyModel {
+    /// Energy per active CPU cycle (nJ).
+    pub per_cycle_nj: f64,
+    /// Extra energy per NVM write (store / checkpoint / boundary commit), nJ.
+    pub nvm_write_extra_nj: f64,
+    /// Extra energy per peripheral transaction, nJ.
+    pub io_extra_nj: f64,
+    /// Sleep (hibernation) power draw in nanowatts, drawn while off/charging.
+    pub sleep_nw: f64,
+}
+
+impl EnergyModel {
+    /// The reference MSP430FR5994-like energy model.
+    pub const fn msp430fr5994() -> EnergyModel {
+        EnergyModel {
+            per_cycle_nj: 0.19,
+            nvm_write_extra_nj: 0.35,
+            io_extra_nj: 40.0,
+            sleep_nw: 250.0,
+        }
+    }
+
+    /// Energy to execute one instruction given its cycle count.
+    pub fn inst_energy_nj(&self, inst: &Inst, cycles: u64) -> f64 {
+        let mut e = self.per_cycle_nj * cycles as f64;
+        match inst {
+            Inst::Store { .. } | Inst::Checkpoint { .. } | Inst::Boundary { .. } => {
+                e += self.nvm_write_extra_nj;
+            }
+            Inst::Io { .. } => e += self.io_extra_nj,
+            _ => {}
+        }
+        e
+    }
+
+    /// Energy for `cycles` of plain execution (terminators, restores...).
+    pub fn cycles_energy_nj(&self, cycles: u64) -> f64 {
+        self.per_cycle_nj * cycles as f64
+    }
+}
+
+impl Default for EnergyModel {
+    fn default() -> EnergyModel {
+        EnergyModel::msp430fr5994()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Operand, Reg};
+
+    #[test]
+    fn alu_cheaper_than_memory_cheaper_than_io() {
+        let c = CostModel::default();
+        let alu = c.inst_cycles(&Inst::Mov {
+            dst: Reg::R0,
+            src: Operand::Imm(0),
+        });
+        let ld = c.inst_cycles(&Inst::Load {
+            dst: Reg::R0,
+            base: Reg::R1,
+            off: 0,
+        });
+        let io = c.inst_cycles(&Inst::Io {
+            op: crate::IoOp::Sense,
+            reg: Reg::R0,
+        });
+        assert!(alu < ld && ld < io);
+    }
+
+    #[test]
+    fn div_slowest_alu() {
+        let c = CostModel::default();
+        let mk = |op| Inst::Bin {
+            op,
+            dst: Reg::R0,
+            lhs: Reg::R1,
+            rhs: Operand::Imm(1),
+        };
+        assert!(c.inst_cycles(&mk(BinOp::Div)) > c.inst_cycles(&mk(BinOp::Mul)));
+        assert!(c.inst_cycles(&mk(BinOp::Mul)) > c.inst_cycles(&mk(BinOp::Add)));
+    }
+
+    #[test]
+    fn time_conversion() {
+        let c = CostModel::default();
+        assert!((c.cycles_to_seconds(16_000_000) - 1.0).abs() < 1e-12);
+        assert!((c.cycles_to_micros(16) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn store_energy_exceeds_mov_energy() {
+        let c = CostModel::default();
+        let e = EnergyModel::default();
+        let mov = Inst::Mov {
+            dst: Reg::R0,
+            src: Operand::Imm(0),
+        };
+        let st = Inst::Store {
+            src: Reg::R0,
+            base: Reg::R1,
+            off: 0,
+        };
+        let e_mov = e.inst_energy_nj(&mov, c.inst_cycles(&mov));
+        let e_st = e.inst_energy_nj(&st, c.inst_cycles(&st));
+        assert!(e_st > e_mov);
+    }
+
+    #[test]
+    fn checkpoint_pays_nvm_write_energy() {
+        let e = EnergyModel::default();
+        let ck = Inst::Checkpoint {
+            reg: Reg::R1,
+            slot: 0,
+        };
+        let nop = Inst::Nop;
+        assert!(e.inst_energy_nj(&ck, 5) > e.inst_energy_nj(&nop, 5));
+    }
+}

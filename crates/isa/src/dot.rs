@@ -1,0 +1,127 @@
+//! Graphviz (DOT) export of program CFGs — handy for inspecting what the
+//! compiler passes did to a program (`dot -Tsvg` renders it).
+
+use std::fmt::Write as _;
+
+use crate::inst::{Inst, Terminator};
+use crate::program::Program;
+
+/// Renders the program's CFG in Graphviz DOT syntax. Region boundaries and
+/// checkpoint clusters are highlighted so instrumented programs read at a
+/// glance.
+pub fn to_dot(program: &Program) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", program.name());
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for (id, block) in program.blocks() {
+        let mut label = String::new();
+        let _ = write!(label, "{id}");
+        if let Some(name) = &block.label {
+            let _ = write!(label, " ({name})");
+        }
+        if let Some(bound) = block.loop_bound {
+            let _ = write!(label, " [loop ≤{bound}]");
+        }
+        let _ = writeln!(label);
+        for inst in &block.insts {
+            let _ = writeln!(label, "{inst}");
+        }
+        let has_boundary = block
+            .insts
+            .iter()
+            .any(|i| matches!(i, Inst::Boundary { .. }));
+        let style = if id == program.entry() {
+            ", style=filled, fillcolor=\"#d0e8ff\""
+        } else if has_boundary {
+            ", style=filled, fillcolor=\"#e8ffd0\""
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "  b{} [label=\"{}\"{}];",
+            id.index(),
+            label.replace('\"', "'").replace('\n', "\\l"),
+            style
+        );
+        match block.term {
+            Terminator::Jump(t) => {
+                let _ = writeln!(out, "  b{} -> b{};", id.index(), t.index());
+            }
+            Terminator::Branch {
+                taken, fall, cond, ..
+            } => {
+                let _ = writeln!(
+                    out,
+                    "  b{} -> b{} [label=\"{}\"];",
+                    id.index(),
+                    taken.index(),
+                    cond
+                );
+                let _ = writeln!(
+                    out,
+                    "  b{} -> b{} [label=\"else\", style=dashed];",
+                    id.index(),
+                    fall.index()
+                );
+            }
+            Terminator::Halt => {
+                let _ = writeln!(out, "  b{} -> halt_{};", id.index(), id.index());
+                let _ = writeln!(
+                    out,
+                    "  halt_{} [label=\"halt\", shape=doublecircle];",
+                    id.index()
+                );
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::inst::{BinOp, Cond, Reg};
+
+    fn sample() -> Program {
+        let mut b = ProgramBuilder::new("dotty");
+        b.mov(Reg::R1, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.set_loop_bound(4);
+        b.branch(Cond::Lt, Reg::R1, 4, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, Reg::R1, Reg::R1, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.halt();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn dot_contains_every_block_and_edge() {
+        let dot = to_dot(&sample());
+        assert!(dot.starts_with("digraph \"dotty\""));
+        for b in 0..4 {
+            assert!(
+                dot.contains(&format!("b{b} [label=")),
+                "missing b{b}:\n{dot}"
+            );
+        }
+        assert!(dot.contains("b1 -> b2"), "taken edge");
+        assert!(dot.contains("style=dashed"), "fallthrough edge");
+        assert!(dot.contains("doublecircle"), "halt node");
+        assert!(dot.contains("[loop ≤4]"), "loop bound annotation");
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn entry_block_is_highlighted() {
+        let dot = to_dot(&sample());
+        assert!(dot.contains("#d0e8ff"), "entry fill colour");
+    }
+}

@@ -1,0 +1,175 @@
+//! Structural verification of programs.
+
+use std::fmt;
+
+use crate::inst::Inst;
+use crate::program::{BlockId, Program};
+
+/// A structural defect found by [`verify`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum VerifyError {
+    /// The entry block id is out of range.
+    EntryOutOfRange,
+    /// A terminator targets a non-existent block.
+    BadTarget { block: BlockId, target: BlockId },
+    /// Two memory segments overlap.
+    OverlappingSegments { a: String, b: String },
+    /// A checkpoint pseudo-instruction uses a slot other than 0, 1 or 2
+    /// (2 is the compiler's fix-up buffer).
+    BadCheckpointSlot { block: BlockId, slot: u8 },
+    /// The program has no block ending in `halt` — it could never complete.
+    NoHalt,
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::EntryOutOfRange => write!(f, "entry block out of range"),
+            VerifyError::BadTarget { block, target } => {
+                write!(f, "block {block} targets non-existent {target}")
+            }
+            VerifyError::OverlappingSegments { a, b } => {
+                write!(f, "segments `{a}` and `{b}` overlap")
+            }
+            VerifyError::BadCheckpointSlot { block, slot } => {
+                write!(
+                    f,
+                    "checkpoint in {block} has slot {slot} (must be 0, 1 or 2)"
+                )
+            }
+            VerifyError::NoHalt => write!(f, "program has no halt terminator"),
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Checks structural invariants of a program:
+/// all branch targets exist, the entry exists, segments don't overlap,
+/// checkpoint slots are binary, and a `halt` exists somewhere.
+///
+/// # Errors
+///
+/// Returns the first [`VerifyError`] found.
+pub fn verify(program: &Program) -> Result<(), VerifyError> {
+    let n = program.block_count();
+    if program.entry().index() >= n {
+        return Err(VerifyError::EntryOutOfRange);
+    }
+    let mut has_halt = false;
+    for (id, block) in program.blocks() {
+        for target in block.term.successors() {
+            if target.index() >= n {
+                return Err(VerifyError::BadTarget { block: id, target });
+            }
+        }
+        if matches!(block.term, crate::Terminator::Halt) {
+            has_halt = true;
+        }
+        for inst in &block.insts {
+            if let Inst::Checkpoint { slot, .. } = *inst {
+                if slot > 2 {
+                    return Err(VerifyError::BadCheckpointSlot { block: id, slot });
+                }
+            }
+        }
+    }
+    if !has_halt {
+        return Err(VerifyError::NoHalt);
+    }
+    let segs = program.segments();
+    for (i, a) in segs.iter().enumerate() {
+        for b in &segs[i + 1..] {
+            let disjoint = a.end() <= b.start || b.end() <= a.start;
+            if !disjoint {
+                return Err(VerifyError::OverlappingSegments {
+                    a: a.name.clone(),
+                    b: b.name.clone(),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::{Operand, Reg, Terminator};
+    use crate::program::{Block, Segment};
+
+    fn halt_block() -> Block {
+        Block::new(vec![], Terminator::Halt)
+    }
+
+    #[test]
+    fn accepts_minimal_program() {
+        let p = Program::from_parts("m", vec![halt_block()], BlockId::new(0), vec![]);
+        assert_eq!(verify(&p), Ok(()));
+    }
+
+    #[test]
+    fn rejects_bad_target() {
+        let b = Block::new(vec![], Terminator::Jump(BlockId::new(9)));
+        let p = Program::from_parts("m", vec![b, halt_block()], BlockId::new(0), vec![]);
+        assert!(matches!(verify(&p), Err(VerifyError::BadTarget { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_entry() {
+        let p = Program::from_parts("m", vec![halt_block()], BlockId::new(3), vec![]);
+        assert_eq!(verify(&p), Err(VerifyError::EntryOutOfRange));
+    }
+
+    #[test]
+    fn rejects_overlapping_segments() {
+        let segs = vec![
+            Segment {
+                name: "a".into(),
+                start: 0,
+                len: 10,
+                writable: true,
+            },
+            Segment {
+                name: "b".into(),
+                start: 5,
+                len: 10,
+                writable: true,
+            },
+        ];
+        let p = Program::from_parts("m", vec![halt_block()], BlockId::new(0), segs);
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::OverlappingSegments { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_checkpoint_slot() {
+        let b = Block::new(
+            vec![Inst::Checkpoint {
+                reg: Reg::R1,
+                slot: 3,
+            }],
+            Terminator::Halt,
+        );
+        let p = Program::from_parts("m", vec![b], BlockId::new(0), vec![]);
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::BadCheckpointSlot { slot: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_haltless_program() {
+        let b = Block::new(
+            vec![Inst::Mov {
+                dst: Reg::R0,
+                src: Operand::Imm(1),
+            }],
+            Terminator::Jump(BlockId::new(0)),
+        );
+        let p = Program::from_parts("m", vec![b], BlockId::new(0), vec![]);
+        assert_eq!(verify(&p), Err(VerifyError::NoHalt));
+    }
+}

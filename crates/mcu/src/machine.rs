@@ -1,0 +1,490 @@
+//! The CPU: volatile registers, program counter, and the step interpreter.
+
+use gecko_isa::{
+    BlockId, CostModel, EnergyModel, Inst, IoOp, Operand, Program, Reg, RegionId, Terminator, Word,
+};
+
+use crate::nvm::Nvm;
+use crate::periph::Peripherals;
+
+/// The sixteen volatile general-purpose registers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RegFile {
+    regs: [Word; Reg::COUNT],
+}
+
+impl RegFile {
+    /// All-zero registers (the power-on state).
+    pub fn new() -> RegFile {
+        RegFile::default()
+    }
+
+    /// Reads a register.
+    pub fn get(&self, r: Reg) -> Word {
+        self.regs[r.index()]
+    }
+
+    /// Writes a register.
+    pub fn set(&mut self, r: Reg, v: Word) {
+        self.regs[r.index()] = v;
+    }
+
+    /// The raw register array (for checkpointing).
+    pub fn snapshot(&self) -> [Word; Reg::COUNT] {
+        self.regs
+    }
+
+    /// Restores from a snapshot.
+    pub fn restore(&mut self, snapshot: [Word; Reg::COUNT]) {
+        self.regs = snapshot;
+    }
+
+    /// Zeroes every register (power failure).
+    pub fn clear(&mut self) {
+        self.regs = [0; Reg::COUNT];
+    }
+
+    fn operand(&self, op: Operand) -> Word {
+        match op {
+            Operand::Reg(r) => self.get(r),
+            Operand::Imm(v) => v,
+        }
+    }
+}
+
+/// The program counter: a block plus an instruction index within it. An
+/// index equal to the block's instruction count means "at the terminator".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Pc {
+    /// Current basic block.
+    pub block: BlockId,
+    /// Index of the next instruction within the block.
+    pub index: usize,
+}
+
+impl Pc {
+    /// A PC at the start of `block`.
+    pub fn at(block: BlockId) -> Pc {
+        Pc { block, index: 0 }
+    }
+
+    /// Packs the PC into two words (for checkpoint storage).
+    pub fn encode(self) -> (Word, Word) {
+        (self.block.index() as Word, self.index as Word)
+    }
+
+    /// Unpacks a PC from two words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either word is negative (corrupted checkpoint).
+    pub fn decode(block: Word, index: Word) -> Pc {
+        assert!(block >= 0 && index >= 0, "corrupted PC checkpoint");
+        Pc {
+            block: BlockId::new(block as usize),
+            index: index as usize,
+        }
+    }
+}
+
+/// An event surfaced by a single step, for the surrounding runtime to act
+/// on. The interpreter itself attaches no policy to these.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepEvent {
+    /// Crossed a compiler-inserted region boundary.
+    Boundary(RegionId),
+    /// Executed a compiler-inserted checkpoint store: the runtime must
+    /// persist the given register's *current value* to the checkpoint array
+    /// at the given double-buffer slot.
+    Checkpoint {
+        /// Register checkpointed.
+        reg: Reg,
+        /// Its value at the checkpoint.
+        value: Word,
+        /// Double-buffer slot color (0 or 1).
+        slot: u8,
+    },
+    /// Performed an I/O transaction.
+    Io(IoOp),
+    /// The program reached `halt`.
+    Halted,
+}
+
+/// The cycles/energy/event outcome of one step.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StepOutcome {
+    /// Cycles consumed.
+    pub cycles: u64,
+    /// Energy consumed (nJ).
+    pub energy_nj: f64,
+    /// Event for the runtime, if any.
+    pub event: Option<StepEvent>,
+}
+
+/// Accumulated totals from a whole run.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RunSummary {
+    /// Total cycles.
+    pub cycles: u64,
+    /// Total energy (nJ).
+    pub energy_nj: f64,
+    /// Instructions (including terminators) executed.
+    pub instructions: u64,
+}
+
+/// The volatile CPU state plus the step interpreter.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Machine {
+    regs: RegFile,
+    pc: Pc,
+    halted: bool,
+}
+
+impl Machine {
+    /// A machine about to execute the first instruction of `entry` with
+    /// zeroed registers (the cold-boot state).
+    pub fn new(entry: BlockId) -> Machine {
+        Machine {
+            regs: RegFile::new(),
+            pc: Pc::at(entry),
+            halted: false,
+        }
+    }
+
+    /// The register file.
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+
+    /// Mutable register file (used by restore paths).
+    pub fn regs_mut(&mut self) -> &mut RegFile {
+        &mut self.regs
+    }
+
+    /// The program counter.
+    pub fn pc(&self) -> Pc {
+        self.pc
+    }
+
+    /// Forces the PC (used by restore and rollback paths).
+    pub fn set_pc(&mut self, pc: Pc) {
+        self.pc = pc;
+        self.halted = false;
+    }
+
+    /// Whether the program has halted.
+    pub fn is_halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Power failure: volatile state (registers, PC, halt flag) is lost.
+    /// The machine is left at the entry of `entry` with zeroed registers,
+    /// exactly like a cold boot; any *restore* must be performed by the
+    /// recovery runtime from NVM state.
+    pub fn power_fail(&mut self, entry: BlockId) {
+        self.regs.clear();
+        self.pc = Pc::at(entry);
+        self.halted = false;
+    }
+
+    /// Executes one instruction (or the block terminator) and returns its
+    /// cost and event.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after `halt` (callers must check
+    /// [`Machine::is_halted`]), or if the PC points outside the program
+    /// (which verified programs cannot produce).
+    pub fn step(
+        &mut self,
+        program: &Program,
+        cost: &CostModel,
+        energy: &EnergyModel,
+        nvm: &mut Nvm,
+        periph: &mut Peripherals,
+    ) -> StepOutcome {
+        assert!(!self.halted, "stepping a halted machine");
+        let block = program.block(self.pc.block);
+        if self.pc.index < block.insts.len() {
+            let inst = block.insts[self.pc.index];
+            self.pc.index += 1;
+            let cycles = cost.inst_cycles(&inst);
+            let energy_nj = energy.inst_energy_nj(&inst, cycles);
+            let event = self.exec(inst, nvm, periph);
+            StepOutcome {
+                cycles,
+                energy_nj,
+                event,
+            }
+        } else {
+            let term = block.term;
+            let cycles = cost.term_cycles(&term);
+            let energy_nj = energy.cycles_energy_nj(cycles);
+            let event = match term {
+                Terminator::Jump(t) => {
+                    self.pc = Pc::at(t);
+                    None
+                }
+                Terminator::Branch {
+                    cond,
+                    lhs,
+                    rhs,
+                    taken,
+                    fall,
+                } => {
+                    let l = self.regs.get(lhs);
+                    let r = self.regs.operand(rhs);
+                    self.pc = Pc::at(if cond.eval(l, r) { taken } else { fall });
+                    None
+                }
+                Terminator::Halt => {
+                    self.halted = true;
+                    Some(StepEvent::Halted)
+                }
+            };
+            StepOutcome {
+                cycles,
+                energy_nj,
+                event,
+            }
+        }
+    }
+
+    fn exec(&mut self, inst: Inst, nvm: &mut Nvm, periph: &mut Peripherals) -> Option<StepEvent> {
+        match inst {
+            Inst::Mov { dst, src } => {
+                let v = self.regs.operand(src);
+                self.regs.set(dst, v);
+                None
+            }
+            Inst::Bin { op, dst, lhs, rhs } => {
+                let l = self.regs.get(lhs);
+                let r = self.regs.operand(rhs);
+                self.regs.set(dst, op.eval(l, r));
+                None
+            }
+            Inst::Load { dst, base, off } => {
+                let addr = (self.regs.get(base).wrapping_add(off)) as u32;
+                let v = nvm.load(addr);
+                self.regs.set(dst, v);
+                None
+            }
+            Inst::Store { src, base, off } => {
+                let addr = (self.regs.get(base).wrapping_add(off)) as u32;
+                nvm.store(addr, self.regs.get(src));
+                None
+            }
+            Inst::Io { op, reg } => {
+                match op {
+                    IoOp::Sense => {
+                        let v = periph.sense();
+                        self.regs.set(reg, v);
+                    }
+                    IoOp::Send => periph.send(self.regs.get(reg)),
+                    IoOp::Blink => periph.blink(),
+                }
+                Some(StepEvent::Io(op))
+            }
+            Inst::Boundary { region } => Some(StepEvent::Boundary(region)),
+            Inst::Checkpoint { reg, slot } => Some(StepEvent::Checkpoint {
+                reg,
+                value: self.regs.get(reg),
+                slot,
+            }),
+            Inst::Nop => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecko_isa::{BinOp, Cond, ProgramBuilder};
+
+    fn exec(program: &Program) -> (Machine, Nvm, Peripherals, RunSummary) {
+        let cost = CostModel::default();
+        let energy = EnergyModel::default();
+        let mut nvm = Nvm::new(1 << 10);
+        let mut periph = Peripherals::new(9);
+        let mut m = Machine::new(program.entry());
+        let mut s = RunSummary::default();
+        while !m.is_halted() {
+            let o = m.step(program, &cost, &energy, &mut nvm, &mut periph);
+            s.cycles += o.cycles;
+            s.energy_nj += o.energy_nj;
+            s.instructions += 1;
+            assert!(s.instructions < 100_000, "runaway test program");
+        }
+        (m, nvm, periph, s)
+    }
+
+    #[test]
+    fn arithmetic_and_store() {
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 4, true);
+        b.mov(Reg::R1, 6);
+        b.bin(BinOp::Mul, Reg::R1, Reg::R1, 7);
+        b.mov(Reg::R2, d as i32);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let (m, nvm, _, s) = exec(&p);
+        assert_eq!(nvm.read(d), 42);
+        assert!(m.is_halted());
+        assert!(s.cycles > 0 && s.energy_nj > 0.0);
+    }
+
+    #[test]
+    fn branching_loop_sums() {
+        let mut b = ProgramBuilder::new("t");
+        let (sum, i) = (Reg::R1, Reg::R2);
+        b.mov(sum, 0);
+        b.mov(i, 0);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.set_loop_bound(5);
+        b.branch(Cond::Lt, i, 5, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, sum, sum, i);
+        b.bin(BinOp::Add, i, i, 1);
+        b.jump(head);
+        b.bind(exit);
+        b.halt();
+        let p = b.finish().unwrap();
+        let (m, ..) = exec(&p);
+        assert_eq!(m.regs().get(sum), 10);
+    }
+
+    #[test]
+    fn load_reads_back_store() {
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 8, true);
+        b.mov(Reg::R1, d as i32);
+        b.mov(Reg::R2, 123);
+        b.store(Reg::R2, Reg::R1, 3);
+        b.load(Reg::R3, Reg::R1, 3);
+        b.halt();
+        let p = b.finish().unwrap();
+        let (m, ..) = exec(&p);
+        assert_eq!(m.regs().get(Reg::R3), 123);
+    }
+
+    #[test]
+    fn io_events_and_logs() {
+        let mut b = ProgramBuilder::new("t");
+        b.sense(Reg::R1);
+        b.send(Reg::R1);
+        b.blink();
+        b.halt();
+        let p = b.finish().unwrap();
+        let (_, _, periph, _) = exec(&p);
+        assert_eq!(periph.sent().len(), 1);
+        assert_eq!(periph.blink_count(), 1);
+        assert_eq!(periph.sense_count(), 1);
+    }
+
+    #[test]
+    fn pseudo_instructions_surface_events() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R5, 17);
+        b.push(Inst::Boundary {
+            region: RegionId::new(2),
+        });
+        b.push(Inst::Checkpoint {
+            reg: Reg::R5,
+            slot: 1,
+        });
+        b.halt();
+        let p = b.finish().unwrap();
+
+        let cost = CostModel::default();
+        let energy = EnergyModel::default();
+        let mut nvm = Nvm::new(64);
+        let mut periph = Peripherals::new(0);
+        let mut m = Machine::new(p.entry());
+        let mut events = Vec::new();
+        while !m.is_halted() {
+            if let Some(e) = m.step(&p, &cost, &energy, &mut nvm, &mut periph).event {
+                events.push(e);
+            }
+        }
+        assert_eq!(
+            events,
+            vec![
+                StepEvent::Boundary(RegionId::new(2)),
+                StepEvent::Checkpoint {
+                    reg: Reg::R5,
+                    value: 17,
+                    slot: 1
+                },
+                StepEvent::Halted,
+            ]
+        );
+    }
+
+    #[test]
+    fn power_fail_wipes_volatile_state_only() {
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 4, true);
+        b.mov(Reg::R1, 55);
+        b.mov(Reg::R2, d as i32);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let p = b.finish().unwrap();
+
+        let cost = CostModel::default();
+        let energy = EnergyModel::default();
+        let mut nvm = Nvm::new(64);
+        let mut periph = Peripherals::new(0);
+        let mut m = Machine::new(p.entry());
+        // Execute the three instructions, then fail before halt.
+        for _ in 0..3 {
+            let _ = m.step(&p, &cost, &energy, &mut nvm, &mut periph);
+        }
+        assert_eq!(nvm.read(d), 55);
+        m.power_fail(p.entry());
+        assert_eq!(m.regs().get(Reg::R1), 0, "registers lost");
+        assert_eq!(m.pc(), Pc::at(p.entry()), "pc reset");
+        assert_eq!(nvm.read(d), 55, "NVM survives");
+    }
+
+    #[test]
+    fn pc_encode_decode_roundtrip() {
+        let pc = Pc {
+            block: BlockId::new(7),
+            index: 13,
+        };
+        let (a, b) = pc.encode();
+        assert_eq!(Pc::decode(a, b), pc);
+    }
+
+    #[test]
+    #[should_panic(expected = "halted")]
+    fn stepping_halted_machine_panics() {
+        let mut b = ProgramBuilder::new("t");
+        b.halt();
+        let p = b.finish().unwrap();
+        let cost = CostModel::default();
+        let energy = EnergyModel::default();
+        let mut nvm = Nvm::new(64);
+        let mut periph = Peripherals::new(0);
+        let mut m = Machine::new(p.entry());
+        let _ = m.step(&p, &cost, &energy, &mut nvm, &mut periph);
+        let _ = m.step(&p, &cost, &energy, &mut nvm, &mut periph);
+    }
+
+    #[test]
+    fn negative_offset_addressing() {
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 8, true);
+        b.mov(Reg::R1, d as i32 + 4);
+        b.mov(Reg::R2, 77);
+        b.store(Reg::R2, Reg::R1, -2);
+        b.halt();
+        let p = b.finish().unwrap();
+        let (_, nvm, ..) = exec(&p);
+        assert_eq!(nvm.read(d + 2), 77);
+    }
+}

@@ -1,0 +1,158 @@
+//! The non-volatile main memory (FRAM model).
+
+use gecko_isa::Word;
+
+/// Word-addressed non-volatile memory.
+///
+/// Intermittent systems use FRAM as their main memory (no cache), so memory
+/// contents survive power failure by construction. The model keeps
+/// read/write counters (FRAM endurance is finite; the wear-out attack of
+/// Cronin et al. discussed in Section VIII motivates tracking them).
+///
+/// Address decoding wraps: the effective address is taken modulo the memory
+/// size (a power of two), mirroring MCUs that ignore high address bits.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nvm {
+    words: Vec<Word>,
+    mask: u32,
+    reads: u64,
+    writes: u64,
+}
+
+impl Nvm {
+    /// Creates a zeroed memory of `size_words` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `size_words` is a power of two.
+    pub fn new(size_words: u32) -> Nvm {
+        assert!(
+            size_words.is_power_of_two(),
+            "NVM size must be a power of two, got {size_words}"
+        );
+        Nvm {
+            words: vec![0; size_words as usize],
+            mask: size_words - 1,
+            reads: 0,
+            writes: 0,
+        }
+    }
+
+    /// Memory size in words.
+    pub fn len(&self) -> u32 {
+        self.words.len() as u32
+    }
+
+    /// Whether the memory has zero words (never true once constructed).
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads the word at `addr` (wrapping), counting the access.
+    pub fn load(&mut self, addr: u32) -> Word {
+        self.reads += 1;
+        self.words[(addr & self.mask) as usize]
+    }
+
+    /// Writes the word at `addr` (wrapping), counting the access.
+    pub fn store(&mut self, addr: u32, value: Word) {
+        self.writes += 1;
+        self.words[(addr & self.mask) as usize] = value;
+    }
+
+    /// Reads without counting (for inspection by tests and experiments).
+    pub fn read(&self, addr: u32) -> Word {
+        self.words[(addr & self.mask) as usize]
+    }
+
+    /// Writes without counting (for loading memory images).
+    pub fn write(&mut self, addr: u32, value: Word) {
+        self.words[(addr & self.mask) as usize] = value;
+    }
+
+    /// Copies `values` into memory starting at `base` (used to load app
+    /// data images).
+    pub fn write_image(&mut self, base: u32, values: &[Word]) {
+        for (i, &v) in values.iter().enumerate() {
+            self.write(base.wrapping_add(i as u32), v);
+        }
+    }
+
+    /// Reads `len` words starting at `base`.
+    pub fn read_range(&self, base: u32, len: u32) -> Vec<Word> {
+        (0..len).map(|i| self.read(base.wrapping_add(i))).collect()
+    }
+
+    /// Total counted loads.
+    pub fn read_count(&self) -> u64 {
+        self.reads
+    }
+
+    /// Total counted stores (an FRAM wear proxy).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    /// Zeroes the contents and counters (fresh chip).
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.reads = 0;
+        self.writes = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_store_roundtrip() {
+        let mut m = Nvm::new(64);
+        m.store(10, -7);
+        assert_eq!(m.load(10), -7);
+        assert_eq!(m.read(10), -7);
+    }
+
+    #[test]
+    fn wrapping_addressing() {
+        let mut m = Nvm::new(64);
+        m.store(64 + 3, 9);
+        assert_eq!(m.read(3), 9);
+        m.store(u32::MAX, 5); // wraps to 63
+        assert_eq!(m.read(63), 5);
+    }
+
+    #[test]
+    fn counters_track_counted_accesses_only() {
+        let mut m = Nvm::new(64);
+        m.store(0, 1);
+        let _ = m.load(0);
+        let _ = m.load(1);
+        m.write(2, 3); // uncounted
+        let _ = m.read(2); // uncounted
+        assert_eq!(m.write_count(), 1);
+        assert_eq!(m.read_count(), 2);
+    }
+
+    #[test]
+    fn image_and_range() {
+        let mut m = Nvm::new(64);
+        m.write_image(8, &[1, 2, 3]);
+        assert_eq!(m.read_range(8, 3), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reset_clears() {
+        let mut m = Nvm::new(64);
+        m.store(1, 2);
+        m.reset();
+        assert_eq!(m.read(1), 0);
+        assert_eq!(m.write_count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Nvm::new(100);
+    }
+}

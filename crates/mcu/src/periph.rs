@@ -1,0 +1,126 @@
+//! Scripted peripherals: sensor, radio, LED.
+
+use gecko_isa::Word;
+
+/// The board's peripherals.
+///
+/// * **Sensor** — `sense` returns a deterministic pseudo-random sequence
+///   derived from a seed (a splitmix64 stream), standing in for temperature
+///   / glucose / accelerometer samples. Re-sensing after a rollback reads
+///   the *next* sample, as a real re-executed sensor transaction would.
+/// * **Radio/UART** — `send` appends to an output log that experiments and
+///   tests inspect.
+/// * **LED** — `blink` counts toggles.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Peripherals {
+    sensor_state: u64,
+    sent: Vec<Word>,
+    blinks: u64,
+    senses: u64,
+}
+
+impl Peripherals {
+    /// Creates peripherals with a sensor stream seeded by `seed`.
+    pub fn new(seed: u64) -> Peripherals {
+        Peripherals {
+            sensor_state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            sent: Vec::new(),
+            blinks: 0,
+            senses: 0,
+        }
+    }
+
+    /// Reads the next sensor sample: a value in `0..4096` (a 12-bit ADC
+    /// peripheral reading).
+    pub fn sense(&mut self) -> Word {
+        self.senses += 1;
+        // splitmix64 step.
+        self.sensor_state = self.sensor_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.sensor_state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^= z >> 31;
+        (z & 0xFFF) as Word
+    }
+
+    /// Transmits `value`.
+    pub fn send(&mut self, value: Word) {
+        self.sent.push(value);
+    }
+
+    /// Toggles the LED.
+    pub fn blink(&mut self) {
+        self.blinks += 1;
+    }
+
+    /// Everything transmitted so far, in order.
+    pub fn sent(&self) -> &[Word] {
+        &self.sent
+    }
+
+    /// Number of LED toggles.
+    pub fn blink_count(&self) -> u64 {
+        self.blinks
+    }
+
+    /// Number of sensor reads.
+    pub fn sense_count(&self) -> u64 {
+        self.senses
+    }
+
+    /// Clears logs and counters but keeps the sensor stream position (the
+    /// environment does not rewind when an app restarts).
+    pub fn clear_logs(&mut self) {
+        self.sent.clear();
+        self.blinks = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sensor_is_deterministic_per_seed() {
+        let mut a = Peripherals::new(1);
+        let mut b = Peripherals::new(1);
+        let sa: Vec<_> = (0..16).map(|_| a.sense()).collect();
+        let sb: Vec<_> = (0..16).map(|_| b.sense()).collect();
+        assert_eq!(sa, sb);
+        let mut c = Peripherals::new(2);
+        let sc: Vec<_> = (0..16).map(|_| c.sense()).collect();
+        assert_ne!(sa, sc, "different seeds, different streams");
+    }
+
+    #[test]
+    fn sensor_values_are_12_bit() {
+        let mut p = Peripherals::new(42);
+        for _ in 0..1000 {
+            let v = p.sense();
+            assert!((0..4096).contains(&v));
+        }
+        assert_eq!(p.sense_count(), 1000);
+    }
+
+    #[test]
+    fn send_and_blink_logged() {
+        let mut p = Peripherals::new(0);
+        p.send(5);
+        p.send(-9);
+        p.blink();
+        assert_eq!(p.sent(), &[5, -9]);
+        assert_eq!(p.blink_count(), 1);
+        p.clear_logs();
+        assert!(p.sent().is_empty());
+        assert_eq!(p.blink_count(), 0);
+    }
+
+    #[test]
+    fn clear_logs_does_not_rewind_sensor() {
+        let mut p = Peripherals::new(3);
+        let first = p.sense();
+        p.clear_logs();
+        let second = p.sense();
+        assert_ne!(first, second, "stream advances past clear");
+    }
+}

@@ -1,0 +1,1044 @@
+//! The instruction-stepped device simulator: MCU + capacitor + harvester +
+//! voltage monitor + recovery-scheme runtime.
+//!
+//! ## Power model
+//!
+//! Executing is only possible while the capacitor's *real* voltage is above
+//! `V_off`. Every instruction draws its energy; harvested power integrates
+//! continuously. When the device sleeps it draws only leakage, and wakes
+//! according to the scheme: JIT-protocol schemes trust the (EMI-exposed)
+//! voltage monitor for both the checkpoint trigger (`reading < V_backup`)
+//! and the wake-up (`reading ≥ V_on`); GECKO in rollback mode uses only the
+//! MCU-internal power-on reset (the paper found internal components immune
+//! to remote EMI), booting at the *real* `V_on`.
+//!
+//! ## Scheme runtimes
+//!
+//! * **NVP** — CTPL: monitor-triggered word-by-word JIT checkpoint into a
+//!   single-buffered area; restore on wake; cold-restart on corruption.
+//! * **Ratchet** — no register clusters; at every region boundary the
+//!   runtime saves all sixteen registers into the inactive buffer and
+//!   commits atomically; monitor-triggered sleeps; rollback on wake.
+//! * **GECKO** — JIT protocol while trusted; compiler clusters persist into
+//!   the 3-slot checkpoint array at every boundary; reactive detection at
+//!   boot (ACK toggle + region-repeat), rollback recovery through the
+//!   recovery table (slot restores + recovery-block slices in a scratch
+//!   context), and probation-based JIT re-enablement (Section VI-F).
+
+use gecko_apps::App;
+use gecko_compiler::{
+    compile, compile_ratchet, CompileError, CompileOptions, RecoveryTable, RegionTable,
+    RestoreAction,
+};
+use gecko_ctpl::JitArea;
+use gecko_emi::{
+    AdcMonitor, AttackSchedule, ComparatorMonitor, DeviceModel, FilteredAdcMonitor, MonitorKind,
+};
+use gecko_energy::{Capacitor, ConstantPower, PowerSource, VoltageThresholds};
+use gecko_isa::{CostModel, EnergyModel, Program, Reg, RegionId};
+use gecko_mcu::{Machine, Nvm, Pc, Peripherals, StepEvent};
+
+use crate::areas::{GeckoArea, GeckoMode, RatchetArea};
+use crate::metrics::Metrics;
+use crate::scheme::SchemeKind;
+
+/// Boot-sequence latency (bootloader, clock and peripheral bring-up) in
+/// cycles — FRAM-board CTPL wake paths cost on the order of a millisecond.
+pub const REBOOT_CYCLES: u64 = 24_000;
+/// Application restart bookkeeping cycles (excluding the data reload).
+pub const RESTART_CYCLES: u64 = 500;
+/// Sleep-phase simulation tick.
+pub const SLEEP_TICK_S: f64 = 2.5e-4;
+/// Consecutive positive wake samples the CTPL wake path requires before
+/// booting (debounce). Under a resonant attack the oscillating monitor
+/// rarely produces a stable run, which is what stretches the spoofed
+/// sleep phases and collapses forward progress to the few percent of
+/// Table I.
+pub const WAKE_STABLE_SAMPLES: u32 = 6;
+/// Words of SRAM + peripheral state the CTPL checkpoint saves besides the
+/// register file (the library checkpoints the whole volatile footprint).
+pub const CTPL_STATE_WORDS: u32 = 4096;
+/// RTC fallback: if the supply has genuinely been above `V_on` this long
+/// but the monitor never produced a stable wake signal, the LPM timer wakes
+/// the device anyway (CTPL arms an RTC alongside the comparator/ADC wake
+/// sources). Without it, an attacker could suppress wake-ups indefinitely
+/// and starve even the reactive detector of boots.
+pub const WAKE_FALLBACK_S: f64 = 0.1;
+/// The minimum power-on period (cycles) GECKO's WCET analysis guarantees a
+/// charge cycle provides (Section VI-A): a *monitor-reported* outage that
+/// arrives sooner is physically impossible for a healthy capacitor and is
+/// treated as attack evidence.
+pub const MIN_ON_PERIOD_CYCLES: u64 = 100_000;
+/// NVM words of main memory.
+pub const NVM_WORDS: u32 = 1 << 16;
+
+/// Everything needed to instantiate a simulated device.
+#[derive(Debug)]
+pub struct SimConfig {
+    /// The recovery scheme under test.
+    pub scheme: SchemeKind,
+    /// The board's EMI susceptibility model.
+    pub device: DeviceModel,
+    /// Which voltage monitor drives the JIT protocol.
+    pub monitor: MonitorKind,
+    /// The voltage-threshold ladder.
+    pub thresholds: VoltageThresholds,
+    /// Energy-buffer capacitance (farads).
+    pub capacitance_f: f64,
+    /// Initial capacitor voltage; `None` = fully charged (`v_max`).
+    pub initial_voltage_v: Option<f64>,
+    /// The harvested-power source.
+    pub harvester: Box<dyn PowerSource>,
+    /// The attack schedule (possibly empty).
+    pub attack: AttackSchedule,
+    /// Compiler options for the instrumented schemes.
+    pub compile: CompileOptions,
+    /// Peripheral sensor seed.
+    pub seed: u64,
+    /// Optional median filter in front of the ADC monitor (the hardware
+    /// countermeasure studied in Section V-A1); `Some(taps)` enables it.
+    pub adc_filter_taps: Option<usize>,
+}
+
+impl SimConfig {
+    /// A lab bench configuration: MSP430FR5994 model, ADC monitor, 1 mF
+    /// capacitor, generous DC supply, no attack.
+    pub fn bench_supply(scheme: SchemeKind) -> SimConfig {
+        SimConfig {
+            scheme,
+            device: gecko_emi::devices::msp430fr5994(),
+            monitor: MonitorKind::Adc,
+            thresholds: VoltageThresholds::default(),
+            capacitance_f: 1e-3,
+            initial_voltage_v: None,
+            harvester: Box::new(ConstantPower::bench_supply()),
+            attack: AttackSchedule::none(),
+            compile: CompileOptions::default(),
+            seed: 7,
+            adc_filter_taps: None,
+        }
+    }
+
+    /// The paper's energy-harvesting environment: a weak RF harvester whose
+    /// average power (~1.2 mW) is well below the ~3 mW active draw, so the
+    /// device naturally duty-cycles: it drains the capacitor to `V_backup`,
+    /// checkpoints, hibernates while recharging to `V_on`, and resumes —
+    /// the periodic-outage regime of Section VII-B3.
+    pub fn harvesting(scheme: SchemeKind) -> SimConfig {
+        SimConfig {
+            harvester: Box::new(ConstantPower::new(1.2e-3)),
+            ..SimConfig::bench_supply(scheme)
+        }
+    }
+
+    /// Replaces the attack schedule (builder style).
+    pub fn with_attack(mut self, attack: AttackSchedule) -> SimConfig {
+        self.attack = attack;
+        self
+    }
+
+    /// Replaces the board model (builder style).
+    pub fn with_device(mut self, device: DeviceModel, monitor: MonitorKind) -> SimConfig {
+        self.device = device;
+        self.monitor = monitor;
+        self
+    }
+
+    /// Replaces the energy buffer: capacitance and initial charge
+    /// (builder style). Thresholds are left as configured.
+    pub fn with_capacitor(mut self, capacitance_f: f64, initial_voltage_v: f64) -> SimConfig {
+        self.capacitance_f = capacitance_f;
+        self.initial_voltage_v = Some(initial_voltage_v);
+        self
+    }
+
+    /// Like [`SimConfig::with_capacitor`] but rescales the thresholds so
+    /// the buffered energy matches the 1 mF reference, per the paper's
+    /// Section VII-D methodology (only meaningful for larger capacitors).
+    pub fn with_rescaled_capacitor(
+        mut self,
+        capacitance_f: f64,
+        initial_voltage_v: f64,
+    ) -> SimConfig {
+        self.thresholds = self.thresholds.rescale_for_capacitor(1e-3, capacitance_f);
+        self.capacitance_f = capacitance_f;
+        self.initial_voltage_v = Some(initial_voltage_v);
+        self
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PowerState {
+    On,
+    Sleeping,
+}
+
+/// A running simulated device.
+#[derive(Debug)]
+pub struct Simulator {
+    program: Program,
+    regions: RegionTable,
+    recovery: RecoveryTable,
+    scheme: SchemeKind,
+
+    machine: Machine,
+    nvm: Nvm,
+    periph: Peripherals,
+    cap: Capacitor,
+    thresholds: VoltageThresholds,
+
+    device: DeviceModel,
+    monitor_kind: MonitorKind,
+    adc: AdcMonitor,
+    adc_filter: Option<FilteredAdcMonitor>,
+    comp_backup: ComparatorMonitor,
+    comp_wake: ComparatorMonitor,
+    attack: AttackSchedule,
+    harvester: Box<dyn PowerSource>,
+
+    jit: JitArea,
+    gecko: GeckoArea,
+    ratchet: RatchetArea,
+
+    cost: CostModel,
+    energy: EnergyModel,
+
+    app: App,
+    state: PowerState,
+    t_s: f64,
+    /// Gecko probation: Some(signal_seen) while probing after a rollback
+    /// boot, cleared at the first boundary.
+    probe: Option<bool>,
+    /// Consecutive positive wake samples seen while sleeping.
+    wake_stable: u32,
+    /// Time spent sleeping while the real supply was above `V_on` (the RTC
+    /// fallback's clock).
+    suppressed_s: f64,
+    /// Active cycles since the last boot (volatile).
+    cycles_since_boot: u64,
+    /// The compiler's static statistics (for experiment reporting).
+    pub compile_stats: gecko_compiler::CompileStats,
+    /// Accumulated metrics.
+    pub metrics: Metrics,
+}
+
+impl Simulator {
+    /// Builds a device running `app` under `config`. Compiles the app as
+    /// the scheme requires.
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors for the instrumented schemes.
+    pub fn new(app: &App, config: SimConfig) -> Result<Simulator, CompileError> {
+        let (program, regions, recovery, stats) = match config.scheme {
+            SchemeKind::Nvp => (
+                app.program.clone(),
+                RegionTable::default(),
+                RecoveryTable::new(),
+                gecko_compiler::CompileStats::default(),
+            ),
+            SchemeKind::Ratchet => {
+                let out = compile_ratchet(&app.program)?;
+                (out.program, out.regions, out.recovery, out.stats)
+            }
+            SchemeKind::Gecko => {
+                let out = compile(&app.program, &config.compile)?;
+                (out.program, out.regions, out.recovery, out.stats)
+            }
+            SchemeKind::GeckoNoPrune => {
+                let out = compile(&app.program, &config.compile.without_pruning())?;
+                (out.program, out.regions, out.recovery, out.stats)
+            }
+        };
+
+        let mut nvm = Nvm::new(NVM_WORDS);
+        for (base, words) in &app.image {
+            nvm.write_image(*base, words);
+        }
+        let machine = Machine::new(program.entry());
+        let sim = Simulator {
+            machine,
+            nvm,
+            periph: Peripherals::new(config.seed),
+            cap: Capacitor::new(
+                config.capacitance_f,
+                config.initial_voltage_v.unwrap_or(config.thresholds.v_max),
+            ),
+            thresholds: config.thresholds,
+            device: config.device,
+            monitor_kind: config.monitor,
+            adc: AdcMonitor::default(),
+            adc_filter: config
+                .adc_filter_taps
+                .map(|taps| FilteredAdcMonitor::new(AdcMonitor::default(), taps)),
+            comp_backup: ComparatorMonitor::default(),
+            comp_wake: ComparatorMonitor::default(),
+            attack: config.attack,
+            harvester: config.harvester,
+            jit: JitArea::new(NVM_WORDS - 64),
+            gecko: GeckoArea::new(NVM_WORDS - 160),
+            ratchet: RatchetArea::new(NVM_WORDS - 256),
+            cost: CostModel::default(),
+            energy: EnergyModel::default(),
+            app: app.clone(),
+            scheme: config.scheme,
+            program,
+            regions,
+            recovery,
+            state: PowerState::On,
+            t_s: 0.0,
+            probe: None,
+            wake_stable: 0,
+            suppressed_s: 0.0,
+            cycles_since_boot: 0,
+            compile_stats: stats,
+            metrics: Metrics::default(),
+        };
+        let mut sim = sim;
+        if sim.cap.voltage_v() >= sim.thresholds.v_on {
+            sim.first_boot();
+        } else {
+            sim.state = PowerState::Sleeping;
+            // Provisioning still happens (mode words are factory-set).
+            if matches!(config.scheme, SchemeKind::Gecko | SchemeKind::GeckoNoPrune) {
+                sim.gecko.set_mode(&mut sim.nvm, GeckoMode::Jit);
+                let _ = sim.jit.boot_check_and_record(&mut sim.nvm);
+                let _ = sim.gecko.boot_check_and_record(&mut sim.nvm);
+            }
+        }
+        Ok(sim)
+    }
+
+    /// The instrumented program the device runs.
+    pub fn program(&self) -> &Program {
+        &self.program
+    }
+
+    /// Present simulated time (s).
+    pub fn time_s(&self) -> f64 {
+        self.t_s
+    }
+
+    /// Present real capacitor voltage (V).
+    pub fn voltage_v(&self) -> f64 {
+        self.cap.voltage_v()
+    }
+
+    /// Read-only access to main memory (for output inspection in tests).
+    pub fn nvm(&self) -> &Nvm {
+        &self.nvm
+    }
+
+    /// Executes exactly `n` simulation steps (instructions while on, sleep
+    /// ticks while off). Fault-injection harnesses use this for precise
+    /// positioning before [`Simulator::inject_power_failure`].
+    pub fn run_steps(&mut self, n: u64) -> Metrics {
+        for _ in 0..n {
+            match self.state {
+                PowerState::On => self.on_instruction(),
+                PowerState::Sleeping => self.sleep_tick(),
+            }
+        }
+        self.metrics.sim_time_s = self.t_s;
+        self.metrics
+    }
+
+    /// Fault injection: an instantaneous total power failure right now —
+    /// volatile state is lost and the capacitor is drained to zero, exactly
+    /// as if the harvester had been disconnected. Used by the
+    /// crash-consistency test suite to exercise arbitrary failure points.
+    pub fn inject_power_failure(&mut self) {
+        self.cap.set_voltage(0.0);
+        if self.state == PowerState::On {
+            self.power_failure();
+        }
+    }
+
+    /// Whether the device is currently executing (not hibernating).
+    pub fn is_on(&self) -> bool {
+        self.state == PowerState::On
+    }
+
+    /// The persisted GECKO runtime mode, for the GECKO schemes (`None`
+    /// for NVP/Ratchet).
+    pub fn gecko_mode(&self) -> Option<crate::areas::GeckoMode> {
+        match self.scheme {
+            SchemeKind::Gecko | SchemeKind::GeckoNoPrune => Some(self.gecko.mode(&self.nvm)),
+            _ => None,
+        }
+    }
+
+    /// Runs until `n` application completions have accumulated or
+    /// `max_seconds` of device time elapse, whichever comes first.
+    pub fn run_until_completions(&mut self, n: u64, max_seconds: f64) -> Metrics {
+        let t_end = self.t_s + max_seconds;
+        while self.t_s < t_end && self.metrics.completions < n {
+            match self.state {
+                PowerState::On => self.on_instruction(),
+                PowerState::Sleeping => self.sleep_tick(),
+            }
+        }
+        self.metrics.sim_time_s = self.t_s;
+        self.metrics
+    }
+
+    /// Runs the simulation for `seconds` of device time; returns the
+    /// metrics accumulated so far (cumulative across calls).
+    pub fn run_for(&mut self, seconds: f64) -> Metrics {
+        let t_end = self.t_s + seconds;
+        while self.t_s < t_end {
+            match self.state {
+                PowerState::On => self.on_instruction(),
+                PowerState::Sleeping => self.sleep_tick(),
+            }
+        }
+        self.metrics.sim_time_s = self.t_s;
+        self.metrics
+    }
+
+    // ----- power / time plumbing ---------------------------------------
+
+    fn disturbance_amp(&self) -> f64 {
+        match self.attack.active_at(self.t_s) {
+            Some(a) => self
+                .device
+                .induced_amplitude_v(self.monitor_kind, &a.signal, a.injection),
+            None => 0.0,
+        }
+    }
+
+    /// Advances time by `cycles`, integrating harvest and drawing
+    /// `extra_nj` on top of the per-cycle energy. Returns `false` when the
+    /// capacitor hit brown-out during the interval.
+    fn consume(&mut self, cycles: u64, extra_nj: f64, forward: bool) -> bool {
+        let dt = self.cost.cycles_to_seconds(cycles);
+        let power = self.harvester.power_w(self.t_s);
+        self.cap.charge(power, dt, self.thresholds.v_max);
+        let e_nj = self.energy.cycles_energy_nj(cycles) + extra_nj;
+        self.metrics.energy_nj += e_nj;
+        if forward {
+            self.metrics.forward_cycles += cycles;
+        } else {
+            self.metrics.overhead_cycles += cycles;
+        }
+        self.cycles_since_boot += cycles;
+        self.t_s += dt;
+        let alive = self.cap.discharge_j(e_nj * 1e-9);
+        alive && self.cap.voltage_v() >= self.thresholds.v_off
+    }
+
+    /// One ADC-path read, through the median filter when configured.
+    fn adc_read(&mut self, amp: f64) -> f64 {
+        let (v, t) = (self.cap.voltage_v(), self.t_s);
+        match &mut self.adc_filter {
+            Some(f) => f.read(v, amp, t),
+            None => self.adc.read(v, amp, t),
+        }
+    }
+
+    /// Whether the monitor asserts the checkpoint (power-loss) signal.
+    fn monitor_says_checkpoint(&mut self) -> bool {
+        let amp = self.disturbance_amp();
+        match self.monitor_kind {
+            MonitorKind::Adc => {
+                let r = self.adc_read(amp);
+                r < self.thresholds.v_backup
+            }
+            MonitorKind::Comparator => {
+                let v = self.cap.voltage_v();
+                self.comp_backup
+                    .is_below(v, amp, self.thresholds.v_backup, self.t_s)
+            }
+        }
+    }
+
+    /// Whether the monitor asserts the wake-up signal.
+    fn monitor_says_wake(&mut self) -> bool {
+        let amp = self.disturbance_amp();
+        match self.monitor_kind {
+            MonitorKind::Adc => {
+                let r = self.adc_read(amp);
+                r >= self.thresholds.v_on
+            }
+            MonitorKind::Comparator => {
+                let v = self.cap.voltage_v();
+                !self
+                    .comp_wake
+                    .is_below(v, amp, self.thresholds.v_on, self.t_s)
+            }
+        }
+    }
+
+    // ----- sleep & boot --------------------------------------------------
+
+    fn sleep_tick(&mut self) {
+        let dt = SLEEP_TICK_S;
+        let power = self.harvester.power_w(self.t_s);
+        self.cap.charge(power, dt, self.thresholds.v_max);
+        self.cap.discharge_j(self.energy.sleep_nw * 1e-9 * dt);
+        self.t_s += dt;
+
+        let really_charged = self.cap.voltage_v() >= self.thresholds.v_on;
+        let wake_sample = if self.uses_monitor_for_wake() {
+            self.monitor_says_wake()
+        } else {
+            really_charged
+        };
+        // RTC fallback clock: counts only while a wake is genuinely due.
+        if really_charged {
+            self.suppressed_s += dt;
+        } else {
+            self.suppressed_s = 0.0;
+        }
+        if wake_sample {
+            self.wake_stable += 1;
+            if self.wake_stable >= WAKE_STABLE_SAMPLES {
+                self.wake_stable = 0;
+                self.suppressed_s = 0.0;
+                self.boot();
+            }
+        } else {
+            self.wake_stable = 0;
+            if self.suppressed_s > WAKE_FALLBACK_S {
+                // LPM timer expires: wake regardless of the monitor.
+                self.suppressed_s = 0.0;
+                self.wake_stable = 0;
+                self.boot();
+            }
+        }
+    }
+
+    fn uses_monitor_for_wake(&self) -> bool {
+        match self.scheme {
+            SchemeKind::Nvp | SchemeKind::Ratchet => true,
+            SchemeKind::Gecko | SchemeKind::GeckoNoPrune => {
+                // Rollback mode trusts only the internal POR.
+                self.gecko.mode(&self.nvm) != GeckoMode::Rollback
+            }
+        }
+    }
+
+    fn first_boot(&mut self) {
+        // Fresh device: initialize runtime areas without counting a reboot.
+        match self.scheme {
+            SchemeKind::Nvp => {}
+            SchemeKind::Ratchet => {}
+            SchemeKind::Gecko | SchemeKind::GeckoNoPrune => {
+                self.gecko.set_mode(&mut self.nvm, GeckoMode::Jit);
+                let _ = self.jit.boot_check_and_record(&mut self.nvm);
+                let _ = self.gecko.boot_check_and_record(&mut self.nvm);
+            }
+        }
+        self.state = PowerState::On;
+    }
+
+    fn boot(&mut self) {
+        self.metrics.reboots += 1;
+        self.cycles_since_boot = 0;
+        self.adc.reset();
+        if let Some(f) = &mut self.adc_filter {
+            f.reset();
+        }
+        self.comp_backup.reset();
+        self.comp_wake.reset();
+        if !self.consume(REBOOT_CYCLES, 0.0, false) {
+            self.state = PowerState::Sleeping;
+            return;
+        }
+        // Unfinished application-restart reload?
+        if self.gecko.reload_pending(&self.nvm) {
+            self.do_reload();
+            self.gecko.set_reload_pending(&mut self.nvm, false);
+        }
+        match self.scheme {
+            SchemeKind::Nvp => self.boot_nvp(),
+            SchemeKind::Ratchet => self.boot_ratchet(),
+            SchemeKind::Gecko | SchemeKind::GeckoNoPrune => self.boot_gecko(),
+        }
+        self.state = PowerState::On;
+    }
+
+    fn boot_nvp(&mut self) {
+        if let Some((regs, pc)) = self.jit.try_restore(&self.nvm) {
+            self.machine.regs_mut().restore(regs);
+            self.machine.set_pc(pc);
+            let restore =
+                JitArea::restore_cycles(&self.cost) + CTPL_STATE_WORDS as u64 * self.cost.load;
+            let _ = self.consume(restore, 0.0, false);
+        } else {
+            // Corrupted or absent checkpoint: cold restart of the program
+            // (the device has no way to reconstruct its progress).
+            self.machine = Machine::new(self.program.entry());
+        }
+    }
+
+    fn boot_ratchet(&mut self) {
+        match self.ratchet.committed(&self.nvm) {
+            Some((region, buf)) => {
+                let regs = self.ratchet.read_regs(&self.nvm, buf);
+                self.machine.regs_mut().restore(regs);
+                self.rollback_to(region);
+                let _ = self.consume(
+                    gecko_compiler::ratchet::ratchet_restore_cycles(&self.cost),
+                    0.0,
+                    false,
+                );
+            }
+            None => self.machine = Machine::new(self.program.entry()),
+        }
+    }
+
+    fn boot_gecko(&mut self) {
+        let repeat = self.gecko.boot_check_and_record(&mut self.nvm);
+        #[cfg(feature = "sim-trace")]
+        eprintln!(
+            "[boot t={:.6}] mode={:?} committed={} crossings={} repeat={repeat}",
+            self.t_s,
+            self.gecko.mode(&self.nvm),
+            self.gecko.committed_region(&self.nvm),
+            self.gecko.crossings(&self.nvm)
+        );
+        let _ = self.consume(30, 0.0, false);
+        match self.gecko.mode(&self.nvm) {
+            GeckoMode::Fresh => {
+                self.gecko.set_mode(&mut self.nvm, GeckoMode::Jit);
+                let _ = self.jit.boot_check_and_record(&mut self.nvm);
+                self.machine = Machine::new(self.program.entry());
+            }
+            GeckoMode::Jit => {
+                let ack_alarm = self.jit.boot_check_and_record(&mut self.nvm);
+                // Minimum-power-on-period check (Section VI-A): the WCET
+                // analysis sized regions against the guaranteed power-on
+                // period; a monitor-reported outage arriving far sooner
+                // can only be spoofed.
+                let too_soon = self
+                    .gecko
+                    .take_on_cycles(&mut self.nvm)
+                    .is_some_and(|c| c < MIN_ON_PERIOD_CYCLES);
+                if ack_alarm || repeat || too_soon {
+                    // Attack detected: close the surface and roll back.
+                    self.metrics.attack_detections += 1;
+                    self.gecko.set_mode(&mut self.nvm, GeckoMode::Rollback);
+                    self.jit.invalidate(&mut self.nvm);
+                    self.gecko_rollback_restore();
+                    self.probe = None;
+                } else if let Some((regs, pc)) = self.jit.try_restore(&self.nvm) {
+                    self.machine.regs_mut().restore(regs);
+                    self.machine.set_pc(pc);
+                    let restore = JitArea::restore_cycles(&self.cost)
+                        + CTPL_STATE_WORDS as u64 * self.cost.load;
+                    let _ = self.consume(restore, 0.0, false);
+                } else {
+                    self.gecko_rollback_restore();
+                }
+            }
+            GeckoMode::Rollback => {
+                self.gecko_rollback_restore();
+                // Probation: watch the monitor during the first region.
+                self.probe = Some(false);
+            }
+        }
+    }
+
+    fn gecko_rollback_restore(&mut self) {
+        let region = self.gecko.committed_region(&self.nvm);
+        #[cfg(feature = "sim-trace")]
+        eprintln!(
+            "[rollback t={:.6}] region={region} actions={}",
+            self.t_s,
+            self.recovery.actions(region).len()
+        );
+        let lookup = self.recovery.lookup_cost_insts() as u64;
+        let _ = self.consume(lookup * self.cost.alu, 0.0, false);
+        let actions: Vec<RestoreAction> = self.recovery.actions(region).to_vec();
+        let mut slices = 0u64;
+        for action in &actions {
+            match action {
+                RestoreAction::FromSlot { reg, slot } => {
+                    let v = self.gecko.read_slot(&self.nvm, *reg, *slot);
+                    self.machine.regs_mut().set(*reg, v);
+                    let _ = self.consume(self.cost.load, 0.0, false);
+                }
+                RestoreAction::Recompute { reg, slice } => {
+                    slices += 1;
+                    // Scratch context seeded with the restored-so-far file.
+                    let mut scratch = *self.machine.regs();
+                    for inst in slice {
+                        let cycles = self.cost.inst_cycles(inst);
+                        let _ = self.consume(cycles, 0.0, false);
+                        exec_slice_inst(inst, &mut scratch, &mut self.nvm);
+                    }
+                    let v = scratch.get(*reg);
+                    self.machine.regs_mut().set(*reg, v);
+                }
+            }
+        }
+        self.metrics.recovery_slices += slices;
+        self.metrics.rollbacks += 1;
+        self.rollback_to(region);
+    }
+
+    fn rollback_to(&mut self, region: RegionId) {
+        let (block, index) = match self.regions.get(region) {
+            Some(info) => info.resume_point(),
+            None => (self.program.entry(), 0),
+        };
+        self.machine.set_pc(Pc { block, index });
+    }
+
+    // ----- ON-state execution -------------------------------------------
+
+    fn on_instruction(&mut self) {
+        let out = self.machine.step(
+            &self.program,
+            &self.cost,
+            &self.energy,
+            &mut self.nvm,
+            &mut self.periph,
+        );
+        let is_overhead = matches!(
+            out.event,
+            Some(StepEvent::Boundary(_)) | Some(StepEvent::Checkpoint { .. })
+        );
+        let extra = out.energy_nj - self.energy.cycles_energy_nj(out.cycles);
+        if !self.consume(out.cycles, extra.max(0.0), !is_overhead) {
+            self.power_failure();
+            return;
+        }
+
+        match out.event {
+            Some(StepEvent::Boundary(region)) => self.handle_boundary(region),
+            Some(StepEvent::Checkpoint { reg, value, slot }) => {
+                self.metrics.checkpoint_stores += 1;
+                self.gecko.write_slot(&mut self.nvm, reg, slot, value);
+            }
+            Some(StepEvent::Halted) => {
+                self.complete_run();
+                return;
+            }
+            _ => {}
+        }
+        if self.state != PowerState::On {
+            return;
+        }
+
+        // Monitor-driven JIT / sleep logic.
+        if self.jit_protocol_active() {
+            if self.monitor_says_checkpoint() {
+                match self.scheme {
+                    SchemeKind::Nvp => self.jit_checkpoint_and_sleep(),
+                    SchemeKind::Ratchet => {
+                        // Clean shutdown: boundary state is already durable.
+                        self.machine.power_fail(self.program.entry());
+                        self.wake_stable = 0;
+                        self.state = PowerState::Sleeping;
+                    }
+                    SchemeKind::Gecko | SchemeKind::GeckoNoPrune => self.jit_checkpoint_and_sleep(),
+                }
+            }
+        } else if let Some(seen) = self.probe {
+            // Rollback-mode probation: a checkpoint signal right after boot
+            // (capacitor full) can only be spoofed.
+            if !seen && self.monitor_says_checkpoint() {
+                self.probe = Some(true);
+            }
+        }
+    }
+
+    fn jit_protocol_active(&self) -> bool {
+        match self.scheme {
+            SchemeKind::Nvp | SchemeKind::Ratchet => true,
+            SchemeKind::Gecko | SchemeKind::GeckoNoPrune => {
+                self.gecko.mode(&self.nvm) == GeckoMode::Jit
+            }
+        }
+    }
+
+    fn handle_boundary(&mut self, region: RegionId) {
+        self.metrics.boundary_commits += 1;
+        match self.scheme {
+            SchemeKind::Nvp => {}
+            SchemeKind::Ratchet => {
+                // Centralized checkpoint: 16 registers into the inactive
+                // buffer, then the atomic commit word.
+                let buf = self.ratchet.write_buffer(&self.nvm);
+                let snapshot = self.machine.regs().snapshot();
+                for r in Reg::all() {
+                    if !self.consume(self.cost.checkpoint, self.energy.nvm_write_extra_nj, false) {
+                        self.power_failure();
+                        return;
+                    }
+                    self.ratchet
+                        .write_reg(&mut self.nvm, buf, r, snapshot[r.index()]);
+                }
+                // Index load + flip + packed commit store.
+                if !self.consume(
+                    self.cost.load + self.cost.alu + self.cost.boundary,
+                    self.energy.nvm_write_extra_nj,
+                    false,
+                ) {
+                    self.power_failure();
+                    return;
+                }
+                self.ratchet.commit(&mut self.nvm, region, buf);
+            }
+            SchemeKind::Gecko | SchemeKind::GeckoNoPrune => {
+                self.gecko.commit_region(&mut self.nvm, region);
+                // Probation resolves at the first boundary after boot.
+                if let Some(signal_seen) = self.probe.take() {
+                    if !signal_seen {
+                        self.gecko.set_mode(&mut self.nvm, GeckoMode::Jit);
+                        let _ = self.jit.boot_check_and_record(&mut self.nvm);
+                        self.metrics.jit_reenables += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    fn jit_checkpoint_and_sleep(&mut self) {
+        self.metrics.jit_checkpoints += 1;
+        // CTPL saves the full volatile footprint (SRAM + peripheral state)
+        // before the register file; metered in chunks so the capacitor can
+        // run dry mid-way — the checkpoint-failure pathology.
+        let chunk = 64u64;
+        let mut remaining = CTPL_STATE_WORDS as u64;
+        while remaining > 0 {
+            let n = remaining.min(chunk);
+            if !self.consume(
+                self.cost.store * n,
+                self.energy.nvm_write_extra_nj * n as f64,
+                false,
+            ) {
+                self.metrics.jit_checkpoint_failures += 1;
+                self.power_failure();
+                return;
+            }
+            remaining -= n;
+        }
+        if matches!(self.scheme, SchemeKind::Gecko | SchemeKind::GeckoNoPrune) {
+            // One extra payload word: how long this power-on period lasted
+            // (the minimum-on-period detector's evidence).
+            self.gecko
+                .record_on_cycles(&mut self.nvm, self.cycles_since_boot);
+        }
+        let regs = self.machine.regs().snapshot();
+        let pc = self.machine.pc();
+        let mut writer = self.jit.begin_checkpoint(regs, pc, &mut self.nvm);
+        while !writer.is_done() {
+            if !self.consume(self.cost.store, self.energy.nvm_write_extra_nj, false) {
+                // Energy exhausted mid-checkpoint: checkpoint failure.
+                self.metrics.jit_checkpoint_failures += 1;
+                self.power_failure();
+                return;
+            }
+            writer.write_next(&mut self.nvm);
+        }
+        // Clean shutdown.
+        self.machine.power_fail(self.program.entry());
+        self.wake_stable = 0;
+        self.state = PowerState::Sleeping;
+    }
+
+    fn power_failure(&mut self) {
+        self.metrics.dirty_deaths += 1;
+        self.machine.power_fail(self.program.entry());
+        self.probe = None;
+        self.wake_stable = 0;
+        self.suppressed_s = 0.0;
+        self.state = PowerState::Sleeping;
+    }
+
+    fn complete_run(&mut self) {
+        // Order matters for crash consistency of the restart protocol —
+        // see the module docs of `areas`.
+        match self.scheme {
+            SchemeKind::Nvp => self.jit.invalidate(&mut self.nvm),
+            SchemeKind::Ratchet => self.ratchet.invalidate(&mut self.nvm),
+            SchemeKind::Gecko | SchemeKind::GeckoNoPrune => {
+                self.gecko.commit_region(&mut self.nvm, RegionId::new(0));
+            }
+        }
+        self.gecko.set_reload_pending(&mut self.nvm, true);
+        if !self.consume(RESTART_CYCLES, 2.0 * self.energy.nvm_write_extra_nj, false) {
+            self.power_failure();
+            return;
+        }
+        // Read the output before the reload clobbers anything.
+        let got = self.nvm.read(self.app.checksum_addr);
+        self.metrics.completions += 1;
+        if got != self.app.expected_checksum {
+            self.metrics.checksum_errors += 1;
+            #[cfg(feature = "sim-trace")]
+            eprintln!(
+                "[CORRUPT t={:.6}] got={got} expected={} completion #{}",
+                self.t_s, self.app.expected_checksum, self.metrics.completions
+            );
+        }
+        if !self.do_reload() {
+            return;
+        }
+        self.gecko.set_reload_pending(&mut self.nvm, false);
+        self.machine = Machine::new(self.program.entry());
+    }
+
+    /// Rewrites the application's data image (the restart prologue).
+    /// Returns `false` if power failed mid-reload.
+    fn do_reload(&mut self) -> bool {
+        let image = self.app.image.clone();
+        for (base, words) in &image {
+            let cycles = self.cost.store * words.len() as u64;
+            let extra = self.energy.nvm_write_extra_nj * words.len() as f64;
+            self.nvm.write_image(*base, words);
+            if !self.consume(cycles, extra, false) {
+                self.power_failure();
+                return false;
+            }
+        }
+        true
+    }
+}
+
+/// Executes one recovery-block instruction against a scratch register file.
+/// Recovery slices contain only moves, ALU ops and read-only loads.
+fn exec_slice_inst(inst: &gecko_isa::Inst, regs: &mut gecko_mcu::RegFile, nvm: &mut Nvm) {
+    use gecko_isa::{Inst, Operand};
+    match *inst {
+        Inst::Mov { dst, src } => {
+            let v = match src {
+                Operand::Reg(r) => regs.get(r),
+                Operand::Imm(v) => v,
+            };
+            regs.set(dst, v);
+        }
+        Inst::Bin { op, dst, lhs, rhs } => {
+            let l = regs.get(lhs);
+            let r = match rhs {
+                Operand::Reg(r) => regs.get(r),
+                Operand::Imm(v) => v,
+            };
+            regs.set(dst, op.eval(l, r));
+        }
+        Inst::Load { dst, base, off } => {
+            let addr = (regs.get(base).wrapping_add(off)) as u32;
+            let v = nvm.load(addr);
+            regs.set(dst, v);
+        }
+        ref other => unreachable!("recovery slices never contain {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gecko_emi::{AttackSchedule, EmiSignal, Injection};
+
+    fn app() -> gecko_apps::App {
+        gecko_apps::app_by_name("blink").expect("bundled app")
+    }
+
+    #[test]
+    fn bench_supply_keeps_the_rail_up() {
+        let mut sim = Simulator::new(&app(), SimConfig::bench_supply(SchemeKind::Nvp)).unwrap();
+        let m = sim.run_for(0.05);
+        assert!(sim.voltage_v() > 3.2, "{}", sim.voltage_v());
+        assert_eq!(m.dirty_deaths, 0);
+        assert!(m.completions > 0);
+    }
+
+    #[test]
+    fn weak_harvester_duty_cycles() {
+        let mut sim = Simulator::new(&app(), SimConfig::harvesting(SchemeKind::Nvp)).unwrap();
+        let m = sim.run_for(6.0);
+        assert!(m.jit_checkpoints >= 1, "{m:?}");
+        assert!(m.reboots >= 1, "{m:?}");
+        assert_eq!(m.jit_checkpoint_failures, 0, "{m:?}");
+    }
+
+    #[test]
+    fn empty_capacitor_boots_only_after_charging() {
+        let cfg = SimConfig::harvesting(SchemeKind::Gecko).with_capacitor(1e-3, 0.0);
+        let mut sim = Simulator::new(&app(), cfg).unwrap();
+        assert!(!sim.is_on(), "starts hibernating");
+        // ~4.5 mJ to V_on at 1.2 mW needs seconds.
+        let m = sim.run_for(1.0);
+        assert_eq!(m.completions, 0, "still charging: {m:?}");
+        let m = sim.run_for(6.0);
+        assert!(m.completions > 0, "eventually boots and runs: {m:?}");
+    }
+
+    #[test]
+    fn injected_failure_wipes_volatile_state_and_recovers() {
+        let mut sim = Simulator::new(&app(), SimConfig::bench_supply(SchemeKind::Gecko)).unwrap();
+        let before = sim.run_steps(500);
+        sim.inject_power_failure();
+        assert!(!sim.is_on());
+        let m = sim.run_until_completions(before.completions + 2, 10.0);
+        assert!(m.completions >= before.completions + 2, "{m:?}");
+        assert_eq!(m.checksum_errors, 0, "{m:?}");
+        assert!(m.reboots > 0, "{m:?}");
+        assert!(m.rollbacks > 0, "{m:?}");
+    }
+
+    #[test]
+    fn gecko_mode_survives_in_nvm_across_failures() {
+        let attack = AttackSchedule::continuous(
+            EmiSignal::new(27e6, 35.0),
+            Injection::Remote { distance_m: 5.0 },
+        );
+        let cfg = SimConfig::bench_supply(SchemeKind::Gecko).with_attack(attack);
+        let mut sim = Simulator::new(&app(), cfg).unwrap();
+        let m = sim.run_for(0.3);
+        assert!(m.attack_detections >= 1, "{m:?}");
+        // The mode word lives in NVM: wipe volatile state, the device must
+        // come back still distrusting the monitor (no fresh detection storm
+        // of checkpoints).
+        sim.inject_power_failure();
+        let before = sim.metrics.jit_checkpoints;
+        let m = sim.run_for(0.2);
+        assert!(
+            m.jit_checkpoints <= before + 2,
+            "rollback mode persisted across the failure: {m:?}"
+        );
+    }
+
+    #[test]
+    fn adc_filter_slows_spoofed_checkpoint_storms() {
+        let attack = AttackSchedule::continuous(
+            EmiSignal::new(29.5e6, 35.0), // detuned: partial disturbance
+            Injection::Remote { distance_m: 5.0 },
+        );
+        let mut raw_cfg = SimConfig::bench_supply(SchemeKind::Nvp).with_attack(attack.clone());
+        raw_cfg.adc_filter_taps = None;
+        let mut filt_cfg = SimConfig::bench_supply(SchemeKind::Nvp).with_attack(attack);
+        filt_cfg.adc_filter_taps = Some(7);
+        let mut raw = Simulator::new(&app(), raw_cfg).unwrap();
+        let mut filt = Simulator::new(&app(), filt_cfg).unwrap();
+        let mr = raw.run_for(0.15);
+        let mf = filt.run_for(0.15);
+        assert!(
+            mf.forward_cycles > mr.forward_cycles,
+            "the filter wins back forward progress against a detuned tone: \
+             filtered {} vs raw {}",
+            mf.forward_cycles,
+            mr.forward_cycles
+        );
+    }
+
+    #[test]
+    fn run_for_is_equivalent_to_run_steps_pacing() {
+        let mut a = Simulator::new(&app(), SimConfig::bench_supply(SchemeKind::Gecko)).unwrap();
+        let mut b = Simulator::new(&app(), SimConfig::bench_supply(SchemeKind::Gecko)).unwrap();
+        let ma = a.run_for(0.02);
+        // Step b until it reaches (at least) the same sim time, one step at
+        // a time so the two trajectories align exactly.
+        while b.time_s() < a.time_s() {
+            b.run_steps(1);
+        }
+        let mb = b.run_steps(0);
+        assert_eq!(ma.completions, mb.completions);
+        assert_eq!(ma.forward_cycles, mb.forward_cycles);
+        assert_eq!(ma.checksum_errors, 0);
+        assert_eq!(mb.checksum_errors, 0);
+    }
+}

@@ -1,0 +1,244 @@
+//! Extension experiments beyond the paper's figures, probing the design
+//! choices its text discusses:
+//!
+//! * **Filter countermeasure study** — Section V-A1 argues input filters
+//!   "are incapable of thwarting EMI attacks completely"; we put a median
+//!   filter in front of the ADC monitor and measure.
+//! * **NVM wear comparison** — the wear-out attack literature (Section
+//!   VIII) makes checkpoint-area write traffic a first-class concern;
+//!   Ratchet's centralized checkpoints write an order of magnitude more
+//!   NVM than GECKO's pruned clusters.
+//! * **WCET-budget ablation** — the region-size knob behind Figure 11's
+//!   overhead.
+//! * **Recovery-block fuel ablation** — how slice length limits trade
+//!   pruning rate against recovery cost.
+
+use gecko_compiler::{compile, CompileOptions};
+use gecko_emi::{AttackSchedule, EmiSignal, Injection};
+use serde::{Deserialize, Serialize};
+
+use super::{Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP};
+
+/// One filter-study measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FilterRow {
+    /// Median filter taps (0 = unfiltered).
+    pub taps: usize,
+    /// Attack frequency (Hz); 0 = no attack.
+    pub freq_hz: f64,
+    /// Forward progress rate vs the unfiltered, unattacked baseline.
+    pub rate: f64,
+}
+
+/// Runs the filter countermeasure study on the MSP430FR5994: an off-peak
+/// (detuned) attack and the resonant attack, with 0/3/7-tap median filters.
+pub fn filter_defense(fidelity: Fidelity) -> Vec<FilterRow> {
+    let window = fidelity.window_s() * 2.0;
+    let app = gecko_apps::app_by_name(VICTIM_APP).expect("victim app");
+    let run = |taps: usize, freq_hz: f64| -> u64 {
+        let mut cfg = SimConfig::bench_supply(SchemeKind::Nvp);
+        if taps > 0 {
+            cfg.adc_filter_taps = Some(taps);
+        }
+        if freq_hz > 0.0 {
+            cfg = cfg.with_attack(AttackSchedule::continuous(
+                EmiSignal::new(freq_hz, 35.0),
+                Injection::Remote { distance_m: 5.0 },
+            ));
+        }
+        let mut sim = Simulator::new(&app, cfg).expect("compiles");
+        sim.run_for(window).forward_cycles
+    };
+    let clean = run(0, 0.0).max(1);
+    let mut out = Vec::new();
+    for taps in [0usize, 3, 7] {
+        for freq in [0.0, 29.5e6, 27e6] {
+            out.push(FilterRow {
+                taps,
+                freq_hz: freq,
+                rate: run(taps, freq) as f64 / clean as f64,
+            });
+        }
+    }
+    out
+}
+
+/// One wear measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WearRow {
+    /// Scheme name.
+    pub scheme: String,
+    /// Total NVM writes per completed application run (wear proxy).
+    pub nvm_writes_per_run: f64,
+    /// Checkpoint-store executions per run.
+    pub checkpoint_stores_per_run: f64,
+}
+
+/// Measures NVM write traffic per completed run for each scheme.
+pub fn wear(fidelity: Fidelity) -> Vec<WearRow> {
+    let runs = match fidelity {
+        Fidelity::Quick => 10,
+        Fidelity::Full => 50,
+    };
+    let app = gecko_apps::app_by_name("crc32").expect("app");
+    let mut out = Vec::new();
+    for scheme in SchemeKind::all() {
+        let mut sim = Simulator::new(&app, SimConfig::bench_supply(scheme)).expect("compiles");
+        let before = sim.nvm().write_count();
+        let m = sim.run_until_completions(runs, 30.0);
+        let writes = sim.nvm().write_count() - before;
+        out.push(WearRow {
+            scheme: scheme.name().to_string(),
+            nvm_writes_per_run: writes as f64 / m.completions.max(1) as f64,
+            checkpoint_stores_per_run: m.checkpoint_stores as f64 / m.completions.max(1) as f64,
+        });
+    }
+    out
+}
+
+/// One WCET-budget ablation point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BudgetRow {
+    /// Region WCET budget (cycles).
+    pub budget_cycles: u64,
+    /// Regions formed across all apps.
+    pub regions: usize,
+    /// Checkpoint stores (static, after pruning).
+    pub checkpoints: usize,
+    /// Execution overhead over NVP on `crc32` (bench supply).
+    pub overhead: f64,
+}
+
+/// Sweeps the region WCET budget.
+pub fn wcet_budget_ablation(fidelity: Fidelity) -> Vec<BudgetRow> {
+    let runs = match fidelity {
+        Fidelity::Quick => 3,
+        Fidelity::Full => 10,
+    };
+    let crc = gecko_apps::app_by_name("crc32").expect("app");
+    let per_run = |opts: CompileOptions| -> f64 {
+        let mut cfg = SimConfig::bench_supply(SchemeKind::Gecko);
+        cfg.compile = opts;
+        let mut sim = Simulator::new(&crc, cfg).expect("compiles");
+        let m = sim.run_until_completions(runs, 30.0);
+        (m.forward_cycles + m.overhead_cycles) as f64 / m.completions.max(1) as f64
+    };
+    let nvp = {
+        let mut sim = Simulator::new(&crc, SimConfig::bench_supply(SchemeKind::Nvp)).unwrap();
+        let m = sim.run_until_completions(runs, 30.0);
+        (m.forward_cycles + m.overhead_cycles) as f64 / m.completions.max(1) as f64
+    };
+    let mut out = Vec::new();
+    for budget in [1_000u64, 2_000, 4_000, 16_000, 64_000] {
+        let opts = CompileOptions {
+            wcet_budget_cycles: Some(budget),
+            ..CompileOptions::default()
+        };
+        let (mut regions, mut checkpoints) = (0, 0);
+        for app in gecko_apps::all_apps() {
+            let c = compile(&app.program, &opts).expect("compiles");
+            regions += c.stats.regions;
+            checkpoints += c.stats.checkpoints_after;
+        }
+        out.push(BudgetRow {
+            budget_cycles: budget,
+            regions,
+            checkpoints,
+            overhead: per_run(opts) / nvp,
+        });
+    }
+    out
+}
+
+/// One recovery-fuel ablation point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FuelRow {
+    /// Maximum recovery-block length (instructions).
+    pub max_slice_insts: usize,
+    /// Checkpoint stores pruned across all apps.
+    pub pruned: usize,
+    /// Total recovery-block instructions emitted.
+    pub recovery_insts: usize,
+}
+
+/// Sweeps the recovery-block length limit.
+pub fn slice_fuel_ablation(_fidelity: Fidelity) -> Vec<FuelRow> {
+    let mut out = Vec::new();
+    for fuel in [1usize, 2, 4, 12, 32] {
+        let opts = CompileOptions {
+            max_slice_insts: fuel,
+            ..CompileOptions::default()
+        };
+        let (mut pruned, mut insts) = (0, 0);
+        for app in gecko_apps::all_apps() {
+            let c = compile(&app.program, &opts).expect("compiles");
+            pruned += c.stats.checkpoints_pruned;
+            insts += c.stats.recovery_insts;
+        }
+        out.push(FuelRow {
+            max_slice_insts: fuel,
+            pruned,
+            recovery_insts: insts,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filters_help_off_peak_but_not_at_resonance() {
+        let rows = filter_defense(Fidelity::Quick);
+        let get = |taps: usize, f: f64| {
+            rows.iter()
+                .find(|r| r.taps == taps && (r.freq_hz - f).abs() < 1.0)
+                .unwrap()
+                .rate
+        };
+        // Quiet: filter costs (almost) nothing.
+        assert!(get(7, 0.0) > 0.9, "{}", get(7, 0.0));
+        // At resonance: even 7 taps cannot save the device (paper's claim).
+        assert!(get(7, 27e6) < 0.25, "{}", get(7, 27e6));
+        // Detuned attack: the filter helps visibly.
+        assert!(
+            get(7, 29.5e6) > get(0, 29.5e6) + 0.05,
+            "filtered {} vs raw {}",
+            get(7, 29.5e6),
+            get(0, 29.5e6)
+        );
+    }
+
+    #[test]
+    fn ratchet_wears_nvm_fastest() {
+        let rows = wear(Fidelity::Quick);
+        let get = |s: &str| {
+            rows.iter()
+                .find(|r| r.scheme == s)
+                .unwrap()
+                .nvm_writes_per_run
+        };
+        assert!(get("Ratchet") > 2.0 * get("GECKO"), "{rows:?}");
+        assert!(get("GECKO") <= get("GECKO w/o pruning") + 1.0, "{rows:?}");
+    }
+
+    #[test]
+    fn smaller_budgets_mean_more_regions_and_overhead() {
+        let rows = wcet_budget_ablation(Fidelity::Quick);
+        assert!(rows.windows(2).all(|w| w[0].regions >= w[1].regions));
+        let first = rows.first().unwrap();
+        let last = rows.last().unwrap();
+        assert!(first.overhead >= last.overhead - 0.05, "{rows:?}");
+    }
+
+    #[test]
+    fn more_fuel_prunes_more() {
+        let rows = slice_fuel_ablation(Fidelity::Quick);
+        assert!(
+            rows.first().unwrap().pruned <= rows.last().unwrap().pruned,
+            "{rows:?}"
+        );
+        assert!(rows.last().unwrap().recovery_insts > 0);
+    }
+}

@@ -1,0 +1,71 @@
+//! Figure 12: checkpoint-store reduction from pruning — per app, the
+//! static checkpoint counts of GECKO with and without the optimization.
+
+use gecko_compiler::{compile, compile_unpruned, CompileOptions};
+use serde::{Deserialize, Serialize};
+
+use super::Fidelity;
+
+/// One app's pruning summary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig12Row {
+    /// Benchmark name.
+    pub app: String,
+    /// Checkpoint stores without pruning.
+    pub unpruned: usize,
+    /// Checkpoint stores with pruning (including coloring fix-ups).
+    pub pruned: usize,
+    /// Fraction removed, in 0..=1.
+    pub reduction: f64,
+    /// Recovery blocks generated for the pruned stores.
+    pub recovery_blocks: usize,
+    /// Mean instructions per recovery block.
+    pub mean_recovery_len: f64,
+}
+
+/// Compiles all apps both ways and reports the reduction.
+pub fn rows(_fidelity: Fidelity) -> Vec<Fig12Row> {
+    let opts = CompileOptions::default();
+    gecko_apps::all_apps()
+        .iter()
+        .map(|app| {
+            let with = compile(&app.program, &opts).expect("compiles");
+            let without = compile_unpruned(&app.program, &opts).expect("compiles");
+            let unpruned = without.stats.checkpoints_after;
+            let pruned = with.stats.checkpoints_after;
+            Fig12Row {
+                app: app.name.to_string(),
+                unpruned,
+                pruned,
+                reduction: if unpruned == 0 {
+                    0.0
+                } else {
+                    1.0 - pruned as f64 / unpruned as f64
+                },
+                recovery_blocks: with.stats.recovery_blocks,
+                mean_recovery_len: with.recovery.mean_recovery_block_len(),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pruning_reduces_stores_meaningfully() {
+        let rows = rows(Fidelity::Quick);
+        assert_eq!(rows.len(), 11);
+        let total_un: usize = rows.iter().map(|r| r.unpruned).sum();
+        let total_pr: usize = rows.iter().map(|r| r.pruned).sum();
+        let overall = 1.0 - total_pr as f64 / total_un as f64;
+        // The paper reports ~80%; demand a substantial reduction.
+        assert!(overall > 0.25, "overall reduction {overall}");
+        for r in &rows {
+            assert!(r.pruned <= r.unpruned, "{r:?}");
+        }
+        // Pruned stores are backed by recovery blocks somewhere.
+        assert!(rows.iter().any(|r| r.recovery_blocks > 0));
+    }
+}

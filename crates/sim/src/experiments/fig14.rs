@@ -1,0 +1,74 @@
+//! Figure 14: performance in the (attack-free) energy-harvesting
+//! environment — normalized execution time of Ratchet and GECKO over NVP
+//! with a Powercast-like RF supply.
+
+use serde::{Deserialize, Serialize};
+
+use super::{Fidelity, SchemeKind, SimConfig, Simulator};
+
+/// One app × scheme measurement under harvesting.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig14Row {
+    /// Benchmark name.
+    pub app: String,
+    /// Scheme name.
+    pub scheme: String,
+    /// Completions over the measurement horizon.
+    pub completions: u64,
+    /// Normalized execution time vs NVP (completions ratio inverted;
+    /// 1.0 = NVP, bigger = slower).
+    pub normalized_time: f64,
+}
+
+/// Runs Figure 14 (NVP, Ratchet, GECKO over all apps).
+pub fn rows(fidelity: Fidelity) -> Vec<Fig14Row> {
+    let horizon_s = match fidelity {
+        Fidelity::Quick => 4.0,
+        Fidelity::Full => 12.0,
+    };
+    let mut out = Vec::new();
+    for app in gecko_apps::all_apps() {
+        let mut counts = Vec::new();
+        for scheme in [SchemeKind::Nvp, SchemeKind::Ratchet, SchemeKind::Gecko] {
+            let mut sim = Simulator::new(&app, SimConfig::harvesting(scheme)).expect("compiles");
+            let m = sim.run_for(horizon_s);
+            counts.push((scheme, m.completions));
+        }
+        let nvp = counts[0].1.max(1) as f64;
+        for (scheme, c) in counts {
+            out.push(Fig14Row {
+                app: app.name.to_string(),
+                scheme: scheme.name().to_string(),
+                completions: c,
+                normalized_time: nvp / c.max(1) as f64,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harvesting_overheads_keep_figure_shape() {
+        // Subset for speed.
+        let apps = ["crc16", "fir"];
+        for name in apps {
+            let app = gecko_apps::app_by_name(name).unwrap();
+            let mut counts = std::collections::BTreeMap::new();
+            for scheme in [SchemeKind::Nvp, SchemeKind::Ratchet, SchemeKind::Gecko] {
+                let mut sim = Simulator::new(&app, SimConfig::harvesting(scheme)).unwrap();
+                let m = sim.run_for(4.0);
+                counts.insert(scheme.name(), m.completions.max(1));
+            }
+            let (nvp, ratchet, gecko) = (counts["NVP"], counts["Ratchet"], counts["GECKO"]);
+            assert!(
+                gecko as f64 >= 0.8 * nvp as f64,
+                "{name}: GECKO ≈ NVP under harvesting: {counts:?}"
+            );
+            assert!(ratchet < nvp, "{name}: Ratchet slower than NVP: {counts:?}");
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Figure 15: capacitor-size sensitivity — total execution time of NVP and
+//! GECKO for a fixed amount of work, varying the energy buffer between
+//! 1 mF and 10 mF with thresholds rescaled so every size buffers the same
+//! energy (Section VII-D). Larger capacitors charge slower from empty, so
+//! total time rises with capacitance.
+
+use serde::{Deserialize, Serialize};
+
+use super::{Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP};
+
+/// One capacitance × scheme measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig15Row {
+    /// Capacitance (farads).
+    pub capacitance_f: f64,
+    /// Scheme name.
+    pub scheme: String,
+    /// Simulated seconds to finish the workload (including charging).
+    pub total_time_s: f64,
+    /// Completions achieved (equals the target unless the run timed out).
+    pub completions: u64,
+}
+
+/// The paper's capacitor sizes.
+pub const SIZES_F: [f64; 4] = [1e-3, 2e-3, 5e-3, 10e-3];
+
+/// Runs Figure 15: the device starts with an *empty* capacitor and must
+/// first charge, then complete a fixed number of application runs under
+/// the weak harvester.
+pub fn rows(fidelity: Fidelity) -> Vec<Fig15Row> {
+    let target = match fidelity {
+        Fidelity::Quick => 20,
+        Fidelity::Full => 200,
+    };
+    let app = gecko_apps::app_by_name(VICTIM_APP).expect("victim app");
+    let mut out = Vec::new();
+    for &c in &SIZES_F {
+        for scheme in [SchemeKind::Nvp, SchemeKind::Gecko] {
+            let cfg = SimConfig::harvesting(scheme).with_rescaled_capacitor(c, 0.0);
+            let mut sim = Simulator::new(&app, cfg).expect("compiles");
+            let m = sim.run_until_completions(target, 3600.0);
+            out.push(Fig15Row {
+                capacitance_f: c,
+                scheme: scheme.name().to_string(),
+                total_time_s: m.sim_time_s,
+                completions: m.completions,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn larger_capacitors_take_longer_and_gecko_tracks_nvp() {
+        let rows = rows(Fidelity::Quick);
+        let time = |c: f64, s: &str| {
+            rows.iter()
+                .find(|r| (r.capacitance_f - c).abs() < 1e-12 && r.scheme == s)
+                .unwrap()
+                .total_time_s
+        };
+        for r in &rows {
+            assert!(r.completions >= 20, "{r:?}");
+        }
+        // Charging time dominates: 10 mF takes much longer than 1 mF.
+        assert!(
+            time(10e-3, "NVP") > 2.0 * time(1e-3, "NVP"),
+            "{} vs {}",
+            time(10e-3, "NVP"),
+            time(1e-3, "NVP")
+        );
+        // GECKO stays within ~25% of NVP at every size.
+        for &c in &SIZES_F {
+            let (n, g) = (time(c, "NVP"), time(c, "GECKO"));
+            assert!(g < 1.25 * n, "cap {c}: GECKO {g} vs NVP {n}");
+        }
+    }
+}

@@ -1,0 +1,116 @@
+//! Figure 9: real-time attack traces on the MSP430FR5994 — the attacker
+//! retunes the signal over time to modulate the victim's forward progress
+//! (stealth control), shown for (a) the ADC monitor and (b) the
+//! comparator monitor.
+
+use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind, TimedAttack};
+use serde::{Deserialize, Serialize};
+
+use super::{Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP};
+
+/// One time bucket of the real-time trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// Monitor kind ("ADC" / "Comparator").
+    pub monitor: String,
+    /// Bucket start (s).
+    pub t_s: f64,
+    /// Attack frequency active during the bucket (0 = no attack), Hz.
+    pub attack_freq_hz: f64,
+    /// Forward progress rate within the bucket relative to no-attack.
+    pub rate: f64,
+}
+
+fn schedule(kind: MonitorKind, seg_s: f64) -> (AttackSchedule, Vec<f64>) {
+    // Frequencies chosen around each monitor's resonance: strong, weak
+    // (detuned), off, strong again — the paper's "aggressiveness control".
+    let freqs: Vec<f64> = match kind {
+        MonitorKind::Adc => vec![0.0, 27e6, 29.5e6, 0.0, 27e6, 31e6, 0.0],
+        MonitorKind::Comparator => vec![0.0, 5e6, 6.5e6, 0.0, 6e6, 8e6, 0.0],
+    };
+    let windows = freqs
+        .iter()
+        .enumerate()
+        .filter(|(_, &f)| f > 0.0)
+        .map(|(i, &f)| TimedAttack {
+            start_s: i as f64 * seg_s,
+            end_s: (i + 1) as f64 * seg_s,
+            signal: EmiSignal::new(f, 35.0),
+            injection: Injection::Remote { distance_m: 5.0 },
+        })
+        .collect();
+    (AttackSchedule::from_windows(windows), freqs)
+}
+
+/// Runs both real-time traces.
+pub fn rows(fidelity: Fidelity) -> Vec<Fig9Row> {
+    let seg_s = match fidelity {
+        Fidelity::Quick => 0.05,
+        Fidelity::Full => 0.25,
+    };
+    let app = gecko_apps::app_by_name(VICTIM_APP).expect("victim app");
+    let mut out = Vec::new();
+    for kind in [MonitorKind::Adc, MonitorKind::Comparator] {
+        let (sched, freqs) = schedule(kind, seg_s);
+        // Baseline rate per segment from an unattacked twin.
+        let clean_cfg = SimConfig::bench_supply(SchemeKind::Nvp)
+            .with_device(gecko_emi::devices::msp430fr5994(), kind);
+        let mut clean = Simulator::new(&app, clean_cfg).expect("compiles");
+        let cfg = SimConfig::bench_supply(SchemeKind::Nvp)
+            .with_device(gecko_emi::devices::msp430fr5994(), kind)
+            .with_attack(sched);
+        let mut sim = Simulator::new(&app, cfg).expect("compiles");
+        let mut prev = 0u64;
+        let mut prev_clean = 0u64;
+        for (i, &f) in freqs.iter().enumerate() {
+            let mc = clean.run_for(seg_s);
+            let m = sim.run_for(seg_s);
+            let dc = (mc.forward_cycles - prev_clean).max(1);
+            let d = m.forward_cycles - prev;
+            prev = m.forward_cycles;
+            prev_clean = mc.forward_cycles;
+            out.push(Fig9Row {
+                monitor: match kind {
+                    MonitorKind::Adc => "ADC".to_string(),
+                    MonitorKind::Comparator => "Comparator".to_string(),
+                },
+                t_s: i as f64 * seg_s,
+                attack_freq_hz: f,
+                rate: d as f64 / dc as f64,
+            });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn attacker_modulates_progress_over_time() {
+        let rows = rows(Fidelity::Quick);
+        let adc: Vec<&Fig9Row> = rows.iter().filter(|r| r.monitor == "ADC").collect();
+        // No-attack segments run at full speed; resonant segments crawl.
+        let quiet: Vec<f64> = adc
+            .iter()
+            .filter(|r| r.attack_freq_hz == 0.0)
+            .map(|r| r.rate)
+            .collect();
+        let strong: Vec<f64> = adc
+            .iter()
+            .filter(|r| (r.attack_freq_hz - 27e6).abs() < 1.0)
+            .map(|r| r.rate)
+            .collect();
+        assert!(quiet.iter().all(|&r| r > 0.65), "{quiet:?}");
+        assert!(strong.iter().all(|&r| r < 0.4), "{strong:?}");
+        // Detuned segments sit in between strong and quiet on average.
+        let detuned: Vec<f64> = adc
+            .iter()
+            .filter(|r| r.attack_freq_hz > 28e6)
+            .map(|r| r.rate)
+            .collect();
+        let avg = |v: &[f64]| v.iter().sum::<f64>() / v.len().max(1) as f64;
+        assert!(avg(&detuned) > avg(&strong), "{detuned:?} vs {strong:?}");
+    }
+}

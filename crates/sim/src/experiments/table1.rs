@@ -1,0 +1,200 @@
+//! Table I: per-board attack summary — minimum forward progress rate (and
+//! the frequency achieving it) through the ADC and comparator monitor
+//! paths, plus the maximum JIT checkpoint failure rate.
+//!
+//! The `F` column needs the capacitor to actually traverse the
+//! `V_fail` window, which requires an energy-limited supply; following the
+//! CTPL demo configuration we measure it with a small (4.7 µF) buffer and
+//! a weak harvester, while the `R` columns use the bench-supply setup of
+//! the paper's DPI/remote experiments.
+
+use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind};
+use gecko_energy::ConstantPower;
+use serde::{Deserialize, Serialize};
+
+use super::{
+    attacked_rate, clean_forward_cycles, Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP,
+};
+
+/// One board's Table I row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table1Row {
+    /// Board name.
+    pub device: String,
+    /// Monitor options ("ADC" or "ADC & Comp.").
+    pub monitors: String,
+    /// Minimum forward progress rate through the ADC path.
+    pub adc_r_min: f64,
+    /// Frequency achieving it (Hz).
+    pub adc_r_min_freq_hz: f64,
+    /// Minimum forward progress rate through the comparator path (None for
+    /// ADC-only boards).
+    pub comp_r_min: Option<f64>,
+    /// Frequency achieving it (Hz).
+    pub comp_r_min_freq_hz: Option<f64>,
+    /// Maximum checkpoint failure rate through the ADC path.
+    pub adc_f_max: f64,
+    /// Frequency achieving it (Hz).
+    pub adc_f_max_freq_hz: f64,
+}
+
+fn candidate_freqs(
+    device: &gecko_emi::DeviceModel,
+    kind: MonitorKind,
+    fidelity: Fidelity,
+) -> Vec<f64> {
+    // Scan around the susceptibility peaks — the minima can only be there.
+    let Some(profile) = device.profile(kind) else {
+        return Vec::new();
+    };
+    let mut freqs = Vec::new();
+    let offsets: &[f64] = match fidelity {
+        Fidelity::Quick => &[0.0],
+        Fidelity::Full => &[-2e6, -1e6, 0.0, 1e6, 2e6],
+    };
+    for peak in profile.peaks() {
+        for &off in offsets {
+            let f = peak.center_hz + off;
+            if f > 0.0 {
+                freqs.push(f);
+            }
+        }
+    }
+    freqs.sort_by(f64::total_cmp);
+    freqs.dedup();
+    freqs
+}
+
+fn failure_rate_at(device: &gecko_emi::DeviceModel, freq_hz: f64, window_s: f64) -> f64 {
+    let app = gecko_apps::app_by_name(VICTIM_APP).expect("victim app");
+    // CTPL-demo scale: a 4.7 µF buffer whose V_backup→V_off band holds
+    // *less* energy than a full checkpoint, and a harvester weak enough
+    // that the spoofed wake/sleep cycling genuinely drains the supply —
+    // the V_fail regime of Section IV-B2.
+    let mut cfg = SimConfig::bench_supply(SchemeKind::Nvp)
+        .with_device(device.clone(), MonitorKind::Adc)
+        .with_capacitor(4.7e-6, 3.3)
+        .with_attack(AttackSchedule::continuous(
+            EmiSignal::new(freq_hz, 35.0),
+            Injection::Remote { distance_m: 0.5 },
+        ));
+    cfg.harvester = Box::new(ConstantPower::new(0.15e-3));
+    let mut sim = Simulator::new(&app, cfg).expect("compiles");
+    let m = sim.run_for(window_s);
+    m.checkpoint_failure_rate()
+}
+
+/// Builds Table I.
+pub fn rows(fidelity: Fidelity) -> Vec<Table1Row> {
+    let window = fidelity.window_s();
+    let mut out = Vec::new();
+    for device in gecko_emi::devices::all_devices() {
+        let clean_adc = clean_forward_cycles(&device, MonitorKind::Adc, window);
+        let mut adc_min = (f64::INFINITY, 0.0);
+        for f in candidate_freqs(&device, MonitorKind::Adc, fidelity) {
+            let r = attacked_rate(
+                &device,
+                MonitorKind::Adc,
+                EmiSignal::new(f, 35.0),
+                Injection::Remote { distance_m: 0.1 },
+                window,
+                clean_adc,
+            );
+            if r < adc_min.0 {
+                adc_min = (r, f);
+            }
+        }
+
+        let comp = if device.has_comparator() {
+            let clean_c = clean_forward_cycles(&device, MonitorKind::Comparator, window);
+            let mut best = (f64::INFINITY, 0.0);
+            for f in candidate_freqs(&device, MonitorKind::Comparator, fidelity) {
+                let r = attacked_rate(
+                    &device,
+                    MonitorKind::Comparator,
+                    EmiSignal::new(f, 35.0),
+                    Injection::Remote { distance_m: 0.1 },
+                    window,
+                    clean_c,
+                );
+                if r < best.0 {
+                    best = (r, f);
+                }
+            }
+            Some(best)
+        } else {
+            None
+        };
+
+        // Checkpoint-failure sweep (energy-limited configuration).
+        let f_window = match fidelity {
+            Fidelity::Quick => 0.6,
+            Fidelity::Full => 2.0,
+        };
+        let mut f_max = (0.0f64, 0.0f64);
+        for f in candidate_freqs(&device, MonitorKind::Adc, fidelity) {
+            let fr = failure_rate_at(&device, f, f_window);
+            if fr > f_max.0 {
+                f_max = (fr, f);
+            }
+        }
+
+        out.push(Table1Row {
+            device: device.name().to_string(),
+            monitors: if device.has_comparator() {
+                "ADC & Comp.".to_string()
+            } else {
+                "ADC".to_string()
+            },
+            adc_r_min: adc_min.0,
+            adc_r_min_freq_hz: adc_min.1,
+            comp_r_min: comp.map(|c| c.0),
+            comp_r_min_freq_hz: comp.map(|c| c.1),
+            adc_f_max: f_max.0,
+            adc_f_max_freq_hz: f_max.1,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_shape_matches_paper() {
+        let rows = rows(Fidelity::Quick);
+        assert_eq!(rows.len(), 9);
+        for r in &rows {
+            // DoS at every board: R_min in the low percent range.
+            assert!(r.adc_r_min < 0.2, "{}: {}", r.device, r.adc_r_min);
+            // Resonances sit in the tens-of-MHz band (17–28 MHz).
+            assert!(
+                (1.5e7..3.0e7).contains(&r.adc_r_min_freq_hz),
+                "{}: {}",
+                r.device,
+                r.adc_r_min_freq_hz
+            );
+        }
+        // Comparator boards collapse orders of magnitude harder.
+        let fr5994 = rows.iter().find(|r| r.device.contains("FR5994")).unwrap();
+        let comp = fr5994.comp_r_min.unwrap();
+        assert!(
+            comp < fr5994.adc_r_min / 5.0,
+            "comp {} vs adc {}",
+            comp,
+            fr5994.adc_r_min
+        );
+        // ADC-only boards have no comparator column.
+        assert!(rows
+            .iter()
+            .filter(|r| r.monitors == "ADC")
+            .all(|r| r.comp_r_min.is_none()));
+        // Checkpoint failures occur at the vulnerable frequency on every
+        // board (paper: 11–42%).
+        for r in &rows {
+            assert!(r.adc_f_max > 0.05, "{}: F_max {}", r.device, r.adc_f_max);
+            assert!(r.adc_f_max_freq_hz > 0.0, "{}", r.device);
+        }
+    }
+}

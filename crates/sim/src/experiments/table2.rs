@@ -1,0 +1,120 @@
+//! Table II: qualitative comparison of prior EMI countermeasures with
+//! GECKO — a typed encoding of the paper's survey so the bench harness can
+//! print it alongside the measured tables.
+
+use serde::{Deserialize, Serialize};
+
+/// Hardware/software classification of a countermeasure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Approach {
+    /// Requires new circuitry.
+    Hardware,
+    /// Pure software.
+    Software,
+    /// Both.
+    Hybrid,
+}
+
+/// One prior-work row of Table II.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table2Row {
+    /// Work name as cited in the paper.
+    pub work: &'static str,
+    /// Protected target.
+    pub target: &'static str,
+    /// HW / SW / hybrid.
+    pub approach: Approach,
+    /// Suitable for µW-scale energy budgets?
+    pub energy_efficient: bool,
+    /// Provides power-failure recovery (crash consistency)?
+    pub power_failure_recovery: bool,
+    /// Deployable on an intermittent system?
+    pub intermittent_applicable: bool,
+}
+
+/// The encoded Table II.
+pub fn rows() -> Vec<Table2Row> {
+    use Approach::*;
+    vec![
+        Table2Row {
+            work: "Ghost Talk",
+            target: "Microphones",
+            approach: Hybrid,
+            energy_efficient: false,
+            power_failure_recovery: false,
+            intermittent_applicable: false,
+        },
+        Table2Row {
+            work: "Rocking Drones",
+            target: "Drones",
+            approach: Hybrid,
+            energy_efficient: false,
+            power_failure_recovery: false,
+            intermittent_applicable: false,
+        },
+        Table2Row {
+            work: "Trick or Heat",
+            target: "Incubators",
+            approach: Hardware,
+            energy_efficient: false,
+            power_failure_recovery: false,
+            intermittent_applicable: false,
+        },
+        Table2Row {
+            work: "SoK",
+            target: "Analog Sensors",
+            approach: Hybrid,
+            energy_efficient: false,
+            power_failure_recovery: false,
+            intermittent_applicable: false,
+        },
+        Table2Row {
+            work: "Detection of EMI",
+            target: "Temperature Sensors, Microphones",
+            approach: Software,
+            energy_efficient: true,
+            power_failure_recovery: false,
+            intermittent_applicable: false,
+        },
+        Table2Row {
+            work: "Transduction Shield",
+            target: "Pressure Sensors, Microphones",
+            approach: Hybrid,
+            energy_efficient: false,
+            power_failure_recovery: false,
+            intermittent_applicable: false,
+        },
+        Table2Row {
+            work: "Detection of Weak EMI",
+            target: "Sensors from IIoT",
+            approach: Software,
+            energy_efficient: false,
+            power_failure_recovery: false,
+            intermittent_applicable: false,
+        },
+        Table2Row {
+            work: "GECKO",
+            target: "Voltage Monitor",
+            approach: Software,
+            energy_efficient: true,
+            power_failure_recovery: true,
+            intermittent_applicable: true,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gecko_is_the_only_applicable_row() {
+        let rows = rows();
+        assert_eq!(rows.len(), 8);
+        let applicable: Vec<_> = rows.iter().filter(|r| r.intermittent_applicable).collect();
+        assert_eq!(applicable.len(), 1);
+        assert_eq!(applicable[0].work, "GECKO");
+        assert!(applicable[0].power_failure_recovery);
+        assert_eq!(applicable[0].approach, Approach::Software);
+    }
+}

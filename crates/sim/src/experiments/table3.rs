@@ -1,0 +1,65 @@
+//! Table III: the total number of checkpoint stores GECKO generates in
+//! each application (static count, after pruning and coloring).
+
+use gecko_compiler::{compile, CompileOptions};
+use serde::{Deserialize, Serialize};
+
+use super::Fidelity;
+
+/// One app's static checkpoint count.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Benchmark name.
+    pub app: String,
+    /// Checkpoint stores in the final binary.
+    pub checkpoints: usize,
+    /// Region boundaries in the final binary.
+    pub regions: usize,
+    /// Binary size overhead vs. the uninstrumented program (fraction).
+    pub size_overhead: f64,
+}
+
+/// Compiles every app and counts.
+pub fn rows(_fidelity: Fidelity) -> Vec<Table3Row> {
+    let opts = CompileOptions::default();
+    gecko_apps::all_apps()
+        .iter()
+        .map(|app| {
+            let out = compile(&app.program, &opts).expect("compiles");
+            let base = app.program.inst_count() as f64;
+            let instrumented = out.stats.checkpoints_after + out.stats.regions;
+            Table3Row {
+                app: app.name.to_string(),
+                checkpoints: out.stats.checkpoints_after,
+                regions: out.stats.regions,
+                size_overhead: instrumented as f64 / base,
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_follow_table_iii_shape() {
+        let rows = rows(Fidelity::Quick);
+        let get = |n: &str| rows.iter().find(|r| r.app == n).unwrap();
+        for r in &rows {
+            assert!(r.regions >= 1, "{r:?}");
+        }
+        // blink is among the smallest, stringsearch among the largest —
+        // the Table III shape.
+        let blink = get("blink").checkpoints;
+        let stringsearch = get("stringsearch").checkpoints;
+        assert!(
+            stringsearch >= blink,
+            "stringsearch {stringsearch} vs blink {blink}"
+        );
+        // Instrumentation stays a bounded fraction of the code overall
+        // (tiny apps like blink have proportionally larger harnesses).
+        let avg = rows.iter().map(|r| r.size_overhead).sum::<f64>() / rows.len() as f64;
+        assert!(avg < 0.75, "average size overhead {avg}");
+    }
+}

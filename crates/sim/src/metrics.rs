@@ -1,0 +1,104 @@
+//! Simulation counters backing the evaluation's metrics: forward progress
+//! rate `R`, checkpoint failure rate `F`, throughput, and corruption.
+
+/// Accumulated counters from one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+pub struct Metrics {
+    /// Simulated wall-clock seconds.
+    pub sim_time_s: f64,
+    /// Cycles spent executing *application* instructions (forward
+    /// progress; excludes runtime overhead, restores, reboots).
+    pub forward_cycles: u64,
+    /// Cycles spent on runtime overhead (checkpoints, restores, boots,
+    /// recovery blocks).
+    pub overhead_cycles: u64,
+    /// Completed application runs.
+    pub completions: u64,
+    /// Completions whose output checksum was wrong — silent data
+    /// corruption, the worst outcome of the attack.
+    pub checksum_errors: u64,
+    /// JIT checkpoints started.
+    pub jit_checkpoints: u64,
+    /// JIT checkpoints that failed to complete (energy exhausted
+    /// mid-write): the paper's `N_fail`.
+    pub jit_checkpoint_failures: u64,
+    /// Reboots (wake-ups after any shutdown or power failure).
+    pub reboots: u64,
+    /// Power failures with no completed checkpoint (dirty deaths).
+    pub dirty_deaths: u64,
+    /// Rollback recoveries performed (region re-entry).
+    pub rollbacks: u64,
+    /// Recovery-block (slice) executions during rollbacks.
+    pub recovery_slices: u64,
+    /// Attack detections (mode switches JIT → rollback).
+    pub attack_detections: u64,
+    /// JIT re-enables after a clean probation (mode rollback → JIT).
+    pub jit_reenables: u64,
+    /// Checkpoint pseudo-instructions executed (GECKO's dynamic
+    /// checkpoint-store count, Figure 12).
+    pub checkpoint_stores: u64,
+    /// Region boundary commits executed.
+    pub boundary_commits: u64,
+    /// Total energy drawn from the capacitor (nJ).
+    pub energy_nj: f64,
+}
+
+impl Metrics {
+    /// Checkpoint failure rate `F = N_fail / N_checkpoints` (0 when no
+    /// checkpoints ran).
+    pub fn checkpoint_failure_rate(&self) -> f64 {
+        if self.jit_checkpoints == 0 {
+            0.0
+        } else {
+            self.jit_checkpoint_failures as f64 / self.jit_checkpoints as f64
+        }
+    }
+
+    /// Application throughput in completions per minute.
+    pub fn throughput_per_min(&self) -> f64 {
+        if self.sim_time_s <= 0.0 {
+            0.0
+        } else {
+            self.completions as f64 * 60.0 / self.sim_time_s
+        }
+    }
+
+    /// Fraction of executed cycles that made forward progress.
+    pub fn efficiency(&self) -> f64 {
+        let total = self.forward_cycles + self.overhead_cycles;
+        if total == 0 {
+            0.0
+        } else {
+            self.forward_cycles as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_handle_zero_denominators() {
+        let m = Metrics::default();
+        assert_eq!(m.checkpoint_failure_rate(), 0.0);
+        assert_eq!(m.throughput_per_min(), 0.0);
+        assert_eq!(m.efficiency(), 0.0);
+    }
+
+    #[test]
+    fn rates_compute() {
+        let m = Metrics {
+            sim_time_s: 30.0,
+            completions: 10,
+            jit_checkpoints: 4,
+            jit_checkpoint_failures: 1,
+            forward_cycles: 75,
+            overhead_cycles: 25,
+            ..Default::default()
+        };
+        assert!((m.checkpoint_failure_rate() - 0.25).abs() < 1e-12);
+        assert!((m.throughput_per_min() - 20.0).abs() < 1e-12);
+        assert!((m.efficiency() - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,69 @@
+//! Recovery-scheme identifiers.
+
+use std::fmt;
+
+/// Which crash-consistency scheme a simulated device runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub enum SchemeKind {
+    /// Commodity JIT checkpointing (TI CTPL / non-volatile processor).
+    Nvp,
+    /// Ratchet-style rollback: idempotent regions + centralized
+    /// full-register checkpoints at every boundary.
+    Ratchet,
+    /// GECKO with checkpoint pruning (the paper's contribution).
+    Gecko,
+    /// GECKO with pruning disabled (Figure 11 ablation).
+    GeckoNoPrune,
+}
+
+impl SchemeKind {
+    /// All schemes, in the paper's comparison order.
+    pub fn all() -> [SchemeKind; 4] {
+        [
+            SchemeKind::Nvp,
+            SchemeKind::Ratchet,
+            SchemeKind::Gecko,
+            SchemeKind::GeckoNoPrune,
+        ]
+    }
+
+    /// Display name as used in the paper's figures.
+    pub fn name(self) -> &'static str {
+        match self {
+            SchemeKind::Nvp => "NVP",
+            SchemeKind::Ratchet => "Ratchet",
+            SchemeKind::Gecko => "GECKO",
+            SchemeKind::GeckoNoPrune => "GECKO w/o pruning",
+        }
+    }
+
+    /// Whether this scheme instruments the program with region boundaries.
+    pub fn uses_regions(self) -> bool {
+        !matches!(self, SchemeKind::Nvp)
+    }
+}
+
+impl fmt::Display for SchemeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_are_distinct() {
+        let names: std::collections::BTreeSet<_> =
+            SchemeKind::all().iter().map(|s| s.name()).collect();
+        assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn region_usage() {
+        assert!(!SchemeKind::Nvp.uses_regions());
+        assert!(SchemeKind::Ratchet.uses_regions());
+        assert!(SchemeKind::Gecko.uses_regions());
+    }
+}

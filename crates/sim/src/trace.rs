@@ -1,0 +1,161 @@
+//! Time-series recording of a simulated device: capacitor voltage, power
+//! state and runtime mode sampled at a fixed interval — the raw material
+//! behind Figure 9-style plots and the `voltage_trace` example.
+
+use serde::{Deserialize, Serialize};
+
+use crate::areas::GeckoMode;
+use crate::device::Simulator;
+use crate::metrics::Metrics;
+
+/// One sample of device state.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TraceSample {
+    /// Simulation time (s).
+    pub t_s: f64,
+    /// Real capacitor voltage (V).
+    pub voltage_v: f64,
+    /// Whether the CPU was executing.
+    pub on: bool,
+    /// Whether GECKO was in rollback (monitor-distrusting) mode.
+    pub rollback_mode: bool,
+    /// Cumulative completed application runs.
+    pub completions: u64,
+}
+
+/// A recorded time series.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    samples: Vec<TraceSample>,
+}
+
+impl Trace {
+    /// Records `duration_s` of device time, sampling every `step_s`.
+    /// The simulator advances as a side effect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `step_s <= 0`.
+    pub fn record(sim: &mut Simulator, duration_s: f64, step_s: f64) -> Trace {
+        assert!(step_s > 0.0, "step must be positive");
+        let t_end = sim.time_s() + duration_s;
+        let mut samples = Vec::new();
+        while sim.time_s() < t_end {
+            let m: Metrics = sim.run_for(step_s);
+            samples.push(TraceSample {
+                t_s: sim.time_s(),
+                voltage_v: sim.voltage_v(),
+                on: sim.is_on(),
+                rollback_mode: sim.gecko_mode() == Some(GeckoMode::Rollback),
+                completions: m.completions,
+            });
+        }
+        Trace { samples }
+    }
+
+    /// The recorded samples in time order.
+    pub fn samples(&self) -> &[TraceSample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Minimum and maximum recorded voltage.
+    pub fn voltage_range(&self) -> (f64, f64) {
+        self.samples
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), s| {
+                (lo.min(s.voltage_v), hi.max(s.voltage_v))
+            })
+    }
+
+    /// Fraction of samples during which the device was on.
+    pub fn duty(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().filter(|s| s.on).count() as f64 / self.samples.len() as f64
+    }
+
+    /// Renders an ASCII strip chart of the voltage (one row per sample
+    /// bucket), for terminal examples.
+    pub fn ascii_chart(&self, width: usize, v_max: f64) -> String {
+        let mut out = String::new();
+        for s in &self.samples {
+            let col = ((s.voltage_v / v_max).clamp(0.0, 1.0) * (width - 1) as f64) as usize;
+            let mut row = vec![b' '; width];
+            row[col] = b'*';
+            let state = if !s.on {
+                'z'
+            } else if s.rollback_mode {
+                'R'
+            } else {
+                'J'
+            };
+            out.push_str(&format!(
+                "{:7.3}s {state} |{}| {:.2} V\n",
+                s.t_s,
+                String::from_utf8_lossy(&row),
+                s.voltage_v
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::SimConfig;
+    use crate::scheme::SchemeKind;
+
+    #[test]
+    fn records_harvesting_duty_cycle() {
+        let app = gecko_apps::app_by_name("blink").unwrap();
+        let mut sim = Simulator::new(&app, SimConfig::harvesting(SchemeKind::Nvp)).unwrap();
+        let trace = Trace::record(&mut sim, 6.0, 0.05);
+        assert!(trace.len() > 100);
+        let (lo, hi) = trace.voltage_range();
+        assert!(lo < hi, "voltage must move: {lo}..{hi}");
+        assert!(hi <= 3.3 + 1e-9);
+        let duty = trace.duty();
+        assert!(
+            duty > 0.1 && duty < 0.95,
+            "weak harvesting duty-cycles: {duty}"
+        );
+    }
+
+    #[test]
+    fn rollback_mode_is_visible_in_traces() {
+        use gecko_emi::{AttackSchedule, EmiSignal, Injection};
+        let app = gecko_apps::app_by_name("blink").unwrap();
+        let cfg = SimConfig::harvesting(SchemeKind::Gecko).with_attack(AttackSchedule::continuous(
+            EmiSignal::new(27e6, 35.0),
+            Injection::Remote { distance_m: 5.0 },
+        ));
+        let mut sim = Simulator::new(&app, cfg).unwrap();
+        let trace = Trace::record(&mut sim, 5.0, 0.05);
+        assert!(
+            trace.samples().iter().any(|s| s.rollback_mode),
+            "the attack must push GECKO into rollback mode"
+        );
+    }
+
+    #[test]
+    fn ascii_chart_renders_one_row_per_sample() {
+        let app = gecko_apps::app_by_name("blink").unwrap();
+        let mut sim = Simulator::new(&app, SimConfig::bench_supply(SchemeKind::Nvp)).unwrap();
+        let trace = Trace::record(&mut sim, 0.01, 0.002);
+        let chart = trace.ascii_chart(40, 3.3);
+        assert_eq!(chart.lines().count(), trace.len());
+        assert!(chart.contains('*'));
+    }
+}

@@ -1,0 +1,210 @@
+//! Behavioural integration tests of the full-system simulator: the
+//! scheme-level claims of the paper, checked end-to-end.
+
+use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind};
+use gecko_sim::{Metrics, SchemeKind, SimConfig, Simulator};
+
+const RESONANT_HZ: f64 = 27e6;
+
+fn attack_remote() -> AttackSchedule {
+    AttackSchedule::continuous(
+        EmiSignal::new(RESONANT_HZ, 35.0),
+        Injection::Remote { distance_m: 5.0 },
+    )
+}
+
+fn run(app_name: &str, config: SimConfig, seconds: f64) -> Metrics {
+    let app = gecko_apps::app_by_name(app_name).expect("app exists");
+    let mut sim = Simulator::new(&app, config).expect("compiles");
+    sim.run_for(seconds)
+}
+
+#[test]
+fn all_schemes_complete_on_bench_supply() {
+    for scheme in SchemeKind::all() {
+        let m = run("crc16", SimConfig::bench_supply(scheme), 0.3);
+        assert!(m.completions > 0, "{scheme}: {m:?}");
+        assert_eq!(m.checksum_errors, 0, "{scheme}: {m:?}");
+        assert_eq!(m.dirty_deaths, 0, "{scheme}: no deaths on a bench supply");
+    }
+}
+
+#[test]
+fn all_schemes_survive_harvesting_outages() {
+    for scheme in SchemeKind::all() {
+        let m = run("bitcnt", SimConfig::harvesting(scheme), 6.0);
+        assert!(m.completions > 0, "{scheme}: {m:?}");
+        assert_eq!(m.checksum_errors, 0, "{scheme} must stay correct: {m:?}");
+        assert!(m.reboots > 0, "{scheme}: outages force reboots: {m:?}");
+    }
+}
+
+#[test]
+fn nvp_checkpoints_on_real_power_loss() {
+    let m = run("bitcnt", SimConfig::harvesting(SchemeKind::Nvp), 8.0);
+    assert!(m.jit_checkpoints >= 2, "{m:?}");
+    assert_eq!(
+        m.jit_checkpoint_failures, 0,
+        "no attack, no failures: {m:?}"
+    );
+}
+
+#[test]
+fn gecko_does_not_false_alarm_without_attack() {
+    let m = run("bitcnt", SimConfig::harvesting(SchemeKind::Gecko), 8.0);
+    assert_eq!(m.attack_detections, 0, "false positive: {m:?}");
+}
+
+#[test]
+fn resonant_attack_collapses_nvp_forward_progress() {
+    let clean = run("crc32", SimConfig::bench_supply(SchemeKind::Nvp), 0.5);
+    let attacked = run(
+        "crc32",
+        SimConfig::bench_supply(SchemeKind::Nvp).with_attack(attack_remote()),
+        0.5,
+    );
+    let r = attacked.forward_cycles as f64 / clean.forward_cycles.max(1) as f64;
+    assert!(
+        r < 0.15,
+        "forward progress rate under resonant attack should collapse, got {r}"
+    );
+    assert!(
+        attacked.jit_checkpoints > 10,
+        "spoofed checkpoints: {attacked:?}"
+    );
+}
+
+#[test]
+fn off_resonance_attack_is_harmless() {
+    let clean = run("crc32", SimConfig::bench_supply(SchemeKind::Nvp), 0.3);
+    let attacked = run(
+        "crc32",
+        SimConfig::bench_supply(SchemeKind::Nvp).with_attack(AttackSchedule::continuous(
+            EmiSignal::new(300e6, 35.0),
+            Injection::Remote { distance_m: 5.0 },
+        )),
+        0.3,
+    );
+    let r = attacked.forward_cycles as f64 / clean.forward_cycles.max(1) as f64;
+    assert!(r > 0.9, "off-resonance should be harmless, got {r}");
+}
+
+#[test]
+fn gecko_detects_attack_and_keeps_progressing() {
+    let cfg = SimConfig::harvesting(SchemeKind::Gecko).with_attack(attack_remote());
+    let m = run("bitcnt", cfg, 8.0);
+    assert!(m.attack_detections >= 1, "must detect: {m:?}");
+    assert!(m.rollbacks >= 1, "must roll back: {m:?}");
+    assert!(
+        m.completions > 0,
+        "GECKO keeps providing service under attack: {m:?}"
+    );
+    assert_eq!(m.checksum_errors, 0, "and stays correct: {m:?}");
+}
+
+#[test]
+fn gecko_outperforms_nvp_and_ratchet_under_attack() {
+    let mut completions = std::collections::BTreeMap::new();
+    for scheme in [SchemeKind::Nvp, SchemeKind::Ratchet, SchemeKind::Gecko] {
+        let cfg = SimConfig::harvesting(scheme).with_attack(attack_remote());
+        let m = run("bitcnt", cfg, 8.0);
+        completions.insert(scheme.name(), m.completions);
+    }
+    let gecko = completions["GECKO"];
+    let nvp = completions["NVP"];
+    let ratchet = completions["Ratchet"];
+    assert!(
+        gecko > 2 * nvp.max(1) && gecko > 2 * ratchet.max(1),
+        "GECKO must dominate under attack: {completions:?}"
+    );
+}
+
+#[test]
+fn gecko_reenables_jit_after_attack_ends() {
+    let app = gecko_apps::app_by_name("bitcnt").unwrap();
+    // Attack only during [1 s, 3 s).
+    let attack = AttackSchedule::from_windows(vec![gecko_emi::TimedAttack {
+        start_s: 1.0,
+        end_s: 3.0,
+        signal: EmiSignal::new(RESONANT_HZ, 35.0),
+        injection: Injection::Remote { distance_m: 5.0 },
+    }]);
+    let cfg = SimConfig::harvesting(SchemeKind::Gecko).with_attack(attack);
+    let mut sim = Simulator::new(&app, cfg).unwrap();
+    let m = sim.run_for(8.0);
+    assert!(m.attack_detections >= 1, "{m:?}");
+    assert!(
+        m.jit_reenables >= 1,
+        "after the attack ends GECKO returns to JIT: {m:?}"
+    );
+    assert_eq!(m.checksum_errors, 0, "{m:?}");
+}
+
+#[test]
+fn comparator_monitor_is_more_vulnerable_than_adc() {
+    let dev = gecko_emi::devices::msp430fr5994;
+    // FR5994's comparator path resonates at 5–6 MHz.
+    let comp_attack = AttackSchedule::continuous(
+        EmiSignal::new(5e6, 35.0),
+        Injection::Remote { distance_m: 5.0 },
+    );
+    let adc_cfg = SimConfig::bench_supply(SchemeKind::Nvp)
+        .with_device(dev(), MonitorKind::Adc)
+        .with_attack(comp_attack.clone());
+    let comp_cfg = SimConfig::bench_supply(SchemeKind::Nvp)
+        .with_device(dev(), MonitorKind::Comparator)
+        .with_attack(comp_attack);
+    let adc = run("crc16", adc_cfg, 0.4);
+    let comp = run("crc16", comp_cfg, 0.4);
+    assert!(
+        comp.forward_cycles < adc.forward_cycles / 2,
+        "comparator path collapses harder at its resonance: adc={} comp={}",
+        adc.forward_cycles,
+        comp.forward_cycles
+    );
+}
+
+#[test]
+fn simulation_is_deterministic() {
+    let a = run(
+        "fir",
+        SimConfig::harvesting(SchemeKind::Gecko).with_attack(attack_remote()),
+        3.0,
+    );
+    let b = run(
+        "fir",
+        SimConfig::harvesting(SchemeKind::Gecko).with_attack(attack_remote()),
+        3.0,
+    );
+    assert_eq!(a, b);
+}
+
+#[test]
+fn gecko_overhead_is_small_and_ratchet_large() {
+    // Figure 11's shape on one app: exec cycles per completion, bench
+    // supply, no outages, no attack.
+    let per_completion = |scheme: SchemeKind| -> f64 {
+        let app = gecko_apps::app_by_name("crc32").unwrap();
+        let mut sim = Simulator::new(&app, SimConfig::bench_supply(scheme)).unwrap();
+        let m = sim.run_until_completions(20, 5.0);
+        assert!(m.completions >= 20, "{scheme}: {m:?}");
+        (m.forward_cycles + m.overhead_cycles) as f64 / m.completions as f64
+    };
+    let nvp = per_completion(SchemeKind::Nvp);
+    let ratchet = per_completion(SchemeKind::Ratchet);
+    let gecko = per_completion(SchemeKind::Gecko);
+    let unpruned = per_completion(SchemeKind::GeckoNoPrune);
+    let r_ratchet = ratchet / nvp;
+    let r_gecko = gecko / nvp;
+    let r_unpruned = unpruned / nvp;
+    assert!(r_ratchet > 1.5, "Ratchet must be much slower: {r_ratchet}");
+    assert!(r_gecko < 1.25, "GECKO must be cheap: {r_gecko}");
+    assert!(
+        r_gecko <= r_unpruned + 1e-9,
+        "pruning cannot make things slower: {r_gecko} vs {r_unpruned}"
+    );
+    assert!(
+        r_unpruned < r_ratchet,
+        "even unpruned GECKO beats Ratchet: {r_unpruned} vs {r_ratchet}"
+    );
+}

@@ -1,0 +1,71 @@
+//! Compiler inspection tool: disassemble any bundled benchmark before and
+//! after the GECKO pipeline, with the recovery lookup table — the fastest
+//! way to see what region formation, WCET splitting, pruning and coloring
+//! actually did to a program.
+//!
+//! ```sh
+//! cargo run --release --example compile_inspect -- crc16
+//! cargo run --release --example compile_inspect -- qsort ratchet
+//! ```
+
+use gecko_suite::compiler::{compile, compile_ratchet, CompileOptions, RestoreAction};
+use gecko_suite::isa::asm::disassemble;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "crc16".into());
+    let ratchet = std::env::args().nth(2).is_some_and(|m| m == "ratchet");
+    let Some(app) = gecko_suite::apps::app_by_name(&name) else {
+        eprintln!("unknown app `{name}`; available:");
+        for a in gecko_suite::apps::all_apps() {
+            eprintln!("  {}", a.name);
+        }
+        std::process::exit(1);
+    };
+
+    println!(
+        ";; ================= source ({}) =================",
+        app.name
+    );
+    print!("{}", disassemble(&app.program));
+
+    let out = if ratchet {
+        compile_ratchet(&app.program).expect("compiles")
+    } else {
+        compile(&app.program, &CompileOptions::default()).expect("compiles")
+    };
+    let label = if ratchet { "Ratchet" } else { "GECKO" };
+    println!(";; ================= after {label} =================");
+    print!("{}", disassemble(&out.program));
+
+    println!(";; ================= regions =================");
+    for info in out.regions.iter() {
+        println!(
+            ";; region {:>4}  at block {} index {}",
+            info.id.to_string(),
+            info.block,
+            info.boundary_index
+        );
+        for action in out.recovery.actions(info.id) {
+            match action {
+                RestoreAction::FromSlot { reg, slot } => {
+                    println!(";;    restore {reg} from slot {slot}")
+                }
+                RestoreAction::Recompute { reg, slice } => {
+                    let text: Vec<String> = slice.iter().map(|i| i.to_string()).collect();
+                    println!(";;    recompute {reg}: {}", text.join("; "));
+                }
+            }
+        }
+    }
+    println!(";; ================= stats =================");
+    let s = &out.stats;
+    println!(";; regions={} (split {})", s.regions, s.regions_split);
+    println!(
+        ";; checkpoints: {} inserted, {} pruned, {} final",
+        s.checkpoints_before, s.checkpoints_pruned, s.checkpoints_after
+    );
+    println!(
+        ";; recovery blocks: {} ({} instructions), coloring fix-ups: {}",
+        s.recovery_blocks, s.recovery_insts, s.coloring_fixups
+    );
+}

@@ -1,0 +1,64 @@
+//! An environmental sensor node compared across all four recovery schemes
+//! in the energy-harvesting environment — first in peace, then under a
+//! sustained EMI attack. Reproduces the story of Figures 11/13 on a single
+//! screen.
+//!
+//! ```sh
+//! cargo run --release --example sensor_node
+//! ```
+
+use gecko_suite::emi::{AttackSchedule, EmiSignal, Injection};
+use gecko_suite::sim::{Metrics, SchemeKind, SimConfig, Simulator};
+
+fn run(scheme: SchemeKind, attack: Option<AttackSchedule>, seconds: f64) -> Metrics {
+    let app = gecko_suite::apps::app_by_name("bitcnt").expect("bundled app");
+    let mut cfg = SimConfig::harvesting(scheme);
+    if let Some(a) = attack {
+        cfg = cfg.with_attack(a);
+    }
+    let mut sim = Simulator::new(&app, cfg).expect("simulator");
+    sim.run_for(seconds)
+}
+
+fn main() {
+    let attack = AttackSchedule::continuous(
+        EmiSignal::new(27e6, 35.0),
+        Injection::Remote { distance_m: 5.0 },
+    );
+    let horizon = 8.0;
+
+    println!("sensor node on harvested power, {horizon} s per configuration\n");
+    println!(
+        "{:22} {:>12} {:>10} {:>10} {:>11} {:>9}",
+        "scheme", "completions", "corrupted", "reboots", "detections", "rollback"
+    );
+    println!("{}", "-".repeat(80));
+
+    for attacked in [false, true] {
+        println!(
+            "{}",
+            if attacked {
+                "\nUNDER EMI ATTACK (27 MHz, 35 dBm, 5 m):"
+            } else {
+                "NO ATTACK:"
+            }
+        );
+        for scheme in SchemeKind::all() {
+            let m = run(scheme, attacked.then(|| attack.clone()), horizon);
+            println!(
+                "{:22} {:>12} {:>10} {:>10} {:>11} {:>9}",
+                scheme.name(),
+                m.completions,
+                m.checksum_errors,
+                m.reboots,
+                m.attack_detections,
+                m.rollbacks
+            );
+        }
+    }
+    println!("\nReading the table: without the attack every scheme works (Ratchet");
+    println!("pays its centralized-checkpoint tax). Under attack, the JIT protocol");
+    println!("of NVP is spoofed into a sleep/wake storm and Ratchet's monitor-driven");
+    println!("sleeps starve it, while GECKO detects the attack, closes the monitor");
+    println!("attack surface, and keeps completing runs — all of them correct.");
+}

@@ -1,0 +1,38 @@
+//! Voltage-trace viewer: watch the capacitor breathe through harvest /
+//! drain cycles, then watch an EMI attack arrive — the spoofed
+//! checkpoint storms, GECKO's detection, and the switch to rollback mode
+//! (marked `R` in the state column; `J` = JIT mode, `z` = hibernating).
+//!
+//! ```sh
+//! cargo run --release --example voltage_trace
+//! ```
+
+use gecko_suite::emi::{AttackSchedule, EmiSignal, Injection, TimedAttack};
+use gecko_suite::sim::{SchemeKind, SimConfig, Simulator, Trace};
+
+fn main() {
+    let app = gecko_suite::apps::app_by_name("bitcnt").expect("bundled app");
+    // Attack window from t = 2 s to t = 4 s.
+    let attack = AttackSchedule::from_windows(vec![TimedAttack {
+        start_s: 2.0,
+        end_s: 4.0,
+        signal: EmiSignal::new(27e6, 35.0),
+        injection: Injection::Remote { distance_m: 5.0 },
+    }]);
+    let cfg = SimConfig::harvesting(SchemeKind::Gecko)
+        .with_capacitor(100e-6, 3.3)
+        .with_attack(attack);
+    let mut sim = Simulator::new(&app, cfg).expect("simulator");
+
+    println!("GECKO on harvested power; EMI attack from t=2 s to t=4 s");
+    println!("state: J = JIT mode, R = rollback mode, z = hibernating\n");
+    let trace = Trace::record(&mut sim, 6.0, 0.05);
+    print!("{}", trace.ascii_chart(48, 3.3));
+    println!(
+        "\nduty cycle: {:.0}%   voltage range: {:.2}–{:.2} V   completions: {}",
+        trace.duty() * 100.0,
+        trace.voltage_range().0,
+        trace.voltage_range().1,
+        trace.samples().last().map(|s| s.completions).unwrap_or(0)
+    );
+}

@@ -1,0 +1,17 @@
+//! # gecko-suite
+//!
+//! Facade crate for the GECKO reproduction workspace. It re-exports every
+//! sub-crate under a stable prefix so examples and integration tests can
+//! `use gecko_suite::...` without tracking individual crate names.
+//!
+//! See the repository `README.md` for a tour, `DESIGN.md` for the system
+//! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
+
+pub use gecko_apps as apps;
+pub use gecko_compiler as compiler;
+pub use gecko_ctpl as ctpl;
+pub use gecko_emi as emi;
+pub use gecko_energy as energy;
+pub use gecko_isa as isa;
+pub use gecko_mcu as mcu;
+pub use gecko_sim as sim;

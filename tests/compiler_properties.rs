@@ -1,0 +1,285 @@
+//! Property-based tests over *randomly generated programs*: the GECKO
+//! pipeline must compile anything the generator produces, the result must
+//! satisfy the slot-coloring invariant, the assembler must round-trip it,
+//! and — the crown jewel — execution under injected power failures must
+//! produce exactly the failure-free result.
+
+use proptest::prelude::*;
+
+use gecko_suite::apps::App;
+use gecko_suite::compiler::{coloring, compile, CompileOptions, RegionTable};
+use gecko_suite::isa::{asm, BinOp, Cond, Inst, Program, ProgramBuilder, Reg};
+use gecko_suite::mcu::{run_to_completion, Nvm, Peripherals};
+use gecko_suite::sim::{SchemeKind, SimConfig, Simulator};
+
+const RO_WORDS: u32 = 8;
+const RW_WORDS: u32 = 8;
+
+/// One generated operation over data registers r1..r5, using r6/r7 as
+/// scratch. Memory is accessed through hoisted segment bases with masked
+/// indices, so every access stays in bounds.
+#[derive(Debug, Clone)]
+enum Op {
+    Bin(BinOp, u8, u8, i32),
+    BinReg(BinOp, u8, u8, u8),
+    LoadRo(u8, u8),
+    LoadRw(u8, u8),
+    StoreRw(u8, u8),
+    Blink,
+}
+
+#[derive(Debug, Clone)]
+enum Phase {
+    Straight(Vec<Op>),
+    Loop { bound: u8, body: Vec<Op> },
+}
+
+fn data_reg() -> impl Strategy<Value = u8> {
+    1u8..=5
+}
+
+fn safe_binop() -> impl Strategy<Value = BinOp> {
+    prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+        Just(BinOp::Div),
+        Just(BinOp::Rem),
+    ]
+}
+
+fn op() -> impl Strategy<Value = Op> {
+    prop_oneof![
+        4 => (safe_binop(), data_reg(), data_reg(), -40i32..40).prop_map(|(o, d, l, k)| Op::Bin(o, d, l, k)),
+        3 => (safe_binop(), data_reg(), data_reg(), data_reg()).prop_map(|(o, d, l, r)| Op::BinReg(o, d, l, r)),
+        2 => (data_reg(), data_reg()).prop_map(|(d, s)| Op::LoadRo(d, s)),
+        2 => (data_reg(), data_reg()).prop_map(|(d, s)| Op::LoadRw(d, s)),
+        2 => (data_reg(), data_reg()).prop_map(|(s, i)| Op::StoreRw(s, i)),
+        1 => Just(Op::Blink),
+    ]
+}
+
+fn phase() -> impl Strategy<Value = Phase> {
+    prop_oneof![
+        prop::collection::vec(op(), 3..10).prop_map(Phase::Straight),
+        (2u8..6, prop::collection::vec(op(), 3..8))
+            .prop_map(|(bound, body)| Phase::Loop { bound, body }),
+    ]
+}
+
+fn program_spec() -> impl Strategy<Value = (Vec<Phase>, Vec<i32>)> {
+    (
+        prop::collection::vec(phase(), 1..4),
+        prop::collection::vec(-500i32..500, RO_WORDS as usize),
+    )
+}
+
+fn reg(i: u8) -> Reg {
+    Reg::new(i as usize)
+}
+
+fn emit_ops(b: &mut ProgramBuilder, ops: &[Op], ro_base: Reg, rw_base: Reg) {
+    let scratch = Reg::R6;
+    for o in ops {
+        match *o {
+            Op::Bin(op, d, l, k) => b.bin(op, reg(d), reg(l), k),
+            Op::BinReg(op, d, l, r) => b.bin(op, reg(d), reg(l), reg(r)),
+            Op::LoadRo(d, s) => {
+                b.bin(BinOp::And, scratch, reg(s), RO_WORDS as i32 - 1);
+                b.bin(BinOp::Add, scratch, ro_base, scratch);
+                b.load(reg(d), scratch, 0);
+            }
+            Op::LoadRw(d, s) => {
+                b.bin(BinOp::And, scratch, reg(s), RW_WORDS as i32 - 1);
+                b.bin(BinOp::Add, scratch, rw_base, scratch);
+                b.load(reg(d), scratch, 0);
+            }
+            Op::StoreRw(s, i) => {
+                b.bin(BinOp::And, scratch, reg(i), RW_WORDS as i32 - 1);
+                b.bin(BinOp::Add, scratch, rw_base, scratch);
+                b.store(reg(s), scratch, 0);
+            }
+            Op::Blink => b.blink(),
+        }
+    }
+}
+
+/// Builds a runnable program from a spec. The epilogue folds the whole RW
+/// segment and the data registers into one checksum word, so any silent
+/// state corruption shows up in the output.
+fn build_program(phases: &[Phase]) -> (Program, u32, u32) {
+    let mut b = ProgramBuilder::new("generated");
+    let ro = b.segment("ro", RO_WORDS, false);
+    let rw = b.segment("rw", RW_WORDS, true);
+    let out = b.segment("out", 1, true);
+    let (ro_base, rw_base) = (Reg::R10, Reg::R11);
+    let counter = Reg::R7;
+    b.mov(ro_base, ro as i32);
+    b.mov(rw_base, rw as i32);
+    // Seed the data registers deterministically.
+    for d in 1..=5u8 {
+        b.mov(reg(d), d as i32 * 17 - 30);
+    }
+
+    for (pi, ph) in phases.iter().enumerate() {
+        match ph {
+            Phase::Straight(ops) => emit_ops(&mut b, ops, ro_base, rw_base),
+            Phase::Loop { bound, body } => {
+                let head = b.new_label(format!("head{pi}"));
+                let lbody = b.new_label(format!("body{pi}"));
+                let lexit = b.new_label(format!("exit{pi}"));
+                b.mov(counter, 0);
+                b.bind(head);
+                b.set_loop_bound(*bound as u32);
+                b.branch(Cond::Lt, counter, *bound as i32, lbody, lexit);
+                b.bind(lbody);
+                emit_ops(&mut b, body, ro_base, rw_base);
+                b.bin(BinOp::Add, counter, counter, 1);
+                b.jump(head);
+                b.bind(lexit);
+            }
+        }
+    }
+
+    // Checksum epilogue: fold RW memory and data registers.
+    let (acc, p) = (Reg::R8, Reg::R9);
+    let fh = b.new_label("fold_head");
+    let fb = b.new_label("fold_body");
+    let fx = b.new_label("fold_exit");
+    b.mov(acc, 0);
+    b.mov(counter, 0);
+    b.bind(fh);
+    b.set_loop_bound(RW_WORDS);
+    b.branch(Cond::Lt, counter, RW_WORDS as i32, fb, fx);
+    b.bind(fb);
+    b.bin(BinOp::Add, p, rw_base, counter);
+    b.load(Reg::R6, p, 0);
+    b.bin(BinOp::Add, Reg::R6, Reg::R6, counter);
+    b.bin(BinOp::Mul, Reg::R6, Reg::R6, 31);
+    b.bin(BinOp::Xor, acc, acc, Reg::R6);
+    b.bin(BinOp::Add, counter, counter, 1);
+    b.jump(fh);
+    b.bind(fx);
+    for d in 1..=5u8 {
+        b.bin(BinOp::Xor, acc, acc, reg(d));
+    }
+    b.mov(p, out as i32);
+    b.store(acc, p, 0);
+    b.halt();
+    (b.finish().expect("generated program is valid"), ro, out)
+}
+
+fn build_app(phases: &[Phase], ro_data: &[i32]) -> App {
+    let (program, ro, out) = build_program(phases);
+    // Golden run for the expected checksum.
+    let mut nvm = Nvm::new(1 << 16);
+    nvm.write_image(ro, ro_data);
+    let mut periph = Peripherals::new(1);
+    run_to_completion(&program, &mut nvm, &mut periph, 10_000_000).expect("golden run halts");
+    let expected = nvm.read(out);
+    App {
+        name: "generated",
+        program,
+        image: vec![
+            (ro, ro_data.to_vec()),
+            (ro + RO_WORDS, vec![0; RW_WORDS as usize]), // rw zeroed each run
+        ],
+        checksum_addr: out,
+        expected_checksum: expected,
+    }
+}
+
+/// Validates the slot-coloring invariant: adjacent clusters never share a
+/// (register, slot) pair.
+fn assert_coloring_valid(program: &Program, regions: &RegionTable) {
+    let adj = coloring::region_adjacency(program, regions);
+    let cluster = |id| {
+        let info = regions.get(id).expect("region");
+        let insts = &program.block(info.block).insts;
+        let mut start = info.boundary_index;
+        while start > 0 && matches!(insts[start - 1], Inst::Checkpoint { .. }) {
+            start -= 1;
+        }
+        insts[start..info.boundary_index]
+            .iter()
+            .map(|i| match i {
+                Inst::Checkpoint { reg, slot } => (*reg, *slot),
+                _ => unreachable!(),
+            })
+            .collect::<std::collections::BTreeMap<_, _>>()
+    };
+    for (&a, succs) in &adj {
+        let ca = cluster(a);
+        for &b in succs {
+            let cb = cluster(b);
+            for (r, sa) in &ca {
+                if let Some(sb) = cb.get(r) {
+                    assert_ne!(sa, sb, "regions {a}->{b} share slot {sa} for {r}");
+                }
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 24, failure_persistence: None, ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn generated_programs_compile_and_color_validly((phases, ro) in program_spec()) {
+        let (program, _, _) = build_program(&phases);
+        let _ = ro;
+        let out = compile(&program, &CompileOptions::default()).expect("pipeline succeeds");
+        gecko_suite::isa::verify(&out.program).expect("instrumented program verifies");
+        assert_coloring_valid(&out.program, &out.regions);
+        // Every region has recovery actions covering its cluster.
+        for info in out.regions.iter() {
+            let _ = out.recovery.actions(info.id);
+        }
+    }
+
+    #[test]
+    fn assembler_roundtrips_generated_programs((phases, _ro) in program_spec()) {
+        let (program, _, _) = build_program(&phases);
+        let text = asm::disassemble(&program);
+        let again = asm::assemble("generated", &text).expect("reassembles");
+        assert_eq!(asm::disassemble(&again), text, "disassembly is a fixed point");
+        assert_eq!(program.inst_count(), again.inst_count());
+    }
+
+    #[test]
+    fn generated_programs_survive_injected_failures((phases, ro_data) in program_spec()) {
+        let app = build_app(&phases, &ro_data);
+        for stride in [311u64, 1013, 2719] {
+            let cfg = SimConfig::bench_supply(SchemeKind::Gecko);
+            let mut sim = Simulator::new(&app, cfg).expect("simulator");
+            for _ in 0..6 {
+                sim.run_steps(stride);
+                sim.inject_power_failure();
+            }
+            let m = sim.run_until_completions(3, 20.0);
+            prop_assert!(m.completions >= 3, "stride {stride}: {m:?}");
+            prop_assert_eq!(m.checksum_errors, 0, "stride {}: {:?}", stride, m);
+        }
+    }
+
+    #[test]
+    fn generated_programs_survive_failures_under_ratchet((phases, ro_data) in program_spec()) {
+        let app = build_app(&phases, &ro_data);
+        let cfg = SimConfig::bench_supply(SchemeKind::Ratchet);
+        let mut sim = Simulator::new(&app, cfg).expect("simulator");
+        for k in 0..6u64 {
+            sim.run_steps(701 + 97 * k);
+            sim.inject_power_failure();
+        }
+        let m = sim.run_until_completions(3, 20.0);
+        prop_assert!(m.completions >= 3, "{m:?}");
+        prop_assert_eq!(m.checksum_errors, 0, "{:?}", m);
+    }
+}

@@ -1,0 +1,146 @@
+//! The flagship correctness property of the whole suite: **crash-anywhere
+//! consistency**. Whatever the power does — natural brown-outs from a weak
+//! harvester, or total failures injected at arbitrary instruction
+//! positions — every completed application run must produce exactly the
+//! checksum of a failure-free golden run.
+//!
+//! NVP holds this property only while its voltage monitor is trustworthy
+//! (that *is* the paper's vulnerability); the rollback schemes (Ratchet,
+//! GECKO with and without pruning) must hold it unconditionally, including
+//! under EMI attack.
+
+use gecko_emi::{AttackSchedule, EmiSignal, Injection};
+use gecko_energy::ConstantPower;
+use gecko_sim::{SchemeKind, SimConfig, Simulator};
+
+/// Natural-outage torture: a tiny capacitor and weak harvester force
+/// frequent deaths at energy-determined (effectively arbitrary) points.
+fn torture_config(scheme: SchemeKind, cap_f: f64, power_w: f64) -> SimConfig {
+    let mut cfg = SimConfig::harvesting(scheme);
+    cfg.capacitance_f = cap_f;
+    cfg.harvester = Box::new(ConstantPower::new(power_w));
+    cfg
+}
+
+#[test]
+fn rollback_schemes_survive_natural_outage_torture() {
+    for scheme in [
+        SchemeKind::Ratchet,
+        SchemeKind::Gecko,
+        SchemeKind::GeckoNoPrune,
+    ] {
+        for app in gecko_apps::all_apps() {
+            let cfg = torture_config(scheme, 47e-6, 0.45e-3);
+            let mut sim = Simulator::new(&app, cfg)
+                .unwrap_or_else(|e| panic!("{} ({scheme}): {e}", app.name));
+            let m = sim.run_for(4.0);
+            assert!(
+                m.completions > 0,
+                "{} ({scheme}): no forward progress: {m:?}",
+                app.name
+            );
+            assert_eq!(
+                m.checksum_errors, 0,
+                "{} ({scheme}): corrupted output: {m:?}",
+                app.name
+            );
+            assert!(
+                m.reboots > 0,
+                "{} ({scheme}): torture must actually cause outages: {m:?}",
+                app.name
+            );
+        }
+    }
+}
+
+#[test]
+fn nvp_is_correct_without_attack() {
+    for app in gecko_apps::all_apps() {
+        let cfg = torture_config(SchemeKind::Nvp, 47e-6, 0.45e-3);
+        let mut sim = Simulator::new(&app, cfg).unwrap();
+        let m = sim.run_for(4.0);
+        assert!(m.completions > 0, "{}: {m:?}", app.name);
+        assert_eq!(m.checksum_errors, 0, "{}: {m:?}", app.name);
+    }
+}
+
+/// Injected total failures at systematically varied step offsets. Each
+/// offset lands the failure somewhere different: mid-region, mid-cluster,
+/// mid-boundary, mid-restore, mid-reload. GECKO must deliver a correct
+/// first completion afterwards, every time.
+#[test]
+fn gecko_survives_injected_failures_at_arbitrary_points() {
+    let app = gecko_apps::app_by_name("crc16").unwrap();
+    // A modest prime stride walks through many distinct positions across
+    // the app's ~100k-step run.
+    let mut offset = 37u64;
+    for trial in 0..60 {
+        let cfg = SimConfig::bench_supply(SchemeKind::Gecko);
+        let mut sim = Simulator::new(&app, cfg).unwrap();
+        sim.run_steps(offset);
+        sim.inject_power_failure();
+        let m = sim.run_until_completions(1, 30.0);
+        assert!(
+            m.completions >= 1,
+            "trial {trial} (offset {offset}): never completed: {m:?}"
+        );
+        assert_eq!(
+            m.checksum_errors, 0,
+            "trial {trial} (offset {offset}): corrupted: {m:?}"
+        );
+        offset += 1009; // prime stride: varied failure positions
+    }
+}
+
+#[test]
+fn gecko_survives_repeated_injected_failures_in_one_run() {
+    let app = gecko_apps::app_by_name("qsort").unwrap();
+    let cfg = SimConfig::bench_supply(SchemeKind::Gecko);
+    let mut sim = Simulator::new(&app, cfg).unwrap();
+    // Hammer it: a failure every few thousand steps, long enough for the
+    // recovery path itself to be interrupted repeatedly.
+    for k in 0..40u64 {
+        sim.run_steps(3_000 + 577 * k);
+        sim.inject_power_failure();
+    }
+    let m = sim.run_for(0.5);
+    assert!(m.completions > 0, "{m:?}");
+    assert_eq!(m.checksum_errors, 0, "{m:?}");
+    assert!(
+        m.rollbacks > 0,
+        "failures exercised the rollback path: {m:?}"
+    );
+}
+
+#[test]
+fn ratchet_survives_injected_failures() {
+    let app = gecko_apps::app_by_name("fir").unwrap();
+    let cfg = SimConfig::bench_supply(SchemeKind::Ratchet);
+    let mut sim = Simulator::new(&app, cfg).unwrap();
+    for k in 0..30u64 {
+        sim.run_steps(2_500 + 991 * k);
+        sim.inject_power_failure();
+    }
+    let m = sim.run_for(0.5);
+    assert!(m.completions > 0, "{m:?}");
+    assert_eq!(m.checksum_errors, 0, "{m:?}");
+}
+
+/// GECKO stays correct when failures and the EMI attack overlap — the
+/// end-to-end security claim.
+#[test]
+fn gecko_is_correct_under_attack_plus_outages() {
+    let attack = AttackSchedule::continuous(
+        EmiSignal::new(27e6, 35.0),
+        Injection::Remote { distance_m: 3.0 },
+    );
+    for app_name in ["crc16", "bitcnt", "dijkstra"] {
+        let app = gecko_apps::app_by_name(app_name).unwrap();
+        let cfg = torture_config(SchemeKind::Gecko, 47e-6, 0.45e-3).with_attack(attack.clone());
+        let mut sim = Simulator::new(&app, cfg).unwrap();
+        let m = sim.run_for(6.0);
+        assert!(m.completions > 0, "{app_name}: {m:?}");
+        assert_eq!(m.checksum_errors, 0, "{app_name}: {m:?}");
+        assert!(m.attack_detections > 0, "{app_name}: {m:?}");
+    }
+}
