@@ -79,19 +79,15 @@ pub fn app_by_name(name: &str) -> Option<App> {
     all_apps().into_iter().find(|a| a.name == name)
 }
 
-/// Deterministic pseudo-random data generator for app inputs (splitmix64).
+/// Deterministic pseudo-random data generator for app inputs
+/// ([`gecko_isa::rng::SplitMix64`], pre-mixed seed preserved from the
+/// original in-crate stream so golden checksums stay stable).
 pub(crate) fn data_stream(seed: u64) -> impl FnMut() -> Word {
-    let mut state = seed
-        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
-        .wrapping_add(0xD1B5);
-    move || {
-        state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z & 0x7FFF) as Word
-    }
+    let mut rng = gecko_isa::SplitMix64::from_state(
+        seed.wrapping_mul(gecko_isa::rng::GOLDEN_GAMMA)
+            .wrapping_add(0xD1B5),
+    );
+    move || (rng.next_u64() & 0x7FFF) as Word
 }
 
 #[cfg(test)]

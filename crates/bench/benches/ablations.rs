@@ -2,14 +2,14 @@
 //! (Section V-A1's claim), NVM wear, and the WCET-budget / recovery-fuel
 //! ablations of DESIGN.md.
 
-use gecko_bench::{fidelity_from_env, pct, print_table, save_json};
+use gecko_bench::{fidelity_from_env, pct, print_table, save_rows};
 use gecko_sim::experiments::extras;
 
 fn main() {
     let fidelity = fidelity_from_env();
 
     let filt = extras::filter_defense(fidelity);
-    save_json("extras_filter", &filt);
+    save_rows("extras_filter", &filt);
     let table = filt
         .iter()
         .map(|r| {
@@ -35,7 +35,7 @@ fn main() {
     );
 
     let wear = extras::wear(fidelity);
-    save_json("extras_wear", &wear);
+    save_rows("extras_wear", &wear);
     let table = wear
         .iter()
         .map(|r| {
@@ -53,7 +53,7 @@ fn main() {
     );
 
     let budget = extras::wcet_budget_ablation(fidelity);
-    save_json("extras_budget", &budget);
+    save_rows("extras_budget", &budget);
     let table = budget
         .iter()
         .map(|r| {
@@ -72,7 +72,7 @@ fn main() {
     );
 
     let fuel = extras::slice_fuel_ablation(fidelity);
-    save_json("extras_fuel", &fuel);
+    save_rows("extras_fuel", &fuel);
     let table = fuel
         .iter()
         .map(|r| {

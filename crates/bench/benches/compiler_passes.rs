@@ -1,22 +1,29 @@
-//! Criterion micro-benchmarks of the GECKO compiler passes themselves.
+//! Micro-benchmarks of the GECKO compiler passes themselves (best-of-N
+//! wall-clock timing; no external harness).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use gecko_bench::{print_table, time_best_of};
 use gecko_compiler::{compile, compile_ratchet, CompileOptions};
 
-fn bench_compile(c: &mut Criterion) {
-    let mut group = c.benchmark_group("compile");
+fn main() {
+    let iters = 20;
+    let mut table = Vec::new();
+    let opts = CompileOptions::default();
     for app in gecko_apps::all_apps() {
-        group.bench_with_input(BenchmarkId::new("gecko", app.name), &app, |b, app| {
-            let opts = CompileOptions::default();
-            b.iter(|| compile(&app.program, &opts).unwrap());
-        });
+        let best = time_best_of(iters, || compile(&app.program, &opts).unwrap());
+        table.push(vec![
+            format!("gecko/{}", app.name),
+            format!("{:.1}us", best.as_nanos() as f64 / 1e3),
+        ]);
     }
     let fft = gecko_apps::app_by_name("fft").unwrap();
-    group.bench_function("ratchet/fft", |b| {
-        b.iter(|| compile_ratchet(&fft.program).unwrap());
-    });
-    group.finish();
+    let best = time_best_of(iters, || compile_ratchet(&fft.program).unwrap());
+    table.push(vec![
+        "ratchet/fft".to_string(),
+        format!("{:.1}us", best.as_nanos() as f64 / 1e3),
+    ]);
+    print_table(
+        &format!("compiler passes (best of {iters})"),
+        &["pass/app", "time"],
+        &table,
+    );
 }
-
-criterion_group!(benches, bench_compile);
-criterion_main!(benches);

@@ -1,11 +1,12 @@
 //! Regenerates Figure 11: normalized execution time (no power outages).
 
-use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_bench::{fidelity_from_env, print_table, save_rows, workers_from_env};
 use gecko_sim::experiments::fig11;
 
 fn main() {
-    let rows = fig11::rows(fidelity_from_env());
-    save_json("fig11", &rows);
+    let rows = gecko_fleet::figures::fig11(fidelity_from_env(), workers_from_env())
+        .expect("fig11 campaign");
+    save_rows("fig11", &rows);
     let apps: Vec<String> = {
         let mut v: Vec<String> = rows.iter().map(|r| r.app.clone()).collect();
         v.dedup();

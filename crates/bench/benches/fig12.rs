@@ -1,11 +1,11 @@
 //! Regenerates Figure 12: checkpoint reduction from pruning.
 
-use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_bench::{fidelity_from_env, print_table, save_rows};
 use gecko_sim::experiments::fig12;
 
 fn main() {
     let rows = fig12::rows(fidelity_from_env());
-    save_json("fig12", &rows);
+    save_rows("fig12", &rows);
     let table = rows
         .iter()
         .map(|r| {

@@ -1,11 +1,12 @@
 //! Regenerates Figure 13: attack detection and recovery timelines.
 
-use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_bench::{fidelity_from_env, print_table, save_rows, workers_from_env};
 use gecko_sim::experiments::fig13;
 
 fn main() {
-    let rows = fig13::rows(fidelity_from_env());
-    save_json("fig13", &rows);
+    let rows = gecko_fleet::figures::fig13(fidelity_from_env(), workers_from_env())
+        .expect("fig13 campaign");
+    save_rows("fig13", &rows);
     for (label, _) in fig13::scenarios() {
         let mut table = Vec::new();
         let times: Vec<f64> = {

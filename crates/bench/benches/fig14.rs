@@ -1,11 +1,11 @@
 //! Regenerates Figure 14: performance in the energy-harvesting environment.
 
-use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_bench::{fidelity_from_env, print_table, save_rows};
 use gecko_sim::experiments::fig14;
 
 fn main() {
     let rows = fig14::rows(fidelity_from_env());
-    save_json("fig14", &rows);
+    save_rows("fig14", &rows);
     let apps: Vec<String> = {
         let mut v: Vec<String> = rows.iter().map(|r| r.app.clone()).collect();
         v.dedup();

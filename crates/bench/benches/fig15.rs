@@ -1,11 +1,11 @@
 //! Regenerates Figure 15: capacitor-size sensitivity.
 
-use gecko_bench::{fidelity_from_env, print_table, save_json};
+use gecko_bench::{fidelity_from_env, print_table, save_rows};
 use gecko_sim::experiments::fig15;
 
 fn main() {
     let rows = fig15::rows(fidelity_from_env());
-    save_json("fig15", &rows);
+    save_rows("fig15", &rows);
     let table = rows
         .iter()
         .map(|r| {

@@ -1,11 +1,11 @@
 //! Regenerates Figure 4: DPI forward-progress-vs-frequency curves.
 
-use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_json};
-use gecko_sim::experiments::fig4;
+use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_rows, workers_from_env};
 
 fn main() {
-    let rows = fig4::rows(fidelity_from_env());
-    save_json("fig4", &rows);
+    let rows =
+        gecko_fleet::figures::fig4(fidelity_from_env(), workers_from_env()).expect("fig4 campaign");
+    save_rows("fig4", &rows);
     for point in ["P1", "P2"] {
         let table: Vec<Vec<String>> = rows
             .iter()

@@ -1,11 +1,11 @@
 //! Regenerates Figure 5: remote-attack sweeps over the nine ADC boards.
 
-use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_json};
-use gecko_sim::experiments::fig5;
+use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_rows, workers_from_env};
 
 fn main() {
-    let rows = fig5::rows(fidelity_from_env());
-    save_json("fig5", &rows);
+    let rows =
+        gecko_fleet::figures::fig5(fidelity_from_env(), workers_from_env()).expect("fig5 campaign");
+    save_rows("fig5", &rows);
     let devices: std::collections::BTreeSet<_> = rows.iter().map(|r| r.device.clone()).collect();
     let mut summary = Vec::new();
     for d in &devices {

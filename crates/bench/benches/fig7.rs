@@ -1,11 +1,11 @@
 //! Regenerates Figure 7: remote attacks on comparator-based monitors.
 
-use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_json};
+use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_rows};
 use gecko_sim::experiments::fig7;
 
 fn main() {
     let rows = fig7::rows(fidelity_from_env());
-    save_json("fig7", &rows);
+    save_rows("fig7", &rows);
     let devices: std::collections::BTreeSet<_> = rows.iter().map(|r| r.device.clone()).collect();
     for d in &devices {
         let table = rows

@@ -1,11 +1,11 @@
 //! Regenerates Figure 8: attack distance vs transmit power.
 
-use gecko_bench::{fidelity_from_env, pct, print_table, save_json};
-use gecko_sim::experiments::fig8;
+use gecko_bench::{fidelity_from_env, pct, print_table, save_rows, workers_from_env};
 
 fn main() {
-    let rows = fig8::rows(fidelity_from_env());
-    save_json("fig8", &rows);
+    let rows =
+        gecko_fleet::figures::fig8(fidelity_from_env(), workers_from_env()).expect("fig8 campaign");
+    save_rows("fig8", &rows);
     let table = rows
         .iter()
         .map(|r| {

@@ -1,11 +1,11 @@
 //! Regenerates Figure 9: real-time attack traces on the MSP430FR5994.
 
-use gecko_bench::{fidelity_from_env, pct, print_table, save_json};
+use gecko_bench::{fidelity_from_env, pct, print_table, save_rows};
 use gecko_sim::experiments::fig9;
 
 fn main() {
     let rows = fig9::rows(fidelity_from_env());
-    save_json("fig9", &rows);
+    save_rows("fig9", &rows);
     for monitor in ["ADC", "Comparator"] {
         let table = rows
             .iter()

@@ -1,24 +1,30 @@
-//! Criterion micro-benchmark of the co-simulator's instruction throughput.
+//! Micro-benchmark of the co-simulator's instruction throughput (best-of-N
+//! wall-clock timing; no external harness).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gecko_bench::{print_table, time_best_of};
 use gecko_sim::{SchemeKind, SimConfig, Simulator};
 
-fn bench_sim(c: &mut Criterion) {
+fn main() {
     let app = gecko_apps::app_by_name("crc32").unwrap();
-    let mut group = c.benchmark_group("simulate");
+    let iters = 10;
     // 10 ms of device time at 16 MHz ≈ 160k cycles per iteration.
-    group.throughput(Throughput::Elements(160_000));
+    let cycles = 160_000.0;
+    let mut table = Vec::new();
     for scheme in SchemeKind::all() {
-        group.bench_function(scheme.name(), |b| {
-            b.iter_batched(
-                || Simulator::new(&app, SimConfig::bench_supply(scheme)).unwrap(),
-                |mut sim| sim.run_for(0.01),
-                criterion::BatchSize::SmallInput,
-            );
+        let best = time_best_of(iters, || {
+            let mut sim = Simulator::new(&app, SimConfig::bench_supply(scheme)).unwrap();
+            sim.run_for(0.01)
         });
+        let mcps = cycles / best.as_secs_f64() / 1e6;
+        table.push(vec![
+            scheme.name().to_string(),
+            format!("{:.2}ms", best.as_secs_f64() * 1e3),
+            format!("{mcps:.0} Mcycles/s"),
+        ]);
     }
-    group.finish();
+    print_table(
+        &format!("simulator throughput (best of {iters}, includes compile)"),
+        &["scheme", "time/10ms-window", "throughput"],
+        &table,
+    );
 }
-
-criterion_group!(benches, bench_sim);
-criterion_main!(benches);

@@ -1,11 +1,11 @@
 //! Regenerates Table I: per-board EMI attack summary.
 
-use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_json};
+use gecko_bench::{fidelity_from_env, mhz, pct, print_table, save_rows};
 use gecko_sim::experiments::table1;
 
 fn main() {
     let rows = table1::rows(fidelity_from_env());
-    save_json("table1", &rows);
+    save_rows("table1", &rows);
     let table = rows
         .iter()
         .map(|r| {

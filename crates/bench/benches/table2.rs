@@ -1,11 +1,11 @@
 //! Prints Table II: comparison of prior EMI countermeasures with GECKO.
 
-use gecko_bench::{print_table, save_json};
+use gecko_bench::{print_table, save_rows};
 use gecko_sim::experiments::table2;
 
 fn main() {
     let rows = table2::rows();
-    save_json("table2", &rows);
+    save_rows("table2", &rows);
     let yn = |b: bool| if b { "Yes" } else { "No" }.to_string();
     let table = rows
         .iter()

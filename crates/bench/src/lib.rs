@@ -2,19 +2,26 @@
 //!
 //! The benchmark harness that regenerates **every table and figure** of the
 //! paper's evaluation. Each `benches/` target (plain `harness = false`
-//! binaries, so `cargo bench` runs them) calls the corresponding
-//! `gecko_sim::experiments` entry point, prints a paper-style table, and
-//! persists the raw rows as JSON under `target/gecko-results/`.
+//! binaries, so `cargo bench` runs them) computes the corresponding rows —
+//! the heavyweight sweeps (fig4, fig5, fig8, fig11, fig13) through the
+//! `gecko-fleet` campaign engine, the rest through the sequential
+//! `gecko_sim::experiments` entry points — prints a paper-style table, and
+//! persists the raw rows as JSON-lines under `target/gecko-results/`
+//! through the fleet telemetry pipeline.
 //!
-//! Two genuine Criterion micro-benchmarks (`compiler_passes`,
-//! `sim_throughput`) measure the harness itself.
+//! Two micro-benchmark binaries (`compiler_passes`, `sim_throughput`)
+//! measure the harness itself with a dependency-free best-of-N timer.
 //!
-//! Set `GECKO_QUICK=1` to run the reduced sweeps used by the test suite.
+//! Environment knobs: `GECKO_QUICK=1` runs the reduced sweeps used by the
+//! test suite; `GECKO_WORKERS=N` overrides the campaign worker-pool size
+//! (default: all available cores).
 
 use std::fs;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use gecko_sim::experiments::Fidelity;
+use gecko_sim::Record;
 
 /// The fidelity selected by the environment (`GECKO_QUICK=1` → `Quick`).
 pub fn fidelity_from_env() -> Fidelity {
@@ -25,6 +32,19 @@ pub fn fidelity_from_env() -> Fidelity {
     }
 }
 
+/// Campaign worker-pool size: `GECKO_WORKERS` if set, else all cores.
+pub fn workers_from_env() -> usize {
+    std::env::var("GECKO_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+}
+
 /// Directory where bench targets persist their JSON rows.
 pub fn results_dir() -> PathBuf {
     let dir = PathBuf::from("target/gecko-results");
@@ -32,19 +52,29 @@ pub fn results_dir() -> PathBuf {
     dir
 }
 
-/// Serializes `rows` as pretty JSON into `target/gecko-results/<name>.json`.
-pub fn save_json<T: serde::Serialize>(name: &str, rows: &T) {
-    let path = results_dir().join(format!("{name}.json"));
-    match serde_json::to_string_pretty(rows) {
-        Ok(s) => {
-            if let Err(e) = fs::write(&path, s) {
-                eprintln!("warning: could not write {}: {e}", path.display());
-            } else {
-                println!("[saved {}]", path.display());
-            }
-        }
-        Err(e) => eprintln!("warning: could not serialize {name}: {e}"),
+/// Persists rows as `target/gecko-results/<name>.jsonl` through the fleet
+/// telemetry pipeline (one JSON object per line).
+pub fn save_rows<R: Record>(name: &str, rows: &[R]) {
+    match gecko_fleet::persist_records(&results_dir(), name, rows) {
+        Ok(path) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {name}.jsonl: {e}"),
     }
+}
+
+/// Times `f` with `iters` measured iterations after one warm-up call and
+/// reports the best per-iteration time — the dependency-free stand-in for
+/// a statistical micro-benchmark harness (min-of-N is robust to scheduler
+/// noise for CPU-bound closures).
+pub fn time_best_of<T>(iters: u32, mut f: impl FnMut() -> T) -> std::time::Duration {
+    assert!(iters > 0);
+    std::hint::black_box(f());
+    let mut best = std::time::Duration::MAX;
+    for _ in 0..iters {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed());
+    }
+    best
 }
 
 /// Renders a fixed-width table: a header row and data rows.
@@ -119,5 +149,16 @@ mod tests {
     fn results_dir_is_creatable() {
         let d = results_dir();
         assert!(d.ends_with("gecko-results"));
+    }
+
+    #[test]
+    fn workers_default_is_positive() {
+        assert!(workers_from_env() >= 1);
+    }
+
+    #[test]
+    fn timer_returns_nonzero() {
+        let d = time_best_of(3, || (0..1000u64).sum::<u64>());
+        assert!(d.as_nanos() > 0);
     }
 }

@@ -1,103 +1,127 @@
 //! Property tests of the energy substrate: capacitor physics invariants
 //! that every simulation run implicitly relies on.
+//!
+//! Inputs are generated deterministically with the in-tree
+//! [`SplitMix64`] generator (seeded per property), so failures reproduce
+//! exactly and the suite needs no external property-testing dependency.
 
 use gecko_energy::{Capacitor, PowerSource, PulsedRf, VoltageThresholds};
-use proptest::prelude::*;
+use gecko_isa::SplitMix64;
 
-proptest! {
-    /// Charging never exceeds the ceiling and never loses banked energy.
-    #[test]
-    fn charge_is_bounded_and_conservative(
-        c_mf in 0.01f64..20.0,
-        v0 in 0.0f64..3.3,
-        power_mw in 0.0f64..50.0,
-        dt_ms in 0.0f64..500.0,
-    ) {
+const CASES: u64 = 24;
+
+/// Runs `body` on `CASES` deterministic RNG states derived from `seed`.
+fn for_cases(seed: u64, mut body: impl FnMut(&mut SplitMix64)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(seed ^ case.wrapping_mul(0x9E37_79B9));
+        body(&mut rng);
+    }
+}
+
+/// Charging never exceeds the ceiling and never loses banked energy.
+#[test]
+fn charge_is_bounded_and_conservative() {
+    for_cases(0xCAFE_0001, |rng| {
+        let c_mf = rng.range_f64(0.01, 20.0);
+        let v0 = rng.range_f64(0.0, 3.3);
+        let power_mw = rng.range_f64(0.0, 50.0);
+        let dt_ms = rng.range_f64(0.0, 500.0);
         let mut cap = Capacitor::new(c_mf * 1e-3, v0);
         let before = cap.energy_j();
         let banked = cap.charge(power_mw * 1e-3, dt_ms * 1e-3, 3.3);
-        prop_assert!(cap.voltage_v() <= 3.3 + 1e-9);
-        prop_assert!(banked >= -1e-12, "lossless charge cannot drain: {banked}");
-        prop_assert!(
+        assert!(cap.voltage_v() <= 3.3 + 1e-9);
+        assert!(banked >= -1e-12, "lossless charge cannot drain: {banked}");
+        assert!(
             (cap.energy_j() - before - banked).abs() < 1e-9,
             "energy accounting closes"
         );
-        prop_assert!(banked <= power_mw * 1e-3 * dt_ms * 1e-3 + 1e-12);
-    }
+        assert!(banked <= power_mw * 1e-3 * dt_ms * 1e-3 + 1e-12);
+    });
+}
 
-    /// Discharging is exact while energy is available and clamps at zero.
-    #[test]
-    fn discharge_is_exact_or_brownout(
-        c_mf in 0.01f64..20.0,
-        v0 in 0.0f64..3.3,
-        draw_uj in 0.0f64..20_000.0,
-    ) {
+/// Discharging is exact while energy is available and clamps at zero.
+#[test]
+fn discharge_is_exact_or_brownout() {
+    for_cases(0xCAFE_0002, |rng| {
+        let c_mf = rng.range_f64(0.01, 20.0);
+        let v0 = rng.range_f64(0.0, 3.3);
+        let draw_uj = rng.range_f64(0.0, 20_000.0);
         let mut cap = Capacitor::new(c_mf * 1e-3, v0);
         let before = cap.energy_j();
         let draw = draw_uj * 1e-6;
         let ok = cap.discharge_j(draw);
         if ok {
-            prop_assert!((before - cap.energy_j() - draw).abs() < 1e-9);
+            assert!((before - cap.energy_j() - draw).abs() < 1e-9);
         } else {
-            prop_assert!(draw > before);
-            prop_assert_eq!(cap.voltage_v(), 0.0);
+            assert!(draw > before);
+            assert_eq!(cap.voltage_v(), 0.0);
         }
-    }
+    });
+}
 
-    /// Charge/discharge round-trips return to the same voltage.
-    #[test]
-    fn charge_then_discharge_roundtrips(
-        c_mf in 0.1f64..10.0,
-        v0 in 0.5f64..2.5,
-        add_uj in 0.0f64..500.0,
-    ) {
+/// Charge/discharge round-trips return to the same voltage.
+#[test]
+fn charge_then_discharge_roundtrips() {
+    for_cases(0xCAFE_0003, |rng| {
+        let c_mf = rng.range_f64(0.1, 10.0);
+        let v0 = rng.range_f64(0.5, 2.5);
+        let add_uj = rng.range_f64(0.0, 500.0);
         let mut cap = Capacitor::new(c_mf * 1e-3, v0);
         // Inject energy as 1 s of the equivalent power, then remove it.
         let banked = cap.charge(add_uj * 1e-6, 1.0, 3.3);
-        prop_assert!(cap.discharge_j(banked));
-        prop_assert!((cap.voltage_v() - v0).abs() < 1e-6);
-    }
+        assert!(cap.discharge_j(banked));
+        assert!((cap.voltage_v() - v0).abs() < 1e-6);
+    });
+}
 
-    /// Time-to-charge is consistent with actually charging for that long.
-    #[test]
-    fn time_to_charge_is_accurate(
-        c_mf in 0.1f64..5.0,
-        v0 in 0.0f64..2.0,
-        power_mw in 0.1f64..10.0,
-    ) {
+/// Time-to-charge is consistent with actually charging for that long.
+#[test]
+fn time_to_charge_is_accurate() {
+    for_cases(0xCAFE_0004, |rng| {
+        let c_mf = rng.range_f64(0.1, 5.0);
+        let v0 = rng.range_f64(0.0, 2.0);
+        let power_mw = rng.range_f64(0.1, 10.0);
         let cap = Capacitor::new(c_mf * 1e-3, v0);
         let t = cap.time_to_charge_s(3.0, power_mw * 1e-3);
-        prop_assert!(t.is_finite());
+        assert!(t.is_finite());
         let mut cap2 = cap.clone();
         cap2.charge(power_mw * 1e-3, t, 3.3);
-        prop_assert!((cap2.voltage_v() - 3.0).abs() < 1e-6, "{}", cap2.voltage_v());
-    }
+        assert!(
+            (cap2.voltage_v() - 3.0).abs() < 1e-6,
+            "{}",
+            cap2.voltage_v()
+        );
+    });
+}
 
-    /// Threshold rescaling preserves the buffered energy for any larger
-    /// capacitor.
-    #[test]
-    fn rescaling_preserves_buffered_energy(scale in 1.0f64..20.0) {
+/// Threshold rescaling preserves the buffered energy for any larger
+/// capacitor.
+#[test]
+fn rescaling_preserves_buffered_energy() {
+    for_cases(0xCAFE_0005, |rng| {
+        let scale = rng.range_f64(1.0, 20.0);
         let t = VoltageThresholds::default();
         let c_ref = 1e-3;
         let c = c_ref * scale;
         let t2 = t.rescale_for_capacitor(c_ref, c);
         let e1 = 0.5 * c_ref * (t.v_on * t.v_on - t.v_off * t.v_off);
         let e2 = 0.5 * c * (t2.v_on * t2.v_on - t2.v_off * t2.v_off);
-        prop_assert!((e1 - e2).abs() < 1e-9);
-        prop_assert!(t2.v_on > t2.v_backup && t2.v_backup > t2.v_off);
-    }
+        assert!((e1 - e2).abs() < 1e-9);
+        assert!(t2.v_on > t2.v_backup && t2.v_backup > t2.v_off);
+    });
+}
 
-    /// Pulsed sources are periodic and never negative.
-    #[test]
-    fn pulsed_sources_are_periodic(
-        period_ms in 1.0f64..2_000.0,
-        duty in 0.05f64..1.0,
-        t_s in 0.0f64..100.0,
-    ) {
+/// Pulsed sources are periodic and never negative.
+#[test]
+fn pulsed_sources_are_periodic() {
+    for_cases(0xCAFE_0006, |rng| {
+        let period_ms = rng.range_f64(1.0, 2_000.0);
+        let duty = rng.range_f64(0.05, 1.0);
+        let t_s = rng.range_f64(0.0, 100.0);
         let src = PulsedRf::new(period_ms * 1e-3, duty, 1e-3);
         let p1 = src.power_w(t_s);
         let p2 = src.power_w(t_s + period_ms * 1e-3);
-        prop_assert!(p1 >= 0.0);
-        prop_assert!((p1 - p2).abs() < 1e-12, "periodic");
-    }
+        assert!(p1 >= 0.0);
+        assert!((p1 - p2).abs() < 1e-12, "periodic");
+    });
 }

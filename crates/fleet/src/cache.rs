@@ -1,0 +1,177 @@
+//! The compiled-program cache: each `(app, scheme, compile options)` cell
+//! is compiled exactly once per campaign and the artifact is shared
+//! read-only (via `Arc`) across all worker threads.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use gecko_apps::App;
+use gecko_compiler::{CompileError, CompileOptions};
+use gecko_sim::device::CompiledApp;
+use gecko_sim::SchemeKind;
+
+/// What a compilation depends on. `CompileOptions` is expanded into its
+/// fields so the key stays `Eq + Hash` without imposing those bounds
+/// upstream.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CacheKey {
+    /// Application name (apps are identified by name in a campaign).
+    pub app: String,
+    /// The recovery scheme.
+    pub scheme: SchemeKind,
+    /// `CompileOptions::wcet_budget_cycles`.
+    pub wcet_budget_cycles: Option<u64>,
+    /// `CompileOptions::prune`.
+    pub prune: bool,
+    /// `CompileOptions::max_slice_insts`.
+    pub max_slice_insts: usize,
+}
+
+impl CacheKey {
+    /// Builds the key for one cell.
+    pub fn new(app: &str, scheme: SchemeKind, options: &CompileOptions) -> CacheKey {
+        CacheKey {
+            app: app.to_string(),
+            scheme,
+            wcet_budget_cycles: options.wcet_budget_cycles,
+            prune: options.prune,
+            max_slice_insts: options.max_slice_insts,
+        }
+    }
+}
+
+type Slot = Arc<OnceLock<Result<Arc<CompiledApp>, CompileError>>>;
+
+/// A concurrent compile-once cache.
+///
+/// The map lock is held only to find/insert the cell's `OnceLock`; the
+/// compilation itself runs outside it, so different cells compile in
+/// parallel while racing workers on the *same* cell block on the
+/// `OnceLock` and then share the single artifact.
+#[derive(Debug, Default)]
+pub struct ProgramCache {
+    slots: Mutex<HashMap<CacheKey, Slot>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ProgramCache {
+    /// An empty cache.
+    pub fn new() -> ProgramCache {
+        ProgramCache::default()
+    }
+
+    /// Returns the compiled artifact for `(app, scheme, options)`,
+    /// compiling on first use. Concurrent callers for the same key get the
+    /// same `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the (cached) compiler error for the cell.
+    pub fn get_or_compile(
+        &self,
+        app: &App,
+        scheme: SchemeKind,
+        options: &CompileOptions,
+    ) -> Result<Arc<CompiledApp>, CompileError> {
+        let key = CacheKey::new(app.name, scheme, options);
+        let slot = {
+            let mut slots = self.slots.lock().expect("cache lock");
+            slots.entry(key).or_default().clone()
+        };
+        let mut compiled_here = false;
+        let result = slot.get_or_init(|| {
+            compiled_here = true;
+            CompiledApp::build(app, scheme, options).map(Arc::new)
+        });
+        if compiled_here {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        result.clone()
+    }
+
+    /// Lookups that found an existing artifact.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that compiled (exactly one per distinct key).
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct cells in the cache.
+    pub fn len(&self) -> usize {
+        self.slots.lock().expect("cache lock").len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compiles_each_cell_exactly_once() {
+        let cache = ProgramCache::new();
+        let app = gecko_apps::app_by_name("crc16").unwrap();
+        let opts = CompileOptions::default();
+        let a = cache
+            .get_or_compile(&app, SchemeKind::Gecko, &opts)
+            .unwrap();
+        let b = cache
+            .get_or_compile(&app, SchemeKind::Gecko, &opts)
+            .unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second lookup shares the artifact");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+
+        let c = cache.get_or_compile(&app, SchemeKind::Nvp, &opts).unwrap();
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.misses(), 2);
+    }
+
+    #[test]
+    fn distinct_options_are_distinct_cells() {
+        let cache = ProgramCache::new();
+        let app = gecko_apps::app_by_name("crc16").unwrap();
+        let opts = CompileOptions::default();
+        let pruned = cache
+            .get_or_compile(&app, SchemeKind::Gecko, &opts)
+            .unwrap();
+        let unpruned = cache
+            .get_or_compile(&app, SchemeKind::Gecko, &opts.without_pruning())
+            .unwrap();
+        assert_eq!(cache.len(), 2);
+        assert_ne!(pruned.stats.checkpoints_after, 0);
+        assert!(unpruned.stats.checkpoints_after >= pruned.stats.checkpoints_after);
+    }
+
+    #[test]
+    fn concurrent_same_key_shares_one_compile() {
+        let cache = Arc::new(ProgramCache::new());
+        let app = gecko_apps::app_by_name("fft").unwrap();
+        let opts = CompileOptions::default();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let cache = Arc::clone(&cache);
+                let app = app.clone();
+                s.spawn(move || {
+                    cache
+                        .get_or_compile(&app, SchemeKind::Gecko, &opts)
+                        .unwrap();
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 1, "one compilation for four workers");
+        assert_eq!(cache.hits(), 3);
+    }
+}

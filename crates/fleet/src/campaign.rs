@@ -1,0 +1,763 @@
+//! The campaign engine: a declarative grid of simulations, a worker pool,
+//! and deterministic aggregation.
+//!
+//! A [`CampaignSpec`] is the cartesian product
+//! `apps × schemes × devices × attacks × seeds`; [`CampaignSpec::expand`]
+//! flattens it into an ordered list of [`WorkItem`]s. [`Campaign::run`]
+//! executes the items on `workers` std threads pulling from a shared
+//! atomic cursor (a lock-free work queue over the fixed item list), with
+//! every `(app, scheme, options)` compilation going through the shared
+//! [`ProgramCache`](crate::cache::ProgramCache).
+//!
+//! **Determinism.** Each item's simulation depends only on its `SimConfig`
+//! — never on scheduling — and results are merged back **in item order**
+//! after the pool joins. A campaign therefore produces bit-identical
+//! [`CampaignReport::deterministic_digest`] values for any worker count;
+//! only wall-clock fields differ.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gecko_apps::App;
+use gecko_compiler::{CompileError, CompileOptions, CompileStats};
+use gecko_emi::{AttackSchedule, DeviceModel, MonitorKind};
+use gecko_energy::ConstantPower;
+use gecko_sim::report::Value;
+use gecko_sim::{Metrics, SchemeKind, SimConfig, Simulator};
+
+use crate::cache::ProgramCache;
+use crate::telemetry::{Event, FleetCounters, Histogram, NullSink, TelemetrySink};
+
+/// The power environment every item runs in.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Supply {
+    /// Generous DC bench supply (`SimConfig::bench_supply`).
+    Bench,
+    /// Constant harvested power of `power_w` watts
+    /// (`SimConfig::harvesting` uses 1.2 mW).
+    Harvesting {
+        /// Average harvested power (W).
+        power_w: f64,
+    },
+}
+
+/// Energy-buffer override.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacitorSpec {
+    /// Capacitance (F).
+    pub capacitance_f: f64,
+    /// Initial voltage (V).
+    pub initial_voltage_v: f64,
+    /// Rescale the threshold ladder to match the 1 mF reference energy
+    /// (the paper's Section VII-D methodology).
+    pub rescale_thresholds: bool,
+}
+
+/// What each item simulates.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// `run_for(seconds)`.
+    RunFor {
+        /// Device time to simulate (s).
+        seconds: f64,
+    },
+    /// `run_until_completions(n, max_seconds)`.
+    UntilCompletions {
+        /// Completions to reach.
+        n: u64,
+        /// Give-up horizon (s).
+        max_seconds: f64,
+    },
+    /// `run_for(bucket_s)` repeated over `horizon_s`, recording the
+    /// cumulative metrics at each bucket edge (timeline experiments like
+    /// Figure 13).
+    Buckets {
+        /// Total device time (s).
+        horizon_s: f64,
+        /// Bucket length (s).
+        bucket_s: f64,
+    },
+}
+
+/// A labeled attack schedule (one point on the attack axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AttackCase {
+    /// Label used in reports ("none", "27MHz@35dBm", scenario "d", ...).
+    pub label: String,
+    /// The schedule (empty = unattacked).
+    pub schedule: AttackSchedule,
+}
+
+impl AttackCase {
+    /// The unattacked case.
+    pub fn none() -> AttackCase {
+        AttackCase {
+            label: "none".to_string(),
+            schedule: AttackSchedule::none(),
+        }
+    }
+
+    /// A labeled case.
+    pub fn new(label: impl Into<String>, schedule: AttackSchedule) -> AttackCase {
+        AttackCase {
+            label: label.into(),
+            schedule,
+        }
+    }
+}
+
+/// A board model + the monitor driving its JIT protocol (one point on the
+/// device axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceCase {
+    /// The board's susceptibility model.
+    pub device: DeviceModel,
+    /// The voltage monitor in use.
+    pub monitor: MonitorKind,
+}
+
+impl DeviceCase {
+    /// Builds a case.
+    pub fn new(device: DeviceModel, monitor: MonitorKind) -> DeviceCase {
+        DeviceCase { device, monitor }
+    }
+
+    /// The default lab board: MSP430FR5994 through its ADC.
+    pub fn default_board() -> DeviceCase {
+        DeviceCase::new(gecko_emi::devices::msp430fr5994(), MonitorKind::Adc)
+    }
+}
+
+/// A declarative Monte-Carlo campaign over the evaluation grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignSpec {
+    /// Campaign name (reports, telemetry).
+    pub name: String,
+    /// App names (resolved via `gecko_apps::app_by_name`).
+    pub apps: Vec<String>,
+    /// Scheme axis.
+    pub schemes: Vec<SchemeKind>,
+    /// Device axis.
+    pub devices: Vec<DeviceCase>,
+    /// Attack axis.
+    pub attacks: Vec<AttackCase>,
+    /// Peripheral-seed axis (Monte-Carlo dimension).
+    pub seeds: Vec<u64>,
+    /// Power environment.
+    pub supply: Supply,
+    /// Optional energy-buffer override.
+    pub capacitor: Option<CapacitorSpec>,
+    /// Optional ADC median filter (taps).
+    pub adc_filter_taps: Option<usize>,
+    /// Compiler options for the instrumented schemes.
+    pub compile: CompileOptions,
+    /// What each item runs.
+    pub workload: Workload,
+}
+
+impl CampaignSpec {
+    /// A campaign with the default single-point axes: the lab board, no
+    /// attack, seed 7 (matching `SimConfig::bench_supply`).
+    pub fn new(name: impl Into<String>) -> CampaignSpec {
+        CampaignSpec {
+            name: name.into(),
+            apps: Vec::new(),
+            schemes: vec![SchemeKind::Gecko],
+            devices: vec![DeviceCase::default_board()],
+            attacks: vec![AttackCase::none()],
+            seeds: vec![7],
+            supply: Supply::Bench,
+            capacitor: None,
+            adc_filter_taps: None,
+            compile: CompileOptions::default(),
+            workload: Workload::RunFor { seconds: 0.05 },
+        }
+    }
+
+    /// Replaces the app axis (builder style).
+    pub fn apps<I: IntoIterator<Item = S>, S: Into<String>>(mut self, apps: I) -> CampaignSpec {
+        self.apps = apps.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Replaces the scheme axis (builder style).
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = SchemeKind>) -> CampaignSpec {
+        self.schemes = schemes.into_iter().collect();
+        self
+    }
+
+    /// Replaces the device axis (builder style).
+    pub fn devices(mut self, devices: impl IntoIterator<Item = DeviceCase>) -> CampaignSpec {
+        self.devices = devices.into_iter().collect();
+        self
+    }
+
+    /// Replaces the attack axis (builder style).
+    pub fn attacks(mut self, attacks: impl IntoIterator<Item = AttackCase>) -> CampaignSpec {
+        self.attacks = attacks.into_iter().collect();
+        self
+    }
+
+    /// Replaces the seed axis (builder style).
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> CampaignSpec {
+        self.seeds = seeds.into_iter().collect();
+        self
+    }
+
+    /// Sets the power environment (builder style).
+    pub fn supply(mut self, supply: Supply) -> CampaignSpec {
+        self.supply = supply;
+        self
+    }
+
+    /// Sets the energy buffer (builder style).
+    pub fn capacitor(mut self, cap: CapacitorSpec) -> CampaignSpec {
+        self.capacitor = Some(cap);
+        self
+    }
+
+    /// Sets the workload (builder style).
+    pub fn workload(mut self, workload: Workload) -> CampaignSpec {
+        self.workload = workload;
+        self
+    }
+
+    /// Flattens the grid into ordered work items:
+    /// `for app { for scheme { for device { for attack { for seed }}}}`.
+    pub fn expand(&self) -> Vec<WorkItem> {
+        let mut items = Vec::with_capacity(
+            self.apps.len()
+                * self.schemes.len()
+                * self.devices.len()
+                * self.attacks.len()
+                * self.seeds.len(),
+        );
+        for (app_idx, _) in self.apps.iter().enumerate() {
+            for (scheme_idx, _) in self.schemes.iter().enumerate() {
+                for (device_idx, _) in self.devices.iter().enumerate() {
+                    for (attack_idx, _) in self.attacks.iter().enumerate() {
+                        for (seed_idx, _) in self.seeds.iter().enumerate() {
+                            items.push(WorkItem {
+                                index: items.len(),
+                                app_idx,
+                                scheme_idx,
+                                device_idx,
+                                attack_idx,
+                                seed_idx,
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        items
+    }
+
+    /// Builds the `SimConfig` for one item — the *only* place physical
+    /// configuration is derived, so the parallel and sequential paths
+    /// cannot drift apart.
+    pub fn config_for(&self, item: &WorkItem) -> SimConfig {
+        let scheme = self.schemes[item.scheme_idx];
+        let mut cfg = match self.supply {
+            Supply::Bench => SimConfig::bench_supply(scheme),
+            Supply::Harvesting { power_w } => {
+                let mut cfg = SimConfig::harvesting(scheme);
+                cfg.harvester = Box::new(ConstantPower::new(power_w));
+                cfg
+            }
+        };
+        let device = &self.devices[item.device_idx];
+        cfg = cfg.with_device(device.device.clone(), device.monitor);
+        let attack = &self.attacks[item.attack_idx];
+        if !attack.schedule.is_empty() {
+            cfg = cfg.with_attack(attack.schedule.clone());
+        }
+        if let Some(cap) = self.capacitor {
+            cfg = if cap.rescale_thresholds {
+                cfg.with_rescaled_capacitor(cap.capacitance_f, cap.initial_voltage_v)
+            } else {
+                cfg.with_capacitor(cap.capacitance_f, cap.initial_voltage_v)
+            };
+        }
+        cfg.adc_filter_taps = self.adc_filter_taps;
+        cfg.compile = self.compile;
+        cfg.seed = self.seeds[item.seed_idx];
+        cfg
+    }
+}
+
+/// One cell of the expanded grid (axis indices into the spec).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkItem {
+    /// Position in the expanded list (aggregation order).
+    pub index: usize,
+    /// Index into `spec.apps`.
+    pub app_idx: usize,
+    /// Index into `spec.schemes`.
+    pub scheme_idx: usize,
+    /// Index into `spec.devices`.
+    pub device_idx: usize,
+    /// Index into `spec.attacks`.
+    pub attack_idx: usize,
+    /// Index into `spec.seeds`.
+    pub seed_idx: usize,
+}
+
+/// One finished item.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunResult {
+    /// The grid cell.
+    pub item: WorkItem,
+    /// Final cumulative metrics.
+    pub metrics: Metrics,
+    /// Cumulative metrics at each bucket edge (empty unless the workload
+    /// is [`Workload::Buckets`]).
+    pub buckets: Vec<Metrics>,
+    /// Static compiler statistics of the (shared) artifact.
+    pub compile_stats: CompileStats,
+    /// Whether the artifact came from the cache (vs. compiled here).
+    pub cache_hit: bool,
+    /// Wall-clock nanoseconds this item took (non-deterministic; excluded
+    /// from the digest).
+    pub wall_ns: u64,
+}
+
+/// Campaign failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignError {
+    /// An app name did not resolve.
+    UnknownApp(String),
+    /// The grid is empty (some axis has no points).
+    EmptyGrid,
+    /// A cell failed to compile.
+    Compile {
+        /// App name.
+        app: String,
+        /// Scheme.
+        scheme: SchemeKind,
+        /// The compiler's error.
+        error: CompileError,
+    },
+}
+
+impl std::fmt::Display for CampaignError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CampaignError::UnknownApp(name) => write!(f, "unknown app {name:?}"),
+            CampaignError::EmptyGrid => write!(f, "campaign grid is empty"),
+            CampaignError::Compile { app, scheme, error } => {
+                write!(f, "compiling {app} for {scheme}: {error:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CampaignError {}
+
+/// A configured, runnable campaign.
+pub struct Campaign {
+    spec: CampaignSpec,
+    workers: usize,
+    sink: Arc<dyn TelemetrySink>,
+}
+
+impl Campaign {
+    /// Wraps a spec with 1 worker and no telemetry sink.
+    pub fn new(spec: CampaignSpec) -> Campaign {
+        Campaign {
+            spec,
+            workers: 1,
+            sink: Arc::new(NullSink),
+        }
+    }
+
+    /// Sets the worker-pool size (builder style; clamped to ≥ 1).
+    pub fn workers(mut self, workers: usize) -> Campaign {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Attaches a telemetry sink (builder style).
+    pub fn sink(mut self, sink: Arc<dyn TelemetrySink>) -> Campaign {
+        self.sink = sink;
+        self
+    }
+
+    /// The spec this campaign will run.
+    pub fn spec(&self) -> &CampaignSpec {
+        &self.spec
+    }
+
+    /// Executes the campaign: expand, fan out, merge deterministically.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first (in item order) resolution or compile error.
+    pub fn run(&self) -> Result<CampaignReport, CampaignError> {
+        let spec = &self.spec;
+        let apps: Vec<App> = spec
+            .apps
+            .iter()
+            .map(|name| {
+                gecko_apps::app_by_name(name).ok_or_else(|| CampaignError::UnknownApp(name.clone()))
+            })
+            .collect::<Result<_, _>>()?;
+        let items = spec.expand();
+        if items.is_empty() {
+            return Err(CampaignError::EmptyGrid);
+        }
+        let workers = self.workers.min(items.len());
+        let cache = ProgramCache::new();
+        let cursor = AtomicUsize::new(0);
+        let sink = &self.sink;
+
+        sink.emit(Event::new(
+            "campaign_started",
+            vec![
+                ("campaign", Value::Str(spec.name.clone())),
+                ("items", Value::U64(items.len() as u64)),
+                ("workers", Value::U64(workers as u64)),
+            ],
+        ));
+
+        let started = Instant::now();
+        let mut slots: Vec<Option<Result<RunResult, CampaignError>>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cache = &cache;
+                let cursor = &cursor;
+                let items = &items;
+                let apps = &apps;
+                handles.push(scope.spawn(move || {
+                    let mut local: Vec<(usize, Result<RunResult, CampaignError>)> = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let item = items[i];
+                        sink.emit(Event::new(
+                            "item_started",
+                            vec![
+                                ("item", Value::U64(i as u64)),
+                                ("app", Value::Str(spec.apps[item.app_idx].clone())),
+                                (
+                                    "scheme",
+                                    Value::Str(spec.schemes[item.scheme_idx].name().to_string()),
+                                ),
+                                (
+                                    "attack",
+                                    Value::Str(spec.attacks[item.attack_idx].label.clone()),
+                                ),
+                            ],
+                        ));
+                        let result = run_item(spec, &apps[item.app_idx], item, cache);
+                        if let Ok(r) = &result {
+                            sink.emit(Event::new(
+                                "item_finished",
+                                vec![
+                                    ("item", Value::U64(i as u64)),
+                                    ("completions", Value::U64(r.metrics.completions)),
+                                    ("forward_cycles", Value::U64(r.metrics.forward_cycles)),
+                                    ("checksum_errors", Value::U64(r.metrics.checksum_errors)),
+                                    ("wall_ns", Value::U64(r.wall_ns)),
+                                    ("cache_hit", Value::Bool(r.cache_hit)),
+                                ],
+                            ));
+                        }
+                        local.push((i, result));
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                for (i, result) in handle.join().expect("campaign worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+
+        let wall_s = started.elapsed().as_secs_f64();
+
+        // Deterministic merge: walk slots in item order.
+        let mut results = Vec::with_capacity(slots.len());
+        for slot in slots {
+            match slot.expect("every item was claimed") {
+                Ok(r) => results.push(r),
+                Err(e) => return Err(e),
+            }
+        }
+
+        let mut totals = Metrics::default();
+        let mut item_wall = Histogram::new();
+        for r in &results {
+            totals.absorb(&r.metrics);
+            item_wall.record(r.wall_ns);
+        }
+        let counters = FleetCounters {
+            items: results.len() as u64,
+            compile_misses: cache.misses(),
+            compile_hits: cache.hits(),
+        };
+
+        sink.emit(Event::new(
+            "campaign_finished",
+            vec![
+                ("campaign", Value::Str(spec.name.clone())),
+                ("items", Value::U64(counters.items)),
+                ("completions", Value::U64(totals.completions)),
+                ("wall_s", Value::F64(wall_s)),
+                ("compile_misses", Value::U64(counters.compile_misses)),
+                ("compile_hits", Value::U64(counters.compile_hits)),
+            ],
+        ));
+        sink.flush();
+
+        Ok(CampaignReport {
+            spec: spec.clone(),
+            workers,
+            results,
+            totals,
+            counters,
+            item_wall,
+            wall_s,
+        })
+    }
+}
+
+fn run_item(
+    spec: &CampaignSpec,
+    app: &App,
+    item: WorkItem,
+    cache: &ProgramCache,
+) -> Result<RunResult, CampaignError> {
+    let scheme = spec.schemes[item.scheme_idx];
+    let t0 = Instant::now();
+    let hits_before = cache.hits();
+    let compiled = cache
+        .get_or_compile(app, scheme, &spec.compile)
+        .map_err(|error| CampaignError::Compile {
+            app: app.name.to_string(),
+            scheme,
+            error,
+        })?;
+    let cache_hit = cache.hits() > hits_before;
+    let mut sim = Simulator::from_compiled(&compiled, spec.config_for(&item));
+    let (metrics, buckets) = run_workload(&mut sim, spec.workload);
+    Ok(RunResult {
+        item,
+        metrics,
+        buckets,
+        compile_stats: compiled.stats,
+        cache_hit,
+        wall_ns: t0.elapsed().as_nanos() as u64,
+    })
+}
+
+fn run_workload(sim: &mut Simulator, workload: Workload) -> (Metrics, Vec<Metrics>) {
+    match workload {
+        Workload::RunFor { seconds } => (sim.run_for(seconds), Vec::new()),
+        Workload::UntilCompletions { n, max_seconds } => {
+            (sim.run_until_completions(n, max_seconds), Vec::new())
+        }
+        Workload::Buckets {
+            horizon_s,
+            bucket_s,
+        } => {
+            assert!(bucket_s > 0.0 && horizon_s > 0.0, "positive timeline");
+            let n = (horizon_s / bucket_s).round().max(1.0) as usize;
+            let mut buckets = Vec::with_capacity(n);
+            for _ in 0..n {
+                buckets.push(sim.run_for(bucket_s));
+            }
+            (*buckets.last().expect("n >= 1"), buckets)
+        }
+    }
+}
+
+/// The merged outcome of a campaign.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// The spec that ran.
+    pub spec: CampaignSpec,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Per-item results, in item order.
+    pub results: Vec<RunResult>,
+    /// All item metrics folded in item order.
+    pub totals: Metrics,
+    /// Fleet-level counters.
+    pub counters: FleetCounters,
+    /// Histogram of per-item wall times (ns).
+    pub item_wall: Histogram,
+    /// Campaign wall time (s).
+    pub wall_s: f64,
+}
+
+impl CampaignReport {
+    /// The result for a grid cell, by axis indices.
+    pub fn result_for(
+        &self,
+        app_idx: usize,
+        scheme_idx: usize,
+        device_idx: usize,
+        attack_idx: usize,
+        seed_idx: usize,
+    ) -> &RunResult {
+        let s = &self.spec;
+        let index = (((app_idx * s.schemes.len() + scheme_idx) * s.devices.len() + device_idx)
+            * s.attacks.len()
+            + attack_idx)
+            * s.seeds.len()
+            + seed_idx;
+        &self.results[index]
+    }
+
+    /// Sum of per-item wall times (s) — what a 1-worker pool would
+    /// roughly take; `work_s / wall_s` estimates the parallel speedup.
+    pub fn work_s(&self) -> f64 {
+        self.results.iter().map(|r| r.wall_ns as f64 * 1e-9).sum()
+    }
+
+    /// FNV-1a digest over the deterministic payload (item order, axis
+    /// indices, all metric fields, bucket edges). Identical for any worker
+    /// count; wall-clock fields are excluded.
+    pub fn deterministic_digest(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        let mut eat = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= byte as u64;
+                h = h.wrapping_mul(0x1000_0000_01b3);
+            }
+        };
+        for r in &self.results {
+            eat(r.item.index as u64);
+            eat(r.item.app_idx as u64);
+            eat(r.item.scheme_idx as u64);
+            eat(r.item.device_idx as u64);
+            eat(r.item.attack_idx as u64);
+            eat(r.item.seed_idx as u64);
+            for m in std::iter::once(&r.metrics).chain(r.buckets.iter()) {
+                eat(m.sim_time_s.to_bits());
+                eat(m.forward_cycles);
+                eat(m.overhead_cycles);
+                eat(m.completions);
+                eat(m.checksum_errors);
+                eat(m.jit_checkpoints);
+                eat(m.jit_checkpoint_failures);
+                eat(m.reboots);
+                eat(m.dirty_deaths);
+                eat(m.rollbacks);
+                eat(m.recovery_slices);
+                eat(m.attack_detections);
+                eat(m.jit_reenables);
+                eat(m.checkpoint_stores);
+                eat(m.boundary_commits);
+                eat(m.energy_nj.to_bits());
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> CampaignSpec {
+        CampaignSpec::new("tiny")
+            .apps(["blink", "crc16"])
+            .schemes([SchemeKind::Nvp, SchemeKind::Gecko])
+            .workload(Workload::RunFor { seconds: 0.01 })
+    }
+
+    #[test]
+    fn expansion_order_is_row_major() {
+        let spec = tiny_spec().seeds([1, 2]);
+        let items = spec.expand();
+        assert_eq!(items.len(), 2 * 2 * 2);
+        assert_eq!(items[0].app_idx, 0);
+        assert_eq!(items[0].seed_idx, 0);
+        assert_eq!(items[1].seed_idx, 1, "seed is the innermost axis");
+        assert_eq!(items[2].scheme_idx, 1);
+        assert_eq!(items[2].app_idx, 0);
+        assert_eq!(items[4].app_idx, 1, "app is the outermost axis");
+        assert_eq!(items[4].scheme_idx, 0);
+        assert_eq!(items[7].app_idx, 1);
+        assert_eq!(items[7].scheme_idx, 1);
+        for (i, item) in items.iter().enumerate() {
+            assert_eq!(item.index, i);
+        }
+    }
+
+    #[test]
+    fn unknown_app_is_reported() {
+        let spec = CampaignSpec::new("bad").apps(["doom"]);
+        match Campaign::new(spec).run() {
+            Err(CampaignError::UnknownApp(name)) => assert_eq!(name, "doom"),
+            other => panic!("expected UnknownApp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_grid_is_reported() {
+        let spec = CampaignSpec::new("empty");
+        assert!(matches!(
+            Campaign::new(spec).run(),
+            Err(CampaignError::EmptyGrid)
+        ));
+    }
+
+    #[test]
+    fn campaign_matches_direct_simulation() {
+        let spec = tiny_spec();
+        let report = Campaign::new(spec.clone()).run().unwrap();
+        assert_eq!(report.results.len(), 4);
+        // Cell (crc16, Gecko) must equal a hand-built simulator run.
+        let app = gecko_apps::app_by_name("crc16").unwrap();
+        let mut sim = Simulator::new(&app, SimConfig::bench_supply(SchemeKind::Gecko)).unwrap();
+        let direct = sim.run_for(0.01);
+        let cell = report.result_for(1, 1, 0, 0, 0);
+        assert_eq!(cell.metrics, direct);
+        // The program cache compiled each (app, scheme) exactly once.
+        assert_eq!(report.counters.compile_misses, 4);
+        assert_eq!(report.counters.compile_hits, 0);
+        assert!(report.totals.completions >= direct.completions);
+    }
+
+    #[test]
+    fn seeds_share_the_compiled_artifact() {
+        let spec = CampaignSpec::new("seeded")
+            .apps(["blink"])
+            .schemes([SchemeKind::Gecko])
+            .seeds([1, 2, 3, 4, 5])
+            .workload(Workload::RunFor { seconds: 0.005 });
+        let report = Campaign::new(spec).workers(3).run().unwrap();
+        assert_eq!(report.counters.compile_misses, 1);
+        assert_eq!(report.counters.compile_hits, 4);
+        assert_eq!(report.results.iter().filter(|r| r.cache_hit).count(), 4);
+    }
+
+    #[test]
+    fn buckets_record_cumulative_edges() {
+        let spec = CampaignSpec::new("timeline")
+            .apps(["blink"])
+            .schemes([SchemeKind::Nvp])
+            .workload(Workload::Buckets {
+                horizon_s: 0.02,
+                bucket_s: 0.005,
+            });
+        let report = Campaign::new(spec).run().unwrap();
+        let r = &report.results[0];
+        assert_eq!(r.buckets.len(), 4);
+        assert!(r
+            .buckets
+            .windows(2)
+            .all(|w| w[0].completions <= w[1].completions));
+        assert_eq!(*r.buckets.last().unwrap(), r.metrics);
+    }
+}

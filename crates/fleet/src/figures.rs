@@ -1,0 +1,356 @@
+//! Campaign-engine ports of the paper's heavyweight grid sweeps (Figures
+//! 4, 5, 8, 11 and 13).
+//!
+//! Each function builds the *same* cells as the sequential implementation
+//! in `gecko_sim::experiments`, fans them out over a worker pool, and
+//! reassembles rows in the sequential row order — so the output is
+//! numerically identical to the `gecko_sim::experiments::figN::rows`
+//! functions (which stay as the single-threaded reference), just faster on
+//! multi-core hosts and with every `(app, scheme)` compiled once.
+
+use gecko_emi::attack::DpiPoint;
+use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind};
+use gecko_sim::experiments::fig11::Fig11Row;
+use gecko_sim::experiments::fig13::{Fig13Row, MINUTES_PER_SIM_SECOND};
+use gecko_sim::experiments::fig4::Fig4Row;
+use gecko_sim::experiments::fig5::Fig5Row;
+use gecko_sim::experiments::fig8::Fig8Row;
+use gecko_sim::experiments::{lin_freq_grid, log_freq_grid, Fidelity, VICTIM_APP};
+use gecko_sim::SchemeKind;
+
+use crate::campaign::{
+    AttackCase, Campaign, CampaignError, CampaignReport, CampaignSpec, CapacitorSpec, DeviceCase,
+    Supply, Workload,
+};
+
+/// Shared shape of the attack-study sweeps (fig4/fig5/fig8): victim app on
+/// NVP, attack axis = `none` followed by the labeled attack grid, and
+/// rate = attacked forward cycles over the unattacked cell's.
+fn attack_study(
+    name: &str,
+    devices: Vec<DeviceCase>,
+    attacks: Vec<AttackCase>,
+    window_s: f64,
+    workers: usize,
+) -> Result<CampaignReport, CampaignError> {
+    let mut axis = vec![AttackCase::none()];
+    axis.extend(attacks);
+    let spec = CampaignSpec::new(name)
+        .apps([VICTIM_APP])
+        .schemes([SchemeKind::Nvp])
+        .devices(devices)
+        .attacks(axis)
+        .workload(Workload::RunFor { seconds: window_s });
+    Campaign::new(spec).workers(workers).run()
+}
+
+/// Forward-progress rate of attack cell `attack_idx` (1-based within the
+/// grid; 0 is the clean baseline) on device `device_idx`.
+fn rate(report: &CampaignReport, device_idx: usize, attack_idx: usize) -> f64 {
+    let clean = report
+        .result_for(0, 0, device_idx, 0, 0)
+        .metrics
+        .forward_cycles;
+    let attacked = report
+        .result_for(0, 0, device_idx, attack_idx, 0)
+        .metrics
+        .forward_cycles;
+    attacked as f64 / clean.max(1) as f64
+}
+
+/// Figure 4 (DPI sweep: 9 boards × {P1, P2} × frequency grid) through the
+/// campaign engine.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn fig4(fidelity: Fidelity, workers: usize) -> Result<Vec<Fig4Row>, CampaignError> {
+    let points = match fidelity {
+        Fidelity::Quick => 9,
+        Fidelity::Full => 49,
+    };
+    let freqs = log_freq_grid(1e6, 1e9, points);
+    let injections = [("P1", DpiPoint::P1), ("P2", DpiPoint::P2)];
+    let mut attacks = Vec::new();
+    for (label, point) in injections {
+        for &f in &freqs {
+            attacks.push(AttackCase::new(
+                format!("{label}@{:.0}Hz", f),
+                AttackSchedule::continuous(EmiSignal::new(f, 20.0), Injection::Dpi(point)),
+            ));
+        }
+    }
+    let devices: Vec<DeviceCase> = gecko_emi::devices::all_devices()
+        .into_iter()
+        .map(|d| DeviceCase::new(d, MonitorKind::Adc))
+        .collect();
+    let report = attack_study("fig4", devices, attacks, fidelity.window_s(), workers)?;
+
+    let mut out = Vec::new();
+    for (di, case) in report.spec.devices.iter().enumerate() {
+        for (pi, (label, _)) in injections.iter().enumerate() {
+            for (fi, &f) in freqs.iter().enumerate() {
+                out.push(Fig4Row {
+                    device: case.device.name().to_string(),
+                    point: (*label).to_string(),
+                    freq_hz: f,
+                    rate: rate(&report, di, 1 + pi * freqs.len() + fi),
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Figure 5 (remote sweep: 9 boards × 5–500 MHz at 35 dBm / 5 m) through
+/// the campaign engine.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn fig5(fidelity: Fidelity, workers: usize) -> Result<Vec<Fig5Row>, CampaignError> {
+    use gecko_sim::experiments::fig5::{DISTANCE_M, POWER_DBM};
+    let step = match fidelity {
+        Fidelity::Quick => 11e6,
+        Fidelity::Full => 5e6,
+    };
+    let freqs = lin_freq_grid(5e6, 500e6, step);
+    let attacks: Vec<AttackCase> = freqs
+        .iter()
+        .map(|&f| {
+            AttackCase::new(
+                format!("{:.0}Hz", f),
+                AttackSchedule::continuous(
+                    EmiSignal::new(f, POWER_DBM),
+                    Injection::Remote {
+                        distance_m: DISTANCE_M,
+                    },
+                ),
+            )
+        })
+        .collect();
+    let devices: Vec<DeviceCase> = gecko_emi::devices::all_devices()
+        .into_iter()
+        .map(|d| DeviceCase::new(d, MonitorKind::Adc))
+        .collect();
+    let report = attack_study("fig5", devices, attacks, fidelity.window_s(), workers)?;
+
+    let mut out = Vec::new();
+    for (di, case) in report.spec.devices.iter().enumerate() {
+        for (fi, &f) in freqs.iter().enumerate() {
+            out.push(Fig5Row {
+                device: case.device.name().to_string(),
+                freq_hz: f,
+                rate: rate(&report, di, 1 + fi),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Figure 8 (distance × power grid on the MSP430FR5994 at 27 MHz) through
+/// the campaign engine.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn fig8(fidelity: Fidelity, workers: usize) -> Result<Vec<Fig8Row>, CampaignError> {
+    let (distances, powers): (Vec<f64>, Vec<f64>) = match fidelity {
+        Fidelity::Quick => (vec![0.5, 2.0, 5.0], vec![10.0, 25.0, 35.0]),
+        Fidelity::Full => (
+            vec![0.5, 1.0, 1.5, 2.0, 2.5, 3.0, 3.5, 4.0, 4.5, 5.0],
+            vec![0.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0, 35.0],
+        ),
+    };
+    let mut attacks = Vec::new();
+    for &d in &distances {
+        for &p in &powers {
+            attacks.push(AttackCase::new(
+                format!("{d}m@{p}dBm"),
+                AttackSchedule::continuous(
+                    EmiSignal::new(27e6, p),
+                    Injection::Remote { distance_m: d },
+                ),
+            ));
+        }
+    }
+    let report = attack_study(
+        "fig8",
+        vec![DeviceCase::default_board()],
+        attacks,
+        fidelity.window_s(),
+        workers,
+    )?;
+
+    let mut out = Vec::new();
+    for (di, &d) in distances.iter().enumerate() {
+        for (pi, &p) in powers.iter().enumerate() {
+            out.push(Fig8Row {
+                distance_m: d,
+                power_dbm: p,
+                rate: rate(&report, 0, 1 + di * powers.len() + pi),
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Figure 11 (11 apps × 4 schemes, outage-free normalized execution time)
+/// through the campaign engine. This is the flagship cache workload: 44
+/// cells, 44 compilations sequentially — 44 cells, 44 distinct compiles
+/// here too, but each `(app, scheme)` exactly once even with `seeds`
+/// widened, and the grid itself runs in parallel.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn fig11(fidelity: Fidelity, workers: usize) -> Result<Vec<Fig11Row>, CampaignError> {
+    let runs = match fidelity {
+        Fidelity::Quick => 3,
+        Fidelity::Full => 20,
+    };
+    let apps: Vec<String> = gecko_apps::all_apps()
+        .iter()
+        .map(|a| a.name.to_string())
+        .collect();
+    let spec = CampaignSpec::new("fig11")
+        .apps(apps)
+        .schemes(SchemeKind::all())
+        .workload(Workload::UntilCompletions {
+            n: runs,
+            max_seconds: 30.0,
+        });
+    let report = Campaign::new(spec).workers(workers).run()?;
+
+    let mut out = Vec::new();
+    for (ai, app) in report.spec.apps.iter().enumerate() {
+        let cycles = |si: usize| {
+            let m = report.result_for(ai, si, 0, 0, 0).metrics;
+            assert!(m.completions >= runs, "{app}: {m:?}");
+            (m.forward_cycles + m.overhead_cycles) as f64 / m.completions as f64
+        };
+        let nvp = cycles(0);
+        for (si, scheme) in report.spec.schemes.iter().enumerate() {
+            let c = cycles(si);
+            out.push(Fig11Row {
+                app: app.clone(),
+                scheme: scheme.name().to_string(),
+                cycles_per_run: c,
+                normalized: c / nvp,
+            });
+        }
+    }
+    Ok(out)
+}
+
+/// Figure 13 (six attack scenarios × three schemes, throughput timelines
+/// in the harvesting environment) through the campaign engine. The
+/// unattacked-NVP baseline runs as its own single-item campaign (one
+/// uninterrupted `run_for`, exactly like the sequential code), then the
+/// 18 timelines fan out with the bucketed workload.
+///
+/// # Errors
+///
+/// Propagates campaign failures.
+pub fn fig13(fidelity: Fidelity, workers: usize) -> Result<Vec<Fig13Row>, CampaignError> {
+    let scale = match fidelity {
+        Fidelity::Quick => 0.25,
+        Fidelity::Full => 1.0,
+    } * MINUTES_PER_SIM_SECOND;
+    let horizon_min = 50.0;
+    let burst_min = 5.0;
+    let bucket_min = 2.5;
+    let cap = CapacitorSpec {
+        capacitance_f: 100e-6,
+        initial_voltage_v: 3.3,
+        rescale_thresholds: false,
+    };
+    let harvesting = Supply::Harvesting { power_w: 1.2e-3 };
+
+    let base_spec = CampaignSpec::new("fig13-baseline")
+        .apps([VICTIM_APP])
+        .schemes([SchemeKind::Nvp])
+        .supply(harvesting)
+        .capacitor(cap)
+        .workload(Workload::RunFor {
+            seconds: horizon_min * scale,
+        });
+    let base = Campaign::new(base_spec).run()?;
+    let base_per_bucket = (base.totals.completions as f64 * bucket_min / horizon_min).max(1e-9);
+
+    let scenarios = gecko_sim::experiments::fig13::scenarios();
+    let attacks: Vec<AttackCase> = scenarios
+        .iter()
+        .map(|(label, bursts)| {
+            AttackCase::new(
+                *label,
+                AttackSchedule::bursts(
+                    EmiSignal::new(27e6, 35.0),
+                    Injection::Remote { distance_m: 5.0 },
+                    &bursts.iter().map(|m| m * scale).collect::<Vec<_>>(),
+                    burst_min * scale,
+                ),
+            )
+        })
+        .collect();
+    let spec = CampaignSpec::new("fig13")
+        .apps([VICTIM_APP])
+        .schemes([SchemeKind::Nvp, SchemeKind::Ratchet, SchemeKind::Gecko])
+        .attacks(attacks)
+        .supply(harvesting)
+        .capacitor(cap)
+        .workload(Workload::Buckets {
+            horizon_s: horizon_min * scale,
+            bucket_s: bucket_min * scale,
+        });
+    let report = Campaign::new(spec).workers(workers).run()?;
+
+    // Reassemble in the sequential row order: scenario → scheme → bucket.
+    let mut out = Vec::new();
+    for (xi, (label, _)) in scenarios.iter().enumerate() {
+        let schedule = &report.spec.attacks[xi].schedule;
+        for (si, scheme) in report.spec.schemes.iter().enumerate() {
+            let buckets = &report.result_for(0, si, 0, xi, 0).buckets;
+            let mut prev = 0u64;
+            for (bi, m) in buckets.iter().enumerate() {
+                let t = bi as f64 * bucket_min;
+                let done = m.completions - prev;
+                prev = m.completions;
+                let mid = (t + bucket_min / 2.0) * scale;
+                out.push(Fig13Row {
+                    scenario: (*label).to_string(),
+                    scheme: scheme.name().to_string(),
+                    t_min: t,
+                    under_attack: schedule.active_at(mid).is_some(),
+                    throughput_pct: 100.0 * done as f64 / base_per_bucket,
+                });
+            }
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // fig8 Quick is the smallest full attack study: 1 device × (1 + 9)
+    // cells. The parallel port must agree with the sequential reference
+    // bit-for-bit.
+    #[test]
+    fn fig8_matches_sequential_reference() {
+        let parallel = fig8(Fidelity::Quick, 4).unwrap();
+        let sequential = gecko_sim::experiments::fig8::rows(Fidelity::Quick);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn fig13_matches_sequential_reference() {
+        let parallel = fig13(Fidelity::Quick, 4).unwrap();
+        let sequential = gecko_sim::experiments::fig13::rows(Fidelity::Quick);
+        assert_eq!(parallel.len(), sequential.len());
+        for (p, s) in parallel.iter().zip(&sequential) {
+            assert_eq!(p, s);
+        }
+    }
+}

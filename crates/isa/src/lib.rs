@@ -52,10 +52,12 @@ pub mod cost;
 pub mod dot;
 pub mod inst;
 pub mod program;
+pub mod rng;
 pub mod verify;
 
 pub use builder::ProgramBuilder;
 pub use cost::{CostModel, EnergyModel};
 pub use inst::{BinOp, Cond, Inst, IoOp, Operand, Reg, Terminator};
 pub use program::{Block, BlockId, Program, RegionId, Segment, Word};
+pub use rng::SplitMix64;
 pub use verify::{verify, VerifyError};

@@ -1,5 +1,6 @@
 //! Scripted peripherals: sensor, radio, LED.
 
+use gecko_isa::rng::{SplitMix64, GOLDEN_GAMMA};
 use gecko_isa::Word;
 
 /// The board's peripherals.
@@ -13,7 +14,7 @@ use gecko_isa::Word;
 /// * **LED** — `blink` counts toggles.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Peripherals {
-    sensor_state: u64,
+    sensor: SplitMix64,
     sent: Vec<Word>,
     blinks: u64,
     senses: u64,
@@ -23,7 +24,9 @@ impl Peripherals {
     /// Creates peripherals with a sensor stream seeded by `seed`.
     pub fn new(seed: u64) -> Peripherals {
         Peripherals {
-            sensor_state: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1),
+            // Pre-mixed state preserved from the original in-crate stream
+            // so scripted sensor traces stay bit-identical.
+            sensor: SplitMix64::from_state(seed.wrapping_mul(GOLDEN_GAMMA).wrapping_add(1)),
             sent: Vec::new(),
             blinks: 0,
             senses: 0,
@@ -34,13 +37,7 @@ impl Peripherals {
     /// peripheral reading).
     pub fn sense(&mut self) -> Word {
         self.senses += 1;
-        // splitmix64 step.
-        self.sensor_state = self.sensor_state.wrapping_add(0x9E37_79B9_7F4A_7C15);
-        let mut z = self.sensor_state;
-        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-        z ^= z >> 31;
-        (z & 0xFFF) as Word
+        (self.sensor.next_u64() & 0xFFF) as Word
     }
 
     /// Transmits `value`.

@@ -173,6 +173,72 @@ enum PowerState {
     Sleeping,
 }
 
+/// A scheme-instrumented program artifact: everything `Simulator` needs
+/// that depends only on `(app, scheme, compile options)` and not on the
+/// physical configuration. Compiling is the expensive part of standing up
+/// a simulator, so campaign engines build one `CompiledApp` per cell and
+/// share it read-only across worker threads (it is `Send + Sync` — plain
+/// data, no interior mutability).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledApp {
+    /// The source application (with its data image and golden checksum).
+    pub app: App,
+    /// The scheme the program was instrumented for.
+    pub scheme: SchemeKind,
+    /// The (possibly instrumented) program the device runs.
+    pub program: Program,
+    /// Region table (empty for NVP).
+    pub regions: RegionTable,
+    /// Recovery table (empty for NVP/Ratchet).
+    pub recovery: RecoveryTable,
+    /// Static compiler statistics.
+    pub stats: gecko_compiler::CompileStats,
+}
+
+impl CompiledApp {
+    /// Compiles `app` as `scheme` requires. `options` only affects the
+    /// GECKO schemes (NVP runs the program uninstrumented, Ratchet has no
+    /// tunables).
+    ///
+    /// # Errors
+    ///
+    /// Propagates compiler errors for the instrumented schemes.
+    pub fn build(
+        app: &App,
+        scheme: SchemeKind,
+        options: &CompileOptions,
+    ) -> Result<CompiledApp, CompileError> {
+        let (program, regions, recovery, stats) = match scheme {
+            SchemeKind::Nvp => (
+                app.program.clone(),
+                RegionTable::default(),
+                RecoveryTable::new(),
+                gecko_compiler::CompileStats::default(),
+            ),
+            SchemeKind::Ratchet => {
+                let out = compile_ratchet(&app.program)?;
+                (out.program, out.regions, out.recovery, out.stats)
+            }
+            SchemeKind::Gecko => {
+                let out = compile(&app.program, options)?;
+                (out.program, out.regions, out.recovery, out.stats)
+            }
+            SchemeKind::GeckoNoPrune => {
+                let out = compile(&app.program, &options.without_pruning())?;
+                (out.program, out.regions, out.recovery, out.stats)
+            }
+        };
+        Ok(CompiledApp {
+            app: app.clone(),
+            scheme,
+            program,
+            regions,
+            recovery,
+            stats,
+        })
+    }
+}
+
 /// A running simulated device.
 #[derive(Debug)]
 pub struct Simulator {
@@ -224,32 +290,36 @@ pub struct Simulator {
 
 impl Simulator {
     /// Builds a device running `app` under `config`. Compiles the app as
-    /// the scheme requires.
+    /// the scheme requires; use [`Simulator::from_compiled`] to share one
+    /// compilation across many simulators.
     ///
     /// # Errors
     ///
     /// Propagates compiler errors for the instrumented schemes.
     pub fn new(app: &App, config: SimConfig) -> Result<Simulator, CompileError> {
-        let (program, regions, recovery, stats) = match config.scheme {
-            SchemeKind::Nvp => (
-                app.program.clone(),
-                RegionTable::default(),
-                RecoveryTable::new(),
-                gecko_compiler::CompileStats::default(),
-            ),
-            SchemeKind::Ratchet => {
-                let out = compile_ratchet(&app.program)?;
-                (out.program, out.regions, out.recovery, out.stats)
-            }
-            SchemeKind::Gecko => {
-                let out = compile(&app.program, &config.compile)?;
-                (out.program, out.regions, out.recovery, out.stats)
-            }
-            SchemeKind::GeckoNoPrune => {
-                let out = compile(&app.program, &config.compile.without_pruning())?;
-                (out.program, out.regions, out.recovery, out.stats)
-            }
-        };
+        let compiled = CompiledApp::build(app, config.scheme, &config.compile)?;
+        Ok(Simulator::from_compiled(&compiled, config))
+    }
+
+    /// Builds a device from a pre-compiled artifact. Infallible: all
+    /// compilation already happened in [`CompiledApp::build`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.scheme` disagrees with the scheme `compiled` was
+    /// built for (the artifact would not match the runtime).
+    pub fn from_compiled(compiled: &CompiledApp, config: SimConfig) -> Simulator {
+        assert_eq!(
+            config.scheme, compiled.scheme,
+            "config/compiled scheme mismatch"
+        );
+        let app = &compiled.app;
+        let (program, regions, recovery, stats) = (
+            compiled.program.clone(),
+            compiled.regions.clone(),
+            compiled.recovery.clone(),
+            compiled.stats,
+        );
 
         let mut nvm = Nvm::new(NVM_WORDS);
         for (base, words) in &app.image {
@@ -306,7 +376,7 @@ impl Simulator {
                 let _ = sim.gecko.boot_check_and_record(&mut sim.nvm);
             }
         }
-        Ok(sim)
+        sim
     }
 
     /// The instrumented program the device runs.

@@ -13,14 +13,12 @@
 //! * **Recovery-block fuel ablation** — how slice length limits trade
 //!   pruning rate against recovery cost.
 
+use super::{Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP};
 use gecko_compiler::{compile, CompileOptions};
 use gecko_emi::{AttackSchedule, EmiSignal, Injection};
-use serde::{Deserialize, Serialize};
-
-use super::{Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP};
 
 /// One filter-study measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FilterRow {
     /// Median filter taps (0 = unfiltered).
     pub taps: usize,
@@ -29,6 +27,12 @@ pub struct FilterRow {
     /// Forward progress rate vs the unfiltered, unattacked baseline.
     pub rate: f64,
 }
+
+crate::impl_record!(FilterRow {
+    taps,
+    freq_hz,
+    rate
+});
 
 /// Runs the filter countermeasure study on the MSP430FR5994: an off-peak
 /// (detuned) attack and the resonant attack, with 0/3/7-tap median filters.
@@ -64,7 +68,7 @@ pub fn filter_defense(fidelity: Fidelity) -> Vec<FilterRow> {
 }
 
 /// One wear measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WearRow {
     /// Scheme name.
     pub scheme: String,
@@ -73,6 +77,12 @@ pub struct WearRow {
     /// Checkpoint-store executions per run.
     pub checkpoint_stores_per_run: f64,
 }
+
+crate::impl_record!(WearRow {
+    scheme,
+    nvm_writes_per_run,
+    checkpoint_stores_per_run
+});
 
 /// Measures NVM write traffic per completed run for each scheme.
 pub fn wear(fidelity: Fidelity) -> Vec<WearRow> {
@@ -97,7 +107,7 @@ pub fn wear(fidelity: Fidelity) -> Vec<WearRow> {
 }
 
 /// One WCET-budget ablation point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct BudgetRow {
     /// Region WCET budget (cycles).
     pub budget_cycles: u64,
@@ -108,6 +118,13 @@ pub struct BudgetRow {
     /// Execution overhead over NVP on `crc32` (bench supply).
     pub overhead: f64,
 }
+
+crate::impl_record!(BudgetRow {
+    budget_cycles,
+    regions,
+    checkpoints,
+    overhead
+});
 
 /// Sweeps the region WCET budget.
 pub fn wcet_budget_ablation(fidelity: Fidelity) -> Vec<BudgetRow> {
@@ -151,7 +168,7 @@ pub fn wcet_budget_ablation(fidelity: Fidelity) -> Vec<BudgetRow> {
 }
 
 /// One recovery-fuel ablation point.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FuelRow {
     /// Maximum recovery-block length (instructions).
     pub max_slice_insts: usize,
@@ -160,6 +177,12 @@ pub struct FuelRow {
     /// Total recovery-block instructions emitted.
     pub recovery_insts: usize,
 }
+
+crate::impl_record!(FuelRow {
+    max_slice_insts,
+    pruned,
+    recovery_insts
+});
 
 /// Sweeps the recovery-block length limit.
 pub fn slice_fuel_ablation(_fidelity: Fidelity) -> Vec<FuelRow> {

@@ -1,12 +1,10 @@
 //! Figure 11: normalized execution time of Ratchet, GECKO w/o pruning and
 //! GECKO over the NVP baseline — outage-free bench-supply runs.
 
-use serde::{Deserialize, Serialize};
-
 use super::{Fidelity, SchemeKind, SimConfig, Simulator};
 
 /// One app × scheme measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig11Row {
     /// Benchmark name.
     pub app: String,
@@ -17,6 +15,13 @@ pub struct Fig11Row {
     /// Normalized to NVP (1.0 = baseline).
     pub normalized: f64,
 }
+
+crate::impl_record!(Fig11Row {
+    app,
+    scheme,
+    cycles_per_run,
+    normalized
+});
 
 fn cycles_per_run(app: &gecko_apps::App, scheme: SchemeKind, runs: u64) -> f64 {
     let mut sim = Simulator::new(app, SimConfig::bench_supply(scheme)).expect("compiles");

@@ -1,13 +1,11 @@
 //! Figure 12: checkpoint-store reduction from pruning — per app, the
 //! static checkpoint counts of GECKO with and without the optimization.
 
-use gecko_compiler::{compile, compile_unpruned, CompileOptions};
-use serde::{Deserialize, Serialize};
-
 use super::Fidelity;
+use gecko_compiler::{compile, compile_unpruned, CompileOptions};
 
 /// One app's pruning summary.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig12Row {
     /// Benchmark name.
     pub app: String,
@@ -22,6 +20,15 @@ pub struct Fig12Row {
     /// Mean instructions per recovery block.
     pub mean_recovery_len: f64,
 }
+
+crate::impl_record!(Fig12Row {
+    app,
+    unpruned,
+    pruned,
+    reduction,
+    recovery_blocks,
+    mean_recovery_len
+});
 
 /// Compiles all apps both ways and reports the reduction.
 pub fn rows(_fidelity: Fidelity) -> Vec<Fig12Row> {

@@ -7,16 +7,14 @@
 //! minute wall experiments compress without changing the story). Bucket
 //! throughput is normalized to the unattacked NVP rate, as in the paper.
 
-use gecko_emi::{AttackSchedule, EmiSignal, Injection};
-use serde::{Deserialize, Serialize};
-
 use super::{Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP};
+use gecko_emi::{AttackSchedule, EmiSignal, Injection};
 
 /// Paper-minutes compressed into one simulated second.
 pub const MINUTES_PER_SIM_SECOND: f64 = 1.0;
 
 /// One timeline bucket.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig13Row {
     /// Scenario label ("a".."f").
     pub scenario: String,
@@ -29,6 +27,14 @@ pub struct Fig13Row {
     /// Completions in this bucket / baseline completions per bucket.
     pub throughput_pct: f64,
 }
+
+crate::impl_record!(Fig13Row {
+    scenario,
+    scheme,
+    t_min,
+    under_attack,
+    throughput_pct
+});
 
 /// The six attack scenarios: burst start times in paper-minutes.
 pub fn scenarios() -> Vec<(&'static str, Vec<f64>)> {

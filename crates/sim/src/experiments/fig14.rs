@@ -2,12 +2,10 @@
 //! environment — normalized execution time of Ratchet and GECKO over NVP
 //! with a Powercast-like RF supply.
 
-use serde::{Deserialize, Serialize};
-
 use super::{Fidelity, SchemeKind, SimConfig, Simulator};
 
 /// One app × scheme measurement under harvesting.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig14Row {
     /// Benchmark name.
     pub app: String,
@@ -19,6 +17,13 @@ pub struct Fig14Row {
     /// 1.0 = NVP, bigger = slower).
     pub normalized_time: f64,
 }
+
+crate::impl_record!(Fig14Row {
+    app,
+    scheme,
+    completions,
+    normalized_time
+});
 
 /// Runs Figure 14 (NVP, Ratchet, GECKO over all apps).
 pub fn rows(fidelity: Fidelity) -> Vec<Fig14Row> {

@@ -4,12 +4,10 @@
 //! energy (Section VII-D). Larger capacitors charge slower from empty, so
 //! total time rises with capacitance.
 
-use serde::{Deserialize, Serialize};
-
 use super::{Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP};
 
 /// One capacitance × scheme measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig15Row {
     /// Capacitance (farads).
     pub capacitance_f: f64,
@@ -20,6 +18,13 @@ pub struct Fig15Row {
     /// Completions achieved (equals the target unless the run timed out).
     pub completions: u64,
 }
+
+crate::impl_record!(Fig15Row {
+    capacitance_f,
+    scheme,
+    total_time_s,
+    completions
+});
 
 /// The paper's capacitor sizes.
 pub const SIZES_F: [f64; 4] = [1e-3, 2e-3, 5e-3, 10e-3];

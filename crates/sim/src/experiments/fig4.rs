@@ -2,14 +2,12 @@
 //! forward progress rate vs. attack frequency, injection points P1 and P2,
 //! 20 dBm, 1 MHz–1 GHz sweep.
 
+use super::{attacked_rate, clean_forward_cycles, log_freq_grid, Fidelity};
 use gecko_emi::attack::DpiPoint;
 use gecko_emi::{EmiSignal, Injection, MonitorKind};
-use serde::{Deserialize, Serialize};
-
-use super::{attacked_rate, clean_forward_cycles, log_freq_grid, Fidelity};
 
 /// One DPI measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig4Row {
     /// Board name.
     pub device: String,
@@ -20,6 +18,13 @@ pub struct Fig4Row {
     /// Forward progress rate `R` in 0..=1.
     pub rate: f64,
 }
+
+crate::impl_record!(Fig4Row {
+    device,
+    point,
+    freq_hz,
+    rate
+});
 
 /// Runs the Figure 4 sweep.
 pub fn rows(fidelity: Fidelity) -> Vec<Fig4Row> {

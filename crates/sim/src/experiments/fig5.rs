@@ -1,13 +1,11 @@
 //! Figure 5: remote EMI attack on ADC-monitored boards — forward progress
 //! rate vs. attack frequency, 5–500 MHz sweep at 35 dBm from 5 m.
 
-use gecko_emi::{EmiSignal, Injection, MonitorKind};
-use serde::{Deserialize, Serialize};
-
 use super::{attacked_rate, clean_forward_cycles, lin_freq_grid, Fidelity};
+use gecko_emi::{EmiSignal, Injection, MonitorKind};
 
 /// One remote-attack measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig5Row {
     /// Board name.
     pub device: String,
@@ -16,6 +14,12 @@ pub struct Fig5Row {
     /// Forward progress rate `R` in 0..=1.
     pub rate: f64,
 }
+
+crate::impl_record!(Fig5Row {
+    device,
+    freq_hz,
+    rate
+});
 
 /// Transmit power used by the remote sweep (dBm).
 pub const POWER_DBM: f64 = 35.0;

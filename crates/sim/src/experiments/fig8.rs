@@ -1,13 +1,11 @@
 //! Figure 8: attack distance vs. transmit power — forward progress rate of
 //! the victim within a 5-meter attack range at the resonant frequency.
 
-use gecko_emi::{EmiSignal, Injection, MonitorKind};
-use serde::{Deserialize, Serialize};
-
 use super::{attacked_rate, clean_forward_cycles, Fidelity};
+use gecko_emi::{EmiSignal, Injection, MonitorKind};
 
 /// One distance/power measurement.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig8Row {
     /// Antenna-to-victim distance (m).
     pub distance_m: f64,
@@ -16,6 +14,12 @@ pub struct Fig8Row {
     /// Forward progress rate `R` in 0..=1.
     pub rate: f64,
 }
+
+crate::impl_record!(Fig8Row {
+    distance_m,
+    power_dbm,
+    rate
+});
 
 /// Runs the Figure 8 grid on the MSP430FR5994 at its 27 MHz resonance.
 pub fn rows(fidelity: Fidelity) -> Vec<Fig8Row> {

@@ -3,13 +3,11 @@
 //! (stealth control), shown for (a) the ADC monitor and (b) the
 //! comparator monitor.
 
-use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind, TimedAttack};
-use serde::{Deserialize, Serialize};
-
 use super::{Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP};
+use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind, TimedAttack};
 
 /// One time bucket of the real-time trace.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Fig9Row {
     /// Monitor kind ("ADC" / "Comparator").
     pub monitor: String,
@@ -20,6 +18,13 @@ pub struct Fig9Row {
     /// Forward progress rate within the bucket relative to no-attack.
     pub rate: f64,
 }
+
+crate::impl_record!(Fig9Row {
+    monitor,
+    t_s,
+    attack_freq_hz,
+    rate
+});
 
 fn schedule(kind: MonitorKind, seg_s: f64) -> (AttackSchedule, Vec<f64>) {
     // Frequencies chosen around each monitor's resonance: strong, weak

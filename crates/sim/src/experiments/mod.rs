@@ -1,8 +1,11 @@
 //! One entry point per table and figure of the paper's evaluation
 //! (Section IV for the attack studies, Section VII for the GECKO
-//! evaluation). Each module exposes a `rows(...)` function returning typed,
-//! serde-serializable records; the `gecko-bench` crate renders them as
-//! paper-style tables and persists them as JSON.
+//! evaluation). Each module exposes a `rows(...)` function returning typed
+//! records (see [`crate::report::Record`]); the `gecko-bench` crate renders
+//! them as paper-style tables and persists them as JSON through the
+//! `gecko-fleet` telemetry sinks. The heavyweight grid sweeps (fig4, fig5,
+//! fig8, fig11, fig13) also have campaign-engine ports in
+//! `gecko_fleet::figures` that fan the same cells out over a worker pool.
 //!
 //! Every experiment accepts a [`Fidelity`]: `Quick` shrinks sweeps and
 //! windows so integration tests finish in seconds, `Full` is what the

@@ -8,16 +8,14 @@
 //! a weak harvester, while the `R` columns use the bench-supply setup of
 //! the paper's DPI/remote experiments.
 
-use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind};
-use gecko_energy::ConstantPower;
-use serde::{Deserialize, Serialize};
-
 use super::{
     attacked_rate, clean_forward_cycles, Fidelity, SchemeKind, SimConfig, Simulator, VICTIM_APP,
 };
+use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind};
+use gecko_energy::ConstantPower;
 
 /// One board's Table I row.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table1Row {
     /// Board name.
     pub device: String,
@@ -37,6 +35,17 @@ pub struct Table1Row {
     /// Frequency achieving it (Hz).
     pub adc_f_max_freq_hz: f64,
 }
+
+crate::impl_record!(Table1Row {
+    device,
+    monitors,
+    adc_r_min,
+    adc_r_min_freq_hz,
+    comp_r_min,
+    comp_r_min_freq_hz,
+    adc_f_max,
+    adc_f_max_freq_hz
+});
 
 fn candidate_freqs(
     device: &gecko_emi::DeviceModel,

@@ -2,10 +2,8 @@
 //! GECKO — a typed encoding of the paper's survey so the bench harness can
 //! print it alongside the measured tables.
 
-use serde::{Deserialize, Serialize};
-
 /// Hardware/software classification of a countermeasure.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Approach {
     /// Requires new circuitry.
     Hardware,
@@ -15,8 +13,25 @@ pub enum Approach {
     Hybrid,
 }
 
+impl Approach {
+    /// Short label as printed in the table ("HW" / "SW" / "HW+SW").
+    pub fn label(self) -> &'static str {
+        match self {
+            Approach::Hardware => "HW",
+            Approach::Software => "SW",
+            Approach::Hybrid => "HW+SW",
+        }
+    }
+}
+
+impl From<Approach> for crate::report::Value {
+    fn from(a: Approach) -> crate::report::Value {
+        crate::report::Value::Str(a.label().to_string())
+    }
+}
+
 /// One prior-work row of Table II.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table2Row {
     /// Work name as cited in the paper.
     pub work: &'static str,
@@ -31,6 +46,15 @@ pub struct Table2Row {
     /// Deployable on an intermittent system?
     pub intermittent_applicable: bool,
 }
+
+crate::impl_record!(Table2Row {
+    work,
+    target,
+    approach,
+    energy_efficient,
+    power_failure_recovery,
+    intermittent_applicable
+});
 
 /// The encoded Table II.
 pub fn rows() -> Vec<Table2Row> {

@@ -1,13 +1,11 @@
 //! Table III: the total number of checkpoint stores GECKO generates in
 //! each application (static count, after pruning and coloring).
 
-use gecko_compiler::{compile, CompileOptions};
-use serde::{Deserialize, Serialize};
-
 use super::Fidelity;
+use gecko_compiler::{compile, CompileOptions};
 
 /// One app's static checkpoint count.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Table3Row {
     /// Benchmark name.
     pub app: String,
@@ -18,6 +16,13 @@ pub struct Table3Row {
     /// Binary size overhead vs. the uninstrumented program (fraction).
     pub size_overhead: f64,
 }
+
+crate::impl_record!(Table3Row {
+    app,
+    checkpoints,
+    regions,
+    size_overhead
+});
 
 /// Compiles every app and counts.
 pub fn rows(_fidelity: Fidelity) -> Vec<Table3Row> {

@@ -35,10 +35,12 @@ pub mod areas;
 pub mod device;
 pub mod experiments;
 pub mod metrics;
+pub mod report;
 pub mod scheme;
 pub mod trace;
 
-pub use device::{SimConfig, Simulator};
+pub use device::{CompiledApp, SimConfig, Simulator};
 pub use metrics::Metrics;
+pub use report::{Record, Value};
 pub use scheme::SchemeKind;
 pub use trace::{Trace, TraceSample};

@@ -2,7 +2,7 @@
 //! rate `R`, checkpoint failure rate `F`, throughput, and corruption.
 
 /// Accumulated counters from one simulation run.
-#[derive(Debug, Clone, Copy, PartialEq, Default, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct Metrics {
     /// Simulated wall-clock seconds.
     pub sim_time_s: f64,
@@ -43,7 +43,49 @@ pub struct Metrics {
     pub energy_nj: f64,
 }
 
+crate::impl_record!(Metrics {
+    sim_time_s,
+    forward_cycles,
+    overhead_cycles,
+    completions,
+    checksum_errors,
+    jit_checkpoints,
+    jit_checkpoint_failures,
+    reboots,
+    dirty_deaths,
+    rollbacks,
+    recovery_slices,
+    attack_detections,
+    jit_reenables,
+    checkpoint_stores,
+    boundary_commits,
+    energy_nj
+});
+
 impl Metrics {
+    /// Merges another run's counters into this one (summing; simulated
+    /// time accumulates too). The campaign engine folds per-item metrics
+    /// in work-item order with this, so aggregates are independent of
+    /// worker count.
+    pub fn absorb(&mut self, other: &Metrics) {
+        self.sim_time_s += other.sim_time_s;
+        self.forward_cycles += other.forward_cycles;
+        self.overhead_cycles += other.overhead_cycles;
+        self.completions += other.completions;
+        self.checksum_errors += other.checksum_errors;
+        self.jit_checkpoints += other.jit_checkpoints;
+        self.jit_checkpoint_failures += other.jit_checkpoint_failures;
+        self.reboots += other.reboots;
+        self.dirty_deaths += other.dirty_deaths;
+        self.rollbacks += other.rollbacks;
+        self.recovery_slices += other.recovery_slices;
+        self.attack_detections += other.attack_detections;
+        self.jit_reenables += other.jit_reenables;
+        self.checkpoint_stores += other.checkpoint_stores;
+        self.boundary_commits += other.boundary_commits;
+        self.energy_nj += other.energy_nj;
+    }
+
     /// Checkpoint failure rate `F = N_fail / N_checkpoints` (0 when no
     /// checkpoints ran).
     pub fn checkpoint_failure_rate(&self) -> f64 {

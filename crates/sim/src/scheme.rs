@@ -3,7 +3,7 @@
 use std::fmt;
 
 /// Which crash-consistency scheme a simulated device runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SchemeKind {
     /// Commodity JIT checkpointing (TI CTPL / non-volatile processor).
     Nvp,

@@ -2,14 +2,12 @@
 //! state and runtime mode sampled at a fixed interval — the raw material
 //! behind Figure 9-style plots and the `voltage_trace` example.
 
-use serde::{Deserialize, Serialize};
-
 use crate::areas::GeckoMode;
 use crate::device::Simulator;
 use crate::metrics::Metrics;
 
 /// One sample of device state.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TraceSample {
     /// Simulation time (s).
     pub t_s: f64,
@@ -23,8 +21,16 @@ pub struct TraceSample {
     pub completions: u64,
 }
 
+crate::impl_record!(TraceSample {
+    t_s,
+    voltage_v,
+    on,
+    rollback_mode,
+    completions
+});
+
 /// A recorded time series.
-#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct Trace {
     samples: Vec<TraceSample>,
 }

@@ -177,6 +177,26 @@ fn simulation_is_deterministic() {
         3.0,
     );
     assert_eq!(a, b);
+
+    // Sharing one compiled artifact (the campaign-engine path) must give
+    // the same result as compiling privately, and reusing it across
+    // simulators must not let state leak between runs.
+    let app = gecko_apps::app_by_name("fir").unwrap();
+    let compiled = gecko_sim::CompiledApp::build(
+        &app,
+        SchemeKind::Gecko,
+        &gecko_compiler::CompileOptions::default(),
+    )
+    .unwrap();
+    let via_artifact = || {
+        let cfg = SimConfig::harvesting(SchemeKind::Gecko).with_attack(attack_remote());
+        let mut sim = Simulator::from_compiled(&compiled, cfg);
+        sim.run_for(3.0)
+    };
+    let c = via_artifact();
+    let d = via_artifact();
+    assert_eq!(a, c, "shared artifact changes nothing");
+    assert_eq!(c, d, "artifact reuse leaks no state");
 }
 
 #[test]

@@ -1,0 +1,63 @@
+//! Campaign quickstart: the Figure-11-style grid (apps × schemes) run
+//! through the `gecko-fleet` engine, once on a single worker and once on a
+//! pool, demonstrating that parallelism changes wall-clock but not one bit
+//! of the results.
+//!
+//! ```sh
+//! cargo run --release --example campaign
+//! GECKO_WORKERS=8 cargo run --release --example campaign
+//! ```
+
+use gecko_suite::fleet::{fleet_summary, Campaign, CampaignSpec, SchemeKind, Workload};
+
+fn main() {
+    let workers = std::env::var("GECKO_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
+        });
+
+    let spec = CampaignSpec::new("fig11-style")
+        .apps(
+            gecko_suite::apps::all_apps()
+                .iter()
+                .map(|a| a.name.to_string()),
+        )
+        .schemes(SchemeKind::all())
+        .workload(Workload::UntilCompletions {
+            n: 3,
+            max_seconds: 30.0,
+        });
+
+    println!("running {} on 1 worker...", spec.name);
+    let solo = Campaign::new(spec.clone())
+        .workers(1)
+        .run()
+        .expect("campaign");
+    println!("running {} on {} workers...", spec.name, workers);
+    let fleet = Campaign::new(spec)
+        .workers(workers)
+        .run()
+        .expect("campaign");
+
+    println!("\n{}", fleet_summary(&fleet));
+    println!(
+        "1 worker: {:.2}s wall | {} workers: {:.2}s wall ({:.2}x)",
+        solo.wall_s,
+        fleet.workers,
+        fleet.wall_s,
+        solo.wall_s / fleet.wall_s.max(1e-9),
+    );
+    assert_eq!(
+        solo.deterministic_digest(),
+        fleet.deterministic_digest(),
+        "parallelism must not change results"
+    );
+    println!(
+        "digests agree: {:016x} — results are bit-identical across worker counts",
+        solo.deterministic_digest()
+    );
+}

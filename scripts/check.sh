@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# The tier-1 gate: formatting, lints, an offline release build, and the
+# test suite. CI runs exactly this script; run it locally before pushing.
+#
+#   scripts/check.sh            # everything
+#   scripts/check.sh --fast     # skip clippy (useful while iterating)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fast=0
+[[ "${1:-}" == "--fast" ]] && fast=1
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+if [[ $fast -eq 0 ]]; then
+  echo "==> cargo clippy (workspace, all targets, warnings are errors)"
+  cargo clippy --offline --workspace --all-targets -- -D warnings
+fi
+
+echo "==> cargo build --release (offline)"
+cargo build --offline --workspace --release
+
+echo "==> cargo test (offline, quick sweeps)"
+GECKO_QUICK=1 cargo test --offline --workspace -q
+
+echo "==> OK"

@@ -12,6 +12,7 @@ pub use gecko_compiler as compiler;
 pub use gecko_ctpl as ctpl;
 pub use gecko_emi as emi;
 pub use gecko_energy as energy;
+pub use gecko_fleet as fleet;
 pub use gecko_isa as isa;
 pub use gecko_mcu as mcu;
 pub use gecko_sim as sim;

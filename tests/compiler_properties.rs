@@ -3,17 +3,21 @@
 //! satisfy the slot-coloring invariant, the assembler must round-trip it,
 //! and — the crown jewel — execution under injected power failures must
 //! produce exactly the failure-free result.
-
-use proptest::prelude::*;
+//!
+//! Programs are generated deterministically with the in-tree
+//! [`SplitMix64`] generator (one seeded stream per case), so failures
+//! reproduce exactly and the suite needs no external property-testing
+//! dependency.
 
 use gecko_suite::apps::App;
 use gecko_suite::compiler::{coloring, compile, CompileOptions, RegionTable};
-use gecko_suite::isa::{asm, BinOp, Cond, Inst, Program, ProgramBuilder, Reg};
+use gecko_suite::isa::{asm, BinOp, Cond, Inst, Program, ProgramBuilder, Reg, SplitMix64};
 use gecko_suite::mcu::{run_to_completion, Nvm, Peripherals};
 use gecko_suite::sim::{SchemeKind, SimConfig, Simulator};
 
 const RO_WORDS: u32 = 8;
 const RW_WORDS: u32 = 8;
+const CASES: u64 = 24;
 
 /// One generated operation over data registers r1..r5, using r6/r7 as
 /// scratch. Memory is accessed through hoisted segment bases with masked
@@ -34,49 +38,73 @@ enum Phase {
     Loop { bound: u8, body: Vec<Op> },
 }
 
-fn data_reg() -> impl Strategy<Value = u8> {
-    1u8..=5
+fn data_reg(rng: &mut SplitMix64) -> u8 {
+    rng.range_u64(1, 6) as u8
 }
 
-fn safe_binop() -> impl Strategy<Value = BinOp> {
-    prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Min),
-        Just(BinOp::Max),
-        Just(BinOp::Div),
-        Just(BinOp::Rem),
-    ]
+fn safe_binop(rng: &mut SplitMix64) -> BinOp {
+    const OPS: [BinOp; 10] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Min,
+        BinOp::Max,
+        BinOp::Div,
+        BinOp::Rem,
+    ];
+    OPS[rng.range_u64(0, OPS.len() as u64) as usize]
 }
 
-fn op() -> impl Strategy<Value = Op> {
-    prop_oneof![
-        4 => (safe_binop(), data_reg(), data_reg(), -40i32..40).prop_map(|(o, d, l, k)| Op::Bin(o, d, l, k)),
-        3 => (safe_binop(), data_reg(), data_reg(), data_reg()).prop_map(|(o, d, l, r)| Op::BinReg(o, d, l, r)),
-        2 => (data_reg(), data_reg()).prop_map(|(d, s)| Op::LoadRo(d, s)),
-        2 => (data_reg(), data_reg()).prop_map(|(d, s)| Op::LoadRw(d, s)),
-        2 => (data_reg(), data_reg()).prop_map(|(s, i)| Op::StoreRw(s, i)),
-        1 => Just(Op::Blink),
-    ]
+fn gen_op(rng: &mut SplitMix64) -> Op {
+    match rng.pick_weighted(&[4, 3, 2, 2, 2, 1]) {
+        0 => Op::Bin(
+            safe_binop(rng),
+            data_reg(rng),
+            data_reg(rng),
+            rng.range_i64(-40, 40) as i32,
+        ),
+        1 => Op::BinReg(safe_binop(rng), data_reg(rng), data_reg(rng), data_reg(rng)),
+        2 => Op::LoadRo(data_reg(rng), data_reg(rng)),
+        3 => Op::LoadRw(data_reg(rng), data_reg(rng)),
+        4 => Op::StoreRw(data_reg(rng), data_reg(rng)),
+        _ => Op::Blink,
+    }
 }
 
-fn phase() -> impl Strategy<Value = Phase> {
-    prop_oneof![
-        prop::collection::vec(op(), 3..10).prop_map(Phase::Straight),
-        (2u8..6, prop::collection::vec(op(), 3..8))
-            .prop_map(|(bound, body)| Phase::Loop { bound, body }),
-    ]
+fn gen_ops(rng: &mut SplitMix64, lo: u64, hi: u64) -> Vec<Op> {
+    (0..rng.range_u64(lo, hi)).map(|_| gen_op(rng)).collect()
 }
 
-fn program_spec() -> impl Strategy<Value = (Vec<Phase>, Vec<i32>)> {
-    (
-        prop::collection::vec(phase(), 1..4),
-        prop::collection::vec(-500i32..500, RO_WORDS as usize),
-    )
+fn gen_phase(rng: &mut SplitMix64) -> Phase {
+    if rng.next_u64().is_multiple_of(2) {
+        Phase::Straight(gen_ops(rng, 3, 10))
+    } else {
+        Phase::Loop {
+            bound: rng.range_u64(2, 6) as u8,
+            body: gen_ops(rng, 3, 8),
+        }
+    }
+}
+
+/// Generates one program spec: 1–3 phases plus an 8-word RO data image.
+fn program_spec(rng: &mut SplitMix64) -> (Vec<Phase>, Vec<i32>) {
+    let phases = (0..rng.range_u64(1, 4)).map(|_| gen_phase(rng)).collect();
+    let ro = (0..RO_WORDS)
+        .map(|_| rng.range_i64(-500, 500) as i32)
+        .collect();
+    (phases, ro)
+}
+
+/// Runs `body` on `CASES` independently seeded program specs.
+fn for_generated_programs(seed: u64, mut body: impl FnMut(Vec<Phase>, Vec<i32>)) {
+    for case in 0..CASES {
+        let mut rng = SplitMix64::new(seed ^ case.wrapping_mul(0x9E37_79B9));
+        let (phases, ro) = program_spec(&mut rng);
+        body(phases, ro);
+    }
 }
 
 fn reg(i: u8) -> Reg {
@@ -226,15 +254,10 @@ fn assert_coloring_valid(program: &Program, regions: &RegionTable) {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig {
-        cases: 24, failure_persistence: None, ..ProptestConfig::default()
-    })]
-
-    #[test]
-    fn generated_programs_compile_and_color_validly((phases, ro) in program_spec()) {
+#[test]
+fn generated_programs_compile_and_color_validly() {
+    for_generated_programs(0xC0DE_0001, |phases, _ro| {
         let (program, _, _) = build_program(&phases);
-        let _ = ro;
         let out = compile(&program, &CompileOptions::default()).expect("pipeline succeeds");
         gecko_suite::isa::verify(&out.program).expect("instrumented program verifies");
         assert_coloring_valid(&out.program, &out.regions);
@@ -242,19 +265,27 @@ proptest! {
         for info in out.regions.iter() {
             let _ = out.recovery.actions(info.id);
         }
-    }
+    });
+}
 
-    #[test]
-    fn assembler_roundtrips_generated_programs((phases, _ro) in program_spec()) {
+#[test]
+fn assembler_roundtrips_generated_programs() {
+    for_generated_programs(0xC0DE_0002, |phases, _ro| {
         let (program, _, _) = build_program(&phases);
         let text = asm::disassemble(&program);
         let again = asm::assemble("generated", &text).expect("reassembles");
-        assert_eq!(asm::disassemble(&again), text, "disassembly is a fixed point");
+        assert_eq!(
+            asm::disassemble(&again),
+            text,
+            "disassembly is a fixed point"
+        );
         assert_eq!(program.inst_count(), again.inst_count());
-    }
+    });
+}
 
-    #[test]
-    fn generated_programs_survive_injected_failures((phases, ro_data) in program_spec()) {
+#[test]
+fn generated_programs_survive_injected_failures() {
+    for_generated_programs(0xC0DE_0003, |phases, ro_data| {
         let app = build_app(&phases, &ro_data);
         for stride in [311u64, 1013, 2719] {
             let cfg = SimConfig::bench_supply(SchemeKind::Gecko);
@@ -264,13 +295,15 @@ proptest! {
                 sim.inject_power_failure();
             }
             let m = sim.run_until_completions(3, 20.0);
-            prop_assert!(m.completions >= 3, "stride {stride}: {m:?}");
-            prop_assert_eq!(m.checksum_errors, 0, "stride {}: {:?}", stride, m);
+            assert!(m.completions >= 3, "stride {stride}: {m:?}");
+            assert_eq!(m.checksum_errors, 0, "stride {stride}: {m:?}");
         }
-    }
+    });
+}
 
-    #[test]
-    fn generated_programs_survive_failures_under_ratchet((phases, ro_data) in program_spec()) {
+#[test]
+fn generated_programs_survive_failures_under_ratchet() {
+    for_generated_programs(0xC0DE_0004, |phases, ro_data| {
         let app = build_app(&phases, &ro_data);
         let cfg = SimConfig::bench_supply(SchemeKind::Ratchet);
         let mut sim = Simulator::new(&app, cfg).expect("simulator");
@@ -279,7 +312,7 @@ proptest! {
             sim.inject_power_failure();
         }
         let m = sim.run_until_completions(3, 20.0);
-        prop_assert!(m.completions >= 3, "{m:?}");
-        prop_assert_eq!(m.checksum_errors, 0, "{:?}", m);
-    }
+        assert!(m.completions >= 3, "{m:?}");
+        assert_eq!(m.checksum_errors, 0, "{m:?}");
+    });
 }
