@@ -62,9 +62,11 @@ impl ProgramCache {
         ProgramCache::default()
     }
 
-    /// Returns the compiled artifact for `(app, scheme, options)`,
-    /// compiling on first use. Concurrent callers for the same key get the
-    /// same `Arc`.
+    /// Returns the compiled artifact for `(app, scheme, options)` plus a
+    /// `cache_hit` flag (`false` exactly for the one caller that ran the
+    /// compilation), compiling on first use. Concurrent callers for the
+    /// same key get the same `Arc`; racing callers that blocked on the
+    /// in-flight compilation report a hit.
     ///
     /// # Errors
     ///
@@ -74,7 +76,7 @@ impl ProgramCache {
         app: &App,
         scheme: SchemeKind,
         options: &CompileOptions,
-    ) -> Result<Arc<CompiledApp>, CompileError> {
+    ) -> Result<(Arc<CompiledApp>, bool), CompileError> {
         let key = CacheKey::new(app.name, scheme, options);
         let slot = {
             let mut slots = self.slots.lock().expect("cache lock");
@@ -90,7 +92,7 @@ impl ProgramCache {
         } else {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
-        result.clone()
+        result.clone().map(|artifact| (artifact, !compiled_here))
     }
 
     /// Lookups that found an existing artifact.
@@ -123,19 +125,22 @@ mod tests {
         let cache = ProgramCache::new();
         let app = gecko_apps::app_by_name("crc16").unwrap();
         let opts = CompileOptions::default();
-        let a = cache
+        let (a, a_hit) = cache
             .get_or_compile(&app, SchemeKind::Gecko, &opts)
             .unwrap();
-        let b = cache
+        let (b, b_hit) = cache
             .get_or_compile(&app, SchemeKind::Gecko, &opts)
             .unwrap();
         assert!(Arc::ptr_eq(&a, &b), "second lookup shares the artifact");
+        assert!(!a_hit, "first lookup compiles");
+        assert!(b_hit, "second lookup hits");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
         assert_eq!(cache.len(), 1);
 
-        let c = cache.get_or_compile(&app, SchemeKind::Nvp, &opts).unwrap();
+        let (c, c_hit) = cache.get_or_compile(&app, SchemeKind::Nvp, &opts).unwrap();
         assert!(!Arc::ptr_eq(&a, &c));
+        assert!(!c_hit, "new scheme is a new cell");
         assert_eq!(cache.misses(), 2);
     }
 
@@ -144,10 +149,10 @@ mod tests {
         let cache = ProgramCache::new();
         let app = gecko_apps::app_by_name("crc16").unwrap();
         let opts = CompileOptions::default();
-        let pruned = cache
+        let (pruned, _) = cache
             .get_or_compile(&app, SchemeKind::Gecko, &opts)
             .unwrap();
-        let unpruned = cache
+        let (unpruned, _) = cache
             .get_or_compile(&app, SchemeKind::Gecko, &opts.without_pruning())
             .unwrap();
         assert_eq!(cache.len(), 2);
@@ -160,18 +165,29 @@ mod tests {
         let cache = Arc::new(ProgramCache::new());
         let app = gecko_apps::app_by_name("fft").unwrap();
         let opts = CompileOptions::default();
+        let mut hit_flags = Vec::new();
         std::thread::scope(|s| {
+            let mut handles = Vec::new();
             for _ in 0..4 {
                 let cache = Arc::clone(&cache);
                 let app = app.clone();
-                s.spawn(move || {
-                    cache
+                handles.push(s.spawn(move || {
+                    let (_, hit) = cache
                         .get_or_compile(&app, SchemeKind::Gecko, &opts)
                         .unwrap();
-                });
+                    hit
+                }));
+            }
+            for h in handles {
+                hit_flags.push(h.join().unwrap());
             }
         });
         assert_eq!(cache.misses(), 1, "one compilation for four workers");
         assert_eq!(cache.hits(), 3);
+        assert_eq!(
+            hit_flags.iter().filter(|&&hit| !hit).count(),
+            1,
+            "exactly one caller compiled: {hit_flags:?}"
+        );
     }
 }

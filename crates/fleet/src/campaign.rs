@@ -537,15 +537,14 @@ fn run_item(
 ) -> Result<RunResult, CampaignError> {
     let scheme = spec.schemes[item.scheme_idx];
     let t0 = Instant::now();
-    let hits_before = cache.hits();
-    let compiled = cache
-        .get_or_compile(app, scheme, &spec.compile)
-        .map_err(|error| CampaignError::Compile {
-            app: app.name.to_string(),
-            scheme,
-            error,
-        })?;
-    let cache_hit = cache.hits() > hits_before;
+    let (compiled, cache_hit) =
+        cache
+            .get_or_compile(app, scheme, &spec.compile)
+            .map_err(|error| CampaignError::Compile {
+                app: app.name.to_string(),
+                scheme,
+                error,
+            })?;
     let mut sim = Simulator::from_compiled(&compiled, spec.config_for(&item));
     let (metrics, buckets) = run_workload(&mut sim, spec.workload);
     Ok(RunResult {

@@ -345,6 +345,20 @@ mod tests {
     }
 
     #[test]
+    fn fig4_matches_sequential_reference() {
+        let parallel = fig4(Fidelity::Quick, 4).unwrap();
+        let sequential = gecko_sim::experiments::fig4::rows(Fidelity::Quick);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn fig5_matches_sequential_reference() {
+        let parallel = fig5(Fidelity::Quick, 4).unwrap();
+        let sequential = gecko_sim::experiments::fig5::rows(Fidelity::Quick);
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
     fn fig13_matches_sequential_reference() {
         let parallel = fig13(Fidelity::Quick, 4).unwrap();
         let sequential = gecko_sim::experiments::fig13::rows(Fidelity::Quick);

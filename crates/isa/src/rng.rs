@@ -55,7 +55,10 @@ impl SplitMix64 {
     /// A uniform integer in `lo..hi` (half-open; `hi > lo`).
     pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
         assert!(hi > lo, "empty range {lo}..{hi}");
-        lo.wrapping_add((self.next_u64() % (hi - lo) as u64) as i64)
+        // Span in u64 via wrapping two's-complement subtraction: correct
+        // even when `hi - lo` exceeds i64::MAX (e.g. i64::MIN..i64::MAX).
+        let span = (hi as u64).wrapping_sub(lo as u64);
+        lo.wrapping_add((self.next_u64() % span) as i64)
     }
 
     /// A uniform float in `[lo, hi)`.
@@ -121,6 +124,17 @@ mod tests {
             assert!((1.5..2.5).contains(&f));
             let w = r.pick_weighted(&[4, 3, 2, 1]);
             assert!(w < 4);
+        }
+    }
+
+    #[test]
+    fn range_i64_survives_extreme_spans() {
+        let mut r = SplitMix64::new(99);
+        for _ in 0..1000 {
+            let full = r.range_i64(i64::MIN, i64::MAX);
+            assert!(full < i64::MAX);
+            let wide = r.range_i64(i64::MIN, 1);
+            assert!(wide < 1);
         }
     }
 
