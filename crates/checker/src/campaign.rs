@@ -1,0 +1,576 @@
+//! Sharded checker campaigns: the (app × scheme × window-chunk) grid fans
+//! out across a fleet-style worker pool with deterministic,
+//! worker-count-invariant results.
+//!
+//! Determinism is structural, mirroring `gecko_fleet::campaign`:
+//!
+//! * Work items are **fixed-size window chunks** derived only from the
+//!   spec (never from the worker count), claimed from an atomic cursor.
+//! * Each chunk carries its **own memo table**, so memo-hit counters do
+//!   not depend on which worker explored a neighboring chunk.
+//! * Per-chunk results are merged **in item order** after the pool joins;
+//!   shrinking runs after the merge, on the first violation per pair.
+
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+use gecko_apps::App;
+use gecko_compiler::{CompileError, CompileOptions};
+use gecko_fleet::{Event, FleetCounters, NullSink, ProgramCache, TelemetrySink};
+use gecko_sim::device::CompiledApp;
+use gecko_sim::{SchemeKind, Value};
+
+use crate::explore::{check_windows, golden_steps, ExploreConfig, GoldenError};
+use crate::shrink::shrink_schedule;
+use crate::verdict::{CheckStats, PairReport, Violation};
+
+/// What to check: the (apps × schemes) grid plus exploration policy.
+#[derive(Debug, Clone)]
+pub struct CheckSpec {
+    /// Campaign name (telemetry label).
+    pub name: String,
+    /// Applications to check. Owned `App` values, not names, so custom
+    /// programs (regression counterexamples, WAR probes) check the same
+    /// way as the bundled benchmarks; see [`CheckSpec::app_names`].
+    pub apps: Vec<App>,
+    /// Schemes to check each app under.
+    pub schemes: Vec<SchemeKind>,
+    /// Compiler options for the instrumented schemes.
+    pub compile: CompileOptions,
+    /// Exploration policy.
+    pub explore: ExploreConfig,
+    /// Windows per work item. Fixed-size chunks keep results independent
+    /// of the worker count.
+    pub chunk_windows: u64,
+    /// Shrink the first violation of each failing pair.
+    pub shrink: bool,
+    /// Replay budget for the shrinker, per pair.
+    pub shrink_budget: u64,
+}
+
+impl CheckSpec {
+    /// A spec with the default exploration policy and no grid.
+    pub fn new(name: impl Into<String>) -> CheckSpec {
+        CheckSpec {
+            name: name.into(),
+            apps: Vec::new(),
+            schemes: Vec::new(),
+            compile: CompileOptions::default(),
+            explore: ExploreConfig::default(),
+            chunk_windows: 512,
+            shrink: true,
+            shrink_budget: 200,
+        }
+    }
+
+    /// Builder: adds apps.
+    pub fn apps(mut self, apps: impl IntoIterator<Item = App>) -> CheckSpec {
+        self.apps.extend(apps);
+        self
+    }
+
+    /// Builder: adds bundled apps by name.
+    ///
+    /// # Errors
+    ///
+    /// [`CheckError::UnknownApp`] for a name `gecko_apps` does not know.
+    pub fn app_names(mut self, names: &[&str]) -> Result<CheckSpec, CheckError> {
+        for name in names {
+            let app = gecko_apps::app_by_name(name)
+                .ok_or_else(|| CheckError::UnknownApp(name.to_string()))?;
+            self.apps.push(app);
+        }
+        Ok(self)
+    }
+
+    /// Builder: adds schemes.
+    pub fn schemes(mut self, schemes: impl IntoIterator<Item = SchemeKind>) -> CheckSpec {
+        self.schemes.extend(schemes);
+        self
+    }
+
+    /// Builder: replaces the exploration policy.
+    pub fn explore(mut self, explore: ExploreConfig) -> CheckSpec {
+        self.explore = explore;
+        self
+    }
+
+    /// Builder: replaces the chunk size (clamped to ≥ 1).
+    pub fn chunk_windows(mut self, windows: u64) -> CheckSpec {
+        self.chunk_windows = windows.max(1);
+        self
+    }
+}
+
+/// Why a check could not run.
+#[derive(Debug)]
+pub enum CheckError {
+    /// An app name `gecko_apps` does not know.
+    UnknownApp(String),
+    /// No (app, scheme) pairs to check.
+    EmptyGrid,
+    /// A cell failed to compile.
+    Compile {
+        /// Application name.
+        app: String,
+        /// Scheme of the failing cell.
+        scheme: SchemeKind,
+        /// The compiler's error.
+        error: CompileError,
+    },
+    /// A cell's failure-free golden run failed, so there is no reference
+    /// to check against.
+    Golden {
+        /// Application name.
+        app: String,
+        /// Scheme of the failing cell.
+        scheme: SchemeKind,
+        /// What went wrong.
+        error: GoldenError,
+    },
+}
+
+impl fmt::Display for CheckError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckError::UnknownApp(name) => write!(f, "unknown app {name:?}"),
+            CheckError::EmptyGrid => write!(f, "empty check grid (no apps or no schemes)"),
+            CheckError::Compile { app, scheme, error } => {
+                write!(f, "compiling {app}/{}: {error}", scheme.name())
+            }
+            CheckError::Golden { app, scheme, error } => {
+                write!(f, "golden run of {app}/{}: {error}", scheme.name())
+            }
+        }
+    }
+}
+
+impl std::error::Error for CheckError {}
+
+/// Checks a single pre-compiled artifact, sequentially. This is the
+/// single-pair core the campaign shards; it is also the entry point for
+/// checking artifacts that never came from the stock pipeline (e.g. a
+/// deliberately miscompiled program in a regression test).
+///
+/// # Errors
+///
+/// [`CheckError::Golden`] when the failure-free run fails, leaving
+/// nothing to check against.
+pub fn check_compiled(
+    compiled: &CompiledApp,
+    explore: &ExploreConfig,
+) -> Result<PairReport, CheckError> {
+    let golden = golden_steps(compiled, explore.seed).map_err(|error| CheckError::Golden {
+        app: compiled.app.name.to_string(),
+        scheme: compiled.scheme,
+        error,
+    })?;
+    let windows = explore.max_windows.map_or(golden, |m| m.min(golden));
+    let (stats, violations) = check_windows(compiled, explore, 0, windows, golden);
+    let mut report = PairReport {
+        app: compiled.app.name.to_string(),
+        scheme: compiled.scheme,
+        golden_steps: golden,
+        depth: explore.depth,
+        stats,
+        violations,
+        counterexample: None,
+    };
+    if let Some(first) = report.violations.first() {
+        report.counterexample = Some(shrink_schedule(
+            compiled,
+            explore,
+            &first.schedule,
+            golden,
+            200,
+        ));
+    }
+    Ok(report)
+}
+
+/// Compiles and checks one (app, scheme) pair, sequentially.
+///
+/// # Errors
+///
+/// [`CheckError::Compile`] or [`CheckError::Golden`] for a broken cell.
+pub fn check_app(
+    app: &App,
+    scheme: SchemeKind,
+    options: &CompileOptions,
+    explore: &ExploreConfig,
+) -> Result<PairReport, CheckError> {
+    let compiled =
+        CompiledApp::build(app, scheme, options).map_err(|error| CheckError::Compile {
+            app: app.name.to_string(),
+            scheme,
+            error,
+        })?;
+    check_compiled(&compiled, explore)
+}
+
+/// One claimable unit of checker work: a window chunk of one pair.
+#[derive(Debug, Clone, Copy)]
+struct WorkItem {
+    pair: usize,
+    start: u64,
+    end: u64,
+}
+
+/// A runnable checker campaign: spec + workers + telemetry sink.
+pub struct CheckCampaign {
+    spec: CheckSpec,
+    workers: usize,
+    sink: Arc<dyn TelemetrySink>,
+}
+
+impl CheckCampaign {
+    /// A campaign over `spec` with one worker and no telemetry.
+    pub fn new(spec: CheckSpec) -> CheckCampaign {
+        CheckCampaign {
+            spec,
+            workers: 1,
+            sink: Arc::new(NullSink),
+        }
+    }
+
+    /// Sets the worker-thread count (builder style; clamped to ≥ 1).
+    /// Results are bit-identical for any value.
+    pub fn workers(mut self, workers: usize) -> CheckCampaign {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Attaches a telemetry sink (builder style).
+    pub fn sink(mut self, sink: Arc<dyn TelemetrySink>) -> CheckCampaign {
+        self.sink = sink;
+        self
+    }
+
+    /// The spec this campaign will run.
+    pub fn spec(&self) -> &CheckSpec {
+        &self.spec
+    }
+
+    /// Executes the campaign: compile and measure golden traces (in pair
+    /// order), fan window chunks out across the pool, merge in item
+    /// order, then shrink each failing pair's first violation.
+    ///
+    /// # Errors
+    ///
+    /// The first (in pair order) compile or golden-run error.
+    pub fn run(&self) -> Result<CheckReport, CheckError> {
+        let spec = &self.spec;
+        if spec.apps.is_empty() || spec.schemes.is_empty() {
+            return Err(CheckError::EmptyGrid);
+        }
+        let started = Instant::now();
+        let cache = ProgramCache::new();
+
+        // Phase 1 (sequential, pair order): compile + golden trace.
+        struct Pair {
+            compiled: Arc<CompiledApp>,
+            golden: u64,
+            windows: u64,
+        }
+        let mut pairs = Vec::with_capacity(spec.apps.len() * spec.schemes.len());
+        for app in &spec.apps {
+            for &scheme in &spec.schemes {
+                let (compiled, _) =
+                    cache
+                        .get_or_compile(app, scheme, &spec.compile)
+                        .map_err(|error| CheckError::Compile {
+                            app: app.name.to_string(),
+                            scheme,
+                            error,
+                        })?;
+                let golden = golden_steps(&compiled, spec.explore.seed).map_err(|error| {
+                    CheckError::Golden {
+                        app: app.name.to_string(),
+                        scheme,
+                        error,
+                    }
+                })?;
+                let windows = spec.explore.max_windows.map_or(golden, |m| m.min(golden));
+                pairs.push(Pair {
+                    compiled,
+                    golden,
+                    windows,
+                });
+            }
+        }
+
+        // Fixed-size chunks, in pair order: the item list depends only on
+        // the spec, never on the worker count.
+        let mut items = Vec::new();
+        for (pair, p) in pairs.iter().enumerate() {
+            let mut start = 0;
+            while start < p.windows {
+                let end = (start + spec.chunk_windows).min(p.windows);
+                items.push(WorkItem { pair, start, end });
+                start = end;
+            }
+            if p.windows == 0 {
+                // Degenerate (empty) trace: still emit one no-op item so
+                // the pair appears in the report.
+                items.push(WorkItem {
+                    pair,
+                    start: 0,
+                    end: 0,
+                });
+            }
+        }
+
+        let workers = self.workers.min(items.len()).max(1);
+        let sink = &self.sink;
+        sink.emit(Event::new(
+            "check_started",
+            vec![
+                ("campaign", Value::Str(spec.name.clone())),
+                ("pairs", Value::U64(pairs.len() as u64)),
+                ("items", Value::U64(items.len() as u64)),
+                ("workers", Value::U64(workers as u64)),
+            ],
+        ));
+
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<Option<(CheckStats, Vec<Violation>)>> = Vec::new();
+        slots.resize_with(items.len(), || None);
+
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(workers);
+            for _ in 0..workers {
+                let cursor = &cursor;
+                let items = &items;
+                let pairs = &pairs;
+                handles.push(scope.spawn(move || {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        let item = items[i];
+                        let p = &pairs[item.pair];
+                        let result = check_windows(
+                            &p.compiled,
+                            &spec.explore,
+                            item.start,
+                            item.end,
+                            p.golden,
+                        );
+                        sink.emit(Event::new(
+                            "check_item_finished",
+                            vec![
+                                ("item", Value::U64(i as u64)),
+                                ("app", Value::Str(p.compiled.app.name.to_string())),
+                                ("scheme", Value::Str(p.compiled.scheme.name().to_string())),
+                                ("windows", Value::U64(result.0.windows)),
+                                ("violations", Value::U64(result.0.violations)),
+                            ],
+                        ));
+                        local.push((i, result));
+                    }
+                    local
+                }));
+            }
+            for handle in handles {
+                for (i, result) in handle.join().expect("checker worker panicked") {
+                    slots[i] = Some(result);
+                }
+            }
+        });
+
+        // Deterministic merge, in item order (chunks of a pair are in
+        // window order, so each pair's violations come out sorted).
+        let mut results: Vec<PairReport> = pairs
+            .iter()
+            .map(|p| PairReport {
+                app: p.compiled.app.name.to_string(),
+                scheme: p.compiled.scheme,
+                golden_steps: p.golden,
+                depth: spec.explore.depth,
+                stats: CheckStats::default(),
+                violations: Vec::new(),
+                counterexample: None,
+            })
+            .collect();
+        for (item, slot) in items.iter().zip(slots) {
+            let (stats, violations) = slot.expect("every item was claimed");
+            results[item.pair].stats.absorb(&stats);
+            results[item.pair].violations.extend(violations);
+        }
+
+        // Shrink (sequential, pair order — itself deterministic).
+        if spec.shrink {
+            for (pair, report) in results.iter_mut().enumerate() {
+                if let Some(first) = report.violations.first() {
+                    report.counterexample = Some(shrink_schedule(
+                        &pairs[pair].compiled,
+                        &spec.explore,
+                        &first.schedule,
+                        pairs[pair].golden,
+                        spec.shrink_budget,
+                    ));
+                }
+            }
+        }
+
+        let mut totals = CheckStats::default();
+        for r in &results {
+            totals.absorb(&r.stats);
+        }
+        let counters = FleetCounters {
+            items: items.len() as u64,
+            compile_misses: cache.misses(),
+            compile_hits: cache.hits(),
+            forks: totals.forks,
+            states_explored: totals.explored,
+            memo_hits: totals.memo_hits,
+            violations: totals.violations,
+        };
+        let wall_s = started.elapsed().as_secs_f64();
+
+        sink.emit(Event::new(
+            "check_finished",
+            vec![
+                ("campaign", Value::Str(spec.name.clone())),
+                ("pairs", Value::U64(results.len() as u64)),
+                ("forks", Value::U64(counters.forks)),
+                ("states_explored", Value::U64(counters.states_explored)),
+                ("memo_hits", Value::U64(counters.memo_hits)),
+                ("violations", Value::U64(counters.violations)),
+                ("wall_s", Value::F64(wall_s)),
+            ],
+        ));
+        sink.flush();
+
+        Ok(CheckReport {
+            name: spec.name.clone(),
+            workers,
+            results,
+            totals,
+            counters,
+            wall_s,
+        })
+    }
+}
+
+/// The merged outcome of a checker campaign.
+#[derive(Debug, Clone)]
+pub struct CheckReport {
+    /// Campaign name.
+    pub name: String,
+    /// Worker threads actually used.
+    pub workers: usize,
+    /// Per-pair reports, in (app × scheme) row-major order.
+    pub results: Vec<PairReport>,
+    /// All pair stats folded together.
+    pub totals: CheckStats,
+    /// Fleet-level counters (compile cache + exploration).
+    pub counters: FleetCounters,
+    /// Campaign wall time (s).
+    pub wall_s: f64,
+}
+
+impl CheckReport {
+    /// Whether every pair passed exhaustively.
+    pub fn is_clean(&self) -> bool {
+        self.results.iter().all(PairReport::is_clean)
+    }
+
+    /// An FNV-1a digest over everything deterministic in the report
+    /// (stats, violations, schedules, outcomes, counterexamples). Equal
+    /// digests across worker counts certify bit-identical results.
+    pub fn deterministic_digest(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            h = (h ^ word).wrapping_mul(FNV_PRIME);
+        };
+        let eat_schedule = |eat: &mut dyn FnMut(u64), schedule: &[crate::PlannedInjection]| {
+            eat(schedule.len() as u64);
+            for inj in schedule {
+                eat(inj.after_steps);
+                eat(match inj.kind {
+                    crate::InjectionKind::PowerFailure => 1,
+                    crate::InjectionKind::SpoofedCheckpoint => 2,
+                    crate::InjectionKind::SpoofedWakeup => 3,
+                });
+            }
+        };
+        let eat_outcome = |eat: &mut dyn FnMut(u64), outcome: crate::Outcome| match outcome {
+            crate::Outcome::Clean => eat(1),
+            crate::Outcome::Corrupt { got } => {
+                eat(2);
+                eat(got as u32 as u64);
+            }
+            crate::Outcome::Stuck => eat(3),
+        };
+        for (i, r) in self.results.iter().enumerate() {
+            eat(i as u64);
+            eat(r.golden_steps);
+            eat(r.stats.windows);
+            eat(r.stats.forks);
+            eat(r.stats.explored);
+            eat(r.stats.memo_hits);
+            eat(r.stats.steps);
+            eat(r.stats.violations);
+            eat(r.violations.len() as u64);
+            for v in &r.violations {
+                eat(v.window);
+                eat_schedule(&mut eat, &v.schedule);
+                eat_outcome(&mut eat, v.outcome);
+            }
+            match &r.counterexample {
+                None => eat(0),
+                Some(c) => {
+                    eat_schedule(&mut eat, &c.schedule);
+                    eat_outcome(&mut eat, c.outcome);
+                }
+            }
+        }
+        h
+    }
+}
+
+/// Renders a fixed-width verdict table (one row per pair) plus totals —
+/// the checker's counterpart to `gecko_fleet::fleet_summary`.
+pub fn check_summary(report: &CheckReport) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "check {:?}: {} pair(s), {} worker(s), {:.2}s\n",
+        report.name,
+        report.results.len(),
+        report.workers,
+        report.wall_s
+    ));
+    out.push_str(&format!(
+        "{:<10} {:<12} {:>8} {:>8} {:>9} {:>9} {:>8} {:>10}\n",
+        "app", "scheme", "golden", "windows", "forks", "explored", "memo%", "violations"
+    ));
+    for r in &report.results {
+        out.push_str(&format!(
+            "{:<10} {:<12} {:>8} {:>8} {:>9} {:>9} {:>7.1}% {:>10}\n",
+            r.app,
+            r.scheme.name(),
+            r.golden_steps,
+            r.stats.windows,
+            r.stats.forks,
+            r.stats.explored,
+            100.0 * r.stats.memo_hit_rate(),
+            r.stats.violations,
+        ));
+    }
+    out.push_str(&format!(
+        "totals: {} forks, {} explored, {} memo hits ({:.1}%), {} violations\n",
+        report.totals.forks,
+        report.totals.explored,
+        report.totals.memo_hits,
+        100.0 * report.totals.memo_hit_rate(),
+        report.totals.violations,
+    ));
+    out
+}

@@ -1,0 +1,360 @@
+//! Snapshot-fork exploration: enumerate every failure window of the
+//! golden trace, fork, inject, and check the post-recovery run.
+//!
+//! The naive check is O(n²): for each of the n windows, re-execute the
+//! prefix from cold and then the suffix to completion. The checker instead
+//! walks the golden trace *once*; at each window it captures a
+//! [`gecko_sim::SimSnapshot`], injects the fault, follows the recovery to
+//! completion, and rewinds — amortized O(n) plus the (memoized) recovery
+//! suffixes. Explorations whose post-recovery resume state hashes equal to
+//! one already checked are answered from the memo table (see DESIGN.md §10
+//! for why the logical-state hash is a sound memo key under an undisturbed
+//! bench supply).
+
+use std::collections::HashMap;
+
+use gecko_sim::device::CompiledApp;
+use gecko_sim::{SimConfig, Simulator};
+
+use crate::verdict::{Blame, CheckStats, InjectionKind, Outcome, PlannedInjection, Violation};
+
+/// Exploration policy for one check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExploreConfig {
+    /// Injection depth: 1 checks every single-fault schedule, 2 addition-
+    /// ally re-injects a nested fault at every offset within
+    /// `refail_horizon` of each primary injection's recovery.
+    pub depth: u32,
+    /// Enumerate plain power-failure windows.
+    pub power_failure_windows: bool,
+    /// Enumerate EMI windows (spoofed checkpoint signals; at depth ≥ 2
+    /// also spoofed wake-ups during recovery sleeps).
+    pub emi_windows: bool,
+    /// How many qualifying steps past a primary injection nested faults
+    /// are attempted at (offsets 1..=horizon).
+    pub refail_horizon: u64,
+    /// Memoize explorations on the post-recovery state hash.
+    pub memoize: bool,
+    /// Check only the first `n` windows of the golden trace (`None` =
+    /// every window — the exhaustive default). Smoke/quick runs cap this.
+    pub max_windows: Option<u64>,
+    /// Peripheral seed (must match across golden run and exploration).
+    pub seed: u64,
+}
+
+impl Default for ExploreConfig {
+    fn default() -> ExploreConfig {
+        ExploreConfig {
+            depth: 1,
+            power_failure_windows: true,
+            emi_windows: true,
+            refail_horizon: 24,
+            memoize: true,
+            max_windows: None,
+            seed: 7,
+        }
+    }
+}
+
+impl ExploreConfig {
+    /// Builder: set the injection depth.
+    pub fn with_depth(mut self, depth: u32) -> ExploreConfig {
+        self.depth = depth;
+        self
+    }
+
+    /// Builder: cap the number of windows.
+    pub fn with_max_windows(mut self, n: u64) -> ExploreConfig {
+        self.max_windows = Some(n);
+        self
+    }
+
+    /// The primary injection kinds this config enumerates. Spoofed
+    /// wake-ups are nested-only: on the (always-on) golden trace they are
+    /// no-ops.
+    pub fn primary_kinds(&self) -> Vec<InjectionKind> {
+        let mut kinds = Vec::new();
+        if self.power_failure_windows {
+            kinds.push(InjectionKind::PowerFailure);
+        }
+        if self.emi_windows {
+            kinds.push(InjectionKind::SpoofedCheckpoint);
+        }
+        kinds
+    }
+
+    /// The nested (depth-2) injection kinds.
+    pub fn nested_kinds(&self) -> Vec<InjectionKind> {
+        let mut kinds = vec![InjectionKind::PowerFailure];
+        if self.emi_windows {
+            kinds.push(InjectionKind::SpoofedCheckpoint);
+            kinds.push(InjectionKind::SpoofedWakeup);
+        }
+        kinds
+    }
+}
+
+/// A fresh bench-supply simulator for checking `compiled`. The checker
+/// always runs on the bench supply: failures come from the injection
+/// schedule, never the harvester, so every divergence from the golden
+/// trace is one the checker chose (and the memo hash stays sound).
+pub(crate) fn checker_sim(compiled: &CompiledApp, seed: u64) -> Simulator {
+    let mut config = SimConfig::bench_supply(compiled.scheme);
+    config.seed = seed;
+    Simulator::from_compiled(compiled, config)
+}
+
+/// Step budget for one exploration: any legitimate recovery replays at
+/// most the whole run plus per-failure reboot/recharge sleeps.
+pub(crate) fn explore_budget(golden_steps: u64) -> u64 {
+    4 * golden_steps + 100_000
+}
+
+/// Measures the failure-free golden trace: the number of simulation steps
+/// to the first completion. Every step index in `0..steps` is a failure
+/// window.
+///
+/// # Errors
+///
+/// [`GoldenError::DidNotComplete`] if the app exceeds its step budget,
+/// [`GoldenError::Mismatch`] if the failure-free run itself produces the
+/// wrong checksum (the artifact is broken before any fault is injected).
+pub fn golden_steps(compiled: &CompiledApp, seed: u64) -> Result<u64, GoldenError> {
+    let mut sim = checker_sim(compiled, seed);
+    let budget = compiled.app.step_budget();
+    let mut steps = 0u64;
+    while sim.metrics.completions < 1 {
+        if steps >= budget {
+            return Err(GoldenError::DidNotComplete { budget });
+        }
+        sim.step_one();
+        steps += 1;
+    }
+    if sim.metrics.checksum_errors > 0 {
+        return Err(GoldenError::Mismatch {
+            got: sim.nvm().read(compiled.app.checksum_addr) as i64,
+            expected: compiled.app.expected_checksum as i64,
+        });
+    }
+    Ok(steps)
+}
+
+/// Why a golden run failed (making the pair uncheckable).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GoldenError {
+    /// No completion within the app's step budget.
+    DidNotComplete {
+        /// The budget that was exhausted.
+        budget: u64,
+    },
+    /// The failure-free run already produces the wrong checksum.
+    Mismatch {
+        /// Checksum the golden run produced.
+        got: i64,
+        /// The app's expected checksum.
+        expected: i64,
+    },
+}
+
+impl std::fmt::Display for GoldenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            GoldenError::DidNotComplete { budget } => {
+                write!(f, "golden run did not complete within {budget} steps")
+            }
+            GoldenError::Mismatch { got, expected } => {
+                write!(f, "golden run checksum {got} != expected {expected}")
+            }
+        }
+    }
+}
+
+/// The memo table: post-recovery state hash → observed outcome. One table
+/// per work-item chunk, so memo-hit counts are worker-count-invariant.
+pub(crate) type MemoTable = HashMap<u64, Outcome>;
+
+/// Explores the windows `start..end` of the golden trace and returns the
+/// chunk's counters and violations (in window order). `golden` is the
+/// trace length from [`golden_steps`]; `end` must not exceed it.
+pub(crate) fn check_windows(
+    compiled: &CompiledApp,
+    cfg: &ExploreConfig,
+    start: u64,
+    end: u64,
+    golden: u64,
+) -> (CheckStats, Vec<Violation>) {
+    debug_assert!(end <= golden);
+    let budget = explore_budget(golden);
+    let primary = cfg.primary_kinds();
+    let nested = cfg.nested_kinds();
+    let mut memo = MemoTable::new();
+    let mut stats = CheckStats::default();
+    let mut violations = Vec::new();
+
+    let mut sim = checker_sim(compiled, cfg.seed);
+    // Reposition onto the golden trace at the chunk's first window.
+    for _ in 0..start {
+        sim.step_one();
+    }
+
+    for window in start..end {
+        stats.windows += 1;
+        let base = sim.snapshot();
+        for &kind in &primary {
+            // Depth 1: the primary fault alone.
+            stats.forks += 1;
+            kind.inject(&mut sim);
+            let blame = Blame::capture(&sim, compiled);
+            let outcome = settle_and_check(&mut sim, compiled, cfg, budget, &mut memo, &mut stats);
+            if outcome.is_violation() {
+                stats.violations += 1;
+                violations.push(Violation {
+                    window,
+                    schedule: vec![PlannedInjection {
+                        after_steps: window,
+                        kind,
+                    }],
+                    outcome,
+                    blame,
+                });
+            }
+            // Depth 2: a nested fault at every offset of the recovery.
+            if cfg.depth >= 2 {
+                sim.restore(&base);
+                kind.inject(&mut sim);
+                let after_primary = sim.snapshot();
+                for &nk in &nested {
+                    sim.restore(&after_primary);
+                    let mut advanced = 0u64;
+                    for offset in 1..=cfg.refail_horizon {
+                        if !advance_qualifying(&mut sim, nk, offset - advanced, budget, &mut stats)
+                        {
+                            break;
+                        }
+                        advanced = offset;
+                        stats.forks += 1;
+                        let resume = sim.snapshot();
+                        nk.inject(&mut sim);
+                        let blame2 = Blame::capture(&sim, compiled);
+                        let outcome2 = settle_and_check(
+                            &mut sim, compiled, cfg, budget, &mut memo, &mut stats,
+                        );
+                        if outcome2.is_violation() {
+                            stats.violations += 1;
+                            violations.push(Violation {
+                                window,
+                                schedule: vec![
+                                    PlannedInjection {
+                                        after_steps: window,
+                                        kind,
+                                    },
+                                    PlannedInjection {
+                                        after_steps: offset,
+                                        kind: nk,
+                                    },
+                                ],
+                                outcome: outcome2,
+                                blame: blame2,
+                            });
+                        }
+                        sim.restore(&resume);
+                    }
+                }
+            }
+            sim.restore(&base);
+        }
+        // Advance the golden trace to the next window.
+        sim.step_one();
+    }
+    (stats, violations)
+}
+
+/// Advances `n` qualifying steps for injection kind `kind` (see
+/// [`InjectionKind::counts_step`]). Returns `false` — the injection point
+/// is unreachable — if the run completes or the budget runs out first.
+pub(crate) fn advance_qualifying(
+    sim: &mut Simulator,
+    kind: InjectionKind,
+    n: u64,
+    budget: u64,
+    stats: &mut CheckStats,
+) -> bool {
+    let mut qualifying = 0u64;
+    let mut total = 0u64;
+    while qualifying < n {
+        if sim.metrics.completions >= 1 || total >= budget {
+            return false;
+        }
+        let counts = kind.counts_step(sim);
+        sim.step_one();
+        stats.steps += 1;
+        total += 1;
+        if counts {
+            qualifying += 1;
+        }
+    }
+    sim.metrics.completions < 1
+}
+
+/// Follows an injected fault through recovery and to the next completion,
+/// memoized on the post-recovery state hash. The device first sleeps and
+/// recharges (or is already on, for no-op injections); once it is back on,
+/// the logical state determines the run's outcome, so that is the memo
+/// point.
+fn settle_and_check(
+    sim: &mut Simulator,
+    compiled: &CompiledApp,
+    cfg: &ExploreConfig,
+    budget: u64,
+    memo: &mut MemoTable,
+    stats: &mut CheckStats,
+) -> Outcome {
+    // Recovery phase: recharge, debounced wake, boot, restore.
+    let mut settle = 0u64;
+    while !sim.is_on() {
+        if settle >= budget {
+            return Outcome::Stuck;
+        }
+        sim.step_one();
+        stats.steps += 1;
+        settle += 1;
+    }
+    if sim.metrics.completions >= 1 {
+        return outcome_of(sim, compiled);
+    }
+    let key = sim.state_hash();
+    if cfg.memoize {
+        if let Some(&cached) = memo.get(&key) {
+            stats.memo_hits += 1;
+            return cached;
+        }
+    }
+    stats.explored += 1;
+    let mut total = 0u64;
+    let outcome = loop {
+        if total >= budget {
+            break Outcome::Stuck;
+        }
+        sim.step_one();
+        stats.steps += 1;
+        total += 1;
+        if sim.metrics.completions >= 1 {
+            break outcome_of(sim, compiled);
+        }
+    };
+    if cfg.memoize {
+        memo.insert(key, outcome);
+    }
+    outcome
+}
+
+/// Classifies a completed run.
+pub(crate) fn outcome_of(sim: &Simulator, compiled: &CompiledApp) -> Outcome {
+    if sim.metrics.checksum_errors > 0 {
+        Outcome::Corrupt {
+            got: sim.nvm().read(compiled.app.checksum_addr),
+        }
+    } else {
+        Outcome::Clean
+    }
+}

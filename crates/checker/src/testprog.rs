@@ -1,0 +1,72 @@
+//! Purpose-built probe programs for exercising the checker itself.
+//!
+//! The bundled benchmarks keep their working state in registers and write
+//! outputs exactly once, which makes them *idempotent*: re-executing any
+//! prefix is harmless, so NVP passes single-fault checks on them. Proving
+//! the checker detects real bugs needs a program that is **not**
+//! idempotent — one with a WAR (load-then-store) dependency on persistent
+//! memory — and that is what [`war_counter_app`] provides.
+
+use gecko_apps::App;
+use gecko_isa::{BinOp, Cond, ProgramBuilder, Reg, Word};
+
+/// A deliberately non-idempotent counter: each loop iteration
+/// read-modify-writes a persistent NVM counter (a WAR dependency), and the
+/// final checksum is the counter itself.
+///
+/// The entry block *resets* the counter, so plain power failures are
+/// harmless under NVP — a cold restart re-runs the reset and recounts.
+/// What breaks it is NVP's JIT checkpoint double-execution hazard: a
+/// (spoofable) checkpoint inside the loop followed by a dirty death
+/// re-restores the same checkpoint and repeats increments that already
+/// landed in NVM, so the counter overshoots. Ratchet and GECKO cut a
+/// region boundary across the WAR and stay correct — exactly the
+/// separation the checker must demonstrate.
+pub fn war_counter_app(iterations: Word) -> App {
+    assert!(iterations > 0, "need at least one iteration");
+    let mut b = ProgramBuilder::new("warcount");
+    let out = b.segment("out", 2, true); // [0] checksum, [1] counter
+
+    let (i, acc, base) = (Reg::R1, Reg::R2, Reg::R3);
+    b.mov(base, out as i32);
+    b.mov(i, 0);
+    b.store(i, base, 1); // reset the counter: cold restarts stay safe
+    let head = b.new_label("head");
+    let body = b.new_label("body");
+    let exit = b.new_label("exit");
+    b.bind(head);
+    b.set_loop_bound(iterations as u32);
+    b.branch(Cond::Lt, i, iterations, body, exit);
+    b.bind(body);
+    b.load(acc, base, 1); // WAR: read the persistent counter ...
+    b.bin(BinOp::Add, acc, acc, 1);
+    b.store(acc, base, 1); // ... and write it back
+    b.bin(BinOp::Add, i, i, 1);
+    b.jump(head);
+    b.bind(exit);
+    b.load(acc, base, 1);
+    b.store(acc, base, 0); // checksum: the final counter value
+    b.halt();
+
+    App {
+        name: "warcount",
+        program: b.finish().expect("warcount builds"),
+        image: vec![],
+        checksum_addr: out,
+        expected_checksum: iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_run_counts() {
+        let app = war_counter_app(8);
+        let mut nvm = gecko_mcu::Nvm::new(1 << 12);
+        let mut periph = gecko_mcu::Peripherals::new(0);
+        gecko_mcu::run_to_completion(&app.program, &mut nvm, &mut periph, 100_000).unwrap();
+        assert_eq!(nvm.read(app.checksum_addr), 8);
+    }
+}

@@ -23,6 +23,17 @@ impl RegionInfo {
     pub fn resume_point(&self) -> (BlockId, usize) {
         (self.block, self.boundary_index + 1)
     }
+
+    /// A one-line human-readable location, e.g. `region 3 @ b2[5] (resume
+    /// b2[6])` — the vocabulary blame reports use to name a rollback
+    /// target.
+    pub fn describe(&self) -> String {
+        let (rb, ri) = self.resume_point();
+        format!(
+            "region {} @ {}[{}] (resume {rb}[{ri}])",
+            self.id, self.block, self.boundary_index
+        )
+    }
 }
 
 /// All regions of an instrumented program, indexed by region id.
@@ -179,6 +190,20 @@ impl RecoveryTable {
     pub fn lookup_cost_insts(&self) -> usize {
         // Binary-search dispatch over region entries.
         8 + 4 * (usize::BITS - self.per_region.len().leading_zeros()) as usize
+    }
+
+    /// `(slot restores, recomputes)` for one region — the shape of the
+    /// recovery a rollback to it performs, as blame reports cite it.
+    pub fn action_counts(&self, region: RegionId) -> (usize, usize) {
+        let mut slots = 0;
+        let mut recomputes = 0;
+        for action in self.actions(region) {
+            match action {
+                RestoreAction::FromSlot { .. } => slots += 1,
+                RestoreAction::Recompute { .. } => recomputes += 1,
+            }
+        }
+        (slots, recomputes)
     }
 }
 

@@ -502,6 +502,7 @@ impl Campaign {
             items: results.len() as u64,
             compile_misses: cache.misses(),
             compile_hits: cache.hits(),
+            ..FleetCounters::default()
         };
 
         sink.emit(Event::new(

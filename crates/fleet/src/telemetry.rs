@@ -174,6 +174,9 @@ pub fn persist_records<R: Record>(
 }
 
 /// Deterministic fleet-level counters, merged in work-item order.
+///
+/// The exploration counters (`forks` onward) stay zero for metric sweeps;
+/// checker campaigns (`gecko-check`) fill them in.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FleetCounters {
     /// Work items executed.
@@ -182,6 +185,14 @@ pub struct FleetCounters {
     pub compile_misses: u64,
     /// Compiled-program cache hits (shared artifacts).
     pub compile_hits: u64,
+    /// Exploration forks taken (snapshots of the golden trace).
+    pub forks: u64,
+    /// Post-recovery states actually explored to completion.
+    pub states_explored: u64,
+    /// Explorations answered from the state-hash memo table.
+    pub memo_hits: u64,
+    /// Crash-consistency violations found.
+    pub violations: u64,
 }
 
 /// A log₂-bucketed histogram of `u64` samples (wall-times, cycle counts).

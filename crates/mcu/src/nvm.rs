@@ -83,6 +83,12 @@ impl Nvm {
         (0..len).map(|i| self.read(base.wrapping_add(i))).collect()
     }
 
+    /// A read-only view of the entire memory, uncounted (tooling access:
+    /// state hashing and checkpoint inspection, not program loads).
+    pub fn words(&self) -> &[Word] {
+        &self.words
+    }
+
     /// Total counted loads.
     pub fn read_count(&self) -> u64 {
         self.reads

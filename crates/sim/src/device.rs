@@ -173,6 +173,36 @@ enum PowerState {
     Sleeping,
 }
 
+/// A full capture of a [`Simulator`]'s mutable state: volatile machine
+/// state, NVM, peripherals, capacitor, monitor latches and accumulated
+/// metrics. Everything else a simulator holds (program, tables, cost and
+/// board models, harvester, attack schedule, area base addresses) is
+/// immutable after construction and therefore not captured.
+///
+/// [`Simulator::restore`] rewinds the *same* simulator to the captured
+/// point; together with [`Simulator::snapshot`] this gives the
+/// crash-consistency checker its snapshot-fork exploration primitive:
+/// walk the golden trace once, fork at every step, and rewind — amortized
+/// O(n) instead of O(n²) cold re-execution.
+#[derive(Debug, Clone)]
+pub struct SimSnapshot {
+    machine: Machine,
+    nvm: Nvm,
+    periph: Peripherals,
+    cap: Capacitor,
+    adc: AdcMonitor,
+    adc_filter: Option<FilteredAdcMonitor>,
+    comp_backup: ComparatorMonitor,
+    comp_wake: ComparatorMonitor,
+    state: PowerState,
+    t_s: f64,
+    probe: Option<bool>,
+    wake_stable: u32,
+    suppressed_s: f64,
+    cycles_since_boot: u64,
+    metrics: Metrics,
+}
+
 /// A scheme-instrumented program artifact: everything `Simulator` needs
 /// that depends only on `(app, scheme, compile options)` and not on the
 /// physical configuration. Compiling is the expensive part of standing up
@@ -404,13 +434,21 @@ impl Simulator {
     /// positioning before [`Simulator::inject_power_failure`].
     pub fn run_steps(&mut self, n: u64) -> Metrics {
         for _ in 0..n {
-            match self.state {
-                PowerState::On => self.on_instruction(),
-                PowerState::Sleeping => self.sleep_tick(),
-            }
+            self.step_one();
         }
         self.metrics.sim_time_s = self.t_s;
         self.metrics
+    }
+
+    /// Advances the device by exactly one simulation step: one instruction
+    /// while on, one sleep tick while hibernating. This is the single
+    /// stepping primitive every run loop (and the crash-consistency
+    /// checker) shares, so pacing paths cannot drift.
+    pub fn step_one(&mut self) {
+        match self.state {
+            PowerState::On => self.on_instruction(),
+            PowerState::Sleeping => self.sleep_tick(),
+        }
     }
 
     /// Fault injection: an instantaneous total power failure right now —
@@ -443,10 +481,7 @@ impl Simulator {
     pub fn run_until_completions(&mut self, n: u64, max_seconds: f64) -> Metrics {
         let t_end = self.t_s + max_seconds;
         while self.t_s < t_end && self.metrics.completions < n {
-            match self.state {
-                PowerState::On => self.on_instruction(),
-                PowerState::Sleeping => self.sleep_tick(),
-            }
+            self.step_one();
         }
         self.metrics.sim_time_s = self.t_s;
         self.metrics
@@ -457,13 +492,176 @@ impl Simulator {
     pub fn run_for(&mut self, seconds: f64) -> Metrics {
         let t_end = self.t_s + seconds;
         while self.t_s < t_end {
-            match self.state {
-                PowerState::On => self.on_instruction(),
-                PowerState::Sleeping => self.sleep_tick(),
-            }
+            self.step_one();
         }
         self.metrics.sim_time_s = self.t_s;
         self.metrics
+    }
+
+    // ----- snapshot / fork ----------------------------------------------
+
+    /// Captures the complete mutable state of the device. Resuming after a
+    /// later [`Simulator::restore`] of this snapshot is bit-identical to
+    /// never having diverged (see the round-trip property test in
+    /// `tests/snapshot.rs`).
+    pub fn snapshot(&self) -> SimSnapshot {
+        SimSnapshot {
+            machine: self.machine.clone(),
+            nvm: self.nvm.clone(),
+            periph: self.periph.clone(),
+            cap: self.cap.clone(),
+            adc: self.adc.clone(),
+            adc_filter: self.adc_filter.clone(),
+            comp_backup: self.comp_backup.clone(),
+            comp_wake: self.comp_wake.clone(),
+            state: self.state,
+            t_s: self.t_s,
+            probe: self.probe,
+            wake_stable: self.wake_stable,
+            suppressed_s: self.suppressed_s,
+            cycles_since_boot: self.cycles_since_boot,
+            metrics: self.metrics,
+        }
+    }
+
+    /// Rewinds the device to a state previously captured by
+    /// [`Simulator::snapshot`]. The snapshot must come from this simulator
+    /// (or one built from the same `CompiledApp` and configuration);
+    /// snapshots carry no program or configuration, only mutable state.
+    pub fn restore(&mut self, snap: &SimSnapshot) {
+        self.machine.clone_from(&snap.machine);
+        self.nvm.clone_from(&snap.nvm);
+        self.periph.clone_from(&snap.periph);
+        self.cap.clone_from(&snap.cap);
+        self.adc.clone_from(&snap.adc);
+        self.adc_filter.clone_from(&snap.adc_filter);
+        self.comp_backup.clone_from(&snap.comp_backup);
+        self.comp_wake.clone_from(&snap.comp_wake);
+        self.state = snap.state;
+        self.t_s = snap.t_s;
+        self.probe = snap.probe;
+        self.wake_stable = snap.wake_stable;
+        self.suppressed_s = snap.suppressed_s;
+        self.cycles_since_boot = snap.cycles_since_boot;
+        self.metrics = snap.metrics;
+    }
+
+    /// FNV-1a hash of the device's *logical* state: registers, PC, halt
+    /// flag, power state, probation flag, the full NVM image and the
+    /// peripheral stream position. Two devices with equal hashes execute
+    /// identically from here on under an undisturbed supply (the physical
+    /// trajectory — capacitor voltage, elapsed time — affects only energy
+    /// and timing metrics, never the memory outcome; see DESIGN.md §10 for
+    /// the soundness argument). The checker memoizes explorations on this
+    /// hash to dedupe forks that re-converge onto an already-checked
+    /// resume state.
+    pub fn state_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x1000_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |word: u64| {
+            // 64-bit-lane FNV: one multiply per word keeps hashing the
+            // 64 K-word NVM cheap enough to run at every fork.
+            h = (h ^ word).wrapping_mul(FNV_PRIME);
+        };
+        for v in self.machine.regs().snapshot() {
+            eat(v as u64);
+        }
+        let (b, i) = self.machine.pc().encode();
+        eat(b as u64);
+        eat(i as u64);
+        eat(self.machine.is_halted() as u64);
+        eat(match self.state {
+            PowerState::On => 1,
+            PowerState::Sleeping => 2,
+        });
+        eat(match self.probe {
+            None => 0,
+            Some(false) => 1,
+            Some(true) => 2,
+        });
+        eat(self.periph.sense_count());
+        eat(self.periph.blink_count());
+        eat(self.periph.sent().len() as u64);
+        for pair in self.nvm.words().chunks(2) {
+            let lo = pair[0] as u32 as u64;
+            let hi = pair.get(1).map_or(0, |&w| w as u32 as u64);
+            eat(lo | (hi << 32));
+        }
+        h
+    }
+
+    // ----- fault / EMI injection ----------------------------------------
+
+    /// Fault injection: a spoofed *checkpoint* signal — the device reacts
+    /// exactly as if its voltage monitor had (falsely) reported the supply
+    /// collapsing below `V_backup` right now, which is precisely what a
+    /// resonant EMI burst induces (Section V). While the JIT protocol is
+    /// active the scheme checkpoints (or, for Ratchet, shuts down cleanly)
+    /// and hibernates; in GECKO rollback-mode probation the spurious signal
+    /// is recorded as attack evidence; otherwise (already sleeping, or
+    /// rollback mode outside probation) it is ignored, as on hardware.
+    pub fn inject_spoofed_checkpoint(&mut self) {
+        if self.state != PowerState::On {
+            return;
+        }
+        if self.jit_protocol_active() {
+            match self.scheme {
+                SchemeKind::Ratchet => {
+                    self.machine.power_fail(self.program.entry());
+                    self.wake_stable = 0;
+                    self.state = PowerState::Sleeping;
+                }
+                _ => self.jit_checkpoint_and_sleep(),
+            }
+        } else if let Some(seen) = self.probe {
+            if !seen {
+                self.probe = Some(true);
+            }
+        }
+    }
+
+    /// Fault injection: a spoofed *wake-up* signal — the monitor (falsely)
+    /// reports the supply stable above `V_on`, so a sleeping device boots
+    /// immediately, bypassing the debounce. A no-op while already on.
+    /// Schemes that ignore the monitor for wake (GECKO rollback mode
+    /// trusts only the internal POR) are immune and also treat this as a
+    /// no-op.
+    pub fn inject_spoofed_wakeup(&mut self) {
+        if self.state != PowerState::Sleeping || !self.uses_monitor_for_wake() {
+            return;
+        }
+        self.wake_stable = 0;
+        self.suppressed_s = 0.0;
+        self.boot();
+    }
+
+    // ----- state inspection (blame reporting) ---------------------------
+
+    /// The machine's current program counter.
+    pub fn pc(&self) -> Pc {
+        self.machine.pc()
+    }
+
+    /// The committed region a rollback recovery would resume from right
+    /// now (`None` for NVP, which has no regions, and for Ratchet before
+    /// its first boundary commit).
+    pub fn committed_region(&self) -> Option<RegionId> {
+        match self.scheme {
+            SchemeKind::Nvp => None,
+            SchemeKind::Ratchet => self.ratchet.committed(&self.nvm).map(|(region, _)| region),
+            SchemeKind::Gecko | SchemeKind::GeckoNoPrune => {
+                Some(self.gecko.committed_region(&self.nvm))
+            }
+        }
+    }
+
+    /// The PC a *valid* JIT checkpoint would restore to, if one exists.
+    /// Read-only: inspects the CTPL area without consuming energy. This is
+    /// how the checker names the checkpoint it blames for an NVP
+    /// double-execution counterexample.
+    pub fn jit_checkpoint_pc(&self) -> Option<Pc> {
+        self.jit.try_restore(&self.nvm).map(|(_, pc)| pc)
     }
 
     // ----- power / time plumbing ---------------------------------------

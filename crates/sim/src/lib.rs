@@ -39,7 +39,7 @@ pub mod report;
 pub mod scheme;
 pub mod trace;
 
-pub use device::{CompiledApp, SimConfig, Simulator};
+pub use device::{CompiledApp, SimConfig, SimSnapshot, Simulator};
 pub use metrics::Metrics;
 pub use report::{Record, Value};
 pub use scheme::SchemeKind;

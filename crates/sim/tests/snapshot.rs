@@ -1,0 +1,97 @@
+//! Snapshot/restore round-trip property: restoring a mid-run snapshot and
+//! resuming must be bit-identical — metrics and NVM checksum — to never
+//! having diverged. The crash-consistency checker's snapshot-fork
+//! exploration is sound only if this holds for arbitrary divergences, so
+//! the test perturbs the forked simulator aggressively (extra execution,
+//! injected failures, spoofed signals) before rewinding.
+
+use gecko_isa::SplitMix64;
+use gecko_sim::{SchemeKind, SimConfig, Simulator};
+
+/// A seeded diversity of physical configurations: scheme, capacitance and
+/// harvested power all vary, covering always-on bench runs as well as
+/// naturally duty-cycling ones (where snapshots land mid-sleep and
+/// mid-recovery).
+fn config_for(rng: &mut SplitMix64) -> SimConfig {
+    let scheme = SchemeKind::all()[rng.range_u64(0, 4) as usize];
+    let duty_cycling = rng.range_u64(0, 2) == 0;
+    let seed = rng.next_u64();
+    let cap_steps = rng.range_u64(1, 5);
+    let mut config = if duty_cycling {
+        let mut c = SimConfig::harvesting(scheme);
+        c.capacitance_f = 47e-6 * cap_steps as f64;
+        c
+    } else {
+        SimConfig::bench_supply(scheme)
+    };
+    config.seed = seed;
+    config
+}
+
+fn nvm_checksum(sim: &Simulator) -> u64 {
+    sim.nvm().words().iter().fold(0u64, |h, &w| {
+        h.wrapping_mul(31).wrapping_add(w as u32 as u64)
+    })
+}
+
+#[test]
+fn restore_resume_is_bit_identical_to_uninterrupted_run() {
+    let quick = std::env::var_os("GECKO_QUICK").is_some();
+    let trials = if quick { 6 } else { 24 };
+    let app = gecko_apps::app_by_name("crc16").unwrap();
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for trial in 0..trials {
+        let mut trial_rng = rng.split();
+        let prefix = trial_rng.range_u64(100, 20_000);
+        let suffix = trial_rng.range_u64(100, 20_000);
+
+        // Identical configurations from a cloned stream.
+        let mut reference = Simulator::new(&app, config_for(&mut trial_rng.clone())).unwrap();
+        let mut forked = Simulator::new(&app, config_for(&mut trial_rng.clone())).unwrap();
+
+        reference.run_steps(prefix);
+        let reference_metrics = reference.run_steps(suffix);
+
+        // Fork: run the prefix, snapshot, diverge hard, rewind, resume.
+        forked.run_steps(prefix);
+        let snap = forked.snapshot();
+        forked.run_steps(trial_rng.range_u64(1, 5_000));
+        forked.inject_power_failure();
+        forked.run_steps(trial_rng.range_u64(1, 5_000));
+        forked.inject_spoofed_checkpoint();
+        forked.inject_spoofed_wakeup();
+        forked.run_steps(trial_rng.range_u64(1, 2_000));
+        forked.restore(&snap);
+        let forked_metrics = forked.run_steps(suffix);
+
+        assert_eq!(
+            forked_metrics, reference_metrics,
+            "trial {trial}: metrics diverged after restore"
+        );
+        assert_eq!(
+            nvm_checksum(&forked),
+            nvm_checksum(&reference),
+            "trial {trial}: NVM diverged after restore"
+        );
+        assert_eq!(
+            forked.state_hash(),
+            reference.state_hash(),
+            "trial {trial}: logical state hash diverged after restore"
+        );
+    }
+}
+
+#[test]
+fn snapshot_then_immediate_restore_is_a_noop() {
+    let app = gecko_apps::app_by_name("blink").unwrap();
+    let mut sim = Simulator::new(&app, SimConfig::bench_supply(SchemeKind::Gecko)).unwrap();
+    sim.run_steps(50);
+    let before_hash = sim.state_hash();
+    let before_time = sim.time_s();
+    let before_metrics = sim.metrics;
+    let snap = sim.snapshot();
+    sim.restore(&snap);
+    assert_eq!(sim.state_hash(), before_hash);
+    assert_eq!(sim.time_s(), before_time);
+    assert_eq!(sim.metrics, before_metrics);
+}

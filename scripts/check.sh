@@ -24,4 +24,7 @@ cargo build --offline --workspace --release
 echo "==> cargo test (offline, quick sweeps)"
 GECKO_QUICK=1 cargo test --offline --workspace -q
 
+echo "==> checker smoke (exhaustive model check, capped windows)"
+GECKO_QUICK=1 cargo run --offline --release --example check
+
 echo "==> OK"

@@ -8,6 +8,7 @@
 //! inventory, and `EXPERIMENTS.md` for paper-vs-measured results.
 
 pub use gecko_apps as apps;
+pub use gecko_check as check;
 pub use gecko_compiler as compiler;
 pub use gecko_ctpl as ctpl;
 pub use gecko_emi as emi;

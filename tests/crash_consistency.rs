@@ -9,6 +9,10 @@
 //! GECKO with and without pruning) must hold it unconditionally, including
 //! under EMI attack.
 
+use gecko_check::{
+    check_app, war_counter_app, CheckCampaign, CheckSpec, ExploreConfig, InjectionKind,
+};
+use gecko_compiler::CompileOptions;
 use gecko_emi::{AttackSchedule, EmiSignal, Injection};
 use gecko_energy::ConstantPower;
 use gecko_sim::{SchemeKind, SimConfig, Simulator};
@@ -143,4 +147,130 @@ fn gecko_is_correct_under_attack_plus_outages() {
         assert_eq!(m.checksum_errors, 0, "{app_name}: {m:?}");
         assert!(m.attack_detections > 0, "{app_name}: {m:?}");
     }
+}
+
+// ---------------------------------------------------------------------------
+// Exhaustive passes (gecko-check): where the torture tests above *sample*
+// the failure space, the model checker *enumerates* it — every instruction
+// boundary is a failure window, every window gets a plain power failure and
+// a spoofed-checkpoint signal, and the post-recovery checksum must match
+// the golden run.
+// ---------------------------------------------------------------------------
+
+/// Window cap for the larger apps so the debug-mode suite stays fast; the
+/// release-mode CI smoke (`examples/check.rs`) runs them uncapped.
+fn window_cap() -> u64 {
+    if std::env::var_os("GECKO_QUICK").is_some() {
+        150
+    } else {
+        400
+    }
+}
+
+#[test]
+fn exhaustive_rollback_schemes_have_no_violating_window() {
+    for scheme in [
+        SchemeKind::Ratchet,
+        SchemeKind::Gecko,
+        SchemeKind::GeckoNoPrune,
+    ] {
+        for (name, cap) in [
+            ("blink", None),
+            ("crc16", Some(window_cap())),
+            ("bitcnt", Some(window_cap())),
+        ] {
+            let app = gecko_apps::app_by_name(name).unwrap();
+            let cfg = ExploreConfig {
+                max_windows: cap,
+                ..ExploreConfig::default()
+            };
+            let report = check_app(&app, scheme, &CompileOptions::default(), &cfg)
+                .unwrap_or_else(|e| panic!("{name} ({scheme}): {e}"));
+            assert!(
+                report.is_clean(),
+                "{name} ({scheme}): first violation: {:?}",
+                report.violations.first()
+            );
+            assert!(report.stats.windows > 0);
+        }
+    }
+}
+
+#[test]
+fn exhaustive_nvp_is_clean_on_idempotent_apps() {
+    // The bundled benchmarks keep working state in registers and write
+    // outputs once, so even NVP's never-invalidated JIT checkpoint cannot
+    // corrupt them: re-execution is harmless. The checker proves that.
+    for name in ["blink", "crc16"] {
+        let app = gecko_apps::app_by_name(name).unwrap();
+        let cfg = ExploreConfig {
+            max_windows: Some(window_cap()),
+            ..ExploreConfig::default()
+        };
+        let report = check_app(&app, SchemeKind::Nvp, &CompileOptions::default(), &cfg).unwrap();
+        assert!(
+            report.is_clean(),
+            "{name} (nvp): {:?}",
+            report.violations.first()
+        );
+    }
+}
+
+#[test]
+fn exhaustive_check_catches_nvp_double_execution() {
+    // The expected-violation case: a WAR-dependent counter under NVP.
+    // A spoofed checkpoint inside the loop plus a re-failure replays
+    // increments that already landed in NVM — the checker must find it,
+    // shrink it, and blame the checkpoint.
+    let app = war_counter_app(6);
+    let cfg = ExploreConfig {
+        depth: 2,
+        power_failure_windows: false, // EMI windows only: isolate the attack
+        refail_horizon: 12,
+        ..ExploreConfig::default()
+    };
+    let report = check_app(&app, SchemeKind::Nvp, &CompileOptions::default(), &cfg).unwrap();
+    assert!(!report.is_clean(), "NVP WAR hazard must be caught");
+    let cex = report
+        .counterexample
+        .as_ref()
+        .expect("violation comes with a shrunk counterexample");
+    assert!(cex.outcome.is_violation());
+    assert_eq!(
+        cex.schedule.first().map(|i| i.kind),
+        Some(InjectionKind::SpoofedCheckpoint),
+        "the attack starts with the spoofed checkpoint: {cex:?}"
+    );
+    assert!(
+        cex.blame.checkpoint_pc.is_some(),
+        "blame names the JIT checkpoint the double-execution resumed from"
+    );
+
+    // The same schedule space is clean under GECKO: the defense works.
+    let gecko = check_app(&app, SchemeKind::Gecko, &CompileOptions::default(), &cfg).unwrap();
+    assert!(gecko.is_clean(), "{:?}", gecko.violations.first());
+}
+
+#[test]
+fn check_campaign_is_worker_count_invariant() {
+    let spec = || {
+        CheckSpec::new("invariance")
+            .apps([
+                gecko_apps::app_by_name("blink").unwrap(),
+                war_counter_app(5),
+            ])
+            .schemes([SchemeKind::Gecko, SchemeKind::Nvp])
+            .explore(ExploreConfig {
+                depth: 2,
+                refail_horizon: 8,
+                max_windows: Some(60),
+                ..ExploreConfig::default()
+            })
+            .chunk_windows(16) // several chunks per pair: real interleaving
+    };
+    let serial = CheckCampaign::new(spec()).workers(1).run().unwrap();
+    let pooled = CheckCampaign::new(spec()).workers(4).run().unwrap();
+    assert_eq!(serial.deterministic_digest(), pooled.deterministic_digest());
+    assert_eq!(serial.results, pooled.results);
+    assert_eq!(serial.totals, pooled.totals);
 }
