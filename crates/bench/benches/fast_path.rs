@@ -1,0 +1,279 @@
+//! `BENCH_sim` — baseline numbers for the simulator fast path.
+//!
+//! Four sections, one JSONL row each per grid point, persisted as
+//! `target/gecko-results/BENCH_sim.jsonl`:
+//!
+//! 1. **Hibernation fast-forward** — a hibernation-heavy workload (µW-class
+//!    harvest into a 100 µF buffer, EMI bursts forcing the exact fallback
+//!    around the attack windows) per scheme. The headline coalescing ratio
+//!    `steps / dispatches` is *deterministic* — simulated ticks, not
+//!    wall-clock — so the `>= 3x` assertion cannot flake on a loaded CI
+//!    box. Trajectory equality against the tick-exact reference is
+//!    asserted on every run; wall-clock steps/s are printed for scale.
+//! 2. **Dispatch** — predecoded vs interpreted instruction dispatch on the
+//!    bench-supply throughput workload (the same shape as the
+//!    `sim_throughput` micro-bench), reported as steps/s per scheme.
+//! 3. **Campaign** — wall-clock for a small `gecko-fleet` Monte-Carlo
+//!    campaign (the fast path is on by default for every worker).
+//! 4. **Checker** — `gecko-check` windows/s with the hibernation
+//!    fast-forward on vs off; the two reports must match exactly.
+
+use gecko_bench::{print_table, save_rows, time_best_of, workers_from_env};
+use gecko_check::{check_app, ExploreConfig};
+use gecko_compiler::CompileOptions;
+use gecko_emi::{AttackSchedule, EmiSignal, Injection};
+use gecko_energy::ConstantPower;
+use gecko_fleet::{Campaign, CampaignSpec, Workload};
+use gecko_sim::device::CompiledApp;
+use gecko_sim::{impl_record, ExecMode, SchemeKind, SimConfig, Simulator};
+
+/// One `BENCH_sim` row.
+struct BenchRow {
+    section: String,
+    scheme: String,
+    app: String,
+    steps: u64,
+    ff_ticks: u64,
+    ratio: f64,
+    wall_ms: f64,
+    rate_per_s: f64,
+}
+impl_record!(BenchRow {
+    section,
+    scheme,
+    app,
+    steps,
+    ff_ticks,
+    ratio,
+    wall_ms,
+    rate_per_s
+});
+
+/// The hibernation-heavy configuration: 0.3 µW of harvest into an empty
+/// 100 µF buffer never reaches V_on inside the window, so the whole run is
+/// recharge hibernation; two EMI bursts force the tick-exact fallback (and
+/// give the coalescing ratio a non-trivial denominator on monitor-woken
+/// schemes).
+fn hibernation_config(scheme: SchemeKind) -> SimConfig {
+    let mut cfg = SimConfig::harvesting(scheme)
+        .with_capacitor(100e-6, 0.0)
+        .with_attack(AttackSchedule::bursts(
+            EmiSignal::new(27e6, 35.0),
+            Injection::Remote { distance_m: 2.0 },
+            &[0.3, 1.1],
+            0.05,
+        ));
+    cfg.harvester = Box::new(ConstantPower::new(0.3e-6));
+    cfg
+}
+
+fn bench_fast_forward(rows: &mut Vec<BenchRow>, quick: bool) {
+    let app = gecko_apps::app_by_name("blink").unwrap();
+    let window_s = if quick { 5.0 } else { 20.0 };
+    let iters = if quick { 2 } else { 5 };
+    let mut table = Vec::new();
+    let mut worst_ratio = f64::INFINITY;
+    for scheme in SchemeKind::all() {
+        // Compile once outside the timed region: the bench measures the
+        // hot loop, not the compiler.
+        let compiled = CompiledApp::build(&app, scheme, &CompileOptions::default()).unwrap();
+        let run_fast = || {
+            let mut sim = Simulator::from_compiled(&compiled, hibernation_config(scheme));
+            sim.run_for(window_s);
+            sim
+        };
+        let run_exact = || {
+            let mut sim = Simulator::from_compiled(&compiled, hibernation_config(scheme));
+            sim.set_exec_mode(ExecMode::Interpreted);
+            sim.set_fast_forward(false);
+            sim.run_for(window_s);
+            sim
+        };
+        // Correctness first: the fast path must be observationally
+        // invisible on the exact workload being timed.
+        let fast = run_fast();
+        let exact = run_exact();
+        assert_eq!(fast.metrics, exact.metrics, "{scheme}: metrics diverged");
+        assert_eq!(
+            fast.state_hash(),
+            exact.state_hash(),
+            "{scheme}: state hash diverged"
+        );
+        let stats = fast.fast_path_stats();
+        assert_eq!(stats.steps, stats.dispatches + stats.ff_ticks);
+        let ratio = stats.steps as f64 / (stats.dispatches.max(1)) as f64;
+        worst_ratio = worst_ratio.min(ratio);
+
+        let fast_wall = time_best_of(iters, run_fast);
+        let exact_wall = time_best_of(iters, run_exact);
+        let rate = stats.steps as f64 / fast_wall.as_secs_f64();
+        table.push(vec![
+            scheme.name().to_string(),
+            stats.steps.to_string(),
+            stats.ff_ticks.to_string(),
+            format!("{ratio:.1}x"),
+            format!("{:.0}k/s", rate / 1e3),
+            format!("{:.1}x", exact_wall.as_secs_f64() / fast_wall.as_secs_f64()),
+        ]);
+        rows.push(BenchRow {
+            section: "fast_forward".to_string(),
+            scheme: scheme.name().to_string(),
+            app: "blink".to_string(),
+            steps: stats.steps,
+            ff_ticks: stats.ff_ticks,
+            ratio,
+            wall_ms: fast_wall.as_secs_f64() * 1e3,
+            rate_per_s: rate,
+        });
+    }
+    print_table(
+        &format!("hibernation fast-forward, 0.3 µW / 100 µF, {window_s}s window (best of {iters})"),
+        &[
+            "scheme",
+            "steps",
+            "coalesced",
+            "ratio",
+            "steps/s",
+            "wall speedup",
+        ],
+        &table,
+    );
+    assert!(
+        worst_ratio >= 3.0,
+        "hibernation-heavy workload must coalesce >= 3x (got {worst_ratio:.1}x)"
+    );
+    println!("ok: fast-forward coalesces >= {worst_ratio:.1}x of hibernation ticks");
+}
+
+fn bench_dispatch(rows: &mut Vec<BenchRow>, quick: bool) {
+    let app = gecko_apps::app_by_name("crc32").unwrap();
+    let iters = if quick { 3 } else { 10 };
+    let window_s = 0.01;
+    let mut table = Vec::new();
+    for scheme in SchemeKind::all() {
+        let compiled = CompiledApp::build(&app, scheme, &CompileOptions::default()).unwrap();
+        let run = |mode: ExecMode| {
+            let compiled = &compiled;
+            move || {
+                let mut sim = Simulator::from_compiled(compiled, SimConfig::bench_supply(scheme));
+                sim.set_exec_mode(mode);
+                sim.run_for(window_s);
+                sim
+            }
+        };
+        let steps = run(ExecMode::Predecoded)().fast_path_stats().steps;
+        let pre_wall = time_best_of(iters, run(ExecMode::Predecoded));
+        let int_wall = time_best_of(iters, run(ExecMode::Interpreted));
+        let rate = steps as f64 / pre_wall.as_secs_f64();
+        let speedup = int_wall.as_secs_f64() / pre_wall.as_secs_f64();
+        table.push(vec![
+            scheme.name().to_string(),
+            format!("{:.1}M/s", rate / 1e6),
+            format!("{:.1}M/s", steps as f64 / int_wall.as_secs_f64() / 1e6),
+            format!("{speedup:.2}x"),
+        ]);
+        rows.push(BenchRow {
+            section: "dispatch".to_string(),
+            scheme: scheme.name().to_string(),
+            app: "crc32".to_string(),
+            steps,
+            ff_ticks: 0,
+            ratio: speedup,
+            wall_ms: pre_wall.as_secs_f64() * 1e3,
+            rate_per_s: rate,
+        });
+    }
+    print_table(
+        &format!("instruction dispatch, crc32, {window_s}s window (best of {iters})"),
+        &["scheme", "predecoded", "interpreted", "speedup"],
+        &table,
+    );
+}
+
+fn bench_campaign(rows: &mut Vec<BenchRow>, quick: bool) {
+    let seconds = if quick { 0.05 } else { 0.2 };
+    let iters = if quick { 1 } else { 3 };
+    let spec = CampaignSpec::new("bench_fast_path")
+        .apps(["blink", "crc16"])
+        .schemes([SchemeKind::Nvp, SchemeKind::Gecko])
+        .seeds([1, 2, 3])
+        .workload(Workload::RunFor { seconds });
+    let items = spec.expand().len() as u64;
+    let campaign = Campaign::new(spec).workers(workers_from_env());
+    let wall = time_best_of(iters, || campaign.run().expect("campaign runs"));
+    let rate = items as f64 / wall.as_secs_f64();
+    print_table(
+        &format!("fleet campaign wall-clock, {items} items x {seconds}s (best of {iters})"),
+        &["items", "wall", "items/s"],
+        &[vec![
+            items.to_string(),
+            format!("{:.1}ms", wall.as_secs_f64() * 1e3),
+            format!("{rate:.0}/s"),
+        ]],
+    );
+    rows.push(BenchRow {
+        section: "campaign".to_string(),
+        scheme: "nvp+gecko".to_string(),
+        app: "blink+crc16".to_string(),
+        steps: items,
+        ff_ticks: 0,
+        ratio: 1.0,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        rate_per_s: rate,
+    });
+}
+
+fn bench_checker(rows: &mut Vec<BenchRow>, quick: bool) {
+    let app = gecko_apps::app_by_name("crc16").unwrap();
+    let cap = if quick { 120 } else { 400 };
+    let iters = if quick { 1 } else { 3 };
+    let cfg = ExploreConfig::default().with_max_windows(cap);
+    let no_ff = ExploreConfig {
+        fast_forward: false,
+        ..cfg
+    };
+    let opts = CompileOptions::default();
+    let fast = check_app(&app, SchemeKind::Gecko, &opts, &cfg).unwrap();
+    let exact = check_app(&app, SchemeKind::Gecko, &opts, &no_ff).unwrap();
+    assert_eq!(fast.violations, exact.violations, "checker verdict changed");
+    assert_eq!(fast.stats, exact.stats, "checker stats changed");
+
+    let mut table = Vec::new();
+    for (label, explore) in [("ff on", &cfg), ("ff off", &no_ff)] {
+        let wall = time_best_of(iters, || {
+            check_app(&app, SchemeKind::Gecko, &opts, explore).unwrap()
+        });
+        let rate = fast.stats.windows as f64 / wall.as_secs_f64();
+        table.push(vec![
+            label.to_string(),
+            fast.stats.windows.to_string(),
+            format!("{:.1}ms", wall.as_secs_f64() * 1e3),
+            format!("{rate:.0}/s"),
+        ]);
+        rows.push(BenchRow {
+            section: "checker".to_string(),
+            scheme: "gecko".to_string(),
+            app: format!("crc16/{label}"),
+            steps: fast.stats.steps,
+            ff_ticks: 0,
+            ratio: 1.0,
+            wall_ms: wall.as_secs_f64() * 1e3,
+            rate_per_s: rate,
+        });
+    }
+    print_table(
+        &format!("checker windows/s, crc16 under GECKO, {cap} windows (best of {iters})"),
+        &["fast-forward", "windows", "wall", "windows/s"],
+        &table,
+    );
+}
+
+fn main() {
+    let quick = std::env::var_os("GECKO_QUICK").is_some();
+    let mut rows = Vec::new();
+    bench_fast_forward(&mut rows, quick);
+    bench_dispatch(&mut rows, quick);
+    bench_campaign(&mut rows, quick);
+    bench_checker(&mut rows, quick);
+    save_rows("BENCH_sim", &rows);
+}

@@ -40,6 +40,12 @@ pub struct ExploreConfig {
     pub max_windows: Option<u64>,
     /// Peripheral seed (must match across golden run and exploration).
     pub seed: u64,
+    /// Coalesce post-injection recharge hibernation through the
+    /// simulator's fast-forward (see [`gecko_sim::Simulator::set_fast_forward`]).
+    /// Observably identical either way — verdicts, violations and even
+    /// `CheckStats::steps` match bit for bit; `false` forces the per-tick
+    /// reference path the differential tests compare against.
+    pub fast_forward: bool,
 }
 
 impl Default for ExploreConfig {
@@ -52,6 +58,7 @@ impl Default for ExploreConfig {
             memoize: true,
             max_windows: None,
             seed: 7,
+            fast_forward: true,
         }
     }
 }
@@ -98,10 +105,12 @@ impl ExploreConfig {
 /// always runs on the bench supply: failures come from the injection
 /// schedule, never the harvester, so every divergence from the golden
 /// trace is one the checker chose (and the memo hash stays sound).
-pub(crate) fn checker_sim(compiled: &CompiledApp, seed: u64) -> Simulator {
+pub(crate) fn checker_sim(compiled: &CompiledApp, seed: u64, fast_forward: bool) -> Simulator {
     let mut config = SimConfig::bench_supply(compiled.scheme);
     config.seed = seed;
-    Simulator::from_compiled(compiled, config)
+    let mut sim = Simulator::from_compiled(compiled, config);
+    sim.set_fast_forward(fast_forward);
+    sim
 }
 
 /// Step budget for one exploration: any legitimate recovery replays at
@@ -120,7 +129,7 @@ pub(crate) fn explore_budget(golden_steps: u64) -> u64 {
 /// [`GoldenError::Mismatch`] if the failure-free run itself produces the
 /// wrong checksum (the artifact is broken before any fault is injected).
 pub fn golden_steps(compiled: &CompiledApp, seed: u64) -> Result<u64, GoldenError> {
-    let mut sim = checker_sim(compiled, seed);
+    let mut sim = checker_sim(compiled, seed, true);
     let budget = compiled.app.step_budget();
     let mut steps = 0u64;
     while sim.metrics.completions < 1 {
@@ -191,7 +200,7 @@ pub(crate) fn check_windows(
     let mut stats = CheckStats::default();
     let mut violations = Vec::new();
 
-    let mut sim = checker_sim(compiled, cfg.seed);
+    let mut sim = checker_sim(compiled, cfg.seed, cfg.fast_forward);
     // Reposition onto the golden trace at the chunk's first window.
     for _ in 0..start {
         sim.step_one();
@@ -309,15 +318,19 @@ fn settle_and_check(
     memo: &mut MemoTable,
     stats: &mut CheckStats,
 ) -> Outcome {
-    // Recovery phase: recharge, debounced wake, boot, restore.
+    // Recovery phase: recharge, debounced wake, boot, restore. Sleeping
+    // spans advance through the fast-forward-aware batch primitive; it
+    // takes at most `budget - settle` steps and stops the moment the
+    // device wakes, so the step accounting (and the Stuck verdict) is
+    // identical to stepping one tick at a time.
     let mut settle = 0u64;
     while !sim.is_on() {
         if settle >= budget {
             return Outcome::Stuck;
         }
-        sim.step_one();
-        stats.steps += 1;
-        settle += 1;
+        let n = sim.advance_sleep(budget - settle);
+        stats.steps += n;
+        settle += n;
     }
     if sim.metrics.completions >= 1 {
         return outcome_of(sim, compiled);
@@ -335,11 +348,20 @@ fn settle_and_check(
         if total >= budget {
             break Outcome::Stuck;
         }
-        sim.step_one();
-        stats.steps += 1;
-        total += 1;
-        if sim.metrics.completions >= 1 {
-            break outcome_of(sim, compiled);
+        if sim.is_on() {
+            sim.step_one();
+            stats.steps += 1;
+            total += 1;
+            if sim.metrics.completions >= 1 {
+                break outcome_of(sim, compiled);
+            }
+        } else {
+            // A nested fault put the device back to sleep: batch the
+            // recharge. Sleep ticks can never complete a run, so checking
+            // for completion only after ON steps is exact.
+            let n = sim.advance_sleep(budget - total);
+            stats.steps += n;
+            total += n;
         }
     };
     if cfg.memoize {

@@ -44,7 +44,7 @@
 //! assert!(report.is_clean());
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod campaign;
 pub mod explore;
@@ -185,11 +185,36 @@ mod tests {
             &CompileOptions::default(),
         )
         .unwrap();
-        let sim = explore::checker_sim(&compiled, 7);
+        let sim = explore::checker_sim(&compiled, 7, true);
         let blame = Blame::capture(&sim, &compiled);
         let dot = blame_dot(&compiled.program, &blame).expect("gecko blame names a block");
         assert!(dot.starts_with("digraph blame"));
         assert!(dot.contains("color=red"));
+    }
+
+    #[test]
+    fn fast_forward_does_not_change_the_report() {
+        // The simulator's hibernation fast-forward must be invisible to the
+        // checker: not just the verdict but the *entire* report — windows,
+        // forks, explored count, memo hits and even the exact number of
+        // simulation steps — must match the tick-exact reference.
+        let app = war_counter_app(5);
+        let windows = if quick() { 150 } else { 600 };
+        let cfg = ExploreConfig {
+            depth: 2,
+            refail_horizon: 8,
+            ..ExploreConfig::default()
+        }
+        .with_max_windows(windows);
+        let no_ff = ExploreConfig {
+            fast_forward: false,
+            ..cfg
+        };
+        let fast = check_app(&app, SchemeKind::Gecko, &CompileOptions::default(), &cfg).unwrap();
+        let exact = check_app(&app, SchemeKind::Gecko, &CompileOptions::default(), &no_ff).unwrap();
+        assert_eq!(fast.violations, exact.violations);
+        assert_eq!(fast.stats, exact.stats, "step-exact: same CheckStats");
+        assert_eq!(fast.golden_steps, exact.golden_steps);
     }
 
     #[test]

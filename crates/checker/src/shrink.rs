@@ -29,7 +29,7 @@ pub fn replay(
     golden: u64,
 ) -> (Outcome, Blame) {
     let budget = explore_budget(golden);
-    let mut sim = checker_sim(compiled, cfg.seed);
+    let mut sim = checker_sim(compiled, cfg.seed, cfg.fast_forward);
     let mut stats = CheckStats::default();
     let mut blame = Blame::capture(&sim, compiled);
     for inj in schedule {
@@ -44,10 +44,16 @@ pub fn replay(
         if total >= budget {
             return (Outcome::Stuck, blame);
         }
-        sim.step_one();
-        total += 1;
-        if sim.metrics.completions >= 1 {
-            return (outcome_of(&sim, compiled), blame);
+        if sim.is_on() {
+            sim.step_one();
+            total += 1;
+            if sim.metrics.completions >= 1 {
+                return (outcome_of(&sim, compiled), blame);
+            }
+        } else {
+            // Recharge hibernation: batch through the fast-forward-aware
+            // primitive (sleep ticks can never complete a run).
+            total += sim.advance_sleep(budget - total);
         }
     }
 }

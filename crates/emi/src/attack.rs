@@ -182,6 +182,27 @@ impl AttackSchedule {
         self.attacks.is_empty()
     }
 
+    /// If no attack is active at `t_s`, returns the time the next attack
+    /// window opens (`f64::INFINITY` when none ever will); returns `None`
+    /// when an attack is active right now.
+    ///
+    /// The simulator's hibernation fast-forward uses this to bound a span
+    /// of sleep ticks it may coalesce: within `[t_s, horizon)` the
+    /// disturbance amplitude is identically zero, so skipping the per-tick
+    /// monitor evaluation cannot change any reading.
+    pub fn quiet_horizon(&self, t_s: f64) -> Option<f64> {
+        if self.active_at(t_s).is_some() {
+            return None;
+        }
+        let mut horizon = f64::INFINITY;
+        for a in &self.attacks {
+            if a.start_s > t_s {
+                horizon = horizon.min(a.start_s);
+            }
+        }
+        Some(horizon)
+    }
+
     /// The scheduled attack windows.
     pub fn windows(&self) -> &[TimedAttack] {
         &self.attacks
@@ -225,6 +246,21 @@ mod tests {
         assert!(p2.path_gain(27e6) > remote.path_gain(27e6));
         assert!(p2.broadband_bonus() > 0.0);
         assert_eq!(Injection::Dpi(DpiPoint::P1).broadband_bonus(), 0.0);
+    }
+
+    #[test]
+    fn quiet_horizon_bounds_coalescing() {
+        let sig = EmiSignal::new(27e6, 35.0);
+        let inj = Injection::Remote { distance_m: 5.0 };
+        let sched = AttackSchedule::bursts(sig, inj, &[60.0, 300.0], 30.0);
+        assert_eq!(sched.quiet_horizon(0.0), Some(60.0));
+        assert_eq!(sched.quiet_horizon(65.0), None, "inside a window");
+        assert_eq!(sched.quiet_horizon(100.0), Some(300.0));
+        assert_eq!(sched.quiet_horizon(400.0), Some(f64::INFINITY));
+        assert_eq!(
+            AttackSchedule::none().quiet_horizon(1.0),
+            Some(f64::INFINITY)
+        );
     }
 
     #[test]

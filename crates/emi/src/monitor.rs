@@ -68,6 +68,7 @@ impl AdcMonitor {
 
     /// Quantizes a voltage to the converter's resolution (clamped to
     /// `0..=v_ref`).
+    #[inline]
     pub fn quantize(&self, v: f64) -> f64 {
         let levels = (1u64 << self.bits) as f64;
         let clamped = v.clamp(0.0, self.v_ref);
@@ -79,15 +80,51 @@ impl AdcMonitor {
     /// disturbance amplitude at the monitor input. Returns the voltage the
     /// digital side believes. Conversions happen at the sampling period;
     /// between conversions the previous reading is held.
+    #[inline]
     pub fn read(&mut self, v_true: f64, disturbance_amp_v: f64, t_s: f64) -> f64 {
+        self.read_with(|| v_true, disturbance_amp_v, t_s)
+    }
+
+    /// Like [`AdcMonitor::read`], but derives the true voltage lazily: on
+    /// polls where the sample-and-hold pipeline returns the held reading,
+    /// the (possibly expensive) voltage computation is skipped entirely.
+    /// Bit-identical to `read` — the hot caller is the simulator's
+    /// hibernation fast-forward, which polls every coalesced tick but only
+    /// converts at the sampling period.
+    #[inline]
+    pub fn read_with(
+        &mut self,
+        v_true: impl FnOnce() -> f64,
+        disturbance_amp_v: f64,
+        t_s: f64,
+    ) -> f64 {
         if self.primed && t_s - self.last_sample_t < self.sample_period_s {
             return self.last_reading;
         }
         self.primed = true;
         self.last_sample_t = t_s;
-        let v_seen = v_true + sampled_tone(disturbance_amp_v, t_s);
+        let v_seen = v_true() + sampled_tone(disturbance_amp_v, t_s);
         self.last_reading = self.quantize(v_seen);
         self.last_reading
+    }
+
+    /// A fresh conversion at time `t_s` that bypasses the sample-and-hold
+    /// pipeline: quantizes `v_true + disturbance` without touching the
+    /// converter's hold state. Useful for probes and analyses that want to
+    /// know what a conversion *would* return without perturbing the
+    /// pipeline the device logic observes.
+    pub fn sample(&self, v_true: f64, disturbance_amp_v: f64, t_s: f64) -> f64 {
+        self.quantize(v_true + sampled_tone(disturbance_amp_v, t_s))
+    }
+
+    /// The converter's step size in volts (one least-significant bit of
+    /// full scale). Quantization can round a reading *up* by at most half
+    /// of this, which is the margin the simulator's fast-forward keeps
+    /// below a threshold before handing back to exact stepping.
+    #[inline]
+    pub fn lsb_v(&self) -> f64 {
+        let levels = (1u64 << self.bits) as f64;
+        self.v_ref / (levels - 1.0)
     }
 
     /// Clears sampling state (used at reboot).
@@ -166,6 +203,18 @@ impl ComparatorMonitor {
         self.below
     }
 
+    /// Whether the comparator is currently latched below its threshold
+    /// (the state [`ComparatorMonitor::is_below`] last returned), without
+    /// evaluating a new sample.
+    ///
+    /// While latched and undisturbed, an evaluation at any voltage that
+    /// stays under `threshold + hysteresis` keeps the latch set and
+    /// mutates nothing — the precondition under which the simulator's
+    /// fast-forward may skip per-tick comparator evaluations.
+    pub fn is_latched_below(&self) -> bool {
+        self.below
+    }
+
     /// Clears comparator state (used at reboot).
     pub fn reset(&mut self) {
         self.below = false;
@@ -182,6 +231,7 @@ impl Default for ComparatorMonitor {
 /// The value of a unit-amplitude attack tone as seen by a sampler at time
 /// `t_s`. Single tones in the MHz range alias pseudo-randomly at kHz-scale
 /// sampling; evaluating the true sine at the sample instant captures that.
+#[inline]
 fn sampled_tone(amplitude_v: f64, t_s: f64) -> f64 {
     if amplitude_v == 0.0 {
         return 0.0;
@@ -308,6 +358,33 @@ mod tests {
         }
         assert!(lo < 1.8, "swings low: {lo}");
         assert!(hi > 3.2, "swings high: {hi}");
+    }
+
+    #[test]
+    fn stateless_sample_matches_a_fresh_conversion() {
+        let mut adc = AdcMonitor::default();
+        let pure = adc.sample(2.345, 0.7, 0.125);
+        let stateful = adc.read(2.345, 0.7, 0.125);
+        assert_eq!(pure, stateful, "same quantized value, bit for bit");
+        // And sampling again later leaves no trace.
+        let before = adc.clone();
+        let _ = adc.sample(1.0, 0.0, 9.0);
+        assert_eq!(adc, before, "sample() is pure");
+        let lsb = adc.lsb_v();
+        assert!((lsb - 3.3 / 4095.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn comparator_latch_is_observable() {
+        let mut c = ComparatorMonitor::default();
+        assert!(!c.is_latched_below());
+        assert!(c.is_below(1.0, 0.0, 2.2, 0.0));
+        assert!(c.is_latched_below());
+        // Undisturbed evaluations below threshold + hysteresis keep the
+        // latch set and change nothing.
+        let before = c.clone();
+        assert!(c.is_below(2.24, 0.0, 2.2, 1.0));
+        assert_eq!(c, before);
     }
 
     #[test]

@@ -4,14 +4,21 @@ use std::fmt;
 
 /// A capacitor used as the energy buffer of an intermittent system.
 ///
-/// State is the pair (capacitance, voltage); stored energy is `½·C·V²`.
+/// State is the pair (capacitance, stored energy); the voltage is derived
+/// on demand as `V = sqrt(2·E/C)`. Energy is the *primary* state variable
+/// because every simulation step charges and discharges in joules: keeping
+/// the bookkeeping in the energy domain makes a charge/discharge tick a
+/// handful of adds and multiplies with no square root, which is what lets
+/// the simulator's hibernation fast-forward replay millions of sleep ticks
+/// cheaply while staying bit-identical to stepping them one at a time.
+///
 /// Charging integrates harvested power (with a charging efficiency factor),
-/// discharging removes instruction energy. The voltage never exceeds the
-/// rated ceiling set at charge time and never goes below zero.
+/// discharging removes instruction energy. The stored energy never exceeds
+/// the rated ceiling set at charge time and never goes below zero.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Capacitor {
     capacitance_f: f64,
-    voltage_v: f64,
+    energy_j: f64,
     /// Fraction of harvested energy that actually reaches the capacitor
     /// (rectifier + regulator losses). 1.0 = lossless.
     efficiency: f64,
@@ -31,7 +38,7 @@ impl Capacitor {
         assert!(voltage_v >= 0.0, "voltage must be non-negative");
         Capacitor {
             capacitance_f,
-            voltage_v,
+            energy_j: 0.5 * capacitance_f * voltage_v * voltage_v,
             efficiency: 1.0,
             leak_s: 0.0,
         }
@@ -64,18 +71,22 @@ impl Capacitor {
     }
 
     /// Capacitance in farads.
+    #[inline]
     pub fn capacitance_f(&self) -> f64 {
         self.capacitance_f
     }
 
-    /// Present voltage in volts.
+    /// Present voltage in volts (`sqrt(2·E/C)`, derived from the stored
+    /// energy).
+    #[inline]
     pub fn voltage_v(&self) -> f64 {
-        self.voltage_v
+        (2.0 * self.energy_j / self.capacitance_f).sqrt()
     }
 
-    /// Stored energy in joules (`½·C·V²`).
+    /// Stored energy in joules.
+    #[inline]
     pub fn energy_j(&self) -> f64 {
-        0.5 * self.capacitance_f * self.voltage_v * self.voltage_v
+        self.energy_j
     }
 
     /// Energy stored above a floor voltage, i.e. the budget available before
@@ -93,35 +104,43 @@ impl Capacitor {
     /// Panics if `voltage_v < 0`.
     pub fn set_voltage(&mut self, voltage_v: f64) {
         assert!(voltage_v >= 0.0, "voltage must be non-negative");
-        self.voltage_v = voltage_v;
+        self.energy_j = 0.5 * self.capacitance_f * voltage_v * voltage_v;
     }
 
     /// Integrates `power_w` of harvested power for `dt_s` seconds, clamping
-    /// the voltage at `ceiling_v`. Also applies leakage. Returns the energy
-    /// actually banked (joules).
+    /// the stored energy at `½·C·ceiling_v²`. Also applies leakage. Returns
+    /// the energy actually banked (joules).
+    #[inline]
     pub fn charge(&mut self, power_w: f64, dt_s: f64, ceiling_v: f64) -> f64 {
         debug_assert!(dt_s >= 0.0);
-        let before = self.energy_j();
-        let leak_w = self.leak_s * self.voltage_v * self.voltage_v;
+        let before = self.energy_j;
+        // Leakage G·V² expressed in the energy domain: G·(2E/C). The
+        // leak-free branch is bit-exact (`0.0 * x == +0.0` for the finite
+        // non-negative `x` here) and keeps the division off the serial
+        // energy dependency chain, which is what bounds the simulator's
+        // hibernation fast-forward throughput.
+        let leak_w = if self.leak_s == 0.0 {
+            0.0
+        } else {
+            self.leak_s * (2.0 * before / self.capacitance_f)
+        };
         let delta = (power_w.max(0.0) * self.efficiency - leak_w) * dt_s;
         let ceiling_e = 0.5 * self.capacitance_f * ceiling_v * ceiling_v;
-        let e = (before + delta).clamp(0.0, ceiling_e.max(before));
-        self.voltage_v = (2.0 * e / self.capacitance_f).sqrt();
-        e - before
+        self.energy_j = (before + delta).clamp(0.0, ceiling_e.max(before));
+        self.energy_j - before
     }
 
     /// Removes `energy_j` joules (instruction execution, checkpointing…).
     /// Returns `true` if the full amount was available; on `false` the
     /// capacitor is left fully drained (brown-out).
+    #[inline]
     pub fn discharge_j(&mut self, energy_j: f64) -> bool {
         debug_assert!(energy_j >= 0.0);
-        let e = self.energy_j();
-        if energy_j <= e {
-            let rem = e - energy_j;
-            self.voltage_v = (2.0 * rem / self.capacitance_f).sqrt();
+        if energy_j <= self.energy_j {
+            self.energy_j -= energy_j;
             true
         } else {
-            self.voltage_v = 0.0;
+            self.energy_j = 0.0;
             false
         }
     }
@@ -130,7 +149,7 @@ impl Capacitor {
     /// constant harvested `power_w`, accounting for efficiency (ignoring
     /// leakage). Returns `f64::INFINITY` when `power_w <= 0`.
     pub fn time_to_charge_s(&self, target_v: f64, power_w: f64) -> f64 {
-        if target_v <= self.voltage_v {
+        if target_v <= self.voltage_v() {
             return 0.0;
         }
         let eff_w = power_w * self.efficiency;
@@ -148,8 +167,8 @@ impl fmt::Display for Capacitor {
             f,
             "{:.1} mF @ {:.3} V ({:.3} mJ)",
             self.capacitance_f * 1e3,
-            self.voltage_v,
-            self.energy_j() * 1e3
+            self.voltage_v(),
+            self.energy_j * 1e3
         )
     }
 }

@@ -11,6 +11,22 @@ pub trait PowerSource: fmt::Debug {
     /// Instantaneous harvested power in watts at simulation time `t_s`.
     fn power_w(&self, t_s: f64) -> f64;
 
+    /// If the source can guarantee that `power_w(t)` returns the *exact
+    /// same* value for every `t` in `[t_s, until)`, returns
+    /// `Some((power, until))`; otherwise `None`. `until` may be
+    /// `f64::INFINITY` for truly constant sources.
+    ///
+    /// This is the contract the simulator's hibernation fast-forward relies
+    /// on to hoist the (virtual) power query out of its per-tick loop while
+    /// staying bit-identical to per-tick sampling. Implementations must be
+    /// conservative: when in doubt (e.g. near a segment boundary that float
+    /// rounding could blur), report a shorter horizon or `None`. The
+    /// default is `None`, which simply disables coalescing for the source.
+    fn constant_until(&self, t_s: f64) -> Option<(f64, f64)> {
+        let _ = t_s;
+        None
+    }
+
     /// A short human-readable description for experiment logs.
     fn describe(&self) -> String {
         format!("{self:?}")
@@ -46,6 +62,10 @@ impl ConstantPower {
 impl PowerSource for ConstantPower {
     fn power_w(&self, _t_s: f64) -> f64 {
         self.power_w
+    }
+
+    fn constant_until(&self, _t_s: f64) -> Option<(f64, f64)> {
+        Some((self.power_w, f64::INFINITY))
     }
 }
 
@@ -100,6 +120,26 @@ impl PowerSource for PulsedRf {
             0.0
         }
     }
+
+    fn constant_until(&self, t_s: f64) -> Option<(f64, f64)> {
+        if self.duty >= 1.0 {
+            return Some((self.on_power_w, f64::INFINITY));
+        }
+        if t_s < 0.0 {
+            return None;
+        }
+        let cycles = t_s / self.period_s;
+        let k = cycles.floor();
+        // End of the segment `t_s` falls in, in the same units power_w
+        // evaluates. Callers keep a safety slack below the horizon, which
+        // absorbs the float rounding at the exact boundary.
+        let until = if cycles - k < self.duty {
+            (k + self.duty) * self.period_s
+        } else {
+            (k + 1.0) * self.period_s
+        };
+        Some((self.power_w(t_s), until))
+    }
 }
 
 /// A Powercast-like dedicated RF power source (TX91501-3W at 915 MHz, as in
@@ -151,6 +191,10 @@ impl PowerSource for PowercastRf {
     fn power_w(&self, _t_s: f64) -> f64 {
         self.received_power_w()
     }
+
+    fn constant_until(&self, _t_s: f64) -> Option<(f64, f64)> {
+        Some((self.received_power_w(), f64::INFINITY))
+    }
 }
 
 /// A piecewise-constant recorded power trace, stepped at a fixed interval
@@ -193,6 +237,14 @@ impl PowerSource for TracePower {
     fn power_w(&self, t_s: f64) -> f64 {
         let idx = (t_s / self.step_s) as usize % self.samples_w.len();
         self.samples_w[idx]
+    }
+
+    fn constant_until(&self, t_s: f64) -> Option<(f64, f64)> {
+        if t_s < 0.0 {
+            return None;
+        }
+        let step = (t_s / self.step_s).floor();
+        Some((self.power_w(t_s), (step + 1.0) * self.step_s))
     }
 }
 
@@ -237,6 +289,32 @@ mod tests {
         assert_eq!(t.power_w(1.2), 3.0);
         assert_eq!(t.power_w(1.6), 1.0, "wraps around");
         assert!((t.duration_s() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_until_agrees_with_power_w() {
+        let c = ConstantPower::new(5e-3);
+        assert_eq!(c.constant_until(3.0), Some((5e-3, f64::INFINITY)));
+
+        let p = PulsedRf::new(1.0, 0.25, 1e-3);
+        let (pw, until) = p.constant_until(0.1).unwrap();
+        assert_eq!(pw, p.power_w(0.1));
+        assert!(until > 0.1 && until <= 0.25 + 1e-12, "{until}");
+        let (pw, until) = p.constant_until(0.6).unwrap();
+        assert_eq!(pw, 0.0);
+        assert!((until - 1.0).abs() < 1e-12);
+
+        let rf = PowercastRf::tx91501_at(1.0);
+        assert_eq!(
+            rf.constant_until(9.0),
+            Some((rf.received_power_w(), f64::INFINITY))
+        );
+
+        let t = TracePower::new(vec![1.0, 2.0], 0.5);
+        let (pw, until) = t.constant_until(0.6).unwrap();
+        assert_eq!(pw, 2.0);
+        assert!((until - 1.0).abs() < 1e-12);
+        assert_eq!(t.constant_until(-1.0), None, "negative time: no claim");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! executes the items on `workers` std threads pulling from a shared
 //! atomic cursor (a lock-free work queue over the fixed item list), with
 //! every `(app, scheme, options)` compilation going through the shared
-//! [`ProgramCache`](crate::cache::ProgramCache).
+//! [`ProgramCache`].
 //!
 //! **Determinism.** Each item's simulation depends only on its `SimConfig`
 //! — never on scheduling — and results are merged back **in item order**

@@ -38,7 +38,7 @@
 //! println!("{}", gecko_fleet::fleet_summary(&report));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cache;
 pub mod campaign;

@@ -34,10 +34,12 @@
 pub mod machine;
 pub mod nvm;
 pub mod periph;
+pub mod predecode;
 
 pub use machine::{Machine, Pc, RegFile, RunSummary, StepEvent, StepOutcome};
 pub use nvm::Nvm;
 pub use periph::Peripherals;
+pub use predecode::{POp, PredecodedProgram};
 
 use gecko_isa::Program;
 

@@ -6,6 +6,7 @@ use gecko_isa::{
 
 use crate::nvm::Nvm;
 use crate::periph::Peripherals;
+use crate::predecode::{POp, PredecodedProgram};
 
 /// The sixteen volatile general-purpose registers.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -250,6 +251,130 @@ impl Machine {
         }
     }
 
+    /// Executes one predecoded step: exactly [`Machine::step`], but
+    /// dispatching on the flat [`POp`] array of a [`PredecodedProgram`]
+    /// built from the same program and cost/energy models, so the per-step
+    /// block chase, operand resolution and cost lookups are all one indexed
+    /// load. Outcomes are bit-identical to `step` — the simulator's
+    /// differential suite holds both paths to that.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after `halt` (callers must check
+    /// [`Machine::is_halted`]), or if the PC points outside the program.
+    pub fn step_predecoded(
+        &mut self,
+        pre: &PredecodedProgram,
+        nvm: &mut Nvm,
+        periph: &mut Peripherals,
+    ) -> StepOutcome {
+        assert!(!self.halted, "stepping a halted machine");
+        let entry = pre.entry(self.pc.block, self.pc.index);
+        let event = match entry.op {
+            POp::MovImm { dst, imm } => {
+                self.pc.index += 1;
+                self.regs.set(dst, imm);
+                None
+            }
+            POp::MovReg { dst, src } => {
+                self.pc.index += 1;
+                let v = self.regs.get(src);
+                self.regs.set(dst, v);
+                None
+            }
+            POp::BinImm { op, dst, lhs, imm } => {
+                self.pc.index += 1;
+                let l = self.regs.get(lhs);
+                self.regs.set(dst, op.eval(l, imm));
+                None
+            }
+            POp::BinReg { op, dst, lhs, rhs } => {
+                self.pc.index += 1;
+                let l = self.regs.get(lhs);
+                let r = self.regs.get(rhs);
+                self.regs.set(dst, op.eval(l, r));
+                None
+            }
+            POp::Load { dst, base, off } => {
+                self.pc.index += 1;
+                let addr = (self.regs.get(base).wrapping_add(off)) as u32;
+                let v = nvm.load(addr);
+                self.regs.set(dst, v);
+                None
+            }
+            POp::Store { src, base, off } => {
+                self.pc.index += 1;
+                let addr = (self.regs.get(base).wrapping_add(off)) as u32;
+                nvm.store(addr, self.regs.get(src));
+                None
+            }
+            POp::Io { op, reg } => {
+                self.pc.index += 1;
+                match op {
+                    IoOp::Sense => {
+                        let v = periph.sense();
+                        self.regs.set(reg, v);
+                    }
+                    IoOp::Send => periph.send(self.regs.get(reg)),
+                    IoOp::Blink => periph.blink(),
+                }
+                Some(StepEvent::Io(op))
+            }
+            POp::Boundary { region } => {
+                self.pc.index += 1;
+                Some(StepEvent::Boundary(region))
+            }
+            POp::Checkpoint { reg, slot } => {
+                self.pc.index += 1;
+                Some(StepEvent::Checkpoint {
+                    reg,
+                    value: self.regs.get(reg),
+                    slot,
+                })
+            }
+            POp::Nop => {
+                self.pc.index += 1;
+                None
+            }
+            POp::Jump { target } => {
+                self.pc = Pc::at(target);
+                None
+            }
+            POp::BranchImm {
+                cond,
+                lhs,
+                imm,
+                taken,
+                fall,
+            } => {
+                let l = self.regs.get(lhs);
+                self.pc = Pc::at(if cond.eval(l, imm) { taken } else { fall });
+                None
+            }
+            POp::BranchReg {
+                cond,
+                lhs,
+                rhs,
+                taken,
+                fall,
+            } => {
+                let l = self.regs.get(lhs);
+                let r = self.regs.get(rhs);
+                self.pc = Pc::at(if cond.eval(l, r) { taken } else { fall });
+                None
+            }
+            POp::Halt => {
+                self.halted = true;
+                Some(StepEvent::Halted)
+            }
+        };
+        StepOutcome {
+            cycles: entry.cycles,
+            energy_nj: entry.energy_nj,
+            event,
+        }
+    }
+
     fn exec(&mut self, inst: Inst, nvm: &mut Nvm, periph: &mut Peripherals) -> Option<StepEvent> {
         match inst {
             Inst::Mov { dst, src } => {
@@ -448,6 +573,61 @@ mod tests {
         assert_eq!(m.regs().get(Reg::R1), 0, "registers lost");
         assert_eq!(m.pc(), Pc::at(p.entry()), "pc reset");
         assert_eq!(nvm.read(d), 55, "NVM survives");
+    }
+
+    #[test]
+    fn predecoded_step_is_bit_identical_to_interpretation() {
+        // A program exercising every operand shape: ALU on regs and imms,
+        // loads/stores, IO, pseudo-instructions, a loop, and halt.
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 8, true);
+        let (sum, i, addr) = (Reg::R1, Reg::R2, Reg::R3);
+        b.mov(sum, 0);
+        b.mov(i, 0);
+        b.mov(addr, d as i32);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.set_loop_bound(6);
+        b.branch(Cond::Lt, i, 6, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, sum, sum, i);
+        b.bin(BinOp::Add, i, i, 1);
+        b.store(sum, addr, 0);
+        b.load(Reg::R4, addr, 0);
+        b.jump(head);
+        b.bind(exit);
+        b.sense(Reg::R5);
+        b.send(Reg::R5);
+        b.push(Inst::Boundary {
+            region: RegionId::new(1),
+        });
+        b.push(Inst::Checkpoint { reg: sum, slot: 0 });
+        b.halt();
+        let p = b.finish().unwrap();
+
+        let cost = CostModel::default();
+        let energy = EnergyModel::default();
+        let pre = PredecodedProgram::build(&p, &cost, &energy);
+
+        let mut nvm_a = Nvm::new(64);
+        let mut nvm_b = Nvm::new(64);
+        let mut pa = Peripherals::new(3);
+        let mut pb = Peripherals::new(3);
+        let mut a = Machine::new(p.entry());
+        let mut b2 = Machine::new(p.entry());
+        while !a.is_halted() {
+            let oa = a.step(&p, &cost, &energy, &mut nvm_a, &mut pa);
+            let ob = b2.step_predecoded(&pre, &mut nvm_b, &mut pb);
+            assert_eq!(oa.cycles, ob.cycles);
+            assert_eq!(oa.energy_nj.to_bits(), ob.energy_nj.to_bits());
+            assert_eq!(oa.event, ob.event);
+            assert_eq!(a, b2, "machines stay in lock-step");
+        }
+        assert!(b2.is_halted());
+        assert_eq!(nvm_a.words(), nvm_b.words());
+        assert_eq!(pa.sent(), pb.sent());
     }
 
     #[test]

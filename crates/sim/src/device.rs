@@ -36,7 +36,7 @@ use gecko_emi::{
 };
 use gecko_energy::{Capacitor, ConstantPower, PowerSource, VoltageThresholds};
 use gecko_isa::{CostModel, EnergyModel, Program, Reg, RegionId};
-use gecko_mcu::{Machine, Nvm, Pc, Peripherals, StepEvent};
+use gecko_mcu::{Machine, Nvm, Pc, Peripherals, PredecodedProgram, StepEvent};
 
 use crate::areas::{GeckoArea, GeckoMode, RatchetArea};
 use crate::metrics::Metrics;
@@ -173,6 +173,49 @@ enum PowerState {
     Sleeping,
 }
 
+/// How the simulator executes ON-state instructions.
+///
+/// Both modes are *observationally identical* — same registers, memory,
+/// events, metrics, timing and energy, bit for bit — and the differential
+/// test suite holds them to it. [`ExecMode::Predecoded`] is the default and
+/// is strictly faster; [`ExecMode::Interpreted`] re-interprets the
+/// `gecko_isa` structures every step and exists as the independently-simple
+/// reference the fast path is checked against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecMode {
+    /// Dispatch on the dense predecoded array built at compile time
+    /// ([`gecko_mcu::PredecodedProgram`]).
+    #[default]
+    Predecoded,
+    /// Re-interpret `gecko_isa` instructions step by step (the reference
+    /// path).
+    Interpreted,
+}
+
+/// Cumulative instrumentation of the simulator's stepping machinery: how
+/// many simulation steps ran, and how many of them the hibernation
+/// fast-forward coalesced into its cheap inner loop.
+///
+/// These counters are *diagnostics*, not simulation state: they are
+/// excluded from [`Simulator::snapshot`], [`Simulator::state_hash`] and
+/// [`crate::Metrics`], and keep accumulating across
+/// [`Simulator::restore`] rewinds. They are deterministic for a given
+/// configuration and run, which is what lets the `fast_path` bench assert
+/// its coalescing ratio without wall-clock flakiness.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FastPathStats {
+    /// Total simulation steps (instructions + sleep ticks), however
+    /// executed.
+    pub steps: u64,
+    /// Steps that went through the full [`Simulator::step_one`] dispatch
+    /// (one instruction or one exact sleep tick).
+    pub dispatches: u64,
+    /// Sleep ticks coalesced by the hibernation fast-forward.
+    pub ff_ticks: u64,
+    /// Fast-forwarded spans (maximal runs of coalesced ticks).
+    pub ff_spans: u64,
+}
+
 /// A full capture of a [`Simulator`]'s mutable state: volatile machine
 /// state, NVM, peripherals, capacitor, monitor latches and accumulated
 /// metrics. Everything else a simulator holds (program, tables, cost and
@@ -223,6 +266,11 @@ pub struct CompiledApp {
     pub recovery: RecoveryTable,
     /// Static compiler statistics.
     pub stats: gecko_compiler::CompileStats,
+    /// The program predecoded for fast dispatch (see
+    /// [`gecko_mcu::PredecodedProgram`]). Built once here, under the
+    /// simulator's default cost/energy models, so every simulator forked
+    /// from this artifact shares the predecoding work.
+    pub pre: PredecodedProgram,
 }
 
 impl CompiledApp {
@@ -258,6 +306,8 @@ impl CompiledApp {
                 (out.program, out.regions, out.recovery, out.stats)
             }
         };
+        let pre =
+            PredecodedProgram::build(&program, &CostModel::default(), &EnergyModel::default());
         Ok(CompiledApp {
             app: app.clone(),
             scheme,
@@ -265,6 +315,7 @@ impl CompiledApp {
             regions,
             recovery,
             stats,
+            pre,
         })
     }
 }
@@ -273,6 +324,7 @@ impl CompiledApp {
 #[derive(Debug)]
 pub struct Simulator {
     program: Program,
+    pre: PredecodedProgram,
     regions: RegionTable,
     recovery: RecoveryTable,
     scheme: SchemeKind,
@@ -298,6 +350,10 @@ pub struct Simulator {
 
     cost: CostModel,
     energy: EnergyModel,
+
+    exec_mode: ExecMode,
+    fast_forward: bool,
+    fast: FastPathStats,
 
     app: App,
     state: PowerState,
@@ -350,6 +406,7 @@ impl Simulator {
             compiled.recovery.clone(),
             compiled.stats,
         );
+        let pre = compiled.pre.clone();
 
         let mut nvm = Nvm::new(NVM_WORDS);
         for (base, words) in &app.image {
@@ -380,9 +437,13 @@ impl Simulator {
             ratchet: RatchetArea::new(NVM_WORDS - 256),
             cost: CostModel::default(),
             energy: EnergyModel::default(),
+            exec_mode: ExecMode::Predecoded,
+            fast_forward: true,
+            fast: FastPathStats::default(),
             app: app.clone(),
             scheme: config.scheme,
             program,
+            pre,
             regions,
             recovery,
             state: PowerState::On,
@@ -412,6 +473,38 @@ impl Simulator {
     /// The instrumented program the device runs.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// Selects the ON-state execution mode. The default is
+    /// [`ExecMode::Predecoded`]; both modes are bit-identical, and
+    /// [`ExecMode::Interpreted`] exists as the differential-testing
+    /// reference.
+    pub fn set_exec_mode(&mut self, mode: ExecMode) {
+        self.exec_mode = mode;
+    }
+
+    /// The current ON-state execution mode.
+    pub fn exec_mode(&self) -> ExecMode {
+        self.exec_mode
+    }
+
+    /// Enables or disables the hibernation fast-forward (enabled by
+    /// default). Fast-forwarding is observationally identical to stepping
+    /// every sleep tick — disabling it forces the per-tick reference path
+    /// the differential tests compare against.
+    pub fn set_fast_forward(&mut self, enabled: bool) {
+        self.fast_forward = enabled;
+    }
+
+    /// Whether the hibernation fast-forward is enabled.
+    pub fn fast_forward(&self) -> bool {
+        self.fast_forward
+    }
+
+    /// Cumulative fast-path instrumentation (diagnostics only; not part of
+    /// the simulation state).
+    pub fn fast_path_stats(&self) -> FastPathStats {
+        self.fast
     }
 
     /// Present simulated time (s).
@@ -445,10 +538,16 @@ impl Simulator {
     /// stepping primitive every run loop (and the crash-consistency
     /// checker) shares, so pacing paths cannot drift.
     pub fn step_one(&mut self) {
+        self.fast.steps += 1;
+        self.fast.dispatches += 1;
         match self.state {
             PowerState::On => self.on_instruction(),
             PowerState::Sleeping => self.sleep_tick(),
         }
+        // Keep the reported simulated time exact at *every* step, so a
+        // snapshot taken mid-run (or mid-hibernation) carries the same
+        // `sim_time_s` a run-loop exit would have written.
+        self.metrics.sim_time_s = self.t_s;
     }
 
     /// Fault injection: an instantaneous total power failure right now —
@@ -478,9 +577,14 @@ impl Simulator {
 
     /// Runs until `n` application completions have accumulated or
     /// `max_seconds` of device time elapse, whichever comes first.
+    /// Hibernation spans are fast-forwarded when provably equivalent (see
+    /// [`Simulator::set_fast_forward`]).
     pub fn run_until_completions(&mut self, n: u64, max_seconds: f64) -> Metrics {
         let t_end = self.t_s + max_seconds;
         while self.t_s < t_end && self.metrics.completions < n {
+            if self.state == PowerState::Sleeping && self.try_fast_forward(u64::MAX, t_end) > 0 {
+                continue;
+            }
             self.step_one();
         }
         self.metrics.sim_time_s = self.t_s;
@@ -488,14 +592,60 @@ impl Simulator {
     }
 
     /// Runs the simulation for `seconds` of device time; returns the
-    /// metrics accumulated so far (cumulative across calls).
+    /// metrics accumulated so far (cumulative across calls). Hibernation
+    /// spans are fast-forwarded when provably equivalent (see
+    /// [`Simulator::set_fast_forward`]).
     pub fn run_for(&mut self, seconds: f64) -> Metrics {
         let t_end = self.t_s + seconds;
         while self.t_s < t_end {
+            if self.state == PowerState::Sleeping && self.try_fast_forward(u64::MAX, t_end) > 0 {
+                continue;
+            }
             self.step_one();
         }
         self.metrics.sim_time_s = self.t_s;
         self.metrics
+    }
+
+    /// Advances the device by exactly `max_steps` simulation steps,
+    /// observably identical to calling [`Simulator::step_one`] that many
+    /// times, but coalescing hibernation spans through the fast-forward
+    /// when provably equivalent. Returns the number of steps taken (always
+    /// `max_steps`).
+    pub fn advance(&mut self, max_steps: u64) -> u64 {
+        let mut done = 0u64;
+        while done < max_steps {
+            if self.state == PowerState::Sleeping {
+                let n = self.try_fast_forward(max_steps - done, f64::INFINITY);
+                if n > 0 {
+                    done += n;
+                    continue;
+                }
+            }
+            self.step_one();
+            done += 1;
+        }
+        done
+    }
+
+    /// Advances the device by up to `max_steps` steps *while it stays
+    /// hibernating*, stopping early the moment it wakes (without executing
+    /// any ON-state instruction). Observably identical to
+    /// `while !sim.is_on() && done < max_steps { sim.step_one(); done += 1 }`.
+    /// This is the settle primitive the crash-consistency checker's
+    /// budgeted wake loops use. Returns the number of steps taken.
+    pub fn advance_sleep(&mut self, max_steps: u64) -> u64 {
+        let mut done = 0u64;
+        while done < max_steps && self.state == PowerState::Sleeping {
+            let n = self.try_fast_forward(max_steps - done, f64::INFINITY);
+            if n > 0 {
+                done += n;
+                continue;
+            }
+            self.step_one();
+            done += 1;
+        }
+        done
     }
 
     // ----- snapshot / fork ----------------------------------------------
@@ -725,6 +875,11 @@ impl Simulator {
         let amp = self.disturbance_amp();
         match self.monitor_kind {
             MonitorKind::Adc => {
+                // The sample-and-hold pipeline is load-bearing here: a
+                // disturbed conversion *held* across polls is what lets an
+                // attacker accumulate consecutive spoofed wake samples, so
+                // the wake poll must go through the stateful `read` (the
+                // fast-forward replays the identical call per skipped tick).
                 let r = self.adc_read(amp);
                 r >= self.thresholds.v_on
             }
@@ -774,6 +929,166 @@ impl Simulator {
                 self.boot();
             }
         }
+    }
+
+    /// Coalesces up to `max_steps` hibernation ticks, stopping before
+    /// `t_end`, and returns how many ticks it committed (0 when the fast
+    /// path cannot prove equivalence right now). Callers fall back to the
+    /// exact per-tick `sleep_tick` on a 0 return.
+    ///
+    /// ## Equivalence argument
+    ///
+    /// A committed (non-waking) `sleep_tick` has exactly this net effect:
+    /// the capacitor integrates one tick of harvest/leak/sleep draw, time
+    /// advances by one tick, and `suppressed_s`/`wake_stable` are both
+    /// reset to zero — *independent of their values at entry* — because a
+    /// tick that ends below `V_on` sees `really_charged == false` and a
+    /// negative wake sample. So skipping a tick is sound precisely when we
+    /// can prove the tick could not have woken or changed monitor state:
+    ///
+    /// * **Constant power** — [`PowerSource::constant_until`] guarantees
+    ///   the harvester returns the exact same `power_w` for every tick
+    ///   start in the span, so the replayed `charge` calls are
+    ///   bit-identical to the per-tick ones.
+    /// * **Sub-`V_on` span** — each candidate tick is trialled on a clone
+    ///   of the capacitor; the span stops *before* any tick that would end
+    ///   at or above `V_on − margin`, where `margin` covers the ADC's
+    ///   worst-case round-up (`lsb + ε`; the comparator's hysteresis band
+    ///   is far wider). Below that voltage a *fresh* monitor conversion
+    ///   cannot read `≥ V_on`, the POR cannot fire, and the RTC-fallback
+    ///   clock stays at zero.
+    /// * **Monitor state replayed or untouched** — the unfiltered ADC's
+    ///   sample-and-hold pipeline is stateful (and a reading held from
+    ///   *before* the span can still sit at or above `V_on`), so the fast
+    ///   path issues the identical `read` per skipped tick and replicates
+    ///   the wake debounce on its result. The comparator is only skipped
+    ///   while already latched below with no disturbance, which keeps its
+    ///   latch untouched without evaluating it. A *filtered* ADC shifts
+    ///   its whole median window per poll, so the fast path refuses to
+    ///   engage and the exact ticks run.
+    /// * **No attack** — when the monitor is consulted for wake, a
+    ///   disturbance could spoof a reading *upward* across `V_on`, so the
+    ///   span must end before the next attack window
+    ///   ([`AttackSchedule::quiet_horizon`]). GECKO rollback-mode wake
+    ///   ignores the monitor entirely and needs no quiet guard.
+    ///
+    /// Two ticks of slack are kept against both horizons: power is sampled
+    /// at tick *start* and the monitor at tick *end*, and the slack absorbs
+    /// any floating-point blur in the horizon boundaries.
+    fn try_fast_forward(&mut self, max_steps: u64, t_end: f64) -> u64 {
+        if !self.fast_forward || self.state != PowerState::Sleeping {
+            return 0;
+        }
+        let monitor_wake = self.uses_monitor_for_wake();
+        let adc_wake = if monitor_wake {
+            match self.monitor_kind {
+                MonitorKind::Adc => {
+                    if self.adc_filter.is_some() {
+                        return 0;
+                    }
+                    true
+                }
+                MonitorKind::Comparator => {
+                    if !self.comp_wake.is_latched_below() {
+                        return 0;
+                    }
+                    false
+                }
+            }
+        } else {
+            false
+        };
+        let (power, power_until) = match self.harvester.constant_until(self.t_s) {
+            Some(x) => x,
+            None => return 0,
+        };
+        let quiet_until = if monitor_wake {
+            match self.attack.quiet_horizon(self.t_s) {
+                Some(q) => q,
+                None => return 0,
+            }
+        } else {
+            f64::INFINITY
+        };
+
+        let dt = SLEEP_TICK_S;
+        let draw_j = self.energy.sleep_nw * 1e-9 * dt;
+        let margin_v = self.adc.lsb_v() + 1e-9;
+        let v_stop = self.thresholds.v_on - margin_v;
+        if v_stop <= 0.0 {
+            return 0;
+        }
+        let e_stop = 0.5 * self.cap.capacitance_f() * v_stop * v_stop;
+        let slack = 2.0 * dt;
+
+        // The span runs entirely on locals so the hot loop keeps its state
+        // in registers instead of reloading `self` fields around the ADC
+        // call; everything commits back in one shot when the span ends.
+        // The locals replay the *same* operations in the *same* order a
+        // per-tick walk would, so the committed trajectory is bit-identical.
+        let mut cap = self.cap.clone();
+        let mut t = self.t_s;
+        let mut adc = self.adc.clone();
+        let mut wake_stable = self.wake_stable;
+        let mut woke = false;
+        let mut done = 0u64;
+        // Hoisted loop bound. Folding the slack into the horizons ahead of
+        // time can shift each guard by at most one ulp relative to the
+        // per-tick form — noise against the two-tick slack, and the guard
+        // only needs to be conservative: a span that ends a tick early just
+        // hands back to the exact fallback sooner.
+        let t_stop = t_end.min(power_until - slack).min(quiet_until - dt - slack);
+        while done < max_steps && t < t_stop {
+            // Trial the tick on a copy; commit by assignment only if it
+            // provably stays asleep.
+            let mut trial = cap.clone();
+            trial.charge(power, dt, self.thresholds.v_max);
+            trial.discharge_j(draw_j);
+            if trial.energy_j() >= e_stop {
+                break;
+            }
+            cap = trial;
+            t += dt;
+            done += 1;
+            if adc_wake {
+                // Replay the exact wake poll: the conversion pipeline holds
+                // readings between sample instants, and a held reading from
+                // before the span can still be >= V_on, so the debounce
+                // must run on the real pipeline output.
+                let r = adc.read_with(|| cap.voltage_v(), 0.0, t);
+                if r >= self.thresholds.v_on {
+                    wake_stable += 1;
+                    if wake_stable >= WAKE_STABLE_SAMPLES {
+                        wake_stable = 0;
+                        woke = true;
+                        break;
+                    }
+                } else {
+                    wake_stable = 0;
+                }
+            } else {
+                // POR wake sees `really_charged == false`; the latched
+                // comparator stays below without being evaluated.
+                wake_stable = 0;
+            }
+        }
+        if done > 0 {
+            self.cap = cap;
+            self.t_s = t;
+            self.adc = adc;
+            self.wake_stable = wake_stable;
+            // `really_charged` was false on every committed tick, so the
+            // RTC-fallback clock reset each time.
+            self.suppressed_s = 0.0;
+            self.fast.ff_spans += 1;
+            self.fast.ff_ticks += done;
+            self.fast.steps += done;
+            self.metrics.sim_time_s = self.t_s;
+            if woke {
+                self.boot();
+            }
+        }
+        done
     }
 
     fn uses_monitor_for_wake(&self) -> bool {
@@ -957,13 +1272,19 @@ impl Simulator {
     // ----- ON-state execution -------------------------------------------
 
     fn on_instruction(&mut self) {
-        let out = self.machine.step(
-            &self.program,
-            &self.cost,
-            &self.energy,
-            &mut self.nvm,
-            &mut self.periph,
-        );
+        let out = match self.exec_mode {
+            ExecMode::Predecoded => {
+                self.machine
+                    .step_predecoded(&self.pre, &mut self.nvm, &mut self.periph)
+            }
+            ExecMode::Interpreted => self.machine.step(
+                &self.program,
+                &self.cost,
+                &self.energy,
+                &mut self.nvm,
+                &mut self.periph,
+            ),
+        };
         let is_overhead = matches!(
             out.event,
             Some(StepEvent::Boundary(_)) | Some(StepEvent::Checkpoint { .. })

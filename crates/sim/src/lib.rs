@@ -31,6 +31,8 @@
 //! assert_eq!(m.checksum_errors, 0);
 //! ```
 
+#![deny(missing_docs)]
+
 pub mod areas;
 pub mod device;
 pub mod experiments;
@@ -39,7 +41,7 @@ pub mod report;
 pub mod scheme;
 pub mod trace;
 
-pub use device::{CompiledApp, SimConfig, SimSnapshot, Simulator};
+pub use device::{CompiledApp, ExecMode, FastPathStats, SimConfig, SimSnapshot, Simulator};
 pub use metrics::Metrics;
 pub use report::{Record, Value};
 pub use scheme::SchemeKind;

@@ -1,7 +1,7 @@
 //! Structured experiment records without external serialization crates.
 //!
 //! Every experiment row type implements [`Record`]: an ordered list of
-//! `(field, Value)` pairs. The [`impl_record!`] macro derives the
+//! `(field, Value)` pairs. The [`impl_record!`](crate::impl_record) macro derives the
 //! implementation from a field list (the replacement for the per-row serde
 //! derives this workspace used to carry). `gecko-fleet`'s telemetry sinks
 //! and `gecko-bench`'s persistence render records as JSON with the

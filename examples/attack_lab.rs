@@ -2,6 +2,9 @@
 //! band and render each board's vulnerability curve as an ASCII chart —
 //! the Figure 5 experiment at your fingertips.
 //!
+//! Output: one `freq |bar| rate%` line per sweep point — the resonance
+//! notch shows as the bar collapsing — plus a closing hint.
+//!
 //! ```sh
 //! cargo run --release --example attack_lab                 # MSP430FR5994
 //! cargo run --release --example attack_lab -- STM32        # substring match

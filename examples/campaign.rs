@@ -3,6 +3,9 @@
 //! pool, demonstrating that parallelism changes wall-clock but not one bit
 //! of the results.
 //!
+//! Output: the fleet summary table (per-item metrics rolled up), the two
+//! wall-clock times, and two deterministic digests that must be equal.
+//!
 //! ```sh
 //! cargo run --release --example campaign
 //! GECKO_WORKERS=8 cargo run --release --example campaign

@@ -3,6 +3,10 @@
 //! looks like — a deliberately miscompiled program whose violation is
 //! shrunk to a minimal injection schedule and blamed in compiler terms.
 //!
+//! Output: the clean grid's per-pair verdict summary and report digest,
+//! then the caught violation — its shrunk two-injection schedule, the
+//! compiler-level blame line, and a graphviz fragment of the blamed block.
+//!
 //! ```sh
 //! cargo run --release --example check
 //! GECKO_WORKERS=8 cargo run --release --example check

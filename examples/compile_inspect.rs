@@ -3,6 +3,9 @@
 //! way to see what region formation, WCET splitting, pruning and coloring
 //! actually did to a program.
 //!
+//! Output: pass statistics, the disassembly after instrumentation, and
+//! the region table (boundaries, checkpoint slots, recovery actions).
+//!
 //! ```sh
 //! cargo run --release --example compile_inspect -- crc16
 //! cargo run --release --example compile_inspect -- qsort ratchet

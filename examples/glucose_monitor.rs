@@ -8,6 +8,9 @@
 //! EMI attack mid-run. The attack denies service on NVP; GECKO detects it
 //! and keeps monitoring.
 //!
+//! Output: per-scheme run reports (sensing rounds, alarms, checkpoint and
+//! reboot counters) for the attacked window — NVP stalls, GECKO completes.
+//!
 //! ```sh
 //! cargo run --release --example glucose_monitor
 //! ```

@@ -2,6 +2,9 @@
 //! did, then watch the device survive an EMI attack that floors the
 //! commodity JIT-checkpointing baseline.
 //!
+//! Output: the compiler's pass statistics for `crc32`, then metrics for a
+//! clean bench-supply run and for the same run under attack, NVP vs GECKO.
+//!
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```

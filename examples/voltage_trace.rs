@@ -3,6 +3,10 @@
 //! checkpoint storms, GECKO's detection, and the switch to rollback mode
 //! (marked `R` in the state column; `J` = JIT mode, `z` = hibernating).
 //!
+//! Output: an ASCII strip chart (one row per 50 ms sample: time, voltage
+//! bar, state letter) followed by duty cycle, voltage range and completion
+//! totals.
+//!
 //! ```sh
 //! cargo run --release --example voltage_trace
 //! ```

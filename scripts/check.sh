@@ -21,6 +21,9 @@ fi
 echo "==> cargo build --release (offline)"
 cargo build --offline --workspace --release
 
+echo "==> cargo doc (offline, no deps; missing_docs is deny on sim/fleet/checker)"
+RUSTDOCFLAGS="-D warnings" cargo doc --offline --workspace --no-deps --quiet
+
 echo "==> cargo test (offline, quick sweeps)"
 GECKO_QUICK=1 cargo test --offline --workspace -q
 
