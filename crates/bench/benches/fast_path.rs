@@ -17,13 +17,17 @@
 //!    campaign (the fast path is on by default for every worker).
 //! 4. **Checker** — `gecko-check` windows/s with the hibernation
 //!    fast-forward on vs off; the two reports must match exactly.
+//! 5. **Campaign resume** — the same fleet campaign with a resume journal
+//!    attached, vs plain, vs replayed from a complete journal. The clean
+//!    path must absorb supervision + journaling for < 2% overhead, and a
+//!    full-journal resume must re-execute nothing.
 
 use gecko_bench::{print_table, save_rows, time_best_of, workers_from_env};
 use gecko_check::{check_app, ExploreConfig};
 use gecko_compiler::CompileOptions;
 use gecko_emi::{AttackSchedule, EmiSignal, Injection};
 use gecko_energy::ConstantPower;
-use gecko_fleet::{Campaign, CampaignSpec, Workload};
+use gecko_fleet::{Campaign, CampaignSpec, Journal, Workload};
 use gecko_sim::device::CompiledApp;
 use gecko_sim::{impl_record, ExecMode, SchemeKind, SimConfig, Simulator};
 
@@ -223,6 +227,99 @@ fn bench_campaign(rows: &mut Vec<BenchRow>, quick: bool) {
     });
 }
 
+fn bench_campaign_resume(rows: &mut Vec<BenchRow>, quick: bool) {
+    use std::sync::Arc;
+    let seconds = if quick { 0.05 } else { 0.2 };
+    let iters = if quick { 2 } else { 5 };
+    let spec = || {
+        CampaignSpec::new("bench_resume")
+            .apps(["blink", "crc16"])
+            .schemes([SchemeKind::Nvp, SchemeKind::Gecko])
+            .seeds([1, 2, 3])
+            .workload(Workload::RunFor { seconds })
+    };
+    let items = spec().expand().len() as u64;
+    let workers = workers_from_env();
+
+    // Clean path: supervision is always on; the journal is the only delta.
+    let plain = Campaign::new(spec()).workers(workers);
+    let plain_wall = time_best_of(iters, || plain.run().expect("campaign runs"));
+    let journaled_wall = time_best_of(iters, || {
+        Campaign::new(spec())
+            .workers(workers)
+            .journal(Arc::new(Journal::memory()))
+            .run()
+            .expect("journaled campaign runs")
+    });
+
+    // Replay path: resuming from a complete journal re-executes nothing,
+    // so it must merge bit-exactly and come back far faster.
+    let journal = Arc::new(Journal::memory());
+    let reference = Campaign::new(spec())
+        .workers(workers)
+        .journal(Arc::clone(&journal))
+        .run()
+        .expect("reference campaign runs");
+    let resume_wall = time_best_of(iters, || {
+        let resumed = Campaign::new(spec())
+            .workers(workers)
+            .resume(Arc::clone(&journal))
+            .run()
+            .expect("resume runs");
+        assert_eq!(resumed.counters.resumed, items, "resume must skip all runs");
+        assert_eq!(
+            resumed.deterministic_digest(),
+            reference.deterministic_digest(),
+            "resume must merge bit-exactly"
+        );
+        resumed
+    });
+
+    let overhead = journaled_wall.as_secs_f64() / plain_wall.as_secs_f64();
+    print_table(
+        &format!("campaign resume, {items} items x {seconds}s (best of {iters})"),
+        &["path", "wall", "vs plain"],
+        &[
+            vec![
+                "plain".to_string(),
+                format!("{:.1}ms", plain_wall.as_secs_f64() * 1e3),
+                "1.00x".to_string(),
+            ],
+            vec![
+                "journaled".to_string(),
+                format!("{:.1}ms", journaled_wall.as_secs_f64() * 1e3),
+                format!("{overhead:.3}x"),
+            ],
+            vec![
+                "resumed".to_string(),
+                format!("{:.1}ms", resume_wall.as_secs_f64() * 1e3),
+                format!(
+                    "{:.3}x",
+                    resume_wall.as_secs_f64() / plain_wall.as_secs_f64()
+                ),
+            ],
+        ],
+    );
+    rows.push(BenchRow {
+        section: "campaign_resume".to_string(),
+        scheme: "nvp+gecko".to_string(),
+        app: "blink+crc16".to_string(),
+        steps: items,
+        ff_ticks: 0,
+        ratio: overhead,
+        wall_ms: journaled_wall.as_secs_f64() * 1e3,
+        rate_per_s: items as f64 / journaled_wall.as_secs_f64(),
+    });
+    assert!(
+        overhead < 1.02,
+        "clean-path supervision + journaling overhead must stay < 2% (got {overhead:.3}x)"
+    );
+    assert!(
+        resume_wall < plain_wall,
+        "a full-journal resume must be faster than re-running the campaign"
+    );
+}
+
 fn bench_checker(rows: &mut Vec<BenchRow>, quick: bool) {
     let app = gecko_apps::app_by_name("crc16").unwrap();
     let cap = if quick { 120 } else { 400 };
@@ -274,6 +371,7 @@ fn main() {
     bench_fast_forward(&mut rows, quick);
     bench_dispatch(&mut rows, quick);
     bench_campaign(&mut rows, quick);
+    bench_campaign_resume(&mut rows, quick);
     bench_checker(&mut rows, quick);
     save_rows("BENCH_sim", &rows);
 }

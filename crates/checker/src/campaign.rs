@@ -10,21 +10,37 @@
 //!   not depend on which worker explored a neighboring chunk.
 //! * Per-chunk results are merged **in item order** after the pool joins;
 //!   shrinking runs after the merge, on the first violation per pair.
+//!
+//! The pool itself is `gecko_fleet`'s supervised pool: a chunk that
+//! panics is quarantined into a structured [`RunFailure`] instead of
+//! killing the campaign, budgets and bounded retry apply per chunk, and a
+//! [`Journal`] of completed chunks lets a killed campaign resume
+//! bit-exactly. Checker journal lines use their own vocabulary
+//! (`chunk_done`) on top of the fleet's line format; a journaled
+//! violation stores only its schedule and outcome — the
+//! [`Blame`](crate::verdict::Blame) context is rebuilt on resume by
+//! [`crate::shrink::replay`], which is deterministic.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
 use gecko_apps::App;
 use gecko_compiler::{CompileError, CompileOptions};
-use gecko_fleet::{Event, FleetCounters, NullSink, ProgramCache, TelemetrySink};
+use gecko_fleet::journal::{decode_header, encode_header, field, parse_flat_json};
+use gecko_fleet::telemetry::json_kv;
+use gecko_fleet::{
+    quarantine, run_supervised, AttemptFail, ChaosSink, ChaosSpec, Event, FleetCounters, Journal,
+    NullSink, PoolConfig, ProgramCache, RunFailure, SupervisorSpec, TelemetrySink,
+};
 use gecko_sim::device::CompiledApp;
 use gecko_sim::{SchemeKind, Value};
 
 use crate::explore::{check_windows, golden_steps, ExploreConfig, GoldenError};
-use crate::shrink::shrink_schedule;
-use crate::verdict::{CheckStats, PairReport, Violation};
+use crate::shrink::{replay, shrink_schedule};
+use crate::verdict::{CheckStats, InjectionKind, PairReport, PlannedInjection, Violation};
+use crate::Outcome;
 
 /// What to check: the (apps × schemes) grid plus exploration policy.
 #[derive(Debug, Clone)]
@@ -102,6 +118,34 @@ impl CheckSpec {
         self.chunk_windows = windows.max(1);
         self
     }
+
+    /// FNV-1a fingerprint of everything a resumed journal must agree on:
+    /// the grid (via the chunk run keys), the exploration policy, the
+    /// compile options, and the shrink policy.
+    fn fingerprint(&self, run_keys: &[u64]) -> u64 {
+        let e = &self.explore;
+        let mut h = FNV_OFFSET;
+        h = fnv_str(h, &self.name);
+        h = fnv_u64(h, run_keys.len() as u64);
+        for &key in run_keys {
+            h = fnv_u64(h, key);
+        }
+        h = fnv_u64(h, e.depth as u64);
+        h = fnv_u64(h, e.power_failure_windows as u64);
+        h = fnv_u64(h, e.emi_windows as u64);
+        h = fnv_u64(h, e.refail_horizon);
+        h = fnv_u64(h, e.memoize as u64);
+        h = fnv_u64(h, e.max_windows.unwrap_or(u64::MAX));
+        h = fnv_u64(h, e.seed);
+        h = fnv_u64(h, e.fast_forward as u64);
+        h = fnv_u64(h, self.compile.wcet_budget_cycles.unwrap_or(u64::MAX));
+        h = fnv_u64(h, self.compile.prune as u64);
+        h = fnv_u64(h, self.compile.max_slice_insts as u64);
+        h = fnv_u64(h, self.chunk_windows);
+        h = fnv_u64(h, self.shrink as u64);
+        h = fnv_u64(h, self.shrink_budget);
+        h
+    }
 }
 
 /// Why a check could not run.
@@ -130,6 +174,8 @@ pub enum CheckError {
         /// What went wrong.
         error: GoldenError,
     },
+    /// The resume journal belongs to a different spec.
+    Journal(String),
 }
 
 impl fmt::Display for CheckError {
@@ -143,6 +189,7 @@ impl fmt::Display for CheckError {
             CheckError::Golden { app, scheme, error } => {
                 write!(f, "golden run of {app}/{}: {error}", scheme.name())
             }
+            CheckError::Journal(msg) => write!(f, "resume journal rejected: {msg}"),
         }
     }
 }
@@ -210,6 +257,199 @@ pub fn check_app(
     check_compiled(&compiled, explore)
 }
 
+// ---------------------------------------------------------------------------
+// Chunk identity + journal codec
+// ---------------------------------------------------------------------------
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv_u64(mut h: u64, v: u64) -> u64 {
+    for byte in v.to_le_bytes() {
+        h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+fn fnv_str(mut h: u64, s: &str) -> u64 {
+    h = fnv_u64(h, s.len() as u64);
+    for byte in s.bytes() {
+        h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+/// Stable identity of one chunk: content-addressed by (app, scheme,
+/// window range), so it survives spec reordering-neutral edits and keys
+/// the chaos/backoff/journal streams.
+fn chunk_run_key(app: &str, scheme: SchemeKind, start: u64, end: u64) -> u64 {
+    let mut h = FNV_OFFSET;
+    h = fnv_str(h, app);
+    h = fnv_str(h, scheme.name());
+    h = fnv_u64(h, start);
+    h = fnv_u64(h, end);
+    h
+}
+
+/// Journal line kind for one completed checker chunk (the checker's
+/// `run_done` analogue; the header line is shared with `gecko_fleet`).
+const CHUNK_DONE: &str = "chunk_done";
+
+/// A violation as journaled: schedule + outcome only. `Blame` is derived
+/// state and is rebuilt by a deterministic [`replay`] on resume.
+struct JournaledViolation {
+    window: u64,
+    schedule: Vec<PlannedInjection>,
+    outcome: Outcome,
+}
+
+struct JournaledChunk {
+    item: usize,
+    stats: CheckStats,
+    violations: Vec<JournaledViolation>,
+}
+
+/// `"12p,3c"` — offset plus a one-letter injection kind per element.
+fn encode_schedule(schedule: &[PlannedInjection]) -> String {
+    let parts: Vec<String> = schedule
+        .iter()
+        .map(|inj| {
+            let k = match inj.kind {
+                InjectionKind::PowerFailure => 'p',
+                InjectionKind::SpoofedCheckpoint => 'c',
+                InjectionKind::SpoofedWakeup => 'w',
+            };
+            format!("{}{}", inj.after_steps, k)
+        })
+        .collect();
+    parts.join(",")
+}
+
+fn decode_schedule(text: &str) -> Option<Vec<PlannedInjection>> {
+    if text.is_empty() {
+        return Some(Vec::new());
+    }
+    text.split(',')
+        .map(|part| {
+            let (num, kind) = part.split_at(part.len().checked_sub(1)?);
+            let kind = match kind {
+                "p" => InjectionKind::PowerFailure,
+                "c" => InjectionKind::SpoofedCheckpoint,
+                "w" => InjectionKind::SpoofedWakeup,
+                _ => return None,
+            };
+            Some(PlannedInjection {
+                after_steps: num.parse().ok()?,
+                kind,
+            })
+        })
+        .collect()
+}
+
+fn encode_outcome(outcome: Outcome) -> String {
+    match outcome {
+        Outcome::Clean => "clean".to_string(),
+        // `Word` is i32; store the bit pattern so parsing stays unsigned.
+        Outcome::Corrupt { got } => format!("corrupt.{}", got as u32),
+        Outcome::Stuck => "stuck".to_string(),
+    }
+}
+
+fn decode_outcome(text: &str) -> Option<Outcome> {
+    match text {
+        "clean" => Some(Outcome::Clean),
+        "stuck" => Some(Outcome::Stuck),
+        _ => {
+            let bits: u32 = text.strip_prefix("corrupt.")?.parse().ok()?;
+            Some(Outcome::Corrupt { got: bits as i32 })
+        }
+    }
+}
+
+/// One completed chunk as a single journal line (single-line records are
+/// torn-write safe by construction: a half-written line fails to parse
+/// and the chunk is simply re-run).
+fn encode_chunk(run_key: u64, item: usize, stats: &CheckStats, violations: &[Violation]) -> String {
+    let viols: Vec<String> = violations
+        .iter()
+        .map(|v| {
+            format!(
+                "{}|{}|{}",
+                v.window,
+                encode_schedule(&v.schedule),
+                encode_outcome(v.outcome)
+            )
+        })
+        .collect();
+    json_kv(&[
+        ("kind", Value::Str(CHUNK_DONE.to_string())),
+        ("run_key", Value::U64(run_key)),
+        ("item", Value::U64(item as u64)),
+        ("windows", Value::U64(stats.windows)),
+        ("forks", Value::U64(stats.forks)),
+        ("explored", Value::U64(stats.explored)),
+        ("memo_hits", Value::U64(stats.memo_hits)),
+        ("steps", Value::U64(stats.steps)),
+        ("violations", Value::U64(stats.violations)),
+        ("viols", Value::Str(viols.join(";"))),
+    ])
+}
+
+/// Replays a checker journal: header (if any) plus completed chunks keyed
+/// by run key. Malformed lines are skipped; later duplicates win.
+fn decode_chunks(lines: &[String]) -> (Option<(String, u64)>, HashMap<u64, JournaledChunk>) {
+    let mut header = None;
+    let mut chunks = HashMap::new();
+    for line in lines {
+        if let Some(h) = decode_header(line) {
+            header.get_or_insert(h);
+            continue;
+        }
+        let Some(fields) = parse_flat_json(line) else {
+            continue;
+        };
+        let decoded = (|| {
+            if field(&fields, "kind")?.as_str()? != CHUNK_DONE {
+                return None;
+            }
+            let u = |name: &str| field(&fields, name)?.as_u64();
+            let run_key = u("run_key")?;
+            let stats = CheckStats {
+                windows: u("windows")?,
+                forks: u("forks")?,
+                explored: u("explored")?,
+                memo_hits: u("memo_hits")?,
+                steps: u("steps")?,
+                violations: u("violations")?,
+            };
+            let viols_text = field(&fields, "viols")?.as_str()?;
+            let mut violations = Vec::new();
+            if !viols_text.is_empty() {
+                for part in viols_text.split(';') {
+                    let mut cols = part.splitn(3, '|');
+                    violations.push(JournaledViolation {
+                        window: cols.next()?.parse().ok()?,
+                        schedule: decode_schedule(cols.next()?)?,
+                        outcome: decode_outcome(cols.next()?)?,
+                    });
+                }
+            }
+            Some((
+                run_key,
+                JournaledChunk {
+                    item: u("item")? as usize,
+                    stats,
+                    violations,
+                },
+            ))
+        })();
+        if let Some((run_key, chunk)) = decoded {
+            chunks.insert(run_key, chunk);
+        }
+    }
+    (header, chunks)
+}
+
 /// One claimable unit of checker work: a window chunk of one pair.
 #[derive(Debug, Clone, Copy)]
 struct WorkItem {
@@ -218,11 +458,15 @@ struct WorkItem {
     end: u64,
 }
 
-/// A runnable checker campaign: spec + workers + telemetry sink.
+/// A runnable checker campaign: spec + workers + telemetry sink +
+/// supervision policy.
 pub struct CheckCampaign {
     spec: CheckSpec,
     workers: usize,
     sink: Arc<dyn TelemetrySink>,
+    sup: SupervisorSpec,
+    journal: Option<Arc<Journal>>,
+    halt_after: Option<u64>,
 }
 
 impl CheckCampaign {
@@ -232,6 +476,9 @@ impl CheckCampaign {
             spec,
             workers: 1,
             sink: Arc::new(NullSink),
+            sup: SupervisorSpec::default(),
+            journal: None,
+            halt_after: None,
         }
     }
 
@@ -248,18 +495,67 @@ impl CheckCampaign {
         self
     }
 
+    /// Replaces the supervision policy (builder style). Note that the
+    /// checker enforces the *step* budget post hoc — an exploration is
+    /// not sliceable the way a metrics run is — so `max_steps` flags
+    /// runaway chunks after the fact rather than interrupting them; by
+    /// default chunks have no step cap (exploration work is structurally
+    /// bounded per fork by the explore budget).
+    pub fn supervisor(mut self, sup: SupervisorSpec) -> CheckCampaign {
+        self.sup = sup;
+        self
+    }
+
+    /// Sets the chaos-injection policy (builder style), keeping the rest
+    /// of the supervision policy.
+    pub fn chaos(mut self, chaos: ChaosSpec) -> CheckCampaign {
+        self.sup.chaos = chaos;
+        self
+    }
+
+    /// Attaches a journal (builder style): completed chunks are appended
+    /// as they finish, and chunks already present are skipped on [`run`]
+    /// (their violations' blame context is rebuilt by deterministic
+    /// replay).
+    ///
+    /// [`run`]: CheckCampaign::run
+    pub fn journal(mut self, journal: Arc<Journal>) -> CheckCampaign {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Alias for [`CheckCampaign::journal`], reading as intent.
+    pub fn resume(self, journal: Arc<Journal>) -> CheckCampaign {
+        self.journal(journal)
+    }
+
+    /// Stops claiming new chunks once `n` have been accounted this
+    /// session (builder style) — the deterministic kill switch the
+    /// resume tests use.
+    pub fn halt_after(mut self, n: u64) -> CheckCampaign {
+        self.halt_after = Some(n);
+        self
+    }
+
     /// The spec this campaign will run.
     pub fn spec(&self) -> &CheckSpec {
         &self.spec
     }
 
     /// Executes the campaign: compile and measure golden traces (in pair
-    /// order), fan window chunks out across the pool, merge in item
-    /// order, then shrink each failing pair's first violation.
+    /// order), fan window chunks out across the supervised pool, merge in
+    /// item order, then shrink each failing pair's first violation.
+    ///
+    /// A chunk that panics (or blows its budget, or keeps failing
+    /// transiently) is quarantined into [`CheckReport::failures`]; every
+    /// other chunk's result — including violations found by sibling
+    /// chunks, which still shrink — is unaffected.
     ///
     /// # Errors
     ///
-    /// The first (in pair order) compile or golden-run error.
+    /// The first (in pair order) compile or golden-run error, or
+    /// [`CheckError::Journal`] when a resume journal's fingerprint does
+    /// not match this spec.
     pub fn run(&self) -> Result<CheckReport, CheckError> {
         let spec = &self.spec;
         if spec.apps.is_empty() || spec.schemes.is_empty() {
@@ -323,7 +619,77 @@ impl CheckCampaign {
         }
 
         let workers = self.workers.min(items.len()).max(1);
-        let sink = &self.sink;
+        let chaos = self.sup.chaos;
+        let sink: Arc<dyn TelemetrySink> = if chaos.sink_fail_per_mille > 0 {
+            Arc::new(ChaosSink::new(
+                Arc::clone(&self.sink),
+                chaos.seed,
+                chaos.sink_fail_per_mille,
+            ))
+        } else {
+            Arc::clone(&self.sink)
+        };
+
+        let run_keys: Vec<u64> = items
+            .iter()
+            .map(|item| {
+                let p = &pairs[item.pair];
+                chunk_run_key(p.compiled.app.name, p.compiled.scheme, item.start, item.end)
+            })
+            .collect();
+        let fingerprint = spec.fingerprint(&run_keys);
+
+        // Restore completed chunks from the journal (and stamp the header
+        // on a fresh one). A journaled violation carries no blame — that
+        // is rebuilt here by replaying its schedule, and the chunk is
+        // rejected (re-run) if the replay disagrees with the journal.
+        let mut skip = vec![false; items.len()];
+        let mut restored: Vec<Option<(CheckStats, Vec<Violation>)>> = Vec::new();
+        restored.resize_with(items.len(), || None);
+        if let Some(journal) = &self.journal {
+            let (header, chunks) = decode_chunks(&journal.lines());
+            match header {
+                Some((name, fp)) if fp != fingerprint => {
+                    return Err(CheckError::Journal(format!(
+                        "journal belongs to check {name:?} (fingerprint {fp:#018x}), \
+                         not this spec (fingerprint {fingerprint:#018x})"
+                    )));
+                }
+                Some(_) => {}
+                None => journal.append(&encode_header(&spec.name, fingerprint)),
+            }
+            for (i, key) in run_keys.iter().enumerate() {
+                let Some(chunk) = chunks.get(key) else {
+                    continue;
+                };
+                if chunk.item != i {
+                    continue;
+                }
+                let p = &pairs[items[i].pair];
+                let mut violations = Vec::with_capacity(chunk.violations.len());
+                let mut consistent = true;
+                for jv in &chunk.violations {
+                    let (outcome, blame) =
+                        replay(&p.compiled, &spec.explore, &jv.schedule, p.golden);
+                    if outcome != jv.outcome {
+                        consistent = false;
+                        break;
+                    }
+                    violations.push(Violation {
+                        window: jv.window,
+                        schedule: jv.schedule.clone(),
+                        outcome,
+                        blame,
+                    });
+                }
+                if consistent {
+                    skip[i] = true;
+                    restored[i] = Some((chunk.stats, violations));
+                }
+            }
+        }
+        let resumed = skip.iter().filter(|&&s| s).count() as u64;
+
         sink.emit(Event::new(
             "check_started",
             vec![
@@ -331,59 +697,57 @@ impl CheckCampaign {
                 ("pairs", Value::U64(pairs.len() as u64)),
                 ("items", Value::U64(items.len() as u64)),
                 ("workers", Value::U64(workers as u64)),
+                ("resumed", Value::U64(resumed)),
             ],
         ));
 
-        let cursor = AtomicUsize::new(0);
-        let mut slots: Vec<Option<(CheckStats, Vec<Violation>)>> = Vec::new();
-        slots.resize_with(items.len(), || None);
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let cursor = &cursor;
-                let items = &items;
-                let pairs = &pairs;
-                handles.push(scope.spawn(move || {
-                    let mut local = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let item = items[i];
-                        let p = &pairs[item.pair];
-                        let result = check_windows(
-                            &p.compiled,
-                            &spec.explore,
-                            item.start,
-                            item.end,
-                            p.golden,
-                        );
-                        sink.emit(Event::new(
-                            "check_item_finished",
-                            vec![
-                                ("item", Value::U64(i as u64)),
-                                ("app", Value::Str(p.compiled.app.name.to_string())),
-                                ("scheme", Value::Str(p.compiled.scheme.name().to_string())),
-                                ("windows", Value::U64(result.0.windows)),
-                                ("violations", Value::U64(result.0.violations)),
-                            ],
-                        ));
-                        local.push((i, result));
-                    }
-                    local
-                }));
+        // The step budget is enforced post hoc (see
+        // [`CheckCampaign::supervisor`]); unset means uncapped, not the
+        // fleet's workload-derived default.
+        let mut budget = self.sup.resolve_budget(0.0);
+        budget.max_steps = self.sup.max_steps.unwrap_or(u64::MAX);
+        let pool_cfg = PoolConfig {
+            workers,
+            run_keys: &run_keys,
+            skip: &skip,
+            sup: &self.sup,
+            budget,
+            halt_after: self.halt_after.map(|n| n + resumed),
+            sink: &sink,
+        };
+        let journal = self.journal.as_deref();
+        let pool = run_supervised(&pool_cfg, |i, attempt, budget, attempt_started| {
+            let item = items[i];
+            let p = &pairs[item.pair];
+            let (stats, violations) =
+                check_windows(&p.compiled, &spec.explore, item.start, item.end, p.golden);
+            if stats.steps > budget.max_steps {
+                return Err(AttemptFail::TimedOut {
+                    steps: stats.steps,
+                    wall_ms: attempt_started.elapsed().as_secs_f64() * 1e3,
+                    partial: None,
+                });
             }
-            for handle in handles {
-                for (i, result) in handle.join().expect("checker worker panicked") {
-                    slots[i] = Some(result);
-                }
+            if let Some(journal) = journal {
+                journal.append(&encode_chunk(run_keys[i], i, &stats, &violations));
             }
+            sink.emit(Event::new(
+                "check_item_finished",
+                vec![
+                    ("item", Value::U64(i as u64)),
+                    ("attempt", Value::U64(attempt as u64)),
+                    ("app", Value::Str(p.compiled.app.name.to_string())),
+                    ("scheme", Value::Str(p.compiled.scheme.name().to_string())),
+                    ("windows", Value::U64(stats.windows)),
+                    ("violations", Value::U64(stats.violations)),
+                ],
+            ));
+            Ok((stats, violations))
         });
 
         // Deterministic merge, in item order (chunks of a pair are in
         // window order, so each pair's violations come out sorted).
+        // Quarantined chunks land in `failures` instead of their pair.
         let mut results: Vec<PairReport> = pairs
             .iter()
             .map(|p| PairReport {
@@ -396,25 +760,63 @@ impl CheckCampaign {
                 counterexample: None,
             })
             .collect();
-        for (item, slot) in items.iter().zip(slots) {
-            let (stats, violations) = slot.expect("every item was claimed");
-            results[item.pair].stats.absorb(&stats);
-            results[item.pair].violations.extend(violations);
+        let mut failures = Vec::new();
+        for (i, (item, slot)) in items.iter().zip(pool.outcomes).enumerate() {
+            if skip[i] {
+                let (stats, violations) = restored[i].take().expect("restored above");
+                results[item.pair].stats.absorb(&stats);
+                results[item.pair].violations.extend(violations);
+                continue;
+            }
+            match slot {
+                None => debug_assert!(pool.halted, "item {i} unclaimed without a halt"),
+                Some(gecko_fleet::ItemOutcome::Done((stats, violations))) => {
+                    results[item.pair].stats.absorb(&stats);
+                    results[item.pair].violations.extend(violations);
+                }
+                Some(gecko_fleet::ItemOutcome::Failed(f)) => failures.push(f),
+            }
         }
 
-        // Shrink (sequential, pair order — itself deterministic).
+        // Shrink (sequential, pair order — itself deterministic, and
+        // quarantined so a shrinker bug cannot take down the campaign or
+        // the sibling pairs' counterexamples).
         if spec.shrink {
             for (pair, report) in results.iter_mut().enumerate() {
-                if let Some(first) = report.violations.first() {
-                    report.counterexample = Some(shrink_schedule(
+                let Some(first) = report.violations.first() else {
+                    continue;
+                };
+                let schedule = first.schedule.clone();
+                let shrunk = quarantine(|| {
+                    shrink_schedule(
                         &pairs[pair].compiled,
                         &spec.explore,
-                        &first.schedule,
+                        &schedule,
                         pairs[pair].golden,
                         spec.shrink_budget,
-                    ));
+                    )
+                });
+                match shrunk {
+                    Ok(counterexample) => report.counterexample = Some(counterexample),
+                    Err(payload) => failures.push(RunFailure::Panicked {
+                        run_key: chunk_run_key(&report.app, report.scheme, u64::MAX, u64::MAX),
+                        item: pair,
+                        payload: format!("shrink panicked: {payload}"),
+                    }),
                 }
             }
+        }
+
+        let dropped_records =
+            sink.dropped_records() + self.journal.as_ref().map_or(0, |j| j.dropped());
+        if dropped_records > 0 {
+            sink.emit(Event::new(
+                "sink_dropped",
+                vec![("dropped", Value::U64(dropped_records))],
+            ));
+            failures.push(RunFailure::SinkDropped {
+                dropped: dropped_records,
+            });
         }
 
         let mut totals = CheckStats::default();
@@ -429,6 +831,13 @@ impl CheckCampaign {
             states_explored: totals.explored,
             memo_hits: totals.memo_hits,
             violations: totals.violations,
+            failures: failures
+                .iter()
+                .filter(|f| !matches!(f, RunFailure::SinkDropped { .. }))
+                .count() as u64,
+            retries: pool.retries,
+            resumed,
+            dropped_records,
         };
         let wall_s = started.elapsed().as_secs_f64();
 
@@ -441,6 +850,9 @@ impl CheckCampaign {
                 ("states_explored", Value::U64(counters.states_explored)),
                 ("memo_hits", Value::U64(counters.memo_hits)),
                 ("violations", Value::U64(counters.violations)),
+                ("failures", Value::U64(counters.failures)),
+                ("resumed", Value::U64(resumed)),
+                ("halted", Value::Bool(pool.halted)),
                 ("wall_s", Value::F64(wall_s)),
             ],
         ));
@@ -452,6 +864,8 @@ impl CheckCampaign {
             results,
             totals,
             counters,
+            failures,
+            halted: pool.halted,
             wall_s,
         })
     }
@@ -468,21 +882,29 @@ pub struct CheckReport {
     pub results: Vec<PairReport>,
     /// All pair stats folded together.
     pub totals: CheckStats,
-    /// Fleet-level counters (compile cache + exploration).
+    /// Fleet-level counters (compile cache + exploration + supervision).
     pub counters: FleetCounters,
+    /// Quarantined chunk/shrink failures, in item order (the trailing
+    /// `SinkDropped` entry, if any, summarizes telemetry degradation).
+    pub failures: Vec<RunFailure>,
+    /// Whether the pool stopped early because `halt_after` was reached.
+    pub halted: bool,
     /// Campaign wall time (s).
     pub wall_s: f64,
 }
 
 impl CheckReport {
-    /// Whether every pair passed exhaustively.
+    /// Whether every pair passed exhaustively. A report with quarantined
+    /// failures is never clean: the failed chunks' windows were not
+    /// checked, so no exhaustiveness claim holds.
     pub fn is_clean(&self) -> bool {
-        self.results.iter().all(PairReport::is_clean)
+        self.results.iter().all(PairReport::is_clean) && self.failures.is_empty()
     }
 
     /// An FNV-1a digest over everything deterministic in the report
-    /// (stats, violations, schedules, outcomes, counterexamples). Equal
-    /// digests across worker counts certify bit-identical results.
+    /// (stats, violations, schedules, outcomes, counterexamples, failure
+    /// identities). Equal digests across worker counts certify
+    /// bit-identical results.
     pub fn deterministic_digest(&self) -> u64 {
         const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
         const FNV_PRIME: u64 = 0x1000_0000_01b3;
@@ -532,6 +954,9 @@ impl CheckReport {
                 }
             }
         }
+        for f in &self.failures {
+            f.digest_into(&mut eat);
+        }
         h
     }
 }
@@ -572,5 +997,20 @@ pub fn check_summary(report: &CheckReport) -> String {
         100.0 * report.totals.memo_hit_rate(),
         report.totals.violations,
     ));
+    let c = &report.counters;
+    if !report.failures.is_empty() || c.resumed > 0 || report.halted {
+        out.push_str(&format!(
+            "supervision: {} failure(s), {} retried attempt(s), {} resumed, \
+             {} dropped record(s){}\n",
+            c.failures,
+            c.retries,
+            c.resumed,
+            c.dropped_records,
+            if report.halted { " [halted]" } else { "" },
+        ));
+        for f in &report.failures {
+            out.push_str(&format!("  {} {}\n", f.kind().name(), f.describe()));
+        }
+    }
     out
 }

@@ -11,6 +11,8 @@ use gecko_compiler::{CompileError, CompileOptions};
 use gecko_sim::device::CompiledApp;
 use gecko_sim::SchemeKind;
 
+use crate::supervisor::lock_unpoisoned;
+
 /// What a compilation depends on. `CompileOptions` is expanded into its
 /// fields so the key stays `Eq + Hash` without imposing those bounds
 /// upstream.
@@ -78,8 +80,13 @@ impl ProgramCache {
         options: &CompileOptions,
     ) -> Result<(Arc<CompiledApp>, bool), CompileError> {
         let key = CacheKey::new(app.name, scheme, options);
+        // Poison-recovering lock: a quarantined panic while some worker
+        // held the map lock must not wedge every later compilation. The
+        // map itself is only mutated by `entry().or_default()`, which
+        // cannot leave it half-updated, and `OnceLock::get_or_init` rolls
+        // back cleanly if an initializer panics, so recovery is sound.
         let slot = {
-            let mut slots = self.slots.lock().expect("cache lock");
+            let mut slots = lock_unpoisoned(&self.slots);
             slots.entry(key).or_default().clone()
         };
         let mut compiled_here = false;
@@ -107,7 +114,7 @@ impl ProgramCache {
 
     /// Number of distinct cells in the cache.
     pub fn len(&self) -> usize {
-        self.slots.lock().expect("cache lock").len()
+        lock_unpoisoned(&self.slots).len()
     }
 
     /// Whether the cache is empty.
@@ -158,6 +165,25 @@ mod tests {
         assert_eq!(cache.len(), 2);
         assert_ne!(pruned.stats.checkpoints_after, 0);
         assert!(unpruned.stats.checkpoints_after >= pruned.stats.checkpoints_after);
+    }
+
+    #[test]
+    fn recovers_from_a_poisoned_map_lock() {
+        let cache = ProgramCache::new();
+        let app = gecko_apps::app_by_name("crc16").unwrap();
+        let opts = CompileOptions::default();
+        let poisoner = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = cache.slots.lock().unwrap();
+            panic!("simulated quarantined panic while holding the cache lock");
+        }));
+        assert!(poisoner.is_err());
+        assert!(cache.slots.lock().is_err(), "the lock really is poisoned");
+        let (_, hit) = cache
+            .get_or_compile(&app, SchemeKind::Gecko, &opts)
+            .unwrap();
+        assert!(!hit, "compilation proceeds past the poison");
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
     }
 
     #[test]

@@ -14,8 +14,14 @@
 //! after the pool joins. A campaign therefore produces bit-identical
 //! [`CampaignReport::deterministic_digest`] values for any worker count;
 //! only wall-clock fields differ.
+//!
+//! **Supervision.** Every run executes under the supervision layer
+//! ([`crate::supervisor`]): panics are quarantined into structured
+//! [`RunFailure`]s, step/wall budgets flag pathological cells instead of
+//! hanging on them, transient faults retry with deterministic backoff,
+//! and an optional [`Journal`] checkpoints completed runs so a killed
+//! campaign resumes bit-exactly ([`Campaign::resume`]).
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::Instant;
 
@@ -27,7 +33,17 @@ use gecko_sim::report::Value;
 use gecko_sim::{Metrics, SchemeKind, SimConfig, Simulator};
 
 use crate::cache::ProgramCache;
+use crate::journal::{self, Journal};
+use crate::supervisor::{
+    run_supervised, AttemptFail, ChaosSink, ChaosSpec, ItemOutcome, PoolConfig, RunBudget,
+    RunFailure, SupervisorSpec,
+};
 use crate::telemetry::{Event, FleetCounters, Histogram, NullSink, TelemetrySink};
+
+/// Steps per cooperative budget check: small enough that step budgets and
+/// wall deadlines fire promptly, large enough to stay invisible next to
+/// the fast path's dispatch loop.
+const BUDGET_SLICE_STEPS: u64 = 1 << 16;
 
 /// The power environment every item runs in.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -285,6 +301,108 @@ impl CampaignSpec {
         cfg.seed = self.seeds[item.seed_idx];
         cfg
     }
+
+    /// Stable identity of one run: an FNV-1a hash of the cell's app name,
+    /// scheme name, device index, attack label, and peripheral seed. Run
+    /// keys identify completed runs in a resume [`Journal`] and seed the
+    /// per-run chaos/backoff streams, so they must not depend on
+    /// scheduling — and they don't: they are pure functions of the spec.
+    pub fn run_key(&self, item: &WorkItem) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv_str(&mut h, &self.apps[item.app_idx]);
+        fnv_str(&mut h, self.schemes[item.scheme_idx].name());
+        fnv_u64(&mut h, item.device_idx as u64);
+        fnv_str(&mut h, &self.attacks[item.attack_idx].label);
+        fnv_u64(&mut h, self.seeds[item.seed_idx]);
+        h
+    }
+
+    /// A fingerprint of everything that determines the grid's results:
+    /// the name, every run key (in item order), the power environment,
+    /// capacitor, ADC filter, the cache-relevant compile options, and the
+    /// workload. A journal carrying a different fingerprint is refused at
+    /// resume time — merging results from a different campaign would
+    /// silently corrupt the report.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = FNV_OFFSET;
+        fnv_str(&mut h, &self.name);
+        let items = self.expand();
+        fnv_u64(&mut h, items.len() as u64);
+        for item in &items {
+            fnv_u64(&mut h, self.run_key(item));
+        }
+        match self.supply {
+            Supply::Bench => fnv_u64(&mut h, 0),
+            Supply::Harvesting { power_w } => {
+                fnv_u64(&mut h, 1);
+                fnv_u64(&mut h, power_w.to_bits());
+            }
+        }
+        match self.capacitor {
+            None => fnv_u64(&mut h, 0),
+            Some(cap) => {
+                fnv_u64(&mut h, 1);
+                fnv_u64(&mut h, cap.capacitance_f.to_bits());
+                fnv_u64(&mut h, cap.initial_voltage_v.to_bits());
+                fnv_u64(&mut h, cap.rescale_thresholds as u64);
+            }
+        }
+        fnv_u64(&mut h, self.adc_filter_taps.map_or(u64::MAX, |t| t as u64));
+        fnv_u64(
+            &mut h,
+            self.compile.wcet_budget_cycles.map_or(u64::MAX, |c| c),
+        );
+        fnv_u64(&mut h, self.compile.prune as u64);
+        fnv_u64(&mut h, self.compile.max_slice_insts as u64);
+        match self.workload {
+            Workload::RunFor { seconds } => {
+                fnv_u64(&mut h, 0);
+                fnv_u64(&mut h, seconds.to_bits());
+            }
+            Workload::UntilCompletions { n, max_seconds } => {
+                fnv_u64(&mut h, 1);
+                fnv_u64(&mut h, n);
+                fnv_u64(&mut h, max_seconds.to_bits());
+            }
+            Workload::Buckets {
+                horizon_s,
+                bucket_s,
+            } => {
+                fnv_u64(&mut h, 2);
+                fnv_u64(&mut h, horizon_s.to_bits());
+                fnv_u64(&mut h, bucket_s.to_bits());
+            }
+        }
+        h
+    }
+
+    /// The simulated seconds one run covers — what step budgets derive
+    /// from.
+    pub fn workload_seconds(&self) -> f64 {
+        match self.workload {
+            Workload::RunFor { seconds } => seconds,
+            Workload::UntilCompletions { max_seconds, .. } => max_seconds,
+            Workload::Buckets { horizon_s, .. } => horizon_s,
+        }
+    }
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x1000_0000_01b3;
+
+fn fnv_u64(h: &mut u64, v: u64) {
+    for byte in v.to_le_bytes() {
+        *h ^= byte as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
+}
+
+fn fnv_str(h: &mut u64, s: &str) {
+    fnv_u64(h, s.len() as u64);
+    for byte in s.as_bytes() {
+        *h ^= *byte as u64;
+        *h = h.wrapping_mul(FNV_PRIME);
+    }
 }
 
 /// One cell of the expanded grid (axis indices into the spec).
@@ -339,6 +457,9 @@ pub enum CampaignError {
         /// The compiler's error.
         error: CompileError,
     },
+    /// The resume journal does not belong to this campaign (fingerprint
+    /// mismatch) or is otherwise unusable.
+    Journal(String),
 }
 
 impl std::fmt::Display for CampaignError {
@@ -349,6 +470,7 @@ impl std::fmt::Display for CampaignError {
             CampaignError::Compile { app, scheme, error } => {
                 write!(f, "compiling {app} for {scheme}: {error:?}")
             }
+            CampaignError::Journal(msg) => write!(f, "resume journal rejected: {msg}"),
         }
     }
 }
@@ -360,15 +482,22 @@ pub struct Campaign {
     spec: CampaignSpec,
     workers: usize,
     sink: Arc<dyn TelemetrySink>,
+    sup: SupervisorSpec,
+    journal: Option<Arc<Journal>>,
+    halt_after: Option<u64>,
 }
 
 impl Campaign {
-    /// Wraps a spec with 1 worker and no telemetry sink.
+    /// Wraps a spec with 1 worker, no telemetry sink, and the default
+    /// supervision policy.
     pub fn new(spec: CampaignSpec) -> Campaign {
         Campaign {
             spec,
             workers: 1,
             sink: Arc::new(NullSink),
+            sup: SupervisorSpec::default(),
+            journal: None,
+            halt_after: None,
         }
     }
 
@@ -384,16 +513,61 @@ impl Campaign {
         self
     }
 
+    /// Overrides the supervision policy (builder style): budgets, retry
+    /// schedule, chaos.
+    pub fn supervisor(mut self, sup: SupervisorSpec) -> Campaign {
+        self.sup = sup;
+        self
+    }
+
+    /// Enables chaos injection (builder style) without touching the rest
+    /// of the supervision policy.
+    pub fn chaos(mut self, chaos: ChaosSpec) -> Campaign {
+        self.sup.chaos = chaos;
+        self
+    }
+
+    /// Attaches a journal (builder style): completed runs are appended as
+    /// they finish, and runs already present are skipped. Attaching a
+    /// journal from a previous (killed) session of the *same* spec is how
+    /// a campaign resumes; a journal whose fingerprint belongs to a
+    /// different spec is refused with [`CampaignError::Journal`].
+    pub fn journal(mut self, journal: Arc<Journal>) -> Campaign {
+        self.journal = Some(journal);
+        self
+    }
+
+    /// Alias for [`Campaign::journal`] that reads better at the call site
+    /// when the journal already has content: resume the campaign, skipping
+    /// every journaled run. The merged report is bit-exact against an
+    /// uninterrupted run at any worker count.
+    pub fn resume(self, journal: Arc<Journal>) -> Campaign {
+        self.journal(journal)
+    }
+
+    /// Stops claiming new runs once `n` runs have been accounted this
+    /// session (builder style) — the deterministic "kill at a completed-run
+    /// boundary" hook the kill/resume tests are built on. The report's
+    /// `halted` flag records that the campaign stopped early.
+    pub fn halt_after(mut self, n: u64) -> Campaign {
+        self.halt_after = Some(n);
+        self
+    }
+
     /// The spec this campaign will run.
     pub fn spec(&self) -> &CampaignSpec {
         &self.spec
     }
 
-    /// Executes the campaign: expand, fan out, merge deterministically.
+    /// Executes the campaign: expand, restore journaled runs, fan out
+    /// under supervision, merge deterministically.
     ///
     /// # Errors
     ///
-    /// Returns the first (in item order) resolution or compile error.
+    /// Returns the first (in item order) resolution or compile error, or
+    /// [`CampaignError::Journal`] when a resume journal belongs to a
+    /// different spec. Panics, budget overruns and exhausted retries are
+    /// *not* errors — they land in [`CampaignReport::failures`].
     pub fn run(&self) -> Result<CampaignReport, CampaignError> {
         let spec = &self.spec;
         let apps: Vec<App> = spec
@@ -409,8 +583,54 @@ impl Campaign {
         }
         let workers = self.workers.min(items.len());
         let cache = ProgramCache::new();
-        let cursor = AtomicUsize::new(0);
-        let sink = &self.sink;
+
+        let chaos = self.sup.chaos;
+        let sink: Arc<dyn TelemetrySink> = if chaos.sink_fail_per_mille > 0 {
+            Arc::new(ChaosSink::new(
+                Arc::clone(&self.sink),
+                chaos.seed,
+                chaos.sink_fail_per_mille,
+            ))
+        } else {
+            Arc::clone(&self.sink)
+        };
+
+        let run_keys: Vec<u64> = items.iter().map(|item| spec.run_key(item)).collect();
+        let fingerprint = spec.fingerprint();
+
+        // Restore completed runs from the journal (and stamp the header
+        // on a fresh one).
+        let mut skip = vec![false; items.len()];
+        let mut restored: Vec<Option<RunResult>> = vec![None; items.len()];
+        if let Some(journal) = &self.journal {
+            let (header, runs) = journal::decode_campaign(&journal.lines());
+            match header {
+                Some((name, fp)) if fp != fingerprint => {
+                    return Err(CampaignError::Journal(format!(
+                        "journal belongs to campaign {name:?} (fingerprint {fp:#018x}), \
+                         not this spec (fingerprint {fingerprint:#018x})"
+                    )));
+                }
+                Some(_) => {}
+                None => journal.append(&journal::encode_header(&spec.name, fingerprint)),
+            }
+            for (i, key) in run_keys.iter().enumerate() {
+                if let Some(run) = runs.get(key) {
+                    if run.item == i {
+                        skip[i] = true;
+                        restored[i] = Some(RunResult {
+                            item: items[i],
+                            metrics: run.metrics,
+                            buckets: run.buckets.clone(),
+                            compile_stats: run.compile_stats,
+                            cache_hit: run.cache_hit,
+                            wall_ns: run.wall_ns,
+                        });
+                    }
+                }
+            }
+        }
+        let resumed = skip.iter().filter(|&&s| s).count() as u64;
 
         sink.emit(Event::new(
             "campaign_started",
@@ -418,78 +638,103 @@ impl Campaign {
                 ("campaign", Value::Str(spec.name.clone())),
                 ("items", Value::U64(items.len() as u64)),
                 ("workers", Value::U64(workers as u64)),
+                ("resumed", Value::U64(resumed)),
             ],
         ));
 
         let started = Instant::now();
-        let mut slots: Vec<Option<Result<RunResult, CampaignError>>> = Vec::new();
-        slots.resize_with(items.len(), || None);
-
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(workers);
-            for _ in 0..workers {
-                let cache = &cache;
-                let cursor = &cursor;
-                let items = &items;
-                let apps = &apps;
-                handles.push(scope.spawn(move || {
-                    let mut local: Vec<(usize, Result<RunResult, CampaignError>)> = Vec::new();
-                    loop {
-                        let i = cursor.fetch_add(1, Ordering::Relaxed);
-                        if i >= items.len() {
-                            break;
-                        }
-                        let item = items[i];
-                        sink.emit(Event::new(
-                            "item_started",
-                            vec![
-                                ("item", Value::U64(i as u64)),
-                                ("app", Value::Str(spec.apps[item.app_idx].clone())),
-                                (
-                                    "scheme",
-                                    Value::Str(spec.schemes[item.scheme_idx].name().to_string()),
-                                ),
-                                (
-                                    "attack",
-                                    Value::Str(spec.attacks[item.attack_idx].label.clone()),
-                                ),
-                            ],
-                        ));
-                        let result = run_item(spec, &apps[item.app_idx], item, cache);
-                        if let Ok(r) = &result {
-                            sink.emit(Event::new(
-                                "item_finished",
-                                vec![
-                                    ("item", Value::U64(i as u64)),
-                                    ("completions", Value::U64(r.metrics.completions)),
-                                    ("forward_cycles", Value::U64(r.metrics.forward_cycles)),
-                                    ("checksum_errors", Value::U64(r.metrics.checksum_errors)),
-                                    ("wall_ns", Value::U64(r.wall_ns)),
-                                    ("cache_hit", Value::Bool(r.cache_hit)),
-                                ],
-                            ));
-                        }
-                        local.push((i, result));
-                    }
-                    local
-                }));
-            }
-            for handle in handles {
-                for (i, result) in handle.join().expect("campaign worker panicked") {
-                    slots[i] = Some(result);
+        let budget = self.sup.resolve_budget(spec.workload_seconds());
+        let pool_cfg = PoolConfig {
+            workers,
+            run_keys: &run_keys,
+            skip: &skip,
+            sup: &self.sup,
+            budget,
+            halt_after: self.halt_after.map(|n| n + resumed),
+            sink: &sink,
+        };
+        let journal = self.journal.as_deref();
+        let pool = run_supervised(&pool_cfg, |i, attempt, budget, attempt_started| {
+            let item = items[i];
+            sink.emit(Event::new(
+                "item_started",
+                vec![
+                    ("item", Value::U64(i as u64)),
+                    ("attempt", Value::U64(attempt as u64)),
+                    ("app", Value::Str(spec.apps[item.app_idx].clone())),
+                    (
+                        "scheme",
+                        Value::Str(spec.schemes[item.scheme_idx].name().to_string()),
+                    ),
+                    (
+                        "attack",
+                        Value::Str(spec.attacks[item.attack_idx].label.clone()),
+                    ),
+                ],
+            ));
+            let result = match run_item_budgeted(
+                spec,
+                &apps[item.app_idx],
+                item,
+                &cache,
+                budget,
+                attempt_started,
+            )? {
+                Ok(r) => r,
+                Err(e) => return Ok(Err(e)),
+            };
+            if let Some(journal) = journal {
+                for line in journal::encode_run(run_keys[i], &result) {
+                    journal.append(&line);
                 }
             }
+            sink.emit(Event::new(
+                "item_finished",
+                vec![
+                    ("item", Value::U64(i as u64)),
+                    ("completions", Value::U64(result.metrics.completions)),
+                    ("forward_cycles", Value::U64(result.metrics.forward_cycles)),
+                    (
+                        "checksum_errors",
+                        Value::U64(result.metrics.checksum_errors),
+                    ),
+                    ("wall_ns", Value::U64(result.wall_ns)),
+                    ("cache_hit", Value::Bool(result.cache_hit)),
+                ],
+            ));
+            Ok(Ok(result))
         });
 
         let wall_s = started.elapsed().as_secs_f64();
 
-        // Deterministic merge: walk slots in item order.
-        let mut results = Vec::with_capacity(slots.len());
-        for slot in slots {
-            match slot.expect("every item was claimed") {
-                Ok(r) => results.push(r),
-                Err(e) => return Err(e),
+        // Deterministic merge: walk slots in item order; journaled runs
+        // fill their slots, fresh results and failures fill the rest.
+        let mut results = Vec::with_capacity(items.len());
+        let mut failures = Vec::new();
+        for (i, slot) in pool.outcomes.into_iter().enumerate() {
+            if skip[i] {
+                results.push(restored[i].take().expect("restored above"));
+                continue;
             }
+            match slot {
+                // Unclaimed is only reachable after a halt (or behind a
+                // crashed supervisor worker, which the pool reports).
+                None => debug_assert!(pool.halted, "item {i} unclaimed without a halt"),
+                Some(ItemOutcome::Done(Ok(r))) => results.push(r),
+                Some(ItemOutcome::Done(Err(e))) => return Err(e),
+                Some(ItemOutcome::Failed(f)) => failures.push(f),
+            }
+        }
+        let dropped_records =
+            sink.dropped_records() + self.journal.as_ref().map_or(0, |j| j.dropped());
+        if dropped_records > 0 {
+            sink.emit(Event::new(
+                "sink_dropped",
+                vec![("dropped", Value::U64(dropped_records))],
+            ));
+            failures.push(RunFailure::SinkDropped {
+                dropped: dropped_records,
+            });
         }
 
         let mut totals = Metrics::default();
@@ -502,6 +747,13 @@ impl Campaign {
             items: results.len() as u64,
             compile_misses: cache.misses(),
             compile_hits: cache.hits(),
+            failures: failures
+                .iter()
+                .filter(|f| !matches!(f, RunFailure::SinkDropped { .. }))
+                .count() as u64,
+            retries: pool.retries,
+            resumed,
+            dropped_records,
             ..FleetCounters::default()
         };
 
@@ -514,6 +766,9 @@ impl Campaign {
                 ("wall_s", Value::F64(wall_s)),
                 ("compile_misses", Value::U64(counters.compile_misses)),
                 ("compile_hits", Value::U64(counters.compile_hits)),
+                ("failures", Value::U64(counters.failures)),
+                ("resumed", Value::U64(counters.resumed)),
+                ("halted", Value::Bool(pool.halted)),
             ],
         ));
         sink.flush();
@@ -522,47 +777,75 @@ impl Campaign {
             spec: spec.clone(),
             workers,
             results,
+            failures,
             totals,
             counters,
             item_wall,
             wall_s,
+            halted: pool.halted,
         })
     }
 }
 
-fn run_item(
+/// One supervised attempt of one item. The outer `Result` is the
+/// supervisor's vocabulary (budget overruns, transient faults); the inner
+/// one carries hard campaign errors (compile failures are properties of
+/// the *spec*, not of one run, so they abort the campaign as before).
+fn run_item_budgeted(
     spec: &CampaignSpec,
     app: &App,
     item: WorkItem,
     cache: &ProgramCache,
-) -> Result<RunResult, CampaignError> {
+    budget: &RunBudget,
+    attempt_started: Instant,
+) -> Result<Result<RunResult, CampaignError>, AttemptFail> {
     let scheme = spec.schemes[item.scheme_idx];
     let t0 = Instant::now();
-    let (compiled, cache_hit) =
-        cache
-            .get_or_compile(app, scheme, &spec.compile)
-            .map_err(|error| CampaignError::Compile {
+    let (compiled, cache_hit) = match cache.get_or_compile(app, scheme, &spec.compile) {
+        Ok(found) => found,
+        Err(error) => {
+            return Ok(Err(CampaignError::Compile {
                 app: app.name.to_string(),
                 scheme,
                 error,
-            })?;
+            }))
+        }
+    };
     let mut sim = Simulator::from_compiled(&compiled, spec.config_for(&item));
-    let (metrics, buckets) = run_workload(&mut sim, spec.workload);
-    Ok(RunResult {
+    let (metrics, buckets) =
+        run_workload_budgeted(&mut sim, spec.workload, budget, attempt_started)?;
+    Ok(Ok(RunResult {
         item,
         metrics,
         buckets,
         compile_stats: compiled.stats,
         cache_hit,
         wall_ns: t0.elapsed().as_nanos() as u64,
-    })
+    }))
 }
 
-fn run_workload(sim: &mut Simulator, workload: Workload) -> (Metrics, Vec<Metrics>) {
+/// Runs one workload in `BUDGET_SLICE_STEPS`-sized `run_capped` slices,
+/// checking the step budget (deterministic: the abort point is an exact
+/// step count) and the wall deadline (inherently wall-clock) between
+/// slices. Slicing is bit-exact vs. the plain run loops — see
+/// `Simulator::run_capped` and the `fast_path` regression test.
+fn run_workload_budgeted(
+    sim: &mut Simulator,
+    workload: Workload,
+    budget: &RunBudget,
+    attempt_started: Instant,
+) -> Result<(Metrics, Vec<Metrics>), AttemptFail> {
+    let mut taken = 0u64;
     match workload {
-        Workload::RunFor { seconds } => (sim.run_for(seconds), Vec::new()),
+        Workload::RunFor { seconds } => {
+            let t_end = sim.time_s() + seconds;
+            run_span_budgeted(sim, t_end, u64::MAX, budget, attempt_started, &mut taken)?;
+            Ok((sim.metrics, Vec::new()))
+        }
         Workload::UntilCompletions { n, max_seconds } => {
-            (sim.run_until_completions(n, max_seconds), Vec::new())
+            let t_end = sim.time_s() + max_seconds;
+            run_span_budgeted(sim, t_end, n, budget, attempt_started, &mut taken)?;
+            Ok((sim.metrics, Vec::new()))
         }
         Workload::Buckets {
             horizon_s,
@@ -572,9 +855,43 @@ fn run_workload(sim: &mut Simulator, workload: Workload) -> (Metrics, Vec<Metric
             let n = (horizon_s / bucket_s).round().max(1.0) as usize;
             let mut buckets = Vec::with_capacity(n);
             for _ in 0..n {
-                buckets.push(sim.run_for(bucket_s));
+                let t_end = sim.time_s() + bucket_s;
+                run_span_budgeted(sim, t_end, u64::MAX, budget, attempt_started, &mut taken)?;
+                buckets.push(sim.metrics);
             }
-            (*buckets.last().expect("n >= 1"), buckets)
+            Ok((*buckets.last().expect("n >= 1"), buckets))
+        }
+    }
+}
+
+fn run_span_budgeted(
+    sim: &mut Simulator,
+    t_end: f64,
+    target_completions: u64,
+    budget: &RunBudget,
+    attempt_started: Instant,
+    taken: &mut u64,
+) -> Result<(), AttemptFail> {
+    loop {
+        if sim.time_s() >= t_end || sim.metrics.completions >= target_completions {
+            return Ok(());
+        }
+        if *taken >= budget.max_steps {
+            return Err(AttemptFail::TimedOut {
+                steps: *taken,
+                wall_ms: attempt_started.elapsed().as_secs_f64() * 1e3,
+                partial: Some(Box::new(sim.metrics)),
+            });
+        }
+        let slice = BUDGET_SLICE_STEPS.min(budget.max_steps - *taken);
+        *taken += sim.run_capped(t_end, target_completions, slice);
+        let wall = attempt_started.elapsed();
+        if wall > budget.deadline {
+            return Err(AttemptFail::TimedOut {
+                steps: *taken,
+                wall_ms: wall.as_secs_f64() * 1e3,
+                partial: Some(Box::new(sim.metrics)),
+            });
         }
     }
 }
@@ -586,8 +903,12 @@ pub struct CampaignReport {
     pub spec: CampaignSpec,
     /// Worker threads actually used.
     pub workers: usize,
-    /// Per-item results, in item order.
+    /// Per-item results (successful runs only), in item order.
     pub results: Vec<RunResult>,
+    /// Quarantined failures, in item order, with any campaign-scoped
+    /// `SinkDropped` entry last. A failed run is *absent* from `results`;
+    /// it is here instead.
+    pub failures: Vec<RunFailure>,
     /// All item metrics folded in item order.
     pub totals: Metrics,
     /// Fleet-level counters.
@@ -596,10 +917,21 @@ pub struct CampaignReport {
     pub item_wall: Histogram,
     /// Campaign wall time (s).
     pub wall_s: f64,
+    /// Whether the campaign stopped claiming runs early
+    /// (`Campaign::halt_after`). Unclaimed runs are in neither `results`
+    /// nor `failures`.
+    pub halted: bool,
 }
 
 impl CampaignReport {
     /// The result for a grid cell, by axis indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics when that cell has no successful result (it failed and
+    /// lives in [`CampaignReport::failures`], or a halted campaign never
+    /// ran it) — check `failures`/`halted` first when supervision is in
+    /// play.
     pub fn result_for(
         &self,
         app_idx: usize,
@@ -614,7 +946,15 @@ impl CampaignReport {
             + attack_idx)
             * s.seeds.len()
             + seed_idx;
-        &self.results[index]
+        // `results` is sorted by item index but may have holes (failed or
+        // unclaimed cells), so row-major indexing no longer applies.
+        match self.results.binary_search_by_key(&index, |r| r.item.index) {
+            Ok(pos) => &self.results[pos],
+            Err(_) => panic!(
+                "grid cell (item {index}) has no successful result: \
+                 it failed or was never executed"
+            ),
+        }
     }
 
     /// Sum of per-item wall times (s) — what a 1-worker pool would
@@ -624,8 +964,12 @@ impl CampaignReport {
     }
 
     /// FNV-1a digest over the deterministic payload (item order, axis
-    /// indices, all metric fields, bucket edges). Identical for any worker
-    /// count; wall-clock fields are excluded.
+    /// indices, all metric fields, bucket edges, then the failure
+    /// identities). Identical for any worker count — and across
+    /// kill-and-resume sessions — because every folded field is a pure
+    /// function of the spec. Wall-clock fields and timeout partials are
+    /// excluded; a clean campaign's digest is unchanged from the
+    /// pre-supervision encoding (an empty failure list folds nothing).
     pub fn deterministic_digest(&self) -> u64 {
         let mut h = 0xcbf2_9ce4_8422_2325u64;
         let mut eat = |v: u64| {
@@ -659,6 +1003,9 @@ impl CampaignReport {
                 eat(m.boundary_commits);
                 eat(m.energy_nj.to_bits());
             }
+        }
+        for f in &self.failures {
+            f.digest_into(&mut eat);
         }
         h
     }

@@ -1,0 +1,701 @@
+//! Append-only JSON-lines run journals — the "checkpoint" behind
+//! [`Campaign::resume`](crate::Campaign::resume).
+//!
+//! A journal records, one JSON object per line, every run a campaign has
+//! completed: a header that fingerprints the spec, the full per-run
+//! result (all 16 [`Metrics`] fields, compile statistics, bucket edges),
+//! and nothing else. On resume the campaign re-reads the journal, skips
+//! every journaled run, and merges journaled results with freshly
+//! executed ones **in item order** — so a killed-and-resumed campaign is
+//! bit-exact against an uninterrupted one at any worker count (the same
+//! invariant the worker pool already guarantees).
+//!
+//! Design notes:
+//!
+//! * Lines are written through the same dependency-free encoder as every
+//!   other JSON artifact in the workspace ([`gecko_sim::report`]); f64
+//!   fields round-trip exactly because the encoder emits Rust's shortest
+//!   round-trip formatting (integral floats keep a `.0`).
+//! * A run's `bucket` lines are appended *before* its `run_done` line, so
+//!   a torn write (kill mid-append) at worst loses the final line — a run
+//!   without its `run_done` marker is simply re-executed.
+//! * Journal I/O never panics a worker: failed appends degrade to a drop
+//!   counter, surfaced like any other degraded sink.
+//! * Malformed or foreign lines are skipped, not fatal; the spec
+//!   fingerprint in the header is what guards against resuming the wrong
+//!   campaign.
+
+use std::collections::HashMap;
+use std::io::{Read as _, Write as _};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use gecko_compiler::CompileStats;
+use gecko_sim::report::{Record as _, Value};
+use gecko_sim::Metrics;
+
+use crate::campaign::RunResult;
+use crate::supervisor::lock_unpoisoned;
+use crate::telemetry::json_kv;
+
+/// The storage behind a journal: an in-memory line buffer (tests,
+/// kill/resume property tests) or an append-only file.
+enum Backend {
+    Memory(Vec<String>),
+    File {
+        path: PathBuf,
+        writer: std::io::BufWriter<std::fs::File>,
+    },
+}
+
+/// An append-only JSON-lines journal. Cheap to share behind an `Arc`;
+/// appends are serialized by an internal (poison-recovering) lock and
+/// flushed line-by-line so a kill loses at most the line being written.
+pub struct Journal {
+    backend: Mutex<Backend>,
+    dropped: AtomicU64,
+}
+
+impl Journal {
+    /// An in-memory journal (nothing touches disk).
+    pub fn memory() -> Journal {
+        Journal {
+            backend: Mutex::new(Backend::Memory(Vec::new())),
+            dropped: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens (creating if needed) an append-only file journal. Existing
+    /// lines are preserved — that is the whole point.
+    ///
+    /// # Errors
+    ///
+    /// Propagates file-open errors.
+    pub fn open(path: &Path) -> std::io::Result<Journal> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(Journal {
+            backend: Mutex::new(Backend::File {
+                path: path.to_path_buf(),
+                writer: std::io::BufWriter::new(file),
+            }),
+            dropped: AtomicU64::new(0),
+        })
+    }
+
+    /// Appends one line (the terminating newline is added here). Never
+    /// panics: on I/O failure the line is dropped and counted.
+    pub fn append(&self, line: &str) {
+        let mut backend = lock_unpoisoned(&self.backend);
+        match &mut *backend {
+            Backend::Memory(lines) => lines.push(line.to_string()),
+            Backend::File { writer, .. } => {
+                let ok = writeln!(writer, "{line}").is_ok() && writer.flush().is_ok();
+                if !ok {
+                    self.dropped.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+
+    /// Every line currently in the journal, in append order (for a file
+    /// journal this re-reads the file, so it also sees lines written by
+    /// a previous process).
+    pub fn lines(&self) -> Vec<String> {
+        let mut backend = lock_unpoisoned(&self.backend);
+        match &mut *backend {
+            Backend::Memory(lines) => lines.clone(),
+            Backend::File { path, writer } => {
+                let _ = writer.flush();
+                let mut text = String::new();
+                match std::fs::File::open(&*path) {
+                    Ok(mut f) => {
+                        let _ = f.read_to_string(&mut text);
+                    }
+                    Err(_) => return Vec::new(),
+                }
+                text.lines().map(str::to_string).collect()
+            }
+        }
+    }
+
+    /// Lines dropped because of I/O failures.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+}
+
+impl std::fmt::Debug for Journal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let backend = lock_unpoisoned(&self.backend);
+        match &*backend {
+            Backend::Memory(lines) => write!(f, "Journal::memory({} lines)", lines.len()),
+            Backend::File { path, .. } => write!(f, "Journal::open({})", path.display()),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// A tolerant flat-JSON reader (the decoder half of the workspace's
+// dependency-free JSON story; the encoder lives in gecko_sim::report).
+// ---------------------------------------------------------------------------
+
+/// A scalar read back from a flat JSON object.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonScalar {
+    /// A string.
+    Str(String),
+    /// A non-negative integer (no `.`/exponent, no sign).
+    U64(u64),
+    /// A negative integer.
+    I64(i64),
+    /// A float (the encoder always emits a `.` for floats).
+    F64(f64),
+    /// `true` / `false`.
+    Bool(bool),
+    /// `null`.
+    Null,
+}
+
+impl JsonScalar {
+    /// The value as `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonScalar::U64(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The value as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonScalar::F64(v) => Some(*v),
+            JsonScalar::U64(v) => Some(*v as f64),
+            JsonScalar::I64(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    /// The value as `bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            JsonScalar::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as `&str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonScalar::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one flat JSON object (`{"key": scalar, ...}`) into ordered
+/// key/value pairs. Returns `None` on anything malformed or nested — a
+/// torn journal line is skipped, never fatal.
+pub fn parse_flat_json(line: &str) -> Option<Vec<(String, JsonScalar)>> {
+    let mut p = Parser {
+        bytes: line.trim().as_bytes(),
+        i: 0,
+    };
+    p.expect(b'{')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.eat(b'}') {
+        return p.at_end().then_some(out);
+    }
+    loop {
+        p.skip_ws();
+        let key = p.string()?;
+        p.skip_ws();
+        p.expect(b':')?;
+        p.skip_ws();
+        let value = p.scalar()?;
+        out.push((key, value));
+        p.skip_ws();
+        if p.eat(b',') {
+            continue;
+        }
+        p.expect(b'}')?;
+        return p.at_end().then_some(out);
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.i).copied()
+    }
+
+    fn eat(&mut self, b: u8) -> bool {
+        if self.peek() == Some(b) {
+            self.i += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Option<()> {
+        self.eat(b).then_some(())
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.i += 1;
+        }
+    }
+
+    fn at_end(&mut self) -> bool {
+        self.skip_ws();
+        self.i == self.bytes.len()
+    }
+
+    fn string(&mut self) -> Option<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek()? {
+                b'"' => {
+                    self.i += 1;
+                    return Some(out);
+                }
+                b'\\' => {
+                    self.i += 1;
+                    match self.peek()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b'r' => out.push('\r'),
+                        b't' => out.push('\t'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self.bytes.get(self.i + 1..self.i + 5)?;
+                            let code =
+                                u32::from_str_radix(std::str::from_utf8(hex).ok()?, 16).ok()?;
+                            out.push(char::from_u32(code)?);
+                            self.i += 4;
+                        }
+                        _ => return None,
+                    }
+                    self.i += 1;
+                }
+                _ => {
+                    // Consume one UTF-8 scalar (the input is a &str, so
+                    // slicing at char boundaries is safe via chars()).
+                    let rest = std::str::from_utf8(&self.bytes[self.i..]).ok()?;
+                    let c = rest.chars().next()?;
+                    out.push(c);
+                    self.i += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn scalar(&mut self) -> Option<JsonScalar> {
+        match self.peek()? {
+            b'"' => Some(JsonScalar::Str(self.string()?)),
+            b't' => self.literal("true", JsonScalar::Bool(true)),
+            b'f' => self.literal("false", JsonScalar::Bool(false)),
+            b'n' => self.literal("null", JsonScalar::Null),
+            b'-' | b'0'..=b'9' => self.number(),
+            _ => None,
+        }
+    }
+
+    fn literal(&mut self, word: &str, value: JsonScalar) -> Option<JsonScalar> {
+        let end = self.i + word.len();
+        if self.bytes.get(self.i..end)? == word.as_bytes() {
+            self.i = end;
+            Some(value)
+        } else {
+            None
+        }
+    }
+
+    fn number(&mut self) -> Option<JsonScalar> {
+        let start = self.i;
+        let mut is_float = false;
+        while let Some(b) = self.peek() {
+            match b {
+                b'0'..=b'9' | b'-' | b'+' => self.i += 1,
+                b'.' | b'e' | b'E' => {
+                    is_float = true;
+                    self.i += 1;
+                }
+                _ => break,
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.i]).ok()?;
+        if is_float {
+            text.parse().ok().map(JsonScalar::F64)
+        } else if text.starts_with('-') {
+            text.parse().ok().map(JsonScalar::I64)
+        } else {
+            text.parse().ok().map(JsonScalar::U64)
+        }
+    }
+}
+
+/// Convenience over [`parse_flat_json`]: field lookup by name.
+pub fn field<'a>(fields: &'a [(String, JsonScalar)], name: &str) -> Option<&'a JsonScalar> {
+    fields.iter().find(|(k, _)| k == name).map(|(_, v)| v)
+}
+
+// ---------------------------------------------------------------------------
+// Campaign journal lines
+// ---------------------------------------------------------------------------
+
+/// Journal line kinds for metric campaigns (`gecko-fleet`). The checker
+/// defines its own vocabulary on top of the same [`Journal`] + parser.
+pub mod lines {
+    /// Header: campaign identity + spec fingerprint.
+    pub const HEADER: &str = "campaign";
+    /// One bucket edge of a `Workload::Buckets` run (precedes `run_done`).
+    pub const BUCKET: &str = "bucket";
+    /// A completed run with its full result payload.
+    pub const RUN_DONE: &str = "run_done";
+}
+
+/// Encodes the journal header for a campaign.
+pub fn encode_header(name: &str, fingerprint: u64) -> String {
+    json_kv(&[
+        ("journal", Value::Str(lines::HEADER.to_string())),
+        ("name", Value::Str(name.to_string())),
+        ("fingerprint", Value::U64(fingerprint)),
+    ])
+}
+
+/// Decodes a journal header line (`None` if this is not a header).
+pub fn decode_header(line: &str) -> Option<(String, u64)> {
+    let fields = parse_flat_json(line)?;
+    if field(&fields, "journal")?.as_str()? != lines::HEADER {
+        return None;
+    }
+    Some((
+        field(&fields, "name")?.as_str()?.to_string(),
+        field(&fields, "fingerprint")?.as_u64()?,
+    ))
+}
+
+/// Encodes one completed run as its journal lines: the `bucket` lines
+/// first, the `run_done` marker last (torn-write safety).
+pub(crate) fn encode_run(run_key: u64, result: &RunResult) -> Vec<String> {
+    let mut out = Vec::with_capacity(result.buckets.len() + 1);
+    for (i, bucket) in result.buckets.iter().enumerate() {
+        let mut fields = vec![
+            ("kind", Value::Str(lines::BUCKET.to_string())),
+            ("run_key", Value::U64(run_key)),
+            ("bucket", Value::U64(i as u64)),
+        ];
+        fields.extend(bucket.fields());
+        out.push(json_kv(&fields));
+    }
+    let s = &result.compile_stats;
+    let mut fields = vec![
+        ("kind", Value::Str(lines::RUN_DONE.to_string())),
+        ("run_key", Value::U64(run_key)),
+        ("item", Value::U64(result.item.index as u64)),
+        ("buckets", Value::U64(result.buckets.len() as u64)),
+        ("cache_hit", Value::Bool(result.cache_hit)),
+        ("wall_ns", Value::U64(result.wall_ns)),
+        ("cs_regions", Value::U64(s.regions as u64)),
+        ("cs_regions_split", Value::U64(s.regions_split as u64)),
+        (
+            "cs_checkpoints_before",
+            Value::U64(s.checkpoints_before as u64),
+        ),
+        (
+            "cs_checkpoints_after",
+            Value::U64(s.checkpoints_after as u64),
+        ),
+        (
+            "cs_checkpoints_pruned",
+            Value::U64(s.checkpoints_pruned as u64),
+        ),
+        ("cs_recovery_blocks", Value::U64(s.recovery_blocks as u64)),
+        ("cs_recovery_insts", Value::U64(s.recovery_insts as u64)),
+        ("cs_coloring_fixups", Value::U64(s.coloring_fixups as u64)),
+        (
+            "cs_boundaries_hoisted",
+            Value::U64(s.boundaries_hoisted as u64),
+        ),
+    ];
+    fields.extend(result.metrics.fields());
+    out.push(json_kv(&fields));
+    out
+}
+
+/// A run restored from the journal (everything but the `WorkItem`, which
+/// the resuming campaign re-derives from the item index).
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct JournaledRun {
+    pub item: usize,
+    pub metrics: Metrics,
+    pub buckets: Vec<Metrics>,
+    pub compile_stats: CompileStats,
+    pub cache_hit: bool,
+    pub wall_ns: u64,
+}
+
+fn metrics_from(fields: &[(String, JsonScalar)]) -> Option<Metrics> {
+    let u = |name: &str| field(fields, name)?.as_u64();
+    let f = |name: &str| field(fields, name)?.as_f64();
+    Some(Metrics {
+        sim_time_s: f("sim_time_s")?,
+        forward_cycles: u("forward_cycles")?,
+        overhead_cycles: u("overhead_cycles")?,
+        completions: u("completions")?,
+        checksum_errors: u("checksum_errors")?,
+        jit_checkpoints: u("jit_checkpoints")?,
+        jit_checkpoint_failures: u("jit_checkpoint_failures")?,
+        reboots: u("reboots")?,
+        dirty_deaths: u("dirty_deaths")?,
+        rollbacks: u("rollbacks")?,
+        recovery_slices: u("recovery_slices")?,
+        attack_detections: u("attack_detections")?,
+        jit_reenables: u("jit_reenables")?,
+        checkpoint_stores: u("checkpoint_stores")?,
+        boundary_commits: u("boundary_commits")?,
+        energy_nj: f("energy_nj")?,
+    })
+}
+
+fn compile_stats_from(fields: &[(String, JsonScalar)]) -> Option<CompileStats> {
+    let u = |name: &str| Some(field(fields, name)?.as_u64()? as usize);
+    Some(CompileStats {
+        regions: u("cs_regions")?,
+        regions_split: u("cs_regions_split")?,
+        checkpoints_before: u("cs_checkpoints_before")?,
+        checkpoints_after: u("cs_checkpoints_after")?,
+        checkpoints_pruned: u("cs_checkpoints_pruned")?,
+        recovery_blocks: u("cs_recovery_blocks")?,
+        recovery_insts: u("cs_recovery_insts")?,
+        coloring_fixups: u("cs_coloring_fixups")?,
+        boundaries_hoisted: u("cs_boundaries_hoisted")?,
+    })
+}
+
+/// Replays a campaign journal: the header (if any) plus every completed
+/// run keyed by run key. Runs whose `run_done` line is missing or torn —
+/// or whose bucket lines are incomplete — are silently absent (they will
+/// simply be re-executed). Later duplicates win, so a journal appended by
+/// two overlapping sessions still resolves deterministically.
+pub(crate) fn decode_campaign(
+    journal_lines: &[String],
+) -> (Option<(String, u64)>, HashMap<u64, JournaledRun>) {
+    let mut header = None;
+    let mut buckets: HashMap<u64, Vec<(u64, Metrics)>> = HashMap::new();
+    let mut runs = HashMap::new();
+    for line in journal_lines {
+        let Some(fields) = parse_flat_json(line) else {
+            continue;
+        };
+        if let Some(h) = decode_header(line) {
+            header.get_or_insert(h);
+            continue;
+        }
+        let Some(kind) = field(&fields, "kind").and_then(JsonScalar::as_str) else {
+            continue;
+        };
+        let Some(run_key) = field(&fields, "run_key").and_then(JsonScalar::as_u64) else {
+            continue;
+        };
+        match kind {
+            k if k == lines::BUCKET => {
+                let (Some(index), Some(metrics)) = (
+                    field(&fields, "bucket").and_then(JsonScalar::as_u64),
+                    metrics_from(&fields),
+                ) else {
+                    continue;
+                };
+                buckets.entry(run_key).or_default().push((index, metrics));
+            }
+            k if k == lines::RUN_DONE => {
+                let decoded = (|| {
+                    let item = field(&fields, "item")?.as_u64()? as usize;
+                    let n_buckets = field(&fields, "buckets")?.as_u64()?;
+                    let mut edges = buckets.remove(&run_key).unwrap_or_default();
+                    edges.sort_by_key(|(i, _)| *i);
+                    let complete = edges.len() as u64 == n_buckets
+                        && edges.iter().enumerate().all(|(i, (j, _))| i as u64 == *j);
+                    if !complete {
+                        return None;
+                    }
+                    Some(JournaledRun {
+                        item,
+                        metrics: metrics_from(&fields)?,
+                        buckets: edges.into_iter().map(|(_, m)| m).collect(),
+                        compile_stats: compile_stats_from(&fields)?,
+                        cache_hit: field(&fields, "cache_hit")?.as_bool()?,
+                        wall_ns: field(&fields, "wall_ns")?.as_u64()?,
+                    })
+                })();
+                if let Some(run) = decoded {
+                    runs.insert(run_key, run);
+                }
+            }
+            _ => {}
+        }
+    }
+    (header, runs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::campaign::WorkItem;
+
+    #[test]
+    fn parser_round_trips_encoder_output() {
+        let line = json_kv(&[
+            ("s", Value::Str("a\"b\\c\nd".to_string())),
+            ("u", Value::U64(u64::MAX)),
+            ("i", Value::I64(-42)),
+            ("f", Value::F64(0.1 + 0.2)),
+            ("g", Value::F64(2.0)),
+            ("tiny", Value::F64(3.1e-7)),
+            ("b", Value::Bool(true)),
+            ("z", Value::Null),
+        ]);
+        let fields = parse_flat_json(&line).expect("parses");
+        assert_eq!(field(&fields, "s").unwrap().as_str(), Some("a\"b\\c\nd"));
+        assert_eq!(field(&fields, "u").unwrap().as_u64(), Some(u64::MAX));
+        assert_eq!(field(&fields, "i"), Some(&JsonScalar::I64(-42)));
+        // Bit-exact f64 round-trips — the property resume correctness
+        // rests on.
+        assert_eq!(
+            field(&fields, "f").unwrap().as_f64().unwrap().to_bits(),
+            (0.1f64 + 0.2).to_bits()
+        );
+        assert_eq!(field(&fields, "g").unwrap().as_f64(), Some(2.0));
+        assert_eq!(
+            field(&fields, "tiny").unwrap().as_f64().unwrap().to_bits(),
+            3.1e-7f64.to_bits()
+        );
+        assert_eq!(field(&fields, "b").unwrap().as_bool(), Some(true));
+        assert_eq!(field(&fields, "z"), Some(&JsonScalar::Null));
+    }
+
+    #[test]
+    fn parser_rejects_torn_and_nested_lines() {
+        assert!(parse_flat_json("").is_none());
+        assert!(parse_flat_json("{\"a\":1").is_none(), "torn line");
+        assert!(parse_flat_json("{\"a\":{\"b\":1}}").is_none(), "nested");
+        assert!(parse_flat_json("{\"a\":[1]}").is_none(), "array");
+        assert!(parse_flat_json("{\"a\":1} trailing").is_none());
+        assert!(parse_flat_json("{}").is_some_and(|f| f.is_empty()));
+    }
+
+    fn sample_result(index: usize, buckets: usize) -> RunResult {
+        let item = WorkItem {
+            index,
+            app_idx: 0,
+            scheme_idx: 0,
+            device_idx: 0,
+            attack_idx: 0,
+            seed_idx: index,
+        };
+        let mut metrics = Metrics {
+            sim_time_s: 0.1 + index as f64 * 0.37,
+            forward_cycles: 1_000 + index as u64,
+            completions: 3,
+            energy_nj: 17.25e3 + index as f64,
+            ..Metrics::default()
+        };
+        let buckets: Vec<Metrics> = (0..buckets)
+            .map(|b| {
+                let mut m = metrics;
+                m.forward_cycles = 100 * (b as u64 + 1);
+                m
+            })
+            .collect();
+        if let Some(last) = buckets.last() {
+            metrics = *last;
+        }
+        RunResult {
+            item,
+            metrics,
+            buckets,
+            compile_stats: CompileStats {
+                regions: 5,
+                checkpoints_after: 2,
+                ..CompileStats::default()
+            },
+            cache_hit: index > 0,
+            wall_ns: 123_456 + index as u64,
+        }
+    }
+
+    #[test]
+    fn run_lines_round_trip_bit_exactly() {
+        let journal = Journal::memory();
+        journal.append(&encode_header("rt", 0xFEED));
+        let a = sample_result(0, 0);
+        let b = sample_result(4, 3);
+        for line in encode_run(11, &a).iter().chain(encode_run(22, &b).iter()) {
+            journal.append(line);
+        }
+        let (header, runs) = decode_campaign(&journal.lines());
+        assert_eq!(header, Some(("rt".to_string(), 0xFEED)));
+        assert_eq!(runs.len(), 2);
+        let ra = &runs[&11];
+        assert_eq!(ra.item, 0);
+        assert_eq!(ra.metrics, a.metrics);
+        assert_eq!(ra.compile_stats, a.compile_stats);
+        assert_eq!(ra.cache_hit, a.cache_hit);
+        assert_eq!(ra.wall_ns, a.wall_ns);
+        let rb = &runs[&22];
+        assert_eq!(rb.buckets, b.buckets);
+        assert_eq!(rb.metrics, b.metrics);
+    }
+
+    #[test]
+    fn torn_tail_loses_only_the_unfinished_run() {
+        let journal = Journal::memory();
+        journal.append(&encode_header("torn", 1));
+        for line in encode_run(1, &sample_result(0, 2)) {
+            journal.append(&line);
+        }
+        // A second run whose run_done line never made it out...
+        let partial = encode_run(2, &sample_result(1, 2));
+        journal.append(&partial[0]);
+        // ...and a torn half-line from the kill itself.
+        journal.append("{\"kind\":\"run_done\",\"run_key\":2,\"it");
+        let (_, runs) = decode_campaign(&journal.lines());
+        assert!(runs.contains_key(&1), "completed run survives");
+        assert!(!runs.contains_key(&2), "unfinished run is re-executed");
+    }
+
+    #[test]
+    fn file_journal_persists_across_reopen() {
+        let path =
+            std::env::temp_dir().join(format!("gecko-journal-test-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = Journal::open(&path).unwrap();
+            journal.append(&encode_header("file", 7));
+            for line in encode_run(9, &sample_result(0, 0)) {
+                journal.append(&line);
+            }
+            assert_eq!(journal.dropped(), 0);
+        }
+        let reopened = Journal::open(&path).unwrap();
+        let (header, runs) = decode_campaign(&reopened.lines());
+        assert_eq!(header, Some(("file".to_string(), 7)));
+        assert!(runs.contains_key(&9));
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -21,6 +21,17 @@
 //!   [`Event`]s and pluggable [`TelemetrySink`]s (in-memory for tests,
 //!   JSON-lines behind the `json` feature for experiments).
 //!
+//! Two more layers make campaigns *survivable* (GECKO's own resilience
+//! discipline, applied to the harness):
+//!
+//! * [`supervisor`] — panic quarantine, step/wall run budgets, bounded
+//!   retry with deterministic backoff, and seeded [`ChaosSpec`] fault
+//!   injection; failures become structured [`RunFailure`]s in the report
+//!   instead of killing workers.
+//! * [`journal`] — an append-only JSON-lines [`Journal`] of completed
+//!   runs; [`Campaign::resume`] skips journaled runs and merges
+//!   bit-exactly against an uninterrupted campaign at any worker count.
+//!
 //! The heavyweight paper sweeps have drop-in ports in [`figures`] that
 //! reproduce the sequential `gecko_sim::experiments` rows exactly.
 //!
@@ -43,12 +54,19 @@
 pub mod cache;
 pub mod campaign;
 pub mod figures;
+pub mod journal;
+pub mod supervisor;
 pub mod telemetry;
 
 pub use cache::{CacheKey, ProgramCache};
 pub use campaign::{
     AttackCase, Campaign, CampaignError, CampaignReport, CampaignSpec, CapacitorSpec, DeviceCase,
     RunResult, Supply, WorkItem, Workload,
+};
+pub use journal::Journal;
+pub use supervisor::{
+    lock_unpoisoned, quarantine, run_supervised, AttemptFail, ChaosSink, ChaosSpec, FailureKind,
+    ItemOutcome, PoolConfig, PoolReport, RunBudget, RunFailure, SupervisorSpec, TRANSIENT_PREFIX,
 };
 pub use telemetry::{Event, FleetCounters, Histogram, MemorySink, NullSink, TelemetrySink};
 
@@ -96,6 +114,20 @@ pub fn fleet_summary(report: &CampaignReport) -> String {
         "totals: {} completions, {} forward cycles, {} checksum errors",
         report.totals.completions, report.totals.forward_cycles, report.totals.checksum_errors
     );
+    if !report.failures.is_empty() || c.resumed > 0 || report.halted {
+        let _ = writeln!(
+            out,
+            "supervision: {} failure(s), {} retried attempt(s), {} resumed, {} dropped record(s){}",
+            c.failures,
+            c.retries,
+            c.resumed,
+            c.dropped_records,
+            if report.halted { " [halted]" } else { "" },
+        );
+        for f in &report.failures {
+            let _ = writeln!(out, "  {} {}", f.kind().name(), f.describe());
+        }
+    }
     let _ = writeln!(
         out,
         "cache: {} compiles, {} hits | wall {:.2}s, work {:.2}s, speedup {:.2}x",

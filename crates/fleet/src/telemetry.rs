@@ -20,6 +20,8 @@ use std::sync::Mutex;
 
 use gecko_sim::report::{write_json_string, Record, Value};
 
+use crate::supervisor::lock_unpoisoned;
+
 /// A span-style telemetry event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Event {
@@ -58,6 +60,14 @@ pub trait TelemetrySink: Send + Sync {
 
     /// Flushes buffered output (no-op by default).
     fn flush(&self) {}
+
+    /// Number of records this sink has *dropped* instead of delivering
+    /// (I/O failures, injected chaos). Sinks must degrade to dropping —
+    /// never panic the emitting worker; the campaign surfaces the count
+    /// as a [`crate::RunFailure::SinkDropped`] entry. Default: 0.
+    fn dropped_records(&self) -> u64 {
+        0
+    }
 }
 
 /// Discards everything.
@@ -82,14 +92,12 @@ impl MemorySink {
 
     /// Snapshot of everything emitted so far, in arrival order.
     pub fn events(&self) -> Vec<Event> {
-        self.events.lock().expect("telemetry lock").clone()
+        lock_unpoisoned(&self.events).clone()
     }
 
     /// Number of events with the given kind.
     pub fn count(&self, kind: &str) -> usize {
-        self.events
-            .lock()
-            .expect("telemetry lock")
+        lock_unpoisoned(&self.events)
             .iter()
             .filter(|e| e.kind == kind)
             .count()
@@ -98,15 +106,20 @@ impl MemorySink {
 
 impl TelemetrySink for MemorySink {
     fn emit(&self, event: Event) {
-        self.events.lock().expect("telemetry lock").push(event);
+        lock_unpoisoned(&self.events).push(event);
     }
 }
 
 /// A JSON-lines sink over any writer (usually a file): one event object
 /// per line, in arrival order.
+///
+/// Write failures never panic the emitting worker: the record is dropped,
+/// the drop is counted, and the campaign surfaces the total as a
+/// `SinkDropped` failure — telemetry degrades, the science continues.
 #[cfg(feature = "json")]
 pub struct JsonlSink<W: std::io::Write + Send> {
     writer: Mutex<W>,
+    dropped: AtomicU64,
 }
 
 #[cfg(feature = "json")]
@@ -128,12 +141,15 @@ impl<W: std::io::Write + Send> JsonlSink<W> {
     pub fn from_writer(writer: W) -> Self {
         JsonlSink {
             writer: Mutex::new(writer),
+            dropped: AtomicU64::new(0),
         }
     }
 
     /// Unwraps the writer (flushing is the caller's business).
     pub fn into_inner(self) -> W {
-        self.writer.into_inner().expect("telemetry lock")
+        self.writer
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 }
 
@@ -141,12 +157,20 @@ impl<W: std::io::Write + Send> JsonlSink<W> {
 impl<W: std::io::Write + Send> TelemetrySink for JsonlSink<W> {
     fn emit(&self, event: Event) {
         let line = event.to_json();
-        let mut w = self.writer.lock().expect("telemetry lock");
-        let _ = writeln!(w, "{line}");
+        let mut w = lock_unpoisoned(&self.writer);
+        if writeln!(w, "{line}").is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
     }
 
     fn flush(&self) {
-        let _ = self.writer.lock().expect("telemetry lock").flush();
+        if lock_unpoisoned(&self.writer).flush().is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    fn dropped_records(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
     }
 }
 
@@ -193,6 +217,15 @@ pub struct FleetCounters {
     pub memo_hits: u64,
     /// Crash-consistency violations found.
     pub violations: u64,
+    /// Runs that ended in a quarantined failure (any taxonomy bucket
+    /// except `SinkDropped`, which is record-scoped).
+    pub failures: u64,
+    /// Retry attempts performed beyond each run's first try.
+    pub retries: u64,
+    /// Runs restored from a resume journal instead of re-executed.
+    pub resumed: u64,
+    /// Telemetry/journal records dropped by degraded sinks.
+    pub dropped_records: u64,
 }
 
 /// A log₂-bucketed histogram of `u64` samples (wall-times, cycle counts).
@@ -355,6 +388,27 @@ mod tests {
         let q50 = a.quantile(0.5).unwrap();
         assert!(q50 <= 100, "lower half is the small values: {q50}");
         assert!(a.quantile(1.0).unwrap() >= 512);
+    }
+
+    #[cfg(feature = "json")]
+    #[test]
+    fn jsonl_sink_degrades_to_drop_counting_on_io_error() {
+        struct Broken;
+        impl std::io::Write for Broken {
+            fn write(&mut self, _buf: &[u8]) -> std::io::Result<usize> {
+                Err(std::io::Error::other("disk full"))
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Err(std::io::Error::other("disk full"))
+            }
+        }
+        let sink = JsonlSink::from_writer(Broken);
+        assert_eq!(sink.dropped_records(), 0);
+        sink.emit(Event::new("x", vec![]));
+        sink.emit(Event::new("y", vec![]));
+        assert_eq!(sink.dropped_records(), 2, "every failed write counted");
+        sink.flush();
+        assert_eq!(sink.dropped_records(), 3, "failed flush counted too");
     }
 
     #[cfg(feature = "json")]

@@ -1,0 +1,388 @@
+//! The supervised-campaign guarantees: chaos-injected panics quarantine
+//! without losing sibling results, budgets flag runs deterministically,
+//! transient faults retry to convergence, and a campaign killed at any
+//! completed-run boundary resumes from its journal bit-exactly — at any
+//! worker count.
+
+use std::sync::Arc;
+
+use gecko_fleet::{
+    Campaign, CampaignError, CampaignReport, CampaignSpec, ChaosSpec, Journal, MemorySink,
+    RunFailure, SchemeKind, SupervisorSpec, Workload,
+};
+use gecko_isa::rng::SplitMix64;
+
+fn small_spec() -> CampaignSpec {
+    CampaignSpec::new("supervised")
+        .apps(["blink", "crc16"])
+        .schemes([SchemeKind::Nvp, SchemeKind::Gecko])
+        .seeds([1, 2, 3])
+        .workload(Workload::RunFor { seconds: 0.002 })
+}
+
+/// What the supervisor must do with one run, derived purely from the
+/// chaos plan stream — the test's independent model of `supervise_item`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Predicted {
+    /// Succeeds on the given 1-based attempt.
+    Success { attempt: u32 },
+    /// Panics (hard) on the given attempt.
+    Panic { attempt: u32 },
+    /// Fails transiently on every allowed attempt.
+    Transient,
+}
+
+fn predict(sup: &SupervisorSpec, run_key: u64) -> Predicted {
+    for attempt in 1..=sup.max_attempts {
+        let plan = sup.chaos.plan_for(run_key, attempt);
+        if plan.panic {
+            return Predicted::Panic { attempt };
+        }
+        if !plan.transient {
+            return Predicted::Success { attempt };
+        }
+    }
+    Predicted::Transient
+}
+
+fn predictions(spec: &CampaignSpec, sup: &SupervisorSpec) -> Vec<Predicted> {
+    spec.expand()
+        .iter()
+        .map(|item| predict(sup, spec.run_key(item)))
+        .collect()
+}
+
+/// Picks a chaos seed whose plan stream actually exercises the scenario
+/// (some failures AND some successes) — self-validating, no magic seeds.
+fn seed_with_mixed_outcomes(sup_template: SupervisorSpec, want_failures: bool) -> SupervisorSpec {
+    let spec = small_spec();
+    for seed in 0..256 {
+        let mut sup = sup_template;
+        sup.chaos.seed = seed;
+        let p = predictions(&spec, &sup);
+        let failures = p
+            .iter()
+            .filter(|p| !matches!(p, Predicted::Success { .. }))
+            .count();
+        let retried = p
+            .iter()
+            .any(|p| !matches!(p, Predicted::Success { attempt: 1 }));
+        if failures > 0 && failures < p.len() && (!want_failures || retried) {
+            return sup;
+        }
+    }
+    panic!("no chaos seed in 0..256 produced a mixed outcome");
+}
+
+#[test]
+fn injected_panics_quarantine_once_and_siblings_stay_bit_exact() {
+    let sup = seed_with_mixed_outcomes(
+        SupervisorSpec {
+            chaos: ChaosSpec {
+                panic_per_mille: 250,
+                ..ChaosSpec::off()
+            },
+            ..SupervisorSpec::default()
+        },
+        false,
+    );
+    let predicted = predictions(&small_spec(), &sup);
+    let clean = Campaign::new(small_spec()).workers(3).run().unwrap();
+    let chaotic = Campaign::new(small_spec())
+        .supervisor(sup)
+        .workers(3)
+        .run()
+        .unwrap();
+
+    // Every predicted panic appears exactly once in `failures`...
+    let panicked: Vec<usize> = predicted
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p, Predicted::Panic { .. }))
+        .map(|(i, _)| i)
+        .collect();
+    assert!(!panicked.is_empty(), "scenario must inject at least once");
+    assert_eq!(chaotic.failures.len(), panicked.len());
+    for (failure, &item) in chaotic.failures.iter().zip(&panicked) {
+        match failure {
+            RunFailure::Panicked {
+                item: failed_item,
+                payload,
+                ..
+            } => {
+                assert_eq!(*failed_item, item);
+                assert!(
+                    payload.contains("chaos: injected panic"),
+                    "unexpected payload: {payload}"
+                );
+            }
+            other => panic!("expected a quarantined panic, got {other:?}"),
+        }
+    }
+    assert_eq!(chaotic.counters.failures, panicked.len() as u64);
+
+    // ...and every sibling result is bit-exact against the chaos-free run.
+    assert_eq!(
+        chaotic.results.len(),
+        clean.results.len() - panicked.len(),
+        "exactly the panicked runs are missing"
+    );
+    for r in &chaotic.results {
+        let reference = &clean.results[r.item.index]; // clean has no holes
+        assert_eq!(r.metrics, reference.metrics);
+        assert_eq!(r.buckets, reference.buckets);
+        assert_eq!(r.compile_stats, reference.compile_stats);
+    }
+
+    // Chaos is keyed on (seed, run key, attempt), so the whole report —
+    // including the failure list — is worker-count-invariant.
+    let solo = Campaign::new(small_spec())
+        .supervisor(sup)
+        .workers(1)
+        .run()
+        .unwrap();
+    assert_eq!(solo.failures, chaotic.failures);
+    assert_eq!(solo.deterministic_digest(), chaotic.deterministic_digest());
+}
+
+#[test]
+fn transient_faults_retry_with_bounded_attempts() {
+    let sup = seed_with_mixed_outcomes(
+        SupervisorSpec {
+            max_attempts: 4,
+            backoff_base_ms: 0, // keep the test fast; backoff is unit-tested
+            chaos: ChaosSpec {
+                transient_per_mille: 400,
+                ..ChaosSpec::off()
+            },
+            ..SupervisorSpec::default()
+        },
+        true,
+    );
+    let predicted = predictions(&small_spec(), &sup);
+    let report = Campaign::new(small_spec())
+        .supervisor(sup)
+        .workers(4)
+        .run()
+        .unwrap();
+
+    let expected_retries: u64 = predicted
+        .iter()
+        .map(|p| match p {
+            Predicted::Success { attempt } | Predicted::Panic { attempt } => (attempt - 1) as u64,
+            Predicted::Transient => (sup.max_attempts - 1) as u64,
+        })
+        .sum();
+    let exhausted: Vec<usize> = predicted
+        .iter()
+        .enumerate()
+        .filter(|(_, p)| matches!(p, Predicted::Transient))
+        .map(|(i, _)| i)
+        .collect();
+    assert_eq!(report.counters.retries, expected_retries);
+    assert!(expected_retries > 0, "scenario must retry at least once");
+    assert_eq!(report.failures.len(), exhausted.len());
+    for (failure, &item) in report.failures.iter().zip(&exhausted) {
+        match failure {
+            RunFailure::Transient {
+                item: failed_item,
+                attempts,
+                ..
+            } => {
+                assert_eq!(*failed_item, item);
+                assert_eq!(*attempts, sup.max_attempts);
+            }
+            other => panic!("expected an exhausted transient, got {other:?}"),
+        }
+    }
+
+    // Runs that eventually succeeded are bit-exact: retries re-run the
+    // same deterministic simulation.
+    let clean = Campaign::new(small_spec()).workers(2).run().unwrap();
+    for r in &report.results {
+        assert_eq!(r.metrics, clean.results[r.item.index].metrics);
+    }
+}
+
+#[test]
+fn step_budget_timeouts_are_deterministic_and_carry_partials() {
+    let sup = SupervisorSpec {
+        max_steps: Some(1),
+        ..SupervisorSpec::default()
+    };
+    let run = |workers| {
+        Campaign::new(small_spec())
+            .supervisor(sup)
+            .workers(workers)
+            .run()
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(4);
+    let items = small_spec().expand().len();
+    assert!(a.results.is_empty(), "every run must blow a 1-step budget");
+    assert_eq!(a.failures.len(), items);
+    for (i, failure) in a.failures.iter().enumerate() {
+        match failure {
+            RunFailure::TimedOut {
+                item,
+                steps,
+                partial,
+                ..
+            } => {
+                assert_eq!(*item, i, "failures arrive in item order");
+                assert_eq!(*steps, 1, "aborts exactly at the budget");
+                assert!(partial.is_some(), "step-budget timeouts carry partials");
+            }
+            other => panic!("expected a timeout, got {other:?}"),
+        }
+    }
+    // The abort point is a step count, not a clock: partials and digests
+    // agree across worker counts (wall_ms is excluded from the digest).
+    for (fa, fb) in a.failures.iter().zip(&b.failures) {
+        let (
+            RunFailure::TimedOut {
+                steps: sa,
+                partial: pa,
+                ..
+            },
+            RunFailure::TimedOut {
+                steps: sb,
+                partial: pb,
+                ..
+            },
+        ) = (fa, fb)
+        else {
+            panic!("both runs must time out identically");
+        };
+        assert_eq!(sa, sb);
+        assert_eq!(pa, pb);
+    }
+    assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+}
+
+/// Runs `spec` to completion in `sessions` journaled sessions (each
+/// killed at a deterministic completed-run boundary) and returns the
+/// final report.
+fn run_in_sessions(
+    spec_for: impl Fn() -> CampaignSpec,
+    workers: usize,
+    kill_points: &[u64],
+) -> CampaignReport {
+    let journal = Arc::new(Journal::memory());
+    for &k in kill_points {
+        let partial = Campaign::new(spec_for())
+            .workers(workers)
+            .journal(Arc::clone(&journal))
+            .halt_after(k)
+            .run()
+            .unwrap();
+        assert!(partial.halted, "kill point {k} must actually halt");
+    }
+    Campaign::new(spec_for())
+        .workers(workers)
+        .resume(Arc::clone(&journal))
+        .run()
+        .unwrap()
+}
+
+#[test]
+fn killed_campaigns_resume_bit_exactly_at_any_worker_count() {
+    let reference = Campaign::new(small_spec()).workers(4).run().unwrap();
+    let items = reference.results.len() as u64;
+    let mut rng = SplitMix64::new(0xD1E0F5E55);
+    for workers in [1usize, 2, 8] {
+        // Kill twice at random completed-run boundaries, then finish.
+        let k1 = rng.range_u64(1, items - 1);
+        let k2 = rng.range_u64(1, items - k1);
+        let resumed = run_in_sessions(small_spec, workers, &[k1, k2]);
+
+        assert!(!resumed.halted);
+        assert!(
+            resumed.counters.resumed >= k1,
+            "the first session journaled at least its halt quota"
+        );
+        assert_eq!(resumed.results.len(), reference.results.len());
+        for (r, reference) in resumed.results.iter().zip(&reference.results) {
+            assert_eq!(r.item, reference.item);
+            assert_eq!(r.metrics, reference.metrics);
+            assert_eq!(r.buckets, reference.buckets);
+            assert_eq!(r.compile_stats, reference.compile_stats);
+        }
+        assert_eq!(resumed.totals, reference.totals);
+        assert_eq!(
+            resumed.deterministic_digest(),
+            reference.deterministic_digest(),
+            "workers={workers}, kills at {k1}+{k2}"
+        );
+    }
+}
+
+#[test]
+fn resuming_a_finished_campaign_re_executes_nothing() {
+    let journal = Arc::new(Journal::memory());
+    let first = Campaign::new(small_spec())
+        .journal(Arc::clone(&journal))
+        .run()
+        .unwrap();
+    let again = Campaign::new(small_spec())
+        .resume(Arc::clone(&journal))
+        .run()
+        .unwrap();
+    assert_eq!(again.counters.resumed, first.results.len() as u64);
+    assert_eq!(again.counters.compile_misses, 0, "nothing re-ran");
+    assert_eq!(again.deterministic_digest(), first.deterministic_digest());
+}
+
+#[test]
+fn journals_from_a_different_spec_are_rejected() {
+    let journal = Arc::new(Journal::memory());
+    Campaign::new(small_spec())
+        .journal(Arc::clone(&journal))
+        .run()
+        .unwrap();
+    let different = small_spec().seeds([99]); // a different grid
+    let err = Campaign::new(different).resume(journal).run().unwrap_err();
+    match err {
+        CampaignError::Journal(msg) => {
+            assert!(msg.contains("fingerprint"), "unhelpful message: {msg}")
+        }
+        other => panic!("expected a journal rejection, got {other}"),
+    }
+}
+
+#[test]
+fn sink_write_failures_degrade_to_one_counted_failure() {
+    let chaos = ChaosSpec {
+        seed: 7,
+        sink_fail_per_mille: 400,
+        ..ChaosSpec::off()
+    };
+    let run = |workers| {
+        Campaign::new(small_spec())
+            .chaos(chaos)
+            .workers(workers)
+            .sink(Arc::new(MemorySink::new()))
+            .run()
+            .unwrap()
+    };
+    let a = run(1);
+    let b = run(4);
+    assert!(a.counters.dropped_records > 0, "chaos must drop something");
+    let sink_failures: Vec<_> = a
+        .failures
+        .iter()
+        .filter(|f| matches!(f, RunFailure::SinkDropped { .. }))
+        .collect();
+    assert_eq!(sink_failures.len(), 1, "one summary failure, not a flood");
+    // Drops are keyed on the record sequence number, so the count (and
+    // with it the digest) is worker-count-invariant.
+    assert_eq!(a.counters.dropped_records, b.counters.dropped_records);
+    assert_eq!(a.deterministic_digest(), b.deterministic_digest());
+    // No metric run was harmed: results match an undegraded campaign.
+    let clean = Campaign::new(small_spec()).run().unwrap();
+    assert_eq!(a.results.len(), clean.results.len());
+    for (r, c) in a.results.iter().zip(&clean.results) {
+        assert_eq!(r.metrics, c.metrics);
+    }
+}

@@ -607,6 +607,33 @@ impl Simulator {
         self.metrics
     }
 
+    /// The budget-sliceable run primitive: advances until `t_end` seconds
+    /// of device time, `target_completions` completions, or `max_steps`
+    /// simulation steps — whichever comes first — and returns the steps
+    /// taken. Chaining calls with the same `t_end`/`target_completions`
+    /// reproduces [`Simulator::run_for`] / [`Simulator::run_until_completions`]
+    /// bit for bit (capping `max_steps` can only split a hibernation
+    /// fast-forward span, which is observably identical to the uncapped
+    /// walk), which is what lets `gecko-fleet`'s supervisor interleave
+    /// step-budget and deadline checks without perturbing results.
+    pub fn run_capped(&mut self, t_end: f64, target_completions: u64, max_steps: u64) -> u64 {
+        let mut done = 0u64;
+        while done < max_steps && self.t_s < t_end && self.metrics.completions < target_completions
+        {
+            if self.state == PowerState::Sleeping {
+                let n = self.try_fast_forward(max_steps - done, t_end);
+                if n > 0 {
+                    done += n;
+                    continue;
+                }
+            }
+            self.step_one();
+            done += 1;
+        }
+        self.metrics.sim_time_s = self.t_s;
+        done
+    }
+
     /// Advances the device by exactly `max_steps` simulation steps,
     /// observably identical to calling [`Simulator::step_one`] that many
     /// times, but coalescing hibernation spans through the fast-forward

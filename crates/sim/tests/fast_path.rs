@@ -200,6 +200,48 @@ fn advance_matches_run_steps_exactly() {
 }
 
 #[test]
+fn run_capped_slices_reproduce_run_for_bit_exactly() {
+    // The supervisor's cooperative budget checks slice a workload into
+    // `run_capped` calls sharing one `t_end`. Slicing may split coalesced
+    // hibernation spans, so this is the regression proof that the sliced
+    // walk lands on the identical trajectory — on a hibernation-heavy
+    // configuration where spans genuinely straddle slice boundaries.
+    let app = gecko_apps::app_by_name("blink").unwrap();
+    let build = || {
+        let mut cfg = SimConfig::harvesting(SchemeKind::Gecko).with_capacitor(200e-6, 0.0);
+        cfg.harvester = Box::new(ConstantPower::new(3e-6));
+        cfg
+    };
+    let window_s = 2.0;
+    for slice in [1u64, 137, 4_096, u64::MAX] {
+        let mut sliced = Simulator::new(&app, build()).unwrap();
+        let t_end = sliced.time_s() + window_s;
+        let mut total = 0u64;
+        loop {
+            let taken = sliced.run_capped(t_end, u64::MAX, slice);
+            total += taken;
+            if sliced.time_s() >= t_end {
+                break;
+            }
+            assert_eq!(taken, slice, "a capped call fills its cap");
+        }
+        let mut reference = Simulator::new(&app, build()).unwrap();
+        reference.run_for(window_s);
+        assert_equivalent(&sliced, &reference, &format!("slice {slice}"));
+        assert_eq!(total, sliced.fast_path_stats().steps);
+    }
+    // And the completion-target form must reproduce run_until_completions.
+    let mut capped = Simulator::new(&app, build()).unwrap();
+    let t_end = capped.time_s() + 30.0;
+    while capped.time_s() < t_end && capped.metrics.completions < 2 {
+        capped.run_capped(t_end, 2, 10_000);
+    }
+    let mut reference = Simulator::new(&app, build()).unwrap();
+    reference.run_until_completions(2, 30.0);
+    assert_equivalent(&capped, &reference, "until-completions");
+}
+
+#[test]
 fn snapshot_forked_inside_a_fast_forwarded_span_is_exact() {
     // Drive a simulator deep into a hibernation span that the fast path
     // coalesces, snapshot mid-span, and check (a) the snapshot carries an

@@ -6,24 +6,30 @@
 //! Output: the fleet summary table (per-item metrics rolled up), the two
 //! wall-clock times, and two deterministic digests that must be equal.
 //!
+//! Two flags exercise the supervision layer:
+//!
+//! * `--chaos` — rerun the grid with seeded fault injection (panics +
+//!   transients). Injected panics are quarantined into structured
+//!   failures, retries are bounded, and the failure set is bit-identical
+//!   on 1 worker and on the pool.
+//! * `--resume` — journal the campaign, kill it partway with the
+//!   deterministic halt switch, then resume from the journal and show the
+//!   merged report is bit-exact against the uninterrupted run.
+//!
 //! ```sh
 //! cargo run --release --example campaign
 //! GECKO_WORKERS=8 cargo run --release --example campaign
+//! cargo run --release --example campaign -- --chaos --resume
 //! ```
 
-use gecko_suite::fleet::{fleet_summary, Campaign, CampaignSpec, SchemeKind, Workload};
+use std::sync::Arc;
 
-fn main() {
-    let workers = std::env::var("GECKO_WORKERS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(4)
-        });
+use gecko_suite::fleet::{
+    fleet_summary, Campaign, CampaignSpec, ChaosSpec, Journal, SchemeKind, Workload,
+};
 
-    let spec = CampaignSpec::new("fig11-style")
+fn spec() -> CampaignSpec {
+    CampaignSpec::new("fig11-style")
         .apps(
             gecko_suite::apps::all_apps()
                 .iter()
@@ -33,8 +39,92 @@ fn main() {
         .workload(Workload::UntilCompletions {
             n: 3,
             max_seconds: 30.0,
+        })
+}
+
+/// `--chaos`: seeded fault injection, quarantined deterministically.
+fn chaos_demo(workers: usize) {
+    let chaos = ChaosSpec {
+        seed: 0xC4A05,
+        panic_per_mille: 150,
+        transient_per_mille: 200,
+        ..ChaosSpec::off()
+    };
+    println!("\n--chaos: injecting seeded panics (15%) and transients (20%)...");
+    let solo = Campaign::new(spec())
+        .workers(1)
+        .chaos(chaos)
+        .run()
+        .expect("campaign");
+    let fleet = Campaign::new(spec())
+        .workers(workers)
+        .chaos(chaos)
+        .run()
+        .expect("campaign");
+    println!(
+        "quarantined {} failure(s), {} retried attempt(s); workers kept draining the queue",
+        fleet.counters.failures, fleet.counters.retries
+    );
+    for f in &fleet.failures {
+        println!("  {} {}", f.kind().name(), f.describe());
+    }
+    assert_eq!(
+        solo.failures, fleet.failures,
+        "chaos is keyed on (seed, run key, attempt), not on scheduling"
+    );
+    assert_eq!(solo.deterministic_digest(), fleet.deterministic_digest());
+    println!("failure sets and digests agree on 1 worker and {workers} workers");
+}
+
+/// `--resume`: journal, kill partway, resume, compare bit-exactly.
+fn resume_demo(workers: usize, reference: &gecko_suite::fleet::CampaignReport) {
+    let items = spec().expand().len() as u64;
+    let kill_at = items / 2;
+    let journal = Arc::new(Journal::memory());
+    println!("\n--resume: journaling the campaign and killing it after {kill_at}/{items} runs...");
+    let partial = Campaign::new(spec())
+        .workers(workers)
+        .journal(Arc::clone(&journal))
+        .halt_after(kill_at)
+        .run()
+        .expect("campaign");
+    assert!(partial.halted);
+    let resumed = Campaign::new(spec())
+        .workers(workers)
+        .resume(Arc::clone(&journal))
+        .run()
+        .expect("campaign");
+    println!(
+        "resumed {} journaled run(s), re-executed {}, wall {:.2}s",
+        resumed.counters.resumed,
+        items - resumed.counters.resumed,
+        resumed.wall_s,
+    );
+    assert_eq!(
+        resumed.deterministic_digest(),
+        reference.deterministic_digest(),
+        "a killed-and-resumed campaign must merge bit-exactly"
+    );
+    println!(
+        "digest {:016x} matches the uninterrupted run bit-for-bit",
+        resumed.deterministic_digest()
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let chaos = args.iter().any(|a| a == "--chaos");
+    let resume = args.iter().any(|a| a == "--resume");
+    let workers = std::env::var("GECKO_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4)
         });
 
+    let spec = spec();
     println!("running {} on 1 worker...", spec.name);
     let solo = Campaign::new(spec.clone())
         .workers(1)
@@ -63,4 +153,11 @@ fn main() {
         "digests agree: {:016x} — results are bit-identical across worker counts",
         solo.deterministic_digest()
     );
+
+    if chaos {
+        chaos_demo(workers);
+    }
+    if resume {
+        resume_demo(workers, &fleet);
+    }
 }
