@@ -17,7 +17,7 @@
 //! (default: all available cores).
 
 use std::fs;
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
 use gecko_sim::experiments::Fidelity;
@@ -45,9 +45,17 @@ pub fn workers_from_env() -> usize {
         })
 }
 
-/// Directory where bench targets persist their JSON rows.
+/// Directory where bench targets persist their JSON rows — anchored at the
+/// workspace root's `target/gecko-results` regardless of the working
+/// directory cargo launches the bench binary in (package root, not
+/// workspace root, so a relative path would scatter results).
 pub fn results_dir() -> PathBuf {
-    let dir = PathBuf::from("target/gecko-results");
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .map(Path::to_path_buf)
+        .unwrap_or_else(|| PathBuf::from("."))
+        .join("target/gecko-results");
     let _ = fs::create_dir_all(&dir);
     dir
 }
@@ -58,6 +66,80 @@ pub fn save_rows<R: Record>(name: &str, rows: &[R]) {
     match gecko_fleet::persist_records(&results_dir(), name, rows) {
         Ok(path) => println!("[saved {}]", path.display()),
         Err(e) => eprintln!("warning: could not write {name}.jsonl: {e}"),
+    }
+}
+
+/// One machine-readable row of a bench summary (`BENCH_sim.json`): the
+/// compact artifact the CI bench-smoke step publishes. The JSONL telemetry
+/// written by [`save_rows`] remains the full per-section log.
+pub struct SummaryRow {
+    /// Row name, `section/scheme/workload`.
+    pub name: String,
+    /// Best-of-N wall time per simulated step (nanoseconds).
+    pub ns_per_op: f64,
+    /// The ratio the section reports: coalescing factor for the fast-path
+    /// sections, speedup or overhead factor elsewhere.
+    pub ratio: f64,
+}
+
+/// The current `git` commit (short hash), or `"unknown"` outside a
+/// repository — stamped into bench summaries so a JSON artifact is
+/// attributable without its CI context.
+pub fn git_commit_short() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn json_num(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Writes `target/gecko-results/<name>.json`: one JSON object holding the
+/// current commit hash and an array of [`SummaryRow`]s. Hand-rolled — the
+/// workspace is serde-free by design.
+pub fn save_json_summary(name: &str, rows: &[SummaryRow]) {
+    let mut body = String::new();
+    body.push_str("{\n  \"commit\": \"");
+    body.push_str(&json_escape(&git_commit_short()));
+    body.push_str("\",\n  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str(&format!(
+            "    {{\"name\": \"{}\", \"ns_per_op\": {}, \"ratio\": {}}}{}\n",
+            json_escape(&row.name),
+            json_num(row.ns_per_op),
+            json_num(row.ratio),
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  ]\n}\n");
+    let path = results_dir().join(format!("{name}.json"));
+    match fs::write(&path, body) {
+        Ok(()) => println!("[saved {}]", path.display()),
+        Err(e) => eprintln!("warning: could not write {name}.json: {e}"),
     }
 }
 
@@ -154,6 +236,28 @@ mod tests {
     #[test]
     fn workers_default_is_positive() {
         assert!(workers_from_env() >= 1);
+    }
+
+    #[test]
+    fn json_summary_is_well_formed() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
+        assert_eq!(json_num(1.5), "1.5");
+        assert_eq!(json_num(f64::NAN), "null");
+        assert!(!git_commit_short().is_empty());
+        save_json_summary(
+            "BENCH_selftest",
+            &[SummaryRow {
+                name: "section/scheme".to_string(),
+                ns_per_op: 12.5,
+                ratio: 3.0,
+            }],
+        );
+        let text = fs::read_to_string(results_dir().join("BENCH_selftest.json")).unwrap();
+        assert!(text.contains("\"commit\": \""), "{text}");
+        assert!(
+            text.contains("{\"name\": \"section/scheme\", \"ns_per_op\": 12.5, \"ratio\": 3}"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -40,11 +40,13 @@ pub struct ExploreConfig {
     pub max_windows: Option<u64>,
     /// Peripheral seed (must match across golden run and exploration).
     pub seed: u64,
-    /// Coalesce post-injection recharge hibernation through the
-    /// simulator's fast-forward (see [`gecko_sim::Simulator::set_fast_forward`]).
+    /// Coalesce simulation spans through the simulator's fast paths —
+    /// post-injection recharge hibernation
+    /// ([`gecko_sim::Simulator::set_fast_forward`]) and event-horizon
+    /// active stepping ([`gecko_sim::Simulator::set_event_horizon`]).
     /// Observably identical either way — verdicts, violations and even
-    /// `CheckStats::steps` match bit for bit; `false` forces the per-tick
-    /// reference path the differential tests compare against.
+    /// `CheckStats::steps` match bit for bit; `false` forces the
+    /// per-step reference paths the differential tests compare against.
     pub fast_forward: bool,
 }
 
@@ -110,6 +112,7 @@ pub(crate) fn checker_sim(compiled: &CompiledApp, seed: u64, fast_forward: bool)
     config.seed = seed;
     let mut sim = Simulator::from_compiled(compiled, config);
     sim.set_fast_forward(fast_forward);
+    sim.set_event_horizon(fast_forward);
     sim
 }
 
@@ -131,13 +134,12 @@ pub(crate) fn explore_budget(golden_steps: u64) -> u64 {
 pub fn golden_steps(compiled: &CompiledApp, seed: u64) -> Result<u64, GoldenError> {
     let mut sim = checker_sim(compiled, seed, true);
     let budget = compiled.app.step_budget();
-    let mut steps = 0u64;
-    while sim.metrics.completions < 1 {
-        if steps >= budget {
-            return Err(GoldenError::DidNotComplete { budget });
-        }
-        sim.step_one();
-        steps += 1;
+    // `run_capped` drains through the same `advance_to_horizon` seam as
+    // every other run loop; the step count it returns is bit-identical to
+    // the per-step walk it replaced.
+    let steps = sim.run_capped(f64::INFINITY, 1, budget);
+    if sim.metrics.completions < 1 {
+        return Err(GoldenError::DidNotComplete { budget });
     }
     if sim.metrics.checksum_errors > 0 {
         return Err(GoldenError::Mismatch {
@@ -202,9 +204,9 @@ pub(crate) fn check_windows(
 
     let mut sim = checker_sim(compiled, cfg.seed, cfg.fast_forward);
     // Reposition onto the golden trace at the chunk's first window.
-    for _ in 0..start {
-        sim.step_one();
-    }
+    // `advance` coalesces where it can and lands bit-identically to
+    // `start` individual steps.
+    sim.advance(start);
 
     for window in start..end {
         stats.windows += 1;
@@ -343,25 +345,21 @@ fn settle_and_check(
         }
     }
     stats.explored += 1;
+    // Drain to the next completion through `run_capped` — the same
+    // `advance_to_horizon` seam as every run loop, coalescing both
+    // recharge hibernation and active execution. The returned step count
+    // is bit-identical to the per-step walk this replaced, so the Stuck
+    // budget and `CheckStats::steps` are unchanged.
     let mut total = 0u64;
     let outcome = loop {
         if total >= budget {
             break Outcome::Stuck;
         }
-        if sim.is_on() {
-            sim.step_one();
-            stats.steps += 1;
-            total += 1;
-            if sim.metrics.completions >= 1 {
-                break outcome_of(sim, compiled);
-            }
-        } else {
-            // A nested fault put the device back to sleep: batch the
-            // recharge. Sleep ticks can never complete a run, so checking
-            // for completion only after ON steps is exact.
-            let n = sim.advance_sleep(budget - total);
-            stats.steps += n;
-            total += n;
+        let n = sim.run_capped(f64::INFINITY, 1, budget - total);
+        stats.steps += n;
+        total += n;
+        if sim.metrics.completions >= 1 {
+            break outcome_of(sim, compiled);
         }
     };
     if cfg.memoize {

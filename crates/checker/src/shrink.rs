@@ -39,21 +39,16 @@ pub fn replay(
         inj.kind.inject(&mut sim);
         blame = Blame::capture(&sim, compiled);
     }
+    // Drain to the next completion through `run_capped` — the same
+    // coalescing seam as exploration, with bit-identical step counts.
     let mut total = 0u64;
     loop {
         if total >= budget {
             return (Outcome::Stuck, blame);
         }
-        if sim.is_on() {
-            sim.step_one();
-            total += 1;
-            if sim.metrics.completions >= 1 {
-                return (outcome_of(&sim, compiled), blame);
-            }
-        } else {
-            // Recharge hibernation: batch through the fast-forward-aware
-            // primitive (sleep ticks can never complete a run).
-            total += sim.advance_sleep(budget - total);
+        total += sim.run_capped(f64::INFINITY, 1, budget - total);
+        if sim.metrics.completions >= 1 {
+            return (outcome_of(&sim, compiled), blame);
         }
     }
 }

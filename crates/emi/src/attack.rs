@@ -203,6 +203,28 @@ impl AttackSchedule {
         Some(horizon)
     }
 
+    /// The next attack-window edge — a window opening *or* closing —
+    /// strictly after `t_s`, or `f64::INFINITY` when the schedule holds
+    /// no further edges.
+    ///
+    /// Between consecutive edges the set of active windows cannot change,
+    /// so [`active_at`](AttackSchedule::active_at) (and with it the
+    /// disturbance amplitude seen by every monitor) is constant over
+    /// `[t_s, next_edge)`. The simulator's event-horizon stepping uses
+    /// this as the attack component of a coalesced segment's horizon.
+    pub fn next_edge(&self, t_s: f64) -> f64 {
+        let mut edge = f64::INFINITY;
+        for a in &self.attacks {
+            if a.start_s > t_s {
+                edge = edge.min(a.start_s);
+            }
+            if a.end_s > t_s {
+                edge = edge.min(a.end_s);
+            }
+        }
+        edge
+    }
+
     /// The scheduled attack windows.
     pub fn windows(&self) -> &[TimedAttack] {
         &self.attacks
@@ -261,6 +283,19 @@ mod tests {
             AttackSchedule::none().quiet_horizon(1.0),
             Some(f64::INFINITY)
         );
+    }
+
+    #[test]
+    fn next_edge_sees_openings_and_closings() {
+        let sig = EmiSignal::new(27e6, 35.0);
+        let inj = Injection::Remote { distance_m: 5.0 };
+        let sched = AttackSchedule::bursts(sig, inj, &[60.0, 300.0], 30.0);
+        assert_eq!(sched.next_edge(0.0), 60.0, "first opening");
+        assert_eq!(sched.next_edge(60.0), 90.0, "strictly after: the close");
+        assert_eq!(sched.next_edge(65.0), 90.0, "closing edge mid-window");
+        assert_eq!(sched.next_edge(90.0), 300.0);
+        assert_eq!(sched.next_edge(330.0), f64::INFINITY);
+        assert_eq!(AttackSchedule::none().next_edge(0.0), f64::INFINITY);
     }
 
     #[test]

@@ -127,6 +127,25 @@ impl AdcMonitor {
         self.v_ref / (levels - 1.0)
     }
 
+    /// The reading a poll at `t_s` would return from the sample-and-hold
+    /// pipeline *without* triggering a fresh conversion: `Some(held)` when
+    /// a [`read_with`](AdcMonitor::read_with) at `t_s` would return the
+    /// held conversion unchanged, `None` when it would convert anew.
+    /// Read-only — the pipeline state is untouched.
+    ///
+    /// Because the hold window is anchored at the last conversion time,
+    /// "would convert at `t_s`" is monotone in `t_s`: if this returns
+    /// `None` now, every later poll also converts (until one does).
+    /// The simulator's event-horizon entry check relies on that to vet a
+    /// whole span with a single call.
+    pub fn held_at(&self, t_s: f64) -> Option<f64> {
+        if self.primed && t_s - self.last_sample_t < self.sample_period_s {
+            Some(self.last_reading)
+        } else {
+            None
+        }
+    }
+
     /// Clears sampling state (used at reboot).
     pub fn reset(&mut self) {
         self.primed = false;
@@ -332,6 +351,17 @@ mod tests {
         assert_eq!(r0, r1, "held");
         let r2 = adc.read(3.0, 0.0, 0.0011);
         assert!((r2 - 3.0).abs() < 0.01, "new conversion");
+    }
+
+    #[test]
+    fn held_at_mirrors_the_pipeline_without_touching_it() {
+        let mut adc = AdcMonitor::new(12, 3.3, 1e-3);
+        assert_eq!(adc.held_at(0.0), None, "unprimed converter converts");
+        let r0 = adc.read(2.0, 0.0, 0.0);
+        assert_eq!(adc.held_at(0.0005), Some(r0), "inside the hold window");
+        assert_eq!(adc.held_at(0.0011), None, "hold window expired");
+        // Read-only: a later read still returns the held conversion.
+        assert_eq!(adc.read(3.0, 0.0, 0.0005), r0);
     }
 
     #[test]

@@ -89,6 +89,14 @@ impl Capacitor {
         self.energy_j
     }
 
+    /// Self-discharge (leakage) conductance in siemens; 0 = leak-free.
+    /// The drain at voltage `V` is `G·V²` watts, so a worst-case
+    /// per-step leakage bound is `leak_siemens() · V_rail² · dt`.
+    #[inline]
+    pub fn leak_siemens(&self) -> f64 {
+        self.leak_s
+    }
+
     /// Energy stored above a floor voltage, i.e. the budget available before
     /// the voltage drops to `floor_v`. Zero when already below the floor.
     pub fn energy_above_j(&self, floor_v: f64) -> f64 {

@@ -1,0 +1,126 @@
+//! Property tests for the closed-form segment solver.
+//!
+//! Two contracts (see `segment.rs` module docs):
+//!
+//! * **Exactness** — on dyadic-rational parameters whose partial sums stay
+//!   below 2^52 quanta, every float operation of the per-step reference
+//!   iteration is exact, so the closed-form crossing must equal the first
+//!   per-step integration crossing — including the no-crossing and
+//!   already-below cases.
+//! * **Conservativeness** — `safe_steps` never overshoots: taking that
+//!   many worst-case steps (as actually evaluated in f64) keeps the
+//!   trajectory at or above the floor the whole way.
+
+use gecko_energy::segment::{next_crossing, safe_steps, Crossing, StepProfile};
+
+/// Minimal splitmix64 (same construction as `gecko_isa::rng`), kept local
+/// so `gecko-energy`'s dev-dependencies stay at layer 0.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+
+    fn unit_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+/// One quantum: every drawn parameter is an integer multiple of 2^-20, so
+/// sums bounded by 2^32 quanta (< 2^52 total scale) are exact in f64.
+const Q: f64 = 1.0 / (1 << 20) as f64;
+
+/// The per-cycle reference: integrate `E ← (E + gain) - draw` step by
+/// step and report the first step strictly below the floor.
+fn iterate_crossing(e0: f64, floor: f64, p: &StepProfile, cap: u64) -> Crossing {
+    if e0 < floor {
+        return Crossing::Already;
+    }
+    let mut e = e0;
+    for k in 1..=cap {
+        e = (e + p.gain_j) - p.draw_j;
+        if e < floor {
+            return Crossing::At(k);
+        }
+    }
+    Crossing::Never
+}
+
+#[test]
+fn closed_form_matches_per_step_integration_on_exact_inputs() {
+    const CAP: u64 = 200_000;
+    let mut rng = SplitMix64(0x5eed_0001);
+    for case in 0..2_000u64 {
+        // Integer quanta: e0, floor ≤ 2^31 quanta; gain, draw ≤ 2^10
+        // quanta. Partial sums stay ≤ 2^31 + CAP·2^10 < 2^39 quanta,
+        // far inside the exact-f64 window.
+        let e0 = rng.below(1 << 31) as f64 * Q;
+        let floor = rng.below(1 << 31) as f64 * Q;
+        let gain = rng.below(1 << 10) as f64 * Q;
+        let draw = rng.below(1 << 10) as f64 * Q;
+        let p = StepProfile::new(gain, draw);
+
+        let reference = iterate_crossing(e0, floor, &p, CAP);
+        let closed = next_crossing(e0, floor, &p);
+        match (closed, reference) {
+            // The iteration is capped; a genuine crossing beyond the cap
+            // must still be consistent with "no crossing within CAP".
+            (Crossing::At(k), Crossing::Never) => {
+                assert!(k > CAP, "case {case}: closed form At({k}) inside cap")
+            }
+            (c, r) => assert_eq!(c, r, "case {case}: e0={e0} floor={floor} p={p:?}"),
+        }
+    }
+}
+
+#[test]
+fn closed_form_handles_no_crossing_and_already_below() {
+    let mut rng = SplitMix64(0x5eed_0002);
+    for _ in 0..500 {
+        let e0 = rng.below(1 << 31) as f64 * Q;
+        let floor = rng.below(1 << 31) as f64 * Q;
+        let draw = rng.below(1 << 10) as f64 * Q;
+        // Non-draining: gain ≥ draw never crosses (unless already below).
+        let p = StepProfile::new(draw + rng.below(1 << 10) as f64 * Q, draw);
+        let expected = if e0 < floor {
+            Crossing::Already
+        } else {
+            Crossing::Never
+        };
+        assert_eq!(next_crossing(e0, floor, &p), expected);
+    }
+}
+
+#[test]
+fn safe_steps_never_overshoots() {
+    const CAP: u64 = 200_000;
+    let mut rng = SplitMix64(0x5eed_0003);
+    for case in 0..2_000u64 {
+        // Arbitrary (non-dyadic) magnitudes across the simulator's real
+        // regimes: millijoule storage, nanojoule-to-millijoule losses.
+        let e0 = 1e-6 * 10f64.powf(4.0 * rng.unit_f64());
+        let floor = e0 * rng.unit_f64();
+        // Keep the loss ≥ 1e-9·e0 so CAP steps of f64 rounding noise
+        // (≈ CAP·2⁻⁵²·e0) stay far below one step's haircut.
+        let loss = e0 * (1e-9 + rng.unit_f64());
+        let n = safe_steps(e0, floor, loss);
+        let mut e = e0;
+        for k in 0..n.min(CAP) {
+            e -= loss;
+            assert!(
+                e >= floor,
+                "case {case}: below floor after step {} of {n} (e0={e0} floor={floor} loss={loss})",
+                k + 1
+            );
+        }
+    }
+}

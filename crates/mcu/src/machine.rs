@@ -270,7 +270,84 @@ impl Machine {
     ) -> StepOutcome {
         assert!(!self.halted, "stepping a halted machine");
         let entry = pre.entry(self.pc.block, self.pc.index);
-        let event = match entry.op {
+        let event = self.exec_pop(entry.op, nvm, periph);
+        StepOutcome {
+            cycles: entry.cycles,
+            energy_nj: entry.energy_nj,
+            event,
+        }
+    }
+
+    /// Retires a span of predecoded instructions in one batched call —
+    /// the machine/NVM/peripheral half of the simulator's event-horizon
+    /// stepping. Returns the number of instructions retired (possibly 0).
+    ///
+    /// The span ends, *without executing the stopping entry*, at:
+    ///
+    /// * the first entry that surfaces a runtime event the caller must
+    ///   handle exactly — `Boundary`, `Checkpoint` or `Halt` ([`StepEvent::Io`]
+    ///   is runtime-inert in the simulator and stays in-span);
+    /// * the first `Store` whose resolved address is at or above
+    ///   `store_fence` — writes into the checkpoint-runtime NVM area can
+    ///   flip scheme state (e.g. the GECKO mode word) that the caller's
+    ///   admission reasoning assumed constant;
+    /// * `max_insts` instructions retired; or
+    /// * `admit(cycles, energy_nj)` returning `false` for the next entry.
+    ///
+    /// `admit` is consulted *before* each instruction executes, with that
+    /// entry's precomputed costs; when it declines, machine, NVM and
+    /// peripherals are exactly as if the instruction never started. That
+    /// lets the caller replay its energy/time bookkeeping per instruction
+    /// (bit-identically to the per-step reference) and stop the moment a
+    /// guard would fail, without ever having to undo an instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after `halt`, or if the PC points outside the
+    /// program.
+    pub fn retire_span(
+        &mut self,
+        pre: &PredecodedProgram,
+        nvm: &mut Nvm,
+        periph: &mut Peripherals,
+        max_insts: u64,
+        store_fence: u32,
+        mut admit: impl FnMut(u64, f64) -> bool,
+    ) -> u64 {
+        assert!(!self.halted, "stepping a halted machine");
+        let mut done = 0u64;
+        while done < max_insts {
+            let entry = pre.entry(self.pc.block, self.pc.index);
+            match entry.op {
+                POp::Boundary { .. } | POp::Checkpoint { .. } | POp::Halt => break,
+                POp::Store { base, off, .. } => {
+                    let addr = (self.regs.get(base).wrapping_add(off)) as u32;
+                    if addr >= store_fence {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if !admit(entry.cycles, entry.energy_nj) {
+                break;
+            }
+            let event = self.exec_pop(entry.op, nvm, periph);
+            debug_assert!(
+                matches!(event, None | Some(StepEvent::Io(_))),
+                "span-ending ops are filtered before execution"
+            );
+            done += 1;
+        }
+        done
+    }
+
+    /// Executes one predecoded operation — the shared core of
+    /// [`Machine::step_predecoded`] and [`Machine::retire_span`], so the
+    /// batched path is the *same code* as the per-step path by
+    /// construction.
+    #[inline]
+    fn exec_pop(&mut self, op: POp, nvm: &mut Nvm, periph: &mut Peripherals) -> Option<StepEvent> {
+        match op {
             POp::MovImm { dst, imm } => {
                 self.pc.index += 1;
                 self.regs.set(dst, imm);
@@ -367,11 +444,6 @@ impl Machine {
                 self.halted = true;
                 Some(StepEvent::Halted)
             }
-        };
-        StepOutcome {
-            cycles: entry.cycles,
-            energy_nj: entry.energy_nj,
-            event,
         }
     }
 
@@ -628,6 +700,137 @@ mod tests {
         assert!(b2.is_halted());
         assert_eq!(nvm_a.words(), nvm_b.words());
         assert_eq!(pa.sent(), pb.sent());
+    }
+
+    #[test]
+    fn retire_span_matches_per_step_and_stops_at_events() {
+        // Same shape as the differential test above: a loop with memory
+        // traffic and IO, ended by Boundary/Checkpoint/Halt pseudo-ops.
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 8, true);
+        let (sum, i, addr) = (Reg::R1, Reg::R2, Reg::R3);
+        b.mov(sum, 0);
+        b.mov(i, 0);
+        b.mov(addr, d as i32);
+        let head = b.new_label("head");
+        let body = b.new_label("body");
+        let exit = b.new_label("exit");
+        b.bind(head);
+        b.set_loop_bound(6);
+        b.branch(Cond::Lt, i, 6, body, exit);
+        b.bind(body);
+        b.bin(BinOp::Add, sum, sum, i);
+        b.bin(BinOp::Add, i, i, 1);
+        b.store(sum, addr, 0);
+        b.load(Reg::R4, addr, 0);
+        b.jump(head);
+        b.bind(exit);
+        b.sense(Reg::R5);
+        b.send(Reg::R5);
+        b.push(Inst::Boundary {
+            region: RegionId::new(1),
+        });
+        b.push(Inst::Checkpoint { reg: sum, slot: 0 });
+        b.halt();
+        let p = b.finish().unwrap();
+
+        let cost = CostModel::default();
+        let energy = EnergyModel::default();
+        let pre = PredecodedProgram::build(&p, &cost, &energy);
+        let fence = 1 << 10; // no app store reaches this address
+
+        // Reference: per-step until the first event-surfacing entry.
+        let mut nvm_a = Nvm::new(1 << 10);
+        let mut pa = Peripherals::new(3);
+        let mut a = Machine::new(p.entry());
+        let mut ref_insts = 0u64;
+        let mut ref_cycles = 0u64;
+        let mut ref_energy = 0.0f64;
+        loop {
+            let e = pre.entry(a.pc().block, a.pc().index);
+            if matches!(
+                e.op,
+                POp::Boundary { .. } | POp::Checkpoint { .. } | POp::Halt
+            ) {
+                break;
+            }
+            let o = a.step_predecoded(&pre, &mut nvm_a, &mut pa);
+            ref_insts += 1;
+            ref_cycles += o.cycles;
+            ref_energy += o.energy_nj;
+        }
+
+        // Batched: one retire_span with an admit that mirrors the sums.
+        let mut nvm_b = Nvm::new(1 << 10);
+        let mut pb = Peripherals::new(3);
+        let mut m = Machine::new(p.entry());
+        let mut cycles = 0u64;
+        let mut energy_nj = 0.0f64;
+        let done = m.retire_span(&pre, &mut nvm_b, &mut pb, u64::MAX, fence, |c, e| {
+            cycles += c;
+            energy_nj += e;
+            true
+        });
+        assert_eq!(done, ref_insts);
+        assert_eq!(cycles, ref_cycles);
+        assert_eq!(energy_nj.to_bits(), ref_energy.to_bits());
+        assert_eq!(m, a, "machines land on the same boundary");
+        assert_eq!(nvm_a.words(), nvm_b.words());
+        assert_eq!(pa.sent(), pb.sent());
+        assert!(
+            matches!(
+                pre.entry(m.pc().block, m.pc().index).op,
+                POp::Boundary { .. }
+            ),
+            "span stops exactly at the unexecuted boundary"
+        );
+
+        // Worst-step really bounds every admitted entry.
+        let (wc, we) = pre.worst_step();
+        assert!(ref_cycles <= wc * ref_insts);
+        assert!(ref_energy <= we * ref_insts as f64);
+
+        // Declining admission leaves the machine untouched.
+        let before = m.clone();
+        let n = m.retire_span(&pre, &mut nvm_b, &mut pb, u64::MAX, fence, |_, _| false);
+        assert_eq!(n, 0);
+        assert_eq!(m, before);
+
+        // max_insts caps the span mid-way.
+        let mut nvm_c = Nvm::new(1 << 10);
+        let mut pc2 = Peripherals::new(3);
+        let mut c = Machine::new(p.entry());
+        let n = c.retire_span(&pre, &mut nvm_c, &mut pc2, 2, fence, |_, _| true);
+        assert_eq!(n, 2);
+    }
+
+    #[test]
+    fn retire_span_fences_runtime_area_stores() {
+        // A store below the fence stays in-span; one at the fence stops
+        // the span before executing.
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 8, true);
+        b.mov(Reg::R1, 5);
+        b.mov(Reg::R2, d as i32);
+        b.store(Reg::R1, Reg::R2, 0); // app-area store: in-span
+        b.mov(Reg::R3, 64); // fence address
+        b.store(Reg::R1, Reg::R3, 0); // fenced store: span-ender
+        b.halt();
+        let p = b.finish().unwrap();
+        let cost = CostModel::default();
+        let energy = EnergyModel::default();
+        let pre = PredecodedProgram::build(&p, &cost, &energy);
+        let mut nvm = Nvm::new(128);
+        let mut periph = Peripherals::new(0);
+        let mut m = Machine::new(p.entry());
+        let n = m.retire_span(&pre, &mut nvm, &mut periph, u64::MAX, 64, |_, _| true);
+        assert_eq!(n, 4, "stops before the fenced store");
+        assert_eq!(nvm.read(d), 5, "app store executed");
+        assert_eq!(nvm.read(64), 0, "fenced store did not");
+        assert!(
+            matches!(pre.entry(m.pc().block, m.pc().index).op, POp::Store { .. }),
+            "PC parked on the fenced store"
+        );
     }
 
     #[test]

@@ -166,6 +166,8 @@ pub enum POp {
 pub struct PredecodedProgram {
     entries: Vec<PEntry>,
     base: Vec<u32>,
+    max_step_cycles: u64,
+    max_step_energy_nj: f64,
 }
 
 impl PredecodedProgram {
@@ -192,7 +194,25 @@ impl PredecodedProgram {
                 energy_nj: energy.cycles_energy_nj(cycles),
             });
         }
-        PredecodedProgram { entries, base }
+        let max_step_cycles = entries.iter().map(|e| e.cycles).max().unwrap_or(0);
+        let max_step_energy_nj = entries.iter().map(|e| e.energy_nj).fold(0.0, f64::max);
+        PredecodedProgram {
+            entries,
+            base,
+            max_step_cycles,
+            max_step_energy_nj,
+        }
+    }
+
+    /// The worst-case single-step cost across the whole program, as
+    /// `(cycles, energy_nj)` — the maxima are taken independently, so the
+    /// pair upper-bounds every entry even if no single instruction costs
+    /// both. Precomputed at build time; the simulator's event-horizon
+    /// stepping uses it to bound a batched segment's per-step energy and
+    /// time loss without inspecting the instructions it will retire.
+    #[inline]
+    pub fn worst_step(&self) -> (u64, f64) {
+        (self.max_step_cycles, self.max_step_energy_nj)
     }
 
     /// The entry at program point `(block, index)`.

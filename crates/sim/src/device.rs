@@ -34,7 +34,7 @@ use gecko_ctpl::JitArea;
 use gecko_emi::{
     AdcMonitor, AttackSchedule, ComparatorMonitor, DeviceModel, FilteredAdcMonitor, MonitorKind,
 };
-use gecko_energy::{Capacitor, ConstantPower, PowerSource, VoltageThresholds};
+use gecko_energy::{segment, Capacitor, ConstantPower, PowerSource, VoltageThresholds};
 use gecko_isa::{CostModel, EnergyModel, Program, Reg, RegionId};
 use gecko_mcu::{Machine, Nvm, Pc, Peripherals, PredecodedProgram, StepEvent};
 
@@ -71,6 +71,18 @@ pub const WAKE_FALLBACK_S: f64 = 0.1;
 pub const MIN_ON_PERIOD_CYCLES: u64 = 100_000;
 /// NVM words of main memory.
 pub const NVM_WORDS: u32 = 1 << 16;
+
+/// Lowest NVM address of any scheme's checkpoint-runtime area (the
+/// Ratchet buffers at `NVM_WORDS - 256`; the GECKO and JIT areas sit
+/// above it). A store at or above this fence can flip runtime state the
+/// event-horizon coalescer assumed constant (e.g. the GECKO mode word),
+/// so batched spans end before executing one — applications never store
+/// there, making the fence free in practice.
+const RUNTIME_AREA_FENCE: u32 = NVM_WORDS - 256;
+
+/// Smallest closed-form active horizon (in instructions) worth entering a
+/// batched span for; below this the exact per-step path runs.
+const MIN_ACTIVE_SPAN: u64 = 8;
 
 /// Everything needed to instantiate a simulated device.
 #[derive(Debug)]
@@ -193,15 +205,17 @@ pub enum ExecMode {
 }
 
 /// Cumulative instrumentation of the simulator's stepping machinery: how
-/// many simulation steps ran, and how many of them the hibernation
-/// fast-forward coalesced into its cheap inner loop.
+/// many simulation steps ran, and how many of them the two coalescers
+/// (hibernation fast-forward, event-horizon active stepping) batched past
+/// the full per-step dispatch. `steps == dispatches + ff_ticks + eh_insts`
+/// always holds.
 ///
 /// These counters are *diagnostics*, not simulation state: they are
 /// excluded from [`Simulator::snapshot`], [`Simulator::state_hash`] and
 /// [`crate::Metrics`], and keep accumulating across
 /// [`Simulator::restore`] rewinds. They are deterministic for a given
 /// configuration and run, which is what lets the `fast_path` bench assert
-/// its coalescing ratio without wall-clock flakiness.
+/// its coalescing ratios without wall-clock flakiness.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct FastPathStats {
     /// Total simulation steps (instructions + sleep ticks), however
@@ -214,6 +228,10 @@ pub struct FastPathStats {
     pub ff_ticks: u64,
     /// Fast-forwarded spans (maximal runs of coalesced ticks).
     pub ff_spans: u64,
+    /// ON-state instructions coalesced by event-horizon stepping.
+    pub eh_insts: u64,
+    /// Event-horizon spans (maximal runs of batched instructions).
+    pub eh_spans: u64,
 }
 
 /// A full capture of a [`Simulator`]'s mutable state: volatile machine
@@ -353,6 +371,7 @@ pub struct Simulator {
 
     exec_mode: ExecMode,
     fast_forward: bool,
+    event_horizon: bool,
     fast: FastPathStats,
 
     app: App,
@@ -439,6 +458,7 @@ impl Simulator {
             energy: EnergyModel::default(),
             exec_mode: ExecMode::Predecoded,
             fast_forward: true,
+            event_horizon: true,
             fast: FastPathStats::default(),
             app: app.clone(),
             scheme: config.scheme,
@@ -501,6 +521,21 @@ impl Simulator {
         self.fast_forward
     }
 
+    /// Enables or disables event-horizon active stepping (enabled by
+    /// default). Batched active spans are observationally identical to
+    /// stepping every instruction — disabling forces the per-instruction
+    /// reference path the differential tests compare against. The batch
+    /// path only engages in [`ExecMode::Predecoded`], so selecting
+    /// [`ExecMode::Interpreted`] also implies per-instruction stepping.
+    pub fn set_event_horizon(&mut self, enabled: bool) {
+        self.event_horizon = enabled;
+    }
+
+    /// Whether event-horizon active stepping is enabled.
+    pub fn event_horizon(&self) -> bool {
+        self.event_horizon
+    }
+
     /// Cumulative fast-path instrumentation (diagnostics only; not part of
     /// the simulation state).
     pub fn fast_path_stats(&self) -> FastPathStats {
@@ -524,11 +559,11 @@ impl Simulator {
 
     /// Executes exactly `n` simulation steps (instructions while on, sleep
     /// ticks while off). Fault-injection harnesses use this for precise
-    /// positioning before [`Simulator::inject_power_failure`].
+    /// positioning before [`Simulator::inject_power_failure`] — the
+    /// landing state is bit-identical to `n` [`Simulator::step_one`]
+    /// calls even when spans in between were coalesced.
     pub fn run_steps(&mut self, n: u64) -> Metrics {
-        for _ in 0..n {
-            self.step_one();
-        }
+        self.advance(n);
         self.metrics.sim_time_s = self.t_s;
         self.metrics
     }
@@ -582,10 +617,7 @@ impl Simulator {
     pub fn run_until_completions(&mut self, n: u64, max_seconds: f64) -> Metrics {
         let t_end = self.t_s + max_seconds;
         while self.t_s < t_end && self.metrics.completions < n {
-            if self.state == PowerState::Sleeping && self.try_fast_forward(u64::MAX, t_end) > 0 {
-                continue;
-            }
-            self.step_one();
+            self.advance_to_horizon(u64::MAX, t_end);
         }
         self.metrics.sim_time_s = self.t_s;
         self.metrics
@@ -593,15 +625,13 @@ impl Simulator {
 
     /// Runs the simulation for `seconds` of device time; returns the
     /// metrics accumulated so far (cumulative across calls). Hibernation
-    /// spans are fast-forwarded when provably equivalent (see
-    /// [`Simulator::set_fast_forward`]).
+    /// and active-execution spans are coalesced when provably equivalent
+    /// (see [`Simulator::set_fast_forward`] and
+    /// [`Simulator::set_event_horizon`]).
     pub fn run_for(&mut self, seconds: f64) -> Metrics {
         let t_end = self.t_s + seconds;
         while self.t_s < t_end {
-            if self.state == PowerState::Sleeping && self.try_fast_forward(u64::MAX, t_end) > 0 {
-                continue;
-            }
-            self.step_one();
+            self.advance_to_horizon(u64::MAX, t_end);
         }
         self.metrics.sim_time_s = self.t_s;
         self.metrics
@@ -612,23 +642,16 @@ impl Simulator {
     /// simulation steps — whichever comes first — and returns the steps
     /// taken. Chaining calls with the same `t_end`/`target_completions`
     /// reproduces [`Simulator::run_for`] / [`Simulator::run_until_completions`]
-    /// bit for bit (capping `max_steps` can only split a hibernation
-    /// fast-forward span, which is observably identical to the uncapped
-    /// walk), which is what lets `gecko-fleet`'s supervisor interleave
-    /// step-budget and deadline checks without perturbing results.
+    /// bit for bit (capping `max_steps` can only split a coalesced span —
+    /// hibernation fast-forward or event-horizon batch — which is
+    /// observably identical to the uncapped walk), which is what lets
+    /// `gecko-fleet`'s supervisor interleave step-budget and deadline
+    /// checks without perturbing results.
     pub fn run_capped(&mut self, t_end: f64, target_completions: u64, max_steps: u64) -> u64 {
         let mut done = 0u64;
         while done < max_steps && self.t_s < t_end && self.metrics.completions < target_completions
         {
-            if self.state == PowerState::Sleeping {
-                let n = self.try_fast_forward(max_steps - done, t_end);
-                if n > 0 {
-                    done += n;
-                    continue;
-                }
-            }
-            self.step_one();
-            done += 1;
+            done += self.advance_to_horizon(max_steps - done, t_end);
         }
         self.metrics.sim_time_s = self.t_s;
         done
@@ -636,21 +659,12 @@ impl Simulator {
 
     /// Advances the device by exactly `max_steps` simulation steps,
     /// observably identical to calling [`Simulator::step_one`] that many
-    /// times, but coalescing hibernation spans through the fast-forward
-    /// when provably equivalent. Returns the number of steps taken (always
-    /// `max_steps`).
+    /// times, but coalescing spans through the fast paths when provably
+    /// equivalent. Returns the number of steps taken (always `max_steps`).
     pub fn advance(&mut self, max_steps: u64) -> u64 {
         let mut done = 0u64;
         while done < max_steps {
-            if self.state == PowerState::Sleeping {
-                let n = self.try_fast_forward(max_steps - done, f64::INFINITY);
-                if n > 0 {
-                    done += n;
-                    continue;
-                }
-            }
-            self.step_one();
-            done += 1;
+            done += self.advance_to_horizon(max_steps - done, f64::INFINITY);
         }
         done
     }
@@ -664,15 +678,35 @@ impl Simulator {
     pub fn advance_sleep(&mut self, max_steps: u64) -> u64 {
         let mut done = 0u64;
         while done < max_steps && self.state == PowerState::Sleeping {
-            let n = self.try_fast_forward(max_steps - done, f64::INFINITY);
-            if n > 0 {
-                done += n;
-                continue;
-            }
-            self.step_one();
-            done += 1;
+            done += self.advance_to_horizon(max_steps - done, f64::INFINITY);
         }
         done
+    }
+
+    /// The single span-stepping primitive every run loop drains through:
+    /// advances by at most `max_steps` simulation steps — one coalesced
+    /// span (a hibernation fast-forward or an event-horizon active batch)
+    /// when a fast path can prove equivalence right now, otherwise exactly
+    /// one [`Simulator::step_one`] — and returns the number of steps
+    /// taken (at least 1 unless `max_steps == 0`).
+    ///
+    /// `t_end` bounds coalesced spans: no span runs at or past that
+    /// simulated time. The single-step fallback ignores it, exactly like
+    /// the loop bodies this primitive replaced — callers gate on
+    /// [`Simulator::time_s`] before calling.
+    pub fn advance_to_horizon(&mut self, max_steps: u64, t_end: f64) -> u64 {
+        if max_steps == 0 {
+            return 0;
+        }
+        let n = match self.state {
+            PowerState::Sleeping => self.try_fast_forward(max_steps, t_end),
+            PowerState::On => self.try_advance_active(max_steps, t_end),
+        };
+        if n > 0 {
+            return n;
+        }
+        self.step_one();
+        1
     }
 
     // ----- snapshot / fork ----------------------------------------------
@@ -1114,6 +1148,209 @@ impl Simulator {
             if woke {
                 self.boot();
             }
+        }
+        done
+    }
+
+    /// Coalesces up to `max_steps` ON-state instructions into one batched
+    /// span ending strictly before `t_end`, and returns how many it
+    /// committed (0 when the fast path cannot prove equivalence right
+    /// now). Callers fall back to the exact per-instruction
+    /// `on_instruction` on a 0 return.
+    ///
+    /// ## Equivalence argument (DESIGN.md §13 has the full proof sketch)
+    ///
+    /// A per-step ON instruction does three things: execute the machine
+    /// step, run `consume` (charge → account energy/cycles → advance time
+    /// → discharge → brown-out check), then react to events and poll the
+    /// voltage monitor when the JIT protocol (or probation) is armed. The
+    /// batch is sound when every per-step reaction is provably a no-op:
+    ///
+    /// * **Span enders** — [`Machine::retire_span`] stops *before*
+    ///   executing any `Boundary`/`Checkpoint`/`Halt` entry and any store
+    ///   into the runtime NVM area ([`RUNTIME_AREA_FENCE`]), so scheme
+    ///   state (`jit_protocol_active`, probation) is constant in-span and
+    ///   event handling happens on the exact path. `Io` events stay
+    ///   in-span: the device loop ignores them.
+    /// * **No brown-out, no checkpoint signal** — the closed-form sizing
+    ///   ([`segment::safe_steps`]) under the worst-case per-instruction
+    ///   loss ([`PredecodedProgram::worst_step`] plus a full step of
+    ///   rail-voltage leakage) bounds how many instructions provably keep
+    ///   the capacitor above `V_backup + margin` (or `V_off + margin`
+    ///   when no monitor polls), where `margin` covers the ADC's
+    ///   worst-case round-up (`lsb + ε`) and drowns f64 drift. The admit
+    ///   closure re-checks the same worst-case guard against the *live*
+    ///   local capacitor before every instruction, so the closed form
+    ///   only sizes the span — admission is exact.
+    /// * **Monitor state replayed or untouched** — an armed unfiltered
+    ///   ADC is replayed per instruction on a local clone (conversions
+    ///   are rare thanks to the sample-and-hold pipeline; held readings
+    ///   below `V_backup` bail at entry, and in-span conversions are
+    ///   quiet and above the guard, hence provably `>= V_backup`). An
+    ///   armed comparator above `V_backup + margin` with no disturbance
+    ///   can neither latch nor release, so skipping its evaluation leaves
+    ///   identical state; a latched one bails. A filtered ADC always
+    ///   bails (each poll shifts its median window).
+    /// * **Quiet attack horizon** — when the monitor polls, the span ends
+    ///   two worst-case steps before the next attack-window edge
+    ///   ([`AttackSchedule::next_edge`]), so the disturbance amplitude is
+    ///   identically zero at every replayed poll; an active window bails.
+    /// * **Constant harvest** — [`PowerSource::constant_until`] pins the
+    ///   harvester power for the whole span (minus the same slack), so
+    ///   each replayed `charge` is bit-identical to the per-step one.
+    ///
+    /// The span runs `consume`'s float operations in the same order on
+    /// local copies and commits in one shot, so the committed trajectory
+    /// is bit-identical to per-step execution — there is no "closed-form
+    /// energy jump" to reconcile.
+    fn try_advance_active(&mut self, max_steps: u64, t_end: f64) -> u64 {
+        if !self.event_horizon
+            || self.exec_mode != ExecMode::Predecoded
+            || self.state != PowerState::On
+            || self.machine.is_halted()
+        {
+            return 0;
+        }
+        let polls = self.jit_protocol_active() || self.probe == Some(false);
+        let adc_polls = if polls {
+            match self.monitor_kind {
+                MonitorKind::Adc => {
+                    if self.adc_filter.is_some() {
+                        return 0;
+                    }
+                    // A reading held from before the span can already sit
+                    // below V_backup; the next poll would assert the
+                    // checkpoint signal, which only the exact path handles.
+                    if self
+                        .adc
+                        .held_at(self.t_s)
+                        .is_some_and(|r| r < self.thresholds.v_backup)
+                    {
+                        return 0;
+                    }
+                    true
+                }
+                MonitorKind::Comparator => {
+                    if self.comp_backup.is_latched_below() {
+                        return 0;
+                    }
+                    false
+                }
+            }
+        } else {
+            false
+        };
+        let (power, power_until) = match self.harvester.constant_until(self.t_s) {
+            Some(x) => x,
+            None => return 0,
+        };
+        let quiet_until = if polls {
+            if self.attack.active_at(self.t_s).is_some() {
+                return 0;
+            }
+            self.attack.next_edge(self.t_s)
+        } else {
+            f64::INFINITY
+        };
+
+        // Worst-case per-instruction loss: the program's costliest entry
+        // plus a full worst-case step of leakage at the highest voltage
+        // the span can see (harvest is floored at zero — charging only
+        // helps).
+        let (worst_cycles, worst_energy_nj) = self.pre.worst_step();
+        let max_dt = self.cost.cycles_to_seconds(worst_cycles);
+        let v_rail = self.cap.voltage_v().max(self.thresholds.v_max);
+        let leak_j = self.cap.leak_siemens() * v_rail * v_rail * max_dt;
+        let worst_loss_j = worst_energy_nj * 1e-9 + leak_j;
+
+        let margin_v = self.adc.lsb_v() + 1e-9;
+        let v_guard = if polls {
+            self.thresholds.v_backup + margin_v
+        } else {
+            self.thresholds.v_off + margin_v
+        };
+        let e_guard = 0.5 * self.cap.capacitance_f() * v_guard * v_guard;
+        let horizon = segment::safe_steps(self.cap.energy_j(), e_guard, worst_loss_j);
+        if horizon < MIN_ACTIVE_SPAN {
+            return 0;
+        }
+        let slack = 2.0 * max_dt;
+        let t_guard = (power_until - slack).min(quiet_until - slack);
+        if !(self.t_s < t_end && self.t_s < t_guard) {
+            return 0;
+        }
+
+        // The span replays `consume` (and the armed ADC poll) on locals in
+        // the exact per-step operation order; everything commits back in
+        // one shot when the span ends, so the committed trajectory is
+        // bit-identical to stepping each instruction.
+        let mut cap = self.cap.clone();
+        let mut adc = self.adc.clone();
+        let mut t = self.t_s;
+        let mut energy_nj_acc = self.metrics.energy_nj;
+        let mut span_cycles = 0u64;
+        let cost = self.cost;
+        let energy = self.energy;
+        let v_max = self.thresholds.v_max;
+        let v_backup = self.thresholds.v_backup;
+        let v_off = self.thresholds.v_off;
+        let budget = horizon.min(max_steps);
+
+        let done = self.machine.retire_span(
+            &self.pre,
+            &mut self.nvm,
+            &mut self.periph,
+            budget,
+            RUNTIME_AREA_FENCE,
+            |cycles, energy_nj| {
+                // The reference loop-head conditions, checked before the
+                // instruction executes: the time horizons and the exact
+                // worst-case energy guard on the live local capacitor.
+                if t >= t_end || t >= t_guard {
+                    return false;
+                }
+                if cap.energy_j() - worst_loss_j < e_guard {
+                    return false;
+                }
+                let dt = cost.cycles_to_seconds(cycles);
+                cap.charge(power, dt, v_max);
+                let base_nj = energy.cycles_energy_nj(cycles);
+                let e_nj = base_nj + (energy_nj - base_nj).max(0.0);
+                energy_nj_acc += e_nj;
+                span_cycles += cycles;
+                t += dt;
+                let alive = cap.discharge_j(e_nj * 1e-9);
+                debug_assert!(
+                    alive && cap.voltage_v() >= v_off,
+                    "the energy guard must preclude in-span brown-out"
+                );
+                if adc_polls {
+                    // Replay the exact checkpoint poll (quiet span:
+                    // amplitude 0). Held polls return the vetted held
+                    // reading; fresh conversions see the guarded voltage
+                    // and cannot quantize below V_backup.
+                    let r = adc.read_with(|| cap.voltage_v(), 0.0, t);
+                    debug_assert!(
+                        r >= v_backup,
+                        "in-span polls must not assert the checkpoint signal"
+                    );
+                }
+                true
+            },
+        );
+        if done > 0 {
+            self.cap = cap;
+            self.adc = adc;
+            self.t_s = t;
+            self.metrics.energy_nj = energy_nj_acc;
+            // Every in-span instruction is forward progress: overhead
+            // events (Boundary/Checkpoint) are span enders.
+            self.metrics.forward_cycles += span_cycles;
+            self.cycles_since_boot += span_cycles;
+            self.metrics.sim_time_s = self.t_s;
+            self.fast.steps += done;
+            self.fast.eh_insts += done;
+            self.fast.eh_spans += 1;
         }
         done
     }

@@ -16,10 +16,11 @@ fn quick() -> bool {
 }
 
 /// Forces a simulator onto the exact reference path: interpreted dispatch,
-/// no hibernation coalescing.
+/// no hibernation coalescing, no event-horizon batching.
 fn make_exact(sim: &mut Simulator) {
     sim.set_exec_mode(ExecMode::Interpreted);
     sim.set_fast_forward(false);
+    sim.set_event_horizon(false);
 }
 
 /// Asserts two simulators are on bit-identical trajectories.
@@ -189,7 +190,7 @@ fn advance_matches_run_steps_exactly() {
     let stats = fast.fast_path_stats();
     assert_eq!(
         stats.steps,
-        stats.dispatches + stats.ff_ticks,
+        stats.dispatches + stats.ff_ticks + stats.eh_insts,
         "step accounting: {stats:?}"
     );
     assert!(

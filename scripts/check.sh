@@ -35,4 +35,7 @@ cargo test --offline --release -q -p gecko-fleet --test supervision
 cargo test --offline --release -q -p gecko-check --test supervision
 cargo run --offline --release --example campaign -- --chaos --resume
 
+echo "==> bench smoke (fast-path + event-horizon coalescing floors, BENCH_sim.json)"
+GECKO_QUICK=1 cargo bench --offline -p gecko-bench --bench fast_path
+
 echo "==> OK"
