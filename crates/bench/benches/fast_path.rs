@@ -1,6 +1,6 @@
 //! `BENCH_sim` — baseline numbers for the simulator fast path.
 //!
-//! Six sections, one JSONL row each per grid point, persisted as
+//! Seven sections, one JSONL row each per grid point, persisted as
 //! `target/gecko-results/BENCH_sim.jsonl` plus a compact machine-readable
 //! summary (`row name, ns/op, ratio, commit`) as
 //! `target/gecko-results/BENCH_sim.json`:
@@ -29,6 +29,10 @@
 //!    attached, vs plain, vs replayed from a complete journal. The clean
 //!    path must absorb supervision + journaling for < 2% overhead, and a
 //!    full-journal resume must re-execute nothing.
+//! 7. **Serve submit** — the same quick grid submitted to an ephemeral
+//!    `gecko-serve` daemon over HTTP (submit, long-poll, fetch) vs the
+//!    direct library call; the service layer must add < 10% and produce
+//!    the identical deterministic digest.
 
 use gecko_bench::{
     print_table, save_json_summary, save_rows, time_best_of, workers_from_env, SummaryRow,
@@ -453,6 +457,103 @@ fn bench_campaign_resume(rows: &mut Vec<BenchRow>, quick: bool) {
     );
 }
 
+/// Section 7: `gecko-serve` submit→complete overhead. The same quick grid
+/// through the daemon (HTTP submit, long-poll, result fetch, journal +
+/// telemetry files) vs the direct library call; serving must add < 10%.
+fn bench_serve_submit(rows: &mut Vec<BenchRow>, quick: bool) {
+    use gecko_fleet::spec_to_json;
+    use gecko_fleet::Json;
+    use gecko_serve::{http_call, ServeConfig, Server};
+
+    let seconds = if quick { 0.05 } else { 0.2 };
+    let iters = if quick { 3 } else { 5 };
+    let spec = CampaignSpec::new("bench_serve")
+        .apps(["blink", "crc16"])
+        .schemes([SchemeKind::Nvp, SchemeKind::Gecko])
+        .seeds([1, 2, 3])
+        .workload(Workload::RunFor { seconds });
+    let items = spec.expand().len() as u64;
+    let workers = workers_from_env();
+
+    let direct = Campaign::new(spec.clone()).workers(workers);
+    let reference = direct.run().expect("direct campaign runs");
+    let direct_wall = time_best_of(iters, || direct.run().expect("direct campaign runs"));
+
+    let data = std::env::temp_dir().join(format!("gecko-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&data);
+    let server = Server::start(ServeConfig {
+        bind: "127.0.0.1:0".to_string(),
+        journal_root: data.clone(),
+        ..ServeConfig::default()
+    })
+    .expect("daemon boots");
+    let addr = server.addr().to_string();
+    let body = format!("{{\"spec\":{},\"workers\":{workers}}}", spec_to_json(&spec));
+
+    let served_wall = time_best_of(iters, || {
+        let resp = http_call(&addr, "POST", "/v1/campaigns", &body).expect("submit");
+        assert_eq!(resp.status, 201, "submit failed: {}", resp.body);
+        let id = Json::parse(&resp.body)
+            .expect("status doc parses")
+            .get("id")
+            .and_then(Json::as_u64)
+            .expect("job id");
+        loop {
+            let resp =
+                http_call(&addr, "GET", &format!("/v1/jobs/{id}?wait_ms=10000"), "").expect("poll");
+            let doc = Json::parse(&resp.body).expect("status doc parses");
+            match doc.get("state").and_then(Json::as_str) {
+                Some("done") => {
+                    assert_eq!(
+                        doc.get("digest").and_then(Json::as_u64),
+                        Some(reference.deterministic_digest()),
+                        "served digest diverged from the direct run"
+                    );
+                    break;
+                }
+                Some("queued") | Some("running") => {}
+                other => panic!("job {id} landed in {other:?}: {}", resp.body),
+            }
+        }
+    });
+    server.shutdown();
+    let _ = std::fs::remove_dir_all(&data);
+
+    let overhead = served_wall.as_secs_f64() / direct_wall.as_secs_f64();
+    print_table(
+        &format!("serve submit→complete, {items} items x {seconds}s (best of {iters})"),
+        &["path", "wall", "vs direct"],
+        &[
+            vec![
+                "direct".to_string(),
+                format!("{:.1}ms", direct_wall.as_secs_f64() * 1e3),
+                "1.00x".to_string(),
+            ],
+            vec![
+                "served".to_string(),
+                format!("{:.1}ms", served_wall.as_secs_f64() * 1e3),
+                format!("{overhead:.3}x"),
+            ],
+        ],
+    );
+    rows.push(BenchRow {
+        section: "serve_submit".to_string(),
+        scheme: "nvp+gecko".to_string(),
+        app: "blink+crc16".to_string(),
+        steps: items,
+        ff_ticks: 0,
+        eh_insts: 0,
+        ratio: overhead,
+        wall_ms: served_wall.as_secs_f64() * 1e3,
+        rate_per_s: items as f64 / served_wall.as_secs_f64(),
+    });
+    assert!(
+        overhead < 1.10,
+        "serving a campaign must add < 10% over the direct library call \
+         (got {overhead:.3}x)"
+    );
+}
+
 fn bench_checker(rows: &mut Vec<BenchRow>, quick: bool) {
     let app = gecko_apps::app_by_name("crc16").unwrap();
     let cap = if quick { 120 } else { 400 };
@@ -507,6 +608,7 @@ fn main() {
     bench_dispatch(&mut rows, quick);
     bench_campaign(&mut rows, quick);
     bench_campaign_resume(&mut rows, quick);
+    bench_serve_submit(&mut rows, quick);
     bench_checker(&mut rows, quick);
     save_rows("BENCH_sim", &rows);
     let summary: Vec<SummaryRow> = rows

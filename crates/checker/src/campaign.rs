@@ -467,6 +467,7 @@ pub struct CheckCampaign {
     sup: SupervisorSpec,
     journal: Option<Arc<Journal>>,
     halt_after: Option<u64>,
+    kill_switch: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl CheckCampaign {
@@ -479,6 +480,7 @@ impl CheckCampaign {
             sup: SupervisorSpec::default(),
             journal: None,
             halt_after: None,
+            kill_switch: None,
         }
     }
 
@@ -534,6 +536,16 @@ impl CheckCampaign {
     /// resume tests use.
     pub fn halt_after(mut self, n: u64) -> CheckCampaign {
         self.halt_after = Some(n);
+        self
+    }
+
+    /// Attaches a cooperative kill switch (builder style), mirroring
+    /// `gecko_fleet::Campaign::kill_switch`: when the flag flips true,
+    /// workers finish the window chunk they are exploring, journal it,
+    /// and stop claiming new chunks (`halted` in the report). A journaled
+    /// check campaign then resumes bit-exactly.
+    pub fn kill_switch(mut self, stop: Arc<std::sync::atomic::AtomicBool>) -> CheckCampaign {
+        self.kill_switch = Some(stop);
         self
     }
 
@@ -713,6 +725,7 @@ impl CheckCampaign {
             sup: &self.sup,
             budget,
             halt_after: self.halt_after.map(|n| n + resumed),
+            stop: self.kill_switch.as_deref(),
             sink: &sink,
         };
         let journal = self.journal.as_deref();

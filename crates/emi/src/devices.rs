@@ -212,10 +212,26 @@ pub fn all_devices() -> Vec<DeviceModel> {
     ]
 }
 
+/// Resolves a Table-I board by its marketing name (exact match, as
+/// reported by [`DeviceModel::name`]). The seam wire-format decoders use:
+/// network clients name boards; only in-tree code constructs custom
+/// [`DeviceModel`]s.
+pub fn device_by_name(name: &str) -> Option<DeviceModel> {
+    all_devices().into_iter().find(|d| d.name() == name)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::attack::DpiPoint;
+
+    #[test]
+    fn devices_resolve_by_name() {
+        for dev in all_devices() {
+            assert_eq!(device_by_name(dev.name()), Some(dev.clone()));
+        }
+        assert_eq!(device_by_name("bogus-board"), None);
+    }
 
     #[test]
     fn nine_boards() {

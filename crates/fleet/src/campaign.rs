@@ -485,6 +485,7 @@ pub struct Campaign {
     sup: SupervisorSpec,
     journal: Option<Arc<Journal>>,
     halt_after: Option<u64>,
+    kill_switch: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
 
 impl Campaign {
@@ -498,6 +499,7 @@ impl Campaign {
             sup: SupervisorSpec::default(),
             journal: None,
             halt_after: None,
+            kill_switch: None,
         }
     }
 
@@ -551,6 +553,18 @@ impl Campaign {
     /// `halted` flag records that the campaign stopped early.
     pub fn halt_after(mut self, n: u64) -> Campaign {
         self.halt_after = Some(n);
+        self
+    }
+
+    /// Attaches a cooperative kill switch (builder style): when another
+    /// thread flips the flag, workers finish (and journal) the run they
+    /// are on, stop claiming new ones, and the report comes back with
+    /// `halted` set. Combined with [`Campaign::journal`], this is the
+    /// graceful-shutdown seam — a daemon drains in-flight work to a clean
+    /// checkpoint instead of abandoning it, and a later
+    /// [`Campaign::resume`] continues bit-exactly.
+    pub fn kill_switch(mut self, stop: Arc<std::sync::atomic::AtomicBool>) -> Campaign {
+        self.kill_switch = Some(stop);
         self
     }
 
@@ -651,6 +665,7 @@ impl Campaign {
             sup: &self.sup,
             budget,
             halt_after: self.halt_after.map(|n| n + resumed),
+            stop: self.kill_switch.as_deref(),
             sink: &sink,
         };
         let journal = self.journal.as_deref();

@@ -55,6 +55,8 @@ pub mod cache;
 pub mod campaign;
 pub mod figures;
 pub mod journal;
+pub mod json;
+pub mod spec_io;
 pub mod supervisor;
 pub mod telemetry;
 
@@ -64,6 +66,10 @@ pub use campaign::{
     RunResult, Supply, WorkItem, Workload,
 };
 pub use journal::Journal;
+pub use json::{Json, ParseError};
+pub use spec_io::{
+    report_deterministic_json, report_to_json, spec_from_json, spec_to_json, DecodeError, SpecError,
+};
 pub use supervisor::{
     lock_unpoisoned, quarantine, run_supervised, AttemptFail, ChaosSink, ChaosSpec, FailureKind,
     ItemOutcome, PoolConfig, PoolReport, RunBudget, RunFailure, SupervisorSpec, TRANSIENT_PREFIX,
@@ -114,7 +120,7 @@ pub fn fleet_summary(report: &CampaignReport) -> String {
         "totals: {} completions, {} forward cycles, {} checksum errors",
         report.totals.completions, report.totals.forward_cycles, report.totals.checksum_errors
     );
-    if !report.failures.is_empty() || c.resumed > 0 || report.halted {
+    if !report.failures.is_empty() || c.resumed > 0 || report.halted || c.dropped_records > 0 {
         let _ = writeln!(
             out,
             "supervision: {} failure(s), {} retried attempt(s), {} resumed, {} dropped record(s){}",

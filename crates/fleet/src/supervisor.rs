@@ -548,6 +548,12 @@ pub struct PoolConfig<'a> {
     /// Stop claiming new items once this many runs have been accounted
     /// (completed or failed) this session — the graceful-kill hook.
     pub halt_after: Option<u64>,
+    /// Cooperative kill switch: when the flag flips true, workers finish
+    /// the run they are on (journaling it as usual) and stop claiming new
+    /// ones, reporting `halted`. This is the asynchronous sibling of
+    /// `halt_after` — a daemon's shutdown/cancel path flips it from
+    /// another thread, and a journaled campaign later resumes bit-exactly.
+    pub stop: Option<&'a AtomicBool>,
     /// Telemetry sink for `run_failed` / `run_retried` events.
     pub sink: &'a Arc<dyn TelemetrySink>,
 }
@@ -593,6 +599,12 @@ where
                             break;
                         }
                     }
+                    if let Some(stop) = cfg.stop {
+                        if stop.load(Ordering::Relaxed) {
+                            halted.store(true, Ordering::Relaxed);
+                            break;
+                        }
+                    }
                     let i = cursor.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
@@ -634,7 +646,7 @@ where
     // without a halt those are exactly the `None` slots.
     if let Some(msg) = worker_crash {
         for (i, slot) in slots.iter_mut().enumerate() {
-            if slot.is_none() && !cfg.skip[i] && cfg.halt_after.is_none() {
+            if slot.is_none() && !cfg.skip[i] && cfg.halt_after.is_none() && cfg.stop.is_none() {
                 *slot = Some(ItemOutcome::Failed(RunFailure::Panicked {
                     run_key: cfg.run_keys[i],
                     item: i,
@@ -834,6 +846,7 @@ mod tests {
             sup: &sup,
             budget: sup.resolve_budget(0.01),
             halt_after: None,
+            stop: None,
             sink: &sink,
         };
         let report = run_supervised(&cfg, |i, _, _, _| {
@@ -876,6 +889,7 @@ mod tests {
             sup: &sup,
             budget: sup.resolve_budget(0.01),
             halt_after: None,
+            stop: None,
             sink: &sink,
         };
         // Succeeds on the third attempt.
@@ -926,6 +940,7 @@ mod tests {
             sup: &sup,
             budget: sup.resolve_budget(0.01),
             halt_after: None,
+            stop: None,
             sink: &sink,
         };
         let report = run_supervised(&cfg, |_, attempt, _, _| {
@@ -954,6 +969,7 @@ mod tests {
             sup: &sup,
             budget: sup.resolve_budget(0.01),
             halt_after: Some(10),
+            stop: None,
             sink: &sink,
         };
         let report = run_supervised(&cfg, |i, _, _, _| Ok(i));

@@ -1,0 +1,252 @@
+//! Daemon configuration: defaults, a JSON config file, and CLI flags —
+//! later layers override earlier ones (defaults < file < flags).
+
+use std::path::PathBuf;
+
+use gecko_fleet::json::Json;
+
+/// Everything the daemon needs to boot. See [`ServeConfig::default`] for
+/// the defaults and [`ServeConfig::from_args`] for the layering.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Listen address (`host:port`; port `0` picks an ephemeral port).
+    pub bind: String,
+    /// Queue worker threads — how many jobs execute concurrently.
+    pub queue_workers: usize,
+    /// Default simulation workers per job (a submission may override,
+    /// capped at [`ServeConfig::max_job_workers`]).
+    pub job_workers: usize,
+    /// Cap on per-job simulation workers.
+    pub max_job_workers: usize,
+    /// Root directory for job state: one `job-<id>/` directory per job
+    /// holding `job.json`, `journal.jsonl`, `telemetry.jsonl`, and the
+    /// terminal `result.json`/`state.json`. Scanned at boot to reload the
+    /// queue.
+    pub journal_root: PathBuf,
+    /// Maximum jobs tracked at once (queued + running + finished).
+    pub max_jobs: usize,
+    /// Maximum expanded grid items a single submission may request.
+    pub max_items_per_job: usize,
+    /// Maximum request body size (bytes); larger submissions get 413.
+    pub max_body_bytes: usize,
+    /// Per-job telemetry event ring-buffer capacity. Older events are
+    /// evicted (and counted) once a client falls this far behind.
+    pub event_buffer: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            bind: "127.0.0.1:4810".to_string(),
+            queue_workers: 2,
+            job_workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(4),
+            max_job_workers: 64,
+            journal_root: PathBuf::from("gecko-serve-data"),
+            max_jobs: 256,
+            max_items_per_job: 65_536,
+            max_body_bytes: 1 << 20,
+            event_buffer: 4096,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Renders the effective config as JSON (the `/v1/config` document).
+    pub fn to_value(&self) -> Json {
+        Json::Obj(vec![
+            ("bind".into(), Json::Str(self.bind.clone())),
+            ("queue_workers".into(), Json::U64(self.queue_workers as u64)),
+            ("job_workers".into(), Json::U64(self.job_workers as u64)),
+            (
+                "max_job_workers".into(),
+                Json::U64(self.max_job_workers as u64),
+            ),
+            (
+                "journal_root".into(),
+                Json::Str(self.journal_root.display().to_string()),
+            ),
+            ("max_jobs".into(), Json::U64(self.max_jobs as u64)),
+            (
+                "max_items_per_job".into(),
+                Json::U64(self.max_items_per_job as u64),
+            ),
+            (
+                "max_body_bytes".into(),
+                Json::U64(self.max_body_bytes as u64),
+            ),
+            ("event_buffer".into(), Json::U64(self.event_buffer as u64)),
+        ])
+    }
+
+    /// Applies a parsed JSON config document. Unknown keys are rejected
+    /// (a typo'd limit silently ignored is a limit not applied).
+    pub fn apply_json(&mut self, doc: &Json) -> Result<(), String> {
+        let fields = doc
+            .as_obj()
+            .ok_or_else(|| format!("config must be a JSON object, got {}", doc.kind_name()))?;
+        for (key, value) in fields {
+            match key.as_str() {
+                "bind" => {
+                    self.bind = value
+                        .as_str()
+                        .ok_or_else(|| "bind: expected a string".to_string())?
+                        .to_string();
+                }
+                "journal_root" => {
+                    self.journal_root = PathBuf::from(
+                        value
+                            .as_str()
+                            .ok_or_else(|| "journal_root: expected a string".to_string())?,
+                    );
+                }
+                "queue_workers" => self.queue_workers = usize_field(key, value)?.max(1),
+                "job_workers" => self.job_workers = usize_field(key, value)?.max(1),
+                "max_job_workers" => self.max_job_workers = usize_field(key, value)?.max(1),
+                "max_jobs" => self.max_jobs = usize_field(key, value)?.max(1),
+                "max_items_per_job" => self.max_items_per_job = usize_field(key, value)?.max(1),
+                "max_body_bytes" => self.max_body_bytes = usize_field(key, value)?.max(1024),
+                "event_buffer" => self.event_buffer = usize_field(key, value)?.max(16),
+                other => return Err(format!("unknown config key `{other}`")),
+            }
+        }
+        Ok(())
+    }
+
+    /// Loads a JSON config file into this config.
+    ///
+    /// # Errors
+    ///
+    /// I/O, parse (with byte offset), and unknown-key errors, as strings
+    /// ready for the CLI.
+    pub fn apply_file(&mut self, path: &std::path::Path) -> Result<(), String> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("reading {}: {e}", path.display()))?;
+        let doc = Json::parse(&text).map_err(|e| format!("parsing {}: {e}", path.display()))?;
+        self.apply_json(&doc)
+            .map_err(|e| format!("{}: {e}", path.display()))
+    }
+
+    /// Builds the effective config from CLI args: `--config FILE` loads a
+    /// JSON file first, then individual flags override it.
+    ///
+    /// Flags: `--bind ADDR`, `--data DIR`, `--queue-workers N`,
+    /// `--job-workers N`, `--max-jobs N`, `--max-items N`,
+    /// `--max-body-bytes N`, `--event-buffer N`.
+    ///
+    /// # Errors
+    ///
+    /// A usage string for unknown/valueless flags and file errors.
+    pub fn from_args(args: &[String]) -> Result<ServeConfig, String> {
+        let mut cfg = ServeConfig::default();
+        // File layer first, regardless of flag order.
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            if arg == "--config" {
+                let path = it.next().ok_or("--config requires a file path")?;
+                cfg.apply_file(std::path::Path::new(path))?;
+            }
+        }
+        // Flag layer.
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let mut value = |flag: &str| {
+                it.next()
+                    .map(String::as_str)
+                    .ok_or_else(|| format!("{flag} requires a value"))
+            };
+            match arg.as_str() {
+                "--config" => {
+                    value("--config")?;
+                }
+                "--bind" => cfg.bind = value("--bind")?.to_string(),
+                "--data" => cfg.journal_root = PathBuf::from(value("--data")?),
+                "--queue-workers" => cfg.queue_workers = usize_flag("--queue-workers", &mut value)?,
+                "--job-workers" => cfg.job_workers = usize_flag("--job-workers", &mut value)?,
+                "--max-jobs" => cfg.max_jobs = usize_flag("--max-jobs", &mut value)?,
+                "--max-items" => cfg.max_items_per_job = usize_flag("--max-items", &mut value)?,
+                "--max-body-bytes" => {
+                    cfg.max_body_bytes = usize_flag("--max-body-bytes", &mut value)?
+                }
+                "--event-buffer" => cfg.event_buffer = usize_flag("--event-buffer", &mut value)?,
+                other => return Err(format!("unknown flag `{other}` (see --help)")),
+            }
+        }
+        cfg.queue_workers = cfg.queue_workers.max(1);
+        cfg.job_workers = cfg.job_workers.clamp(1, cfg.max_job_workers);
+        Ok(cfg)
+    }
+}
+
+fn usize_field(key: &str, value: &Json) -> Result<usize, String> {
+    value
+        .as_u64()
+        .map(|v| v as usize)
+        .ok_or_else(|| format!("{key}: expected a non-negative integer"))
+}
+
+fn usize_flag<'a>(
+    flag: &str,
+    value: &mut impl FnMut(&str) -> Result<&'a str, String>,
+) -> Result<usize, String> {
+    value(flag)?
+        .parse()
+        .map_err(|_| format!("{flag}: expected a non-negative integer"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flags_override_file_overrides_defaults() {
+        let dir = std::env::temp_dir().join(format!("gecko-serve-cfg-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("serve.json");
+        std::fs::write(
+            &file,
+            r#"{"bind":"127.0.0.1:9000","queue_workers":3,"event_buffer":128}"#,
+        )
+        .unwrap();
+        let args: Vec<String> = [
+            "--config",
+            file.to_str().unwrap(),
+            "--bind",
+            "127.0.0.1:0",
+            "--job-workers",
+            "2",
+        ]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+        let cfg = ServeConfig::from_args(&args).unwrap();
+        assert_eq!(cfg.bind, "127.0.0.1:0", "flag beats file");
+        assert_eq!(cfg.queue_workers, 3, "file beats default");
+        assert_eq!(cfg.event_buffer, 128);
+        assert_eq!(cfg.job_workers, 2);
+        assert_eq!(cfg.max_jobs, ServeConfig::default().max_jobs);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bad_config_is_actionable() {
+        let mut cfg = ServeConfig::default();
+        let doc = Json::parse(r#"{"queue_wrkers":2}"#).unwrap();
+        let e = cfg.apply_json(&doc).unwrap_err();
+        assert!(e.contains("queue_wrkers"), "{e}");
+        let e = ServeConfig::from_args(&["--frobnicate".to_string()]).unwrap_err();
+        assert!(e.contains("--frobnicate"), "{e}");
+        let e = ServeConfig::from_args(&["--bind".to_string()]).unwrap_err();
+        assert!(e.contains("requires a value"), "{e}");
+    }
+
+    #[test]
+    fn config_document_round_trips() {
+        let cfg = ServeConfig::default();
+        let doc = cfg.to_value();
+        let mut back = ServeConfig::default();
+        back.apply_json(&doc).unwrap();
+        assert_eq!(back, cfg);
+    }
+}

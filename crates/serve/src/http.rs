@@ -1,0 +1,336 @@
+//! Minimal HTTP/1.1 over `std::net`: just enough of the protocol for a
+//! localhost JSON API — request parsing with size limits, response
+//! writing, and a tiny blocking client for tests and smoke drivers.
+//!
+//! Deliberately out of scope: keep-alive (every response is
+//! `Connection: close`), chunked transfer encoding, TLS, compression.
+//! The daemon serves trusted lab networks, not the open internet.
+
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Maximum bytes of request head (request line + headers) we accept.
+const MAX_HEAD_BYTES: usize = 16 * 1024;
+
+/// A parsed HTTP request: method, percent-decoded-free path, query
+/// string, and body.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Upper-cased method token (`GET`, `POST`, `DELETE`, ...).
+    pub method: String,
+    /// Path component before `?`, e.g. `/v1/jobs/3`.
+    pub path: String,
+    /// Raw query string after `?` (empty when absent).
+    pub query: String,
+    /// Request body bytes (empty unless `Content-Length` said otherwise).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Looks up a query parameter by key (`?from=3&wait_ms=500`).
+    /// No percent-decoding: the API's values are all integers/tokens.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+
+    /// Parses a query parameter as `u64`, falling back to `default` when
+    /// absent; `Err` carries the offending key for a 400 reply.
+    pub fn query_u64(&self, key: &str, default: u64) -> Result<u64, String> {
+        match self.query_param(key) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("query parameter `{key}` must be an integer, got `{raw}`")),
+        }
+    }
+}
+
+/// How request parsing failed — mapped to a status code by the server.
+#[derive(Debug)]
+pub enum HttpError {
+    /// Socket closed before a full request arrived.
+    ConnectionClosed,
+    /// Malformed request line or headers (→ 400).
+    Malformed(String),
+    /// Body or head exceeded the configured limit (→ 413).
+    TooLarge(String),
+    /// Underlying I/O failure (timeout, reset).
+    Io(std::io::Error),
+}
+
+impl std::fmt::Display for HttpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HttpError::ConnectionClosed => write!(f, "connection closed mid-request"),
+            HttpError::Malformed(m) => write!(f, "malformed request: {m}"),
+            HttpError::TooLarge(m) => write!(f, "request too large: {m}"),
+            HttpError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+/// Reads and parses one HTTP/1.1 request from `stream`.
+///
+/// `max_body` bounds `Content-Length`; bigger bodies are rejected before
+/// any body byte is read so a hostile client can't make us buffer
+/// gigabytes.
+pub fn read_request(stream: &mut TcpStream, max_body: usize) -> Result<Request, HttpError> {
+    let mut reader = BufReader::new(stream);
+    let mut head = String::new();
+    let mut head_bytes = 0usize;
+
+    let mut request_line = String::new();
+    let n = reader.read_line(&mut request_line).map_err(HttpError::Io)?;
+    if n == 0 {
+        return Err(HttpError::ConnectionClosed);
+    }
+    head_bytes += n;
+
+    let mut content_length = 0usize;
+    loop {
+        head.clear();
+        let n = reader.read_line(&mut head).map_err(HttpError::Io)?;
+        if n == 0 {
+            return Err(HttpError::ConnectionClosed);
+        }
+        head_bytes += n;
+        if head_bytes > MAX_HEAD_BYTES {
+            return Err(HttpError::TooLarge(format!(
+                "request head exceeds {MAX_HEAD_BYTES} bytes"
+            )));
+        }
+        let line = head.trim_end_matches(['\r', '\n']);
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(HttpError::Malformed(format!(
+                "header without colon: `{line}`"
+            )));
+        };
+        if name.eq_ignore_ascii_case("content-length") {
+            content_length = value
+                .trim()
+                .parse()
+                .map_err(|_| HttpError::Malformed(format!("bad Content-Length `{value}`")))?;
+        }
+    }
+
+    let line = request_line.trim_end_matches(['\r', '\n']);
+    let mut parts = line.split_ascii_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return Err(HttpError::Malformed(format!("bad request line `{line}`")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(HttpError::Malformed(format!(
+            "unsupported version `{version}`"
+        )));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), q.to_string()),
+        None => (target.to_string(), String::new()),
+    };
+
+    if content_length > max_body {
+        return Err(HttpError::TooLarge(format!(
+            "body of {content_length} bytes exceeds limit of {max_body}"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).map_err(HttpError::Io)?;
+
+    Ok(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        body,
+    })
+}
+
+/// Standard reason phrase for the handful of codes the API uses.
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        201 => "Created",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        409 => "Conflict",
+        413 => "Payload Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Connection: close` JSON response.
+pub fn write_response(stream: &mut TcpStream, status: u16, body: &str) -> std::io::Result<()> {
+    let head = format!(
+        "HTTP/1.1 {} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        status,
+        reason(status),
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    stream.write_all(body.as_bytes())?;
+    stream.flush()
+}
+
+/// Status + body as returned by [`http_call`].
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body (the API always sends JSON).
+    pub body: String,
+}
+
+/// Blocking one-shot HTTP client: opens a fresh connection per call
+/// (matching the server's `Connection: close` policy), sends `body` if
+/// non-empty, and reads the reply to EOF.
+///
+/// Used by the integration tests, the smoke driver, and the bench row —
+/// anything in-tree that needs to speak to the daemon without pulling in
+/// an HTTP dependency.
+pub fn http_call(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> std::io::Result<ClientResponse> {
+    let mut stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(120)))?;
+    stream.set_write_timeout(Some(Duration::from_secs(30)))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        body.len()
+    );
+    stream.write_all(head.as_bytes())?;
+    if !body.is_empty() {
+        stream.write_all(body.as_bytes())?;
+    }
+    stream.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_ascii_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| {
+            std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                format!("bad status line `{}`", status_line.trim_end()),
+            )
+        })?;
+    let mut content_length: Option<usize> = None;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed inside response headers",
+            ));
+        }
+        let trimmed = line.trim_end_matches(['\r', '\n']);
+        if trimmed.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = trimmed.split_once(':') {
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+    let body = match content_length {
+        Some(n) => {
+            let mut buf = vec![0u8; n];
+            reader.read_exact(&mut buf)?;
+            buf
+        }
+        None => {
+            let mut buf = Vec::new();
+            reader.read_to_end(&mut buf)?;
+            buf
+        }
+    };
+    let body = String::from_utf8(body).map_err(|_| {
+        std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            "response body is not UTF-8",
+        )
+    })?;
+    Ok(ClientResponse { status, body })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    /// One request/response exchange through real sockets exercises both
+    /// the parser and the client against each other.
+    #[test]
+    fn request_round_trips_over_a_socket() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            let req = read_request(&mut stream, 1024).unwrap();
+            assert_eq!(req.method, "POST");
+            assert_eq!(req.path, "/v1/jobs/7/events");
+            assert_eq!(req.query_param("from"), Some("3"));
+            assert_eq!(req.query_u64("wait_ms", 0).unwrap(), 500);
+            assert_eq!(req.body, br#"{"x":1}"#);
+            write_response(&mut stream, 201, r#"{"ok":true}"#).unwrap();
+        });
+        let resp = http_call(
+            &addr,
+            "POST",
+            "/v1/jobs/7/events?from=3&wait_ms=500",
+            r#"{"x":1}"#,
+        )
+        .unwrap();
+        server.join().unwrap();
+        assert_eq!(resp.status, 201);
+        assert_eq!(resp.body, r#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn oversized_body_is_rejected_before_reading_it() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            match read_request(&mut stream, 8) {
+                Err(HttpError::TooLarge(_)) => {}
+                other => panic!("expected TooLarge, got {other:?}"),
+            }
+        });
+        // Body is 16 bytes against an 8-byte limit.
+        let _ = http_call(&addr, "POST", "/v1/campaigns", "0123456789abcdef");
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn bad_query_integer_names_the_key() {
+        let req = Request {
+            method: "GET".into(),
+            path: "/v1/jobs/1".into(),
+            query: "wait_ms=soon".into(),
+            body: Vec::new(),
+        };
+        let err = req.query_u64("wait_ms", 0).unwrap_err();
+        assert!(err.contains("wait_ms"), "{err}");
+        assert!(err.contains("soon"), "{err}");
+    }
+}

@@ -1,0 +1,45 @@
+//! # gecko-serve — the campaign-service daemon
+//!
+//! Serves GECKO sweeps and checks over the network: a long-running
+//! daemon with a minimal hand-rolled HTTP/1.1 + JSON API on `std::net`
+//! (the workspace is deliberately dependency-free). Clients submit
+//! [`gecko_fleet::CampaignSpec`] / [`gecko_check::CheckSpec`] documents,
+//! poll job status, stream telemetry events, and fetch merged results —
+//! and a served run is *bit-identical* to the same spec run in-process,
+//! because both paths execute literally the same campaign code.
+//!
+//! Layers:
+//!
+//! * [`config`] — bind address, worker counts, journal root, job limits;
+//!   defaults < JSON config file < CLI flags.
+//! * [`http`] — request parsing, response writing, and a tiny blocking
+//!   client for tests and smoke drivers.
+//! * [`wire`] — the checker-spec JSON codec, report documents, submit
+//!   envelope, and telemetry event framing (campaign specs decode via
+//!   [`gecko_fleet::spec_io`]).
+//! * [`queue`] — the multi-tenant job queue on the supervision stack:
+//!   per-job directories, journaled runs, panic quarantine, kill-switch
+//!   cancellation, and restart recovery (interrupted jobs resume
+//!   bit-exactly from their journal).
+//! * [`server`] — routing and the accept loop, with graceful shutdown
+//!   that drains running jobs to a clean checkpoint.
+//!
+//! See `DESIGN.md` §14 for the wire protocol, the job state machine, and
+//! resume semantics.
+
+#![deny(missing_docs)]
+
+pub mod config;
+pub mod http;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use config::ServeConfig;
+pub use http::{http_call, ClientResponse};
+pub use queue::{Job, JobKind, JobSink, JobState, Queue, SubmitError};
+pub use server::Server;
+pub use wire::{
+    check_report_deterministic_json, check_report_to_json, check_spec_from_json,
+    check_spec_to_json, parse_submission, Submission,
+};

@@ -1,0 +1,48 @@
+//! `gecko-serve` — boot the campaign-service daemon.
+//!
+//! ```text
+//! gecko-serve [--config FILE] [--bind ADDR] [--data DIR]
+//!             [--queue-workers N] [--job-workers N] [--max-jobs N]
+//!             [--max-items N] [--max-body-bytes N] [--event-buffer N]
+//! ```
+//!
+//! The daemon prints its bound address (port 0 resolves to an ephemeral
+//! port), serves until `POST /v1/shutdown`, then drains running jobs to a
+//! clean journal checkpoint and exits. Interrupted jobs resume on the
+//! next boot from the same `--data` directory.
+
+use gecko_serve::{ServeConfig, Server};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!(
+            "gecko-serve: campaign-service daemon\n\n\
+             usage: gecko-serve [--config FILE] [--bind ADDR] [--data DIR]\n\
+                    [--queue-workers N] [--job-workers N] [--max-jobs N]\n\
+                    [--max-items N] [--max-body-bytes N] [--event-buffer N]\n\n\
+             endpoints: GET /v1/healthz /v1/config /v1/jobs[/<id>[/events|/result]]\n\
+                        POST /v1/campaigns /v1/checks /v1/shutdown, DELETE /v1/jobs/<id>"
+        );
+        return;
+    }
+    let cfg = match ServeConfig::from_args(&args) {
+        Ok(cfg) => cfg,
+        Err(e) => {
+            eprintln!("gecko-serve: {e}");
+            std::process::exit(2);
+        }
+    };
+    let server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("gecko-serve: failed to start: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!("gecko-serve listening on {}", server.addr());
+    server.wait_for_shutdown_request();
+    println!("gecko-serve draining (running jobs checkpoint to their journals)...");
+    server.shutdown();
+    println!("gecko-serve stopped");
+}

@@ -1,0 +1,1054 @@
+//! The multi-tenant job queue: submissions become journaled jobs, a small
+//! pool of queue workers drains them through the PR-4 supervision stack,
+//! and every job's state survives a daemon restart.
+//!
+//! On-disk layout, one directory per job under the configured journal
+//! root:
+//!
+//! ```text
+//! job-<id>/
+//!   job.json         submission envelope (kind, workers, halt_after, spec)
+//!   journal.jsonl    fleet run journal — the resume checkpoint
+//!   telemetry.jsonl  every telemetry event, append-only across sessions
+//!   result.json      full report document (written only when Done)
+//!   result.det.json  deterministic report document (written only when Done)
+//!   state.json       terminal non-Done marker (Cancelled / Failed)
+//! ```
+//!
+//! The restart scan derives state from those files alone: `result.json`
+//! means Done, `state.json` means Cancelled/Failed, anything else means
+//! the job was interrupted (daemon killed, graceful shutdown, or
+//! `halt_after`) and goes back on the queue — [`Campaign::resume`] skips
+//! the journaled runs and the merged report is bit-exact against an
+//! uninterrupted run.
+
+use std::collections::VecDeque;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use gecko_check::CheckCampaign;
+use gecko_fleet::json::Json;
+use gecko_fleet::spec_io;
+use gecko_fleet::supervisor::lock_unpoisoned;
+use gecko_fleet::telemetry::{Event, TelemetrySink};
+use gecko_fleet::{Campaign, Journal};
+use gecko_sim::report::Value;
+
+use crate::config::ServeConfig;
+use crate::wire;
+
+// ---------------------------------------------------------------------------
+// Job sink: bounded event ring + append-only file, long-poll wakeups
+// ---------------------------------------------------------------------------
+
+/// Per-job telemetry sink: keeps the last `cap` events in a seq-numbered
+/// ring for the `/events` long-poll endpoint and appends every event to
+/// the job's `telemetry.jsonl`.
+///
+/// `dropped_records()` is pinned to 0 on purpose: ring *eviction* is not
+/// a drop (the file retains everything), and reporting a nonzero count
+/// would append a `SinkDropped` failure to the report — which would break
+/// the served-vs-in-process digest equality this daemon is built around.
+/// File-write failures are surfaced separately through
+/// [`JobSink::file_drops`] and the job status document.
+pub struct JobSink {
+    cap: usize,
+    state: Mutex<SinkState>,
+    cond: Condvar,
+    file_drops: AtomicU64,
+}
+
+struct SinkState {
+    events: VecDeque<(u64, String)>,
+    next_seq: u64,
+    evicted: u64,
+    done_items: u64,
+    total_items: Option<u64>,
+    resumed: u64,
+    closed: bool,
+    file: Option<std::io::BufWriter<std::fs::File>>,
+}
+
+/// One `/events` long-poll answer.
+#[derive(Debug, Clone)]
+pub struct EventBatch {
+    /// Encoded event objects, oldest first, each carrying its `seq`.
+    pub events: Vec<String>,
+    /// The `from` to pass next time.
+    pub next: u64,
+    /// Events evicted from the ring since the job started (a client that
+    /// sees `from < next - events.len() - evicted_gap` lost history; the
+    /// full stream is always in `telemetry.jsonl`).
+    pub evicted: u64,
+    /// No more events will ever arrive (job reached a stopped state).
+    pub closed: bool,
+}
+
+impl JobSink {
+    /// Creates a sink with a ring of `cap` events, appending to `path`.
+    pub fn new(cap: usize, path: &Path) -> JobSink {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map(std::io::BufWriter::new)
+            .ok();
+        JobSink {
+            cap: cap.max(16),
+            state: Mutex::new(SinkState {
+                events: VecDeque::new(),
+                next_seq: 0,
+                evicted: 0,
+                done_items: 0,
+                total_items: None,
+                resumed: 0,
+                closed: false,
+                file,
+            }),
+            cond: Condvar::new(),
+            file_drops: AtomicU64::new(0),
+        }
+    }
+
+    /// Progress so far: `(done, total, resumed)`. `total` is known once
+    /// the campaign emits its `*_started` event.
+    pub fn progress(&self) -> (u64, Option<u64>, u64) {
+        let s = lock_unpoisoned(&self.state);
+        (s.done_items, s.total_items, s.resumed)
+    }
+
+    /// Events appended to `telemetry.jsonl` that failed to write.
+    pub fn file_drops(&self) -> u64 {
+        self.file_drops.load(Ordering::Relaxed)
+    }
+
+    /// Events evicted from the ring (still on disk, gone from the poll
+    /// window).
+    pub fn evicted(&self) -> u64 {
+        lock_unpoisoned(&self.state).evicted
+    }
+
+    /// Marks the stream finished and wakes every long-poller.
+    pub fn close(&self) {
+        let mut s = lock_unpoisoned(&self.state);
+        s.closed = true;
+        if let Some(f) = s.file.as_mut() {
+            use std::io::Write as _;
+            let _ = f.flush();
+        }
+        self.cond.notify_all();
+    }
+
+    /// Returns events with `seq >= from`, blocking up to `wait` when none
+    /// are ready yet (long poll). Returns immediately once the stream is
+    /// closed.
+    pub fn wait_events(&self, from: u64, wait: Duration) -> EventBatch {
+        let deadline = Instant::now() + wait;
+        let mut s = lock_unpoisoned(&self.state);
+        loop {
+            let has_new = s.events.back().is_some_and(|(seq, _)| *seq >= from);
+            if has_new || s.closed {
+                let events: Vec<String> = s
+                    .events
+                    .iter()
+                    .filter(|(seq, _)| *seq >= from)
+                    .map(|(_, line)| line.clone())
+                    .collect();
+                return EventBatch {
+                    events,
+                    next: s.next_seq,
+                    evicted: s.evicted,
+                    closed: s.closed,
+                };
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return EventBatch {
+                    events: Vec::new(),
+                    next: s.next_seq,
+                    evicted: s.evicted,
+                    closed: s.closed,
+                };
+            }
+            let (guard, _) = self
+                .cond
+                .wait_timeout(s, deadline - now)
+                .unwrap_or_else(|p| {
+                    let (g, t) = p.into_inner();
+                    (g, t)
+                });
+            s = guard;
+        }
+    }
+}
+
+impl TelemetrySink for JobSink {
+    fn emit(&self, event: Event) {
+        let mut s = lock_unpoisoned(&self.state);
+        // Progress accounting straight off the event stream — the sink is
+        // the one observer guaranteed to see every item exactly once.
+        match event.kind {
+            "campaign_started" | "check_started" => {
+                for (name, value) in &event.fields {
+                    if let Value::U64(n) = value {
+                        match *name {
+                            "items" => s.total_items = Some(*n),
+                            "resumed" => {
+                                s.resumed = *n;
+                                s.done_items = *n;
+                            }
+                            _ => {}
+                        }
+                    }
+                }
+            }
+            "item_finished" | "check_item_finished" => s.done_items += 1,
+            _ => {}
+        }
+        let seq = s.next_seq;
+        s.next_seq += 1;
+        let line = wire::event_value(seq, &event).encode();
+        if let Some(f) = s.file.as_mut() {
+            use std::io::Write as _;
+            if writeln!(f, "{line}").is_err() {
+                self.file_drops.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        s.events.push_back((seq, line));
+        if s.events.len() > self.cap {
+            s.events.pop_front();
+            s.evicted += 1;
+        }
+        self.cond.notify_all();
+    }
+
+    fn flush(&self) {
+        let mut s = lock_unpoisoned(&self.state);
+        if let Some(f) = s.file.as_mut() {
+            use std::io::Write as _;
+            if f.flush().is_err() {
+                self.file_drops.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    // Deliberately the default 0 — see the type docs.
+}
+
+// ---------------------------------------------------------------------------
+// Jobs
+// ---------------------------------------------------------------------------
+
+/// What a job runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobKind {
+    /// A metric sweep ([`gecko_fleet::Campaign`]).
+    Sweep,
+    /// A crash-consistency check ([`gecko_check::CheckCampaign`]).
+    Check,
+}
+
+impl JobKind {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobKind::Sweep => "sweep",
+            JobKind::Check => "check",
+        }
+    }
+
+    /// Parses a wire name.
+    pub fn from_name(name: &str) -> Option<JobKind> {
+        match name {
+            "sweep" => Some(JobKind::Sweep),
+            "check" => Some(JobKind::Check),
+            _ => None,
+        }
+    }
+}
+
+/// Job lifecycle. `Interrupted` is the only stopped state that is *not*
+/// terminal on disk: an interrupted job re-queues on the next daemon boot
+/// and resumes from its journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Waiting for a queue worker.
+    Queued,
+    /// Executing.
+    Running,
+    /// Finished completely; `result.json` + `result.det.json` exist.
+    Done,
+    /// Spec/compile/journal error; `state.json` has the message.
+    Failed,
+    /// Cancelled by the client; `state.json` marks it.
+    Cancelled,
+    /// Stopped at a clean checkpoint (shutdown drain or `halt_after`);
+    /// resumes after restart.
+    Interrupted,
+}
+
+impl JobState {
+    /// Wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Failed => "failed",
+            JobState::Cancelled => "cancelled",
+            JobState::Interrupted => "interrupted",
+        }
+    }
+
+    /// Whether no further execution will happen in this daemon session.
+    pub fn is_stopped(self) -> bool {
+        !matches!(self, JobState::Queued | JobState::Running)
+    }
+}
+
+struct JobProgress {
+    state: JobState,
+    error: Option<String>,
+    digest: Option<u64>,
+}
+
+/// One submitted job: identity, validated spec document, run options,
+/// live state, and its telemetry sink.
+pub struct Job {
+    /// Job id (also names the on-disk directory, `job-<id>`).
+    pub id: u64,
+    /// Sweep or check.
+    pub kind: JobKind,
+    /// The spec's own name (for listings).
+    pub name: String,
+    /// The job directory.
+    pub dir: PathBuf,
+    /// The validated spec document, as submitted.
+    pub spec: Json,
+    /// Simulation workers for this job.
+    pub workers: usize,
+    /// Deterministic interruption point, if requested.
+    pub halt_after: Option<u64>,
+    /// Grid size: expanded items for sweeps, (app × scheme) pairs for
+    /// checks.
+    pub grid: u64,
+    /// The telemetry sink (ring + file).
+    pub sink: Arc<JobSink>,
+    stop: Arc<AtomicBool>,
+    cancel_requested: AtomicBool,
+    progress: Mutex<JobProgress>,
+    progress_cond: Condvar,
+}
+
+impl std::fmt::Debug for Job {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "Job #{} ({} {:?}, {})",
+            self.id,
+            self.kind.name(),
+            self.name,
+            self.state().name()
+        )
+    }
+}
+
+impl Job {
+    fn set_state(&self, state: JobState, error: Option<String>, digest: Option<u64>) {
+        let mut p = lock_unpoisoned(&self.progress);
+        p.state = state;
+        if error.is_some() {
+            p.error = error;
+        }
+        if digest.is_some() {
+            p.digest = digest;
+        }
+        self.progress_cond.notify_all();
+    }
+
+    /// Current state.
+    pub fn state(&self) -> JobState {
+        lock_unpoisoned(&self.progress).state
+    }
+
+    /// Blocks up to `wait` for the job to reach a stopped state; returns
+    /// the state it ended up in either way.
+    pub fn wait_stopped(&self, wait: Duration) -> JobState {
+        let deadline = Instant::now() + wait;
+        let mut p = lock_unpoisoned(&self.progress);
+        loop {
+            if p.state.is_stopped() {
+                return p.state;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return p.state;
+            }
+            let (guard, _) = self
+                .progress_cond
+                .wait_timeout(p, deadline - now)
+                .unwrap_or_else(|e| {
+                    let (g, t) = e.into_inner();
+                    (g, t)
+                });
+            p = guard;
+        }
+    }
+
+    /// The `/v1/jobs/<id>` status document.
+    pub fn status_value(&self) -> Json {
+        let p = lock_unpoisoned(&self.progress);
+        let (done, total, resumed) = self.sink.progress();
+        Json::Obj(vec![
+            ("id".into(), Json::U64(self.id)),
+            ("kind".into(), Json::Str(self.kind.name().to_string())),
+            ("name".into(), Json::Str(self.name.clone())),
+            ("state".into(), Json::Str(p.state.name().to_string())),
+            (
+                "error".into(),
+                p.error.clone().map_or(Json::Null, Json::Str),
+            ),
+            ("digest".into(), p.digest.map_or(Json::Null, Json::U64)),
+            ("workers".into(), Json::U64(self.workers as u64)),
+            (
+                "halt_after".into(),
+                self.halt_after.map_or(Json::Null, Json::U64),
+            ),
+            ("grid".into(), Json::U64(self.grid)),
+            ("items_done".into(), Json::U64(done)),
+            ("items_total".into(), total.map_or(Json::Null, Json::U64)),
+            ("items_resumed".into(), Json::U64(resumed)),
+            ("events_total".into(), {
+                let s = lock_unpoisoned(&self.sink.state);
+                Json::U64(s.next_seq)
+            }),
+            ("events_evicted".into(), Json::U64(self.sink.evicted())),
+            (
+                "telemetry_file_drops".into(),
+                Json::U64(self.sink.file_drops()),
+            ),
+        ])
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Queue
+// ---------------------------------------------------------------------------
+
+/// Errors a submission can fail with (mapped to HTTP 400/409/503 by the
+/// server).
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The spec document did not decode.
+    BadSpec(String),
+    /// A daemon limit was exceeded.
+    Limit(String),
+    /// The queue is shutting down.
+    ShuttingDown,
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::BadSpec(m) => write!(f, "{m}"),
+            SubmitError::Limit(m) => write!(f, "{m}"),
+            SubmitError::ShuttingDown => write!(f, "daemon is shutting down"),
+        }
+    }
+}
+
+struct QueueInner {
+    cfg: ServeConfig,
+    jobs: Mutex<Vec<Arc<Job>>>,
+    pending: Mutex<VecDeque<Arc<Job>>>,
+    pending_cond: Condvar,
+    shutting_down: AtomicBool,
+    next_id: AtomicU64,
+}
+
+/// The daemon's job queue: owns every job, the worker pool that executes
+/// them, and the on-disk layout that makes them survive restarts.
+pub struct Queue {
+    inner: Arc<QueueInner>,
+    workers: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl Queue {
+    /// Boots a queue over `cfg.journal_root`: scans existing job
+    /// directories (re-queueing interrupted jobs), then spawns
+    /// `cfg.queue_workers` executor threads.
+    ///
+    /// # Errors
+    ///
+    /// Propagates journal-root creation failures.
+    pub fn start(cfg: ServeConfig) -> std::io::Result<Queue> {
+        std::fs::create_dir_all(&cfg.journal_root)?;
+        let inner = Arc::new(QueueInner {
+            cfg,
+            jobs: Mutex::new(Vec::new()),
+            pending: Mutex::new(VecDeque::new()),
+            pending_cond: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            next_id: AtomicU64::new(1),
+        });
+        let queue = Queue {
+            inner: Arc::clone(&inner),
+            workers: Mutex::new(Vec::new()),
+        };
+        queue.scan_existing();
+        let mut workers = lock_unpoisoned(&queue.workers);
+        for w in 0..inner.cfg.queue_workers.max(1) {
+            let inner = Arc::clone(&inner);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("gecko-serve-q{w}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawn queue worker"),
+            );
+        }
+        drop(workers);
+        Ok(queue)
+    }
+
+    /// The config this queue was booted with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.cfg
+    }
+
+    /// Submits a job. The spec document is fully decoded (and therefore
+    /// validated) before anything is persisted, so a bad submission never
+    /// leaves a job directory behind.
+    ///
+    /// # Errors
+    ///
+    /// [`SubmitError::BadSpec`] for undecodable specs,
+    /// [`SubmitError::Limit`] for limit violations,
+    /// [`SubmitError::ShuttingDown`] during drain.
+    pub fn submit(&self, kind: JobKind, sub: wire::Submission) -> Result<Arc<Job>, SubmitError> {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(SubmitError::ShuttingDown);
+        }
+        let (name, grid) = validate_spec(kind, &sub.spec).map_err(SubmitError::BadSpec)?;
+        if grid == 0 {
+            return Err(SubmitError::BadSpec(
+                "spec expands to an empty grid (no apps, schemes, or seeds)".to_string(),
+            ));
+        }
+        if grid > inner.cfg.max_items_per_job as u64 {
+            return Err(SubmitError::Limit(format!(
+                "spec expands to {grid} items, above the per-job limit of {}",
+                inner.cfg.max_items_per_job
+            )));
+        }
+        {
+            let jobs = lock_unpoisoned(&inner.jobs);
+            if jobs.len() >= inner.cfg.max_jobs {
+                return Err(SubmitError::Limit(format!(
+                    "job table is full ({} jobs)",
+                    inner.cfg.max_jobs
+                )));
+            }
+        }
+        let workers = sub
+            .workers
+            .unwrap_or(inner.cfg.job_workers)
+            .clamp(1, inner.cfg.max_job_workers);
+        let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
+        let dir = inner.cfg.journal_root.join(format!("job-{id}"));
+        std::fs::create_dir_all(&dir)
+            .map_err(|e| SubmitError::Limit(format!("creating {}: {e}", dir.display())))?;
+        let envelope = Json::Obj(vec![
+            ("id".into(), Json::U64(id)),
+            ("kind".into(), Json::Str(kind.name().to_string())),
+            ("workers".into(), Json::U64(workers as u64)),
+            (
+                "halt_after".into(),
+                sub.halt_after.map_or(Json::Null, Json::U64),
+            ),
+            ("spec".into(), sub.spec.clone()),
+        ]);
+        std::fs::write(dir.join("job.json"), envelope.encode())
+            .map_err(|e| SubmitError::Limit(format!("persisting job.json: {e}")))?;
+        let job = Arc::new(Job {
+            id,
+            kind,
+            name,
+            sink: Arc::new(JobSink::new(
+                inner.cfg.event_buffer,
+                &dir.join("telemetry.jsonl"),
+            )),
+            dir,
+            spec: sub.spec,
+            workers,
+            halt_after: sub.halt_after,
+            grid,
+            stop: Arc::new(AtomicBool::new(false)),
+            cancel_requested: AtomicBool::new(false),
+            progress: Mutex::new(JobProgress {
+                state: JobState::Queued,
+                error: None,
+                digest: None,
+            }),
+            progress_cond: Condvar::new(),
+        });
+        lock_unpoisoned(&inner.jobs).push(Arc::clone(&job));
+        lock_unpoisoned(&inner.pending).push_back(Arc::clone(&job));
+        inner.pending_cond.notify_one();
+        Ok(job)
+    }
+
+    /// Looks a job up by id.
+    pub fn job(&self, id: u64) -> Option<Arc<Job>> {
+        lock_unpoisoned(&self.inner.jobs)
+            .iter()
+            .find(|j| j.id == id)
+            .cloned()
+    }
+
+    /// Every job, in submission order.
+    pub fn jobs(&self) -> Vec<Arc<Job>> {
+        lock_unpoisoned(&self.inner.jobs).clone()
+    }
+
+    /// Requests cancellation. A queued job is cancelled on the spot; a
+    /// running one gets its kill switch flipped and drains to a journaled
+    /// checkpoint before the state lands on `Cancelled`. Stopped jobs are
+    /// left as they are (cancel is idempotent).
+    pub fn cancel(&self, job: &Arc<Job>) {
+        job.cancel_requested.store(true, Ordering::SeqCst);
+        job.stop.store(true, Ordering::SeqCst);
+        let mut p = lock_unpoisoned(&job.progress);
+        if p.state == JobState::Queued {
+            p.state = JobState::Cancelled;
+            drop(p);
+            write_state_file(&job.dir, "cancelled", None);
+            job.sink.close();
+            job.progress_cond.notify_all();
+        }
+    }
+
+    /// Graceful shutdown: stop claiming queued jobs, flip every running
+    /// job's kill switch, and join the workers once in-flight runs have
+    /// been journaled. Queued and interrupted jobs resume on the next
+    /// boot.
+    pub fn shutdown(&self) {
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        for job in self.jobs() {
+            if !job.state().is_stopped() {
+                job.stop.store(true, Ordering::SeqCst);
+            }
+        }
+        self.inner.pending_cond.notify_all();
+        let mut workers = lock_unpoisoned(&self.workers);
+        for handle in workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+
+    /// Restores jobs from the journal root. Terminal jobs come back with
+    /// their digest; anything interrupted re-queues for resume.
+    fn scan_existing(&self) {
+        let inner = &self.inner;
+        let Ok(entries) = std::fs::read_dir(&inner.cfg.journal_root) else {
+            return;
+        };
+        let mut found: Vec<(u64, PathBuf)> = entries
+            .flatten()
+            .filter_map(|e| {
+                let name = e.file_name().into_string().ok()?;
+                let id: u64 = name.strip_prefix("job-")?.parse().ok()?;
+                Some((id, e.path()))
+            })
+            .collect();
+        found.sort_by_key(|(id, _)| *id);
+        for (id, dir) in found {
+            match restore_job(inner, id, &dir) {
+                Some(job) => {
+                    let queued = job.state() == JobState::Queued;
+                    lock_unpoisoned(&inner.jobs).push(Arc::clone(&job));
+                    if queued {
+                        lock_unpoisoned(&inner.pending).push_back(job);
+                    }
+                }
+                None => {
+                    // A directory we cannot make sense of is left alone on
+                    // disk but not served; the id is still reserved so a
+                    // fresh submission cannot collide with it.
+                }
+            }
+            let floor = id + 1;
+            inner.next_id.fetch_max(floor, Ordering::SeqCst);
+        }
+    }
+}
+
+/// Decodes `job.json` + terminal markers back into a [`Job`].
+fn restore_job(inner: &QueueInner, id: u64, dir: &Path) -> Option<Arc<Job>> {
+    let envelope = Json::parse(&std::fs::read_to_string(dir.join("job.json")).ok()?).ok()?;
+    let kind = JobKind::from_name(envelope.get("kind")?.as_str()?)?;
+    let spec = envelope.get("spec")?.clone();
+    let workers = envelope.get("workers")?.as_u64()? as usize;
+    // `halt_after` is a one-shot interruption hook: it already fired in
+    // the session that journaled the halt, so a restored job resumes to
+    // completion instead of halting again every session. job.json keeps
+    // the submitted value for provenance only.
+    let halt_after = None;
+    let (name, grid) = validate_spec(kind, &spec).ok()?;
+
+    // Terminal-state detection from the directory contents alone.
+    let (state, error, digest) = if let Ok(text) = std::fs::read_to_string(dir.join("result.json"))
+    {
+        let digest = Json::parse(&text)
+            .ok()
+            .and_then(|doc| doc.get("digest")?.as_u64());
+        (JobState::Done, None, digest)
+    } else if let Ok(text) = std::fs::read_to_string(dir.join("state.json")) {
+        let doc = Json::parse(&text).ok()?;
+        let state = match doc.get("state")?.as_str()? {
+            "cancelled" => JobState::Cancelled,
+            "failed" => JobState::Failed,
+            _ => return None,
+        };
+        let error = doc.get("error").and_then(Json::as_str).map(str::to_string);
+        (state, error, None)
+    } else {
+        // No terminal marker: the previous session was interrupted (or
+        // never started the job). Re-queue; resume skips journaled runs.
+        (JobState::Queued, None, None)
+    };
+
+    let sink = Arc::new(JobSink::new(
+        inner.cfg.event_buffer,
+        &dir.join("telemetry.jsonl"),
+    ));
+    if state.is_stopped() {
+        sink.close();
+    }
+    Some(Arc::new(Job {
+        id,
+        kind,
+        name,
+        dir: dir.to_path_buf(),
+        spec,
+        workers,
+        halt_after,
+        grid,
+        sink,
+        stop: Arc::new(AtomicBool::new(false)),
+        cancel_requested: AtomicBool::new(false),
+        progress: Mutex::new(JobProgress {
+            state,
+            error,
+            digest,
+        }),
+        progress_cond: Condvar::new(),
+    }))
+}
+
+/// Validates a spec document for `kind` and returns `(name, grid size)`.
+fn validate_spec(kind: JobKind, spec: &Json) -> Result<(String, u64), String> {
+    match kind {
+        JobKind::Sweep => {
+            let decoded = spec_io::spec_from_value(spec, "")
+                .map_err(|e| format!("invalid campaign spec: {e}"))?;
+            let grid = decoded.expand().len() as u64;
+            Ok((decoded.name, grid))
+        }
+        JobKind::Check => {
+            let decoded = wire::check_spec_from_value(spec, "")
+                .map_err(|e| format!("invalid check spec: {e}"))?;
+            let grid = (decoded.apps.len() * decoded.schemes.len()) as u64;
+            Ok((decoded.name, grid))
+        }
+    }
+}
+
+fn write_state_file(dir: &Path, state: &str, error: Option<&str>) {
+    let doc = Json::Obj(vec![
+        ("state".into(), Json::Str(state.to_string())),
+        (
+            "error".into(),
+            error.map_or(Json::Null, |e| Json::Str(e.to_string())),
+        ),
+    ]);
+    let _ = std::fs::write(dir.join("state.json"), doc.encode());
+}
+
+fn worker_loop(inner: &Arc<QueueInner>) {
+    loop {
+        let job = {
+            let mut pending = lock_unpoisoned(&inner.pending);
+            loop {
+                if inner.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                if let Some(job) = pending.pop_front() {
+                    break job;
+                }
+                pending = inner
+                    .pending_cond
+                    .wait(pending)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        };
+        // Cancelled while queued: nothing to do.
+        if job.state() != JobState::Queued {
+            continue;
+        }
+        execute(&job);
+    }
+}
+
+/// Runs one job to a stopped state, writing its terminal files.
+fn execute(job: &Arc<Job>) {
+    job.set_state(JobState::Running, None, None);
+    let journal = match Journal::open(&job.dir.join("journal.jsonl")) {
+        Ok(j) => Arc::new(j),
+        Err(e) => {
+            let msg = format!("opening journal: {e}");
+            write_state_file(&job.dir, "failed", Some(&msg));
+            job.set_state(JobState::Failed, Some(msg), None);
+            job.sink.close();
+            return;
+        }
+    };
+    let sink: Arc<dyn TelemetrySink> = job.sink.clone();
+
+    // Outcome of the run, normalized across sweep/check:
+    // Ok((complete, digest, full_doc, det_doc)) or Err(message).
+    let outcome: Result<(bool, u64, String, String), String> = match job.kind {
+        JobKind::Sweep => spec_io::spec_from_value(&job.spec, "")
+            .map_err(|e| format!("invalid campaign spec: {e}"))
+            .and_then(|spec| {
+                let total = spec.expand().len() as u64;
+                let mut campaign = Campaign::new(spec)
+                    .workers(job.workers)
+                    .sink(sink)
+                    .resume(journal)
+                    .kill_switch(Arc::clone(&job.stop));
+                if let Some(n) = job.halt_after {
+                    campaign = campaign.halt_after(n);
+                }
+                let report = campaign.run().map_err(|e| format!("{e:?}"))?;
+                // A halted sweep can still be complete: every grid slot is
+                // accounted as a result or an item-level failure.
+                let accounted = report.results.len() as u64
+                    + report
+                        .failures
+                        .iter()
+                        .filter(|f| f.item().is_some())
+                        .count() as u64;
+                let complete = !report.halted || accounted == total;
+                Ok((
+                    complete,
+                    report.deterministic_digest(),
+                    spec_io::report_to_json(&report),
+                    spec_io::report_deterministic_json(&report),
+                ))
+            }),
+        JobKind::Check => wire::check_spec_from_value(&job.spec, "")
+            .map_err(|e| format!("invalid check spec: {e}"))
+            .and_then(|spec| {
+                let mut campaign = CheckCampaign::new(spec)
+                    .workers(job.workers)
+                    .sink(sink)
+                    .resume(journal)
+                    .kill_switch(Arc::clone(&job.stop));
+                if let Some(n) = job.halt_after {
+                    campaign = campaign.halt_after(n);
+                }
+                let report = campaign.run().map_err(|e| format!("{e:?}"))?;
+                Ok((
+                    !report.halted,
+                    report.deterministic_digest(),
+                    wire::check_report_to_json(&report),
+                    wire::check_report_deterministic_json(&report),
+                ))
+            }),
+    };
+
+    // Close the event stream before publishing the terminal state: a
+    // client woken by the state change must observe `closed` on its next
+    // events poll.
+    job.sink.close();
+
+    match outcome {
+        Ok((true, digest, full, det)) => {
+            let write = std::fs::write(job.dir.join("result.det.json"), det)
+                .and_then(|()| std::fs::write(job.dir.join("result.json"), full));
+            match write {
+                Ok(()) => job.set_state(JobState::Done, None, Some(digest)),
+                Err(e) => {
+                    let msg = format!("persisting result: {e}");
+                    write_state_file(&job.dir, "failed", Some(&msg));
+                    job.set_state(JobState::Failed, Some(msg), None);
+                }
+            }
+        }
+        Ok((false, ..)) => {
+            // Stopped at a clean checkpoint: kill switch (cancel or daemon
+            // drain) or halt_after. Journal has everything completed so
+            // far; no terminal file means the next boot resumes it —
+            // except an explicit cancel, which is terminal.
+            if job.cancel_requested.load(Ordering::SeqCst) {
+                write_state_file(&job.dir, "cancelled", None);
+                job.set_state(JobState::Cancelled, None, None);
+            } else {
+                job.set_state(JobState::Interrupted, None, None);
+            }
+        }
+        Err(msg) => {
+            write_state_file(&job.dir, "failed", Some(&msg));
+            job.set_state(JobState::Failed, Some(msg), None);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_config(tag: &str) -> ServeConfig {
+        let cfg = ServeConfig {
+            journal_root: std::env::temp_dir()
+                .join(format!("gecko-serve-queue-{}-{tag}", std::process::id())),
+            queue_workers: 2,
+            job_workers: 2,
+            ..ServeConfig::default()
+        };
+        let _ = std::fs::remove_dir_all(&cfg.journal_root);
+        cfg
+    }
+
+    fn tiny_sweep_spec() -> Json {
+        Json::parse(
+            r#"{"name":"queue-tiny","apps":["blink"],"schemes":["gecko"],
+                "seeds":[1,2],"workload":{"kind":"run_for","seconds":0.002}}"#,
+        )
+        .unwrap()
+    }
+
+    fn submission(spec: Json, halt_after: Option<u64>) -> wire::Submission {
+        wire::Submission {
+            spec,
+            workers: Some(1),
+            halt_after,
+        }
+    }
+
+    #[test]
+    fn sweep_job_runs_to_done_with_digest() {
+        let cfg = test_config("done");
+        let root = cfg.journal_root.clone();
+        let queue = Queue::start(cfg).unwrap();
+        let job = queue
+            .submit(JobKind::Sweep, submission(tiny_sweep_spec(), None))
+            .unwrap();
+        let state = job.wait_stopped(Duration::from_secs(120));
+        assert_eq!(state, JobState::Done);
+        assert!(job.dir.join("result.json").exists());
+        assert!(job.dir.join("result.det.json").exists());
+        let status = job.status_value();
+        assert_eq!(status.get("state").and_then(Json::as_str), Some("done"));
+        assert!(status.get("digest").and_then(Json::as_u64).is_some());
+        assert_eq!(status.get("items_done").and_then(Json::as_u64), Some(2));
+        queue.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn bad_specs_and_limits_are_rejected_before_any_disk_state() {
+        let mut cfg = test_config("reject");
+        cfg.max_items_per_job = 1;
+        let root = cfg.journal_root.clone();
+        let queue = Queue::start(cfg).unwrap();
+        let bad = Json::parse(r#"{"name":"x","schemes":["geko"]}"#).unwrap();
+        match queue.submit(JobKind::Sweep, submission(bad, None)) {
+            Err(SubmitError::BadSpec(m)) => assert!(m.contains("geko"), "{m}"),
+            other => panic!("expected BadSpec, got {other:?}"),
+        }
+        match queue.submit(JobKind::Sweep, submission(tiny_sweep_spec(), None)) {
+            Err(SubmitError::Limit(m)) => assert!(m.contains("limit"), "{m}"),
+            other => panic!("expected Limit, got {other:?}"),
+        }
+        // No job directories were created for rejected submissions.
+        let dirs = std::fs::read_dir(&root).unwrap().count();
+        assert_eq!(dirs, 0);
+        queue.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn halt_after_interrupts_and_restart_resumes_to_same_digest() {
+        let cfg = test_config("resume");
+        let root = cfg.journal_root.clone();
+
+        // Reference digest from an uninterrupted in-process run.
+        let reference = {
+            let spec = spec_io::spec_from_value(&tiny_sweep_spec(), "").unwrap();
+            Campaign::new(spec).run().unwrap().deterministic_digest()
+        };
+
+        let queue = Queue::start(cfg.clone()).unwrap();
+        let job = queue
+            .submit(JobKind::Sweep, submission(tiny_sweep_spec(), Some(1)))
+            .unwrap();
+        assert_eq!(
+            job.wait_stopped(Duration::from_secs(120)),
+            JobState::Interrupted
+        );
+        let id = job.id;
+        queue.shutdown();
+        drop(queue);
+
+        // "Restart": a fresh queue over the same root resumes the job.
+        let queue = Queue::start(cfg).unwrap();
+        let job = queue.job(id).expect("job restored");
+        assert_eq!(job.wait_stopped(Duration::from_secs(120)), JobState::Done);
+        let status = job.status_value();
+        assert_eq!(status.get("digest").and_then(Json::as_u64), Some(reference));
+        assert_eq!(status.get("items_resumed").and_then(Json::as_u64), Some(1));
+        queue.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn cancelling_a_queued_job_is_terminal_across_restart() {
+        let mut cfg = test_config("cancel");
+        // No workers would race us to the job, but use a long-running
+        // blocker instead: submit with 0 queue workers is impossible
+        // (min 1), so cancel before the worker picks it up by flooding.
+        cfg.queue_workers = 1;
+        let root = cfg.journal_root.clone();
+        let queue = Queue::start(cfg.clone()).unwrap();
+        // Occupy the single worker with a job heavy enough that the
+        // victim is still queued when we cancel it.
+        let blocker_spec = Json::parse(
+            r#"{"name":"queue-blocker","apps":["blink","crc16"],"schemes":["gecko","nvp"],
+                "seeds":[1,2,3,4],"workload":{"kind":"run_for","seconds":0.01}}"#,
+        )
+        .unwrap();
+        let blocker = queue
+            .submit(JobKind::Sweep, submission(blocker_spec, None))
+            .unwrap();
+        // ...then cancel one that is still queued behind it.
+        let victim = queue
+            .submit(JobKind::Sweep, submission(tiny_sweep_spec(), None))
+            .unwrap();
+        queue.cancel(&victim);
+        assert_eq!(victim.state(), JobState::Cancelled);
+        assert!(victim.dir.join("state.json").exists());
+        blocker.wait_stopped(Duration::from_secs(120));
+        queue.shutdown();
+        drop(queue);
+
+        let queue = Queue::start(cfg).unwrap();
+        let restored = queue.job(victim.id).expect("cancelled job restored");
+        assert_eq!(restored.state(), JobState::Cancelled);
+        queue.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+}

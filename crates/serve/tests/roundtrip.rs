@@ -1,0 +1,320 @@
+//! Wire-format round-trip properties under splitmix64-driven random
+//! values: encode → decode → encode must reproduce the exact bytes, and
+//! decoded specs must fingerprint identically — the invariant the
+//! journal/resume machinery and the served-vs-in-process digest
+//! comparisons stand on.
+
+use gecko_check::{CheckSpec, ExploreConfig};
+use gecko_compiler::CompileOptions;
+use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind, TimedAttack};
+use gecko_fleet::json::Json;
+use gecko_fleet::spec_io::{
+    report_deterministic_json, report_to_json, spec_from_json, spec_to_json,
+};
+use gecko_fleet::telemetry::{Event, FleetCounters, Histogram};
+use gecko_fleet::{
+    AttackCase, CampaignReport, CampaignSpec, CapacitorSpec, DeviceCase, RunResult, Supply,
+    WorkItem, Workload,
+};
+use gecko_isa::rng::SplitMix64;
+use gecko_serve::wire::{check_spec_from_json, check_spec_to_json, event_value};
+use gecko_sim::report::Value;
+use gecko_sim::SchemeKind;
+
+const ROUNDS: usize = 64;
+
+fn pick<'a, T>(rng: &mut SplitMix64, items: &'a [T]) -> &'a T {
+    &items[rng.range_u64(0, items.len() as u64) as usize]
+}
+
+/// A non-empty random subset, preserving order (axis order is part of the
+/// fingerprint, so the generator must not shuffle).
+fn subset<T: Clone>(rng: &mut SplitMix64, items: &[T]) -> Vec<T> {
+    loop {
+        let picked: Vec<T> = items
+            .iter()
+            .filter(|_| rng.next_u64() & 1 == 0)
+            .cloned()
+            .collect();
+        if !picked.is_empty() {
+            return picked;
+        }
+    }
+}
+
+/// Small decimal floats survive text round-trips exactly (Rust's float
+/// Display is shortest-round-trip, so *any* f64 would — but keeping the
+/// magnitudes spec-shaped keeps the documents readable on failure).
+fn small_f64(rng: &mut SplitMix64) -> f64 {
+    (rng.range_u64(1, 5_000_000) as f64) / 1000.0
+}
+
+fn random_injection(rng: &mut SplitMix64) -> Injection {
+    use gecko_emi::attack::DpiPoint;
+    match rng.range_u64(0, 3) {
+        0 => Injection::Dpi(DpiPoint::P1),
+        1 => Injection::Dpi(DpiPoint::P2),
+        _ => Injection::Remote {
+            distance_m: small_f64(rng),
+        },
+    }
+}
+
+fn random_attacks(rng: &mut SplitMix64) -> Vec<AttackCase> {
+    let mut cases = vec![AttackCase::none()];
+    for i in 0..rng.range_u64(0, 3) {
+        let windows: Vec<TimedAttack> = (0..rng.range_u64(1, 4))
+            .map(|_| {
+                let start_s = small_f64(rng);
+                TimedAttack {
+                    start_s,
+                    // Half the windows are open-ended: `end_s` rides the
+                    // wire as `null` and must come back as infinity.
+                    end_s: if rng.next_u64() & 1 == 0 {
+                        f64::INFINITY
+                    } else {
+                        start_s + small_f64(rng)
+                    },
+                    signal: EmiSignal::new(small_f64(rng) * 1e6, small_f64(rng)),
+                    injection: random_injection(rng),
+                }
+            })
+            .collect();
+        // Labels exercise the string escaper.
+        let label = format!("atk-{i} \"burst\"\\{}\n", rng.next_u64() % 100);
+        cases.push(AttackCase::new(
+            label,
+            AttackSchedule::from_windows(windows),
+        ));
+    }
+    cases
+}
+
+fn random_spec(rng: &mut SplitMix64) -> CampaignSpec {
+    let app_names: Vec<String> = gecko_apps::all_apps()
+        .iter()
+        .map(|a| a.name.to_string())
+        .collect();
+    let devices: Vec<DeviceCase> = subset(rng, &gecko_emi::devices::all_devices())
+        .into_iter()
+        .map(|d| {
+            let monitor = if rng.next_u64() & 1 == 0 {
+                MonitorKind::Adc
+            } else {
+                MonitorKind::Comparator
+            };
+            DeviceCase::new(d, monitor)
+        })
+        .collect();
+    let workload = match rng.range_u64(0, 3) {
+        0 => Workload::RunFor {
+            seconds: small_f64(rng),
+        },
+        1 => Workload::UntilCompletions {
+            n: rng.range_u64(1, 100),
+            max_seconds: small_f64(rng),
+        },
+        _ => Workload::Buckets {
+            horizon_s: small_f64(rng),
+            bucket_s: small_f64(rng),
+        },
+    };
+    let mut spec = CampaignSpec::new(format!("prop \"{}\"\\\t", rng.next_u64() % 1000))
+        .apps(subset(rng, &app_names))
+        .schemes(subset(rng, &SchemeKind::all()))
+        .devices(devices)
+        .attacks(random_attacks(rng))
+        .seeds((0..rng.range_u64(1, 5)).map(|_| rng.next_u64()))
+        .workload(workload);
+    if rng.next_u64() & 1 == 0 {
+        spec = spec.supply(Supply::Harvesting {
+            power_w: small_f64(rng) / 1000.0,
+        });
+    }
+    if rng.next_u64() & 1 == 0 {
+        spec = spec.capacitor(CapacitorSpec {
+            capacitance_f: small_f64(rng) / 1000.0,
+            initial_voltage_v: small_f64(rng),
+            rescale_thresholds: rng.next_u64() & 1 == 0,
+        });
+    }
+    if rng.next_u64() & 1 == 0 {
+        spec.adc_filter_taps = Some(1 + (rng.next_u64() % 4) as usize * 2);
+    }
+    spec.compile = CompileOptions {
+        wcet_budget_cycles: if rng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(rng.range_u64(100, 1_000_000))
+        },
+        prune: rng.next_u64() & 1 == 0,
+        max_slice_insts: rng.range_u64(1, 64) as usize,
+    };
+    spec
+}
+
+#[test]
+fn campaign_spec_round_trips_byte_exactly() {
+    let mut rng = SplitMix64::new(0xC0FFEE);
+    for round in 0..ROUNDS {
+        let spec = random_spec(&mut rng);
+        let wire = spec_to_json(&spec);
+        let back = spec_from_json(&wire)
+            .unwrap_or_else(|e| panic!("round {round}: decode failed: {e}\n{wire}"));
+        assert_eq!(back, spec, "round {round}: decoded spec diverged");
+        assert_eq!(
+            back.fingerprint(),
+            spec.fingerprint(),
+            "round {round}: fingerprint not stable across the wire"
+        );
+        assert_eq!(
+            spec_to_json(&back),
+            wire,
+            "round {round}: re-encode is not byte-identical"
+        );
+    }
+}
+
+#[test]
+fn check_spec_round_trips_byte_exactly() {
+    let mut rng = SplitMix64::new(0xBEEF);
+    let app_names: Vec<String> = gecko_apps::all_apps()
+        .iter()
+        .map(|a| a.name.to_string())
+        .collect();
+    for round in 0..ROUNDS {
+        let apps = subset(&mut rng, &app_names);
+        let mut explore = ExploreConfig::default().with_depth(rng.range_u64(1, 4) as u32);
+        if rng.next_u64() & 1 == 0 {
+            explore = explore.with_max_windows(rng.range_u64(1, 10_000));
+        }
+        explore.power_failure_windows = rng.next_u64() & 1 == 0;
+        explore.emi_windows = rng.next_u64() & 1 == 0;
+        explore.refail_horizon = rng.range_u64(1, 64);
+        explore.memoize = rng.next_u64() & 1 == 0;
+        explore.seed = rng.next_u64();
+        explore.fast_forward = rng.next_u64() & 1 == 0;
+        let mut spec = CheckSpec::new(format!("check \"{round}\"\\"))
+            .app_names(&apps.iter().map(String::as_str).collect::<Vec<_>>())
+            .unwrap()
+            .schemes(subset(&mut rng, &SchemeKind::all()))
+            .explore(explore)
+            .chunk_windows(rng.range_u64(1, 2048));
+        spec.shrink = rng.next_u64() & 1 == 0;
+        spec.shrink_budget = rng.range_u64(0, 1000);
+        spec.compile.wcet_budget_cycles = if rng.next_u64() & 1 == 0 {
+            None
+        } else {
+            Some(rng.range_u64(100, 100_000))
+        };
+
+        let wire = check_spec_to_json(&spec);
+        let back = check_spec_from_json(&wire)
+            .unwrap_or_else(|e| panic!("round {round}: decode failed: {e}\n{wire}"));
+        assert_eq!(
+            check_spec_to_json(&back),
+            wire,
+            "round {round}: re-encode is not byte-identical"
+        );
+    }
+}
+
+/// A synthetic merged report: random metrics through the real encoder,
+/// then through the strict JSON parser, and back out byte-identically.
+#[test]
+fn merged_report_documents_reparse_byte_exactly() {
+    let mut rng = SplitMix64::new(0xD1CE);
+    for round in 0..16 {
+        let spec = random_spec(&mut rng);
+        let items = spec.expand();
+        let results: Vec<RunResult> = items
+            .iter()
+            .take(8)
+            .map(|item: &WorkItem| RunResult {
+                item: *item,
+                metrics: random_metrics(&mut rng),
+                buckets: Vec::new(),
+                compile_stats: Default::default(),
+                cache_hit: rng.next_u64() & 1 == 0,
+                wall_ns: rng.next_u64() >> 20,
+            })
+            .collect();
+        let report = CampaignReport {
+            spec,
+            workers: rng.range_u64(1, 16) as usize,
+            results,
+            failures: Vec::new(),
+            totals: random_metrics(&mut rng),
+            counters: FleetCounters::default(),
+            item_wall: Histogram::default(),
+            wall_s: small_f64(&mut rng),
+            halted: rng.next_u64() & 1 == 0,
+        };
+        for doc in [report_to_json(&report), report_deterministic_json(&report)] {
+            let parsed = Json::parse(&doc)
+                .unwrap_or_else(|e| panic!("round {round}: report doc does not parse: {e}"));
+            assert_eq!(
+                parsed.encode(),
+                doc,
+                "round {round}: parse→encode is not byte-identical"
+            );
+        }
+    }
+}
+
+fn random_metrics(rng: &mut SplitMix64) -> gecko_sim::Metrics {
+    gecko_sim::Metrics {
+        sim_time_s: small_f64(rng),
+        forward_cycles: rng.next_u64() >> 16,
+        overhead_cycles: rng.next_u64() >> 16,
+        completions: rng.next_u64() % 1_000,
+        checksum_errors: rng.next_u64() % 10,
+        jit_checkpoints: rng.next_u64() % 10_000,
+        jit_checkpoint_failures: rng.next_u64() % 100,
+        reboots: rng.next_u64() % 1_000,
+        dirty_deaths: rng.next_u64() % 100,
+        rollbacks: rng.next_u64() % 1_000,
+        recovery_slices: rng.next_u64() % 10_000,
+        attack_detections: rng.next_u64() % 100,
+        jit_reenables: rng.next_u64() % 100,
+        ..Default::default()
+    }
+}
+
+/// Telemetry events: every frame the daemon streams must survive the
+/// strict parser and re-encode to the same bytes.
+#[test]
+fn telemetry_event_frames_reparse_byte_exactly() {
+    const KEYS: [&str; 6] = ["item", "wall_ns", "ratio", "note", "flag", "gap"];
+    let mut rng = SplitMix64::new(0xFEED);
+    for round in 0..ROUNDS {
+        let kind = *pick(&mut rng, &["item_started", "item_finished", "custom_probe"]);
+        let n_fields = rng.range_u64(0, KEYS.len() as u64 + 1) as usize;
+        let fields: Vec<(&'static str, Value)> = KEYS
+            .iter()
+            .take(n_fields)
+            .map(|&key| {
+                let value = match rng.range_u64(0, 6) {
+                    0 => Value::U64(rng.next_u64()),
+                    1 => Value::I64(rng.next_u64() as i64),
+                    2 => Value::F64(small_f64(&mut rng)),
+                    // Non-finite floats frame as null and must reparse.
+                    3 => Value::F64(f64::NAN),
+                    4 => Value::Str(format!("s\"{}\"\\\n\t", rng.next_u64() % 97)),
+                    _ => Value::Bool(rng.next_u64() & 1 == 0),
+                };
+                (key, value)
+            })
+            .collect();
+        let event = Event { kind, fields };
+        let frame = event_value(rng.next_u64(), &event).encode();
+        let parsed = Json::parse(&frame)
+            .unwrap_or_else(|e| panic!("round {round}: frame does not parse: {e}\n{frame}"));
+        assert_eq!(
+            parsed.encode(),
+            frame,
+            "round {round}: event frame is not byte-stable"
+        );
+        assert_eq!(parsed.get("event").and_then(Json::as_str), Some(kind));
+    }
+}

@@ -37,6 +37,26 @@ impl SchemeKind {
         }
     }
 
+    /// Stable machine-readable identifier, used on the wire (JSON specs)
+    /// and in file names. Unlike [`SchemeKind::name`], slugs contain no
+    /// spaces or slashes.
+    pub fn slug(self) -> &'static str {
+        match self {
+            SchemeKind::Nvp => "nvp",
+            SchemeKind::Ratchet => "ratchet",
+            SchemeKind::Gecko => "gecko",
+            SchemeKind::GeckoNoPrune => "gecko-no-prune",
+        }
+    }
+
+    /// Resolves a scheme from either its [`slug`](SchemeKind::slug) or its
+    /// display [`name`](SchemeKind::name) (case-insensitive for slugs).
+    pub fn from_name(name: &str) -> Option<SchemeKind> {
+        SchemeKind::all()
+            .into_iter()
+            .find(|s| s.slug().eq_ignore_ascii_case(name) || s.name() == name)
+    }
+
     /// Whether this scheme instruments the program with region boundaries.
     pub fn uses_regions(self) -> bool {
         !matches!(self, SchemeKind::Nvp)
@@ -58,6 +78,19 @@ mod tests {
         let names: std::collections::BTreeSet<_> =
             SchemeKind::all().iter().map(|s| s.name()).collect();
         assert_eq!(names.len(), 4);
+    }
+
+    #[test]
+    fn slugs_round_trip() {
+        for s in SchemeKind::all() {
+            assert_eq!(SchemeKind::from_name(s.slug()), Some(s));
+            assert_eq!(SchemeKind::from_name(s.name()), Some(s));
+        }
+        assert_eq!(
+            SchemeKind::from_name("GECKO-NO-PRUNE"),
+            Some(SchemeKind::GeckoNoPrune)
+        );
+        assert_eq!(SchemeKind::from_name("bogus"), None);
     }
 
     #[test]

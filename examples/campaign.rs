@@ -15,11 +15,15 @@
 //! * `--resume` — journal the campaign, kill it partway with the
 //!   deterministic halt switch, then resume from the journal and show the
 //!   merged report is bit-exact against the uninterrupted run.
+//! * `--drain` — graceful shutdown: flip the kill switch from another
+//!   thread mid-campaign (the signal a daemon sends its workers). Workers
+//!   finish the run they are on and journal it — a clean checkpoint, not
+//!   an abandoned pool — and a resume completes to the same digest.
 //!
 //! ```sh
 //! cargo run --release --example campaign
 //! GECKO_WORKERS=8 cargo run --release --example campaign
-//! cargo run --release --example campaign -- --chaos --resume
+//! cargo run --release --example campaign -- --chaos --resume --drain
 //! ```
 
 use std::sync::Arc;
@@ -111,10 +115,72 @@ fn resume_demo(workers: usize, reference: &gecko_suite::fleet::CampaignReport) {
     );
 }
 
+/// `--drain`: graceful shutdown via the kill switch, then resume.
+fn drain_demo(workers: usize, reference: &gecko_suite::fleet::CampaignReport) {
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+    /// Flips the campaign's kill switch after `after` finished items —
+    /// the same signal `gecko-serve` sends its running jobs on shutdown.
+    struct DrainAfter {
+        after: u64,
+        seen: AtomicU64,
+        stop: Arc<AtomicBool>,
+    }
+    impl gecko_suite::fleet::TelemetrySink for DrainAfter {
+        fn emit(&self, event: gecko_suite::fleet::Event) {
+            if event.kind == "item_finished"
+                && self.seen.fetch_add(1, Ordering::SeqCst) + 1 >= self.after
+            {
+                self.stop.store(true, Ordering::SeqCst);
+            }
+        }
+    }
+
+    let items = spec().expand().len() as u64;
+    let stop = Arc::new(AtomicBool::new(false));
+    let journal = Arc::new(Journal::memory());
+    println!(
+        "\n--drain: requesting shutdown after ~{}/{items} runs...",
+        items / 2
+    );
+    let drained = Campaign::new(spec())
+        .workers(workers)
+        .sink(Arc::new(DrainAfter {
+            after: items / 2,
+            seen: AtomicU64::new(0),
+            stop: Arc::clone(&stop),
+        }))
+        .journal(Arc::clone(&journal))
+        .kill_switch(stop)
+        .run()
+        .expect("campaign");
+    let journaled = drained.results.len() as u64;
+    println!(
+        "workers drained: {journaled}/{items} runs journaled as a clean checkpoint \
+         (none abandoned mid-run)"
+    );
+    let resumed = Campaign::new(spec())
+        .workers(workers)
+        .resume(journal)
+        .run()
+        .expect("campaign");
+    assert_eq!(resumed.counters.resumed, journaled);
+    assert_eq!(
+        resumed.deterministic_digest(),
+        reference.deterministic_digest(),
+        "drain + resume must merge bit-exactly"
+    );
+    println!(
+        "resumed past the checkpoint to digest {:016x} — equal to the uninterrupted run",
+        resumed.deterministic_digest()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let chaos = args.iter().any(|a| a == "--chaos");
     let resume = args.iter().any(|a| a == "--resume");
+    let drain = args.iter().any(|a| a == "--drain");
     let workers = std::env::var("GECKO_WORKERS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -159,5 +225,8 @@ fn main() {
     }
     if resume {
         resume_demo(workers, &fleet);
+    }
+    if drain {
+        drain_demo(workers, &fleet);
     }
 }

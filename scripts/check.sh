@@ -33,7 +33,12 @@ GECKO_QUICK=1 cargo run --offline --release --example check
 echo "==> chaos smoke (supervised campaign: quarantine, retry, kill + resume)"
 cargo test --offline --release -q -p gecko-fleet --test supervision
 cargo test --offline --release -q -p gecko-check --test supervision
-cargo run --offline --release --example campaign -- --chaos --resume
+cargo run --offline --release --example campaign -- --chaos --resume --drain
+
+echo "==> serve smoke (daemon on an ephemeral port: submit fig4 sweep over HTTP,"
+echo "    poll to completion, served result must be byte-identical to the library)"
+cargo run --offline --release --example serve -- --smoke
+cargo test --offline --release -q -p gecko-serve --test e2e
 
 echo "==> bench smoke (fast-path + event-horizon coalescing floors, BENCH_sim.json)"
 GECKO_QUICK=1 cargo bench --offline -p gecko-bench --bench fast_path

@@ -16,4 +16,5 @@ pub use gecko_energy as energy;
 pub use gecko_fleet as fleet;
 pub use gecko_isa as isa;
 pub use gecko_mcu as mcu;
+pub use gecko_serve as serve;
 pub use gecko_sim as sim;
