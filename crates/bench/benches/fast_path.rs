@@ -600,6 +600,93 @@ fn bench_checker(rows: &mut Vec<BenchRow>, quick: bool) {
     );
 }
 
+/// Section 8: `gecko-store` prune tick — full compaction of a campaign
+/// journal appended twice over (so half the records are superseded),
+/// fsync-and-rename rewrites included. The bound is per *line scanned*,
+/// deliberately loose: it guards against gross regressions (accidental
+/// per-line fsync, quadratic classify), not cache noise.
+fn bench_prune_tick(rows: &mut Vec<BenchRow>, quick: bool) {
+    use gecko_store::{LogCompactor, LogConfig, Pruner, SegmentedLog};
+    use std::sync::Arc;
+
+    let iters = if quick { 2 } else { 5 };
+    let seconds = if quick { 0.01 } else { 0.02 };
+    let spec = CampaignSpec::new("bench_prune")
+        .apps(["blink"])
+        .schemes([SchemeKind::Gecko])
+        .seeds([1, 2, 3, 4])
+        .workload(Workload::RunFor { seconds });
+    let cfg = LogConfig {
+        max_segment_bytes: 2048,
+    };
+    let root = std::env::temp_dir().join(format!("gecko-bench-prune-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+
+    // Journal one campaign; every measured tick then compacts a fresh
+    // segmented log holding those lines twice.
+    let journal =
+        Journal::open_segmented(&root.join("seed").join("journal"), cfg).expect("journal opens");
+    Campaign::new(spec)
+        .workers(workers_from_env())
+        .journal(Arc::new(journal))
+        .run()
+        .expect("campaign runs");
+    let lines =
+        Journal::open_segmented(&root.join("seed").join("journal"), cfg).expect("journal reopens");
+    let lines = lines.lines();
+    let total_lines = (lines.len() * 2) as u64;
+
+    let mut round = 0u32;
+    let wall = time_best_of(iters, || {
+        round += 1;
+        let dir = root.join(format!("tick-{round}"));
+        let log = Arc::new(SegmentedLog::open(&dir.join("journal"), cfg).expect("log opens"));
+        for line in lines.iter().chain(lines.iter()) {
+            log.append(line);
+        }
+        log.seal().expect("seal");
+        let mut pruner = Pruner::open(&dir.join("prune.json"), 0).expect("pruner opens");
+        pruner.add(LogCompactor::new(
+            "campaign",
+            Arc::clone(&log),
+            gecko_fleet::classify_campaign_lines,
+        ));
+        let report = pruner.tick().expect("tick");
+        assert!(report.done, "unlimited budget must finish in one tick");
+        assert!(report.pruned > 0, "duplicated journal must compact");
+    });
+    let _ = std::fs::remove_dir_all(&root);
+
+    let ns_per_line = wall.as_nanos() as f64 / total_lines.max(1) as f64;
+    let rate = total_lines as f64 / wall.as_secs_f64();
+    print_table(
+        &format!("store prune tick, {total_lines} journal lines (best of {iters})"),
+        &["lines", "wall", "ns/line", "lines/s"],
+        &[vec![
+            total_lines.to_string(),
+            format!("{:.1}ms", wall.as_secs_f64() * 1e3),
+            format!("{ns_per_line:.0}"),
+            format!("{rate:.0}/s"),
+        ]],
+    );
+    rows.push(BenchRow {
+        section: "prune_tick".to_string(),
+        scheme: "campaign".to_string(),
+        app: "journal".to_string(),
+        steps: total_lines,
+        ff_ticks: 0,
+        eh_insts: 0,
+        ratio: 1.0,
+        wall_ms: wall.as_secs_f64() * 1e3,
+        rate_per_s: rate,
+    });
+    const MAX_NS_PER_LINE: f64 = 2_000_000.0; // 2 ms/line, fsyncs included
+    assert!(
+        ns_per_line < MAX_NS_PER_LINE,
+        "prune tick cost {ns_per_line:.0} ns/line, bound is {MAX_NS_PER_LINE:.0}"
+    );
+}
+
 fn main() {
     let quick = std::env::var_os("GECKO_QUICK").is_some();
     let mut rows = Vec::new();
@@ -609,6 +696,7 @@ fn main() {
     bench_campaign(&mut rows, quick);
     bench_campaign_resume(&mut rows, quick);
     bench_serve_submit(&mut rows, quick);
+    bench_prune_tick(&mut rows, quick);
     bench_checker(&mut rows, quick);
     save_rows("BENCH_sim", &rows);
     let summary: Vec<SummaryRow> = rows

@@ -28,7 +28,7 @@ use std::time::Instant;
 
 use gecko_apps::App;
 use gecko_compiler::{CompileError, CompileOptions};
-use gecko_fleet::journal::{decode_header, encode_header, field, parse_flat_json};
+use gecko_fleet::journal::{decode_header, encode_header, field, parse_flat_json, JsonScalar};
 use gecko_fleet::telemetry::json_kv;
 use gecko_fleet::{
     quarantine, run_supervised, AttemptFail, ChaosSink, ChaosSpec, Event, FleetCounters, Journal,
@@ -36,6 +36,7 @@ use gecko_fleet::{
 };
 use gecko_sim::device::CompiledApp;
 use gecko_sim::{SchemeKind, Value};
+use gecko_store::Verdict;
 
 use crate::explore::{check_windows, golden_steps, ExploreConfig, GoldenError};
 use crate::shrink::{replay, shrink_schedule};
@@ -297,12 +298,14 @@ const CHUNK_DONE: &str = "chunk_done";
 
 /// A violation as journaled: schedule + outcome only. `Blame` is derived
 /// state and is rebuilt by a deterministic [`replay`] on resume.
+#[derive(Debug, PartialEq)]
 struct JournaledViolation {
     window: u64,
     schedule: Vec<PlannedInjection>,
     outcome: Outcome,
 }
 
+#[derive(Debug, PartialEq)]
 struct JournaledChunk {
     item: usize,
     stats: CheckStats,
@@ -395,6 +398,45 @@ fn encode_chunk(run_key: u64, item: usize, stats: &CheckStats, violations: &[Vio
     ])
 }
 
+/// Decodes one `chunk_done` line's parsed fields, or `None` if the line
+/// is not a fully-formed chunk record. Shared between journal replay and
+/// the prune classifier so both agree on what "decodable" means.
+fn decode_chunk_line(fields: &[(String, JsonScalar)]) -> Option<(u64, JournaledChunk)> {
+    if field(fields, "kind")?.as_str()? != CHUNK_DONE {
+        return None;
+    }
+    let u = |name: &str| field(fields, name)?.as_u64();
+    let run_key = u("run_key")?;
+    let stats = CheckStats {
+        windows: u("windows")?,
+        forks: u("forks")?,
+        explored: u("explored")?,
+        memo_hits: u("memo_hits")?,
+        steps: u("steps")?,
+        violations: u("violations")?,
+    };
+    let viols_text = field(fields, "viols")?.as_str()?;
+    let mut violations = Vec::new();
+    if !viols_text.is_empty() {
+        for part in viols_text.split(';') {
+            let mut cols = part.splitn(3, '|');
+            violations.push(JournaledViolation {
+                window: cols.next()?.parse().ok()?,
+                schedule: decode_schedule(cols.next()?)?,
+                outcome: decode_outcome(cols.next()?)?,
+            });
+        }
+    }
+    Some((
+        run_key,
+        JournaledChunk {
+            item: u("item")? as usize,
+            stats,
+            violations,
+        },
+    ))
+}
+
 /// Replays a checker journal: header (if any) plus completed chunks keyed
 /// by run key. Malformed lines are skipped; later duplicates win.
 fn decode_chunks(lines: &[String]) -> (Option<(String, u64)>, HashMap<u64, JournaledChunk>) {
@@ -408,46 +450,53 @@ fn decode_chunks(lines: &[String]) -> (Option<(String, u64)>, HashMap<u64, Journ
         let Some(fields) = parse_flat_json(line) else {
             continue;
         };
-        let decoded = (|| {
-            if field(&fields, "kind")?.as_str()? != CHUNK_DONE {
-                return None;
-            }
-            let u = |name: &str| field(&fields, name)?.as_u64();
-            let run_key = u("run_key")?;
-            let stats = CheckStats {
-                windows: u("windows")?,
-                forks: u("forks")?,
-                explored: u("explored")?,
-                memo_hits: u("memo_hits")?,
-                steps: u("steps")?,
-                violations: u("violations")?,
-            };
-            let viols_text = field(&fields, "viols")?.as_str()?;
-            let mut violations = Vec::new();
-            if !viols_text.is_empty() {
-                for part in viols_text.split(';') {
-                    let mut cols = part.splitn(3, '|');
-                    violations.push(JournaledViolation {
-                        window: cols.next()?.parse().ok()?,
-                        schedule: decode_schedule(cols.next()?)?,
-                        outcome: decode_outcome(cols.next()?)?,
-                    });
-                }
-            }
-            Some((
-                run_key,
-                JournaledChunk {
-                    item: u("item")? as usize,
-                    stats,
-                    violations,
-                },
-            ))
-        })();
-        if let Some((run_key, chunk)) = decoded {
+        if let Some((run_key, chunk)) = decode_chunk_line(&fields) {
             chunks.insert(run_key, chunk);
         }
     }
     (header, chunks)
+}
+
+/// Classifies a checker journal for [`gecko_store::LogCompactor`]: marks
+/// [`Verdict::Delete`] on exactly the lines the resume decoder ignores —
+/// unparseable garbage, duplicate headers, `chunk_done` lines that fail
+/// to decode, and `chunk_done` lines superseded by a later record with
+/// the same run key. Lines in a foreign but parseable vocabulary are
+/// kept, so a journal shared with other writers prunes safely.
+pub fn classify_check_lines(lines: &[String]) -> Vec<Verdict> {
+    let mut verdicts = vec![Verdict::Keep; lines.len()];
+    let mut saw_header = false;
+    // Latest decodable chunk_done line per run key wins; all earlier
+    // ones are dead weight the decoder would overwrite anyway.
+    let mut last_chunk: HashMap<u64, usize> = HashMap::new();
+    for (i, line) in lines.iter().enumerate() {
+        if decode_header(line).is_some() {
+            if saw_header {
+                verdicts[i] = Verdict::Delete; // decode keeps the first
+            }
+            saw_header = true;
+            continue;
+        }
+        let Some(fields) = parse_flat_json(line) else {
+            verdicts[i] = Verdict::Delete; // garbage: decoder skips it
+            continue;
+        };
+        let is_chunk_kind = field(&fields, "kind")
+            .and_then(|v| v.as_str())
+            .is_some_and(|k| k == CHUNK_DONE);
+        match decode_chunk_line(&fields) {
+            Some((run_key, _)) => {
+                if let Some(prev) = last_chunk.insert(run_key, i) {
+                    verdicts[prev] = Verdict::Delete;
+                }
+            }
+            // A chunk_done line that doesn't fully decode is invisible
+            // to the decoder; anything else is a foreign vocabulary.
+            None if is_chunk_kind => verdicts[i] = Verdict::Delete,
+            None => {}
+        }
+    }
+    verdicts
 }
 
 /// One claimable unit of checker work: a window chunk of one pair.
@@ -757,6 +806,12 @@ impl CheckCampaign {
             ));
             Ok((stats, violations))
         });
+        // Checkpoint boundary: every chunk journaled by the pool is
+        // forced to stable storage before the report claims it happened.
+        // Per-chunk appends stay fsync-free to keep the hot path cheap.
+        if let Some(journal) = journal {
+            journal.sync();
+        }
 
         // Deterministic merge, in item order (chunks of a pair are in
         // window order, so each pair's violations come out sorted).
@@ -1026,4 +1081,83 @@ pub fn check_summary(report: &CheckReport) -> String {
         }
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::verdict::Blame;
+
+    fn sample_chunk(run_key: u64, item: usize, windows: u64) -> String {
+        let stats = CheckStats {
+            windows,
+            forks: 3,
+            explored: 9,
+            memo_hits: 2,
+            steps: 40,
+            violations: 1,
+        };
+        let violations = vec![Violation {
+            window: 7,
+            schedule: vec![PlannedInjection {
+                after_steps: 5,
+                kind: InjectionKind::PowerFailure,
+            }],
+            outcome: Outcome::Stuck,
+            blame: Blame {
+                region: None,
+                block: None,
+                boundary_index: None,
+                recovery_slots: 0,
+                recovery_recomputes: 0,
+                checkpoint_pc: None,
+                detail: String::new(),
+            },
+        }];
+        encode_chunk(run_key, item, &stats, &violations)
+    }
+
+    #[test]
+    fn classifier_only_deletes_lines_the_decoder_ignores() {
+        let lines = vec![
+            encode_header("check", 0xBEEF),
+            sample_chunk(11, 0, 512), // superseded by the later key-11 record
+            "not json at all".to_string(),
+            r#"{"kind":"chunk_done","run_key":"oops"}"#.to_string(), // undecodable
+            r#"{"kind":"run_done","run_key":9}"#.to_string(),        // foreign vocabulary
+            sample_chunk(11, 0, 640),
+            encode_header("check", 0xBEEF), // duplicate header
+            sample_chunk(12, 1, 512),
+        ];
+        let verdicts = classify_check_lines(&lines);
+        let pruned: Vec<String> = lines
+            .iter()
+            .zip(&verdicts)
+            .filter(|(_, v)| **v == Verdict::Keep)
+            .map(|(l, _)| l.clone())
+            .collect();
+
+        // The invariant the compactor relies on: pruning is invisible to
+        // the decoder.
+        assert_eq!(decode_chunks(&lines), decode_chunks(&pruned));
+
+        // Exactly the dead lines go: stale chunk, garbage, broken chunk,
+        // duplicate header. The foreign run_done line survives.
+        assert_eq!(pruned.len(), 4);
+        assert!(pruned.iter().any(|l| l.contains("run_done")));
+        let (header, chunks) = decode_chunks(&pruned);
+        assert_eq!(header, Some(("check".to_string(), 0xBEEF)));
+        assert_eq!(chunks.len(), 2);
+        assert_eq!(chunks[&11].stats.windows, 640);
+    }
+
+    #[test]
+    fn classifier_keeps_everything_in_a_clean_journal() {
+        let lines = vec![
+            encode_header("check", 1),
+            sample_chunk(1, 0, 512),
+            sample_chunk(2, 1, 512),
+        ];
+        assert_eq!(classify_check_lines(&lines), vec![Verdict::Keep; 3]);
+    }
 }

@@ -53,7 +53,8 @@ pub mod testprog;
 pub mod verdict;
 
 pub use campaign::{
-    check_app, check_compiled, check_summary, CheckCampaign, CheckError, CheckReport, CheckSpec,
+    check_app, check_compiled, check_summary, classify_check_lines, CheckCampaign, CheckError,
+    CheckReport, CheckSpec,
 };
 pub use explore::{golden_steps, ExploreConfig, GoldenError};
 pub use shrink::{replay, shrink_schedule};

@@ -720,6 +720,14 @@ impl Campaign {
             Ok(Ok(result))
         });
 
+        // Checkpoint boundary: every run journaled by the pool is forced
+        // to stable storage before the report claims it happened (sync
+        // failures degrade to the drop counter like any other journal
+        // I/O). Per-run appends stay fsync-free to keep the clean path
+        // cheap.
+        if let Some(journal) = journal {
+            journal.sync();
+        }
         let wall_s = started.elapsed().as_secs_f64();
 
         // Deterministic merge: walk slots in item order; journaled runs

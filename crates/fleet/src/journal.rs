@@ -24,29 +24,44 @@
 //! * Malformed or foreign lines are skipped, not fatal; the spec
 //!   fingerprint in the header is what guards against resuming the wrong
 //!   campaign.
+//! * Durability is checkpoint-shaped, not per-line: [`Journal::sync`] is
+//!   called by the campaign once the pool drains (and segment seals fsync
+//!   on their own), so the clean path stays cheap while a power cut can
+//!   only cost lines since the last checkpoint — which resume re-executes.
+//! * A file torn mid-append is repaired on [`Journal::open`] (the partial
+//!   final line is truncated away and counted in
+//!   [`Journal::torn_tails`]), so resume never sees a glued-together
+//!   hybrid of an old tail and a new append.
+//! * For long-running services, [`Journal::segmented`] stores the lines
+//!   in a [`gecko_store::SegmentedLog`] — sealed segments the store's
+//!   pruner can compact (under [`classify_campaign_lines`]) without
+//!   disturbing the bit-exact resume guarantee.
 
 use std::collections::HashMap;
 use std::io::{Read as _, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use gecko_compiler::CompileStats;
 use gecko_sim::report::{Record as _, Value};
 use gecko_sim::Metrics;
+use gecko_store::{SegmentedLog, Verdict};
 
 use crate::campaign::RunResult;
 use crate::supervisor::lock_unpoisoned;
 use crate::telemetry::json_kv;
 
 /// The storage behind a journal: an in-memory line buffer (tests,
-/// kill/resume property tests) or an append-only file.
+/// kill/resume property tests), an append-only file, or a segmented log
+/// managed by `gecko-store` (prunable, retention-aware).
 enum Backend {
     Memory(Vec<String>),
     File {
         path: PathBuf,
         writer: std::io::BufWriter<std::fs::File>,
     },
+    Segmented(Arc<SegmentedLog>),
 }
 
 /// An append-only JSON-lines journal. Cheap to share behind an `Arc`;
@@ -55,6 +70,7 @@ enum Backend {
 pub struct Journal {
     backend: Mutex<Backend>,
     dropped: AtomicU64,
+    torn_tails: AtomicU64,
 }
 
 impl Journal {
@@ -63,16 +79,20 @@ impl Journal {
         Journal {
             backend: Mutex::new(Backend::Memory(Vec::new())),
             dropped: AtomicU64::new(0),
+            torn_tails: AtomicU64::new(0),
         }
     }
 
     /// Opens (creating if needed) an append-only file journal. Existing
-    /// lines are preserved — that is the whole point.
+    /// lines are preserved — that is the whole point. A final line torn
+    /// by a kill mid-append is truncated away (and counted in
+    /// [`Journal::torn_tails`]) rather than poisoning the next append.
     ///
     /// # Errors
     ///
-    /// Propagates file-open errors.
+    /// Propagates file-open and tail-repair errors.
     pub fn open(path: &Path) -> std::io::Result<Journal> {
+        let torn = path.exists() && gecko_store::repair_torn_tail(path)?;
         let file = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
@@ -83,7 +103,37 @@ impl Journal {
                 writer: std::io::BufWriter::new(file),
             }),
             dropped: AtomicU64::new(0),
+            torn_tails: AtomicU64::new(u64::from(torn)),
         })
+    }
+
+    /// Wraps a [`SegmentedLog`] as a journal. The log stays shared: the
+    /// campaign appends through this journal while the store's pruner
+    /// compacts sealed segments of the same log concurrently.
+    pub fn segmented(log: Arc<SegmentedLog>) -> Journal {
+        Journal {
+            backend: Mutex::new(Backend::Segmented(log)),
+            dropped: AtomicU64::new(0),
+            torn_tails: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens (creating if needed) a segmented journal in directory `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SegmentedLog::open`] errors.
+    pub fn open_segmented(dir: &Path, cfg: gecko_store::LogConfig) -> std::io::Result<Journal> {
+        Ok(Journal::segmented(Arc::new(SegmentedLog::open(dir, cfg)?)))
+    }
+
+    /// The underlying segmented log, when this journal has one (for
+    /// pruner registration and stats).
+    pub fn segment_log(&self) -> Option<Arc<SegmentedLog>> {
+        match &*lock_unpoisoned(&self.backend) {
+            Backend::Segmented(log) => Some(Arc::clone(log)),
+            _ => None,
+        }
     }
 
     /// Appends one line (the terminating newline is added here). Never
@@ -98,6 +148,26 @@ impl Journal {
                     self.dropped.fetch_add(1, Ordering::Relaxed);
                 }
             }
+            Backend::Segmented(log) => log.append(line),
+        }
+    }
+
+    /// Forces everything appended so far onto stable storage (`fsync`) —
+    /// the checkpoint-boundary durability hook. The campaign calls this
+    /// once the pool drains rather than per line, so the clean path stays
+    /// cheap; failures are counted as drops (the lines may not survive a
+    /// power cut) instead of panicking.
+    pub fn sync(&self) {
+        let mut backend = lock_unpoisoned(&self.backend);
+        let result = match &mut *backend {
+            Backend::Memory(_) => Ok(()),
+            Backend::File { writer, .. } => {
+                writer.flush().and_then(|()| writer.get_ref().sync_all())
+            }
+            Backend::Segmented(log) => log.sync(),
+        };
+        if result.is_err() {
+            self.dropped.fetch_add(1, Ordering::Relaxed);
         }
     }
 
@@ -119,12 +189,27 @@ impl Journal {
                 }
                 text.lines().map(str::to_string).collect()
             }
+            Backend::Segmented(log) => log.lines(),
         }
     }
 
-    /// Lines dropped because of I/O failures.
+    /// Lines dropped because of I/O failures (including failed
+    /// [`Journal::sync`] checkpoints).
     pub fn dropped(&self) -> u64 {
-        self.dropped.load(Ordering::Relaxed)
+        let backend_drops = match &*lock_unpoisoned(&self.backend) {
+            Backend::Segmented(log) => log.dropped(),
+            _ => 0,
+        };
+        self.dropped.load(Ordering::Relaxed) + backend_drops
+    }
+
+    /// Torn final lines truncated away when the journal was opened.
+    pub fn torn_tails(&self) -> u64 {
+        let backend_torn = match &*lock_unpoisoned(&self.backend) {
+            Backend::Segmented(log) => log.torn_tails(),
+            _ => 0,
+        };
+        self.torn_tails.load(Ordering::Relaxed) + backend_torn
     }
 }
 
@@ -134,6 +219,7 @@ impl std::fmt::Debug for Journal {
         match &*backend {
             Backend::Memory(lines) => write!(f, "Journal::memory({} lines)", lines.len()),
             Backend::File { path, .. } => write!(f, "Journal::open({})", path.display()),
+            Backend::Segmented(log) => write!(f, "Journal::segmented({log:?})"),
         }
     }
 }
@@ -553,6 +639,104 @@ pub(crate) fn decode_campaign(
     (header, runs)
 }
 
+/// Classifies every line of a campaign journal for the store's
+/// compactor: one [`Verdict`] per line, where `Delete` marks lines
+/// the resume decoder either skips (torn/garbage, incomplete run groups,
+/// duplicate headers) or resolves against a later duplicate (superseded
+/// runs). The invariant pruning rests on: deleting every `Delete` line
+/// leaves `decode_campaign` output unchanged — so a resumed campaign
+/// merges bit-exactly whether or not the journal was pruned in between.
+///
+/// A run's lines are classified as a *group* (its `bucket` edges plus the
+/// `run_done` marker), mirroring how the decoder consumes them: a
+/// superseded run's whole group dies together, and an incomplete group
+/// (torn `run_done`, missing edges) is dead because the decoder restores
+/// nothing from it. Trailing `bucket` lines with no `run_done` yet are
+/// kept — the campaign may still be appending their run. Parseable lines
+/// in a foreign vocabulary are kept untouched.
+pub fn classify_campaign_lines(journal_lines: &[String]) -> Vec<Verdict> {
+    let mut verdicts = vec![Verdict::Keep; journal_lines.len()];
+    let mut seen_header = false;
+    // Per key: bucket-line indices of the group currently being appended.
+    let mut pending: HashMap<u64, Vec<usize>> = HashMap::new();
+    // Per key: the line indices of the last *complete* group (the one the
+    // decoder will restore).
+    let mut last_group: HashMap<u64, Vec<usize>> = HashMap::new();
+    for (i, line) in journal_lines.iter().enumerate() {
+        let Some(fields) = parse_flat_json(line) else {
+            verdicts[i] = Verdict::Delete; // torn/garbage: invisible to the decoder
+            continue;
+        };
+        if decode_header(line).is_some() {
+            if seen_header {
+                verdicts[i] = Verdict::Delete; // the decoder keeps the first header
+            }
+            seen_header = true;
+            continue;
+        }
+        let kind = field(&fields, "kind").and_then(JsonScalar::as_str);
+        let run_key = field(&fields, "run_key").and_then(JsonScalar::as_u64);
+        match (kind, run_key) {
+            (Some(k), Some(run_key)) if k == lines::BUCKET => {
+                // The decoder only accumulates a bucket edge that carries
+                // an index and full metrics; anything less is invisible.
+                let usable = field(&fields, "bucket")
+                    .and_then(JsonScalar::as_u64)
+                    .is_some()
+                    && metrics_from(&fields).is_some();
+                if usable {
+                    pending.entry(run_key).or_default().push(i);
+                } else {
+                    verdicts[i] = Verdict::Delete;
+                }
+            }
+            (Some(k), Some(run_key)) if k == lines::RUN_DONE => {
+                let mut group = pending.remove(&run_key).unwrap_or_default();
+                group.push(i);
+                // Mirror the decoder's completeness test exactly: edges
+                // sort to a contiguous 0..n matching the declared count,
+                // and the run_done payload fully decodes.
+                let complete = (|| {
+                    let n_buckets = field(&fields, "buckets")?.as_u64()?;
+                    let mut edges: Vec<u64> = Vec::with_capacity(group.len() - 1);
+                    for &gi in &group[..group.len() - 1] {
+                        let f = parse_flat_json(&journal_lines[gi])?;
+                        edges.push(field(&f, "bucket")?.as_u64()?);
+                    }
+                    edges.sort_unstable();
+                    let contiguous = edges.len() as u64 == n_buckets
+                        && edges.iter().enumerate().all(|(j, e)| j as u64 == *e);
+                    if !contiguous {
+                        return None;
+                    }
+                    field(&fields, "item")?.as_u64()?;
+                    metrics_from(&fields)?;
+                    compile_stats_from(&fields)?;
+                    field(&fields, "cache_hit")?.as_bool()?;
+                    field(&fields, "wall_ns")?.as_u64()?;
+                    Some(())
+                })()
+                .is_some();
+                if complete {
+                    if let Some(superseded) = last_group.insert(run_key, group) {
+                        for idx in superseded {
+                            verdicts[idx] = Verdict::Delete;
+                        }
+                    }
+                } else {
+                    // The decoder consumes the edges and restores nothing:
+                    // the whole group is dead.
+                    for idx in group {
+                        verdicts[idx] = Verdict::Delete;
+                    }
+                }
+            }
+            _ => {} // foreign vocabulary: not ours to prune
+        }
+    }
+    verdicts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -677,6 +861,132 @@ mod tests {
         let (_, runs) = decode_campaign(&journal.lines());
         assert!(runs.contains_key(&1), "completed run survives");
         assert!(!runs.contains_key(&2), "unfinished run is re-executed");
+    }
+
+    #[test]
+    fn classifier_only_deletes_lines_the_decoder_ignores() {
+        let journal = Journal::memory();
+        journal.append(&encode_header("cls", 9));
+        journal.append(&encode_header("cls", 9)); // duplicate header: dead
+                                                  // Run 1 journaled twice (overlapping sessions): first group dies.
+        for line in encode_run(1, &sample_result(0, 2)) {
+            journal.append(&line);
+        }
+        journal.append("{\"kind\":\"run_done\",\"run_key\":7,\"it"); // torn: dead
+        for line in encode_run(1, &sample_result(0, 2)) {
+            journal.append(&line);
+        }
+        // Run 2: complete, must survive untouched.
+        for line in encode_run(2, &sample_result(1, 1)) {
+            journal.append(&line);
+        }
+        // Run 3: bucket edges with no run_done yet — still in flight.
+        let partial = encode_run(3, &sample_result(2, 2));
+        journal.append(&partial[0]);
+        journal.append(&partial[1]);
+        // A foreign-vocabulary line is not ours to prune.
+        journal.append("{\"kind\":\"chunk_done\",\"run_key\":4,\"windows\":3}");
+
+        let all = journal.lines();
+        let verdicts = classify_campaign_lines(&all);
+        let pruned: Vec<String> = all
+            .iter()
+            .zip(&verdicts)
+            .filter(|(_, v)| **v == Verdict::Keep)
+            .map(|(l, _)| l.clone())
+            .collect();
+        assert!(pruned.len() < all.len(), "something was prunable");
+        assert_eq!(
+            decode_campaign(&all),
+            decode_campaign(&pruned),
+            "pruning must be invisible to the decoder"
+        );
+        assert!(
+            pruned.iter().any(|l| l.contains("chunk_done")),
+            "foreign lines survive"
+        );
+        let in_flight = pruned
+            .iter()
+            .filter(|l| l.contains("\"run_key\":3"))
+            .count();
+        assert_eq!(in_flight, 2, "in-flight bucket edges survive");
+        assert_eq!(
+            pruned.iter().filter(|l| decode_header(l).is_some()).count(),
+            1,
+            "exactly one header survives"
+        );
+    }
+
+    #[test]
+    fn open_repairs_a_torn_tail_and_counts_it() {
+        let path =
+            std::env::temp_dir().join(format!("gecko-journal-torn-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        {
+            let journal = Journal::open(&path).unwrap();
+            journal.append(&encode_header("torn", 3));
+            for line in encode_run(5, &sample_result(0, 0)) {
+                journal.append(&line);
+            }
+        }
+        // Kill mid-append: chop the file mid-byte of its last record.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.truncate(bytes.len() - 7);
+        std::fs::write(&path, &bytes).unwrap();
+
+        let journal = Journal::open(&path).unwrap();
+        assert_eq!(journal.torn_tails(), 1, "repair is counted");
+        let (header, runs) = decode_campaign(&journal.lines());
+        assert_eq!(header, Some(("torn".to_string(), 3)));
+        assert!(!runs.contains_key(&5), "the torn run is re-executed");
+        // Appends after the repair start on a fresh line — journal the
+        // run again and it decodes.
+        for line in encode_run(5, &sample_result(0, 0)) {
+            journal.append(&line);
+        }
+        journal.sync();
+        let (_, runs) = decode_campaign(&journal.lines());
+        assert!(runs.contains_key(&5));
+        assert_eq!(journal.dropped(), 0);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn segmented_journal_round_trips_and_exposes_its_log() {
+        let dir = std::env::temp_dir().join(format!("gecko-journal-seg-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let journal = Journal::open_segmented(
+            &dir,
+            gecko_store::LogConfig {
+                max_segment_bytes: 256,
+            },
+        )
+        .unwrap();
+        journal.append(&encode_header("seg", 11));
+        for key in 0..6 {
+            for line in encode_run(key, &sample_result(key as usize, 1)) {
+                journal.append(&line);
+            }
+        }
+        journal.sync();
+        let log = journal.segment_log().expect("segmented backend");
+        assert!(log.segments().len() > 1, "small segments rotate");
+        let (header, runs) = decode_campaign(&journal.lines());
+        assert_eq!(header, Some(("seg".to_string(), 11)));
+        assert_eq!(runs.len(), 6);
+
+        // Reopen reads the same lines back.
+        drop(journal);
+        let reopened = Journal::open_segmented(
+            &dir,
+            gecko_store::LogConfig {
+                max_segment_bytes: 256,
+            },
+        )
+        .unwrap();
+        let (_, runs) = decode_campaign(&reopened.lines());
+        assert_eq!(runs.len(), 6);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -65,7 +65,7 @@ pub use campaign::{
     AttackCase, Campaign, CampaignError, CampaignReport, CampaignSpec, CapacitorSpec, DeviceCase,
     RunResult, Supply, WorkItem, Workload,
 };
-pub use journal::Journal;
+pub use journal::{classify_campaign_lines, Journal};
 pub use json::{Json, ParseError};
 pub use spec_io::{
     report_deterministic_json, report_to_json, spec_from_json, spec_to_json, DecodeError, SpecError,
@@ -74,7 +74,9 @@ pub use supervisor::{
     lock_unpoisoned, quarantine, run_supervised, AttemptFail, ChaosSink, ChaosSpec, FailureKind,
     ItemOutcome, PoolConfig, PoolReport, RunBudget, RunFailure, SupervisorSpec, TRANSIENT_PREFIX,
 };
-pub use telemetry::{Event, FleetCounters, Histogram, MemorySink, NullSink, TelemetrySink};
+pub use telemetry::{
+    Event, FleetCounters, Histogram, MemorySink, NullSink, SegmentedSink, TelemetrySink,
+};
 
 #[cfg(feature = "json")]
 pub use telemetry::{persist_records, JsonlSink};

@@ -174,6 +174,43 @@ impl<W: std::io::Write + Send> TelemetrySink for JsonlSink<W> {
     }
 }
 
+/// A telemetry sink writing one event object per line into a
+/// [`gecko_store::SegmentedLog`] — the retention-aware sibling of
+/// [`JsonlSink`]. Old segments can be aged out by the store's pruner
+/// (`LogRetention`) while the campaign keeps appending to the tail; drop
+/// accounting and degradation semantics come from the log itself.
+pub struct SegmentedSink {
+    log: std::sync::Arc<gecko_store::SegmentedLog>,
+}
+
+impl SegmentedSink {
+    /// Wraps a shared segmented log as a sink.
+    pub fn new(log: std::sync::Arc<gecko_store::SegmentedLog>) -> SegmentedSink {
+        SegmentedSink { log }
+    }
+
+    /// The underlying log (for pruner registration and stats).
+    pub fn log(&self) -> std::sync::Arc<gecko_store::SegmentedLog> {
+        std::sync::Arc::clone(&self.log)
+    }
+}
+
+impl TelemetrySink for SegmentedSink {
+    fn emit(&self, event: Event) {
+        self.log.append(&event.to_json());
+    }
+
+    fn flush(&self) {
+        // A failed sync is not a lost line (the append already landed in
+        // the OS cache); the log's drop counter covers real losses.
+        let _ = self.log.sync();
+    }
+
+    fn dropped_records(&self) -> u64 {
+        self.log.dropped()
+    }
+}
+
 /// Persists a slice of records as `<dir>/<name>.jsonl`, one object per
 /// line — the single JSON pipeline every experiment dump goes through.
 ///

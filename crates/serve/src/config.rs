@@ -19,9 +19,9 @@ pub struct ServeConfig {
     /// Cap on per-job simulation workers.
     pub max_job_workers: usize,
     /// Root directory for job state: one `job-<id>/` directory per job
-    /// holding `job.json`, `journal.jsonl`, `telemetry.jsonl`, and the
-    /// terminal `result.json`/`state.json`. Scanned at boot to reload the
-    /// queue.
+    /// holding `job.json`, segmented `journal/` + `telemetry/` logs, and
+    /// the terminal `result.json`/`state.json`. Scanned at boot to reload
+    /// the queue.
     pub journal_root: PathBuf,
     /// Maximum jobs tracked at once (queued + running + finished).
     pub max_jobs: usize,
@@ -32,6 +32,24 @@ pub struct ServeConfig {
     /// Per-job telemetry event ring-buffer capacity. Older events are
     /// evicted (and counted) once a client falls this far behind.
     pub event_buffer: usize,
+    /// Retention: maximum finished (done/failed/cancelled) job
+    /// directories kept on disk; the oldest are GCed first. 0 = keep
+    /// everything.
+    pub retain_jobs: usize,
+    /// Retention: maximum total bytes of finished job directories. 0 =
+    /// unlimited.
+    pub retain_bytes: u64,
+    /// Retention: maximum age in seconds of a finished job directory. 0 =
+    /// unlimited.
+    pub retain_age_secs: u64,
+    /// Background pruner tick period in seconds. 0 disables the
+    /// background thread (retention then only runs when a tick is driven
+    /// explicitly, as tests do).
+    pub prune_interval_secs: u64,
+    /// Work budget per pruner tick — at most this many entries (job
+    /// directories, log lines) are deleted per tick, so a tick never
+    /// stalls the daemon. 0 = unlimited.
+    pub prune_delete_limit: usize,
 }
 
 impl Default for ServeConfig {
@@ -48,6 +66,11 @@ impl Default for ServeConfig {
             max_items_per_job: 65_536,
             max_body_bytes: 1 << 20,
             event_buffer: 4096,
+            retain_jobs: 0,
+            retain_bytes: 0,
+            retain_age_secs: 0,
+            prune_interval_secs: 30,
+            prune_delete_limit: 64,
         }
     }
 }
@@ -77,6 +100,17 @@ impl ServeConfig {
                 Json::U64(self.max_body_bytes as u64),
             ),
             ("event_buffer".into(), Json::U64(self.event_buffer as u64)),
+            ("retain_jobs".into(), Json::U64(self.retain_jobs as u64)),
+            ("retain_bytes".into(), Json::U64(self.retain_bytes)),
+            ("retain_age_secs".into(), Json::U64(self.retain_age_secs)),
+            (
+                "prune_interval_secs".into(),
+                Json::U64(self.prune_interval_secs),
+            ),
+            (
+                "prune_delete_limit".into(),
+                Json::U64(self.prune_delete_limit as u64),
+            ),
         ])
     }
 
@@ -108,6 +142,13 @@ impl ServeConfig {
                 "max_items_per_job" => self.max_items_per_job = usize_field(key, value)?.max(1),
                 "max_body_bytes" => self.max_body_bytes = usize_field(key, value)?.max(1024),
                 "event_buffer" => self.event_buffer = usize_field(key, value)?.max(16),
+                "retain_jobs" => self.retain_jobs = usize_field(key, value)?,
+                "retain_bytes" => self.retain_bytes = usize_field(key, value)? as u64,
+                "retain_age_secs" => self.retain_age_secs = usize_field(key, value)? as u64,
+                "prune_interval_secs" => {
+                    self.prune_interval_secs = usize_field(key, value)? as u64;
+                }
+                "prune_delete_limit" => self.prune_delete_limit = usize_field(key, value)?,
                 other => return Err(format!("unknown config key `{other}`")),
             }
         }
@@ -133,7 +174,9 @@ impl ServeConfig {
     ///
     /// Flags: `--bind ADDR`, `--data DIR`, `--queue-workers N`,
     /// `--job-workers N`, `--max-jobs N`, `--max-items N`,
-    /// `--max-body-bytes N`, `--event-buffer N`.
+    /// `--max-body-bytes N`, `--event-buffer N`, `--retain-jobs N`,
+    /// `--retain-bytes N`, `--retain-age-secs N`,
+    /// `--prune-interval-secs N`, `--prune-delete-limit N`.
     ///
     /// # Errors
     ///
@@ -170,6 +213,20 @@ impl ServeConfig {
                     cfg.max_body_bytes = usize_flag("--max-body-bytes", &mut value)?
                 }
                 "--event-buffer" => cfg.event_buffer = usize_flag("--event-buffer", &mut value)?,
+                "--retain-jobs" => cfg.retain_jobs = usize_flag("--retain-jobs", &mut value)?,
+                "--retain-bytes" => {
+                    cfg.retain_bytes = usize_flag("--retain-bytes", &mut value)? as u64
+                }
+                "--retain-age-secs" => {
+                    cfg.retain_age_secs = usize_flag("--retain-age-secs", &mut value)? as u64
+                }
+                "--prune-interval-secs" => {
+                    cfg.prune_interval_secs =
+                        usize_flag("--prune-interval-secs", &mut value)? as u64
+                }
+                "--prune-delete-limit" => {
+                    cfg.prune_delete_limit = usize_flag("--prune-delete-limit", &mut value)?
+                }
                 other => return Err(format!("unknown flag `{other}` (see --help)")),
             }
         }

@@ -184,7 +184,7 @@ fn route(
             _ => method_not_allowed("GET"),
         },
         ["v1", "config"] => match method {
-            "GET" => (200, queue.config().to_value().encode()),
+            "GET" => (200, queue.config_value().encode()),
             _ => method_not_allowed("GET"),
         },
         ["v1", "campaigns"] => match method {

@@ -1,0 +1,210 @@
+//! [`LogRetention`]: the [`Segment`] that ages out the oldest lines of a
+//! [`SegmentedLog`] once it exceeds a byte cap — the right policy for
+//! telemetry streams, where every line is live to the decoder but old
+//! events lose value wholesale.
+//!
+//! Unlike [`LogCompactor`](crate::LogCompactor), retention deletes from
+//! the *front*: whole sealed segments where possible, a budgeted prefix
+//! of the oldest segment otherwise. The active tail is never touched, so
+//! a log can exceed its cap by at most one unsealed segment.
+
+use std::sync::Arc;
+
+use crate::log::SegmentedLog;
+use crate::pruner::{PruneInput, PruneOutput, Segment, StoreError};
+
+/// A [`Segment`] that keeps one [`SegmentedLog`] under `max_bytes` by
+/// deleting its oldest lines.
+pub struct LogRetention {
+    kind: String,
+    log: Arc<SegmentedLog>,
+    max_bytes: u64,
+}
+
+impl LogRetention {
+    /// Builds a retention segment. `max_bytes == 0` disables retention
+    /// (every prune is a done no-op).
+    pub fn new(kind: impl Into<String>, log: Arc<SegmentedLog>, max_bytes: u64) -> LogRetention {
+        LogRetention {
+            kind: kind.into(),
+            log,
+            max_bytes,
+        }
+    }
+}
+
+impl Segment for LogRetention {
+    fn kind(&self) -> &str {
+        &self.kind
+    }
+
+    fn prune(&self, input: PruneInput) -> Result<PruneOutput, StoreError> {
+        let mut cp = input.checkpoint.unwrap_or_default();
+        let mut budget = input.delete_limit;
+        let mut pruned = 0usize;
+        let mut reclaimed = 0u64;
+        let mut done = true;
+        if self.max_bytes == 0 {
+            return Ok(PruneOutput {
+                pruned,
+                reclaimed_bytes: reclaimed,
+                done,
+                checkpoint: cp,
+            });
+        }
+        while self.log.total_bytes() > self.max_bytes {
+            let Some(oldest) = self.log.segment_lines().into_iter().find(|s| s.sealed) else {
+                break; // only the active tail remains — nothing to age out
+            };
+            if budget == 0 {
+                done = false;
+                break;
+            }
+            let seg_bytes: u64 = oldest.lines.iter().map(|l| l.len() as u64 + 1).sum();
+            let over = self.log.total_bytes() - self.max_bytes;
+            if oldest.lines.len() <= budget && seg_bytes <= over {
+                // The whole segment is both affordable and needed gone.
+                self.log.remove_segment(oldest.seq)?;
+                pruned += oldest.lines.len();
+                budget -= oldest.lines.len();
+                reclaimed += seg_bytes;
+                cp.next_segment = oldest.seq + 1;
+            } else {
+                // Trim a prefix: enough lines to get under the cap, capped
+                // by the budget.
+                let mut cut_bytes = 0u64;
+                let mut cut = 0usize;
+                for line in &oldest.lines {
+                    if cut_bytes >= over || cut >= budget {
+                        break;
+                    }
+                    cut_bytes += line.len() as u64 + 1;
+                    cut += 1;
+                }
+                if cut == 0 {
+                    done = false;
+                    break;
+                }
+                let kept: Vec<String> = oldest.lines[cut..].to_vec();
+                self.log.replace_segment(oldest.seq, &kept)?;
+                if kept.is_empty() {
+                    cp.next_segment = oldest.seq + 1;
+                }
+                pruned += cut;
+                budget -= cut;
+                reclaimed += cut_bytes;
+                if cut_bytes < over {
+                    done = false; // budget ran out mid-segment
+                    break;
+                }
+            }
+        }
+        cp.pruned_entries += pruned as u64;
+        cp.reclaimed_bytes += reclaimed;
+        Ok(PruneOutput {
+            pruned,
+            reclaimed_bytes: reclaimed,
+            done,
+            checkpoint: cp,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::log::LogConfig;
+    use crate::pruner::Pruner;
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "gecko-store-retention-{}-{tag}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn oldest_lines_age_out_to_stay_under_the_cap() {
+        let dir = scratch("cap");
+        let log = Arc::new(
+            SegmentedLog::open(
+                &dir.join("log"),
+                LogConfig {
+                    max_segment_bytes: 64,
+                },
+            )
+            .unwrap(),
+        );
+        let mut pruner = Pruner::open(&dir.join("prune.json"), 0).unwrap();
+        pruner.add(LogRetention::new("tele", Arc::clone(&log), 200));
+
+        for i in 0..200 {
+            log.append(&format!("{{\"event\":{i:04}}}"));
+            pruner.tick().unwrap();
+            // The cap can only be exceeded by the unsealed tail.
+            assert!(
+                log.total_bytes() <= 200 + 64,
+                "bytes {} after event {i}",
+                log.total_bytes()
+            );
+        }
+        // The survivors are the *newest* lines, still in order.
+        let lines = log.lines();
+        assert!(lines.last().unwrap().contains("0199"));
+        let mut sorted = lines.clone();
+        sorted.sort();
+        assert_eq!(lines, sorted, "retention keeps a contiguous suffix");
+        let cp = pruner.checkpoints().get("tele").unwrap();
+        assert!(cp.pruned_entries > 0);
+        assert!(cp.reclaimed_bytes > 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn budgeted_retention_converges_and_zero_cap_disables() {
+        let dir = scratch("budget");
+        let log = Arc::new(
+            SegmentedLog::open(
+                &dir.join("log"),
+                LogConfig {
+                    max_segment_bytes: 48,
+                },
+            )
+            .unwrap(),
+        );
+        for i in 0..50 {
+            log.append(&format!("{{\"event\":{i:04}}}"));
+        }
+
+        // Disabled retention never deletes.
+        let mut off = Pruner::open(&dir.join("off.json"), 0).unwrap();
+        off.add(LogRetention::new("off", Arc::clone(&log), 0));
+        let t = off.tick().unwrap();
+        assert_eq!(t.pruned, 0);
+        assert!(t.done);
+
+        // delete_limit=1 converges to the cap one line per tick.
+        let mut drip = Pruner::open(&dir.join("prune.json"), 1).unwrap();
+        drip.add(LogRetention::new("tele", Arc::clone(&log), 150));
+        let mut ticks = 0;
+        while !drip.tick().unwrap().done {
+            ticks += 1;
+            assert!(ticks < 10_000);
+        }
+        assert!(ticks > 1, "a 1-line budget takes many ticks");
+        let sealed_bytes: u64 = log
+            .segments()
+            .iter()
+            .filter(|s| s.sealed)
+            .map(|s| s.bytes)
+            .sum();
+        assert!(
+            log.total_bytes() <= 150 || sealed_bytes == 0,
+            "under cap or only the tail remains"
+        );
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -19,11 +19,15 @@
 //!   thread mid-campaign (the signal a daemon sends its workers). Workers
 //!   finish the run they are on and journal it — a clean checkpoint, not
 //!   an abandoned pool — and a resume completes to the same digest.
+//! * `--prune` — journal to a segmented on-disk store, kill partway,
+//!   compact the journal under a work budget with `gecko-store`'s pruner
+//!   (rebuilt from its persisted checkpoint between ticks, as if killed
+//!   mid-prune too), then resume and show pruning was invisible.
 //!
 //! ```sh
 //! cargo run --release --example campaign
 //! GECKO_WORKERS=8 cargo run --release --example campaign
-//! cargo run --release --example campaign -- --chaos --resume --drain
+//! cargo run --release --example campaign -- --chaos --resume --drain --prune
 //! ```
 
 use std::sync::Arc;
@@ -176,11 +180,76 @@ fn drain_demo(workers: usize, reference: &gecko_suite::fleet::CampaignReport) {
     );
 }
 
+/// `--prune`: segmented on-disk journal, budgeted compaction, resume.
+fn prune_demo(workers: usize, reference: &gecko_suite::fleet::CampaignReport) {
+    use gecko_suite::fleet::classify_campaign_lines;
+    use gecko_suite::store::{LogCompactor, LogConfig, Pruner, SegmentedLog};
+
+    let dir = std::env::temp_dir().join(format!("gecko-campaign-prune-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cfg = LogConfig {
+        max_segment_bytes: 4096,
+    };
+
+    let items = spec().expand().len() as u64;
+    let kill_at = items / 2;
+    println!(
+        "\n--prune: segmented journal in {}, killing after {kill_at}/{items} runs...",
+        dir.display()
+    );
+    let journal = Arc::new(Journal::open_segmented(&dir.join("journal"), cfg).expect("journal"));
+    let partial = Campaign::new(spec())
+        .workers(workers)
+        .resume(Arc::clone(&journal))
+        .halt_after(kill_at)
+        .run()
+        .expect("campaign");
+    assert!(partial.halted);
+    drop(journal);
+
+    // Budgeted prune ticks; the pruner is reopened from its persisted
+    // checkpoint each time, so a kill between ticks loses nothing.
+    let mut ticks = 0u32;
+    loop {
+        let log = Arc::new(SegmentedLog::open(&dir.join("journal"), cfg).expect("log"));
+        let mut pruner = Pruner::open(&dir.join("prune.json"), 8).expect("pruner");
+        pruner.add(LogCompactor::new("campaign", log, classify_campaign_lines));
+        ticks += 1;
+        if pruner.tick().expect("tick").done {
+            break;
+        }
+    }
+    println!("backlog clear after {ticks} budgeted prune tick(s) (delete_limit=8)");
+
+    let journal = Arc::new(Journal::open_segmented(&dir.join("journal"), cfg).expect("journal"));
+    let resumed = Campaign::new(spec())
+        .workers(workers)
+        .resume(journal)
+        .run()
+        .expect("campaign");
+    println!(
+        "resumed {} run(s) from the pruned journal, re-executed {}",
+        resumed.counters.resumed,
+        items - resumed.counters.resumed,
+    );
+    assert_eq!(
+        resumed.deterministic_digest(),
+        reference.deterministic_digest(),
+        "pruning must be invisible to resume"
+    );
+    println!(
+        "digest {:016x} matches the uninterrupted run bit-for-bit",
+        resumed.deterministic_digest()
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let chaos = args.iter().any(|a| a == "--chaos");
     let resume = args.iter().any(|a| a == "--resume");
     let drain = args.iter().any(|a| a == "--drain");
+    let prune = args.iter().any(|a| a == "--prune");
     let workers = std::env::var("GECKO_WORKERS")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -228,5 +297,8 @@ fn main() {
     }
     if drain {
         drain_demo(workers, &fleet);
+    }
+    if prune {
+        prune_demo(workers, &fleet);
     }
 }

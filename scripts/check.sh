@@ -33,7 +33,11 @@ GECKO_QUICK=1 cargo run --offline --release --example check
 echo "==> chaos smoke (supervised campaign: quarantine, retry, kill + resume)"
 cargo test --offline --release -q -p gecko-fleet --test supervision
 cargo test --offline --release -q -p gecko-check --test supervision
-cargo run --offline --release --example campaign -- --chaos --resume --drain
+cargo run --offline --release --example campaign -- --chaos --resume --drain --prune
+
+echo "==> store smoke (segmented store: kill-mid-prune resume digests, retention caps)"
+cargo test --offline --release -q -p gecko-store
+cargo test --offline --release -q -p gecko-fleet --test prune
 
 echo "==> serve smoke (daemon on an ephemeral port: submit fig4 sweep over HTTP,"
 echo "    poll to completion, served result must be byte-identical to the library)"

@@ -18,3 +18,4 @@ pub use gecko_isa as isa;
 pub use gecko_mcu as mcu;
 pub use gecko_serve as serve;
 pub use gecko_sim as sim;
+pub use gecko_store as store;
