@@ -906,6 +906,8 @@ impl CheckCampaign {
             retries: pool.retries,
             resumed,
             dropped_records,
+            // Checks always run per item; the batch counters stay zero.
+            ..FleetCounters::default()
         };
         let wall_s = started.elapsed().as_secs_f64();
 

@@ -1,0 +1,185 @@
+//! The batched-campaign guarantee: `batch_size` is a wall-clock knob,
+//! never a results knob. For every batch size × worker count the report
+//! must carry the byte-identical per-item metrics, buckets and
+//! deterministic digest as the per-item (batch = 1) reference — including
+//! campaigns killed mid-flight and resumed at a *different* batch size.
+//! The per-device bit-exactness argument lives in
+//! `crates/sim/tests/batch.rs`; this file proves the fleet wiring on top
+//! (grouping, journaling, merge order, halt semantics) adds nothing.
+
+use std::sync::Arc;
+
+use gecko_fleet::{AttackCase, Campaign, CampaignSpec, Journal, SchemeKind, Workload};
+
+fn grid_spec() -> CampaignSpec {
+    // Heterogeneous cells (apps × schemes × attack/clean × seeds) so each
+    // lock-step group mixes programs, schemes and attack schedules.
+    CampaignSpec::new("batch-grid")
+        .apps(["blink", "crc16"])
+        .schemes([SchemeKind::Nvp, SchemeKind::Gecko])
+        .attacks([
+            AttackCase::none(),
+            AttackCase::new(
+                "27MHz@30dBm",
+                gecko_emi::AttackSchedule::continuous(
+                    gecko_emi::EmiSignal::new(27e6, 30.0),
+                    gecko_emi::Injection::Remote { distance_m: 5.0 },
+                ),
+            ),
+        ])
+        .seeds([1, 2])
+        .workload(Workload::RunFor { seconds: 0.004 })
+}
+
+fn assert_reports_match(
+    reference: &gecko_fleet::CampaignReport,
+    got: &gecko_fleet::CampaignReport,
+    label: &str,
+) {
+    assert_eq!(
+        reference.results.len(),
+        got.results.len(),
+        "{label}: item count"
+    );
+    for (a, b) in reference.results.iter().zip(&got.results) {
+        assert_eq!(a.item, b.item, "{label}: item order");
+        assert_eq!(a.metrics, b.metrics, "{label}: metrics for {:?}", a.item);
+        assert_eq!(a.buckets, b.buckets, "{label}: buckets for {:?}", a.item);
+        assert_eq!(a.compile_stats, b.compile_stats, "{label}: compile stats");
+    }
+    assert_eq!(reference.totals, got.totals, "{label}: totals");
+    assert_eq!(
+        reference.deterministic_digest(),
+        got.deterministic_digest(),
+        "{label}: digest"
+    );
+}
+
+#[test]
+fn batch_size_and_worker_count_never_change_results() {
+    let reference = Campaign::new(grid_spec()).workers(1).run().unwrap();
+    let items = reference.results.len() as u64;
+    assert_eq!(
+        reference.counters.batched_runs, 0,
+        "batch=1 is the per-item path"
+    );
+
+    for batch in [1usize, 7, 64, 1024] {
+        for workers in [1usize, 2, 8] {
+            let report = Campaign::new(grid_spec())
+                .workers(workers)
+                .batch_size(batch)
+                .run()
+                .unwrap();
+            let label = format!("batch={batch}/workers={workers}");
+            assert_reports_match(&reference, &report, &label);
+            if batch > 1 {
+                assert_eq!(
+                    report.counters.batched_runs, items,
+                    "{label}: every run goes through a DeviceBatch"
+                );
+                assert!(
+                    report.counters.batch_spans > 0,
+                    "{label}: the planner must commit spans"
+                );
+                assert!(
+                    report.counters.batch_occupancy_permille > 0,
+                    "{label}: occupancy must be observable"
+                );
+            } else {
+                assert_eq!(report.counters, reference.counters, "{label}: legacy path");
+            }
+        }
+    }
+}
+
+#[test]
+fn bucketed_workloads_agree_between_batched_and_per_item_paths() {
+    let spec = || {
+        grid_spec().workload(Workload::Buckets {
+            horizon_s: 0.004,
+            bucket_s: 0.001,
+        })
+    };
+    let reference = Campaign::new(spec()).workers(2).run().unwrap();
+    assert!(
+        reference.results.iter().all(|r| r.buckets.len() == 4),
+        "the spec must actually produce buckets"
+    );
+    let batched = Campaign::new(spec())
+        .workers(2)
+        .batch_size(16)
+        .run()
+        .unwrap();
+    assert_reports_match(&reference, &batched, "buckets/batch=16");
+}
+
+#[test]
+fn killed_batched_campaigns_resume_bit_exactly_at_a_different_batch_size() {
+    let reference = Campaign::new(grid_spec()).workers(1).run().unwrap();
+    let items = reference.results.len() as u64;
+
+    // Kill a batch=7 session after its first group boundary, then finish
+    // the grid at batch=64 with a different worker count. Groups are
+    // rebuilt from whatever the journal says is still pending, so the
+    // layouts of the two sessions share nothing — the digest must not
+    // notice.
+    for workers in [1usize, 2, 8] {
+        let journal = Arc::new(Journal::memory());
+        let partial = Campaign::new(grid_spec())
+            .workers(workers)
+            .batch_size(7)
+            .journal(Arc::clone(&journal))
+            .halt_after(1)
+            .run()
+            .unwrap();
+        assert!(
+            partial.halted,
+            "workers={workers}: a 16-item grid in groups of 7 must leave work"
+        );
+
+        let resumed = Campaign::new(grid_spec())
+            .workers(workers.min(2))
+            .batch_size(64)
+            .resume(Arc::clone(&journal))
+            .run()
+            .unwrap();
+        assert!(!resumed.halted);
+        // The halt is cooperative at group granularity: with one worker
+        // exactly the first group of 7 lands in the journal; with more,
+        // every group already claimed when the flag flips still finishes,
+        // so up to the whole grid may be journaled.
+        if workers == 1 {
+            assert_eq!(
+                resumed.counters.resumed, 7,
+                "one worker halts after exactly one group"
+            );
+        }
+        assert!(
+            resumed.counters.resumed >= 1 && resumed.counters.resumed <= items,
+            "workers={workers}: session 1 journaled something, got {}",
+            resumed.counters.resumed
+        );
+        assert_reports_match(
+            &reference,
+            &resumed,
+            &format!("resume/workers={workers}/7->64"),
+        );
+    }
+
+    // And the mirror image: kill a per-item session, finish batched.
+    let journal = Arc::new(Journal::memory());
+    Campaign::new(grid_spec())
+        .workers(2)
+        .journal(Arc::clone(&journal))
+        .halt_after(3)
+        .run()
+        .unwrap();
+    let resumed = Campaign::new(grid_spec())
+        .workers(2)
+        .batch_size(1024)
+        .resume(journal)
+        .run()
+        .unwrap();
+    assert_reports_match(&reference, &resumed, "resume/1->1024");
+}

@@ -7,7 +7,7 @@
 //!
 //! ```text
 //! job-<id>/
-//!   job.json         submission envelope (kind, workers, halt_after, spec)
+//!   job.json         submission envelope (kind, workers, halt_after, batch, spec)
 //!   journal/         segmented fleet run journal — the resume checkpoint
 //!     seg-000000.jsonl ...
 //!   telemetry/       segmented event log, append-only across sessions
@@ -353,6 +353,11 @@ pub struct Job {
     pub workers: usize,
     /// Deterministic interruption point, if requested.
     pub halt_after: Option<u64>,
+    /// Lock-step devices per worker claim (1 = per-item execution).
+    /// Sweeps only; checks always run per item. Results and digests are
+    /// batch-size-invariant (DESIGN.md §16), so a resumed job may finish
+    /// at a different batch size than it started with.
+    pub batch: usize,
     /// Grid size: expanded items for sweeps, (app × scheme) pairs for
     /// checks.
     pub grid: u64,
@@ -438,6 +443,7 @@ impl Job {
                 "halt_after".into(),
                 self.halt_after.map_or(Json::Null, Json::U64),
             ),
+            ("batch".into(), Json::U64(self.batch as u64)),
             ("grid".into(), Json::U64(self.grid)),
             ("items_done".into(), Json::U64(done)),
             ("items_total".into(), total.map_or(Json::Null, Json::U64)),
@@ -698,6 +704,7 @@ impl Queue {
             .workers
             .unwrap_or(inner.cfg.job_workers)
             .clamp(1, inner.cfg.max_job_workers);
+        let batch = sub.batch.unwrap_or(1).max(1);
         let id = inner.next_id.fetch_add(1, Ordering::SeqCst);
         let dir = inner.cfg.journal_root.join(format!("job-{id}"));
         std::fs::create_dir_all(&dir)
@@ -710,6 +717,7 @@ impl Queue {
                 "halt_after".into(),
                 sub.halt_after.map_or(Json::Null, Json::U64),
             ),
+            ("batch".into(), Json::U64(batch as u64)),
             ("spec".into(), sub.spec.clone()),
         ]);
         std::fs::write(dir.join("job.json"), envelope.encode())
@@ -723,6 +731,7 @@ impl Queue {
             spec: sub.spec,
             workers,
             halt_after: sub.halt_after,
+            batch,
             grid,
             stop: Arc::new(AtomicBool::new(false)),
             cancel_requested: AtomicBool::new(false),
@@ -834,8 +843,14 @@ fn restore_job(inner: &QueueInner, id: u64, dir: &Path) -> Option<Arc<Job>> {
     // `halt_after` is a one-shot interruption hook: it already fired in
     // the session that journaled the halt, so a restored job resumes to
     // completion instead of halting again every session. job.json keeps
-    // the submitted value for provenance only.
+    // the submitted value for provenance only. `batch`, by contrast, is a
+    // durable execution knob (and results-invariant), so it survives.
     let halt_after = None;
+    let batch = envelope
+        .get("batch")
+        .and_then(Json::as_u64)
+        .map_or(1, |n| n as usize)
+        .max(1);
     let (name, grid) = validate_spec(kind, &spec).ok()?;
 
     // Terminal-state detection from the directory contents alone.
@@ -872,6 +887,7 @@ fn restore_job(inner: &QueueInner, id: u64, dir: &Path) -> Option<Arc<Job>> {
         spec,
         workers,
         halt_after,
+        batch,
         grid,
         sink,
         stop: Arc::new(AtomicBool::new(false)),
@@ -1102,6 +1118,7 @@ fn execute(job: &Arc<Job>) {
                 let total = spec.expand().len() as u64;
                 let mut campaign = Campaign::new(spec)
                     .workers(job.workers)
+                    .batch_size(job.batch)
                     .sink(sink)
                     .resume(journal)
                     .kill_switch(Arc::clone(&job.stop));
@@ -1212,6 +1229,7 @@ mod tests {
             spec,
             workers: Some(1),
             halt_after,
+            batch: None,
         }
     }
 

@@ -356,6 +356,13 @@ fn check_report_value(report: &CheckReport, deterministic: bool) -> Json {
                 ("retries".into(), Json::U64(c.retries)),
                 ("resumed".into(), Json::U64(c.resumed)),
                 ("dropped_records".into(), Json::U64(c.dropped_records)),
+                ("batched_runs".into(), Json::U64(c.batched_runs)),
+                ("batch_spans".into(), Json::U64(c.batch_spans)),
+                ("batch_fallbacks".into(), Json::U64(c.batch_fallbacks)),
+                (
+                    "batch_occupancy_permille".into(),
+                    Json::U64(c.batch_occupancy_permille),
+                ),
             ]),
         ));
     }
@@ -423,11 +430,15 @@ pub struct Submission {
     /// Stop the pool after journaling this many runs — the deterministic
     /// interruption hook the kill/restart/resume tests drive over HTTP.
     pub halt_after: Option<u64>,
+    /// Lock-step devices per worker claim (`None` = per-item execution).
+    /// Purely a throughput knob: results and digests are
+    /// batch-size-invariant (DESIGN.md §16).
+    pub batch: Option<usize>,
 }
 
 /// Parses a submission body. Two shapes are accepted:
 ///
-/// * an envelope `{"spec": {...}, "workers": N, "halt_after": N}`, or
+/// * an envelope `{"spec": {...}, "workers": N, "halt_after": N, "batch": N}`, or
 /// * a bare spec document (everything else) — the common curl case.
 pub fn parse_submission(text: &str) -> Result<Submission, SpecError> {
     let doc = Json::parse(text)?;
@@ -436,9 +447,10 @@ pub fn parse_submission(text: &str) -> Result<Submission, SpecError> {
             spec: doc,
             workers: None,
             halt_after: None,
+            batch: None,
         });
     }
-    check_keys(&doc, "", &["spec", "workers", "halt_after"])?;
+    check_keys(&doc, "", &["spec", "workers", "halt_after", "batch"])?;
     let spec = get(&doc, "", "spec")?.clone();
     let workers = opt(&doc, "workers")
         .map(|w| as_u64(w, "workers").map(|n| n as usize))
@@ -449,10 +461,17 @@ pub fn parse_submission(text: &str) -> Result<Submission, SpecError> {
     let halt_after = opt(&doc, "halt_after")
         .map(|h| as_u64(h, "halt_after"))
         .transpose()?;
+    let batch = opt(&doc, "batch")
+        .map(|b| as_u64(b, "batch").map(|n| n as usize))
+        .transpose()?;
+    if batch == Some(0) {
+        return Err(err("batch", "must be at least 1").into());
+    }
     Ok(Submission {
         spec,
         workers,
         halt_after,
+        batch,
     })
 }
 
@@ -546,16 +565,21 @@ mod tests {
         assert_eq!(bare.spec.get("name").and_then(Json::as_str), Some("sweep"));
         assert_eq!(bare.workers, None);
         assert_eq!(bare.halt_after, None);
+        assert_eq!(bare.batch, None);
 
         let env =
-            parse_submission(r#"{"spec":{"name":"sweep"},"workers":4,"halt_after":2}"#).unwrap();
+            parse_submission(r#"{"spec":{"name":"sweep"},"workers":4,"halt_after":2,"batch":64}"#)
+                .unwrap();
         assert_eq!(env.spec.get("name").and_then(Json::as_str), Some("sweep"));
         assert_eq!(env.workers, Some(4));
         assert_eq!(env.halt_after, Some(2));
+        assert_eq!(env.batch, Some(64));
 
         let e = parse_submission(r#"{"spec":{"name":"s"},"wrokers":4}"#).unwrap_err();
         assert!(e.to_string().contains("wrokers"), "{e}");
         let e = parse_submission(r#"{"spec":{"name":"s"},"workers":0}"#).unwrap_err();
+        assert!(e.to_string().contains("at least 1"), "{e}");
+        let e = parse_submission(r#"{"spec":{"name":"s"},"batch":0}"#).unwrap_err();
         assert!(e.to_string().contains("at least 1"), "{e}");
     }
 
