@@ -23,6 +23,10 @@
 //!      predecoded program, planned and drained lock-step. Bit-exact
 //!      against per-instruction scalar references; the deterministic
 //!      per-device steps-per-dispatch ratio is asserted `>= 5x`.
+//!    * **Fault path** — the EM instruction-fault seam's fault-free cost:
+//!      an armed-but-unreached fault window forces every span plan
+//!      through the fault-edge guard; bit-identical trajectory asserted,
+//!      wall-clock overhead gated `< 2%` (`< 10%` in the quick run).
 //! 3. **Dispatch** — predecoded vs interpreted instruction dispatch on the
 //!    bench-supply throughput workload (the same shape as the
 //!    `sim_throughput` micro-bench), reported as steps/s per scheme.
@@ -389,6 +393,91 @@ fn bench_batch_step(rows: &mut Vec<BenchRow>, quick: bool) {
          per device (got {worst_ratio:.1}x)"
     );
     println!("ok: DeviceBatch retires >= {worst_ratio:.1}x steps per scalar dispatch");
+}
+
+/// Section 2c: the fault seam's fault-free cost. A schedule whose only
+/// armed window opens far beyond the simulated horizon forces every span
+/// plan through the fault-edge guard (`FaultSchedule::next_edge`) without
+/// a single fault ever firing. The trajectory must be bit-identical to a
+/// simulator that was never given a schedule, and the wall-clock overhead
+/// must stay under 2% (10% in the quick smoke run, where the window is
+/// small enough for scheduler noise to dominate).
+fn bench_fault_path(rows: &mut Vec<BenchRow>, quick: bool) {
+    use gecko_emi::fault::{FaultModel, FaultSchedule, TimedFault};
+
+    let app = gecko_apps::app_by_name("bitcnt").unwrap();
+    let window_s = if quick { 0.05 } else { 0.2 };
+    let iters = if quick { 3 } else { 5 };
+    // Armed (DPI P2 at 35 dBm clears the fault power threshold) but
+    // opening three orders of magnitude past the simulated window.
+    let far_future = FaultSchedule::from_windows(vec![TimedFault {
+        start_s: 1_000.0,
+        end_s: 1_001.0,
+        signal: EmiSignal::new(27e6, 35.0),
+        injection: Injection::Dpi(DpiPoint::P2),
+        model: FaultModel::Skip,
+    }]);
+    let scheme = SchemeKind::Gecko;
+    let compiled = CompiledApp::build(&app, scheme, &CompileOptions::default()).unwrap();
+    let run_plain = || {
+        let mut sim = Simulator::from_compiled(&compiled, SimConfig::bench_supply(scheme));
+        sim.run_for(window_s);
+        sim
+    };
+    let run_guarded = || {
+        let mut sim = Simulator::from_compiled(
+            &compiled,
+            SimConfig::bench_supply(scheme).with_fault(far_future.clone()),
+        );
+        sim.run_for(window_s);
+        sim
+    };
+    let plain = run_plain();
+    let guarded = run_guarded();
+    assert_eq!(
+        plain.metrics, guarded.metrics,
+        "an unreached fault window must not change the trajectory"
+    );
+    assert_eq!(plain.state_hash(), guarded.state_hash());
+    assert_eq!(guarded.metrics.fault_skips, 0);
+
+    let plain_wall = time_best_of(iters, run_plain);
+    let guarded_wall = time_best_of(iters, run_guarded);
+    let overhead = guarded_wall.as_secs_f64() / plain_wall.as_secs_f64();
+    let steps = plain.fast_path_stats().steps;
+    print_table(
+        &format!("fault-free fault-path overhead, bitcnt, {window_s}s window (best of {iters})"),
+        &["path", "wall", "vs plain"],
+        &[
+            vec![
+                "plain".to_string(),
+                format!("{:.1}ms", plain_wall.as_secs_f64() * 1e3),
+                "1.00x".to_string(),
+            ],
+            vec![
+                "guarded".to_string(),
+                format!("{:.1}ms", guarded_wall.as_secs_f64() * 1e3),
+                format!("{overhead:.3}x"),
+            ],
+        ],
+    );
+    rows.push(BenchRow {
+        section: "fault_path".to_string(),
+        scheme: scheme.name().to_string(),
+        app: "bitcnt".to_string(),
+        steps,
+        ff_ticks: 0,
+        eh_insts: guarded.fast_path_stats().eh_insts,
+        ratio: overhead,
+        wall_ms: guarded_wall.as_secs_f64() * 1e3,
+        rate_per_s: steps as f64 / guarded_wall.as_secs_f64(),
+    });
+    let max_overhead = if quick { 1.10 } else { 1.02 };
+    assert!(
+        overhead < max_overhead,
+        "the fault-edge guard must cost < {max_overhead:.2}x on fault-free \
+         runs (got {overhead:.3}x)"
+    );
 }
 
 fn bench_dispatch(rows: &mut Vec<BenchRow>, quick: bool) {
@@ -806,6 +895,7 @@ fn main() {
     bench_fast_forward(&mut rows, quick);
     bench_event_horizon(&mut rows, quick);
     bench_batch_step(&mut rows, quick);
+    bench_fault_path(&mut rows, quick);
     bench_dispatch(&mut rows, quick);
     bench_campaign(&mut rows, quick);
     bench_campaign_resume(&mut rows, quick);

@@ -134,6 +134,7 @@ impl CheckSpec {
         h = fnv_u64(h, e.depth as u64);
         h = fnv_u64(h, e.power_failure_windows as u64);
         h = fnv_u64(h, e.emi_windows as u64);
+        h = fnv_u64(h, e.fault_windows as u64);
         h = fnv_u64(h, e.refail_horizon);
         h = fnv_u64(h, e.memoize as u64);
         h = fnv_u64(h, e.max_windows.unwrap_or(u64::MAX));
@@ -312,6 +313,69 @@ struct JournaledChunk {
     violations: Vec<JournaledViolation>,
 }
 
+/// Why one `chunk_done` journal line could not be decoded. Split so the
+/// prune classifier and resume diagnostics can tell dead weight from
+/// forward-compatible records.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum ChunkLineError {
+    /// Structurally broken (half-written, wrong field types): invisible
+    /// to every decoder, safe to prune.
+    Malformed {
+        /// Dotted path of the offending field.
+        path: String,
+    },
+    /// Well-formed but using a vocabulary this binary does not know —
+    /// e.g. an injection tag introduced by a newer release. Kept on
+    /// prune (a newer binary could still resume from it) and surfaced as
+    /// a resume-time diagnostic instead of being silently dropped.
+    UnknownTag {
+        /// Dotted path of the offending field.
+        path: String,
+        /// The unrecognized tag text.
+        tag: String,
+    },
+}
+
+/// A diagnostic from decoding a resume journal: which line failed, where
+/// in the record, and why. Returned by [`check_journal_diagnostics`] and
+/// emitted as `journal_line_undecodable` telemetry on resume.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JournalDiagnostic {
+    /// 0-based line number in the journal.
+    pub line: usize,
+    /// Dotted path of the offending field (`viols[2].schedule[1]`).
+    pub path: String,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl fmt::Display for JournalDiagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "journal line {}: {} at {}",
+            self.line, self.message, self.path
+        )
+    }
+}
+
+impl JournalDiagnostic {
+    fn from_error(line: usize, error: &ChunkLineError) -> JournalDiagnostic {
+        match error {
+            ChunkLineError::Malformed { path } => JournalDiagnostic {
+                line,
+                path: path.clone(),
+                message: "malformed chunk record".to_string(),
+            },
+            ChunkLineError::UnknownTag { path, tag } => JournalDiagnostic {
+                line,
+                path: path.clone(),
+                message: format!("unknown tag {tag:?} (newer vocabulary?)"),
+            },
+        }
+    }
+}
+
 /// `"12p,3c"` — offset plus a one-letter injection kind per element.
 fn encode_schedule(schedule: &[PlannedInjection]) -> String {
     let parts: Vec<String> = schedule
@@ -321,6 +385,8 @@ fn encode_schedule(schedule: &[PlannedInjection]) -> String {
                 InjectionKind::PowerFailure => 'p',
                 InjectionKind::SpoofedCheckpoint => 'c',
                 InjectionKind::SpoofedWakeup => 'w',
+                InjectionKind::InstructionSkip => 'k',
+                InjectionKind::InstructionCorrupt => 'x',
             };
             format!("{}{}", inj.after_steps, k)
         })
@@ -328,21 +394,37 @@ fn encode_schedule(schedule: &[PlannedInjection]) -> String {
     parts.join(",")
 }
 
-fn decode_schedule(text: &str) -> Option<Vec<PlannedInjection>> {
+fn decode_schedule(text: &str, path: &str) -> Result<Vec<PlannedInjection>, ChunkLineError> {
     if text.is_empty() {
-        return Some(Vec::new());
+        return Ok(Vec::new());
     }
     text.split(',')
-        .map(|part| {
-            let (num, kind) = part.split_at(part.len().checked_sub(1)?);
+        .enumerate()
+        .map(|(i, part)| {
+            let malformed = || ChunkLineError::Malformed {
+                path: format!("{path}[{i}]"),
+            };
+            // Split before the final *character* (not byte): an unknown
+            // multi-byte tag must decode into a diagnostic, not a panic.
+            let (num, kind) = match part.char_indices().last() {
+                Some((at, _)) => part.split_at(at),
+                None => return Err(malformed()),
+            };
             let kind = match kind {
                 "p" => InjectionKind::PowerFailure,
                 "c" => InjectionKind::SpoofedCheckpoint,
                 "w" => InjectionKind::SpoofedWakeup,
-                _ => return None,
+                "k" => InjectionKind::InstructionSkip,
+                "x" => InjectionKind::InstructionCorrupt,
+                other => {
+                    return Err(ChunkLineError::UnknownTag {
+                        path: format!("{path}[{i}]"),
+                        tag: other.to_string(),
+                    })
+                }
             };
-            Some(PlannedInjection {
-                after_steps: num.parse().ok()?,
+            Ok(PlannedInjection {
+                after_steps: num.parse().map_err(|_| malformed())?,
                 kind,
             })
         })
@@ -358,14 +440,22 @@ fn encode_outcome(outcome: Outcome) -> String {
     }
 }
 
-fn decode_outcome(text: &str) -> Option<Outcome> {
+fn decode_outcome(text: &str, path: &str) -> Result<Outcome, ChunkLineError> {
     match text {
-        "clean" => Some(Outcome::Clean),
-        "stuck" => Some(Outcome::Stuck),
-        _ => {
-            let bits: u32 = text.strip_prefix("corrupt.")?.parse().ok()?;
-            Some(Outcome::Corrupt { got: bits as i32 })
-        }
+        "clean" => Ok(Outcome::Clean),
+        "stuck" => Ok(Outcome::Stuck),
+        _ => match text.strip_prefix("corrupt.") {
+            Some(bits) => {
+                let bits: u32 = bits.parse().map_err(|_| ChunkLineError::Malformed {
+                    path: path.to_string(),
+                })?;
+                Ok(Outcome::Corrupt { got: bits as i32 })
+            }
+            None => Err(ChunkLineError::UnknownTag {
+                path: path.to_string(),
+                tag: text.to_string(),
+            }),
+        },
     }
 }
 
@@ -398,14 +488,30 @@ fn encode_chunk(run_key: u64, item: usize, stats: &CheckStats, violations: &[Vio
     ])
 }
 
-/// Decodes one `chunk_done` line's parsed fields, or `None` if the line
-/// is not a fully-formed chunk record. Shared between journal replay and
-/// the prune classifier so both agree on what "decodable" means.
-fn decode_chunk_line(fields: &[(String, JsonScalar)]) -> Option<(u64, JournaledChunk)> {
+/// Decodes one `chunk_done` line's parsed fields. `None` means the line
+/// is not a chunk record at all (foreign vocabulary); `Some(Err(_))` is a
+/// chunk record this binary cannot use, with a path-carrying reason.
+/// Shared between journal replay and the prune classifier so both agree
+/// on what "decodable" means.
+fn decode_chunk_line(
+    fields: &[(String, JsonScalar)],
+) -> Option<Result<(u64, JournaledChunk), ChunkLineError>> {
     if field(fields, "kind")?.as_str()? != CHUNK_DONE {
         return None;
     }
-    let u = |name: &str| field(fields, name)?.as_u64();
+    Some(decode_chunk_fields(fields))
+}
+
+fn decode_chunk_fields(
+    fields: &[(String, JsonScalar)],
+) -> Result<(u64, JournaledChunk), ChunkLineError> {
+    let u = |name: &str| {
+        field(fields, name)
+            .and_then(JsonScalar::as_u64)
+            .ok_or_else(|| ChunkLineError::Malformed {
+                path: name.to_string(),
+            })
+    };
     let run_key = u("run_key")?;
     let stats = CheckStats {
         windows: u("windows")?,
@@ -415,19 +521,42 @@ fn decode_chunk_line(fields: &[(String, JsonScalar)]) -> Option<(u64, JournaledC
         steps: u("steps")?,
         violations: u("violations")?,
     };
-    let viols_text = field(fields, "viols")?.as_str()?;
+    let viols_text = field(fields, "viols")
+        .and_then(JsonScalar::as_str)
+        .ok_or_else(|| ChunkLineError::Malformed {
+            path: "viols".to_string(),
+        })?;
     let mut violations = Vec::new();
     if !viols_text.is_empty() {
-        for part in viols_text.split(';') {
+        for (vi, part) in viols_text.split(';').enumerate() {
             let mut cols = part.splitn(3, '|');
+            let col = |cols: &mut std::str::SplitN<'_, char>, name: &str| {
+                cols.next()
+                    .map(str::to_string)
+                    .ok_or_else(|| ChunkLineError::Malformed {
+                        path: format!("viols[{vi}].{name}"),
+                    })
+            };
+            let window: u64 =
+                col(&mut cols, "window")?
+                    .parse()
+                    .map_err(|_| ChunkLineError::Malformed {
+                        path: format!("viols[{vi}].window"),
+                    })?;
+            let schedule = decode_schedule(
+                &col(&mut cols, "schedule")?,
+                &format!("viols[{vi}].schedule"),
+            )?;
+            let outcome =
+                decode_outcome(&col(&mut cols, "outcome")?, &format!("viols[{vi}].outcome"))?;
             violations.push(JournaledViolation {
-                window: cols.next()?.parse().ok()?,
-                schedule: decode_schedule(cols.next()?)?,
-                outcome: decode_outcome(cols.next()?)?,
+                window,
+                schedule,
+                outcome,
             });
         }
     }
-    Some((
+    Ok((
         run_key,
         JournaledChunk {
             item: u("item")? as usize,
@@ -437,12 +566,22 @@ fn decode_chunk_line(fields: &[(String, JsonScalar)]) -> Option<(u64, JournaledC
     ))
 }
 
+/// A decoded checker journal: header (if any), completed chunks keyed by
+/// run key, and one diagnostic per chunk line that failed to decode.
+type DecodedJournal = (
+    Option<(String, u64)>,
+    HashMap<u64, JournaledChunk>,
+    Vec<JournalDiagnostic>,
+);
+
 /// Replays a checker journal: header (if any) plus completed chunks keyed
-/// by run key. Malformed lines are skipped; later duplicates win.
-fn decode_chunks(lines: &[String]) -> (Option<(String, u64)>, HashMap<u64, JournaledChunk>) {
+/// by run key, plus one diagnostic per chunk line that failed to decode.
+/// Unparseable non-chunk lines are skipped; later duplicates win.
+fn decode_chunks(lines: &[String]) -> DecodedJournal {
     let mut header = None;
     let mut chunks = HashMap::new();
-    for line in lines {
+    let mut diagnostics = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
         if let Some(h) = decode_header(line) {
             header.get_or_insert(h);
             continue;
@@ -450,19 +589,34 @@ fn decode_chunks(lines: &[String]) -> (Option<(String, u64)>, HashMap<u64, Journ
         let Some(fields) = parse_flat_json(line) else {
             continue;
         };
-        if let Some((run_key, chunk)) = decode_chunk_line(&fields) {
-            chunks.insert(run_key, chunk);
+        match decode_chunk_line(&fields) {
+            Some(Ok((run_key, chunk))) => {
+                chunks.insert(run_key, chunk);
+            }
+            Some(Err(error)) => diagnostics.push(JournalDiagnostic::from_error(i, &error)),
+            None => {}
         }
     }
-    (header, chunks)
+    (header, chunks, diagnostics)
+}
+
+/// Scans a checker journal and returns one diagnostic per `chunk_done`
+/// line that could not be decoded, with the dotted path of the offending
+/// field. Records using unknown tags — a journal written by a newer
+/// vocabulary — are reported here (and re-explored on resume) rather
+/// than silently dropped.
+pub fn check_journal_diagnostics(lines: &[String]) -> Vec<JournalDiagnostic> {
+    decode_chunks(lines).2
 }
 
 /// Classifies a checker journal for [`gecko_store::LogCompactor`]: marks
-/// [`Verdict::Delete`] on exactly the lines the resume decoder ignores —
-/// unparseable garbage, duplicate headers, `chunk_done` lines that fail
-/// to decode, and `chunk_done` lines superseded by a later record with
-/// the same run key. Lines in a foreign but parseable vocabulary are
-/// kept, so a journal shared with other writers prunes safely.
+/// [`Verdict::Delete`] on exactly the lines no decoder — present or
+/// future — can use: unparseable garbage, duplicate headers,
+/// structurally broken `chunk_done` lines, and `chunk_done` lines
+/// superseded by a later record with the same run key. Lines in a
+/// foreign but parseable vocabulary are kept, and so are `chunk_done`
+/// lines carrying *unknown tags* (a newer writer's records): pruning
+/// those would destroy data a newer binary could still resume from.
 pub fn classify_check_lines(lines: &[String]) -> Vec<Verdict> {
     let mut verdicts = vec![Verdict::Keep; lines.len()];
     let mut saw_header = false;
@@ -481,18 +635,17 @@ pub fn classify_check_lines(lines: &[String]) -> Vec<Verdict> {
             verdicts[i] = Verdict::Delete; // garbage: decoder skips it
             continue;
         };
-        let is_chunk_kind = field(&fields, "kind")
-            .and_then(|v| v.as_str())
-            .is_some_and(|k| k == CHUNK_DONE);
         match decode_chunk_line(&fields) {
-            Some((run_key, _)) => {
+            Some(Ok((run_key, _))) => {
                 if let Some(prev) = last_chunk.insert(run_key, i) {
                     verdicts[prev] = Verdict::Delete;
                 }
             }
-            // A chunk_done line that doesn't fully decode is invisible
-            // to the decoder; anything else is a foreign vocabulary.
-            None if is_chunk_kind => verdicts[i] = Verdict::Delete,
+            // Structurally broken: invisible to every decoder.
+            Some(Err(ChunkLineError::Malformed { .. })) => verdicts[i] = Verdict::Delete,
+            // Unknown vocabulary: forward-compatible data, keep it.
+            Some(Err(ChunkLineError::UnknownTag { .. })) => {}
+            // Not a chunk record: a foreign writer's line, keep it.
             None => {}
         }
     }
@@ -708,7 +861,20 @@ impl CheckCampaign {
         let mut restored: Vec<Option<(CheckStats, Vec<Violation>)>> = Vec::new();
         restored.resize_with(items.len(), || None);
         if let Some(journal) = &self.journal {
-            let (header, chunks) = decode_chunks(&journal.lines());
+            let (header, chunks, diagnostics) = decode_chunks(&journal.lines());
+            // Surface undecodable chunk lines instead of silently
+            // re-exploring them: an unknown tag means the journal was
+            // written by a different (likely newer) vocabulary.
+            for d in &diagnostics {
+                sink.emit(Event::new(
+                    "journal_line_undecodable",
+                    vec![
+                        ("line", Value::U64(d.line as u64)),
+                        ("path", Value::Str(d.path.clone())),
+                        ("message", Value::Str(d.message.clone())),
+                    ],
+                ));
+            }
             match header {
                 Some((name, fp)) if fp != fingerprint => {
                     return Err(CheckError::Journal(format!(
@@ -990,6 +1156,8 @@ impl CheckReport {
                     crate::InjectionKind::PowerFailure => 1,
                     crate::InjectionKind::SpoofedCheckpoint => 2,
                     crate::InjectionKind::SpoofedWakeup => 3,
+                    crate::InjectionKind::InstructionSkip => 4,
+                    crate::InjectionKind::InstructionCorrupt => 5,
                 });
             }
         };
@@ -1140,17 +1308,74 @@ mod tests {
             .collect();
 
         // The invariant the compactor relies on: pruning is invisible to
-        // the decoder.
-        assert_eq!(decode_chunks(&lines), decode_chunks(&pruned));
+        // the decoder (diagnostics differ — the pruned lines were
+        // exactly the diagnosed ones — so compare header + chunks).
+        let (h_all, c_all, _) = decode_chunks(&lines);
+        let (h_pruned, c_pruned, _) = decode_chunks(&pruned);
+        assert_eq!((h_all, c_all), (h_pruned, c_pruned));
 
         // Exactly the dead lines go: stale chunk, garbage, broken chunk,
         // duplicate header. The foreign run_done line survives.
         assert_eq!(pruned.len(), 4);
         assert!(pruned.iter().any(|l| l.contains("run_done")));
-        let (header, chunks) = decode_chunks(&pruned);
+        let (header, chunks, _) = decode_chunks(&pruned);
         assert_eq!(header, Some(("check".to_string(), 0xBEEF)));
         assert_eq!(chunks.len(), 2);
         assert_eq!(chunks[&11].stats.windows, 640);
+    }
+
+    #[test]
+    fn fault_kinds_roundtrip_through_the_wire_codec() {
+        let schedule = vec![
+            PlannedInjection {
+                after_steps: 12,
+                kind: InjectionKind::InstructionSkip,
+            },
+            PlannedInjection {
+                after_steps: 3,
+                kind: InjectionKind::InstructionCorrupt,
+            },
+            PlannedInjection {
+                after_steps: 0,
+                kind: InjectionKind::PowerFailure,
+            },
+        ];
+        let text = encode_schedule(&schedule);
+        assert_eq!(text, "12k,3x,0p");
+        assert_eq!(decode_schedule(&text, "s").unwrap(), schedule);
+    }
+
+    #[test]
+    fn unknown_tags_are_kept_on_prune_and_surfaced_as_diagnostics() {
+        // A record as a future release might write it: same structure,
+        // one injection tag ('z') this binary does not know.
+        let future = r#"{"kind": "chunk_done", "run_key": 99, "item": 3, "windows": 8, "forks": 1, "explored": 1, "memo_hits": 0, "steps": 5, "violations": 1, "viols": "7|5z|clean"}"#
+            .to_string();
+        let lines = vec![encode_header("check", 1), sample_chunk(1, 0, 512), future];
+
+        // The classifier must NOT delete it: a newer binary could still
+        // resume from it.
+        assert_eq!(classify_check_lines(&lines), vec![Verdict::Keep; 3]);
+
+        // And the decode surfaces a path-carrying diagnostic instead of
+        // silently dropping the record.
+        let diags = check_journal_diagnostics(&lines);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].line, 2);
+        assert_eq!(diags[0].path, "viols[0].schedule[0]");
+        assert!(
+            diags[0].message.contains("\"z\""),
+            "got {:?}",
+            diags[0].message
+        );
+
+        // An unknown *outcome* word is likewise diagnosed, not dropped.
+        let odd = r#"{"kind": "chunk_done", "run_key": 5, "item": 0, "windows": 1, "forks": 1, "explored": 1, "memo_hits": 0, "steps": 1, "violations": 1, "viols": "0|1p|detected"}"#
+            .to_string();
+        let diags = check_journal_diagnostics(std::slice::from_ref(&odd));
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].path, "viols[0].outcome");
+        assert_eq!(classify_check_lines(&[odd]), vec![Verdict::Keep]);
     }
 
     #[test]

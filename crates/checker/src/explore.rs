@@ -30,6 +30,13 @@ pub struct ExploreConfig {
     /// Enumerate EMI windows (spoofed checkpoint signals; at depth ≥ 2
     /// also spoofed wake-ups during recovery sleeps).
     pub emi_windows: bool,
+    /// Enumerate EM instruction-fault windows (skip and corrupt, primary
+    /// only). Off by default: fault checking is opt-in, and judged
+    /// against the faulted-continuous reference — a fault alone rewrites
+    /// what a correct execution computes, so only divergence *between*
+    /// the crashed and uncrashed faulted runs (or a livelock) counts as a
+    /// violation. See DESIGN.md §17.
+    pub fault_windows: bool,
     /// How many qualifying steps past a primary injection nested faults
     /// are attempted at (offsets 1..=horizon).
     pub refail_horizon: u64,
@@ -56,6 +63,7 @@ impl Default for ExploreConfig {
             depth: 1,
             power_failure_windows: true,
             emi_windows: true,
+            fault_windows: false,
             refail_horizon: 24,
             memoize: true,
             max_windows: None,
@@ -78,9 +86,17 @@ impl ExploreConfig {
         self
     }
 
+    /// Builder: enable or disable EM instruction-fault windows.
+    pub fn with_fault_windows(mut self, enabled: bool) -> ExploreConfig {
+        self.fault_windows = enabled;
+        self
+    }
+
     /// The primary injection kinds this config enumerates. Spoofed
     /// wake-ups are nested-only: on the (always-on) golden trace they are
-    /// no-ops.
+    /// no-ops. The EM fault kinds are primary-only: their depth-1 outcome
+    /// doubles as the faulted-continuous reference the nested outcomes
+    /// are judged against.
     pub fn primary_kinds(&self) -> Vec<InjectionKind> {
         let mut kinds = Vec::new();
         if self.power_failure_windows {
@@ -89,10 +105,15 @@ impl ExploreConfig {
         if self.emi_windows {
             kinds.push(InjectionKind::SpoofedCheckpoint);
         }
+        if self.fault_windows {
+            kinds.push(InjectionKind::InstructionSkip);
+            kinds.push(InjectionKind::InstructionCorrupt);
+        }
         kinds
     }
 
-    /// The nested (depth-2) injection kinds.
+    /// The nested (depth-2) injection kinds. Never includes the EM fault
+    /// kinds (see [`ExploreConfig::primary_kinds`]).
     pub fn nested_kinds(&self) -> Vec<InjectionKind> {
         let mut kinds = vec![InjectionKind::PowerFailure];
         if self.emi_windows {
@@ -215,9 +236,29 @@ pub(crate) fn check_windows(
             // Depth 1: the primary fault alone.
             stats.forks += 1;
             kind.inject(&mut sim);
-            let blame = Blame::capture(&sim, compiled);
+            let blame = if kind.is_em_fault() {
+                Blame::capture_faulted(&sim, compiled, kind)
+            } else {
+                Blame::capture(&sim, compiled)
+            };
             let outcome = settle_and_check(&mut sim, compiled, cfg, budget, &mut memo, &mut stats);
-            if outcome.is_violation() {
+            // The oracle. For the classic kinds the reference execution is
+            // the golden run, so any corrupt completion violates. For the
+            // EM fault kinds the depth-1 outcome *is* the reference — the
+            // fault alone rewrites what a correct-but-faulted execution
+            // computes — so at depth 1 only a livelock violates, and
+            // nested outcomes below are judged against this reference.
+            let reference = if kind.is_em_fault() {
+                outcome
+            } else {
+                Outcome::Clean
+            };
+            let violated = if kind.is_em_fault() {
+                outcome == Outcome::Stuck
+            } else {
+                outcome.is_violation()
+            };
+            if violated {
                 stats.violations += 1;
                 violations.push(Violation {
                     window,
@@ -233,6 +274,12 @@ pub(crate) fn check_windows(
             if cfg.depth >= 2 {
                 sim.restore(&base);
                 kind.inject(&mut sim);
+                // Captured at the fault point: nested blames prepend this
+                // so a fault-then-crash counterexample names the faulted
+                // region, not just the rollback it later triggers.
+                let fault_site = kind
+                    .is_em_fault()
+                    .then(|| Blame::fault_site(&sim, compiled, kind));
                 let after_primary = sim.snapshot();
                 for &nk in &nested {
                     sim.restore(&after_primary);
@@ -246,11 +293,20 @@ pub(crate) fn check_windows(
                         stats.forks += 1;
                         let resume = sim.snapshot();
                         nk.inject(&mut sim);
-                        let blame2 = Blame::capture(&sim, compiled);
+                        let mut blame2 = Blame::capture(&sim, compiled);
+                        if let Some(site) = &fault_site {
+                            blame2.detail = format!("{site}; then {}", blame2.detail);
+                        }
                         let outcome2 = settle_and_check(
                             &mut sim, compiled, cfg, budget, &mut memo, &mut stats,
                         );
-                        if outcome2.is_violation() {
+                        // Judged against the reference: a corrupt
+                        // completion that matches the faulted-continuous
+                        // run is the *expected* result of the fault, not
+                        // a violation of the checkpoint scheme.
+                        if outcome2 == Outcome::Stuck
+                            || (outcome2.is_violation() && outcome2 != reference)
+                        {
                             stats.violations += 1;
                             violations.push(Violation {
                                 window,

@@ -10,7 +10,10 @@
 //!   power failure and (for the EMI fault model) a spoofed checkpoint
 //!   signal; at depth 2 it additionally re-injects a nested fault —
 //!   power failure, spoofed checkpoint or spoofed wake-up — at every
-//!   offset of the recovery that follows.
+//!   offset of the recovery that follows. With
+//!   [`ExploreConfig::fault_windows`] it also injects EM instruction
+//!   faults (skip / corrupt), judged against the faulted-continuous
+//!   reference rather than the golden checksum (DESIGN.md §17).
 //! * **Snapshot-fork exploration** — the golden trace is walked once;
 //!   each window forks via [`gecko_sim::Simulator::snapshot`] /
 //!   `restore` instead of re-executing the prefix from cold, turning the
@@ -53,8 +56,8 @@ pub mod testprog;
 pub mod verdict;
 
 pub use campaign::{
-    check_app, check_compiled, check_summary, classify_check_lines, CheckCampaign, CheckError,
-    CheckReport, CheckSpec,
+    check_app, check_compiled, check_journal_diagnostics, check_summary, classify_check_lines,
+    CheckCampaign, CheckError, CheckReport, CheckSpec, JournalDiagnostic,
 };
 pub use explore::{golden_steps, ExploreConfig, GoldenError};
 pub use shrink::{replay, shrink_schedule};

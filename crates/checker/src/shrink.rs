@@ -13,6 +13,12 @@
 //! 2. **Offset pass** — lower each injection's offset toward zero with the
 //!    QuickCheck-style candidates `0`, `o/2`, `o-1`, keeping the earliest
 //!    offset that still violates.
+//!
+//! Schedules containing EM instruction faults are judged against the
+//! *faulted-continuous reference*: the replay of the schedule's leading
+//! run of fault injections alone (see DESIGN.md §17). Lowering a fault's
+//! offset moves the reference with it, so the reference is recomputed per
+//! candidate; those replays count toward the replay budget.
 
 use gecko_sim::device::CompiledApp;
 
@@ -32,12 +38,27 @@ pub fn replay(
     let mut sim = checker_sim(compiled, cfg.seed, cfg.fast_forward);
     let mut stats = CheckStats::default();
     let mut blame = Blame::capture(&sim, compiled);
+    let mut fault_site: Option<String> = None;
     for inj in schedule {
         if !advance_qualifying(&mut sim, inj.kind, inj.after_steps, budget, &mut stats) {
             return (Outcome::Clean, blame);
         }
         inj.kind.inject(&mut sim);
-        blame = Blame::capture(&sim, compiled);
+        // Carry the most recent EM fault's site into later blames so a
+        // fault-then-crash schedule still names the faulted region.
+        blame = if inj.kind.is_em_fault() {
+            let site = Blame::fault_site(&sim, compiled, inj.kind);
+            let mut b = Blame::capture(&sim, compiled);
+            b.detail = format!("{site}; {}", b.detail);
+            fault_site = Some(site);
+            b
+        } else {
+            let mut b = Blame::capture(&sim, compiled);
+            if let Some(site) = &fault_site {
+                b.detail = format!("{site}; then {}", b.detail);
+            }
+            b
+        };
     }
     // Drain to the next completion through `run_capped` — the same
     // coalescing seam as exploration, with bit-identical step counts.
@@ -65,12 +86,47 @@ pub fn shrink_schedule(
 ) -> Counterexample {
     let mut best = schedule.to_vec();
     let mut replays = 0u64;
+
+    // Whether `outcome` (from replaying `candidate`) violates, judged
+    // against the faulted-continuous reference: the replay of the
+    // candidate's leading run of EM fault injections alone. Fault kinds
+    // are generated primary-only, so that prefix is exact. With no faults
+    // the reference is the golden run and this degenerates to the classic
+    // any-corruption-violates oracle.
+    let violates = |candidate: &[PlannedInjection], outcome: Outcome, replays: &mut u64| -> bool {
+        match outcome {
+            Outcome::Stuck => true,
+            Outcome::Clean => false,
+            Outcome::Corrupt { .. } => {
+                let prefix: Vec<PlannedInjection> = candidate
+                    .iter()
+                    .copied()
+                    .take_while(|p| p.kind.is_em_fault())
+                    .collect();
+                if prefix.is_empty() {
+                    return true;
+                }
+                if prefix.len() == candidate.len() {
+                    // The outcome *is* the reference.
+                    return false;
+                }
+                if *replays >= max_replays {
+                    // Budget exhausted mid-judgement: conservatively keep
+                    // the previous best rather than accept unjudged.
+                    return false;
+                }
+                *replays += 1;
+                let (reference, _) = replay(compiled, cfg, &prefix, golden);
+                outcome != reference
+            }
+        }
+    };
+
     let (mut best_outcome, mut best_blame) = replay(compiled, cfg, &best, golden);
     replays += 1;
-    debug_assert!(
-        best_outcome.is_violation(),
-        "shrinker fed a non-violating schedule"
-    );
+    let input_violates = violates(&best, best_outcome, &mut replays);
+    debug_assert!(input_violates, "shrinker fed a non-violating schedule");
+    let _ = input_violates;
 
     let try_candidate =
         |candidate: &[PlannedInjection], replays: &mut u64| -> Option<(Outcome, Blame)> {
@@ -79,7 +135,7 @@ pub fn shrink_schedule(
             }
             *replays += 1;
             let (outcome, blame) = replay(compiled, cfg, candidate, golden);
-            outcome.is_violation().then_some((outcome, blame))
+            violates(candidate, outcome, replays).then_some((outcome, blame))
         };
 
     let mut improved = true;

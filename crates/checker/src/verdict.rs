@@ -4,7 +4,7 @@
 use std::fmt;
 
 use gecko_isa::{BlockId, Program, RegionId, Word};
-use gecko_mcu::Pc;
+use gecko_mcu::{FaultEffect, Pc};
 use gecko_sim::device::CompiledApp;
 use gecko_sim::{SchemeKind, Simulator};
 
@@ -21,6 +21,15 @@ pub enum InjectionKind {
     /// EMI-spoofed wake-up signal: a sleeping device boots early,
     /// bypassing the debounce.
     SpoofedWakeup,
+    /// EM instruction-skip fault: the next retired instruction executes
+    /// as a no-op (Moro et al.'s dominant fault). Judged against the
+    /// faulted-continuous reference, not the golden checksum — see
+    /// DESIGN.md §17.
+    InstructionSkip,
+    /// EM instruction-corruption fault: the next retired instruction
+    /// decodes as a different operation (written values complemented,
+    /// branches inverted).
+    InstructionCorrupt,
 }
 
 impl InjectionKind {
@@ -30,6 +39,8 @@ impl InjectionKind {
             InjectionKind::PowerFailure => "power-failure",
             InjectionKind::SpoofedCheckpoint => "spoofed-checkpoint",
             InjectionKind::SpoofedWakeup => "spoofed-wakeup",
+            InjectionKind::InstructionSkip => "instruction-skip",
+            InjectionKind::InstructionCorrupt => "instruction-corrupt",
         }
     }
 
@@ -39,17 +50,32 @@ impl InjectionKind {
             InjectionKind::PowerFailure => sim.inject_power_failure(),
             InjectionKind::SpoofedCheckpoint => sim.inject_spoofed_checkpoint(),
             InjectionKind::SpoofedWakeup => sim.inject_spoofed_wakeup(),
+            InjectionKind::InstructionSkip => sim.inject_instruction_fault(FaultEffect::Skip),
+            InjectionKind::InstructionCorrupt => {
+                sim.inject_instruction_fault(FaultEffect::OpcodeCorrupt)
+            }
         }
     }
 
     /// Whether a step counts toward this injection's offset: power
-    /// failures and spoofed checkpoints land on executing (on) steps,
-    /// spoofed wake-ups on sleep ticks.
+    /// failures, spoofed checkpoints and instruction faults land on
+    /// executing (on) steps, spoofed wake-ups on sleep ticks.
     pub fn counts_step(self, sim: &Simulator) -> bool {
         match self {
             InjectionKind::SpoofedWakeup => !sim.is_on(),
             _ => sim.is_on(),
         }
+    }
+
+    /// Whether this kind rewrites the executed instruction stream (the EM
+    /// fault kinds). Such injections change what a *correct* continuous
+    /// execution would compute, so their outcomes are judged against the
+    /// faulted-continuous reference instead of the golden checksum.
+    pub fn is_em_fault(self) -> bool {
+        matches!(
+            self,
+            InjectionKind::InstructionSkip | InjectionKind::InstructionCorrupt
+        )
     }
 }
 
@@ -179,6 +205,53 @@ impl Blame {
             checkpoint_pc,
             detail,
         }
+    }
+
+    /// Like [`Blame::capture`], but for an armed EM instruction fault:
+    /// the simulator's PC names the instruction the fault will land on
+    /// (injection arms a one-shot consumed by the next retired step), and
+    /// the detail says where that is relative to the committed boundary —
+    /// a fault *after* the boundary is replayed by a rollback, one *at or
+    /// before* it is already committed and sticks.
+    pub fn capture_faulted(sim: &Simulator, compiled: &CompiledApp, kind: InjectionKind) -> Blame {
+        let mut blame = Blame::capture(sim, compiled);
+        blame.detail = format!(
+            "{}; {}",
+            Blame::fault_site(sim, compiled, kind),
+            blame.detail
+        );
+        blame
+    }
+
+    /// The one-sentence fault-site description used by
+    /// [`Blame::capture_faulted`]: which instruction the armed fault will
+    /// land on, and where that is relative to the committed boundary.
+    /// Nested explorations prepend this to their own rollback blame so a
+    /// fault-then-crash counterexample still names the faulted region.
+    pub(crate) fn fault_site(
+        sim: &Simulator,
+        compiled: &CompiledApp,
+        kind: InjectionKind,
+    ) -> String {
+        let blame = Blame::capture(sim, compiled);
+        let pc = sim.pc();
+        let position = match (blame.block, blame.boundary_index) {
+            (Some(block), Some(index)) if block == pc.block => {
+                if pc.index > index {
+                    "after the committed boundary in its block"
+                } else {
+                    "at or before the committed boundary"
+                }
+            }
+            (Some(_), _) => "beyond the committed boundary block",
+            _ => "with no committed boundary behind it",
+        };
+        format!(
+            "EM {} lands on {}[{}] ({position})",
+            kind.name(),
+            pc.block,
+            pc.index
+        )
     }
 }
 

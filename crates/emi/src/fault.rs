@@ -1,0 +1,269 @@
+//! EM instruction-fault injection: the Moro-style fault dimension.
+//!
+//! A sufficiently powerful EM pulse coupled into the MCU core (rather than
+//! the voltage monitor) corrupts instruction fetch/decode: the
+//! characterized effects on a 32-bit microcontroller are *instruction
+//! skip* (the fetched instruction is replaced by an effective no-op),
+//! *opcode corruption* (the instruction decodes as a different operation)
+//! and *operand corruption* (a bit of the datapath flips). This module
+//! models the attacker side: which fault a pulse induces, and when — gated
+//! on the same power/coupling physics ([`Injection::path_gain`]) as the
+//! monitor attacks, so a remote emitter that is too weak or too far away
+//! arms nothing.
+
+use crate::attack::{EmiSignal, Injection};
+
+/// Minimum *effective* power (W, after path gain) a pulse needs to flip
+/// core state. Monitor spoofing works at milliwatt effective levels; fault
+/// injection needs near-field or high-power coupling — the Moro et al.
+/// platform drove a dedicated injection probe. 0.5 W puts DPI and
+/// close-range high-power emitters above the bar and distant ones below.
+pub const FAULT_POWER_THRESHOLD_W: f64 = 0.5;
+
+/// Which instruction-level effect an armed fault window induces on every
+/// instruction retired inside it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultModel {
+    /// The fetched instruction executes as a no-op: no architectural
+    /// effect, conditional branches fall through. (Moro et al.'s dominant
+    /// observed fault.)
+    Skip,
+    /// The instruction decodes as a different operation: its written
+    /// result is complemented and conditional branches invert.
+    OpcodeCorrupt,
+    /// One bit of the instruction's data operand flips.
+    OperandBitflip {
+        /// Which bit of the 32-bit written value flips (0..32).
+        bit: u8,
+    },
+}
+
+impl FaultModel {
+    /// Stable lowercase name for wire formats and labels.
+    pub fn name(&self) -> &'static str {
+        match self {
+            FaultModel::Skip => "skip",
+            FaultModel::OpcodeCorrupt => "opcode-corrupt",
+            FaultModel::OperandBitflip { .. } => "operand-bitflip",
+        }
+    }
+}
+
+/// A fault-injection pulse active over a time window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimedFault {
+    /// Window start (s, inclusive).
+    pub start_s: f64,
+    /// Window end (s, exclusive).
+    pub end_s: f64,
+    /// The emitted pulse carrier.
+    pub signal: EmiSignal,
+    /// The coupling path.
+    pub injection: Injection,
+    /// The induced instruction-level effect.
+    pub model: FaultModel,
+}
+
+impl TimedFault {
+    /// Whether the window covers `t_s`.
+    pub fn active_at(&self, t_s: f64) -> bool {
+        t_s >= self.start_s && t_s < self.end_s
+    }
+
+    /// Effective power at the victim core (W): transmit power times the
+    /// squared amplitude path gain of the coupling path.
+    pub fn effective_power_w(&self) -> f64 {
+        let gain = self.injection.path_gain(self.signal.freq_hz);
+        self.signal.power_w() * gain * gain
+    }
+
+    /// Whether the pulse is strong enough to induce faults at all
+    /// ([`FAULT_POWER_THRESHOLD_W`]). A disarmed window is physically
+    /// present but has no architectural effect.
+    pub fn is_armed(&self) -> bool {
+        self.effective_power_w() >= FAULT_POWER_THRESHOLD_W
+    }
+}
+
+/// A sequence of timed fault pulses, the instruction-fault analogue of
+/// [`crate::AttackSchedule`]. Disarmed windows (below the power threshold)
+/// are kept in the schedule for reporting but never fire.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultSchedule {
+    faults: Vec<TimedFault>,
+}
+
+impl FaultSchedule {
+    /// No faults, ever.
+    pub fn none() -> FaultSchedule {
+        FaultSchedule::default()
+    }
+
+    /// A single armed-or-not pulse active for the whole simulation.
+    pub fn continuous(signal: EmiSignal, injection: Injection, model: FaultModel) -> FaultSchedule {
+        FaultSchedule {
+            faults: vec![TimedFault {
+                start_s: 0.0,
+                end_s: f64::INFINITY,
+                signal,
+                injection,
+                model,
+            }],
+        }
+    }
+
+    /// Builds a schedule from explicit windows.
+    pub fn from_windows(faults: Vec<TimedFault>) -> FaultSchedule {
+        FaultSchedule { faults }
+    }
+
+    /// Convenience: the same pulse fired in several `[start, start+dur)`
+    /// windows.
+    pub fn bursts(
+        signal: EmiSignal,
+        injection: Injection,
+        model: FaultModel,
+        starts_s: &[f64],
+        duration_s: f64,
+    ) -> FaultSchedule {
+        FaultSchedule {
+            faults: starts_s
+                .iter()
+                .map(|&start_s| TimedFault {
+                    start_s,
+                    end_s: start_s + duration_s,
+                    signal,
+                    injection,
+                    model,
+                })
+                .collect(),
+        }
+    }
+
+    /// The fault model induced at `t_s`, if an *armed* window covers it
+    /// (first armed match wins).
+    pub fn active_at(&self, t_s: f64) -> Option<FaultModel> {
+        self.faults
+            .iter()
+            .find(|f| f.is_armed() && f.active_at(t_s))
+            .map(|f| f.model)
+    }
+
+    /// Whether the schedule can ever induce a fault — i.e. holds no
+    /// *armed* window. Disarmed windows don't count: a schedule of
+    /// below-threshold pulses is behaviorally identical to
+    /// [`FaultSchedule::none`], and the simulator's fast paths rely on
+    /// that equivalence.
+    pub fn is_empty(&self) -> bool {
+        !self.faults.iter().any(TimedFault::is_armed)
+    }
+
+    /// The next armed-window edge — an armed window opening *or* closing —
+    /// strictly after `t_s`, or `f64::INFINITY` when no armed edge
+    /// remains. Between consecutive armed edges
+    /// [`active_at`](FaultSchedule::active_at) is constant, which is what
+    /// lets the event-horizon coalescer run fault-free spans at full
+    /// speed right up to a window boundary.
+    pub fn next_edge(&self, t_s: f64) -> f64 {
+        let mut edge = f64::INFINITY;
+        for f in self.faults.iter().filter(|f| f.is_armed()) {
+            if f.start_s > t_s {
+                edge = edge.min(f.start_s);
+            }
+            if f.end_s > t_s {
+                edge = edge.min(f.end_s);
+            }
+        }
+        edge
+    }
+
+    /// The scheduled windows, armed or not.
+    pub fn windows(&self) -> &[TimedFault] {
+        &self.faults
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attack::DpiPoint;
+
+    fn strong() -> (EmiSignal, Injection) {
+        // 35 dBm ≈ 3.16 W at unity gain: armed.
+        (EmiSignal::new(27e6, 35.0), Injection::Dpi(DpiPoint::P2))
+    }
+
+    #[test]
+    fn arming_follows_path_gain_physics() {
+        let sig = EmiSignal::new(27e6, 35.0);
+        let window = |injection| TimedFault {
+            start_s: 0.0,
+            end_s: 1.0,
+            signal: sig,
+            injection,
+            model: FaultModel::Skip,
+        };
+        assert!(window(Injection::Dpi(DpiPoint::P2)).is_armed());
+        // P1's 0.35 amplitude gain squares to ~0.12: 3.16 W → ~0.39 W.
+        assert!(!window(Injection::Dpi(DpiPoint::P1)).is_armed());
+        // λ(27 MHz) ≈ 11.1 m: at 1 m the path gain caps near 0.88, armed;
+        // at 10 m it drops to ~0.088 and the pulse is far too weak.
+        assert!(window(Injection::Remote { distance_m: 1.0 }).is_armed());
+        assert!(!window(Injection::Remote { distance_m: 10.0 }).is_armed());
+        // Low transmit power disarms even perfect coupling.
+        let weak = TimedFault {
+            signal: EmiSignal::new(27e6, 20.0),
+            ..window(Injection::Dpi(DpiPoint::P2))
+        };
+        assert!(!weak.is_armed());
+    }
+
+    #[test]
+    fn disarmed_windows_never_fire() {
+        let sig = EmiSignal::new(27e6, 35.0);
+        let far = Injection::Remote { distance_m: 10.0 };
+        let sched = FaultSchedule::bursts(sig, far, FaultModel::Skip, &[1.0], 1.0);
+        assert!(sched.is_empty(), "disarmed schedule counts as empty");
+        assert_eq!(sched.active_at(1.5), None);
+        assert_eq!(sched.next_edge(0.0), f64::INFINITY);
+        assert_eq!(sched.windows().len(), 1, "window still reported");
+    }
+
+    #[test]
+    fn armed_schedule_fires_inside_windows() {
+        let (sig, inj) = strong();
+        let model = FaultModel::OperandBitflip { bit: 3 };
+        let sched = FaultSchedule::bursts(sig, inj, model, &[60.0, 300.0], 30.0);
+        assert!(!sched.is_empty());
+        assert_eq!(sched.active_at(0.0), None);
+        assert_eq!(sched.active_at(65.0), Some(model));
+        assert_eq!(sched.active_at(90.0), None, "window is half-open");
+        assert_eq!(sched.active_at(315.0), Some(model));
+    }
+
+    #[test]
+    fn next_edge_sees_armed_openings_and_closings() {
+        let (sig, inj) = strong();
+        let sched = FaultSchedule::bursts(sig, inj, FaultModel::Skip, &[60.0, 300.0], 30.0);
+        assert_eq!(sched.next_edge(0.0), 60.0);
+        assert_eq!(sched.next_edge(60.0), 90.0, "strictly after: the close");
+        assert_eq!(sched.next_edge(65.0), 90.0);
+        assert_eq!(sched.next_edge(90.0), 300.0);
+        assert_eq!(sched.next_edge(330.0), f64::INFINITY);
+        assert_eq!(FaultSchedule::none().next_edge(0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn continuous_and_names() {
+        let (sig, inj) = strong();
+        let sched = FaultSchedule::continuous(sig, inj, FaultModel::OpcodeCorrupt);
+        assert_eq!(sched.active_at(1e9), Some(FaultModel::OpcodeCorrupt));
+        assert_eq!(FaultModel::Skip.name(), "skip");
+        assert_eq!(FaultModel::OpcodeCorrupt.name(), "opcode-corrupt");
+        assert_eq!(
+            FaultModel::OperandBitflip { bit: 0 }.name(),
+            "operand-bitflip"
+        );
+        assert!(FaultSchedule::none().is_empty());
+    }
+}

@@ -27,10 +27,12 @@
 
 pub mod attack;
 pub mod devices;
+pub mod fault;
 pub mod monitor;
 pub mod susceptibility;
 
 pub use attack::{AttackSchedule, EmiSignal, Injection, TimedAttack};
 pub use devices::DeviceModel;
+pub use fault::{FaultModel, FaultSchedule, TimedFault, FAULT_POWER_THRESHOLD_W};
 pub use monitor::{AdcMonitor, ComparatorMonitor, FilteredAdcMonitor, MonitorKind};
 pub use susceptibility::{ResonancePeak, SusceptibilityProfile};

@@ -27,9 +27,11 @@
 pub mod capacitor;
 pub mod harvester;
 pub mod segment;
+pub mod starve;
 pub mod thresholds;
 
 pub use capacitor::Capacitor;
 pub use harvester::{ConstantPower, PowerSource, PowercastRf, PulsedRf, TracePower};
 pub use segment::{next_crossing, safe_steps, Crossing, StepProfile};
+pub use starve::StarvedHarvester;
 pub use thresholds::VoltageThresholds;

@@ -1,0 +1,170 @@
+//! Adversarial energy starvation: a wrapper that periodically attenuates
+//! another harvester's output.
+//!
+//! Singhal et al. observe that an attacker who controls (or stands
+//! between) the RF power source can starve an intermittently-powered
+//! device on a schedule — no EMI coupling into the board required, just
+//! modulation of the incoming energy. [`StarvedHarvester`] models the
+//! simplest such adversary: for the first `starve_s` of every `period_s`
+//! the inner source's power is multiplied by `attenuation`; for the rest
+//! of the period it passes through untouched.
+
+use crate::harvester::PowerSource;
+
+/// A power source whose output an adversary periodically attenuates.
+///
+/// Phase 0 of each period is the starvation window — chosen so that a
+/// device that boots at t = 0 sees the attack immediately, the worst
+/// case for schemes that frontload progress after recovery.
+#[derive(Debug)]
+pub struct StarvedHarvester {
+    /// The legitimate source being modulated.
+    pub inner: Box<dyn PowerSource>,
+    /// Attack period (s).
+    pub period_s: f64,
+    /// Length of the starvation window at the start of each period (s).
+    pub starve_s: f64,
+    /// Multiplier applied inside the window, in `[0, 1]` (0 = full
+    /// blackout, 1 = no attack).
+    pub attenuation: f64,
+}
+
+impl StarvedHarvester {
+    /// Wraps `inner` with a periodic starvation attack.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period_s <= 0`, `starve_s` is outside `[0, period_s]`,
+    /// or `attenuation` is outside `[0, 1]`.
+    pub fn new(
+        inner: Box<dyn PowerSource>,
+        period_s: f64,
+        starve_s: f64,
+        attenuation: f64,
+    ) -> StarvedHarvester {
+        assert!(period_s > 0.0, "period must be positive");
+        assert!(
+            (0.0..=period_s).contains(&starve_s),
+            "starvation window must fit in the period"
+        );
+        assert!(
+            (0.0..=1.0).contains(&attenuation),
+            "attenuation is a fraction"
+        );
+        StarvedHarvester {
+            inner,
+            period_s,
+            starve_s,
+            attenuation,
+        }
+    }
+
+    /// Whether `t_s` falls inside a starvation window.
+    pub fn starved_at(&self, t_s: f64) -> bool {
+        self.starve_s > 0.0 && (t_s / self.period_s).fract() * self.period_s < self.starve_s
+    }
+
+    /// End of the starved/unstarved segment `t_s` falls in.
+    fn segment_end(&self, t_s: f64) -> f64 {
+        let k = (t_s / self.period_s).floor();
+        if self.starved_at(t_s) {
+            k * self.period_s + self.starve_s
+        } else {
+            (k + 1.0) * self.period_s
+        }
+    }
+}
+
+impl PowerSource for StarvedHarvester {
+    fn power_w(&self, t_s: f64) -> f64 {
+        let base = self.inner.power_w(t_s);
+        if self.starved_at(t_s) {
+            base * self.attenuation
+        } else {
+            base
+        }
+    }
+
+    fn constant_until(&self, t_s: f64) -> Option<(f64, f64)> {
+        if t_s < 0.0 {
+            return None;
+        }
+        // Degenerate windows never change the output; pass the inner
+        // claim through so coalescing is unimpaired.
+        if self.starve_s <= 0.0 || self.attenuation >= 1.0 {
+            return self.inner.constant_until(t_s);
+        }
+        // The wrapper is constant only while both the inner source and
+        // the attack phase are: intersect the inner horizon with the end
+        // of the current (starved or unstarved) segment.
+        let (_, inner_until) = self.inner.constant_until(t_s)?;
+        Some((self.power_w(t_s), inner_until.min(self.segment_end(t_s))))
+    }
+
+    fn describe(&self) -> String {
+        format!(
+            "starved({}; {}s of every {}s at x{})",
+            self.inner.describe(),
+            self.starve_s,
+            self.period_s,
+            self.attenuation
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::harvester::{ConstantPower, PulsedRf};
+
+    #[test]
+    fn attenuates_only_inside_the_window() {
+        let s = StarvedHarvester::new(Box::new(ConstantPower::new(2e-3)), 1.0, 0.25, 0.1);
+        assert!((s.power_w(0.1) - 2e-4).abs() < 1e-18, "starved");
+        assert_eq!(s.power_w(0.5), 2e-3, "untouched");
+        assert!((s.power_w(1.2) - 2e-4).abs() < 1e-18, "periodic");
+    }
+
+    #[test]
+    fn constant_until_intersects_inner_and_attack_segments() {
+        // Constant inner: the horizon is the attack segment boundary.
+        let s = StarvedHarvester::new(Box::new(ConstantPower::new(1e-3)), 1.0, 0.25, 0.0);
+        let (pw, until) = s.constant_until(0.1).unwrap();
+        assert_eq!(pw, 0.0);
+        assert!((until - 0.25).abs() < 1e-12);
+        let (pw, until) = s.constant_until(0.5).unwrap();
+        assert_eq!(pw, 1e-3);
+        assert!((until - 1.0).abs() < 1e-12);
+
+        // Pulsed inner with a shorter segment: the inner horizon wins.
+        let s = StarvedHarvester::new(Box::new(PulsedRf::new(0.1, 0.5, 1e-3)), 1.0, 0.25, 0.5);
+        let (pw, until) = s.constant_until(0.0).unwrap();
+        assert_eq!(pw, 5e-4);
+        assert!(
+            (until - 0.05).abs() < 1e-12,
+            "inner pulse edge, got {until}"
+        );
+    }
+
+    #[test]
+    fn constant_until_agrees_with_power_w_across_the_horizon() {
+        let s = StarvedHarvester::new(Box::new(ConstantPower::new(1e-3)), 0.5, 0.2, 0.3);
+        let mut t = 0.013;
+        while t < 2.0 {
+            let (pw, until) = s.constant_until(t).unwrap();
+            assert_eq!(pw, s.power_w(t), "claimed power at t={t}");
+            // Sample strictly inside the claimed horizon.
+            let mid = t + (until - t) * 0.5;
+            assert_eq!(s.power_w(mid), pw, "t={t} mid={mid} until={until}");
+            t += 0.037;
+        }
+    }
+
+    #[test]
+    fn degenerate_attacks_pass_through() {
+        let s = StarvedHarvester::new(Box::new(ConstantPower::new(1e-3)), 1.0, 0.0, 0.0);
+        assert_eq!(s.constant_until(0.3), Some((1e-3, f64::INFINITY)));
+        let s = StarvedHarvester::new(Box::new(ConstantPower::new(1e-3)), 1.0, 0.5, 1.0);
+        assert_eq!(s.constant_until(0.3), Some((1e-3, f64::INFINITY)));
+    }
+}

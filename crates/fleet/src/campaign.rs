@@ -2,7 +2,8 @@
 //! and deterministic aggregation.
 //!
 //! A [`CampaignSpec`] is the cartesian product
-//! `apps × schemes × devices × attacks × seeds`; [`CampaignSpec::expand`]
+//! `apps × schemes × devices × attacks × faults × seeds`;
+//! [`CampaignSpec::expand`]
 //! flattens it into an ordered list of [`WorkItem`]s. [`Campaign::run`]
 //! executes the items on `workers` std threads pulling from a shared
 //! atomic cursor (a lock-free work queue over the fixed item list), with
@@ -27,8 +28,8 @@ use std::time::Instant;
 
 use gecko_apps::App;
 use gecko_compiler::{CompileError, CompileOptions, CompileStats};
-use gecko_emi::{AttackSchedule, DeviceModel, MonitorKind};
-use gecko_energy::ConstantPower;
+use gecko_emi::{AttackSchedule, DeviceModel, FaultSchedule, MonitorKind};
+use gecko_energy::{ConstantPower, StarvedHarvester};
 use gecko_sim::report::Value;
 use gecko_sim::{BatchStats, DeviceBatch, Metrics, SchemeKind, SimConfig, Simulator};
 
@@ -55,6 +56,20 @@ pub enum Supply {
     Harvesting {
         /// Average harvested power (W).
         power_w: f64,
+    },
+    /// Constant harvested power squeezed through a
+    /// [`StarvedHarvester`]: an adversary attenuates the incoming RF for
+    /// `starve_s` out of every `period_s` (Singhal et al.'s
+    /// energy-starvation attack).
+    Starved {
+        /// Legitimate harvested power outside the attack window (W).
+        power_w: f64,
+        /// Attack period (s).
+        period_s: f64,
+        /// Starvation window at the start of each period (s).
+        starve_s: f64,
+        /// Power multiplier inside the window, in `[0, 1]`.
+        attenuation: f64,
     },
 }
 
@@ -123,6 +138,33 @@ impl AttackCase {
     }
 }
 
+/// A labeled EM instruction-fault schedule (one point on the fault axis).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultCase {
+    /// Label used in reports ("none", "skip@2ms", ...).
+    pub label: String,
+    /// The schedule (no armed windows = fault-free).
+    pub schedule: FaultSchedule,
+}
+
+impl FaultCase {
+    /// The fault-free case.
+    pub fn none() -> FaultCase {
+        FaultCase {
+            label: "none".to_string(),
+            schedule: FaultSchedule::none(),
+        }
+    }
+
+    /// A labeled case.
+    pub fn new(label: impl Into<String>, schedule: FaultSchedule) -> FaultCase {
+        FaultCase {
+            label: label.into(),
+            schedule,
+        }
+    }
+}
+
 /// A board model + the monitor driving its JIT protocol (one point on the
 /// device axis).
 #[derive(Debug, Clone, PartialEq)]
@@ -158,6 +200,8 @@ pub struct CampaignSpec {
     pub devices: Vec<DeviceCase>,
     /// Attack axis.
     pub attacks: Vec<AttackCase>,
+    /// EM instruction-fault axis.
+    pub faults: Vec<FaultCase>,
     /// Peripheral-seed axis (Monte-Carlo dimension).
     pub seeds: Vec<u64>,
     /// Power environment.
@@ -182,6 +226,7 @@ impl CampaignSpec {
             schemes: vec![SchemeKind::Gecko],
             devices: vec![DeviceCase::default_board()],
             attacks: vec![AttackCase::none()],
+            faults: vec![FaultCase::none()],
             seeds: vec![7],
             supply: Supply::Bench,
             capacitor: None,
@@ -215,6 +260,12 @@ impl CampaignSpec {
         self
     }
 
+    /// Replaces the EM instruction-fault axis (builder style).
+    pub fn faults(mut self, faults: impl IntoIterator<Item = FaultCase>) -> CampaignSpec {
+        self.faults = faults.into_iter().collect();
+        self
+    }
+
     /// Replaces the seed axis (builder style).
     pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> CampaignSpec {
         self.seeds = seeds.into_iter().collect();
@@ -240,28 +291,32 @@ impl CampaignSpec {
     }
 
     /// Flattens the grid into ordered work items:
-    /// `for app { for scheme { for device { for attack { for seed }}}}`.
+    /// `for app { for scheme { for device { for attack { for fault { for seed }}}}}`.
     pub fn expand(&self) -> Vec<WorkItem> {
         let mut items = Vec::with_capacity(
             self.apps.len()
                 * self.schemes.len()
                 * self.devices.len()
                 * self.attacks.len()
+                * self.faults.len()
                 * self.seeds.len(),
         );
         for (app_idx, _) in self.apps.iter().enumerate() {
             for (scheme_idx, _) in self.schemes.iter().enumerate() {
                 for (device_idx, _) in self.devices.iter().enumerate() {
                     for (attack_idx, _) in self.attacks.iter().enumerate() {
-                        for (seed_idx, _) in self.seeds.iter().enumerate() {
-                            items.push(WorkItem {
-                                index: items.len(),
-                                app_idx,
-                                scheme_idx,
-                                device_idx,
-                                attack_idx,
-                                seed_idx,
-                            });
+                        for (fault_idx, _) in self.faults.iter().enumerate() {
+                            for (seed_idx, _) in self.seeds.iter().enumerate() {
+                                items.push(WorkItem {
+                                    index: items.len(),
+                                    app_idx,
+                                    scheme_idx,
+                                    device_idx,
+                                    attack_idx,
+                                    fault_idx,
+                                    seed_idx,
+                                });
+                            }
                         }
                     }
                 }
@@ -282,12 +337,31 @@ impl CampaignSpec {
                 cfg.harvester = Box::new(ConstantPower::new(power_w));
                 cfg
             }
+            Supply::Starved {
+                power_w,
+                period_s,
+                starve_s,
+                attenuation,
+            } => {
+                let mut cfg = SimConfig::harvesting(scheme);
+                cfg.harvester = Box::new(StarvedHarvester::new(
+                    Box::new(ConstantPower::new(power_w)),
+                    period_s,
+                    starve_s,
+                    attenuation,
+                ));
+                cfg
+            }
         };
         let device = &self.devices[item.device_idx];
         cfg = cfg.with_device(device.device.clone(), device.monitor);
         let attack = &self.attacks[item.attack_idx];
         if !attack.schedule.is_empty() {
             cfg = cfg.with_attack(attack.schedule.clone());
+        }
+        let fault = &self.faults[item.fault_idx];
+        if !fault.schedule.is_empty() {
+            cfg = cfg.with_fault(fault.schedule.clone());
         }
         if let Some(cap) = self.capacitor {
             cfg = if cap.rescale_thresholds {
@@ -303,16 +377,18 @@ impl CampaignSpec {
     }
 
     /// Stable identity of one run: an FNV-1a hash of the cell's app name,
-    /// scheme name, device index, attack label, and peripheral seed. Run
-    /// keys identify completed runs in a resume [`Journal`] and seed the
-    /// per-run chaos/backoff streams, so they must not depend on
-    /// scheduling — and they don't: they are pure functions of the spec.
+    /// scheme name, device index, attack label, fault label, and
+    /// peripheral seed. Run keys identify completed runs in a resume
+    /// [`Journal`] and seed the per-run chaos/backoff streams, so they
+    /// must not depend on scheduling — and they don't: they are pure
+    /// functions of the spec.
     pub fn run_key(&self, item: &WorkItem) -> u64 {
         let mut h = FNV_OFFSET;
         fnv_str(&mut h, &self.apps[item.app_idx]);
         fnv_str(&mut h, self.schemes[item.scheme_idx].name());
         fnv_u64(&mut h, item.device_idx as u64);
         fnv_str(&mut h, &self.attacks[item.attack_idx].label);
+        fnv_str(&mut h, &self.faults[item.fault_idx].label);
         fnv_u64(&mut h, self.seeds[item.seed_idx]);
         h
     }
@@ -336,6 +412,18 @@ impl CampaignSpec {
             Supply::Harvesting { power_w } => {
                 fnv_u64(&mut h, 1);
                 fnv_u64(&mut h, power_w.to_bits());
+            }
+            Supply::Starved {
+                power_w,
+                period_s,
+                starve_s,
+                attenuation,
+            } => {
+                fnv_u64(&mut h, 2);
+                fnv_u64(&mut h, power_w.to_bits());
+                fnv_u64(&mut h, period_s.to_bits());
+                fnv_u64(&mut h, starve_s.to_bits());
+                fnv_u64(&mut h, attenuation.to_bits());
             }
         }
         match self.capacitor {
@@ -418,6 +506,8 @@ pub struct WorkItem {
     pub device_idx: usize,
     /// Index into `spec.attacks`.
     pub attack_idx: usize,
+    /// Index into `spec.faults`.
+    pub fault_idx: usize,
     /// Index into `spec.seeds`.
     pub seed_idx: usize,
 }
@@ -1384,7 +1474,9 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    /// The result for a grid cell, by axis indices.
+    /// The result for a grid cell, by axis indices, on the first fault
+    /// point (fault-free unless the spec replaced the fault axis) — the
+    /// pre-fault-axis signature most sweeps use.
     ///
     /// # Panics
     ///
@@ -1400,10 +1492,31 @@ impl CampaignReport {
         attack_idx: usize,
         seed_idx: usize,
     ) -> &RunResult {
+        self.result_for_faulted(app_idx, scheme_idx, device_idx, attack_idx, 0, seed_idx)
+    }
+
+    /// The result for a grid cell, by axis indices including the fault
+    /// axis.
+    ///
+    /// # Panics
+    ///
+    /// Panics when that cell has no successful result (see
+    /// [`CampaignReport::result_for`]).
+    pub fn result_for_faulted(
+        &self,
+        app_idx: usize,
+        scheme_idx: usize,
+        device_idx: usize,
+        attack_idx: usize,
+        fault_idx: usize,
+        seed_idx: usize,
+    ) -> &RunResult {
         let s = &self.spec;
-        let index = (((app_idx * s.schemes.len() + scheme_idx) * s.devices.len() + device_idx)
+        let index = ((((app_idx * s.schemes.len() + scheme_idx) * s.devices.len() + device_idx)
             * s.attacks.len()
             + attack_idx)
+            * s.faults.len()
+            + fault_idx)
             * s.seeds.len()
             + seed_idx;
         // `results` is sorted by item index but may have holes (failed or
@@ -1444,6 +1557,7 @@ impl CampaignReport {
             eat(r.item.scheme_idx as u64);
             eat(r.item.device_idx as u64);
             eat(r.item.attack_idx as u64);
+            eat(r.item.fault_idx as u64);
             eat(r.item.seed_idx as u64);
             for m in std::iter::once(&r.metrics).chain(r.buckets.iter()) {
                 eat(m.sim_time_s.to_bits());
@@ -1461,6 +1575,8 @@ impl CampaignReport {
                 eat(m.jit_reenables);
                 eat(m.checkpoint_stores);
                 eat(m.boundary_commits);
+                eat(m.fault_skips);
+                eat(m.fault_corruptions);
                 eat(m.energy_nj.to_bits());
             }
         }

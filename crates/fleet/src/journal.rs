@@ -555,6 +555,8 @@ fn metrics_from(fields: &[(String, JsonScalar)]) -> Option<Metrics> {
         jit_reenables: u("jit_reenables")?,
         checkpoint_stores: u("checkpoint_stores")?,
         boundary_commits: u("boundary_commits")?,
+        fault_skips: u("fault_skips")?,
+        fault_corruptions: u("fault_corruptions")?,
         energy_nj: f("energy_nj")?,
     })
 }
@@ -790,6 +792,7 @@ mod tests {
             scheme_idx: 0,
             device_idx: 0,
             attack_idx: 0,
+            fault_idx: 0,
             seed_idx: index,
         };
         let mut metrics = Metrics {

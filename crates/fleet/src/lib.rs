@@ -63,7 +63,7 @@ pub mod telemetry;
 pub use cache::{CacheKey, ProgramCache};
 pub use campaign::{
     AttackCase, Campaign, CampaignError, CampaignReport, CampaignSpec, CapacitorSpec, DeviceCase,
-    RunResult, Supply, WorkItem, Workload,
+    FaultCase, RunResult, Supply, WorkItem, Workload,
 };
 pub use journal::{classify_campaign_lines, Journal};
 pub use json::{Json, ParseError};

@@ -24,13 +24,14 @@
 use std::fmt;
 
 use gecko_emi::devices::device_by_name;
+use gecko_emi::fault::{FaultModel, FaultSchedule, TimedFault};
 use gecko_emi::{AttackSchedule, EmiSignal, Injection, MonitorKind, TimedAttack};
 use gecko_sim::report::Record;
 use gecko_sim::Metrics;
 
 use crate::campaign::{
-    AttackCase, CampaignReport, CampaignSpec, CapacitorSpec, DeviceCase, RunResult, Supply,
-    Workload,
+    AttackCase, CampaignReport, CampaignSpec, CapacitorSpec, DeviceCase, FaultCase, RunResult,
+    Supply, Workload,
 };
 use crate::json::{Json, ParseError};
 use crate::supervisor::RunFailure;
@@ -196,6 +197,32 @@ fn injection_value(injection: Injection) -> Json {
     }
 }
 
+fn fault_model_value(model: FaultModel) -> Json {
+    let mut fields = vec![("kind".into(), Json::Str(model.name().into()))];
+    if let FaultModel::OperandBitflip { bit } = model {
+        fields.push(("bit".into(), Json::U64(bit as u64)));
+    }
+    Json::Obj(fields)
+}
+
+fn fault_window_value(w: &TimedFault) -> Json {
+    Json::Obj(vec![
+        ("start_s".into(), Json::F64(w.start_s)),
+        (
+            "end_s".into(),
+            if w.end_s.is_finite() {
+                Json::F64(w.end_s)
+            } else {
+                Json::Null
+            },
+        ),
+        ("freq_hz".into(), Json::F64(w.signal.freq_hz)),
+        ("power_dbm".into(), Json::F64(w.signal.power_dbm)),
+        ("injection".into(), injection_value(w.injection)),
+        ("model".into(), fault_model_value(w.model)),
+    ])
+}
+
 fn window_value(w: &TimedAttack) -> Json {
     Json::Obj(vec![
         ("start_s".into(), Json::F64(w.start_s)),
@@ -265,6 +292,29 @@ pub fn spec_value(spec: &CampaignSpec) -> Json {
             ),
         ),
         (
+            "faults".into(),
+            Json::Arr(
+                spec.faults
+                    .iter()
+                    .map(|f| {
+                        Json::Obj(vec![
+                            ("label".into(), Json::Str(f.label.clone())),
+                            (
+                                "windows".into(),
+                                Json::Arr(
+                                    f.schedule
+                                        .windows()
+                                        .iter()
+                                        .map(fault_window_value)
+                                        .collect(),
+                                ),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
             "seeds".into(),
             Json::Arr(spec.seeds.iter().map(|&s| Json::U64(s)).collect()),
         ),
@@ -275,6 +325,18 @@ pub fn spec_value(spec: &CampaignSpec) -> Json {
                 Supply::Harvesting { power_w } => Json::Obj(vec![
                     ("kind".into(), Json::Str("harvesting".into())),
                     ("power_w".into(), Json::F64(power_w)),
+                ]),
+                Supply::Starved {
+                    power_w,
+                    period_s,
+                    starve_s,
+                    attenuation,
+                } => Json::Obj(vec![
+                    ("kind".into(), Json::Str("starved".into())),
+                    ("power_w".into(), Json::F64(power_w)),
+                    ("period_s".into(), Json::F64(period_s)),
+                    ("starve_s".into(), Json::F64(starve_s)),
+                    ("attenuation".into(), Json::F64(attenuation)),
                 ]),
             },
         ),
@@ -413,6 +475,81 @@ fn decode_attack(v: &Json, path: &str) -> Result<AttackCase, DecodeError> {
     })
 }
 
+fn decode_fault_model(v: &Json, path: &str) -> Result<FaultModel, DecodeError> {
+    check_keys(v, path, &["kind", "bit"])?;
+    match as_str(get(v, path, "kind")?, &format!("{path}.kind"))? {
+        "skip" => Ok(FaultModel::Skip),
+        "opcode-corrupt" => Ok(FaultModel::OpcodeCorrupt),
+        "operand-bitflip" => {
+            let bpath = format!("{path}.bit");
+            let bit = as_u64(get(v, path, "bit")?, &bpath)?;
+            if bit >= 32 {
+                return Err(DecodeError::new(&bpath, "expected a bit index in 0..32"));
+            }
+            Ok(FaultModel::OperandBitflip { bit: bit as u8 })
+        }
+        other => Err(DecodeError::new(
+            &format!("{path}.kind"),
+            format!(
+                "unknown fault model {other:?} (expected skip, opcode-corrupt, or operand-bitflip)"
+            ),
+        )),
+    }
+}
+
+fn decode_fault_window(v: &Json, path: &str) -> Result<TimedFault, DecodeError> {
+    check_keys(
+        v,
+        path,
+        &[
+            "start_s",
+            "end_s",
+            "freq_hz",
+            "power_dbm",
+            "injection",
+            "model",
+        ],
+    )?;
+    let start_s = as_f64(get(v, path, "start_s")?, &format!("{path}.start_s"))?;
+    let end_s = match opt(v, "end_s") {
+        None => f64::INFINITY,
+        Some(e) => as_f64(e, &format!("{path}.end_s"))?,
+    };
+    let fpath = format!("{path}.freq_hz");
+    let freq_hz = as_f64(get(v, path, "freq_hz")?, &fpath)?;
+    if !(freq_hz.is_finite() && freq_hz > 0.0) {
+        return Err(DecodeError::new(
+            &fpath,
+            format!("expected a positive frequency, got {freq_hz}"),
+        ));
+    }
+    let power_dbm = as_f64(get(v, path, "power_dbm")?, &format!("{path}.power_dbm"))?;
+    let injection = decode_injection(get(v, path, "injection")?, &format!("{path}.injection"))?;
+    let model = decode_fault_model(get(v, path, "model")?, &format!("{path}.model"))?;
+    Ok(TimedFault {
+        start_s,
+        end_s,
+        signal: EmiSignal::new(freq_hz, power_dbm),
+        injection,
+        model,
+    })
+}
+
+fn decode_fault(v: &Json, path: &str) -> Result<FaultCase, DecodeError> {
+    check_keys(v, path, &["label", "windows"])?;
+    let label = as_str(get(v, path, "label")?, &format!("{path}.label"))?.to_string();
+    let mut windows = Vec::new();
+    if let Some(list) = opt(v, "windows") {
+        for (i, w) in as_arr(list, &format!("{path}.windows"))?.iter().enumerate() {
+            windows.push(decode_fault_window(w, &format!("{path}.windows[{i}]"))?);
+        }
+    }
+    Ok(FaultCase {
+        label,
+        schedule: FaultSchedule::from_windows(windows),
+    })
+}
+
 fn decode_device(v: &Json, path: &str) -> Result<DeviceCase, DecodeError> {
     check_keys(v, path, &["device", "monitor"])?;
     let dpath = format!("{path}.device");
@@ -450,23 +587,63 @@ fn decode_device(v: &Json, path: &str) -> Result<DeviceCase, DecodeError> {
 }
 
 fn decode_supply(v: &Json, path: &str) -> Result<Supply, DecodeError> {
-    check_keys(v, path, &["kind", "power_w"])?;
+    check_keys(
+        v,
+        path,
+        &["kind", "power_w", "period_s", "starve_s", "attenuation"],
+    )?;
+    let positive_power = |key: &str| -> Result<f64, DecodeError> {
+        let ppath = format!("{path}.{key}");
+        let power_w = as_f64(get(v, path, key)?, &ppath)?;
+        if !(power_w.is_finite() && power_w > 0.0) {
+            return Err(DecodeError::new(
+                &ppath,
+                "expected positive harvested power",
+            ));
+        }
+        Ok(power_w)
+    };
     match as_str(get(v, path, "kind")?, &format!("{path}.kind"))? {
         "bench" => Ok(Supply::Bench),
-        "harvesting" => {
-            let ppath = format!("{path}.power_w");
-            let power_w = as_f64(get(v, path, "power_w")?, &ppath)?;
-            if !(power_w.is_finite() && power_w > 0.0) {
+        "harvesting" => Ok(Supply::Harvesting {
+            power_w: positive_power("power_w")?,
+        }),
+        "starved" => {
+            let power_w = positive_power("power_w")?;
+            let ppath = format!("{path}.period_s");
+            let period_s = as_f64(get(v, path, "period_s")?, &ppath)?;
+            if !(period_s.is_finite() && period_s > 0.0) {
                 return Err(DecodeError::new(
                     &ppath,
-                    "expected positive harvested power",
+                    "expected a positive attack period",
                 ));
             }
-            Ok(Supply::Harvesting { power_w })
+            let spath = format!("{path}.starve_s");
+            let starve_s = as_f64(get(v, path, "starve_s")?, &spath)?;
+            if !(starve_s.is_finite() && (0.0..=period_s).contains(&starve_s)) {
+                return Err(DecodeError::new(
+                    &spath,
+                    "expected a starvation window within [0, period_s]",
+                ));
+            }
+            let apath = format!("{path}.attenuation");
+            let attenuation = as_f64(get(v, path, "attenuation")?, &apath)?;
+            if !(attenuation.is_finite() && (0.0..=1.0).contains(&attenuation)) {
+                return Err(DecodeError::new(
+                    &apath,
+                    "expected an attenuation fraction in [0, 1]",
+                ));
+            }
+            Ok(Supply::Starved {
+                power_w,
+                period_s,
+                starve_s,
+                attenuation,
+            })
         }
         other => Err(DecodeError::new(
             &format!("{path}.kind"),
-            format!("unknown supply kind {other:?} (expected bench or harvesting)"),
+            format!("unknown supply kind {other:?} (expected bench, harvesting, or starved)"),
         )),
     }
 }
@@ -525,6 +702,7 @@ pub fn spec_from_value(v: &Json, path: &str) -> Result<CampaignSpec, DecodeError
             "schemes",
             "devices",
             "attacks",
+            "faults",
             "seeds",
             "supply",
             "capacitor",
@@ -585,6 +763,13 @@ pub fn spec_from_value(v: &Json, path: &str) -> Result<CampaignSpec, DecodeError
             .iter()
             .enumerate()
             .map(|(i, a)| decode_attack(a, &format!("{}[{i}]", sub("attacks"))))
+            .collect::<Result<_, DecodeError>>()?;
+    }
+    if let Some(list) = opt(v, "faults") {
+        spec.faults = as_arr(list, &sub("faults"))?
+            .iter()
+            .enumerate()
+            .map(|(i, f)| decode_fault(f, &format!("{}[{i}]", sub("faults"))))
             .collect::<Result<_, DecodeError>>()?;
     }
     if let Some(list) = opt(v, "seeds") {
@@ -705,6 +890,10 @@ fn result_value(spec: &CampaignSpec, r: &RunResult, deterministic: bool) -> Json
         (
             "attack".into(),
             Json::Str(spec.attacks[r.item.attack_idx].label.clone()),
+        ),
+        (
+            "fault".into(),
+            Json::Str(spec.faults[r.item.fault_idx].label.clone()),
         ),
         ("seed".into(), Json::U64(spec.seeds[r.item.seed_idx])),
         (
@@ -845,8 +1034,34 @@ mod tests {
                     AttackSchedule::bursts(sig, Injection::Dpi(DpiPoint::P2), &[0.1, 0.5], 0.05),
                 ),
             ])
+            .faults([
+                FaultCase::none(),
+                FaultCase::new(
+                    "skip-bursts",
+                    FaultSchedule::bursts(
+                        sig,
+                        Injection::Dpi(DpiPoint::P2),
+                        FaultModel::Skip,
+                        &[0.2, 0.7],
+                        0.05,
+                    ),
+                ),
+                FaultCase::new(
+                    "bitflip",
+                    FaultSchedule::continuous(
+                        sig,
+                        Injection::Remote { distance_m: 1.0 },
+                        FaultModel::OperandBitflip { bit: 17 },
+                    ),
+                ),
+            ])
             .seeds([7, u64::MAX])
-            .supply(Supply::Harvesting { power_w: 0.0012 })
+            .supply(Supply::Starved {
+                power_w: 0.0012,
+                period_s: 0.5,
+                starve_s: 0.1,
+                attenuation: 0.25,
+            })
             .capacitor(CapacitorSpec {
                 capacitance_f: 1e-3,
                 initial_voltage_v: 3.2,
@@ -893,6 +1108,22 @@ mod tests {
         assert!(e.to_string().contains("known boards"), "{e}");
         let e = spec_from_json(r#"{"name":"x","seedz":[1]}"#).unwrap_err();
         assert!(e.to_string().contains("unknown field `seedz`"), "{e}");
+        let e = spec_from_json(
+            r#"{"name":"x","faults":[{"label":"f","windows":[{"start_s":0.0,"freq_hz":27e6,
+                "power_dbm":35.0,"injection":{"kind":"dpi_p2"},"model":{"kind":"glitch"}}]}]}"#,
+        )
+        .unwrap_err();
+        assert!(
+            e.to_string().contains("faults[0].windows[0].model.kind")
+                && e.to_string().contains("glitch"),
+            "{e}"
+        );
+        let e = spec_from_json(
+            r#"{"name":"x","supply":{"kind":"starved","power_w":1e-3,"period_s":1.0,
+                "starve_s":2.0,"attenuation":0.5}}"#,
+        )
+        .unwrap_err();
+        assert!(e.to_string().contains("supply.starve_s"), "{e}");
         let e = spec_from_json("{").unwrap_err();
         assert!(matches!(e, SpecError::Parse(_)), "{e}");
     }

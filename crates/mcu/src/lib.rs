@@ -36,7 +36,7 @@ pub mod nvm;
 pub mod periph;
 pub mod predecode;
 
-pub use machine::{Machine, Pc, RegFile, RunSummary, StepEvent, StepOutcome};
+pub use machine::{FaultEffect, Machine, Pc, RegFile, RunSummary, StepEvent, StepOutcome};
 pub use nvm::Nvm;
 pub use periph::Peripherals;
 pub use predecode::{POp, PredecodedProgram};

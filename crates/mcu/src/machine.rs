@@ -111,6 +111,33 @@ pub enum StepEvent {
     Halted,
 }
 
+/// The instruction-level effect an EM fault pulse has on the one
+/// instruction it lands on — the MCU-side mirror of the attacker-facing
+/// `gecko_emi::FaultModel` (this crate cannot depend on the attack crate;
+/// the simulator maps between the two). Faulted instructions consume their
+/// normal cycles and energy: the pulse corrupts fetch/decode, not timing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultEffect {
+    /// The instruction executes as a no-op: no register/memory/peripheral
+    /// effect, its runtime event is suppressed, and a conditional branch
+    /// falls through. Unconditional jumps and `halt` still execute —
+    /// skipping a terminator would leave the PC past the end of a block,
+    /// a state the fetch path cannot produce.
+    Skip,
+    /// The instruction decodes as a different operation: any value it
+    /// writes (register, memory, peripheral, checkpoint) is complemented,
+    /// a conditional branch inverts, and a region-boundary marker is not
+    /// recognized by the runtime.
+    OpcodeCorrupt,
+    /// One bit of the instruction's data operand flips: the written value
+    /// has the bit flipped, and a conditional branch compares the
+    /// corrupted left-hand side.
+    OperandBitflip {
+        /// Which bit of the 32-bit word flips (taken modulo 32).
+        bit: u8,
+    },
+}
+
 /// The cycles/energy/event outcome of one step.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct StepOutcome {
@@ -278,6 +305,35 @@ impl Machine {
         }
     }
 
+    /// Executes one step *under an EM fault*: exactly
+    /// [`Machine::step_predecoded`], but the fetched operation suffers
+    /// `fault` ([`FaultEffect`]). This is the single fault seam both
+    /// dispatch modes inject through — predecoding is a pure re-encoding
+    /// with identical per-entry costs, so routing an interpreted-mode
+    /// faulted step through the predecoded entry is bit-identical to
+    /// faulting the interpreter, and the two modes cannot drift.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after `halt` (callers must check
+    /// [`Machine::is_halted`]), or if the PC points outside the program.
+    pub fn step_faulted(
+        &mut self,
+        pre: &PredecodedProgram,
+        nvm: &mut Nvm,
+        periph: &mut Peripherals,
+        fault: FaultEffect,
+    ) -> StepOutcome {
+        assert!(!self.halted, "stepping a halted machine");
+        let entry = pre.entry(self.pc.block, self.pc.index);
+        let event = self.exec_pop_faulted(entry.op, nvm, periph, fault);
+        StepOutcome {
+            cycles: entry.cycles,
+            energy_nj: entry.energy_nj,
+            event,
+        }
+    }
+
     /// Retires a span of predecoded instructions in one batched call —
     /// the machine/NVM/peripheral half of the simulator's event-horizon
     /// stepping. Returns the number of instructions retired (possibly 0).
@@ -438,6 +494,187 @@ impl Machine {
                 let l = self.regs.get(lhs);
                 let r = self.regs.get(rhs);
                 self.pc = Pc::at(if cond.eval(l, r) { taken } else { fall });
+                None
+            }
+            POp::Halt => {
+                self.halted = true;
+                Some(StepEvent::Halted)
+            }
+        }
+    }
+
+    /// Executes one predecoded operation under `fault` — the faulted twin
+    /// of [`Machine::exec_pop`], kept variant-for-variant parallel so the
+    /// fault semantics are auditable against the clean path.
+    fn exec_pop_faulted(
+        &mut self,
+        op: POp,
+        nvm: &mut Nvm,
+        periph: &mut Peripherals,
+        fault: FaultEffect,
+    ) -> Option<StepEvent> {
+        // How the fault mangles a value the instruction writes. `Skip`
+        // never writes, so its arm is unreachable by construction.
+        let mangle = |v: Word| match fault {
+            FaultEffect::Skip => v,
+            FaultEffect::OpcodeCorrupt => !v,
+            FaultEffect::OperandBitflip { bit } => v ^ (1 << (u32::from(bit) % 32)),
+        };
+        let skip = fault == FaultEffect::Skip;
+        match op {
+            POp::MovImm { dst, imm } => {
+                self.pc.index += 1;
+                if !skip {
+                    self.regs.set(dst, mangle(imm));
+                }
+                None
+            }
+            POp::MovReg { dst, src } => {
+                self.pc.index += 1;
+                if !skip {
+                    let v = self.regs.get(src);
+                    self.regs.set(dst, mangle(v));
+                }
+                None
+            }
+            POp::BinImm { op, dst, lhs, imm } => {
+                self.pc.index += 1;
+                if !skip {
+                    let l = self.regs.get(lhs);
+                    self.regs.set(dst, mangle(op.eval(l, imm)));
+                }
+                None
+            }
+            POp::BinReg { op, dst, lhs, rhs } => {
+                self.pc.index += 1;
+                if !skip {
+                    let l = self.regs.get(lhs);
+                    let r = self.regs.get(rhs);
+                    self.regs.set(dst, mangle(op.eval(l, r)));
+                }
+                None
+            }
+            POp::Load { dst, base, off } => {
+                self.pc.index += 1;
+                if !skip {
+                    let addr = (self.regs.get(base).wrapping_add(off)) as u32;
+                    let v = nvm.load(addr);
+                    self.regs.set(dst, mangle(v));
+                }
+                None
+            }
+            POp::Store { src, base, off } => {
+                self.pc.index += 1;
+                if !skip {
+                    let addr = (self.regs.get(base).wrapping_add(off)) as u32;
+                    nvm.store(addr, mangle(self.regs.get(src)));
+                }
+                None
+            }
+            POp::Io { op, reg } => {
+                self.pc.index += 1;
+                if skip {
+                    // The transaction never starts: no peripheral side
+                    // effect and no event for the runtime.
+                    return None;
+                }
+                match op {
+                    IoOp::Sense => {
+                        let v = periph.sense();
+                        self.regs.set(reg, mangle(v));
+                    }
+                    IoOp::Send => periph.send(mangle(self.regs.get(reg))),
+                    IoOp::Blink => periph.blink(),
+                }
+                Some(StepEvent::Io(op))
+            }
+            POp::Boundary { region } => {
+                self.pc.index += 1;
+                match fault {
+                    // Skipped or misdecoded: the runtime never sees the
+                    // boundary, so no commit happens here.
+                    FaultEffect::Skip | FaultEffect::OpcodeCorrupt => None,
+                    // A boundary marker carries no data operand to flip.
+                    FaultEffect::OperandBitflip { .. } => Some(StepEvent::Boundary(region)),
+                }
+            }
+            POp::Checkpoint { reg, slot } => {
+                self.pc.index += 1;
+                if skip {
+                    return None;
+                }
+                Some(StepEvent::Checkpoint {
+                    reg,
+                    value: mangle(self.regs.get(reg)),
+                    slot,
+                })
+            }
+            POp::Nop => {
+                self.pc.index += 1;
+                None
+            }
+            POp::Jump { target } => {
+                // No data operand, and a skipped terminator would strand
+                // the PC past the block end: the jump always goes through.
+                self.pc = Pc::at(target);
+                None
+            }
+            POp::BranchImm {
+                cond,
+                lhs,
+                imm,
+                taken,
+                fall,
+            } => {
+                self.pc = Pc::at(match fault {
+                    FaultEffect::Skip => fall,
+                    FaultEffect::OpcodeCorrupt => {
+                        let l = self.regs.get(lhs);
+                        if cond.eval(l, imm) {
+                            fall
+                        } else {
+                            taken
+                        }
+                    }
+                    FaultEffect::OperandBitflip { .. } => {
+                        let l = mangle(self.regs.get(lhs));
+                        if cond.eval(l, imm) {
+                            taken
+                        } else {
+                            fall
+                        }
+                    }
+                });
+                None
+            }
+            POp::BranchReg {
+                cond,
+                lhs,
+                rhs,
+                taken,
+                fall,
+            } => {
+                self.pc = Pc::at(match fault {
+                    FaultEffect::Skip => fall,
+                    FaultEffect::OpcodeCorrupt => {
+                        let l = self.regs.get(lhs);
+                        let r = self.regs.get(rhs);
+                        if cond.eval(l, r) {
+                            fall
+                        } else {
+                            taken
+                        }
+                    }
+                    FaultEffect::OperandBitflip { .. } => {
+                        let l = mangle(self.regs.get(lhs));
+                        let r = self.regs.get(rhs);
+                        if cond.eval(l, r) {
+                            taken
+                        } else {
+                            fall
+                        }
+                    }
+                });
                 None
             }
             POp::Halt => {
@@ -856,6 +1093,156 @@ mod tests {
         let mut m = Machine::new(p.entry());
         let _ = m.step(&p, &cost, &energy, &mut nvm, &mut periph);
         let _ = m.step(&p, &cost, &energy, &mut nvm, &mut periph);
+    }
+
+    fn faulted_setup(p: &Program) -> (PredecodedProgram, Nvm, Peripherals, Machine) {
+        let pre = PredecodedProgram::build(p, &CostModel::default(), &EnergyModel::default());
+        (
+            pre,
+            Nvm::new(1 << 10),
+            Peripherals::new(9),
+            Machine::new(p.entry()),
+        )
+    }
+
+    #[test]
+    fn skip_fault_is_an_expensive_nop() {
+        let mut b = ProgramBuilder::new("t");
+        let d = b.segment("d", 4, true);
+        b.mov(Reg::R1, 41);
+        b.mov(Reg::R2, d as i32);
+        b.store(Reg::R1, Reg::R2, 0);
+        b.halt();
+        let p = b.finish().unwrap();
+        let (pre, mut nvm, mut periph, mut m) = faulted_setup(&p);
+        let _ = m.step_predecoded(&pre, &mut nvm, &mut periph);
+        assert_eq!(m.regs().get(Reg::R1), 41);
+        let _ = m.step_predecoded(&pre, &mut nvm, &mut periph);
+        // Skip the store: full cost, no memory effect, PC advances.
+        let entry = pre.entry(m.pc().block, m.pc().index);
+        let o = m.step_faulted(&pre, &mut nvm, &mut periph, FaultEffect::Skip);
+        assert_eq!(o.cycles, entry.cycles, "store costs its normal cycles");
+        assert_eq!(o.energy_nj.to_bits(), entry.energy_nj.to_bits());
+        assert_eq!(nvm.read(d), 0, "the skipped store never landed");
+        let _ = m.step_predecoded(&pre, &mut nvm, &mut periph);
+        assert!(m.is_halted());
+    }
+
+    #[test]
+    fn skip_fault_suppresses_events_and_falls_through_branches() {
+        let mut b = ProgramBuilder::new("t");
+        b.push(Inst::Boundary {
+            region: RegionId::new(1),
+        });
+        b.mov(Reg::R1, 0);
+        let yes = b.new_label("yes");
+        let no = b.new_label("no");
+        b.branch(Cond::Eq, Reg::R1, 0, yes, no);
+        b.bind(yes);
+        b.mov(Reg::R2, 1);
+        b.halt();
+        b.bind(no);
+        b.mov(Reg::R2, 2);
+        b.halt();
+        let p = b.finish().unwrap();
+        let (pre, mut nvm, mut periph, mut m) = faulted_setup(&p);
+        let o = m.step_faulted(&pre, &mut nvm, &mut periph, FaultEffect::Skip);
+        assert_eq!(o.event, None, "boundary event suppressed");
+        let _ = m.step_predecoded(&pre, &mut nvm, &mut periph);
+        // The branch would be taken (R1 == 0); a skip falls through.
+        let o = m.step_faulted(&pre, &mut nvm, &mut periph, FaultEffect::Skip);
+        assert_eq!(o.event, None);
+        while !m.is_halted() {
+            let _ = m.step_predecoded(&pre, &mut nvm, &mut periph);
+        }
+        assert_eq!(
+            m.regs().get(Reg::R2),
+            2,
+            "fell through to the not-taken arm"
+        );
+    }
+
+    #[test]
+    fn operand_bitflip_flips_exactly_one_bit_of_the_written_value() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R1, 0b1000);
+        b.push(Inst::Checkpoint {
+            reg: Reg::R1,
+            slot: 0,
+        });
+        b.halt();
+        let p = b.finish().unwrap();
+        let (pre, mut nvm, mut periph, mut m) = faulted_setup(&p);
+        let o = m.step_faulted(
+            &pre,
+            &mut nvm,
+            &mut periph,
+            FaultEffect::OperandBitflip { bit: 1 },
+        );
+        assert_eq!(o.event, None);
+        assert_eq!(m.regs().get(Reg::R1), 0b1010);
+        // The checkpoint event carries the (independently) flipped value.
+        let o = m.step_faulted(
+            &pre,
+            &mut nvm,
+            &mut periph,
+            FaultEffect::OperandBitflip { bit: 0 },
+        );
+        assert_eq!(
+            o.event,
+            Some(StepEvent::Checkpoint {
+                reg: Reg::R1,
+                value: 0b1011,
+                slot: 0
+            })
+        );
+        assert_eq!(m.regs().get(Reg::R1), 0b1010, "register itself untouched");
+    }
+
+    #[test]
+    fn opcode_corrupt_complements_writes_and_inverts_branches() {
+        let mut b = ProgramBuilder::new("t");
+        b.mov(Reg::R1, 5);
+        let yes = b.new_label("yes");
+        let no = b.new_label("no");
+        b.branch(Cond::Eq, Reg::R1, 7, yes, no); // not taken, cleanly
+        b.bind(yes);
+        b.mov(Reg::R2, 1);
+        b.halt();
+        b.bind(no);
+        b.mov(Reg::R2, 2);
+        b.halt();
+        let p = b.finish().unwrap();
+        let (pre, mut nvm, mut periph, mut m) = faulted_setup(&p);
+        let _ = m.step_faulted(&pre, &mut nvm, &mut periph, FaultEffect::OpcodeCorrupt);
+        assert_eq!(m.regs().get(Reg::R1), !5, "written value complemented");
+        // R1 != 7 either way, so the clean branch falls to `no`; the
+        // corrupted decode inverts it into the taken arm.
+        let _ = m.step_faulted(&pre, &mut nvm, &mut periph, FaultEffect::OpcodeCorrupt);
+        while !m.is_halted() {
+            let _ = m.step_predecoded(&pre, &mut nvm, &mut periph);
+        }
+        assert_eq!(
+            m.regs().get(Reg::R2),
+            1,
+            "inverted branch took the taken arm"
+        );
+    }
+
+    #[test]
+    fn faulted_terminators_jump_and_halt_normally() {
+        let mut b = ProgramBuilder::new("t");
+        let next = b.new_label("next");
+        b.jump(next);
+        b.bind(next);
+        b.halt();
+        let p = b.finish().unwrap();
+        let (pre, mut nvm, mut periph, mut m) = faulted_setup(&p);
+        let o = m.step_faulted(&pre, &mut nvm, &mut periph, FaultEffect::Skip);
+        assert_eq!(o.event, None, "jump executes despite the pulse");
+        let o = m.step_faulted(&pre, &mut nvm, &mut periph, FaultEffect::Skip);
+        assert_eq!(o.event, Some(StepEvent::Halted));
+        assert!(m.is_halted());
     }
 
     #[test]

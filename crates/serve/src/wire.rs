@@ -125,6 +125,7 @@ pub fn check_spec_value(spec: &CheckSpec) -> Json {
                     Json::Bool(e.power_failure_windows),
                 ),
                 ("emi_windows".into(), Json::Bool(e.emi_windows)),
+                ("fault_windows".into(), Json::Bool(e.fault_windows)),
                 ("refail_horizon".into(), Json::U64(e.refail_horizon)),
                 ("memoize".into(), Json::Bool(e.memoize)),
                 (
@@ -234,6 +235,7 @@ pub fn check_spec_from_value(v: &Json, path: &str) -> Result<CheckSpec, DecodeEr
                 "depth",
                 "power_failure_windows",
                 "emi_windows",
+                "fault_windows",
                 "refail_horizon",
                 "memoize",
                 "max_windows",
@@ -250,6 +252,9 @@ pub fn check_spec_from_value(v: &Json, path: &str) -> Result<CheckSpec, DecodeEr
         }
         if let Some(w) = opt(explore, "emi_windows") {
             e.emi_windows = as_bool(w, &format!("{epath}.emi_windows"))?;
+        }
+        if let Some(w) = opt(explore, "fault_windows") {
+            e.fault_windows = as_bool(w, &format!("{epath}.fault_windows"))?;
         }
         if let Some(h) = opt(explore, "refail_horizon") {
             e.refail_horizon = as_u64(h, &format!("{epath}.refail_horizon"))?;
@@ -503,7 +508,12 @@ mod tests {
             .app_names(&["blink", "crc16"])
             .unwrap()
             .schemes([SchemeKind::Gecko, SchemeKind::Nvp])
-            .explore(ExploreConfig::default().with_depth(2).with_max_windows(64))
+            .explore(
+                ExploreConfig::default()
+                    .with_depth(2)
+                    .with_max_windows(64)
+                    .with_fault_windows(true),
+            )
             .chunk_windows(32)
     }
 

@@ -25,6 +25,8 @@
 //!   recovery table (slot restores + recovery-block slices in a scratch
 //!   context), and probation-based JIT re-enablement (Section VI-F).
 
+use std::cell::Cell;
+
 use gecko_apps::App;
 use gecko_compiler::{
     compile, compile_ratchet, CompileError, CompileOptions, RecoveryTable, RegionTable,
@@ -32,11 +34,12 @@ use gecko_compiler::{
 };
 use gecko_ctpl::JitArea;
 use gecko_emi::{
-    AdcMonitor, AttackSchedule, ComparatorMonitor, DeviceModel, FilteredAdcMonitor, MonitorKind,
+    AdcMonitor, AttackSchedule, ComparatorMonitor, DeviceModel, FaultModel, FaultSchedule,
+    FilteredAdcMonitor, MonitorKind,
 };
 use gecko_energy::{segment, Capacitor, ConstantPower, PowerSource, VoltageThresholds};
 use gecko_isa::{CostModel, EnergyModel, Program, Reg, RegionId};
-use gecko_mcu::{Machine, Nvm, Pc, Peripherals, PredecodedProgram, StepEvent};
+use gecko_mcu::{FaultEffect, Machine, Nvm, Pc, Peripherals, PredecodedProgram, StepEvent};
 
 use crate::areas::{GeckoArea, GeckoMode, RatchetArea};
 use crate::metrics::Metrics;
@@ -106,6 +109,8 @@ pub struct SimConfig {
     pub harvester: Box<dyn PowerSource>,
     /// The attack schedule (possibly empty).
     pub attack: AttackSchedule,
+    /// The EM instruction-fault schedule (possibly empty).
+    pub fault: FaultSchedule,
     /// Compiler options for the instrumented schemes.
     pub compile: CompileOptions,
     /// Peripheral sensor seed.
@@ -128,6 +133,7 @@ impl SimConfig {
             initial_voltage_v: None,
             harvester: Box::new(ConstantPower::bench_supply()),
             attack: AttackSchedule::none(),
+            fault: FaultSchedule::none(),
             compile: CompileOptions::default(),
             seed: 7,
             adc_filter_taps: None,
@@ -149,6 +155,12 @@ impl SimConfig {
     /// Replaces the attack schedule (builder style).
     pub fn with_attack(mut self, attack: AttackSchedule) -> SimConfig {
         self.attack = attack;
+        self
+    }
+
+    /// Replaces the instruction-fault schedule (builder style).
+    pub fn with_fault(mut self, fault: FaultSchedule) -> SimConfig {
+        self.fault = fault;
         self
     }
 
@@ -302,6 +314,7 @@ pub struct SimSnapshot {
     wake_stable: u32,
     suppressed_s: f64,
     cycles_since_boot: u64,
+    pending_fault: Option<FaultEffect>,
     metrics: Metrics,
 }
 
@@ -379,6 +392,87 @@ impl CompiledApp {
     }
 }
 
+/// The simulator's view of a [`FaultSchedule`]: the armed subset of its
+/// windows plus a memoized constancy interval.
+///
+/// [`FaultSchedule::active_at`] / [`FaultSchedule::next_edge`] re-derive
+/// each window's path gain (dBm and coupling-distance math) on every
+/// query, which the per-instruction fault seam cannot afford — an armed
+/// but far-off window would tax every fault-free run. Arming is a pure
+/// per-window property and the active model is constant between
+/// consecutive armed edges, so the physics runs once per window at
+/// construction and each refresh pins the answers over
+/// `[from_s, until_s)`: the steady-state query is two float compares.
+/// A query at any instant outside the memoized interval — including time
+/// rewound by [`Simulator::restore`] — recomputes, so every answer is
+/// bit-identical to the uncached schedule's.
+#[derive(Debug)]
+struct FaultCache {
+    /// Armed `(start_s, end_s, model)` windows, in schedule order.
+    armed: Vec<(f64, f64, FaultModel)>,
+    /// Memoized interval start (inclusive).
+    from_s: Cell<f64>,
+    /// First armed edge strictly after `from_s` (exclusive memo end).
+    until_s: Cell<f64>,
+    /// The model active over the memoized interval.
+    active: Cell<Option<FaultModel>>,
+}
+
+impl FaultCache {
+    fn new(schedule: &FaultSchedule) -> FaultCache {
+        FaultCache {
+            armed: schedule
+                .windows()
+                .iter()
+                .filter(|f| f.is_armed())
+                .map(|f| (f.start_s, f.end_s, f.model))
+                .collect(),
+            // Empty interval: the first query refreshes.
+            from_s: Cell::new(f64::INFINITY),
+            until_s: Cell::new(f64::NEG_INFINITY),
+            active: Cell::new(None),
+        }
+    }
+
+    /// Recomputes the memo for the armed-edge interval containing `t_s`.
+    fn refresh(&self, t_s: f64) {
+        let mut active = None;
+        let mut until = f64::INFINITY;
+        for &(start, end, model) in &self.armed {
+            if active.is_none() && t_s >= start && t_s < end {
+                active = Some(model);
+            }
+            if start > t_s && start < until {
+                until = start;
+            }
+            if end > t_s && end < until {
+                until = end;
+            }
+        }
+        self.from_s.set(t_s);
+        self.until_s.set(until);
+        self.active.set(active);
+    }
+
+    /// The armed model covering `t_s` (first armed window wins),
+    /// mirroring [`FaultSchedule::active_at`].
+    fn active_at(&self, t_s: f64) -> Option<FaultModel> {
+        if !(t_s >= self.from_s.get() && t_s < self.until_s.get()) {
+            self.refresh(t_s);
+        }
+        self.active.get()
+    }
+
+    /// The next armed edge strictly after `t_s`, mirroring
+    /// [`FaultSchedule::next_edge`].
+    fn next_edge(&self, t_s: f64) -> f64 {
+        if !(t_s >= self.from_s.get() && t_s < self.until_s.get()) {
+            self.refresh(t_s);
+        }
+        self.until_s.get()
+    }
+}
+
 /// A running simulated device.
 #[derive(Debug)]
 pub struct Simulator {
@@ -401,6 +495,7 @@ pub struct Simulator {
     comp_backup: ComparatorMonitor,
     comp_wake: ComparatorMonitor,
     attack: AttackSchedule,
+    fault: FaultCache,
     harvester: Box<dyn PowerSource>,
 
     jit: JitArea,
@@ -428,6 +523,9 @@ pub struct Simulator {
     suppressed_s: f64,
     /// Active cycles since the last boot (volatile).
     cycles_since_boot: u64,
+    /// A one-shot fault armed by the checker's point injection: consumed
+    /// by the next retired instruction, ahead of any scheduled window.
+    pending_fault: Option<FaultEffect>,
     /// The compiler's static statistics (for experiment reporting).
     pub compile_stats: gecko_compiler::CompileStats,
     /// Accumulated metrics.
@@ -491,6 +589,7 @@ impl Simulator {
             comp_backup: ComparatorMonitor::default(),
             comp_wake: ComparatorMonitor::default(),
             attack: config.attack,
+            fault: FaultCache::new(&config.fault),
             harvester: config.harvester,
             jit: JitArea::new(NVM_WORDS - 64),
             gecko: GeckoArea::new(NVM_WORDS - 160),
@@ -513,6 +612,7 @@ impl Simulator {
             wake_stable: 0,
             suppressed_s: 0.0,
             cycles_since_boot: 0,
+            pending_fault: None,
             compile_stats: stats,
             metrics: Metrics::default(),
         };
@@ -772,6 +872,7 @@ impl Simulator {
             wake_stable: self.wake_stable,
             suppressed_s: self.suppressed_s,
             cycles_since_boot: self.cycles_since_boot,
+            pending_fault: self.pending_fault,
             metrics: self.metrics,
         }
     }
@@ -795,6 +896,7 @@ impl Simulator {
         self.wake_stable = snap.wake_stable;
         self.suppressed_s = snap.suppressed_s;
         self.cycles_since_boot = snap.cycles_since_boot;
+        self.pending_fault = snap.pending_fault;
         self.metrics = snap.metrics;
     }
 
@@ -835,6 +937,18 @@ impl Simulator {
         eat(self.periph.sense_count());
         eat(self.periph.blink_count());
         eat(self.periph.sent().len() as u64);
+        // An armed one-shot fault changes what the next instruction does,
+        // so two states differing only in it must not share a memo entry;
+        // the fault counters fold in so fault-visible histories stay
+        // distinguishable in digests built over this hash.
+        eat(match self.pending_fault {
+            None => 0,
+            Some(FaultEffect::Skip) => 1,
+            Some(FaultEffect::OpcodeCorrupt) => 2,
+            Some(FaultEffect::OperandBitflip { bit }) => 3 + (u64::from(bit) << 2),
+        });
+        eat(self.metrics.fault_skips);
+        eat(self.metrics.fault_corruptions);
         for pair in self.nvm.words().chunks(2) {
             let lo = pair[0] as u32 as u64;
             let hi = pair.get(1).map_or(0, |&w| w as u32 as u64);
@@ -886,6 +1000,19 @@ impl Simulator {
         self.wake_stable = 0;
         self.suppressed_s = 0.0;
         self.boot();
+    }
+
+    /// Fault injection: arms a one-shot EM instruction fault that the
+    /// *next* retired instruction suffers ([`gecko_mcu::FaultEffect`]),
+    /// taking precedence over any scheduled fault window. A no-op while
+    /// hibernating — a pulse with no instruction in flight corrupts
+    /// nothing. This is the crash-consistency checker's point-injection
+    /// primitive for the Moro-style fault kinds.
+    pub fn inject_instruction_fault(&mut self, fault: FaultEffect) {
+        if self.state != PowerState::On || self.machine.is_halted() {
+            return;
+        }
+        self.pending_fault = Some(fault);
     }
 
     // ----- state inspection (blame reporting) ---------------------------
@@ -1208,6 +1335,12 @@ impl Simulator {
         {
             return None;
         }
+        // Inside an armed fault window (or with a one-shot fault pending)
+        // every retired instruction mutates differently than the batched
+        // replay assumes: only the exact path injects.
+        if self.pending_fault.is_some() || self.fault.active_at(self.t_s).is_some() {
+            return None;
+        }
         let polls = self.jit_protocol_active() || self.probe == Some(false);
         let adc_polls = if polls {
             match self.monitor_kind {
@@ -1265,7 +1398,13 @@ impl Simulator {
         };
         let e_guard_j = 0.5 * self.cap.capacitance_f() * v_guard * v_guard;
         let slack = 2.0 * max_dt;
-        let t_guard = (power_until - slack).min(quiet_until - slack);
+        // A span must end before the next armed fault-window edge: faults
+        // strike executing instructions regardless of whether the monitor
+        // polls, so this horizon applies even when `quiet_until` does not.
+        let fault_until = self.fault.next_edge(self.t_s);
+        let t_guard = (power_until - slack)
+            .min(quiet_until - slack)
+            .min(fault_until - slack);
         Some(ActiveGuards {
             adc_polls,
             power,
@@ -1621,19 +1760,48 @@ impl Simulator {
 
     // ----- ON-state execution -------------------------------------------
 
+    /// The fault the instruction about to retire suffers, if any: a
+    /// checker-armed one-shot first, then the scheduled windows.
+    fn fault_in_flight(&mut self) -> Option<FaultEffect> {
+        if let Some(f) = self.pending_fault.take() {
+            return Some(f);
+        }
+        self.fault.active_at(self.t_s).map(|m| match m {
+            FaultModel::Skip => FaultEffect::Skip,
+            FaultModel::OpcodeCorrupt => FaultEffect::OpcodeCorrupt,
+            FaultModel::OperandBitflip { bit } => FaultEffect::OperandBitflip { bit },
+        })
+    }
+
     fn on_instruction(&mut self) {
-        let out = match self.exec_mode {
-            ExecMode::Predecoded => {
+        let out = match self.fault_in_flight() {
+            Some(fault) => {
+                match fault {
+                    FaultEffect::Skip => self.metrics.fault_skips += 1,
+                    FaultEffect::OpcodeCorrupt | FaultEffect::OperandBitflip { .. } => {
+                        self.metrics.fault_corruptions += 1
+                    }
+                }
+                // Both dispatch modes inject through the one predecoded
+                // fault seam: predecoding is a pure re-encoding with
+                // identical per-entry costs, so the two modes stay
+                // bit-identical under faults too.
                 self.machine
-                    .step_predecoded(&self.pre, &mut self.nvm, &mut self.periph)
+                    .step_faulted(&self.pre, &mut self.nvm, &mut self.periph, fault)
             }
-            ExecMode::Interpreted => self.machine.step(
-                &self.program,
-                &self.cost,
-                &self.energy,
-                &mut self.nvm,
-                &mut self.periph,
-            ),
+            None => match self.exec_mode {
+                ExecMode::Predecoded => {
+                    self.machine
+                        .step_predecoded(&self.pre, &mut self.nvm, &mut self.periph)
+                }
+                ExecMode::Interpreted => self.machine.step(
+                    &self.program,
+                    &self.cost,
+                    &self.energy,
+                    &mut self.nvm,
+                    &mut self.periph,
+                ),
+            },
         };
         let is_overhead = matches!(
             out.event,

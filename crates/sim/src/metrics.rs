@@ -39,6 +39,11 @@ pub struct Metrics {
     pub checkpoint_stores: u64,
     /// Region boundary commits executed.
     pub boundary_commits: u64,
+    /// Instructions skipped by an EM instruction fault.
+    pub fault_skips: u64,
+    /// Instructions corrupted (opcode or operand) by an EM instruction
+    /// fault.
+    pub fault_corruptions: u64,
     /// Total energy drawn from the capacitor (nJ).
     pub energy_nj: f64,
 }
@@ -59,6 +64,8 @@ crate::impl_record!(Metrics {
     jit_reenables,
     checkpoint_stores,
     boundary_commits,
+    fault_skips,
+    fault_corruptions,
     energy_nj
 });
 
@@ -83,6 +90,8 @@ impl Metrics {
         self.jit_reenables += other.jit_reenables;
         self.checkpoint_stores += other.checkpoint_stores;
         self.boundary_commits += other.boundary_commits;
+        self.fault_skips += other.fault_skips;
+        self.fault_corruptions += other.fault_corruptions;
         self.energy_nj += other.energy_nj;
     }
 

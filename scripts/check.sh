@@ -49,6 +49,13 @@ echo "    poll to completion, served result must be byte-identical to the librar
 cargo run --offline --release --example serve -- --smoke
 cargo test --offline --release -q -p gecko-serve --test e2e
 
+echo "==> fault smoke (EM instruction faults: bit-identical fault-free paths,"
+echo "    skip+refailure breaks Ratchet while GECKO verifies clean, fleet fault axis)"
+GECKO_QUICK=1 cargo test --offline --release -q -p gecko-sim --test faults
+GECKO_QUICK=1 cargo test --offline --release -q -p gecko-check --test faults
+GECKO_QUICK=1 cargo test --offline --release -q -p gecko-fleet --test faults
+cargo run --offline --release --example fault_lab
+
 echo "==> bench smoke (fast-path + event-horizon + batch_step coalescing floors, BENCH_sim.json)"
 GECKO_QUICK=1 cargo bench --offline -p gecko-bench --bench fast_path
 
