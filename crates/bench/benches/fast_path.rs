@@ -34,6 +34,11 @@
 //!    campaign (the fast path is on by default for every worker).
 //! 5. **Checker** — `gecko-check` windows/s with the hibernation
 //!    fast-forward on vs off; the two reports must match exactly.
+//!    * **Incremental check** — the same campaign cold (fresh memo
+//!      store) vs warm (store reopened from disk). Warm must answer
+//!      ≥ 90% of windows from the persisted memo; the deterministic
+//!      warm-over-cold work ratio is asserted `>= 5x`; digests must
+//!      match the store-free reference either way.
 //! 6. **Campaign resume** — the same fleet campaign with a resume journal
 //!    attached, vs plain, vs replayed from a complete journal. The clean
 //!    path must absorb supervision + journaling for < 2% overhead, and a
@@ -802,6 +807,109 @@ fn bench_checker(rows: &mut Vec<BenchRow>, quick: bool) {
     );
 }
 
+/// Section 5b: incremental persistent checking — the same campaign run
+/// cold (fresh [`gecko_check::MemoStore`]) and warm (store reopened from
+/// disk). The headline is *deterministic*: windows the cold run explored
+/// over windows the warm run had to re-explore, derived from the
+/// memo-window counters rather than wall time, so the `>= 5x` floor
+/// cannot flake on a loaded box. Wall ns/window is printed for scale.
+/// Digest equality against the store-free reference is asserted on every
+/// run — incremental checking must be invisible to the verdicts.
+fn bench_incremental_check(rows: &mut Vec<BenchRow>, quick: bool) {
+    use gecko_check::{war_counter_app, CheckCampaign, CheckSpec, MemoStore};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    let cap = if quick { 60 } else { 200 };
+    let spec = || {
+        CheckSpec::new("bench_incremental")
+            .apps([war_counter_app(6)])
+            .app_names(&["crc16"])
+            .expect("crc16 is bundled")
+            .schemes([SchemeKind::Gecko])
+            .explore(ExploreConfig::default().with_max_windows(cap))
+            .chunk_windows(32)
+    };
+    let reference = CheckCampaign::new(spec()).run().expect("reference runs");
+
+    let dir = std::env::temp_dir().join(format!("gecko-bench-incr-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let cold_started = Instant::now();
+    let cold = CheckCampaign::new(spec())
+        .memo(Arc::new(MemoStore::open(&dir).expect("store opens")))
+        .run()
+        .expect("cold run");
+    let cold_wall = cold_started.elapsed();
+    let warm_started = Instant::now();
+    let warm = CheckCampaign::new(spec())
+        .memo(Arc::new(MemoStore::open(&dir).expect("store reopens")))
+        .run()
+        .expect("warm run");
+    let warm_wall = warm_started.elapsed();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    assert_eq!(
+        cold.deterministic_digest(),
+        reference.deterministic_digest(),
+        "attaching a memo store must not change the report"
+    );
+    assert_eq!(
+        warm.deterministic_digest(),
+        reference.deterministic_digest(),
+        "a warm re-check must certify the identical report"
+    );
+    assert_eq!(cold.counters.memo_windows, 0, "cold means cold");
+
+    let windows = warm.totals.windows;
+    let memo = warm.counters.memo_windows;
+    assert!(
+        memo * 10 >= windows * 9,
+        "warm re-checks must answer >= 90% of windows from the persisted \
+         memo (got {memo}/{windows})"
+    );
+    // Deterministic warm-over-cold work ratio: every window costs an
+    // exploration cold; warm only re-explores the non-memoized remainder.
+    let ratio = windows as f64 / (windows - memo).max(1) as f64;
+
+    print_table(
+        &format!("incremental check, warcount+crc16 under GECKO, {windows} windows"),
+        &["path", "explored", "memo", "wall", "ns/window"],
+        &[
+            vec![
+                "cold".to_string(),
+                windows.to_string(),
+                "0".to_string(),
+                format!("{:.1}ms", cold_wall.as_secs_f64() * 1e3),
+                format!("{:.0}", cold_wall.as_nanos() as f64 / windows.max(1) as f64),
+            ],
+            vec![
+                "warm".to_string(),
+                (windows - memo).to_string(),
+                memo.to_string(),
+                format!("{:.1}ms", warm_wall.as_secs_f64() * 1e3),
+                format!("{:.0}", warm_wall.as_nanos() as f64 / windows.max(1) as f64),
+            ],
+        ],
+    );
+    rows.push(BenchRow {
+        section: "incremental_check".to_string(),
+        scheme: "gecko".to_string(),
+        app: "warcount+crc16".to_string(),
+        steps: windows,
+        ff_ticks: memo,
+        eh_insts: 0,
+        ratio,
+        wall_ms: warm_wall.as_secs_f64() * 1e3,
+        rate_per_s: windows as f64 / warm_wall.as_secs_f64().max(1e-9),
+    });
+    assert!(
+        ratio >= 5.0,
+        "warm re-checks must do >= 5x less exploration work than cold \
+         (got {ratio:.1}x: {memo}/{windows} memo-answered)"
+    );
+    println!("ok: warm re-check does {ratio:.0}x less exploration work than cold");
+}
+
 /// Section 8: `gecko-store` prune tick — full compaction of a campaign
 /// journal appended twice over (so half the records are superseded),
 /// fsync-and-rename rewrites included. The bound is per *line scanned*,
@@ -902,6 +1010,7 @@ fn main() {
     bench_serve_submit(&mut rows, quick);
     bench_prune_tick(&mut rows, quick);
     bench_checker(&mut rows, quick);
+    bench_incremental_check(&mut rows, quick);
     save_rows("BENCH_sim", &rows);
     let summary: Vec<SummaryRow> = rows
         .iter()

@@ -21,27 +21,45 @@
 //! [`Blame`](crate::verdict::Blame) context is rebuilt on resume by
 //! [`crate::shrink::replay`], which is deterministic.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use gecko_apps::App;
-use gecko_compiler::{CompileError, CompileOptions};
+use gecko_compiler::{fingerprint_program, CompileError, CompileOptions, ProgramFingerprints};
 use gecko_fleet::journal::{decode_header, encode_header, field, parse_flat_json, JsonScalar};
 use gecko_fleet::telemetry::json_kv;
 use gecko_fleet::{
-    quarantine, run_supervised, AttemptFail, ChaosSink, ChaosSpec, Event, FleetCounters, Journal,
-    NullSink, PoolConfig, ProgramCache, RunFailure, SupervisorSpec, TelemetrySink,
+    quarantine, run_supervised, AttemptFail, ChaosSink, ChaosSpec, Event, FleetCounters, Frontier,
+    Journal, NullSink, PoolConfig, ProgramCache, RunFailure, SupervisorSpec, TelemetrySink,
 };
 use gecko_sim::device::CompiledApp;
-use gecko_sim::{SchemeKind, Value};
+use gecko_sim::{SchemeKind, Simulator, Value};
 use gecko_store::Verdict;
 
-use crate::explore::{check_windows, golden_steps, ExploreConfig, GoldenError};
+use crate::explore::{
+    check_windows, check_windows_resumed, golden_steps, ExploreConfig, GoldenError, NullObserver,
+    SlabPrefix,
+};
+use crate::memostore::{MemoStore, SlabWriter};
 use crate::shrink::{replay, shrink_schedule};
 use crate::verdict::{CheckStats, InjectionKind, PairReport, PlannedInjection, Violation};
 use crate::Outcome;
+
+thread_local! {
+    /// Worker-local simulator carry: `(pair, golden position, simulator)`
+    /// left behind by the last chunk this worker completed. When the same
+    /// worker claims the adjacent chunk of the same pair — the common case
+    /// under the frontier's contiguous leases — the carried simulator is
+    /// already positioned on the chunk's first window and the O(start)
+    /// re-advance is skipped. Pure wall-clock: the golden-trace state at a
+    /// step is unique, so a carried simulator is bit-identical to a fresh
+    /// one advanced to the same step, and `CheckStats` never count the
+    /// repositioning either way.
+    static SIM_CARRY: RefCell<Option<(usize, u64, Simulator)>> = const { RefCell::new(None) };
+}
 
 /// What to check: the (apps × schemes) grid plus exploration policy.
 #[derive(Debug, Clone)]
@@ -143,7 +161,12 @@ impl CheckSpec {
         h = fnv_u64(h, self.compile.wcet_budget_cycles.unwrap_or(u64::MAX));
         h = fnv_u64(h, self.compile.prune as u64);
         h = fnv_u64(h, self.compile.max_slice_insts as u64);
-        h = fnv_u64(h, self.chunk_windows);
+        // Fingerprint the *effective* chunk size: the run loop clamps a
+        // raw 0 (possible via the pub field) to 1, so two specs that
+        // differ only in 0-vs-1 chunk the grid identically and must hash
+        // identically — otherwise a resume journal written by one would
+        // be spuriously dropped by the other.
+        h = fnv_u64(h, self.chunk_windows.max(1));
         h = fnv_u64(h, self.shrink as u64);
         h = fnv_u64(h, self.shrink_budget);
         h
@@ -266,14 +289,14 @@ pub fn check_app(
 const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
 const FNV_PRIME: u64 = 0x1000_0000_01b3;
 
-fn fnv_u64(mut h: u64, v: u64) -> u64 {
+pub(crate) fn fnv_u64(mut h: u64, v: u64) -> u64 {
     for byte in v.to_le_bytes() {
         h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
     }
     h
 }
 
-fn fnv_str(mut h: u64, s: &str) -> u64 {
+pub(crate) fn fnv_str(mut h: u64, s: &str) -> u64 {
     h = fnv_u64(h, s.len() as u64);
     for byte in s.bytes() {
         h = (h ^ byte as u64).wrapping_mul(FNV_PRIME);
@@ -299,11 +322,11 @@ const CHUNK_DONE: &str = "chunk_done";
 
 /// A violation as journaled: schedule + outcome only. `Blame` is derived
 /// state and is rebuilt by a deterministic [`replay`] on resume.
-#[derive(Debug, PartialEq)]
-struct JournaledViolation {
-    window: u64,
-    schedule: Vec<PlannedInjection>,
-    outcome: Outcome,
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct JournaledViolation {
+    pub(crate) window: u64,
+    pub(crate) schedule: Vec<PlannedInjection>,
+    pub(crate) outcome: Outcome,
 }
 
 #[derive(Debug, PartialEq)]
@@ -317,7 +340,7 @@ struct JournaledChunk {
 /// prune classifier and resume diagnostics can tell dead weight from
 /// forward-compatible records.
 #[derive(Debug, Clone, PartialEq, Eq)]
-enum ChunkLineError {
+pub(crate) enum ChunkLineError {
     /// Structurally broken (half-written, wrong field types): invisible
     /// to every decoder, safe to prune.
     Malformed {
@@ -377,7 +400,7 @@ impl JournalDiagnostic {
 }
 
 /// `"12p,3c"` — offset plus a one-letter injection kind per element.
-fn encode_schedule(schedule: &[PlannedInjection]) -> String {
+pub(crate) fn encode_schedule(schedule: &[PlannedInjection]) -> String {
     let parts: Vec<String> = schedule
         .iter()
         .map(|inj| {
@@ -394,7 +417,10 @@ fn encode_schedule(schedule: &[PlannedInjection]) -> String {
     parts.join(",")
 }
 
-fn decode_schedule(text: &str, path: &str) -> Result<Vec<PlannedInjection>, ChunkLineError> {
+pub(crate) fn decode_schedule(
+    text: &str,
+    path: &str,
+) -> Result<Vec<PlannedInjection>, ChunkLineError> {
     if text.is_empty() {
         return Ok(Vec::new());
     }
@@ -431,7 +457,7 @@ fn decode_schedule(text: &str, path: &str) -> Result<Vec<PlannedInjection>, Chun
         .collect()
 }
 
-fn encode_outcome(outcome: Outcome) -> String {
+pub(crate) fn encode_outcome(outcome: Outcome) -> String {
     match outcome {
         Outcome::Clean => "clean".to_string(),
         // `Word` is i32; store the bit pattern so parsing stays unsigned.
@@ -440,7 +466,7 @@ fn encode_outcome(outcome: Outcome) -> String {
     }
 }
 
-fn decode_outcome(text: &str, path: &str) -> Result<Outcome, ChunkLineError> {
+pub(crate) fn decode_outcome(text: &str, path: &str) -> Result<Outcome, ChunkLineError> {
     match text {
         "clean" => Ok(Outcome::Clean),
         "stuck" => Ok(Outcome::Stuck),
@@ -668,6 +694,8 @@ pub struct CheckCampaign {
     sink: Arc<dyn TelemetrySink>,
     sup: SupervisorSpec,
     journal: Option<Arc<Journal>>,
+    memo: Option<Arc<MemoStore>>,
+    steal_bias: u64,
     halt_after: Option<u64>,
     kill_switch: Option<Arc<std::sync::atomic::AtomicBool>>,
 }
@@ -681,6 +709,8 @@ impl CheckCampaign {
             sink: Arc::new(NullSink),
             sup: SupervisorSpec::default(),
             journal: None,
+            memo: None,
+            steal_bias: 500,
             halt_after: None,
             kill_switch: None,
         }
@@ -731,6 +761,27 @@ impl CheckCampaign {
     /// Alias for [`CheckCampaign::journal`], reading as intent.
     pub fn resume(self, journal: Arc<Journal>) -> CheckCampaign {
         self.journal(journal)
+    }
+
+    /// Attaches a durable memo store (builder style): every chunk's
+    /// logical-state memo table and completion frontier persist through
+    /// [`MemoStore`] as the chunk explores, and a later campaign over the
+    /// same spec answers complete chunks from disk, resumes partial ones
+    /// mid-chunk, and re-explores only chunks whose blamed compiled
+    /// regions changed (DESIGN.md §18). Results are bit-identical with
+    /// and without a store, cold or warm.
+    pub fn memo(mut self, memo: Arc<MemoStore>) -> CheckCampaign {
+        self.memo = Some(memo);
+        self
+    }
+
+    /// Sets the work-stealing split bias in permille — the fraction of a
+    /// stolen lease its victim keeps (builder style; clamped to ≤ 999,
+    /// default 500 = halving). Pure scheduling: results are bit-identical
+    /// for any value.
+    pub fn steal_bias(mut self, permille: u64) -> CheckCampaign {
+        self.steal_bias = permille;
+        self
     }
 
     /// Stops claiming new chunks once `n` have been accounted this
@@ -814,10 +865,14 @@ impl CheckCampaign {
         // Fixed-size chunks, in pair order: the item list depends only on
         // the spec, never on the worker count.
         let mut items = Vec::new();
+        // Clamp the raw field like the builder does: a 0 set through the
+        // pub field must chunk (and fingerprint) exactly like 1, not
+        // loop forever.
+        let chunk_windows = spec.chunk_windows.max(1);
         for (pair, p) in pairs.iter().enumerate() {
             let mut start = 0;
             while start < p.windows {
-                let end = (start + spec.chunk_windows).min(p.windows);
+                let end = (start + chunk_windows).min(p.windows);
                 items.push(WorkItem { pair, start, end });
                 start = end;
             }
@@ -853,6 +908,20 @@ impl CheckCampaign {
             .collect();
         let fingerprint = spec.fingerprint(&run_keys);
 
+        // Region fingerprints, one per pair, when a memo store is
+        // attached: the identity change-driven invalidation keys on (a
+        // persisted slab stays valid if the whole program is unchanged,
+        // or if every region its exploration blamed is unchanged).
+        let fps: Vec<ProgramFingerprints> = if self.memo.is_some() {
+            pairs
+                .iter()
+                .map(|p| fingerprint_program(&p.compiled.program, &p.compiled.recovery))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let memo_generation = self.memo.as_ref().map(|m| m.begin(&spec.name, fingerprint));
+
         // Restore completed chunks from the journal (and stamp the header
         // on a fresh one). A journaled violation carries no blame — that
         // is rebuilt here by replaying its schedule, and the chunk is
@@ -860,8 +929,10 @@ impl CheckCampaign {
         let mut skip = vec![false; items.len()];
         let mut restored: Vec<Option<(CheckStats, Vec<Violation>)>> = Vec::new();
         restored.resize_with(items.len(), || None);
+        let mut journal_diagnostics = 0u64;
         if let Some(journal) = &self.journal {
             let (header, chunks, diagnostics) = decode_chunks(&journal.lines());
+            journal_diagnostics = diagnostics.len() as u64;
             // Surface undecodable chunk lines instead of silently
             // re-exploring them: an unknown tag means the journal was
             // written by a different (likely newer) vocabulary.
@@ -915,6 +986,59 @@ impl CheckCampaign {
                 }
             }
         }
+
+        // Memo restore pass (after the journal's — this campaign's own
+        // completed chunks win). A complete slab answers the whole chunk
+        // from disk; a partial slab becomes a [`SlabPrefix`] and the
+        // chunk resumes mid-slab. Violations are replay-validated exactly
+        // like journaled ones before anything is trusted.
+        let mut prefixes: Vec<Mutex<Option<SlabPrefix>>> = Vec::new();
+        prefixes.resize_with(items.len(), Default::default);
+        let mut memo_windows = 0u64;
+        if let Some(memo) = &self.memo {
+            for (i, key) in run_keys.iter().enumerate() {
+                if skip[i] {
+                    continue;
+                }
+                let item = items[i];
+                let p = &pairs[item.pair];
+                let Some(slab) = memo.restore(*key, p.golden, &fps[item.pair]) else {
+                    continue;
+                };
+                let mut violations = Vec::with_capacity(slab.violations.len());
+                let mut consistent = true;
+                for jv in &slab.violations {
+                    let (outcome, blame) =
+                        replay(&p.compiled, &spec.explore, &jv.schedule, p.golden);
+                    if outcome != jv.outcome {
+                        consistent = false;
+                        break;
+                    }
+                    violations.push(Violation {
+                        window: jv.window,
+                        schedule: jv.schedule.clone(),
+                        outcome,
+                        blame,
+                    });
+                }
+                if !consistent {
+                    continue;
+                }
+                memo_windows += slab.done;
+                if slab.done >= slab.total {
+                    skip[i] = true;
+                    restored[i] = Some((slab.stats, violations));
+                } else {
+                    *prefixes[i].lock().unwrap_or_else(|p| p.into_inner()) = Some(SlabPrefix {
+                        windows_done: slab.done,
+                        stats: slab.stats,
+                        violations,
+                        regions: slab.regions,
+                        memo: slab.memo,
+                    });
+                }
+            }
+        }
         let resumed = skip.iter().filter(|&&s| s).count() as u64;
 
         sink.emit(Event::new(
@@ -933,6 +1057,24 @@ impl CheckCampaign {
         // fleet's workload-derived default.
         let mut budget = self.sup.resolve_budget(0.0);
         budget.max_steps = self.sup.max_steps.unwrap_or(u64::MAX);
+
+        // Work-stealing frontier: one contiguous index range per pair, so
+        // a worker's lease is a run of adjacent chunks (the simulator-
+        // carry fast path) and it steals across pairs only when its own
+        // run dries up. Skipped (restored) indices stay inside the ranges
+        // — the pool accounts for them without re-running anything.
+        let mut ranges: Vec<(usize, usize)> = Vec::new();
+        let mut prev_pair = usize::MAX;
+        for (i, item) in items.iter().enumerate() {
+            if item.pair == prev_pair {
+                ranges.last_mut().expect("non-empty on repeat pair").1 = i + 1;
+            } else {
+                ranges.push((i, i + 1));
+                prev_pair = item.pair;
+            }
+        }
+        let frontier = Frontier::new(&ranges, workers).with_bias(self.steal_bias);
+
         let pool_cfg = PoolConfig {
             workers,
             run_keys: &run_keys,
@@ -941,14 +1083,63 @@ impl CheckCampaign {
             budget,
             halt_after: self.halt_after.map(|n| n + resumed),
             stop: self.kill_switch.as_deref(),
+            claim: Some(&frontier),
             sink: &sink,
         };
         let journal = self.journal.as_deref();
         let pool = run_supervised(&pool_cfg, |i, attempt, budget, attempt_started| {
             let item = items[i];
             let p = &pairs[item.pair];
-            let (stats, violations) =
-                check_windows(&p.compiled, &spec.explore, item.start, item.end, p.golden);
+            // A restored partial slab is taken (not cloned): a retry after
+            // a failed attempt re-explores from scratch, which is the
+            // uninterrupted run by definition.
+            let prefix = prefixes[i].lock().unwrap_or_else(|e| e.into_inner()).take();
+            let prefix_done = prefix.as_ref().map_or(0, |pre| pre.windows_done);
+            // Reuse this worker's parked simulator when it is positioned
+            // exactly on this chunk's first unchecked window (see
+            // `SIM_CARRY`); otherwise a fresh one re-advances.
+            let carry = SIM_CARRY.with(|c| match c.borrow_mut().take() {
+                Some((pair, pos, sim)) if pair == item.pair && pos == item.start + prefix_done => {
+                    Some(sim)
+                }
+                _ => None,
+            });
+            let (outcome, end_sim) = if let Some(memo) = &self.memo {
+                let mut writer = SlabWriter::new(
+                    memo,
+                    &fps[item.pair],
+                    run_keys[i],
+                    item.start,
+                    item.end,
+                    p.golden,
+                    prefix_done,
+                );
+                let out = check_windows_resumed(
+                    &p.compiled,
+                    &spec.explore,
+                    item.start,
+                    item.end,
+                    p.golden,
+                    carry,
+                    prefix,
+                    &mut writer,
+                );
+                writer.finish(&out.0);
+                out
+            } else {
+                check_windows_resumed(
+                    &p.compiled,
+                    &spec.explore,
+                    item.start,
+                    item.end,
+                    p.golden,
+                    carry,
+                    prefix,
+                    &mut NullObserver,
+                )
+            };
+            let stats = outcome.stats;
+            let violations = outcome.violations;
             if stats.steps > budget.max_steps {
                 return Err(AttemptFail::TimedOut {
                     steps: stats.steps,
@@ -959,6 +1150,8 @@ impl CheckCampaign {
             if let Some(journal) = journal {
                 journal.append(&encode_chunk(run_keys[i], i, &stats, &violations));
             }
+            // Park the end-positioned simulator for the adjacent chunk.
+            SIM_CARRY.with(|c| *c.borrow_mut() = Some((item.pair, item.end, end_sim)));
             sink.emit(Event::new(
                 "check_item_finished",
                 vec![
@@ -977,6 +1170,11 @@ impl CheckCampaign {
         // Per-chunk appends stay fsync-free to keep the hot path cheap.
         if let Some(journal) = journal {
             journal.sync();
+        }
+        // Same boundary for the memo store: records appended by the pool
+        // are durable before the report (or a pruner) can see them.
+        if let Some(memo) = &self.memo {
+            memo.sync();
         }
 
         // Deterministic merge, in item order (chunks of a pair are in
@@ -1072,6 +1270,9 @@ impl CheckCampaign {
             retries: pool.retries,
             resumed,
             dropped_records,
+            journal_diagnostics,
+            memo_windows,
+            frontier_steals: frontier.steals(),
             // Checks always run per item; the batch counters stay zero.
             ..FleetCounters::default()
         };
@@ -1102,6 +1303,7 @@ impl CheckCampaign {
             counters,
             failures,
             halted: pool.halted,
+            memo_generation,
             wall_s,
         })
     }
@@ -1125,6 +1327,12 @@ pub struct CheckReport {
     pub failures: Vec<RunFailure>,
     /// Whether the pool stopped early because `halt_after` was reached.
     pub halted: bool,
+    /// The memo-store generation this run's verdicts belong to, when a
+    /// store was attached — a proof-of-clean digest can name it to say
+    /// *which* persisted evidence backs the claim. Not part of
+    /// [`deterministic_digest`](CheckReport::deterministic_digest):
+    /// cold and warm runs must certify identically.
+    pub memo_generation: Option<u64>,
     /// Campaign wall time (s).
     pub wall_s: f64,
 }
@@ -1386,5 +1594,32 @@ mod tests {
             sample_chunk(2, 1, 512),
         ];
         assert_eq!(classify_check_lines(&lines), vec![Verdict::Keep; 3]);
+    }
+
+    #[test]
+    fn fingerprint_hashes_the_effective_chunk_size() {
+        // The run loop clamps a raw 0 (set through the pub field) to 1,
+        // so the fingerprint must too: both specs chunk the grid
+        // identically and must accept each other's resume journals.
+        let keys = [1u64, 2, 3];
+        let mut zero = CheckSpec::new("t");
+        zero.chunk_windows = 0;
+        let one = CheckSpec::new("t").chunk_windows(1);
+        assert_eq!(zero.fingerprint(&keys), one.fingerprint(&keys));
+        let two = CheckSpec::new("t").chunk_windows(2);
+        assert_ne!(one.fingerprint(&keys), two.fingerprint(&keys));
+    }
+
+    #[test]
+    fn undecodable_journal_lines_are_counted_in_the_report() {
+        let spec = CheckSpec::new("diag")
+            .apps([crate::testprog::war_counter_app(3)])
+            .schemes([SchemeKind::Gecko])
+            .explore(ExploreConfig::default().with_max_windows(6));
+        let journal = Arc::new(Journal::memory());
+        journal.append(r#"{"kind":"chunk_done","run_key":"oops"}"#);
+        let report = CheckCampaign::new(spec).journal(journal).run().unwrap();
+        assert_eq!(report.counters.journal_diagnostics, 1);
+        assert!(report.is_clean());
     }
 }

@@ -11,7 +11,7 @@
 //! for why the logical-state hash is a sound memo key under an undisturbed
 //! bench supply).
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 use gecko_sim::device::CompiledApp;
 use gecko_sim::{SimConfig, Simulator};
@@ -205,6 +205,87 @@ impl std::fmt::Display for GoldenError {
 /// per work-item chunk, so memo-hit counts are worker-count-invariant.
 pub(crate) type MemoTable = HashMap<u64, Outcome>;
 
+/// A memo table plus the insertion log of entries discovered *this run*
+/// (restored entries are preloaded into the table only). The log is what a
+/// persistent store flushes: replaying it over the restored entries
+/// rebuilds the table exactly.
+pub(crate) struct MemoLog {
+    table: MemoTable,
+    log: Vec<(u64, Outcome)>,
+}
+
+impl MemoLog {
+    fn preloaded(entries: &[(u64, Outcome)]) -> MemoLog {
+        MemoLog {
+            table: entries.iter().copied().collect(),
+            log: Vec::new(),
+        }
+    }
+}
+
+/// Resumable progress of one window slab: everything a mid-slab restart
+/// needs to continue bit-exactly where a killed run stopped.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SlabPrefix {
+    /// Windows of the slab already checked (the next window is
+    /// `start + windows_done`).
+    pub windows_done: u64,
+    /// Cumulative counters over those windows.
+    pub stats: CheckStats,
+    /// Violations found in those windows, in window order.
+    pub violations: Vec<Violation>,
+    /// Raw region ids blamed by any fork so far.
+    pub regions: BTreeSet<u32>,
+    /// Memo entries to preload (state hash → outcome).
+    pub memo: Vec<(u64, Outcome)>,
+}
+
+/// Final result of one slab: cumulative counters, violations in window
+/// order, and every region any fork blamed (the invalidation footprint a
+/// persistent memo keys on).
+pub(crate) struct SlabOutcome {
+    /// Cumulative counters (prefix included when resumed).
+    pub stats: CheckStats,
+    /// Violations in window order (prefix included when resumed).
+    pub violations: Vec<Violation>,
+    /// Raw region ids blamed by any fork of the slab.
+    pub regions: BTreeSet<u32>,
+}
+
+/// A read-only view of slab progress, handed to the observer after every
+/// completed window. All fields are cumulative over the slab (including a
+/// restored prefix), except `fresh_memo`, which holds only the memo
+/// entries discovered this run — exactly what a durable store has not yet
+/// seen.
+pub(crate) struct SlabProgress<'a> {
+    /// Windows completed so far (absolute within the slab).
+    pub windows_done: u64,
+    /// Cumulative counters.
+    pub stats: &'a CheckStats,
+    /// Violations so far, in window order.
+    pub violations: &'a [Violation],
+    /// Regions blamed so far.
+    pub regions: &'a BTreeSet<u32>,
+    /// Memo entries discovered this run, in insertion order.
+    pub fresh_memo: &'a [(u64, Outcome)],
+}
+
+/// Observes slab progress window by window — the persistence seam. The
+/// exploration loop is observer-blind: verdicts, counters and step counts
+/// are bit-identical whatever the observer does.
+pub(crate) trait ExploreObserver {
+    /// Called after each window completes (the simulator is already
+    /// repositioned on the next window).
+    fn window_done(&mut self, progress: SlabProgress<'_>);
+}
+
+/// The no-op observer ([`check_windows`] uses it).
+pub(crate) struct NullObserver;
+
+impl ExploreObserver for NullObserver {
+    fn window_done(&mut self, _progress: SlabProgress<'_>) {}
+}
+
 /// Explores the windows `start..end` of the golden trace and returns the
 /// chunk's counters and violations (in window order). `golden` is the
 /// trace length from [`golden_steps`]; `end` must not exceed it.
@@ -215,21 +296,67 @@ pub(crate) fn check_windows(
     end: u64,
     golden: u64,
 ) -> (CheckStats, Vec<Violation>) {
+    let (out, _) = check_windows_resumed(
+        compiled,
+        cfg,
+        start,
+        end,
+        golden,
+        None,
+        None,
+        &mut NullObserver,
+    );
+    (out.stats, out.violations)
+}
+
+/// The resumable core of [`check_windows`]: explores windows
+/// `start + prefix.windows_done .. end`, continuing from a restored
+/// [`SlabPrefix`] (counters, violations, regions and memo preload) and —
+/// when the caller hands back a simulator already positioned on the first
+/// unchecked window — reusing it instead of re-advancing a fresh one from
+/// step 0. Returns the slab outcome plus the simulator positioned at
+/// `end`, ready to carry into an adjacent slab.
+///
+/// Resume determinism: the memo table is per-slab and `settle_and_check`
+/// replays restored entries as hits, so a run resumed mid-slab produces
+/// the same cumulative `CheckStats` (and identical violations) as an
+/// uninterrupted run of the whole slab — the repositioning `advance` is
+/// not counted in `stats.steps` either way.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn check_windows_resumed(
+    compiled: &CompiledApp,
+    cfg: &ExploreConfig,
+    start: u64,
+    end: u64,
+    golden: u64,
+    carry: Option<Simulator>,
+    prefix: Option<SlabPrefix>,
+    observer: &mut dyn ExploreObserver,
+) -> (SlabOutcome, Simulator) {
     debug_assert!(end <= golden);
     let budget = explore_budget(golden);
     let primary = cfg.primary_kinds();
     let nested = cfg.nested_kinds();
-    let mut memo = MemoTable::new();
-    let mut stats = CheckStats::default();
-    let mut violations = Vec::new();
+    let prefix = prefix.unwrap_or_default();
+    let first = start + prefix.windows_done.min(end.saturating_sub(start));
+    let mut memo = MemoLog::preloaded(&prefix.memo);
+    let mut stats = prefix.stats;
+    let mut violations = prefix.violations;
+    let mut regions = prefix.regions;
 
-    let mut sim = checker_sim(compiled, cfg.seed, cfg.fast_forward);
-    // Reposition onto the golden trace at the chunk's first window.
-    // `advance` coalesces where it can and lands bit-identically to
-    // `start` individual steps.
-    sim.advance(start);
+    let mut sim = match carry {
+        Some(sim) => sim,
+        None => {
+            let mut sim = checker_sim(compiled, cfg.seed, cfg.fast_forward);
+            // Reposition onto the golden trace at the first unchecked
+            // window. `advance` coalesces where it can and lands
+            // bit-identically to `first` individual steps.
+            sim.advance(first);
+            sim
+        }
+    };
 
-    for window in start..end {
+    for window in first..end {
         stats.windows += 1;
         let base = sim.snapshot();
         for &kind in &primary {
@@ -241,6 +368,9 @@ pub(crate) fn check_windows(
             } else {
                 Blame::capture(&sim, compiled)
             };
+            if let Some(r) = blame.region {
+                regions.insert(r.index() as u32);
+            }
             let outcome = settle_and_check(&mut sim, compiled, cfg, budget, &mut memo, &mut stats);
             // The oracle. For the classic kinds the reference execution is
             // the golden run, so any corrupt completion violates. For the
@@ -294,6 +424,9 @@ pub(crate) fn check_windows(
                         let resume = sim.snapshot();
                         nk.inject(&mut sim);
                         let mut blame2 = Blame::capture(&sim, compiled);
+                        if let Some(r) = blame2.region {
+                            regions.insert(r.index() as u32);
+                        }
                         if let Some(site) = &fault_site {
                             blame2.detail = format!("{site}; then {}", blame2.detail);
                         }
@@ -332,8 +465,22 @@ pub(crate) fn check_windows(
         }
         // Advance the golden trace to the next window.
         sim.step_one();
+        observer.window_done(SlabProgress {
+            windows_done: window + 1 - start,
+            stats: &stats,
+            violations: &violations,
+            regions: &regions,
+            fresh_memo: &memo.log,
+        });
     }
-    (stats, violations)
+    (
+        SlabOutcome {
+            stats,
+            violations,
+            regions,
+        },
+        sim,
+    )
 }
 
 /// Advances `n` qualifying steps for injection kind `kind` (see
@@ -373,7 +520,7 @@ fn settle_and_check(
     compiled: &CompiledApp,
     cfg: &ExploreConfig,
     budget: u64,
-    memo: &mut MemoTable,
+    memo: &mut MemoLog,
     stats: &mut CheckStats,
 ) -> Outcome {
     // Recovery phase: recharge, debounced wake, boot, restore. Sleeping
@@ -395,7 +542,7 @@ fn settle_and_check(
     }
     let key = sim.state_hash();
     if cfg.memoize {
-        if let Some(&cached) = memo.get(&key) {
+        if let Some(&cached) = memo.table.get(&key) {
             stats.memo_hits += 1;
             return cached;
         }
@@ -419,7 +566,8 @@ fn settle_and_check(
         }
     };
     if cfg.memoize {
-        memo.insert(key, outcome);
+        memo.table.insert(key, outcome);
+        memo.log.push((key, outcome));
     }
     outcome
 }

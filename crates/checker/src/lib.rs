@@ -51,6 +51,7 @@
 
 pub mod campaign;
 pub mod explore;
+pub mod memostore;
 pub mod shrink;
 pub mod testprog;
 pub mod verdict;
@@ -60,6 +61,7 @@ pub use campaign::{
     CheckCampaign, CheckError, CheckReport, CheckSpec, JournalDiagnostic,
 };
 pub use explore::{golden_steps, ExploreConfig, GoldenError};
+pub use memostore::{classify_memo_lines, MemoStore};
 pub use shrink::{replay, shrink_schedule};
 pub use testprog::war_counter_app;
 pub use verdict::{

@@ -73,6 +73,7 @@
 pub mod analysis;
 pub mod checkpoint;
 pub mod coloring;
+pub mod fingerprint;
 pub mod pipeline;
 pub mod pruning;
 pub mod ratchet;
@@ -80,6 +81,7 @@ pub mod recovery;
 pub mod regions;
 pub mod wcet;
 
+pub use fingerprint::{fingerprint_program, ProgramFingerprints};
 pub use pipeline::{
     compile, compile_unpruned, CompileError, CompileOptions, CompileStats, InstrumentedProgram,
 };

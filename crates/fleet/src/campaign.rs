@@ -778,6 +778,7 @@ impl Campaign {
             budget,
             halt_after: self.halt_after.map(|n| n + resumed),
             stop: self.kill_switch.as_deref(),
+            claim: None,
             sink: &sink,
         };
         let journal = self.journal.as_deref();
@@ -1014,6 +1015,7 @@ impl Campaign {
             budget: pool_budget,
             halt_after: None,
             stop: Some(&internal_stop),
+            claim: None,
             sink,
         };
         let journal = self.journal.as_deref();

@@ -54,6 +54,7 @@
 pub mod cache;
 pub mod campaign;
 pub mod figures;
+pub mod frontier;
 pub mod journal;
 pub mod json;
 pub mod spec_io;
@@ -65,6 +66,7 @@ pub use campaign::{
     AttackCase, Campaign, CampaignError, CampaignReport, CampaignSpec, CapacitorSpec, DeviceCase,
     FaultCase, RunResult, Supply, WorkItem, Workload,
 };
+pub use frontier::Frontier;
 pub use journal::{classify_campaign_lines, Journal};
 pub use json::{Json, ParseError};
 pub use spec_io::{

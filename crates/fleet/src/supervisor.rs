@@ -554,6 +554,13 @@ pub struct PoolConfig<'a> {
     /// `halt_after` — a daemon's shutdown/cancel path flips it from
     /// another thread, and a journaled campaign later resumes bit-exactly.
     pub stop: Option<&'a AtomicBool>,
+    /// Work-stealing claim frontier. `None` claims items off a shared
+    /// atomic cursor (the historical discipline); `Some` routes every
+    /// claim through [`Frontier::claim`](crate::Frontier::claim), giving
+    /// each worker contiguous index runs with locality-preserving steals.
+    /// Either way every index in `0..run_keys.len()` is claimed exactly
+    /// once, so outcomes (merged in item order) are identical.
+    pub claim: Option<&'a crate::Frontier>,
     /// Telemetry sink for `run_failed` / `run_retried` events.
     pub sink: &'a Arc<dyn TelemetrySink>,
 }
@@ -584,7 +591,7 @@ where
     let mut worker_crash: Option<String> = None;
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
-        for _ in 0..workers {
+        for w in 0..workers {
             let cursor = &cursor;
             let accounted = &accounted;
             let retries = &retries;
@@ -605,7 +612,10 @@ where
                             break;
                         }
                     }
-                    let i = cursor.fetch_add(1, Ordering::Relaxed);
+                    let i = match cfg.claim {
+                        Some(frontier) => frontier.claim(w).unwrap_or(usize::MAX),
+                        None => cursor.fetch_add(1, Ordering::Relaxed),
+                    };
                     if i >= n {
                         break;
                     }
@@ -847,6 +857,7 @@ mod tests {
             budget: sup.resolve_budget(0.01),
             halt_after: None,
             stop: None,
+            claim: None,
             sink: &sink,
         };
         let report = run_supervised(&cfg, |i, _, _, _| {
@@ -890,6 +901,7 @@ mod tests {
             budget: sup.resolve_budget(0.01),
             halt_after: None,
             stop: None,
+            claim: None,
             sink: &sink,
         };
         // Succeeds on the third attempt.
@@ -941,6 +953,7 @@ mod tests {
             budget: sup.resolve_budget(0.01),
             halt_after: None,
             stop: None,
+            claim: None,
             sink: &sink,
         };
         let report = run_supervised(&cfg, |_, attempt, _, _| {
@@ -970,6 +983,7 @@ mod tests {
             budget: sup.resolve_budget(0.01),
             halt_after: Some(10),
             stop: None,
+            claim: None,
             sink: &sink,
         };
         let report = run_supervised(&cfg, |i, _, _, _| Ok(i));

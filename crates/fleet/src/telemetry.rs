@@ -276,6 +276,16 @@ pub struct FleetCounters {
     /// nothing ran batched). Diagnostic ratio, not additive — recomputed
     /// from the summed round counters at merge time.
     pub batch_occupancy_permille: u64,
+    /// Malformed or unknown-tag journal lines surfaced as diagnostics
+    /// during a resume (each costs a re-run of the affected item).
+    pub journal_diagnostics: u64,
+    /// Check windows answered from a persisted memo store instead of
+    /// re-explored (`gecko-check` incremental runs only).
+    pub memo_windows: u64,
+    /// Work-stealing frontier steals performed by the claim layer (zero
+    /// under the static-cursor discipline). Scheduling diagnostic — not
+    /// part of any deterministic digest.
+    pub frontier_steals: u64,
 }
 
 /// A log₂-bucketed histogram of `u64` samples (wall-times, cycle counts).

@@ -39,7 +39,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use gecko_check::CheckCampaign;
+use gecko_check::{classify_memo_lines, CheckCampaign, MemoStore};
 use gecko_fleet::json::Json;
 use gecko_fleet::spec_io;
 use gecko_fleet::supervisor::lock_unpoisoned;
@@ -47,7 +47,8 @@ use gecko_fleet::telemetry::{Event, TelemetrySink};
 use gecko_fleet::{Campaign, Journal};
 use gecko_sim::report::Value;
 use gecko_store::{
-    LogConfig, PruneInput, PruneOutput, Pruner, Segment, SegmentedLog, StoreError, TickReport,
+    LogCompactor, LogConfig, PruneInput, PruneOutput, Pruner, Segment, SegmentedLog, StoreError,
+    TickReport,
 };
 
 use crate::config::ServeConfig;
@@ -85,7 +86,15 @@ struct SinkState {
     total_items: Option<u64>,
     resumed: u64,
     closed: bool,
+    // `journal_line_undecodable` events, pinned for the job status
+    // document (the ring may evict them long before anyone polls): the
+    // first few encoded events plus a total count.
+    diagnostics: Vec<String>,
+    diagnostics_total: u64,
 }
+
+/// How many undecodable-journal-line events the status document pins.
+const DIAGNOSTIC_PIN_CAP: usize = 32;
 
 /// One `/events` long-poll answer.
 #[derive(Debug, Clone)]
@@ -119,6 +128,8 @@ impl JobSink {
                 total_items: None,
                 resumed: 0,
                 closed: false,
+                diagnostics: Vec::new(),
+                diagnostics_total: 0,
             }),
             cond: Condvar::new(),
             log,
@@ -232,6 +243,12 @@ impl TelemetrySink for JobSink {
         let seq = s.next_seq;
         s.next_seq += 1;
         let line = wire::event_value(seq, &event).encode();
+        if event.kind == "journal_line_undecodable" {
+            s.diagnostics_total += 1;
+            if s.diagnostics.len() < DIAGNOSTIC_PIN_CAP {
+                s.diagnostics.push(line.clone());
+            }
+        }
         // Appended under the state lock so the persisted stream stays in
         // seq order across concurrent emitters (the log's own lock is a
         // leaf; no inversion).
@@ -361,6 +378,9 @@ pub struct Job {
     /// Grid size: expanded items for sweeps, (app × scheme) pairs for
     /// checks.
     pub grid: u64,
+    /// Check jobs: run against the daemon's durable memo store for this
+    /// spec (DESIGN.md §18). Durable — a resumed job keeps its mode.
+    pub incremental: bool,
     /// The telemetry sink (ring + file).
     pub sink: Arc<JobSink>,
     stop: Arc<AtomicBool>,
@@ -444,6 +464,7 @@ impl Job {
                 self.halt_after.map_or(Json::Null, Json::U64),
             ),
             ("batch".into(), Json::U64(self.batch as u64)),
+            ("incremental".into(), Json::Bool(self.incremental)),
             ("grid".into(), Json::U64(self.grid)),
             ("items_done".into(), Json::U64(done)),
             ("items_total".into(), total.map_or(Json::Null, Json::U64)),
@@ -457,6 +478,21 @@ impl Job {
                 "telemetry_file_drops".into(),
                 Json::U64(self.sink.file_drops()),
             ),
+            ("journal_diagnostics".into(), {
+                let s = lock_unpoisoned(&self.sink.state);
+                Json::Obj(vec![
+                    ("total".into(), Json::U64(s.diagnostics_total)),
+                    (
+                        "events".into(),
+                        Json::Arr(
+                            s.diagnostics
+                                .iter()
+                                .map(|l| Json::parse(l).unwrap_or_else(|_| Json::Str(l.clone())))
+                                .collect(),
+                        ),
+                    ),
+                ])
+            }),
             ("store".into(), self.store_value()),
         ])
     }
@@ -718,6 +754,7 @@ impl Queue {
                 sub.halt_after.map_or(Json::Null, Json::U64),
             ),
             ("batch".into(), Json::U64(batch as u64)),
+            ("incremental".into(), Json::Bool(sub.incremental)),
             ("spec".into(), sub.spec.clone()),
         ]);
         std::fs::write(dir.join("job.json"), envelope.encode())
@@ -733,6 +770,7 @@ impl Queue {
             halt_after: sub.halt_after,
             batch,
             grid,
+            incremental: sub.incremental,
             stop: Arc::new(AtomicBool::new(false)),
             cancel_requested: AtomicBool::new(false),
             progress: Mutex::new(JobProgress {
@@ -851,6 +889,11 @@ fn restore_job(inner: &QueueInner, id: u64, dir: &Path) -> Option<Arc<Job>> {
         .and_then(Json::as_u64)
         .map_or(1, |n| n as usize)
         .max(1);
+    // Envelopes from pre-incremental daemons default to off.
+    let incremental = envelope
+        .get("incremental")
+        .and_then(Json::as_bool)
+        .unwrap_or(false);
     let (name, grid) = validate_spec(kind, &spec).ok()?;
 
     // Terminal-state detection from the directory contents alone.
@@ -889,6 +932,7 @@ fn restore_job(inner: &QueueInner, id: u64, dir: &Path) -> Option<Arc<Job>> {
         halt_after,
         batch,
         grid,
+        incremental,
         sink,
         stop: Arc::new(AtomicBool::new(false)),
         cancel_requested: AtomicBool::new(false),
@@ -1082,12 +1126,23 @@ fn worker_loop(inner: &Arc<QueueInner>) {
         if job.state() != JobState::Queued {
             continue;
         }
-        execute(&job);
+        execute(&inner.cfg, &job);
     }
 }
 
+/// FNV-1a over the canonical spec document: names the memo directory an
+/// incremental check job shares with every other submission of the same
+/// spec.
+fn memo_key(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
 /// Runs one job to a stopped state, writing its terminal files.
-fn execute(job: &Arc<Job>) {
+fn execute(cfg: &ServeConfig, job: &Arc<Job>) {
     job.set_state(JobState::Running, None, None);
     // Segmented journal; a flat `journal.jsonl` written by an older
     // daemon still resumes through the legacy single-file backend.
@@ -1145,15 +1200,48 @@ fn execute(job: &Arc<Job>) {
         JobKind::Check => wire::check_spec_from_value(&job.spec, "")
             .map_err(|e| format!("invalid check spec: {e}"))
             .and_then(|spec| {
+                // Incremental mode: a durable memo store keyed by the
+                // canonical spec document, shared across every job (and
+                // daemon session) checking the same spec. Opened
+                // best-effort — a store that fails to open just means a
+                // cold run.
+                let memo: Option<(PathBuf, Arc<MemoStore>)> = if job.incremental {
+                    job.dir.parent().and_then(|root| {
+                        let key = memo_key(&wire::check_spec_value(&spec).encode());
+                        let dir = root.join("memo").join(format!("{key:016x}"));
+                        let store = MemoStore::open(&dir).ok()?;
+                        Some((dir, Arc::new(store)))
+                    })
+                } else {
+                    None
+                };
                 let mut campaign = CheckCampaign::new(spec)
                     .workers(job.workers)
                     .sink(sink)
                     .resume(journal)
                     .kill_switch(Arc::clone(&job.stop));
+                if let Some((_, store)) = &memo {
+                    campaign = campaign.memo(Arc::clone(store));
+                }
                 if let Some(n) = job.halt_after {
                     campaign = campaign.halt_after(n);
                 }
                 let report = campaign.run().map_err(|e| format!("{e:?}"))?;
+                // Budgeted compaction of the memo log, after the run so
+                // the sealed segments it rewrites already hold this run's
+                // flushed records. Its checkpoint lives beside the log.
+                if let Some((dir, store)) = memo {
+                    if let Ok(mut pruner) =
+                        Pruner::open(&dir.join("prune.json"), cfg.prune_delete_limit)
+                    {
+                        pruner.add(LogCompactor::new(
+                            "check-memo",
+                            store.log(),
+                            classify_memo_lines,
+                        ));
+                        let _ = pruner.tick();
+                    }
+                }
                 Ok((
                     !report.halted,
                     report.deterministic_digest(),
@@ -1230,6 +1318,7 @@ mod tests {
             workers: Some(1),
             halt_after,
             batch: None,
+            incremental: false,
         }
     }
 
@@ -1423,6 +1512,72 @@ mod tests {
         let store = store.get("store").expect("status carries store stats");
         assert!(store.get("telemetry_segments").and_then(Json::as_u64) >= Some(1));
         assert!(store.get("journal_segments").and_then(Json::as_u64) >= Some(1));
+        queue.shutdown();
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn incremental_check_reuses_the_memo_store_across_jobs() {
+        let cfg = test_config("incremental");
+        let root = cfg.journal_root.clone();
+        let queue = Queue::start(cfg).unwrap();
+        let spec = Json::parse(
+            r#"{"name":"inc-check","apps":["blink"],"schemes":["gecko"],
+                "explore":{"max_windows":64}}"#,
+        )
+        .unwrap();
+        let sub = |spec: Json| wire::Submission {
+            spec,
+            workers: Some(1),
+            halt_after: None,
+            batch: None,
+            incremental: true,
+        };
+        let cold = queue.submit(JobKind::Check, sub(spec.clone())).unwrap();
+        assert_eq!(cold.wait_stopped(Duration::from_secs(120)), JobState::Done);
+        let warm = queue.submit(JobKind::Check, sub(spec)).unwrap();
+        assert_eq!(warm.wait_stopped(Duration::from_secs(120)), JobState::Done);
+
+        // Byte-identical deterministic documents, cold and warm.
+        let cold_det = std::fs::read(cold.dir.join("result.det.json")).unwrap();
+        let warm_det = std::fs::read(warm.dir.join("result.det.json")).unwrap();
+        assert_eq!(cold_det, warm_det);
+
+        // The warm run answered (essentially all of) its windows from the
+        // shared store and names the memo generation backing the verdict.
+        let full =
+            Json::parse(&std::fs::read_to_string(warm.dir.join("result.json")).unwrap()).unwrap();
+        let memo_windows = full
+            .get("counters")
+            .and_then(|c| c.get("memo_windows"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        let windows = full
+            .get("totals")
+            .and_then(|t| t.get("windows"))
+            .and_then(Json::as_u64)
+            .unwrap();
+        assert!(
+            memo_windows * 10 >= windows * 9,
+            "memo answered {memo_windows} of {windows} windows"
+        );
+        assert!(full.get("memo_generation").and_then(Json::as_u64).is_some());
+        assert!(root.join("memo").exists(), "shared memo dir on disk");
+
+        // The status document surfaces the diagnostics channel (empty on
+        // a clean journal) and the durable incremental flag.
+        let status = warm.status_value();
+        assert_eq!(
+            status
+                .get("journal_diagnostics")
+                .and_then(|d| d.get("total"))
+                .and_then(Json::as_u64),
+            Some(0)
+        );
+        assert_eq!(
+            status.get("incremental").and_then(Json::as_bool),
+            Some(true)
+        );
         queue.shutdown();
         let _ = std::fs::remove_dir_all(&root);
     }

@@ -350,6 +350,13 @@ fn check_report_value(report: &CheckReport, deterministic: bool) -> Json {
         let c = &report.counters;
         fields.push(("workers".into(), Json::U64(report.workers as u64)));
         fields.push(("halted".into(), Json::Bool(report.halted)));
+        // Which persisted memo generation backs this verdict — a
+        // proof-of-clean can cite it. Full doc only: the deterministic
+        // document must be byte-identical cold and warm.
+        fields.push((
+            "memo_generation".into(),
+            report.memo_generation.map_or(Json::Null, Json::U64),
+        ));
         fields.push(("wall_s".into(), Json::F64(report.wall_s)));
         fields.push((
             "counters".into(),
@@ -361,6 +368,12 @@ fn check_report_value(report: &CheckReport, deterministic: bool) -> Json {
                 ("retries".into(), Json::U64(c.retries)),
                 ("resumed".into(), Json::U64(c.resumed)),
                 ("dropped_records".into(), Json::U64(c.dropped_records)),
+                (
+                    "journal_diagnostics".into(),
+                    Json::U64(c.journal_diagnostics),
+                ),
+                ("memo_windows".into(), Json::U64(c.memo_windows)),
+                ("frontier_steals".into(), Json::U64(c.frontier_steals)),
                 ("batched_runs".into(), Json::U64(c.batched_runs)),
                 ("batch_spans".into(), Json::U64(c.batch_spans)),
                 ("batch_fallbacks".into(), Json::U64(c.batch_fallbacks)),
@@ -439,11 +452,17 @@ pub struct Submission {
     /// Purely a throughput knob: results and digests are
     /// batch-size-invariant (DESIGN.md §16).
     pub batch: Option<usize>,
+    /// Check jobs only: attach the daemon's durable memo store for this
+    /// spec, so a re-submission answers already-explored windows from
+    /// disk (DESIGN.md §18). Results and digests are identical either
+    /// way; this is purely a wall-clock knob.
+    pub incremental: bool,
 }
 
 /// Parses a submission body. Two shapes are accepted:
 ///
-/// * an envelope `{"spec": {...}, "workers": N, "halt_after": N, "batch": N}`, or
+/// * an envelope `{"spec": {...}, "workers": N, "halt_after": N, "batch": N,
+///   "incremental": B}`, or
 /// * a bare spec document (everything else) — the common curl case.
 pub fn parse_submission(text: &str) -> Result<Submission, SpecError> {
     let doc = Json::parse(text)?;
@@ -453,9 +472,14 @@ pub fn parse_submission(text: &str) -> Result<Submission, SpecError> {
             workers: None,
             halt_after: None,
             batch: None,
+            incremental: false,
         });
     }
-    check_keys(&doc, "", &["spec", "workers", "halt_after", "batch"])?;
+    check_keys(
+        &doc,
+        "",
+        &["spec", "workers", "halt_after", "batch", "incremental"],
+    )?;
     let spec = get(&doc, "", "spec")?.clone();
     let workers = opt(&doc, "workers")
         .map(|w| as_u64(w, "workers").map(|n| n as usize))
@@ -472,11 +496,16 @@ pub fn parse_submission(text: &str) -> Result<Submission, SpecError> {
     if batch == Some(0) {
         return Err(err("batch", "must be at least 1").into());
     }
+    let incremental = opt(&doc, "incremental")
+        .map(|b| as_bool(b, "incremental"))
+        .transpose()?
+        .unwrap_or(false);
     Ok(Submission {
         spec,
         workers,
         halt_after,
         batch,
+        incremental,
     })
 }
 
@@ -577,13 +606,17 @@ mod tests {
         assert_eq!(bare.halt_after, None);
         assert_eq!(bare.batch, None);
 
-        let env =
-            parse_submission(r#"{"spec":{"name":"sweep"},"workers":4,"halt_after":2,"batch":64}"#)
-                .unwrap();
+        assert!(!bare.incremental);
+
+        let env = parse_submission(
+            r#"{"spec":{"name":"sweep"},"workers":4,"halt_after":2,"batch":64,"incremental":true}"#,
+        )
+        .unwrap();
         assert_eq!(env.spec.get("name").and_then(Json::as_str), Some("sweep"));
         assert_eq!(env.workers, Some(4));
         assert_eq!(env.halt_after, Some(2));
         assert_eq!(env.batch, Some(64));
+        assert!(env.incremental);
 
         let e = parse_submission(r#"{"spec":{"name":"s"},"wrokers":4}"#).unwrap_err();
         assert!(e.to_string().contains("wrokers"), "{e}");

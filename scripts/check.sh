@@ -56,6 +56,10 @@ GECKO_QUICK=1 cargo test --offline --release -q -p gecko-check --test faults
 GECKO_QUICK=1 cargo test --offline --release -q -p gecko-fleet --test faults
 cargo run --offline --release --example fault_lab
 
+echo "==> incremental smoke (persistent memo store: warm re-checks byte-identical,"
+echo "    worker/steal/kill-resume digest-invariant, change-driven invalidation)"
+GECKO_QUICK=1 cargo test --offline --release -q -p gecko-check --test incremental
+
 echo "==> bench smoke (fast-path + event-horizon + batch_step coalescing floors, BENCH_sim.json)"
 GECKO_QUICK=1 cargo bench --offline -p gecko-bench --bench fast_path
 
